@@ -1,0 +1,68 @@
+//! End-to-end Criterion benchmarks: full runs of each CPU variant and
+//! simulated-device runs of each GPU variant on the paper's default
+//! workload shape (scaled to keep `cargo bench` fast).
+//!
+//! The figure harnesses in `src/bin/` are the tool for paper-shaped sweeps;
+//! these benches exist to catch performance regressions per variant.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use gpu_sim::{Device, DeviceConfig};
+use proclus::{fast_proclus, fast_star_proclus, proclus};
+use proclus_bench::workloads;
+use proclus_gpu::{gpu_fast_proclus, gpu_fast_star_proclus, gpu_proclus};
+
+fn bench_cpu_variants(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e2e/cpu");
+    g.sample_size(10);
+    for &n in &[4_000usize, 16_000] {
+        let cfg = workloads::default_synthetic(n, 5);
+        let data = workloads::synthetic_data(&cfg, 0);
+        let params = workloads::default_params().with_seed(3);
+        g.bench_with_input(BenchmarkId::new("PROCLUS", n), &data, |b, data| {
+            b.iter(|| black_box(proclus(data, &params).unwrap()))
+        });
+        g.bench_with_input(BenchmarkId::new("FAST", n), &data, |b, data| {
+            b.iter(|| black_box(fast_proclus(data, &params).unwrap()))
+        });
+        g.bench_with_input(BenchmarkId::new("FAST_STAR", n), &data, |b, data| {
+            b.iter(|| black_box(fast_star_proclus(data, &params).unwrap()))
+        });
+    }
+    g.finish();
+}
+
+fn bench_gpu_variants(c: &mut Criterion) {
+    // Wall-clock of the *functional simulation* — tracks simulator overhead,
+    // not device time (which is deterministic and reported by the
+    // harnesses).
+    let mut g = c.benchmark_group("e2e/gpu-sim-wall");
+    g.sample_size(10);
+    let n = 8_000usize;
+    let cfg = workloads::default_synthetic(n, 5);
+    let data = workloads::synthetic_data(&cfg, 0);
+    let params = workloads::default_params().with_seed(3);
+    g.bench_function("GPU_PROCLUS", |b| {
+        b.iter(|| {
+            let mut dev = Device::new(DeviceConfig::gtx_1660_ti());
+            black_box(gpu_proclus(&mut dev, &data, &params).unwrap())
+        })
+    });
+    g.bench_function("GPU_FAST", |b| {
+        b.iter(|| {
+            let mut dev = Device::new(DeviceConfig::gtx_1660_ti());
+            black_box(gpu_fast_proclus(&mut dev, &data, &params).unwrap())
+        })
+    });
+    g.bench_function("GPU_FAST_STAR", |b| {
+        b.iter(|| {
+            let mut dev = Device::new(DeviceConfig::gtx_1660_ti());
+            black_box(gpu_fast_star_proclus(&mut dev, &data, &params).unwrap())
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_cpu_variants, bench_gpu_variants);
+criterion_main!(benches);

@@ -1,0 +1,91 @@
+//! Microbenchmarks of individual simulated-device kernels: wall-clock of
+//! the functional execution (simulator throughput) — useful when optimizing
+//! the simulator itself — plus assertions-by-construction that each
+//! kernel's *modeled* time scales sublinearly per element as `n` grows
+//! (the saturation shape of Fig. 2a).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use gpu_sim::{Device, DeviceConfig, Dim3};
+use proclus_bench::workloads;
+use proclus_gpu::kernels::assign::assign_kernel;
+use proclus_gpu::kernels::dist::dist_row_kernel;
+
+fn bench_dist_row(c: &mut Criterion) {
+    let mut g = c.benchmark_group("kernel/dist_row");
+    g.sample_size(10);
+    for &n in &[8_000usize, 32_000] {
+        let cfg = workloads::default_synthetic(n, 3);
+        let host = workloads::synthetic_data(&cfg, 0);
+        let mut dev = Device::new(DeviceConfig::gtx_1660_ti());
+        let data = dev.htod("data", host.flat()).unwrap();
+        let out = dev.alloc_zeroed::<f32>("row", n).unwrap();
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                dist_row_kernel(&mut dev, &data, host.d(), n, 17, &out);
+                black_box(out.peek(0))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_assign(c: &mut Criterion) {
+    let mut g = c.benchmark_group("kernel/assign");
+    g.sample_size(10);
+    let n = 16_000usize;
+    let cfg = workloads::default_synthetic(n, 3);
+    let host = workloads::synthetic_data(&cfg, 0);
+    let d = host.d();
+    let k = 10usize;
+    let mut dev = Device::new(DeviceConfig::gtx_1660_ti());
+    let data = dev.htod("data", host.flat()).unwrap();
+    let medoids: Vec<usize> = (0..k).map(|i| i * (n / k)).collect();
+    let dims: Vec<Vec<usize>> = (0..k).map(|i| vec![i % d, (i + 3) % d]).collect();
+    let mut flat = Vec::new();
+    let mut offsets = vec![0usize];
+    for s in &dims {
+        flat.extend(s.iter().map(|&j| j as u32));
+        offsets.push(flat.len());
+    }
+    let dims_flat = dev.htod("dims", &flat).unwrap();
+    let labels = dev.alloc_zeroed::<i32>("labels", n).unwrap();
+    let c_list = dev.alloc_zeroed::<u32>("c_list", k * n).unwrap();
+    let c_count = dev.alloc_zeroed::<u32>("c_count", k).unwrap();
+
+    g.bench_function("16k_k10", |b| {
+        b.iter(|| {
+            assign_kernel(
+                &mut dev, &data, d, n, &medoids, &dims_flat, &offsets, &labels, &c_list, &c_count,
+            );
+            black_box(labels.peek(0))
+        })
+    });
+    g.finish();
+}
+
+fn bench_raw_launch_overhead(c: &mut Criterion) {
+    // Simulator cost of an (almost) empty launch — the floor under every
+    // kernel microbenchmark above.
+    let mut dev = Device::new(DeviceConfig::gtx_1660_ti());
+    let buf = dev.alloc_zeroed::<u32>("b", 1024).unwrap();
+    c.bench_function("kernel/empty_launch", |b| {
+        b.iter(|| {
+            dev.launch("noop", Dim3::x(8), Dim3::x(128), |blk| {
+                blk.thread0(|t| {
+                    buf.st(t, 0, 1);
+                });
+            });
+            black_box(buf.peek(0))
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_dist_row,
+    bench_assign,
+    bench_raw_launch_overhead
+);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Criterion benchmarks of the multi-parameter reuse levels (§3.1) on the
+//! CPU: how much wall-clock each cumulative level saves across a 4-setting
+//! grid, isolating the algorithmic effect from the GPU model.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use proclus::multi_param::{ReuseLevel, Setting};
+use proclus::par::Executor;
+use proclus::{fast_proclus_multi, proclus_multi};
+use proclus_bench::workloads;
+
+fn bench_reuse_levels(c: &mut Criterion) {
+    let mut g = c.benchmark_group("multi_param/cpu");
+    g.sample_size(10);
+    let n = 8_000usize;
+    let cfg = workloads::default_synthetic(n, 11);
+    let data = workloads::synthetic_data(&cfg, 0);
+    let base = workloads::default_params().with_seed(5);
+    let grid = vec![
+        Setting::new(8, 4),
+        Setting::new(10, 5),
+        Setting::new(12, 5),
+        Setting::new(10, 7),
+    ];
+    let exec = Executor::Sequential;
+
+    for (name, level) in [
+        ("L0_independent", ReuseLevel::Independent),
+        ("L1_shared_cache", ReuseLevel::SharedCache),
+        ("L2_shared_greedy", ReuseLevel::SharedGreedy),
+        ("L3_warm_start", ReuseLevel::WarmStart),
+    ] {
+        g.bench_with_input(BenchmarkId::from_parameter(name), &level, |b, &level| {
+            b.iter(|| black_box(fast_proclus_multi(&data, &base, &grid, level, &exec).unwrap()))
+        });
+    }
+    g.bench_function("baseline_proclus_multi", |b| {
+        b.iter(|| black_box(proclus_multi(&data, &base, &grid, &exec).unwrap()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_reuse_levels);
+criterion_main!(benches);

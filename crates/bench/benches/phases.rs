@@ -1,0 +1,112 @@
+//! Microbenchmarks of the CPU sub-phases (the paper's "most time-consuming
+//! steps", §3): baseline ComputeL+X vs. the FAST ΔL update, AssignPoints,
+//! EvaluateClusters, greedy selection and the refinement pieces.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use proclus::par::Executor;
+use proclus::phases::assign::assign_points;
+use proclus::phases::compute_l::{compute_x_baseline, medoid_deltas};
+use proclus::phases::evaluate::evaluate_clusters;
+use proclus::phases::find_dimensions::find_dimensions;
+use proclus::phases::initialization::greedy_select;
+use proclus::phases::refinement::remove_outliers;
+use proclus::{DataMatrix, ProclusRng};
+use proclus_bench::workloads;
+
+const N: usize = 16_000;
+const K: usize = 10;
+
+struct Fixture {
+    data: DataMatrix,
+    medoids: Vec<usize>,
+    deltas: Vec<f32>,
+    dims: Vec<Vec<usize>>,
+    labels: Vec<i32>,
+}
+
+fn fixture() -> Fixture {
+    let cfg = workloads::default_synthetic(N, 7);
+    let data = workloads::synthetic_data(&cfg, 0);
+    let medoids: Vec<usize> = (0..K).map(|i| i * (N / K) + 13).collect();
+    let deltas = medoid_deltas(&data, &medoids);
+    let (x, _) = compute_x_baseline(&data, &medoids, &deltas, &Executor::Sequential);
+    let dims = find_dimensions(&x, K, data.d(), 5);
+    let labels = assign_points(&data, &medoids, &dims, &Executor::Sequential);
+    Fixture {
+        data,
+        medoids,
+        deltas,
+        dims,
+        labels,
+    }
+}
+
+fn bench_phases(c: &mut Criterion) {
+    let f = fixture();
+    let exec = Executor::Sequential;
+
+    c.bench_function("phase/compute_x_baseline_16k", |b| {
+        b.iter(|| black_box(compute_x_baseline(&f.data, &f.medoids, &f.deltas, &exec)))
+    });
+
+    c.bench_function("phase/medoid_deltas", |b| {
+        b.iter(|| black_box(medoid_deltas(&f.data, &f.medoids)))
+    });
+
+    c.bench_function("phase/assign_points_16k", |b| {
+        b.iter(|| black_box(assign_points(&f.data, &f.medoids, &f.dims, &exec)))
+    });
+
+    c.bench_function("phase/evaluate_clusters_16k", |b| {
+        b.iter(|| black_box(evaluate_clusters(&f.data, &f.labels, &f.dims, &exec)))
+    });
+
+    c.bench_function("phase/remove_outliers_16k", |b| {
+        b.iter(|| {
+            black_box(remove_outliers(
+                &f.data, &f.labels, &f.medoids, &f.dims, &exec,
+            ))
+        })
+    });
+
+    let mut g = c.benchmark_group("phase/greedy");
+    for &s in &[250usize, 1000] {
+        let sample: Vec<usize> = (0..s).map(|i| i * (N / s)).collect();
+        g.bench_with_input(BenchmarkId::from_parameter(s), &sample, |b, sample| {
+            b.iter(|| {
+                let mut rng = ProclusRng::new(3);
+                black_box(greedy_select(&f.data, sample, 50, &mut rng, &exec))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_fast_delta(c: &mut Criterion) {
+    // The FAST ΔL H-update vs. the baseline full recomputation: the
+    // algorithmic speedup of §3 in isolation. A small radius change makes
+    // the band tiny, which is the common case between iterations.
+    use proclus::fast::bench_support;
+
+    let f = fixture();
+    let exec = Executor::Sequential;
+    let m = f.medoids[0];
+
+    c.bench_function("phase/fast_h_update_small_band", |b| {
+        let dist_row = bench_support::dist_row(&f.data, m, &exec);
+        let m_row: Vec<f32> = f.data.row(m).to_vec();
+        b.iter(|| {
+            let mut h = vec![0.0f64; f.data.d()];
+            let mut lsize = 1000usize;
+            bench_support::h_update(
+                &f.data, &dist_row, &m_row, 0.30, 0.32, &mut h, &mut lsize, &exec,
+            );
+            black_box(h)
+        })
+    });
+}
+
+criterion_group!(benches, bench_phases, bench_fast_delta);
+criterion_main!(benches);

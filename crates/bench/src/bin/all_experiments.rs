@@ -1,0 +1,47 @@
+//! Runs every figure/table harness in sequence, forwarding the common
+//! flags. Intended entry point for regenerating the full evaluation:
+//!
+//! ```text
+//! cargo run --release -p proclus-bench --bin all_experiments            # scaled grid
+//! cargo run --release -p proclus-bench --bin all_experiments -- --quick # smoke test
+//! ```
+
+use std::process::Command;
+
+const HARNESSES: &[&str] = &[
+    "fig1",
+    "fig2_scalability",
+    "fig2_dims",
+    "fig2_distribution",
+    "fig2_params",
+    "fig3_multiparam",
+    "fig3_space",
+    "fig3_realworld",
+    "table_utilization",
+    "ablations",
+];
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let this = std::env::current_exe().expect("current exe path");
+    let dir = this.parent().expect("target dir");
+
+    let mut failures = Vec::new();
+    for name in HARNESSES {
+        let bin = dir.join(name);
+        println!("\n=== {name} ===");
+        let status = Command::new(&bin)
+            .args(&args)
+            .status()
+            .unwrap_or_else(|e| panic!("failed to spawn {bin:?}: {e} (build with `cargo build --release -p proclus-bench` first)"));
+        if !status.success() {
+            failures.push(*name);
+        }
+    }
+    if failures.is_empty() {
+        println!("\nall experiments completed; CSVs in results/");
+    } else {
+        eprintln!("\nFAILED harnesses: {failures:?}");
+        std::process::exit(1);
+    }
+}

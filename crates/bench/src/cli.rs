@@ -1,0 +1,126 @@
+//! Tiny flag parser shared by the figure harnesses. No external dependency
+//! needed for four flags.
+
+/// Harness options parsed from `std::env::args`.
+#[derive(Debug, Clone)]
+pub struct Options {
+    /// Run the paper's full-size workloads (default: scaled-down grid).
+    pub paper_scale: bool,
+    /// Repetitions averaged per configuration (paper: 10).
+    pub reps: usize,
+    /// Output directory for CSV files.
+    pub out_dir: String,
+    /// Skip the slow sequential CPU baseline at large `n` (it dominates
+    /// harness runtime; speedups are then reported against the largest `n`
+    /// where it was measured).
+    pub quick: bool,
+    /// Base RNG seed; repetition `r` uses `seed + r`.
+    pub seed: u64,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Self {
+            paper_scale: false,
+            reps: 3,
+            out_dir: "results".to_string(),
+            quick: false,
+            seed: 0xBE7C,
+        }
+    }
+}
+
+impl Options {
+    /// Parses flags: `--paper-scale`, `--quick`, `--reps N`, `--out DIR`,
+    /// `--seed S`. Unknown flags abort with a usage message.
+    pub fn from_args() -> Self {
+        Self::parse(std::env::args().skip(1))
+    }
+
+    fn parse(args: impl Iterator<Item = String>) -> Self {
+        let mut opts = Self::default();
+        let mut args = args.peekable();
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--paper-scale" => {
+                    opts.paper_scale = true;
+                    opts.reps = opts.reps.max(10);
+                }
+                "--quick" => opts.quick = true,
+                "--reps" => {
+                    opts.reps = args
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| die("--reps needs a positive integer"));
+                }
+                "--out" => {
+                    opts.out_dir = args.next().unwrap_or_else(|| die("--out needs a path"));
+                }
+                "--seed" => {
+                    opts.seed = args
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| die("--seed needs an integer"));
+                }
+                "--help" | "-h" => {
+                    eprintln!(
+                        "flags: --paper-scale  run the paper's full workload sizes\n       \
+                         --quick        smallest grid, 1 rep (smoke test)\n       \
+                         --reps N       repetitions per configuration (default 3)\n       \
+                         --out DIR      CSV output directory (default results/)\n       \
+                         --seed S       base RNG seed"
+                    );
+                    std::process::exit(0);
+                }
+                other => die(&format!("unknown flag `{other}` (try --help)")),
+            }
+        }
+        if opts.quick {
+            opts.reps = 1;
+        }
+        opts
+    }
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(2);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Options {
+        Options::parse(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn defaults() {
+        let o = parse(&[]);
+        assert!(!o.paper_scale);
+        assert_eq!(o.reps, 3);
+        assert_eq!(o.out_dir, "results");
+    }
+
+    #[test]
+    fn paper_scale_raises_reps_to_ten() {
+        let o = parse(&["--paper-scale"]);
+        assert!(o.paper_scale);
+        assert_eq!(o.reps, 10);
+    }
+
+    #[test]
+    fn quick_forces_single_rep() {
+        let o = parse(&["--reps", "5", "--quick"]);
+        assert_eq!(o.reps, 1);
+    }
+
+    #[test]
+    fn explicit_values() {
+        let o = parse(&["--reps", "7", "--out", "/tmp/x", "--seed", "42"]);
+        assert_eq!(o.reps, 7);
+        assert_eq!(o.out_dir, "/tmp/x");
+        assert_eq!(o.seed, 42);
+    }
+}

@@ -1,0 +1,196 @@
+//! Experiment result tables: accumulate series, print like the paper's
+//! plots (one row per x value, one column per algorithm), derive speedups,
+//! and write CSV.
+
+use std::fs;
+use std::io::Write;
+use std::path::Path;
+
+/// An experiment's results: `columns` are algorithm names, `rows` are the
+/// swept x values with one optional measurement per column (skipped
+/// configurations stay empty).
+#[derive(Debug, Clone)]
+pub struct ExpTable {
+    /// Experiment identifier, e.g. `fig2a_runtime_vs_n`.
+    pub id: String,
+    /// Name of the swept variable (first CSV column).
+    pub x_name: String,
+    /// Algorithm/series names.
+    pub columns: Vec<String>,
+    rows: Vec<(String, Vec<Option<f64>>)>,
+}
+
+impl ExpTable {
+    /// Creates an empty table with the given series.
+    pub fn new(id: &str, x_name: &str, columns: &[&str]) -> Self {
+        Self {
+            id: id.to_string(),
+            x_name: x_name.to_string(),
+            columns: columns.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Starts a new x row; subsequent [`ExpTable::set`] calls fill it.
+    pub fn add_row(&mut self, x: impl ToString) {
+        self.rows
+            .push((x.to_string(), vec![None; self.columns.len()]));
+    }
+
+    /// Sets the current row's value for `column`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the column is unknown or no row was started.
+    pub fn set(&mut self, column: &str, value: f64) {
+        let c = self
+            .columns
+            .iter()
+            .position(|s| s == column)
+            .unwrap_or_else(|| panic!("unknown column `{column}` in {}", self.id));
+        let row = self.rows.last_mut().expect("add_row before set");
+        row.1[c] = Some(value);
+    }
+
+    /// Value at (x row index, column name), if measured.
+    pub fn get(&self, row: usize, column: &str) -> Option<f64> {
+        let c = self.columns.iter().position(|s| s == column)?;
+        self.rows.get(row)?.1[c]
+    }
+
+    /// Number of x rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True if no rows were added.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Derives a speedup column: `base / target` per row, appended as
+    /// `"{target} speedup"`.
+    pub fn add_speedup_column(&mut self, base: &str, target: &str) {
+        let b = self.columns.iter().position(|s| s == base);
+        let t = self.columns.iter().position(|s| s == target);
+        let (Some(b), Some(t)) = (b, t) else { return };
+        self.columns.push(format!("{target} speedup"));
+        for row in &mut self.rows {
+            let v = match (row.1[b], row.1[t]) {
+                (Some(base_v), Some(target_v)) if target_v > 0.0 => Some(base_v / target_v),
+                _ => None,
+            };
+            row.1.push(v);
+        }
+    }
+
+    /// Renders the table with aligned columns; `unit` annotates the header.
+    pub fn render(&self, unit: &str) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("## {} [{unit}]\n", self.id));
+        out.push_str(&format!("{:>12}", self.x_name));
+        for c in &self.columns {
+            out.push_str(&format!(" {c:>18}"));
+        }
+        out.push('\n');
+        for (x, vals) in &self.rows {
+            out.push_str(&format!("{x:>12}"));
+            for v in vals {
+                match v {
+                    Some(v) if *v >= 100.0 => out.push_str(&format!(" {v:>18.1}")),
+                    Some(v) => out.push_str(&format!(" {v:>18.4}")),
+                    None => out.push_str(&format!(" {:>18}", "-")),
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Prints the table to stdout.
+    pub fn print(&self, unit: &str) {
+        print!("{}", self.render(unit));
+    }
+
+    /// Writes `<out_dir>/<id>.csv`.
+    pub fn write_csv(&self, out_dir: &str) -> std::io::Result<()> {
+        fs::create_dir_all(out_dir)?;
+        let path = Path::new(out_dir).join(format!("{}.csv", self.id));
+        let mut f = fs::File::create(&path)?;
+        write!(f, "{}", self.x_name)?;
+        for c in &self.columns {
+            write!(f, ",{c}")?;
+        }
+        writeln!(f)?;
+        for (x, vals) in &self.rows {
+            write!(f, "{x}")?;
+            for v in vals {
+                match v {
+                    Some(v) => write!(f, ",{v}")?,
+                    None => write!(f, ",")?,
+                }
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ExpTable {
+        let mut t = ExpTable::new("test_fig", "n", &["PROCLUS", "GPU-PROCLUS"]);
+        t.add_row(1000);
+        t.set("PROCLUS", 100.0);
+        t.set("GPU-PROCLUS", 0.5);
+        t.add_row(2000);
+        t.set("PROCLUS", 200.0);
+        t
+    }
+
+    #[test]
+    fn get_returns_set_values_and_none_for_gaps() {
+        let t = sample();
+        assert_eq!(t.get(0, "PROCLUS"), Some(100.0));
+        assert_eq!(t.get(1, "GPU-PROCLUS"), None);
+        assert_eq!(t.get(0, "nope"), None);
+    }
+
+    #[test]
+    fn speedup_column_divides_base_by_target() {
+        let mut t = sample();
+        t.add_speedup_column("PROCLUS", "GPU-PROCLUS");
+        assert_eq!(t.get(0, "GPU-PROCLUS speedup"), Some(200.0));
+        assert_eq!(t.get(1, "GPU-PROCLUS speedup"), None);
+    }
+
+    #[test]
+    fn render_contains_all_cells() {
+        let s = sample().render("ms");
+        assert!(s.contains("test_fig"));
+        assert!(s.contains("100.0"));
+        assert!(s.contains('-'));
+    }
+
+    #[test]
+    fn csv_roundtrip_shape() {
+        let dir = std::env::temp_dir().join(format!("proclus-bench-{}", std::process::id()));
+        let t = sample();
+        t.write_csv(dir.to_str().unwrap()).unwrap();
+        let content = std::fs::read_to_string(dir.join("test_fig.csv")).unwrap();
+        let lines: Vec<&str> = content.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(lines[0], "n,PROCLUS,GPU-PROCLUS");
+        assert!(lines[2].ends_with(','), "missing value renders empty");
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown column")]
+    fn set_unknown_column_panics() {
+        let mut t = sample();
+        t.set("nope", 1.0);
+    }
+}

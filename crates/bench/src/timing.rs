@@ -1,0 +1,89 @@
+//! Measurement helpers: wall-clock for CPU algorithms, simulated device
+//! time for GPU algorithms.
+//!
+//! Following the paper (§5), every reported number is the average over
+//! `reps` runs on *different generated datasets* (the caller varies the
+//! seed per repetition through the closure argument).
+
+use std::time::Instant;
+
+use gpu_sim::{Device, DeviceConfig};
+
+/// Average wall-clock milliseconds of `f(rep)` over `reps` repetitions.
+pub fn time_cpu_ms(reps: usize, mut f: impl FnMut(usize)) -> f64 {
+    assert!(reps > 0);
+    let mut total = 0.0f64;
+    for rep in 0..reps {
+        let t0 = Instant::now();
+        f(rep);
+        total += t0.elapsed().as_secs_f64() * 1e3;
+    }
+    total / reps as f64
+}
+
+/// Average *simulated* device milliseconds of `f(rep, &mut Device)` over
+/// `reps` repetitions. A fresh device is built per repetition so pool peaks
+/// and kernel statistics do not leak between runs; the returned time is the
+/// device clock advanced by kernels and transfers.
+pub fn time_gpu_ms(cfg: &DeviceConfig, reps: usize, mut f: impl FnMut(usize, &mut Device)) -> f64 {
+    assert!(reps > 0);
+    let mut total = 0.0f64;
+    for rep in 0..reps {
+        let mut dev = Device::new(cfg.clone());
+        f(rep, &mut dev);
+        total += dev.elapsed_ms();
+    }
+    total / reps as f64
+}
+
+/// Like [`time_gpu_ms`] but also returns the device report of the *last*
+/// repetition (for utilization/space harnesses).
+pub fn time_gpu_ms_with_report(
+    cfg: &DeviceConfig,
+    reps: usize,
+    mut f: impl FnMut(usize, &mut Device),
+) -> (f64, gpu_sim::DeviceReport) {
+    assert!(reps > 0);
+    let mut total = 0.0f64;
+    let mut last = None;
+    for rep in 0..reps {
+        let mut dev = Device::new(cfg.clone());
+        f(rep, &mut dev);
+        total += dev.elapsed_ms();
+        last = Some(dev.report());
+    }
+    (total / reps as f64, last.expect("reps > 0"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cpu_timer_averages() {
+        let mut calls = 0;
+        let ms = time_cpu_ms(4, |_| calls += 1);
+        assert_eq!(calls, 4);
+        assert!(ms >= 0.0);
+    }
+
+    #[test]
+    fn gpu_timer_uses_simulated_clock() {
+        let cfg = DeviceConfig::gtx_1660_ti();
+        let ms = time_gpu_ms(&cfg, 2, |_, dev| {
+            dev.charge_us(1500.0);
+        });
+        assert!((ms - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn report_comes_from_last_rep() {
+        let cfg = DeviceConfig::gtx_1660_ti();
+        let (_, rep) = time_gpu_ms_with_report(&cfg, 2, |r, dev| {
+            if r == 1 {
+                let _ = dev.alloc_zeroed::<f32>("x", 100).unwrap();
+            }
+        });
+        assert_eq!(rep.mem_peak, 400);
+    }
+}

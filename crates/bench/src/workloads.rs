@@ -1,0 +1,120 @@
+//! Workload construction shared by the harnesses: the paper's default
+//! synthetic configuration (§5) with per-repetition seeds, plus the sweep
+//! grids used by each figure.
+
+use datagen::synthetic::{generate, SyntheticConfig};
+use proclus::{DataMatrix, Params};
+
+/// The paper's default algorithm parameters (§5):
+/// `k = 10, l = 5, A = 100, B = 10, minDev = 0.7, itrPat = 5`.
+pub fn default_params() -> Params {
+    Params::new(10, 5)
+}
+
+/// The paper's default synthetic generator configuration (§5): 64,000 × 15,
+/// 10 Gaussian clusters in 5-d subspaces, σ = 5.0, values in 0..100.
+pub fn default_synthetic(n: usize, seed: u64) -> SyntheticConfig {
+    SyntheticConfig {
+        n,
+        d: 15,
+        num_clusters: 10,
+        subspace_dims: 5,
+        std_dev: 5.0,
+        value_range: (0.0, 100.0),
+        noise_fraction: 0.0,
+        seed,
+    }
+}
+
+/// Generates a min–max-normalized dataset for repetition `rep` ("averages
+/// of 10 runs on *different generated datasets*", §5).
+pub fn synthetic_data(cfg: &SyntheticConfig, rep: usize) -> DataMatrix {
+    let mut c = cfg.clone();
+    c.seed = cfg
+        .seed
+        .wrapping_add(rep as u64)
+        .wrapping_mul(0x9E3779B97F4A7C15);
+    let mut g = generate(&c);
+    g.data.minmax_normalize();
+    g.data
+}
+
+/// The `n` sweep of Fig. 2a–b / Fig. 1 (paper: up to 1M and beyond;
+/// the default grid is scaled for simulation, `--paper-scale` restores it).
+pub fn n_grid(paper_scale: bool, quick: bool) -> Vec<usize> {
+    if quick {
+        vec![2_000, 8_000]
+    } else if paper_scale {
+        vec![16_000, 64_000, 256_000, 1_024_000]
+    } else {
+        vec![2_000, 8_000, 32_000, 128_000]
+    }
+}
+
+/// The dimensionality sweep of Fig. 2c–d.
+pub fn d_grid(paper_scale: bool, quick: bool) -> Vec<usize> {
+    if quick {
+        vec![5, 15]
+    } else if paper_scale {
+        vec![5, 10, 15, 30, 45, 60]
+    } else {
+        vec![5, 10, 15, 30]
+    }
+}
+
+/// Standard algorithm column names used across harnesses.
+pub mod names {
+    /// Sequential baseline.
+    pub const PROCLUS: &str = "PROCLUS";
+    /// Sequential FAST.
+    pub const FAST: &str = "FAST";
+    /// Sequential FAST*.
+    pub const FAST_STAR: &str = "FAST*";
+    /// Multi-core baseline.
+    pub const MC_PROCLUS: &str = "MC-PROCLUS";
+    /// Multi-core FAST.
+    pub const MC_FAST: &str = "MC-FAST";
+    /// Multi-core FAST*.
+    pub const MC_FAST_STAR: &str = "MC-FAST*";
+    /// GPU baseline (simulated device time).
+    pub const GPU_PROCLUS: &str = "GPU-PROCLUS";
+    /// GPU FAST (simulated device time).
+    pub const GPU_FAST: &str = "GPU-FAST";
+    /// GPU FAST* (simulated device time).
+    pub const GPU_FAST_STAR: &str = "GPU-FAST*";
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let p = default_params();
+        assert_eq!((p.k, p.l, p.a, p.b), (10, 5, 100, 10));
+        let s = default_synthetic(64_000, 1);
+        assert_eq!(
+            (s.n, s.d, s.num_clusters, s.subspace_dims),
+            (64_000, 15, 10, 5)
+        );
+        assert_eq!(s.std_dev, 5.0);
+    }
+
+    #[test]
+    fn per_rep_seeds_differ() {
+        let cfg = default_synthetic(500, 7);
+        let a = synthetic_data(&cfg, 0);
+        let b = synthetic_data(&cfg, 1);
+        assert_ne!(a, b);
+        // Same rep reproduces.
+        assert_eq!(a, synthetic_data(&cfg, 0));
+    }
+
+    #[test]
+    fn grids_scale_with_flags() {
+        assert!(n_grid(true, false).contains(&1_024_000));
+        assert!(!n_grid(false, false).contains(&1_024_000));
+        assert_eq!(n_grid(false, true).len(), 2);
+        assert!(d_grid(true, false).contains(&60));
+    }
+}

@@ -1,0 +1,439 @@
+//! Hand-rolled argument parsing (three subcommands, a dozen flags — no
+//! dependency needed).
+
+use std::fmt;
+
+/// Which algorithm runs the clustering.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Engine {
+    /// Sequential baseline PROCLUS.
+    Proclus,
+    /// Sequential FAST-PROCLUS (default).
+    #[default]
+    Fast,
+    /// Sequential FAST*-PROCLUS.
+    FastStar,
+    /// Multi-core FAST-PROCLUS (all cores).
+    ParFast,
+    /// GPU-PROCLUS on the simulated device.
+    GpuProclus,
+    /// GPU-FAST-PROCLUS on the simulated device.
+    GpuFast,
+}
+
+impl Engine {
+    fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "proclus" => Ok(Engine::Proclus),
+            "fast" => Ok(Engine::Fast),
+            "fast-star" | "fast*" => Ok(Engine::FastStar),
+            "par-fast" | "mc-fast" => Ok(Engine::ParFast),
+            "gpu" | "gpu-proclus" => Ok(Engine::GpuProclus),
+            "gpu-fast" => Ok(Engine::GpuFast),
+            other => Err(format!(
+                "unknown engine `{other}` (proclus | fast | fast-star | par-fast | gpu-proclus | gpu-fast)"
+            )),
+        }
+    }
+
+    /// True for the simulated-GPU engines.
+    pub fn is_gpu(self) -> bool {
+        matches!(self, Engine::GpuProclus | Engine::GpuFast)
+    }
+}
+
+impl fmt::Display for Engine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Engine::Proclus => "proclus",
+            Engine::Fast => "fast",
+            Engine::FastStar => "fast-star",
+            Engine::ParFast => "par-fast",
+            Engine::GpuProclus => "gpu-proclus",
+            Engine::GpuFast => "gpu-fast",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A `k` specification: a single value or an inclusive sweep `lo..hi`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KSpec {
+    /// One value of `k`.
+    Single(usize),
+    /// Inclusive range `lo..hi`.
+    Range(usize, usize),
+}
+
+impl KSpec {
+    fn parse(s: &str) -> Result<Self, String> {
+        if let Some((lo, hi)) = s.split_once("..") {
+            let lo: usize = lo.parse().map_err(|_| format!("bad k range `{s}`"))?;
+            let hi: usize = hi.parse().map_err(|_| format!("bad k range `{s}`"))?;
+            if lo > hi || lo < 2 {
+                return Err(format!("bad k range `{s}` (need 2 <= lo <= hi)"));
+            }
+            Ok(KSpec::Range(lo, hi))
+        } else {
+            let k: usize = s.parse().map_err(|_| format!("bad k `{s}`"))?;
+            Ok(KSpec::Single(k))
+        }
+    }
+
+    /// All `k` values covered.
+    pub fn values(self) -> Vec<usize> {
+        match self {
+            KSpec::Single(k) => vec![k],
+            KSpec::Range(lo, hi) => (lo..=hi).collect(),
+        }
+    }
+}
+
+/// Parsed command line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cli {
+    /// What to do.
+    pub command: Command,
+}
+
+/// The subcommands.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// Cluster (or sweep `k` over) a CSV file.
+    Cluster {
+        /// Input CSV path.
+        input: String,
+        /// `k` value(s).
+        k: KSpec,
+        /// Average subspace dimensionality.
+        l: usize,
+        /// Engine to run.
+        engine: Engine,
+        /// Device preset (`gtx1660ti` | `rtx3090`) for GPU engines.
+        device: String,
+        /// Seed.
+        seed: u64,
+        /// Skip min–max normalization.
+        no_normalize: bool,
+        /// Input has a header row.
+        header: bool,
+        /// Label column to ignore (0-based), if any.
+        label_col: Option<usize>,
+        /// Where to write per-point labels (CSV), if anywhere.
+        out: Option<String>,
+        /// Sample constant A.
+        a: usize,
+        /// Medoid constant B.
+        b: usize,
+    },
+    /// Generate a synthetic dataset CSV.
+    Generate {
+        /// Points.
+        n: usize,
+        /// Dimensions.
+        d: usize,
+        /// Planted clusters.
+        clusters: usize,
+        /// Subspace dims per cluster.
+        subspace_dims: usize,
+        /// Gaussian σ.
+        std_dev: f32,
+        /// Noise fraction.
+        noise: f64,
+        /// Seed.
+        seed: u64,
+        /// Output CSV path (labels appended as last column).
+        out: String,
+    },
+    /// Print help.
+    Help,
+}
+
+/// Usage text.
+pub const USAGE: &str = "\
+proclus — projected clustering (GPU-FAST-PROCLUS reproduction)
+
+USAGE:
+  proclus cluster <data.csv> --k <K | LO..HI> [--l L] [flags]
+  proclus generate --out <file.csv> [--n N] [--d D] [--clusters C] [flags]
+  proclus help
+
+cluster flags:
+  --k K | LO..HI     number of clusters, or an inclusive sweep   (required)
+  --l L              average subspace dims                        [5]
+  --engine E         proclus|fast|fast-star|par-fast|gpu-proclus|gpu-fast [fast]
+  --device D         gtx1660ti|rtx3090 (GPU engines)              [gtx1660ti]
+  --seed S           RNG seed                                     [42]
+  --a A  --b B       PROCLUS sampling constants                   [100, 10]
+  --header           input has a header row
+  --label-col I      ignore column I (0-based) as ground-truth labels
+  --no-normalize     skip min-max normalization
+  --out FILE         write per-point labels as CSV
+
+generate flags:
+  --n N --d D --clusters C --subspace-dims S --std-dev V --noise F --seed S
+  --out FILE         output path (required)
+";
+
+fn take_value(
+    args: &mut std::iter::Peekable<impl Iterator<Item = String>>,
+    flag: &str,
+) -> Result<String, String> {
+    args.next().ok_or_else(|| format!("{flag} needs a value"))
+}
+
+fn parse_num<T: std::str::FromStr>(v: String, flag: &str) -> Result<T, String> {
+    v.parse().map_err(|_| format!("{flag}: bad value `{v}`"))
+}
+
+impl Cli {
+    /// Parses an argument list (without the program name).
+    pub fn parse(argv: impl IntoIterator<Item = String>) -> Result<Self, String> {
+        let mut args = argv.into_iter().peekable();
+        let command = match args.next().as_deref() {
+            None | Some("help") | Some("--help") | Some("-h") => {
+                return Ok(Cli {
+                    command: Command::Help,
+                })
+            }
+            Some("cluster") => {
+                let mut input: Option<String> = None;
+                let mut k: Option<KSpec> = None;
+                let mut l = 5usize;
+                let mut engine = Engine::default();
+                let mut device = "gtx1660ti".to_string();
+                let mut seed = 42u64;
+                let mut no_normalize = false;
+                let mut header = false;
+                let mut label_col = None;
+                let mut out = None;
+                let mut a = 100usize;
+                let mut b = 10usize;
+                while let Some(arg) = args.next() {
+                    match arg.as_str() {
+                        "--k" => k = Some(KSpec::parse(&take_value(&mut args, "--k")?)?),
+                        "--l" => l = parse_num(take_value(&mut args, "--l")?, "--l")?,
+                        "--engine" => engine = Engine::parse(&take_value(&mut args, "--engine")?)?,
+                        "--device" => device = take_value(&mut args, "--device")?,
+                        "--seed" => seed = parse_num(take_value(&mut args, "--seed")?, "--seed")?,
+                        "--a" => a = parse_num(take_value(&mut args, "--a")?, "--a")?,
+                        "--b" => b = parse_num(take_value(&mut args, "--b")?, "--b")?,
+                        "--no-normalize" => no_normalize = true,
+                        "--header" => header = true,
+                        "--label-col" => {
+                            label_col = Some(parse_num(
+                                take_value(&mut args, "--label-col")?,
+                                "--label-col",
+                            )?)
+                        }
+                        "--out" => out = Some(take_value(&mut args, "--out")?),
+                        other if !other.starts_with("--") && input.is_none() => {
+                            input = Some(other.to_string())
+                        }
+                        other => return Err(format!("unexpected argument `{other}`")),
+                    }
+                }
+                Command::Cluster {
+                    input: input.ok_or("cluster: missing input CSV path")?,
+                    k: k.ok_or("cluster: --k is required")?,
+                    l,
+                    engine,
+                    device,
+                    seed,
+                    no_normalize,
+                    header,
+                    label_col,
+                    out,
+                    a,
+                    b,
+                }
+            }
+            Some("generate") => {
+                let mut n = 10_000usize;
+                let mut d = 15usize;
+                let mut clusters = 10usize;
+                let mut subspace_dims = 5usize;
+                let mut std_dev = 5.0f32;
+                let mut noise = 0.0f64;
+                let mut seed = 42u64;
+                let mut out: Option<String> = None;
+                while let Some(arg) = args.next() {
+                    match arg.as_str() {
+                        "--n" => n = parse_num(take_value(&mut args, "--n")?, "--n")?,
+                        "--d" => d = parse_num(take_value(&mut args, "--d")?, "--d")?,
+                        "--clusters" => {
+                            clusters =
+                                parse_num(take_value(&mut args, "--clusters")?, "--clusters")?
+                        }
+                        "--subspace-dims" => {
+                            subspace_dims = parse_num(
+                                take_value(&mut args, "--subspace-dims")?,
+                                "--subspace-dims",
+                            )?
+                        }
+                        "--std-dev" => {
+                            std_dev = parse_num(take_value(&mut args, "--std-dev")?, "--std-dev")?
+                        }
+                        "--noise" => {
+                            noise = parse_num(take_value(&mut args, "--noise")?, "--noise")?
+                        }
+                        "--seed" => seed = parse_num(take_value(&mut args, "--seed")?, "--seed")?,
+                        "--out" => out = Some(take_value(&mut args, "--out")?),
+                        other => return Err(format!("unexpected argument `{other}`")),
+                    }
+                }
+                Command::Generate {
+                    n,
+                    d,
+                    clusters,
+                    subspace_dims,
+                    std_dev,
+                    noise,
+                    seed,
+                    out: out.ok_or("generate: --out is required")?,
+                }
+            }
+            Some(other) => return Err(format!("unknown command `{other}` (try `proclus help`)")),
+        };
+        Ok(Cli { command })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<Cli, String> {
+        Cli::parse(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn cluster_minimal() {
+        let cli = parse(&["cluster", "data.csv", "--k", "5"]).unwrap();
+        match cli.command {
+            Command::Cluster {
+                input,
+                k,
+                l,
+                engine,
+                ..
+            } => {
+                assert_eq!(input, "data.csv");
+                assert_eq!(k, KSpec::Single(5));
+                assert_eq!(l, 5);
+                assert_eq!(engine, Engine::Fast);
+            }
+            _ => panic!("wrong command"),
+        }
+    }
+
+    #[test]
+    fn cluster_full_flags() {
+        let cli = parse(&[
+            "cluster",
+            "x.csv",
+            "--k",
+            "4..8",
+            "--l",
+            "3",
+            "--engine",
+            "gpu-fast",
+            "--device",
+            "rtx3090",
+            "--seed",
+            "9",
+            "--header",
+            "--label-col",
+            "0",
+            "--out",
+            "labels.csv",
+            "--a",
+            "50",
+            "--b",
+            "5",
+            "--no-normalize",
+        ])
+        .unwrap();
+        match cli.command {
+            Command::Cluster {
+                k,
+                engine,
+                device,
+                seed,
+                header,
+                label_col,
+                out,
+                a,
+                b,
+                no_normalize,
+                ..
+            } => {
+                assert_eq!(k.values(), vec![4, 5, 6, 7, 8]);
+                assert_eq!(engine, Engine::GpuFast);
+                assert!(engine.is_gpu());
+                assert_eq!(device, "rtx3090");
+                assert_eq!(seed, 9);
+                assert!(header && no_normalize);
+                assert_eq!(label_col, Some(0));
+                assert_eq!(out.as_deref(), Some("labels.csv"));
+                assert_eq!((a, b), (50, 5));
+            }
+            _ => panic!("wrong command"),
+        }
+    }
+
+    #[test]
+    fn missing_k_is_an_error() {
+        assert!(parse(&["cluster", "data.csv"]).unwrap_err().contains("--k"));
+    }
+
+    #[test]
+    fn bad_engine_is_an_error() {
+        let e = parse(&["cluster", "d.csv", "--k", "3", "--engine", "warp9"]).unwrap_err();
+        assert!(e.contains("warp9"));
+    }
+
+    #[test]
+    fn bad_k_range_is_an_error() {
+        assert!(parse(&["cluster", "d.csv", "--k", "9..3"]).is_err());
+        assert!(parse(&["cluster", "d.csv", "--k", "1..3"]).is_err());
+        assert!(parse(&["cluster", "d.csv", "--k", "abc"]).is_err());
+    }
+
+    #[test]
+    fn generate_requires_out() {
+        assert!(parse(&["generate", "--n", "100"])
+            .unwrap_err()
+            .contains("--out"));
+        let cli = parse(&["generate", "--out", "x.csv", "--clusters", "3"]).unwrap();
+        match cli.command {
+            Command::Generate { clusters, out, .. } => {
+                assert_eq!(clusters, 3);
+                assert_eq!(out, "x.csv");
+            }
+            _ => panic!("wrong command"),
+        }
+    }
+
+    #[test]
+    fn help_variants() {
+        for args in [&[][..], &["help"][..], &["--help"][..]] {
+            assert_eq!(parse(args).unwrap().command, Command::Help);
+        }
+    }
+
+    #[test]
+    fn engine_display_roundtrip() {
+        for e in [
+            Engine::Proclus,
+            Engine::Fast,
+            Engine::FastStar,
+            Engine::ParFast,
+            Engine::GpuProclus,
+            Engine::GpuFast,
+        ] {
+            let s = e.to_string();
+            assert_eq!(Engine::parse(&s).unwrap(), e, "{s}");
+        }
+    }
+}

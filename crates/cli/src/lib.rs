@@ -1,0 +1,34 @@
+//! # proclus-cli — projected clustering from the command line
+//!
+//! Library backing the `proclus` binary: argument parsing, engine
+//! dispatch, and report formatting live here so they are unit-testable;
+//! `main.rs` only wires stdin/stdout/exit codes.
+//!
+//! ```text
+//! proclus cluster data.csv --k 10 --l 5 --engine fast --out labels.csv
+//! proclus cluster data.csv --k 10 --l 5 --engine gpu-fast --device rtx3090
+//! proclus sweep   data.csv --k 4..12 --l 3 --engine fast
+//! proclus generate --n 10000 --d 15 --clusters 10 --out synth.csv
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod args;
+pub mod report;
+pub mod run;
+
+pub use args::{Cli, Command, Engine};
+pub use run::execute;
+
+/// CLI process exit codes.
+pub mod exit {
+    /// Everything worked.
+    pub const OK: i32 = 0;
+    /// Bad usage / bad flags.
+    pub const USAGE: i32 = 2;
+    /// Data or parameter validation failed.
+    pub const INVALID: i32 = 3;
+    /// Device error (e.g. out of memory on the simulated GPU).
+    pub const DEVICE: i32 = 4;
+}

@@ -1,0 +1,18 @@
+//! The `proclus` binary: parse, execute, print, exit.
+
+fn main() {
+    let cli = match proclus_cli::Cli::parse(std::env::args().skip(1)) {
+        Ok(cli) => cli,
+        Err(msg) => {
+            eprintln!("error: {msg}\n\n{}", proclus_cli::args::USAGE);
+            std::process::exit(proclus_cli::exit::USAGE);
+        }
+    };
+    match proclus_cli::execute(&cli) {
+        Ok(output) => print!("{output}"),
+        Err((code, msg)) => {
+            eprintln!("error: {msg}");
+            std::process::exit(code);
+        }
+    }
+}

@@ -1,0 +1,131 @@
+//! Output formatting for the CLI: the human-readable run report and the
+//! labels CSV.
+
+use std::io::Write;
+use std::path::Path;
+
+use proclus::metrics::{adjusted_rand_index, normalized_mutual_information};
+use proclus::DataMatrix;
+
+use crate::args::Engine;
+use crate::run::RunOutcome;
+
+/// Renders the report for a (possibly swept) cluster command.
+pub fn render(
+    data: &DataMatrix,
+    engine: Engine,
+    outcomes: &[RunOutcome],
+    truth: Option<&[i32]>,
+    out_path: Option<&str>,
+) -> String {
+    let mut s = String::new();
+    s.push_str(&format!(
+        "clustered {} points x {} dims with engine `{engine}`\n\n",
+        data.n(),
+        data.d()
+    ));
+    for o in outcomes {
+        let c = &o.clustering;
+        s.push_str(&format!(
+            "k = {:<3} cost {:>9.5}  refined {:>9.5}  iterations {:>3}  outliers {:>6}",
+            o.k,
+            c.cost,
+            c.refined_cost,
+            c.iterations,
+            c.num_outliers()
+        ));
+        if let Some(sim) = o.sim_ms {
+            s.push_str(&format!("  [{sim:>8.3} ms simulated device]"));
+        } else {
+            s.push_str(&format!("  [{:>8.1} ms wall]", o.wall_ms));
+        }
+        if let Some(truth) = truth {
+            s.push_str(&format!(
+                "  ARI {:.3} NMI {:.3}",
+                adjusted_rand_index(truth, &c.labels),
+                normalized_mutual_information(truth, &c.labels)
+            ));
+        }
+        s.push('\n');
+    }
+
+    let best = outcomes
+        .iter()
+        .min_by(|x, y| {
+            x.clustering
+                .refined_cost
+                .total_cmp(&y.clustering.refined_cost)
+        })
+        .expect("non-empty");
+    s.push_str(&format!("\nbest by refined cost: k = {}\n", best.k));
+    for (i, sub) in best.clustering.subspaces.iter().enumerate() {
+        s.push_str(&format!(
+            "  cluster {i:<3} size {:>7}  subspace {:?}\n",
+            best.clustering.cluster_sizes()[i],
+            sub
+        ));
+    }
+    if let Some(p) = out_path {
+        s.push_str(&format!("labels of the best run written to {p}\n"));
+    }
+    s
+}
+
+/// Writes one label per line.
+pub fn write_labels(path: &Path, labels: &[i32]) -> std::io::Result<()> {
+    let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
+    for l in labels {
+        writeln!(f, "{l}")?;
+    }
+    f.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proclus::Clustering;
+
+    fn outcome(k: usize, cost: f64) -> RunOutcome {
+        RunOutcome {
+            k,
+            clustering: Clustering {
+                medoids: (0..k).collect(),
+                subspaces: vec![vec![0, 1]; k],
+                labels: vec![0; 10],
+                cost,
+                refined_cost: cost,
+                iterations: 5,
+                converged: true,
+            },
+            wall_ms: 1.5,
+            sim_ms: None,
+        }
+    }
+
+    #[test]
+    fn render_lists_all_k_and_marks_best() {
+        let data = DataMatrix::from_flat(vec![0.0; 20], 10, 2).unwrap();
+        let outcomes = vec![outcome(2, 0.5), outcome(3, 0.2)];
+        let s = render(&data, Engine::Fast, &outcomes, None, None);
+        assert!(s.contains("k = 2"));
+        assert!(s.contains("k = 3"));
+        assert!(s.contains("best by refined cost: k = 3"));
+    }
+
+    #[test]
+    fn render_includes_truth_metrics_when_given() {
+        let data = DataMatrix::from_flat(vec![0.0; 20], 10, 2).unwrap();
+        let truth = vec![0i32; 10];
+        let s = render(&data, Engine::Fast, &[outcome(2, 0.1)], Some(&truth), None);
+        assert!(s.contains("ARI"));
+    }
+
+    #[test]
+    fn labels_file_has_one_line_per_point() {
+        let path = std::env::temp_dir().join(format!("labels-{}.csv", std::process::id()));
+        write_labels(&path, &[0, 1, -1]).unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(content, "0\n1\n-1\n");
+        std::fs::remove_file(path).ok();
+    }
+}

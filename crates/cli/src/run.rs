@@ -1,0 +1,345 @@
+//! Command execution: load → cluster → report.
+
+use std::path::Path;
+
+use gpu_sim::{Device, DeviceConfig};
+use proclus::{
+    fast_proclus, fast_proclus_par, fast_star_proclus, proclus, Clustering, DataMatrix, Params,
+};
+use proclus_gpu::{gpu_fast_proclus, gpu_proclus};
+
+use crate::args::{Cli, Command, Engine};
+use crate::report;
+
+/// One sweep entry's outcome.
+pub struct RunOutcome {
+    /// `k` used.
+    pub k: usize,
+    /// The clustering.
+    pub clustering: Clustering,
+    /// CPU wall-clock in ms.
+    pub wall_ms: f64,
+    /// Simulated device time in ms (GPU engines only).
+    pub sim_ms: Option<f64>,
+}
+
+fn device_for(name: &str) -> Result<DeviceConfig, String> {
+    match name {
+        "gtx1660ti" | "1660ti" => Ok(DeviceConfig::gtx_1660_ti()),
+        "rtx3090" | "3090" => Ok(DeviceConfig::rtx_3090()),
+        other => Err(format!("unknown device `{other}` (gtx1660ti | rtx3090)")),
+    }
+}
+
+fn run_engine(
+    engine: Engine,
+    device: &str,
+    data: &DataMatrix,
+    params: &Params,
+) -> Result<(Clustering, Option<f64>), String> {
+    let run_cpu = |f: &dyn Fn() -> proclus::Result<Clustering>| {
+        f().map(|c| (c, None)).map_err(|e| e.to_string())
+    };
+    match engine {
+        Engine::Proclus => run_cpu(&|| proclus(data, params)),
+        Engine::Fast => run_cpu(&|| fast_proclus(data, params)),
+        Engine::FastStar => run_cpu(&|| fast_star_proclus(data, params)),
+        Engine::ParFast => {
+            let threads = std::thread::available_parallelism()
+                .map(|t| t.get())
+                .unwrap_or(1);
+            run_cpu(&|| fast_proclus_par(data, params, threads))
+        }
+        Engine::GpuProclus | Engine::GpuFast => {
+            let mut dev = Device::new(device_for(device)?);
+            let result = if engine == Engine::GpuProclus {
+                gpu_proclus(&mut dev, data, params)
+            } else {
+                gpu_fast_proclus(&mut dev, data, params)
+            };
+            result
+                .map(|c| (c, Some(dev.elapsed_ms())))
+                .map_err(|e| e.to_string())
+        }
+    }
+}
+
+/// Executes a parsed command line. Returns the text to print on success.
+pub fn execute(cli: &Cli) -> Result<String, (i32, String)> {
+    match &cli.command {
+        Command::Help => Ok(crate::args::USAGE.to_string()),
+        Command::Generate {
+            n,
+            d,
+            clusters,
+            subspace_dims,
+            std_dev,
+            noise,
+            seed,
+            out,
+        } => {
+            let cfg = datagen::SyntheticConfig {
+                n: *n,
+                d: *d,
+                num_clusters: *clusters,
+                subspace_dims: (*subspace_dims).min(*d),
+                std_dev: *std_dev,
+                value_range: (0.0, 100.0),
+                noise_fraction: *noise,
+                seed: *seed,
+            };
+            let g = datagen::synthetic::generate(&cfg);
+            datagen::io::write_csv(Path::new(out), &g.data, Some(&g.labels))
+                .map_err(|e| (crate::exit::INVALID, e.to_string()))?;
+            Ok(format!(
+                "wrote {n} x {d} points ({clusters} clusters in {}-d subspaces, {noise} noise) \
+                 with ground-truth labels to {out}\n",
+                cfg.subspace_dims
+            ))
+        }
+        Command::Cluster {
+            input,
+            k,
+            l,
+            engine,
+            device,
+            seed,
+            no_normalize,
+            header,
+            label_col,
+            out,
+            a,
+            b,
+        } => {
+            let loaded = datagen::io::load_csv(Path::new(input), *header, *label_col)
+                .map_err(|e| (crate::exit::INVALID, e.to_string()))?;
+            let mut data = loaded.data;
+            if !*no_normalize {
+                data.minmax_normalize();
+            }
+
+            let mut outcomes = Vec::new();
+            for k in k.values() {
+                let params = Params::new(k, *l).with_a(*a).with_b(*b).with_seed(*seed);
+                params
+                    .validate(&data)
+                    .map_err(|e| (crate::exit::INVALID, e.to_string()))?;
+                let t0 = std::time::Instant::now();
+                let (clustering, sim_ms) = run_engine(*engine, device, &data, &params)
+                    .map_err(|e| (crate::exit::DEVICE, e))?;
+                outcomes.push(RunOutcome {
+                    k,
+                    clustering,
+                    wall_ms: t0.elapsed().as_secs_f64() * 1e3,
+                    sim_ms,
+                });
+            }
+
+            // Write labels of the best (lowest refined cost) run.
+            let best = outcomes
+                .iter()
+                .min_by(|x, y| {
+                    x.clustering
+                        .refined_cost
+                        .total_cmp(&y.clustering.refined_cost)
+                })
+                .expect("at least one k");
+            if let Some(out_path) = out {
+                report::write_labels(Path::new(out_path), &best.clustering.labels)
+                    .map_err(|e| (crate::exit::INVALID, e.to_string()))?;
+            }
+
+            Ok(report::render(
+                &data,
+                *engine,
+                &outcomes,
+                loaded.labels.as_deref(),
+                out.as_deref(),
+            ))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args::Cli;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("proclus-cli-{name}-{}.csv", std::process::id()))
+    }
+
+    fn cli(args: &[&str]) -> Cli {
+        Cli::parse(args.iter().map(|s| s.to_string())).unwrap()
+    }
+
+    #[test]
+    fn generate_then_cluster_roundtrip() {
+        let data_path = tmp("gen");
+        let labels_path = tmp("labels");
+        let gen = cli(&[
+            "generate",
+            "--n",
+            "500",
+            "--d",
+            "6",
+            "--clusters",
+            "3",
+            "--subspace-dims",
+            "3",
+            "--out",
+            data_path.to_str().unwrap(),
+        ]);
+        let msg = execute(&gen).unwrap();
+        assert!(msg.contains("500 x 6"));
+
+        let cluster = cli(&[
+            "cluster",
+            data_path.to_str().unwrap(),
+            "--k",
+            "3",
+            "--l",
+            "3",
+            "--a",
+            "20",
+            "--b",
+            "4",
+            "--label-col",
+            "6",
+            "--out",
+            labels_path.to_str().unwrap(),
+        ]);
+        let out = execute(&cluster).unwrap();
+        assert!(out.contains("k = 3"), "{out}");
+        assert!(out.contains("ARI"), "ground-truth metrics expected: {out}");
+        let written = std::fs::read_to_string(&labels_path).unwrap();
+        assert_eq!(written.lines().count(), 500);
+        std::fs::remove_file(data_path).ok();
+        std::fs::remove_file(labels_path).ok();
+    }
+
+    #[test]
+    fn sweep_reports_every_k() {
+        let data_path = tmp("sweep");
+        execute(&cli(&[
+            "generate",
+            "--n",
+            "400",
+            "--d",
+            "5",
+            "--clusters",
+            "3",
+            "--subspace-dims",
+            "2",
+            "--out",
+            data_path.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let out = execute(&cli(&[
+            "cluster",
+            data_path.to_str().unwrap(),
+            "--k",
+            "2..4",
+            "--l",
+            "2",
+            "--a",
+            "15",
+            "--b",
+            "3",
+            "--label-col",
+            "5",
+        ]))
+        .unwrap();
+        for k in 2..=4 {
+            assert!(
+                out.contains(&format!("k = {k}")),
+                "missing k = {k} in:\n{out}"
+            );
+        }
+        std::fs::remove_file(data_path).ok();
+    }
+
+    #[test]
+    fn gpu_engine_reports_simulated_time() {
+        let data_path = tmp("gpu");
+        execute(&cli(&[
+            "generate",
+            "--n",
+            "600",
+            "--d",
+            "6",
+            "--clusters",
+            "3",
+            "--subspace-dims",
+            "3",
+            "--out",
+            data_path.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let out = execute(&cli(&[
+            "cluster",
+            data_path.to_str().unwrap(),
+            "--k",
+            "3",
+            "--l",
+            "3",
+            "--a",
+            "15",
+            "--b",
+            "3",
+            "--label-col",
+            "6",
+            "--engine",
+            "gpu-fast",
+        ]))
+        .unwrap();
+        assert!(out.contains("simulated"), "{out}");
+        std::fs::remove_file(data_path).ok();
+    }
+
+    #[test]
+    fn missing_file_maps_to_invalid_exit() {
+        let err = execute(&cli(&["cluster", "/no/such/file.csv", "--k", "3"])).unwrap_err();
+        assert_eq!(err.0, crate::exit::INVALID);
+    }
+
+    #[test]
+    fn bad_device_maps_to_device_exit() {
+        let data_path = tmp("dev");
+        execute(&cli(&[
+            "generate",
+            "--n",
+            "300",
+            "--d",
+            "5",
+            "--clusters",
+            "2",
+            "--subspace-dims",
+            "2",
+            "--out",
+            data_path.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let err = execute(&cli(&[
+            "cluster",
+            data_path.to_str().unwrap(),
+            "--k",
+            "2",
+            "--l",
+            "2",
+            "--a",
+            "10",
+            "--b",
+            "3",
+            "--label-col",
+            "5",
+            "--engine",
+            "gpu-fast",
+            "--device",
+            "voodoo2",
+        ]))
+        .unwrap_err();
+        assert_eq!(err.0, crate::exit::DEVICE);
+        std::fs::remove_file(data_path).ok();
+    }
+}

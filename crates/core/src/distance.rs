@@ -1,0 +1,90 @@
+//! The three distance measures PROCLUS uses (§2):
+//!
+//! * full-dimensional **Euclidean** distance — greedy selection, the medoid
+//!   radii `δ_i`, and the spheres `L_i`;
+//! * per-dimension **Manhattan** terms — the `H`/`X` statistics;
+//! * **Manhattan segmental** distance in a subspace — point assignment,
+//!   cluster evaluation and outlier spheres.
+//!
+//! Point values are `f32` (matching the GPU); distances accumulate in `f64`
+//! and are returned as `f32` where the GPU stores them (`Dist`, `δ`) and as
+//! `f64` where they feed cost decisions.
+
+/// Full-dimensional Euclidean distance `‖a − b‖₂`.
+#[inline]
+pub fn euclidean(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut acc = 0.0f64;
+    for (x, y) in a.iter().zip(b) {
+        let diff = (*x - *y) as f64;
+        acc += diff * diff;
+    }
+    acc.sqrt() as f32
+}
+
+/// Full-dimensional Manhattan distance `‖a − b‖₁`.
+#[inline]
+pub fn manhattan(a: &[f32], b: &[f32]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| ((*x - *y) as f64).abs()).sum()
+}
+
+/// Manhattan segmental distance in subspace `dims`:
+/// `‖a − b‖₁^D / |D|` (§2). `dims` must be non-empty.
+#[inline]
+pub fn manhattan_segmental(a: &[f32], b: &[f32], dims: &[usize]) -> f64 {
+    debug_assert!(!dims.is_empty());
+    let mut acc = 0.0f64;
+    for &j in dims {
+        acc += ((a[j] - b[j]) as f64).abs();
+    }
+    acc / dims.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn euclidean_matches_hand_computation() {
+        let a = [0.0, 3.0];
+        let b = [4.0, 0.0];
+        assert!((euclidean(&a, &b) - 5.0).abs() < 1e-6);
+        assert_eq!(euclidean(&a, &a), 0.0);
+    }
+
+    #[test]
+    fn manhattan_matches_hand_computation() {
+        assert_eq!(manhattan(&[1.0, -2.0], &[4.0, 2.0]), 7.0);
+    }
+
+    #[test]
+    fn segmental_averages_over_selected_dims_only() {
+        let a = [0.0, 10.0, 2.0, 100.0];
+        let b = [1.0, 10.0, 5.0, -100.0];
+        // dims {0, 2}: (1 + 3) / 2
+        assert_eq!(manhattan_segmental(&a, &b, &[0, 2]), 2.0);
+        // the excluded wild dim 3 must not matter
+        assert_eq!(manhattan_segmental(&a, &b, &[1]), 0.0);
+    }
+
+    #[test]
+    fn distances_are_symmetric() {
+        let a = [1.5, -0.25, 3.0];
+        let b = [0.5, 2.0, -1.0];
+        assert_eq!(euclidean(&a, &b), euclidean(&b, &a));
+        assert_eq!(manhattan(&a, &b), manhattan(&b, &a));
+        assert_eq!(
+            manhattan_segmental(&a, &b, &[0, 2]),
+            manhattan_segmental(&b, &a, &[0, 2])
+        );
+    }
+
+    #[test]
+    fn triangle_inequality_euclidean_smoke() {
+        let a = [0.0, 0.0];
+        let b = [1.0, 1.0];
+        let c = [2.0, 0.5];
+        assert!(euclidean(&a, &c) <= euclidean(&a, &b) + euclidean(&b, &c) + 1e-6);
+    }
+}

@@ -1,0 +1,151 @@
+//! The medoid-search driver shared by every CPU variant.
+//!
+//! All PROCLUS variants differ *only* in how the averaged per-dimension
+//! distance matrix `X` (and the sphere sizes `|L_i|`) are produced each
+//! iteration — recomputed from scratch (baseline), served from the
+//! `Dist`/`H` caches (FAST, §3), or from the slot-local caches (FAST*,
+//! §3.2). Everything else — dimension selection, assignment, evaluation,
+//! bad-medoid replacement, termination, refinement — is identical, so it
+//! lives here once. That is also what guarantees the seed-for-seed
+//! equivalence the paper asserts ("all our results are fully correct with
+//! respect to the PROCLUS definition", §4.1).
+
+use crate::dataset::DataMatrix;
+use crate::error::Result;
+use crate::par::Executor;
+use crate::params::Params;
+use crate::phases::assign::{assign_points, cluster_sizes};
+use crate::phases::bad_medoids::{compute_bad_medoids, replace_bad_medoids};
+use crate::phases::evaluate::evaluate_clusters;
+use crate::phases::find_dimensions::find_dimensions;
+use crate::phases::initialization::{greedy_select, sample_data_prime};
+use crate::phases::refinement::{remove_outliers, x_from_clusters};
+use crate::result::Clustering;
+use crate::rng::ProclusRng;
+
+/// Strategy object producing `X` and `|L|` for the current medoids.
+///
+/// `m_data` holds the data indices of all potential medoids `M`; `mcur`
+/// holds the current medoids as indices into `m_data` (the paper's `MIdx`).
+pub(crate) trait XEngine {
+    fn x_matrix(
+        &mut self,
+        data: &DataMatrix,
+        m_data: &[usize],
+        mcur: &[usize],
+        exec: &Executor,
+    ) -> (Vec<f64>, Vec<usize>);
+}
+
+/// Runs the initialization phase: sample `Data'` and greedily select `M`.
+/// Returns the data indices of the potential medoids.
+pub(crate) fn initialization_phase(
+    data: &DataMatrix,
+    params: &Params,
+    rng: &mut ProclusRng,
+    exec: &Executor,
+) -> Vec<usize> {
+    let sample = sample_data_prime(rng, data.n(), params.sample_size(data.n()));
+    let m_count = params.num_potential_medoids(data.n());
+    greedy_select(data, &sample, m_count, rng, exec)
+}
+
+/// Runs the iterative + refinement phases given an already-selected `M`.
+///
+/// `init_mcur` (indices into `m_data`) overrides the random initial medoid
+/// set — used by multi-parameter level 3 to warm-start from the previous
+/// setting's best medoids (§3.1). Returns the clustering together with the
+/// best medoids as indices into `m_data`, which the warm start needs.
+pub(crate) fn run_core<E: XEngine>(
+    data: &DataMatrix,
+    params: &Params,
+    exec: &Executor,
+    rng: &mut ProclusRng,
+    engine: &mut E,
+    m_data: &[usize],
+    init_mcur: Option<Vec<usize>>,
+) -> Result<(Clustering, Vec<usize>)> {
+    let k = params.k;
+    let (n, d) = (data.n(), data.d());
+    let m_len = m_data.len();
+
+    let mut mcur = match init_mcur {
+        Some(m) => {
+            debug_assert_eq!(m.len(), k);
+            m
+        }
+        None => rng.sample_distinct(m_len, k),
+    };
+
+    let mut best_cost = f64::INFINITY;
+    let mut best_mcur = mcur.clone();
+    let mut best_labels: Vec<i32> = Vec::new();
+    let mut itr = 0usize;
+    let mut total = 0usize;
+    let mut converged = false;
+
+    // Iterative phase (Alg. 1 lines 5–14).
+    loop {
+        let medoids: Vec<usize> = mcur.iter().map(|&mi| m_data[mi]).collect();
+        let (x, _lsz) = engine.x_matrix(data, m_data, &mcur, exec);
+        let dims = find_dimensions(&x, k, d, params.l);
+        let labels = assign_points(data, &medoids, &dims, exec);
+        let cost = evaluate_clusters(data, &labels, &dims, exec);
+        total += 1;
+
+        if cost < best_cost {
+            best_cost = cost;
+            best_mcur = mcur.clone();
+            best_labels = labels;
+            itr = 0;
+        } else {
+            itr += 1;
+        }
+
+        if itr >= params.itr_pat {
+            converged = true;
+            break;
+        }
+        if total >= params.max_total_iterations {
+            break;
+        }
+
+        let best_sizes = cluster_sizes(&best_labels, k);
+        let bad = compute_bad_medoids(&best_sizes, n, params.min_dev, params.bad_medoid_rule);
+        mcur = replace_bad_medoids(&best_mcur, &bad, m_len, rng);
+    }
+
+    // Refinement phase (Alg. 1 lines 15–19): L ← CBest.
+    let medoids: Vec<usize> = best_mcur.iter().map(|&mi| m_data[mi]).collect();
+    let (x, _) = x_from_clusters(data, &medoids, &best_labels, exec);
+    let dims = find_dimensions(&x, k, d, params.l);
+    let labels = assign_points(data, &medoids, &dims, exec);
+    let refined_cost = evaluate_clusters(data, &labels, &dims, exec);
+    let labels = remove_outliers(data, &labels, &medoids, &dims, exec);
+
+    Ok((
+        Clustering {
+            medoids,
+            subspaces: dims,
+            labels,
+            cost: best_cost,
+            refined_cost,
+            iterations: total,
+            converged,
+        },
+        best_mcur,
+    ))
+}
+
+/// Convenience: full run (init + iterate + refine) with a given engine.
+pub(crate) fn run_full<E: XEngine>(
+    data: &DataMatrix,
+    params: &Params,
+    exec: &Executor,
+    engine: &mut E,
+) -> Result<Clustering> {
+    params.validate(data)?;
+    let mut rng = ProclusRng::new(params.seed);
+    let m_data = initialization_phase(data, params, &mut rng, exec);
+    run_core(data, params, exec, &mut rng, engine, &m_data, None).map(|(c, _)| c)
+}

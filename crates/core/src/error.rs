@@ -1,0 +1,57 @@
+//! Error type for the PROCLUS algorithm family.
+
+use std::fmt;
+
+/// Result alias for PROCLUS operations.
+pub type Result<T> = std::result::Result<T, ProclusError>;
+
+/// Errors raised when configuring or running PROCLUS.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProclusError {
+    /// Parameter validation failed (see the message for the constraint).
+    InvalidParams {
+        /// Which constraint was violated and with what values.
+        reason: String,
+    },
+    /// The dataset is unusable (empty, zero-dimensional, or non-finite).
+    InvalidData {
+        /// What is wrong with the data.
+        reason: String,
+    },
+}
+
+impl ProclusError {
+    pub(crate) fn params(reason: impl Into<String>) -> Self {
+        ProclusError::InvalidParams {
+            reason: reason.into(),
+        }
+    }
+
+    pub(crate) fn data(reason: impl Into<String>) -> Self {
+        ProclusError::InvalidData {
+            reason: reason.into(),
+        }
+    }
+}
+
+impl fmt::Display for ProclusError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProclusError::InvalidParams { reason } => write!(f, "invalid parameters: {reason}"),
+            ProclusError::InvalidData { reason } => write!(f, "invalid data: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for ProclusError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_reason() {
+        let e = ProclusError::params("k must be >= 2");
+        assert!(e.to_string().contains("k must be >= 2"));
+    }
+}

@@ -1,0 +1,74 @@
+//! # proclus — the PROCLUS projected-clustering family on the CPU
+//!
+//! A faithful Rust implementation of PROCLUS (Aggarwal et al., SIGMOD '99)
+//! and of the algorithmic accelerations from *GPU-FAST-PROCLUS* (Jørgensen
+//! et al., EDBT '22):
+//!
+//! * [`proclus`] — the baseline: sample → greedy medoid candidates →
+//!   iterative medoid search (ComputeL, FindDimensions, AssignPoints,
+//!   EvaluateClusters, bad-medoid replacement) → refinement with outlier
+//!   removal.
+//! * [`fast_proclus`] — FAST-PROCLUS (§3): distances to potential medoids
+//!   computed once and cached (`Dist`/`DistFound`), and the per-dimension
+//!   distance sums `H` maintained incrementally from the sphere delta
+//!   `ΔL_i` (Theorems 3.1/3.2).
+//! * [`fast_star_proclus`] — FAST*-PROCLUS (§3.2): the space-reduced
+//!   variant keeping only the current `k` medoids' caches.
+//! * `*_par` variants — the paper's multi-core CPU parallelizations
+//!   (per-thread partials + reduction, the OpenMP structure) built on
+//!   [`par::Executor`].
+//! * [`multi_param`] — running a grid of `(k, l)` settings with the three
+//!   cumulative reuse levels of §3.1.
+//!
+//! All variants are driven by the same seeded search path: for equal
+//! [`Params::seed`] they visit the same medoid sets and return the same
+//! clustering (up to floating-point reduction order), which the integration
+//! tests assert. The GPU counterparts live in the `proclus-gpu` crate.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use proclus::{fast_proclus, DataMatrix, Params};
+//!
+//! // Two clusters along dim 0 of 3-D data.
+//! let rows: Vec<Vec<f32>> = (0..300)
+//!     .map(|i| {
+//!         let c = (i % 2) as f32 * 20.0;
+//!         vec![c + (i % 5) as f32 * 0.1, (i % 11) as f32, c + (i % 3) as f32 * 0.1]
+//!     })
+//!     .collect();
+//! let data = DataMatrix::from_rows(&rows).unwrap();
+//! let params = Params::new(2, 2).with_a(30).with_b(5).with_seed(42);
+//! let clustering = fast_proclus(&data, &params).unwrap();
+//! assert_eq!(clustering.k(), 2);
+//! assert_eq!(clustering.labels.len(), 300);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod baseline;
+pub mod dataset;
+pub mod distance;
+mod driver;
+pub mod error;
+pub mod fast;
+pub mod fast_star;
+pub mod metrics;
+pub mod metrics_subspace;
+pub mod multi_param;
+pub mod par;
+pub mod params;
+pub mod phases;
+pub mod result;
+pub mod rng;
+
+pub use baseline::{proclus, proclus_par};
+pub use dataset::DataMatrix;
+pub use error::{ProclusError, Result};
+pub use fast::{fast_proclus, fast_proclus_par};
+pub use fast_star::{fast_star_proclus, fast_star_proclus_par};
+pub use multi_param::{default_grid, fast_proclus_multi, proclus_multi, ReuseLevel, Setting};
+pub use params::{BadMedoidRule, Params};
+pub use result::{Clustering, OUTLIER};
+pub use rng::ProclusRng;

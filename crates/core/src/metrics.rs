@@ -1,0 +1,170 @@
+//! External cluster-quality metrics, used by the test suite to verify that
+//! all algorithm variants recover planted subspace clusters (the paper
+//! argues correctness by construction — "GPU-PROCLUS and all the algorithmic
+//! strategies produce the same clustering as PROCLUS", §5.1 — so quality is
+//! only needed as a sanity check, not as an evaluation metric).
+//!
+//! Labels may contain `-1` (outliers/noise); such points are treated as one
+//! extra cluster of their own so no information is silently dropped.
+
+use std::collections::HashMap;
+
+/// A contingency table between two labelings over the same points.
+#[derive(Debug, Clone)]
+pub struct Contingency {
+    counts: HashMap<(i32, i32), usize>,
+    row_sums: HashMap<i32, usize>,
+    col_sums: HashMap<i32, usize>,
+    n: usize,
+}
+
+impl Contingency {
+    /// Builds the table. Panics if the label slices differ in length.
+    pub fn new(truth: &[i32], pred: &[i32]) -> Self {
+        assert_eq!(truth.len(), pred.len(), "label arrays must align");
+        let mut counts = HashMap::new();
+        let mut row_sums = HashMap::new();
+        let mut col_sums = HashMap::new();
+        for (&t, &p) in truth.iter().zip(pred) {
+            *counts.entry((t, p)).or_insert(0) += 1;
+            *row_sums.entry(t).or_insert(0) += 1;
+            *col_sums.entry(p).or_insert(0) += 1;
+        }
+        Self {
+            counts,
+            row_sums,
+            col_sums,
+            n: truth.len(),
+        }
+    }
+
+    /// Number of points.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+}
+
+fn choose2(x: usize) -> f64 {
+    (x as f64) * (x as f64 - 1.0) / 2.0
+}
+
+/// Adjusted Rand Index in `[-1, 1]`; `1` means identical partitions,
+/// `≈ 0` means chance-level agreement.
+pub fn adjusted_rand_index(truth: &[i32], pred: &[i32]) -> f64 {
+    let c = Contingency::new(truth, pred);
+    if c.n < 2 {
+        return 1.0;
+    }
+    let sum_cells: f64 = c.counts.values().map(|&v| choose2(v)).sum();
+    let sum_rows: f64 = c.row_sums.values().map(|&v| choose2(v)).sum();
+    let sum_cols: f64 = c.col_sums.values().map(|&v| choose2(v)).sum();
+    let total = choose2(c.n);
+    let expected = sum_rows * sum_cols / total;
+    let max_index = 0.5 * (sum_rows + sum_cols);
+    if (max_index - expected).abs() < 1e-15 {
+        return 1.0;
+    }
+    (sum_cells - expected) / (max_index - expected)
+}
+
+/// Normalized Mutual Information in `[0, 1]` (square-root normalization).
+pub fn normalized_mutual_information(truth: &[i32], pred: &[i32]) -> f64 {
+    let c = Contingency::new(truth, pred);
+    let n = c.n as f64;
+    if c.row_sums.len() <= 1 && c.col_sums.len() <= 1 {
+        return 1.0;
+    }
+    let mut mi = 0.0f64;
+    for (&(t, p), &v) in &c.counts {
+        let pij = v as f64 / n;
+        let pi = c.row_sums[&t] as f64 / n;
+        let pj = c.col_sums[&p] as f64 / n;
+        if pij > 0.0 {
+            mi += pij * (pij / (pi * pj)).ln();
+        }
+    }
+    let h = |sums: &HashMap<i32, usize>| -> f64 {
+        sums.values()
+            .map(|&v| {
+                let p = v as f64 / n;
+                -p * p.ln()
+            })
+            .sum()
+    };
+    let ht = h(&c.row_sums);
+    let hp = h(&c.col_sums);
+    if ht <= 0.0 || hp <= 0.0 {
+        return 0.0;
+    }
+    (mi / (ht * hp).sqrt()).clamp(0.0, 1.0)
+}
+
+/// Purity in `(0, 1]`: the fraction of points in the majority-truth class
+/// of their predicted cluster.
+pub fn purity(truth: &[i32], pred: &[i32]) -> f64 {
+    let c = Contingency::new(truth, pred);
+    let mut best: HashMap<i32, usize> = HashMap::new();
+    for (&(_, p), &v) in &c.counts {
+        let e = best.entry(p).or_insert(0);
+        *e = (*e).max(v);
+    }
+    best.values().sum::<usize>() as f64 / c.n as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_partitions_score_one() {
+        let a = vec![0, 0, 1, 1, 2, 2];
+        assert!((adjusted_rand_index(&a, &a) - 1.0).abs() < 1e-12);
+        assert!((normalized_mutual_information(&a, &a) - 1.0).abs() < 1e-12);
+        assert_eq!(purity(&a, &a), 1.0);
+    }
+
+    #[test]
+    fn permuted_labels_still_score_one() {
+        let truth = vec![0, 0, 1, 1, 2, 2];
+        let pred = vec![2, 2, 0, 0, 1, 1];
+        assert!((adjusted_rand_index(&truth, &pred) - 1.0).abs() < 1e-12);
+        assert!((normalized_mutual_information(&truth, &pred) - 1.0).abs() < 1e-12);
+        assert_eq!(purity(&truth, &pred), 1.0);
+    }
+
+    #[test]
+    fn random_disagreement_scores_near_zero_ari() {
+        // Orthogonal partitions of a 4-element grid repeated.
+        let truth: Vec<i32> = (0..400).map(|i| i % 2).collect();
+        let pred: Vec<i32> = (0..400).map(|i| (i / 2) % 2).collect();
+        let ari = adjusted_rand_index(&truth, &pred);
+        assert!(ari.abs() < 0.05, "ari = {ari}");
+    }
+
+    #[test]
+    fn one_big_cluster_has_low_ari_but_full_purity_inverse() {
+        let truth = vec![0, 0, 1, 1];
+        let pred = vec![0, 0, 0, 0];
+        assert!(adjusted_rand_index(&truth, &pred) <= 0.0 + 1e-12);
+        assert_eq!(purity(&truth, &pred), 0.5);
+    }
+
+    #[test]
+    fn outlier_label_is_its_own_cluster() {
+        let truth = vec![0, 0, 1, 1];
+        let pred = vec![0, 0, 1, -1];
+        let ari = adjusted_rand_index(&truth, &pred);
+        assert!(ari < 1.0 && ari > 0.0);
+    }
+
+    #[test]
+    fn metric_symmetry_ari() {
+        let a = vec![0, 1, 0, 2, 2, 1, 0];
+        let b = vec![1, 1, 0, 0, 2, 2, 0];
+        assert!((adjusted_rand_index(&a, &b) - adjusted_rand_index(&b, &a)).abs() < 1e-12);
+        assert!(
+            (normalized_mutual_information(&a, &b) - normalized_mutual_information(&b, &a)).abs()
+                < 1e-12
+        );
+    }
+}

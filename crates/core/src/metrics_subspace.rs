@@ -1,0 +1,412 @@
+//! Subspace-aware external quality metrics: RNIA and CE.
+//!
+//! The paper situates PROCLUS in the evaluation framework of Müller et al.
+//! ("Evaluating clustering in subspace projections of high dimensional
+//! data", VLDB 2009 — the paper's \[26\]), whose headline metrics compare
+//! clusterings as sets of *micro-objects*: a cluster `(C_i, D_i)` covers
+//! the cell `(p, j)` for every member point `p` and subspace dimension
+//! `j ∈ D_i`. Full-space metrics like ARI cannot distinguish a clustering
+//! that found the right points in the wrong dimensions; these can.
+//!
+//! * **RNIA** (Relative Non-Intersecting Area), reported here as the score
+//!   `1 − (U − I) / U`: the fraction of the union of covered cells that
+//!   both clusterings cover. `1` = identical coverage.
+//! * **CE** (Clustering Error), reported as `1 − D_max / U`: like RNIA but
+//!   cells only count when they fall in clusters *matched one-to-one*
+//!   between the two clusterings (maximum-weight bipartite matching), so
+//!   splitting or merging clusters is penalized even when coverage agrees.
+//!
+//! Both are symmetric in their arguments. The assignment problem inside CE
+//! is solved exactly with the Hungarian algorithm ([`hungarian`]), a small
+//! substrate of its own.
+
+use std::collections::HashMap;
+
+/// A subspace cluster for metric purposes: member point indices and the
+/// dimensions of its projection. Members and dims need not be sorted;
+/// duplicates are ignored.
+#[derive(Debug, Clone, Default)]
+pub struct SubspaceCluster {
+    /// Point indices belonging to the cluster.
+    pub points: Vec<usize>,
+    /// Dimensions of the cluster's subspace.
+    pub dims: Vec<usize>,
+}
+
+impl SubspaceCluster {
+    /// Creates a cluster from members and subspace dims.
+    pub fn new(points: Vec<usize>, dims: Vec<usize>) -> Self {
+        Self { points, dims }
+    }
+
+    /// Number of covered micro-cells `|points| × |dims|` (after dedup).
+    fn cells(&self) -> Vec<(usize, usize)> {
+        let mut pts = self.points.clone();
+        pts.sort_unstable();
+        pts.dedup();
+        let mut dims = self.dims.clone();
+        dims.sort_unstable();
+        dims.dedup();
+        let mut cells = Vec::with_capacity(pts.len() * dims.len());
+        for &p in &pts {
+            for &j in &dims {
+                cells.push((p, j));
+            }
+        }
+        cells
+    }
+}
+
+/// Builds [`SubspaceCluster`]s from a label array plus per-cluster dims
+/// (the shape [`crate::Clustering`] provides). Outliers (negative labels)
+/// cover no cells, as in the framework.
+pub fn clusters_from_labels(labels: &[i32], subspaces: &[Vec<usize>]) -> Vec<SubspaceCluster> {
+    let mut out: Vec<SubspaceCluster> = subspaces
+        .iter()
+        .map(|d| SubspaceCluster::new(Vec::new(), d.clone()))
+        .collect();
+    for (p, &c) in labels.iter().enumerate() {
+        if c >= 0 {
+            out[c as usize].points.push(p);
+        }
+    }
+    out
+}
+
+fn coverage_count(clusters: &[SubspaceCluster]) -> HashMap<(usize, usize), u32> {
+    let mut cov: HashMap<(usize, usize), u32> = HashMap::new();
+    for c in clusters {
+        for cell in c.cells() {
+            *cov.entry(cell).or_insert(0) += 1;
+        }
+    }
+    cov
+}
+
+/// RNIA score in `[0, 1]`: `I / U` over micro-cells, counting multiplicity
+/// (a cell covered twice on one side needs to be covered twice on the
+/// other to intersect fully). Returns `1.0` when both clusterings cover
+/// nothing.
+pub fn rnia(truth: &[SubspaceCluster], found: &[SubspaceCluster]) -> f64 {
+    let a = coverage_count(truth);
+    let b = coverage_count(found);
+    let mut intersection = 0u64;
+    let mut union = 0u64;
+    for (cell, &ca) in &a {
+        let cb = b.get(cell).copied().unwrap_or(0);
+        intersection += ca.min(cb) as u64;
+        union += ca.max(cb) as u64;
+    }
+    for (cell, &cb) in &b {
+        if !a.contains_key(cell) {
+            union += cb as u64;
+        }
+    }
+    if union == 0 {
+        return 1.0;
+    }
+    intersection as f64 / union as f64
+}
+
+/// CE score in `[0, 1]`: micro-cell agreement restricted to an optimal
+/// one-to-one matching of clusters. Returns `1.0` when both clusterings
+/// cover nothing.
+pub fn ce(truth: &[SubspaceCluster], found: &[SubspaceCluster]) -> f64 {
+    // Union size (with multiplicity, as in RNIA).
+    let a = coverage_count(truth);
+    let b = coverage_count(found);
+    let mut union = 0u64;
+    for (cell, &ca) in &a {
+        union += ca.max(b.get(cell).copied().unwrap_or(0)) as u64;
+    }
+    for (cell, &cb) in &b {
+        if !a.contains_key(cell) {
+            union += cb as u64;
+        }
+    }
+    if union == 0 {
+        return 1.0;
+    }
+
+    // Pairwise shared-cell counts as the assignment weight matrix.
+    let n = truth.len().max(found.len());
+    let mut weights = vec![vec![0i64; n]; n];
+    let found_sets: Vec<HashMap<(usize, usize), u32>> = found
+        .iter()
+        .map(|c| {
+            let mut m = HashMap::new();
+            for cell in c.cells() {
+                *m.entry(cell).or_insert(0) += 1;
+            }
+            m
+        })
+        .collect();
+    for (i, t) in truth.iter().enumerate() {
+        for cell in t.cells() {
+            for (j, f) in found_sets.iter().enumerate() {
+                if f.contains_key(&cell) {
+                    weights[i][j] += 1;
+                }
+            }
+        }
+    }
+    let matching = hungarian::max_weight_assignment(&weights);
+    let matched: i64 = matching
+        .iter()
+        .enumerate()
+        .map(|(i, &j)| weights[i][j])
+        .sum();
+    matched as f64 / union as f64
+}
+
+/// The Hungarian (Kuhn–Munkres) algorithm for square maximum-weight
+/// assignment — the exact matcher CE requires. `O(n³)`.
+pub mod hungarian {
+    /// Returns, for each row `i`, the column assigned to it, maximizing the
+    /// total weight over all perfect matchings of the square matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is not square (all rows as long as `w`).
+    pub fn max_weight_assignment(w: &[Vec<i64>]) -> Vec<usize> {
+        let n = w.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        for row in w {
+            assert_eq!(row.len(), n, "weight matrix must be square");
+        }
+        // Classic O(n^3) shortest-augmenting-path formulation on the
+        // *cost* matrix (negated weights), with potentials. 1-indexed
+        // internal arrays per the standard presentation.
+        let inf = i64::MAX / 4;
+        let cost = |i: usize, j: usize| -w[i][j];
+        let mut u = vec![0i64; n + 1];
+        let mut v = vec![0i64; n + 1];
+        let mut p = vec![0usize; n + 1]; // p[j] = row matched to column j
+        let mut way = vec![0usize; n + 1];
+        for i in 1..=n {
+            p[0] = i;
+            let mut j0 = 0usize;
+            let mut minv = vec![inf; n + 1];
+            let mut used = vec![false; n + 1];
+            loop {
+                used[j0] = true;
+                let i0 = p[j0];
+                let mut delta = inf;
+                let mut j1 = 0usize;
+                for j in 1..=n {
+                    if !used[j] {
+                        let cur = cost(i0 - 1, j - 1) - u[i0] - v[j];
+                        if cur < minv[j] {
+                            minv[j] = cur;
+                            way[j] = j0;
+                        }
+                        if minv[j] < delta {
+                            delta = minv[j];
+                            j1 = j;
+                        }
+                    }
+                }
+                for j in 0..=n {
+                    if used[j] {
+                        u[p[j]] += delta;
+                        v[j] -= delta;
+                    } else {
+                        minv[j] -= delta;
+                    }
+                }
+                j0 = j1;
+                if p[j0] == 0 {
+                    break;
+                }
+            }
+            loop {
+                let j1 = way[j0];
+                p[j0] = p[j1];
+                j0 = j1;
+                if j0 == 0 {
+                    break;
+                }
+            }
+        }
+        let mut assignment = vec![0usize; n];
+        for j in 1..=n {
+            if p[j] > 0 {
+                assignment[p[j] - 1] = j - 1;
+            }
+        }
+        assignment
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        fn total(w: &[Vec<i64>], a: &[usize]) -> i64 {
+            a.iter().enumerate().map(|(i, &j)| w[i][j]).sum()
+        }
+
+        #[test]
+        fn picks_the_obvious_diagonal() {
+            let w = vec![vec![10, 1, 1], vec![1, 10, 1], vec![1, 1, 10]];
+            assert_eq!(max_weight_assignment(&w), vec![0, 1, 2]);
+        }
+
+        #[test]
+        fn handles_permuted_optimum() {
+            let w = vec![vec![1, 9, 1], vec![9, 1, 1], vec![1, 1, 9]];
+            let a = max_weight_assignment(&w);
+            assert_eq!(a, vec![1, 0, 2]);
+            assert_eq!(total(&w, &a), 27);
+        }
+
+        #[test]
+        fn beats_greedy_when_greedy_is_suboptimal() {
+            // Greedy takes (0,0)=8 then is stuck with 1+1=10 total;
+            // optimal is 7+7+2 = 16.
+            let w = vec![vec![8, 7, 1], vec![7, 1, 1], vec![2, 1, 2]];
+            let a = max_weight_assignment(&w);
+            assert!(total(&w, &a) >= 16, "got {}", total(&w, &a));
+        }
+
+        #[test]
+        fn empty_matrix() {
+            assert!(max_weight_assignment(&[]).is_empty());
+        }
+
+        #[test]
+        fn assignment_is_a_permutation_on_random_matrices() {
+            // Deterministic pseudo-random matrices; verify permutation and
+            // optimality vs. brute force for n = 4.
+            for seed in 0..20u64 {
+                let n = 4;
+                let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+                let mut next = || {
+                    state ^= state << 13;
+                    state ^= state >> 7;
+                    state ^= state << 17;
+                    (state % 50) as i64
+                };
+                let w: Vec<Vec<i64>> = (0..n).map(|_| (0..n).map(|_| next()).collect()).collect();
+                let a = max_weight_assignment(&w);
+                let mut seen = vec![false; n];
+                for &j in &a {
+                    assert!(!seen[j], "duplicate column in {a:?}");
+                    seen[j] = true;
+                }
+                // Brute force all 24 permutations.
+                let mut best = i64::MIN;
+                let mut perm: Vec<usize> = (0..n).collect();
+                loop {
+                    let t: i64 = perm.iter().enumerate().map(|(i, &j)| w[i][j]).sum();
+                    best = best.max(t);
+                    if !next_permutation(&mut perm) {
+                        break;
+                    }
+                }
+                assert_eq!(total(&w, &a), best, "matrix {w:?}");
+            }
+        }
+
+        fn next_permutation(p: &mut [usize]) -> bool {
+            let n = p.len();
+            if n < 2 {
+                return false;
+            }
+            let mut i = n - 1;
+            while i > 0 && p[i - 1] >= p[i] {
+                i -= 1;
+            }
+            if i == 0 {
+                return false;
+            }
+            let mut j = n - 1;
+            while p[j] <= p[i - 1] {
+                j -= 1;
+            }
+            p.swap(i - 1, j);
+            p[i..].reverse();
+            true
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(points: &[usize], dims: &[usize]) -> SubspaceCluster {
+        SubspaceCluster::new(points.to_vec(), dims.to_vec())
+    }
+
+    #[test]
+    fn identical_clusterings_score_one() {
+        let a = vec![c(&[0, 1, 2], &[0, 1]), c(&[3, 4], &[2])];
+        assert_eq!(rnia(&a, &a), 1.0);
+        assert_eq!(ce(&a, &a), 1.0);
+    }
+
+    #[test]
+    fn wrong_dimensions_are_caught_even_with_right_points() {
+        // Same point partition, disjoint subspaces: full-space ARI would be
+        // 1.0, but cell coverage is disjoint.
+        let truth = vec![c(&[0, 1], &[0, 1])];
+        let found = vec![c(&[0, 1], &[2, 3])];
+        assert_eq!(rnia(&truth, &found), 0.0);
+        assert_eq!(ce(&truth, &found), 0.0);
+    }
+
+    #[test]
+    fn partial_dimension_overlap_scores_fractionally() {
+        let truth = vec![c(&[0, 1], &[0, 1])]; // cells: 4
+        let found = vec![c(&[0, 1], &[0])]; // cells: 2, all shared
+                                            // I = 2, U = 4.
+        assert_eq!(rnia(&truth, &found), 0.5);
+        assert_eq!(ce(&truth, &found), 0.5);
+    }
+
+    #[test]
+    fn ce_penalizes_splits_but_rnia_does_not() {
+        // Found splits the true cluster in two; coverage is identical, so
+        // RNIA = 1, but CE can only match one of the halves.
+        let truth = vec![c(&[0, 1, 2, 3], &[0])];
+        let found = vec![c(&[0, 1], &[0]), c(&[2, 3], &[0])];
+        assert_eq!(rnia(&truth, &found), 1.0);
+        assert_eq!(ce(&truth, &found), 0.5);
+    }
+
+    #[test]
+    fn symmetric_in_arguments() {
+        let a = vec![c(&[0, 1, 2], &[0, 1]), c(&[3], &[1, 2])];
+        let b = vec![c(&[0, 1], &[0]), c(&[2, 3], &[1, 2])];
+        assert_eq!(rnia(&a, &b), rnia(&b, &a));
+        assert_eq!(ce(&a, &b), ce(&b, &a));
+    }
+
+    #[test]
+    fn empty_clusterings_score_one() {
+        assert_eq!(rnia(&[], &[]), 1.0);
+        assert_eq!(ce(&[], &[]), 1.0);
+    }
+
+    #[test]
+    fn clusters_from_labels_skips_outliers() {
+        let labels = vec![0, 1, -1, 0];
+        let subs = vec![vec![0], vec![1, 2]];
+        let cl = clusters_from_labels(&labels, &subs);
+        assert_eq!(cl[0].points, vec![0, 3]);
+        assert_eq!(cl[1].points, vec![1]);
+        assert_eq!(cl[1].dims, vec![1, 2]);
+    }
+
+    #[test]
+    fn overlapping_truth_counts_multiplicity() {
+        // A cell covered by two true clusters needs double coverage on the
+        // found side to intersect fully.
+        let truth = vec![c(&[0], &[0]), c(&[0], &[0])];
+        let found_once = vec![c(&[0], &[0])];
+        // I = 1, U = 2.
+        assert_eq!(rnia(&truth, &found_once), 0.5);
+    }
+}

@@ -1,0 +1,177 @@
+//! Fork–join parallelism substrate for the multi-core CPU variants.
+//!
+//! The paper parallelizes PROCLUS's hot loops on the CPU with OpenMP
+//! (`#pragma omp parallel for` with per-thread partials followed by a
+//! reduction). This module provides the same structure on crossbeam scoped
+//! threads: [`Executor`] carries the degree of parallelism, and the two
+//! primitives split an index range (or an output slice) into contiguous
+//! chunks, one per worker.
+
+use std::ops::Range;
+
+/// Where loop bodies execute: inline, or forked across `threads` workers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Executor {
+    /// Run loop bodies inline on the calling thread.
+    Sequential,
+    /// Fork across this many OS threads (clamped to ≥ 1).
+    Parallel {
+        /// Number of worker threads.
+        threads: usize,
+    },
+}
+
+impl Executor {
+    /// An executor using all available cores.
+    pub fn all_cores() -> Self {
+        Executor::Parallel {
+            threads: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+        }
+    }
+
+    /// The worker count (1 for [`Executor::Sequential`]).
+    pub fn threads(&self) -> usize {
+        match *self {
+            Executor::Sequential => 1,
+            Executor::Parallel { threads } => threads.max(1),
+        }
+    }
+
+    /// Splits `0..len` into one contiguous chunk per worker, runs
+    /// `body(chunk)` on each in parallel, and returns the per-worker states
+    /// (in chunk order) for the caller to reduce.
+    ///
+    /// `make` builds each worker's private accumulator — the OpenMP
+    /// "per-thread partial result" pattern the paper relies on to avoid
+    /// atomic contention.
+    pub fn map_chunks<S, MF, BF>(&self, len: usize, make: MF, body: BF) -> Vec<S>
+    where
+        S: Send,
+        MF: Fn() -> S + Sync,
+        BF: Fn(&mut S, Range<usize>) + Sync,
+    {
+        let workers = self.threads().min(len.max(1));
+        if workers <= 1 || len == 0 {
+            let mut s = make();
+            body(&mut s, 0..len);
+            return vec![s];
+        }
+        let chunk = len.div_ceil(workers);
+        let mut out: Vec<Option<S>> = (0..workers).map(|_| None).collect();
+        crossbeam::thread::scope(|scope| {
+            for (w, slot) in out.iter_mut().enumerate() {
+                let make = &make;
+                let body = &body;
+                scope.spawn(move |_| {
+                    let lo = w * chunk;
+                    let hi = ((w + 1) * chunk).min(len);
+                    let mut s = make();
+                    body(&mut s, lo..hi);
+                    *slot = Some(s);
+                });
+            }
+        })
+        .expect("parallel worker panicked");
+        out.into_iter().map(|s| s.expect("worker state")).collect()
+    }
+
+    /// Splits `out` into one contiguous sub-slice per worker and runs
+    /// `body(global_offset, sub_slice)` on each in parallel. Used for
+    /// loops whose only side effect is writing disjoint output elements
+    /// (e.g. the label array in AssignPoints).
+    pub fn for_each_slice<T, BF>(&self, out: &mut [T], body: BF)
+    where
+        T: Send,
+        BF: Fn(usize, &mut [T]) + Sync,
+    {
+        let len = out.len();
+        let workers = self.threads().min(len.max(1));
+        if workers <= 1 || len == 0 {
+            body(0, out);
+            return;
+        }
+        let chunk = len.div_ceil(workers);
+        crossbeam::thread::scope(|scope| {
+            for (w, sub) in out.chunks_mut(chunk).enumerate() {
+                let body = &body;
+                scope.spawn(move |_| body(w * chunk, sub));
+            }
+        })
+        .expect("parallel worker panicked");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn map_chunks_covers_range_exactly_once() {
+        for exec in [Executor::Sequential, Executor::Parallel { threads: 4 }] {
+            let sums = exec.map_chunks(
+                1000,
+                || 0u64,
+                |acc, range| {
+                    for i in range {
+                        *acc += i as u64;
+                    }
+                },
+            );
+            let total: u64 = sums.into_iter().sum();
+            assert_eq!(total, 999 * 1000 / 2);
+        }
+    }
+
+    #[test]
+    fn map_chunks_handles_len_smaller_than_workers() {
+        let exec = Executor::Parallel { threads: 16 };
+        let sums = exec.map_chunks(3, || 0usize, |acc, r| *acc += r.len());
+        assert_eq!(sums.iter().sum::<usize>(), 3);
+    }
+
+    #[test]
+    fn map_chunks_empty_range() {
+        let exec = Executor::Parallel { threads: 4 };
+        let states = exec.map_chunks(0, || 7u32, |_, _| {});
+        assert_eq!(states, vec![7]);
+    }
+
+    #[test]
+    fn for_each_slice_writes_disjointly() {
+        let exec = Executor::Parallel { threads: 3 };
+        let mut out = vec![0usize; 100];
+        exec.for_each_slice(&mut out, |off, sub| {
+            for (i, v) in sub.iter_mut().enumerate() {
+                *v = off + i;
+            }
+        });
+        assert!(out.iter().enumerate().all(|(i, &v)| v == i));
+    }
+
+    #[test]
+    fn parallel_actually_uses_multiple_threads() {
+        let exec = Executor::Parallel { threads: 4 };
+        let distinct = AtomicUsize::new(0);
+        exec.map_chunks(
+            4000,
+            || false,
+            |seen, _| {
+                if !*seen {
+                    *seen = true;
+                    distinct.fetch_add(1, Ordering::Relaxed);
+                }
+            },
+        );
+        assert!(distinct.load(Ordering::Relaxed) >= 2);
+    }
+
+    #[test]
+    fn executor_thread_counts() {
+        assert_eq!(Executor::Sequential.threads(), 1);
+        assert_eq!(Executor::Parallel { threads: 0 }.threads(), 1);
+        assert!(Executor::all_cores().threads() >= 1);
+    }
+}

@@ -1,0 +1,236 @@
+//! Algorithm parameters and their validation.
+
+use crate::dataset::DataMatrix;
+use crate::error::{ProclusError, Result};
+
+/// How bad medoids are selected at the end of an iteration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BadMedoidRule {
+    /// The EDBT'22 paper's wording (§2.1): medoids whose cluster is smaller
+    /// than `(n/k) · minDev`; if there are none, the single medoid with the
+    /// smallest cluster.
+    #[default]
+    PaperEdbt22,
+    /// The original PROCLUS (SIGMOD'99) rule: the medoid with the smallest
+    /// cluster is always bad, *plus* all medoids below the `(n/k) · minDev`
+    /// threshold.
+    Original99,
+}
+
+/// PROCLUS parameters. Defaults follow the paper's experimental setup
+/// (§5: `k = 10`, `l = 5`, `A = 100`, `B = 10`, `minDev = 0.7`,
+/// `itrPat = 5`).
+///
+/// ```
+/// use proclus::Params;
+/// let p = Params::new(10, 5).with_seed(7).with_a(50);
+/// assert_eq!(p.a, 50);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Params {
+    /// Number of clusters `k`.
+    pub k: usize,
+    /// Average number of dimensions per cluster `l` (must be ≥ 2).
+    pub l: usize,
+    /// Sample-size constant `A`: `|Data'| = A · k`.
+    pub a: usize,
+    /// Potential-medoid constant `B`: `|M| = B · k` (requires `B ≤ A`).
+    pub b: usize,
+    /// Minimum cluster-size deviation threshold in `(0, 1]`.
+    pub min_dev: f64,
+    /// Stop after this many iterations without improvement.
+    pub itr_pat: usize,
+    /// Hard cap on total iterative-phase iterations (safety valve; the
+    /// paper's pseudocode has no bound on total iterations).
+    pub max_total_iterations: usize,
+    /// Seed for all randomized choices; equal seeds make every algorithm
+    /// variant follow the same medoid search path.
+    pub seed: u64,
+    /// Bad-medoid selection rule (see [`BadMedoidRule`]).
+    pub bad_medoid_rule: BadMedoidRule,
+}
+
+impl Params {
+    /// Creates parameters with the paper's defaults for everything but
+    /// `k` and `l`.
+    pub fn new(k: usize, l: usize) -> Self {
+        Self {
+            k,
+            l,
+            a: 100,
+            b: 10,
+            min_dev: 0.7,
+            itr_pat: 5,
+            max_total_iterations: 200,
+            seed: 0xC0FFEE,
+            bad_medoid_rule: BadMedoidRule::default(),
+        }
+    }
+
+    /// Sets the sample constant `A`.
+    pub fn with_a(mut self, a: usize) -> Self {
+        self.a = a;
+        self
+    }
+
+    /// Sets the potential-medoid constant `B`.
+    pub fn with_b(mut self, b: usize) -> Self {
+        self.b = b;
+        self
+    }
+
+    /// Sets the minimum-deviation threshold.
+    pub fn with_min_dev(mut self, min_dev: f64) -> Self {
+        self.min_dev = min_dev;
+        self
+    }
+
+    /// Sets the no-improvement patience.
+    pub fn with_itr_pat(mut self, itr_pat: usize) -> Self {
+        self.itr_pat = itr_pat;
+        self
+    }
+
+    /// Sets the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the hard iteration cap.
+    pub fn with_max_total_iterations(mut self, cap: usize) -> Self {
+        self.max_total_iterations = cap;
+        self
+    }
+
+    /// Sets the bad-medoid rule.
+    pub fn with_bad_medoid_rule(mut self, rule: BadMedoidRule) -> Self {
+        self.bad_medoid_rule = rule;
+        self
+    }
+
+    /// Size of the random sample `Data'`, clamped to the dataset size.
+    pub fn sample_size(&self, n: usize) -> usize {
+        (self.a * self.k).min(n)
+    }
+
+    /// Number of potential medoids `|M| = B · k`, clamped to the sample size.
+    pub fn num_potential_medoids(&self, n: usize) -> usize {
+        (self.b * self.k).min(self.sample_size(n))
+    }
+
+    /// Validates the parameters against a dataset.
+    pub fn validate(&self, data: &DataMatrix) -> Result<()> {
+        if self.k < 2 {
+            return Err(ProclusError::params(format!(
+                "k must be >= 2 (the medoid radius delta_i is the distance \
+                 to the nearest other medoid), got k = {}",
+                self.k
+            )));
+        }
+        if self.l < 2 {
+            return Err(ProclusError::params(format!(
+                "l must be >= 2 (every medoid receives at least two \
+                 dimensions), got l = {}",
+                self.l
+            )));
+        }
+        if self.l > data.d() {
+            return Err(ProclusError::params(format!(
+                "l = {} exceeds the data dimensionality d = {}",
+                self.l,
+                data.d()
+            )));
+        }
+        if self.a == 0 || self.b == 0 {
+            return Err(ProclusError::params("A and B must be positive".to_string()));
+        }
+        if self.b > self.a {
+            return Err(ProclusError::params(format!(
+                "B = {} must not exceed A = {}",
+                self.b, self.a
+            )));
+        }
+        if !(0.0..=1.0).contains(&self.min_dev) || self.min_dev == 0.0 {
+            return Err(ProclusError::params(format!(
+                "minDev must lie in (0, 1], got {}",
+                self.min_dev
+            )));
+        }
+        if self.itr_pat == 0 {
+            return Err(ProclusError::params("itrPat must be positive".to_string()));
+        }
+        if self.max_total_iterations == 0 {
+            return Err(ProclusError::params(
+                "max_total_iterations must be positive".to_string(),
+            ));
+        }
+        if self.num_potential_medoids(data.n()) < self.k {
+            return Err(ProclusError::params(format!(
+                "need at least k = {} potential medoids but the dataset \
+                 only yields {} (n = {})",
+                self.k,
+                self.num_potential_medoids(data.n()),
+                data.n()
+            )));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn data(n: usize, d: usize) -> DataMatrix {
+        DataMatrix::from_flat(vec![0.5; n * d], n, d).unwrap()
+    }
+
+    #[test]
+    fn defaults_match_paper() {
+        let p = Params::new(10, 5);
+        assert_eq!((p.a, p.b), (100, 10));
+        assert_eq!(p.min_dev, 0.7);
+        assert_eq!(p.itr_pat, 5);
+    }
+
+    #[test]
+    fn valid_default_config_passes() {
+        assert!(Params::new(10, 5).validate(&data(5000, 15)).is_ok());
+    }
+
+    #[test]
+    fn rejects_degenerate_k_and_l() {
+        let d = data(1000, 15);
+        assert!(Params::new(1, 5).validate(&d).is_err());
+        assert!(Params::new(10, 1).validate(&d).is_err());
+        assert!(Params::new(10, 16).validate(&d).is_err());
+    }
+
+    #[test]
+    fn rejects_b_greater_than_a() {
+        let p = Params::new(10, 5).with_a(5).with_b(10);
+        assert!(p.validate(&data(1000, 15)).is_err());
+    }
+
+    #[test]
+    fn rejects_bad_min_dev() {
+        let d = data(1000, 15);
+        assert!(Params::new(10, 5).with_min_dev(0.0).validate(&d).is_err());
+        assert!(Params::new(10, 5).with_min_dev(1.5).validate(&d).is_err());
+    }
+
+    #[test]
+    fn sample_sizes_clamp_to_n() {
+        let p = Params::new(10, 5); // A*k = 1000, B*k = 100
+        assert_eq!(p.sample_size(500), 500);
+        assert_eq!(p.num_potential_medoids(500), 100);
+        assert_eq!(p.sample_size(10_000), 1000);
+    }
+
+    #[test]
+    fn tiny_dataset_fails_when_not_enough_medoids() {
+        let p = Params::new(10, 2);
+        assert!(p.validate(&data(5, 4)).is_err());
+    }
+}

@@ -1,0 +1,116 @@
+//! AssignPoints (Alg. 1 line 8, GPU Alg. 5): each point goes to the medoid
+//! with the smallest Manhattan segmental distance within that medoid's
+//! subspace.
+
+use crate::dataset::DataMatrix;
+use crate::distance::manhattan_segmental;
+use crate::par::Executor;
+
+/// Assigns every point to its closest medoid under the Manhattan segmental
+/// distance in the medoid's own subspace `D_i`. Ties break toward the lower
+/// medoid index. Returns per-point labels in `0..k`.
+pub fn assign_points(
+    data: &DataMatrix,
+    medoids: &[usize],
+    subspaces: &[Vec<usize>],
+    exec: &Executor,
+) -> Vec<i32> {
+    debug_assert_eq!(medoids.len(), subspaces.len());
+    let k = medoids.len();
+    let mut labels = vec![0i32; data.n()];
+    exec.for_each_slice(&mut labels, |off, sub| {
+        for (idx, lab) in sub.iter_mut().enumerate() {
+            let row = data.row(off + idx);
+            let mut best = f64::INFINITY;
+            let mut best_i = 0i32;
+            for i in 0..k {
+                let dist = manhattan_segmental(row, data.row(medoids[i]), &subspaces[i]);
+                if dist < best {
+                    best = dist;
+                    best_i = i as i32;
+                }
+            }
+            *lab = best_i;
+        }
+    });
+    labels
+}
+
+/// Cluster sizes from a label array (ignores negative labels).
+pub fn cluster_sizes(labels: &[i32], k: usize) -> Vec<usize> {
+    let mut sizes = vec![0usize; k];
+    for &c in labels {
+        if c >= 0 {
+            sizes[c as usize] += 1;
+        }
+    }
+    sizes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn assigns_by_subspace_distance_not_full_distance() {
+        // Point 2 is far from medoid 0 in dim 1, but dim 1 is outside
+        // medoid 0's subspace, so the point still lands in cluster 0.
+        let data = DataMatrix::from_rows(&[
+            vec![0.0, 0.0],   // medoid 0
+            vec![10.0, 10.0], // medoid 1
+            vec![0.5, 100.0], // near medoid 0 in dim 0 only
+        ])
+        .unwrap();
+        let labels = assign_points(
+            &data,
+            &[0, 1],
+            &[vec![0], vec![0, 1]],
+            &Executor::Sequential,
+        );
+        assert_eq!(labels, vec![0, 1, 0]);
+    }
+
+    #[test]
+    fn medoid_belongs_to_its_own_cluster() {
+        let data =
+            DataMatrix::from_rows(&[vec![0.0, 0.0], vec![5.0, 5.0], vec![9.0, 9.0]]).unwrap();
+        let labels = assign_points(
+            &data,
+            &[0, 2],
+            &[vec![0, 1], vec![0, 1]],
+            &Executor::Sequential,
+        );
+        assert_eq!(labels[0], 0);
+        assert_eq!(labels[2], 1);
+    }
+
+    #[test]
+    fn ties_break_to_lower_medoid_index() {
+        let data = DataMatrix::from_rows(&[
+            vec![0.0],
+            vec![2.0],
+            vec![1.0], // equidistant from both medoids
+        ])
+        .unwrap();
+        let labels = assign_points(&data, &[0, 1], &[vec![0], vec![0]], &Executor::Sequential);
+        assert_eq!(labels[2], 0);
+    }
+
+    #[test]
+    fn parallel_matches_sequential_exactly() {
+        let rows: Vec<Vec<f32>> = (0..300)
+            .map(|i| vec![(i % 23) as f32, (i % 7) as f32, (i % 3) as f32])
+            .collect();
+        let data = DataMatrix::from_rows(&rows).unwrap();
+        let medoids = [0usize, 150, 299];
+        let subs = [vec![0, 1], vec![1, 2], vec![0, 2]];
+        let seq = assign_points(&data, &medoids, &subs, &Executor::Sequential);
+        let par = assign_points(&data, &medoids, &subs, &Executor::Parallel { threads: 5 });
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn cluster_sizes_ignore_outliers() {
+        assert_eq!(cluster_sizes(&[0, 1, -1, 1, 0, 0], 2), vec![3, 2]);
+    }
+}

@@ -1,0 +1,126 @@
+//! Bad-medoid detection and replacement (Alg. 1 lines 13–14).
+
+use crate::params::BadMedoidRule;
+use crate::rng::ProclusRng;
+
+/// Identifies the bad medoid *slots* of the best clustering.
+///
+/// Under [`BadMedoidRule::PaperEdbt22`]: every slot whose cluster is
+/// smaller than `(n/k) · minDev`; if no such slot exists, the single slot
+/// with the smallest cluster (lowest index on ties).
+///
+/// Under [`BadMedoidRule::Original99`]: the smallest cluster's slot is
+/// always bad, plus every slot below the threshold.
+///
+/// The returned slots are sorted and non-empty (the search must always be
+/// able to move).
+pub fn compute_bad_medoids(
+    sizes: &[usize],
+    n: usize,
+    min_dev: f64,
+    rule: BadMedoidRule,
+) -> Vec<usize> {
+    let k = sizes.len();
+    let threshold = (n as f64 / k as f64) * min_dev;
+    let mut bad: Vec<usize> = (0..k).filter(|&i| (sizes[i] as f64) < threshold).collect();
+    let smallest = (0..k)
+        .min_by(|&a, &b| sizes[a].cmp(&sizes[b]).then(a.cmp(&b)))
+        .expect("k >= 1");
+    match rule {
+        BadMedoidRule::PaperEdbt22 => {
+            if bad.is_empty() {
+                bad.push(smallest);
+            }
+        }
+        BadMedoidRule::Original99 => {
+            if !bad.contains(&smallest) {
+                bad.push(smallest);
+                bad.sort_unstable();
+            }
+        }
+    }
+    bad
+}
+
+/// Builds the next `MCur` from `MBest` by replacing the bad slots with
+/// random members of `M` (drawn by index into `M`) that are not already in
+/// use. Good slots keep their position, which is what lets FAST* retain its
+/// per-slot caches (§3.2).
+///
+/// When `M` is large enough, the draw also avoids re-selecting the value
+/// being replaced so the search always moves.
+pub fn replace_bad_medoids(
+    mbest: &[usize],
+    bad_slots: &[usize],
+    m_len: usize,
+    rng: &mut ProclusRng,
+) -> Vec<usize> {
+    let k = mbest.len();
+    let mut mcur = mbest.to_vec();
+    // Can we afford to exclude the old values of the bad slots too?
+    let strict = m_len > k + bad_slots.len();
+    for &slot in bad_slots {
+        let old = mbest[slot];
+        let next = rng.draw_until(m_len, |c| !mcur.contains(&c) && (!strict || c != old));
+        mcur[slot] = next;
+    }
+    mcur
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn below_threshold_slots_are_bad() {
+        // n = 100, k = 4, minDev = 0.7 → threshold 17.5
+        let bad = compute_bad_medoids(&[40, 10, 35, 15], 100, 0.7, BadMedoidRule::PaperEdbt22);
+        assert_eq!(bad, vec![1, 3]);
+    }
+
+    #[test]
+    fn paper_rule_falls_back_to_smallest() {
+        let bad = compute_bad_medoids(&[30, 25, 25, 20], 100, 0.7, BadMedoidRule::PaperEdbt22);
+        assert_eq!(bad, vec![3]);
+    }
+
+    #[test]
+    fn original_rule_always_includes_smallest() {
+        let bad = compute_bad_medoids(&[40, 10, 35, 15], 100, 0.7, BadMedoidRule::Original99);
+        assert_eq!(bad, vec![1, 3]);
+        let bad = compute_bad_medoids(&[30, 25, 25, 20], 100, 0.7, BadMedoidRule::Original99);
+        assert_eq!(bad, vec![3]);
+    }
+
+    #[test]
+    fn smallest_ties_break_to_lowest_slot() {
+        let bad = compute_bad_medoids(&[25, 25, 25, 25], 100, 0.7, BadMedoidRule::PaperEdbt22);
+        assert_eq!(bad, vec![0]);
+    }
+
+    #[test]
+    fn replacement_preserves_good_slots_and_stays_distinct() {
+        let mut rng = ProclusRng::new(17);
+        let mbest = vec![3, 7, 11, 2];
+        for _ in 0..50 {
+            let mcur = replace_bad_medoids(&mbest, &[1, 3], 100, &mut rng);
+            assert_eq!(mcur[0], 3);
+            assert_eq!(mcur[2], 11);
+            assert_ne!(mcur[1], 7, "bad slot must change when M is large");
+            assert_ne!(mcur[3], 2);
+            let set: std::collections::HashSet<_> = mcur.iter().collect();
+            assert_eq!(set.len(), 4, "medoids must stay distinct: {mcur:?}");
+        }
+    }
+
+    #[test]
+    fn replacement_works_when_m_barely_fits() {
+        // m_len = k: only permutations possible; strict mode must disable.
+        let mut rng = ProclusRng::new(5);
+        let mbest = vec![0, 1, 2];
+        let mcur = replace_bad_medoids(&mbest, &[2], 4, &mut rng);
+        let set: std::collections::HashSet<_> = mcur.iter().collect();
+        assert_eq!(set.len(), 3);
+        assert!(mcur.iter().all(|&c| c < 4));
+    }
+}

@@ -1,0 +1,148 @@
+//! ComputeL and the baseline X computation (Alg. 1 line 6, GPU Alg. 3).
+//!
+//! The baseline recomputes, every iteration, the distance from every point
+//! to every current medoid, derives the sphere radii `δ_i` (distance to the
+//! nearest other medoid) and accumulates the per-dimension Manhattan sums
+//! over each sphere `L_i` — the `O(n · k · d)` step FAST-PROCLUS attacks.
+
+use crate::dataset::DataMatrix;
+use crate::distance::euclidean;
+use crate::par::Executor;
+
+/// Sphere radii: `δ_i = min_{j≠i} ‖m_i − m_j‖₂` (ComputeL, first step).
+pub fn medoid_deltas(data: &DataMatrix, medoids: &[usize]) -> Vec<f32> {
+    let k = medoids.len();
+    let mut deltas = vec![f32::INFINITY; k];
+    for i in 0..k {
+        for j in 0..k {
+            if i != j {
+                let dist = euclidean(data.row(medoids[i]), data.row(medoids[j]));
+                if dist < deltas[i] {
+                    deltas[i] = dist;
+                }
+            }
+        }
+    }
+    deltas
+}
+
+/// Baseline ComputeL + the `H`-summation half of FindDimensions in one data
+/// pass: returns the averaged per-dimension distances `X` (row-major
+/// `k × d`) and the sphere sizes `|L_i|`.
+///
+/// `X_{i,j} = (Σ_{p ∈ L_i} |p_j − m_{i,j}|) / |L_i|` where
+/// `L_i = {p : ‖p − m_i‖₂ ≤ δ_i}`.
+pub fn compute_x_baseline(
+    data: &DataMatrix,
+    medoids: &[usize],
+    deltas: &[f32],
+    exec: &Executor,
+) -> (Vec<f64>, Vec<usize>) {
+    let (n, d, k) = (data.n(), data.d(), medoids.len());
+    let parts = exec.map_chunks(
+        n,
+        || (vec![0.0f64; k * d], vec![0usize; k]),
+        |(h, lsz), range| {
+            for p in range {
+                let row = data.row(p);
+                for i in 0..k {
+                    let m_row = data.row(medoids[i]);
+                    if euclidean(row, m_row) <= deltas[i] {
+                        lsz[i] += 1;
+                        let h_row = &mut h[i * d..(i + 1) * d];
+                        for j in 0..d {
+                            h_row[j] += ((row[j] - m_row[j]) as f64).abs();
+                        }
+                    }
+                }
+            }
+        },
+    );
+    reduce_h_to_x(parts, k, d)
+}
+
+/// Reduces per-worker `(H, |L|)` partials (in chunk order) into the
+/// averaged `X` matrix and the sizes. Shared with the refinement phase.
+pub(crate) fn reduce_h_to_x(
+    parts: Vec<(Vec<f64>, Vec<usize>)>,
+    k: usize,
+    d: usize,
+) -> (Vec<f64>, Vec<usize>) {
+    let mut h = vec![0.0f64; k * d];
+    let mut lsz = vec![0usize; k];
+    for (ph, pl) in parts {
+        for (acc, v) in h.iter_mut().zip(&ph) {
+            *acc += v;
+        }
+        for (acc, v) in lsz.iter_mut().zip(&pl) {
+            *acc += v;
+        }
+    }
+    for i in 0..k {
+        if lsz[i] > 0 {
+            let inv = 1.0 / lsz[i] as f64;
+            for x in &mut h[i * d..(i + 1) * d] {
+                *x *= inv;
+            }
+        }
+    }
+    (h, lsz)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line_data() -> DataMatrix {
+        // points at x = 0, 1, 2, 6, 7, 8 in 1-D
+        DataMatrix::from_flat(vec![0.0, 1.0, 2.0, 6.0, 7.0, 8.0], 6, 1).unwrap()
+    }
+
+    #[test]
+    fn deltas_are_nearest_other_medoid() {
+        let data = line_data();
+        let deltas = medoid_deltas(&data, &[0, 2, 5]); // x = 0, 2, 8
+        assert_eq!(deltas, vec![2.0, 2.0, 6.0]);
+    }
+
+    #[test]
+    fn baseline_x_counts_sphere_members() {
+        let data = line_data();
+        let medoids = [1usize, 4]; // x = 1 and x = 7, delta = 6 each
+        let deltas = medoid_deltas(&data, &medoids);
+        assert_eq!(deltas, vec![6.0, 6.0]);
+        let (x, lsz) = compute_x_baseline(&data, &medoids, &deltas, &Executor::Sequential);
+        // Sphere of medoid 0 (x=1, r=6): x in [-5, 7] → points {0,1,2,6,7},
+        // sum of |x - 1| = 1+0+1+5+6 = 13, avg 13/5.
+        assert_eq!(lsz, vec![5, 5]);
+        assert!((x[0] - 13.0 / 5.0).abs() < 1e-12);
+        // Sphere of medoid 1 (x=7, r=6): x in [1, 13] → {1,2,6,7,8}, sum 13.
+        assert!((x[1] - 13.0 / 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sphere_always_contains_the_medoid() {
+        let data = line_data();
+        let medoids = [0usize, 5];
+        let deltas = medoid_deltas(&data, &medoids);
+        let (_, lsz) = compute_x_baseline(&data, &medoids, &deltas, &Executor::Sequential);
+        assert!(lsz.iter().all(|&s| s >= 1));
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let rows: Vec<Vec<f32>> = (0..500)
+            .map(|i| vec![(i % 17) as f32, (i % 5) as f32, i as f32 / 100.0])
+            .collect();
+        let data = DataMatrix::from_rows(&rows).unwrap();
+        let medoids = [3usize, 77, 401];
+        let deltas = medoid_deltas(&data, &medoids);
+        let (xs, ls) = compute_x_baseline(&data, &medoids, &deltas, &Executor::Sequential);
+        let (xp, lp) =
+            compute_x_baseline(&data, &medoids, &deltas, &Executor::Parallel { threads: 4 });
+        assert_eq!(ls, lp);
+        for (a, b) in xs.iter().zip(&xp) {
+            assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+        }
+    }
+}

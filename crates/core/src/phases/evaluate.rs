@@ -1,0 +1,202 @@
+//! EvaluateClusters (Alg. 1 line 9, Eqs. 1–2, GPU Alg. 6): the weighted
+//! average Manhattan segmental distance from each point to its cluster's
+//! *centroid* within the cluster's subspace.
+
+use crate::dataset::DataMatrix;
+use crate::par::Executor;
+
+/// Computes the clustering cost (Eq. 2):
+///
+/// ```text
+/// cost = Σ_i |C_i| · w_i / n,
+/// w_i  = Σ_{j ∈ D_i} V_{i,j} / |D_i|,
+/// V_{i,j} = Σ_{p ∈ C_i} |p_j − µ_{i,j}| / |C_i|
+/// ```
+///
+/// which simplifies to `Σ_i Σ_{j ∈ D_i} Σ_{p ∈ C_i} |p_j − µ_{i,j}| /
+/// (|D_i| · n)` (Eq. 9) — the form the GPU kernel uses. Points with
+/// negative labels (outliers) are excluded from both centroids and cost;
+/// `n` is always the full dataset size, as in the paper. Empty clusters
+/// contribute zero.
+pub fn evaluate_clusters(
+    data: &DataMatrix,
+    labels: &[i32],
+    subspaces: &[Vec<usize>],
+    exec: &Executor,
+) -> f64 {
+    let (n, d, k) = (data.n(), data.d(), subspaces.len());
+    debug_assert_eq!(labels.len(), n);
+
+    // Pass 1: per-cluster sums for the centroids µ_i.
+    let parts = exec.map_chunks(
+        n,
+        || (vec![0.0f64; k * d], vec![0usize; k]),
+        |(sums, counts), range| {
+            for p in range {
+                let c = labels[p];
+                if c < 0 {
+                    continue;
+                }
+                let c = c as usize;
+                counts[c] += 1;
+                let row = data.row(p);
+                let s = &mut sums[c * d..(c + 1) * d];
+                for j in 0..d {
+                    s[j] += row[j] as f64;
+                }
+            }
+        },
+    );
+    let mut mu = vec![0.0f64; k * d];
+    let mut counts = vec![0usize; k];
+    for (ps, pc) in parts {
+        for (acc, v) in mu.iter_mut().zip(&ps) {
+            *acc += v;
+        }
+        for (acc, v) in counts.iter_mut().zip(&pc) {
+            *acc += v;
+        }
+    }
+    for i in 0..k {
+        if counts[i] > 0 {
+            let inv = 1.0 / counts[i] as f64;
+            for v in &mut mu[i * d..(i + 1) * d] {
+                *v *= inv;
+            }
+        }
+    }
+
+    // Pass 2: accumulate Eq. 9.
+    let parts = exec.map_chunks(
+        n,
+        || 0.0f64,
+        |acc, range| {
+            for p in range {
+                let c = labels[p];
+                if c < 0 {
+                    continue;
+                }
+                let c = c as usize;
+                let dims = &subspaces[c];
+                let row = data.row(p);
+                let m = &mu[c * d..(c + 1) * d];
+                let mut s = 0.0f64;
+                for &j in dims {
+                    s += (row[j] as f64 - m[j]).abs();
+                }
+                *acc += s / dims.len() as f64;
+            }
+        },
+    );
+    parts.into_iter().sum::<f64>() / n as f64
+}
+
+/// Centroids of the labeled clusters (row-major `k × d`), exposed for tests
+/// and the GPU cross-checks. Empty clusters yield zero rows.
+pub fn centroids(data: &DataMatrix, labels: &[i32], k: usize) -> Vec<f64> {
+    let d = data.d();
+    let mut mu = vec![0.0f64; k * d];
+    let mut counts = vec![0usize; k];
+    for (p, &c) in labels.iter().enumerate() {
+        if c < 0 {
+            continue;
+        }
+        let c = c as usize;
+        counts[c] += 1;
+        let row = data.row(p);
+        for j in 0..d {
+            mu[c * d + j] += row[j] as f64;
+        }
+    }
+    for i in 0..k {
+        if counts[i] > 0 {
+            let inv = 1.0 / counts[i] as f64;
+            for v in &mut mu[i * d..(i + 1) * d] {
+                *v *= inv;
+            }
+        }
+    }
+    mu
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cost_matches_hand_computation() {
+        // Cluster 0: points 0,1 in dim {0}; centroid 0.5 → V = 0.5, w = 0.5.
+        // Cluster 1: points 2,3 in dim {1}; centroid 5.5 → V = 0.5, w = 0.5.
+        // cost = (2*0.5 + 2*0.5) / 4 = 0.5
+        let data = DataMatrix::from_rows(&[
+            vec![0.0, 9.0],
+            vec![1.0, 3.0],
+            vec![7.0, 5.0],
+            vec![2.0, 6.0],
+        ])
+        .unwrap();
+        let labels = vec![0, 0, 1, 1];
+        let cost = evaluate_clusters(&data, &labels, &[vec![0], vec![1]], &Executor::Sequential);
+        assert!((cost - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn perfect_clusters_cost_zero() {
+        let data = DataMatrix::from_rows(&[
+            vec![1.0, 50.0],
+            vec![1.0, -3.0],
+            vec![8.0, 2.0],
+            vec![8.0, 11.0],
+        ])
+        .unwrap();
+        let cost = evaluate_clusters(
+            &data,
+            &[0, 0, 1, 1],
+            &[vec![0], vec![0]],
+            &Executor::Sequential,
+        );
+        assert_eq!(cost, 0.0);
+    }
+
+    #[test]
+    fn outliers_are_excluded_but_n_is_total() {
+        let data = DataMatrix::from_rows(&[
+            vec![0.0],
+            vec![2.0],
+            vec![100.0], // outlier
+        ])
+        .unwrap();
+        let cost = evaluate_clusters(&data, &[0, 0, -1], &[vec![0]], &Executor::Sequential);
+        // centroid = 1, V = 1, contribution 2·1, divided by n = 3.
+        assert!((cost - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_cluster_contributes_nothing() {
+        // Both points in cluster 0 (centroid 2, V = 2, w = 2); cluster 1 is
+        // empty and must contribute nothing: cost = 2·2 / 2 = 2.
+        let data = DataMatrix::from_rows(&[vec![0.0], vec![4.0]]).unwrap();
+        let cost = evaluate_clusters(&data, &[0, 0], &[vec![0], vec![0]], &Executor::Sequential);
+        assert!((cost - 2.0).abs() < 1e-12, "cost = {cost}");
+    }
+
+    #[test]
+    fn parallel_matches_sequential_closely() {
+        let rows: Vec<Vec<f32>> = (0..1000)
+            .map(|i| vec![(i % 31) as f32, (i % 13) as f32])
+            .collect();
+        let data = DataMatrix::from_rows(&rows).unwrap();
+        let labels: Vec<i32> = (0..1000).map(|i| i % 3).collect();
+        let subs = [vec![0], vec![1], vec![0, 1]];
+        let a = evaluate_clusters(&data, &labels, &subs, &Executor::Sequential);
+        let b = evaluate_clusters(&data, &labels, &subs, &Executor::Parallel { threads: 7 });
+        assert!((a - b).abs() < 1e-9);
+    }
+
+    #[test]
+    fn centroids_average_members() {
+        let data = DataMatrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
+        let mu = centroids(&data, &[0, 0], 1);
+        assert_eq!(mu, vec![2.0, 3.0]);
+    }
+}

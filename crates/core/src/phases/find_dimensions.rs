@@ -1,0 +1,179 @@
+//! FindDimensions (Alg. 1 line 7, GPU Alg. 4): from the averaged
+//! per-dimension distances `X`, derive the spread statistics `Y`, `σ`, `Z`
+//! and greedily pick the projected subspaces `D_i`.
+
+/// The spread statistics of one FindDimensions invocation, exposed for the
+/// property tests and the GPU kernels.
+#[derive(Debug, Clone)]
+pub struct SpreadStats {
+    /// Row-major `k × d` relative spread `Z_{i,j} = (X_{i,j} − Y_i) / σ_i`.
+    pub z: Vec<f64>,
+    /// Per-medoid mean `Y_i` of `X_{i,·}`.
+    pub y: Vec<f64>,
+    /// Per-medoid standard deviation `σ_i` of `X_{i,·}` (with `d − 1`).
+    pub sigma: Vec<f64>,
+}
+
+/// Computes `Y`, `σ` and `Z` from the averaged distance matrix `X`
+/// (row-major `k × d`).
+///
+/// Note: the paper's prose gives `σ_i = sqrt(ΣX/(d−1))`, a typo; Alg. 4
+/// lines 9–11 and the original PROCLUS paper define
+/// `σ_i = sqrt(Σ_j (X_{i,j} − Y_i)² / (d−1))`, implemented here.
+/// A zero `σ_i` (all dimensions equally spread, e.g. a singleton sphere)
+/// yields `Z_{i,j} = 0` for the whole row.
+pub fn spread_stats(x: &[f64], k: usize, d: usize) -> SpreadStats {
+    assert_eq!(x.len(), k * d);
+    assert!(d >= 2, "need at least 2 dimensions for sigma");
+    let mut y = vec![0.0f64; k];
+    let mut sigma = vec![0.0f64; k];
+    let mut z = vec![0.0f64; k * d];
+    for i in 0..k {
+        let row = &x[i * d..(i + 1) * d];
+        y[i] = row.iter().sum::<f64>() / d as f64;
+        let ss: f64 = row.iter().map(|v| (v - y[i]) * (v - y[i])).sum();
+        sigma[i] = (ss / (d - 1) as f64).sqrt();
+        for j in 0..d {
+            z[i * d + j] = if sigma[i] > 0.0 {
+                (row[j] - y[i]) / sigma[i]
+            } else {
+                0.0
+            };
+        }
+    }
+    SpreadStats { z, y, sigma }
+}
+
+/// Greedy subspace selection (Alg. 4 lines 15–16): each medoid first gets
+/// the two dimensions with its smallest `Z_{i,j}`; the remaining
+/// `k·l − 2k` slots go to the globally smallest remaining `Z` values.
+///
+/// Ties break lexicographically on `(Z, i, j)` so every variant (CPU and
+/// GPU) makes identical picks. Returns one sorted dimension list per
+/// medoid with `Σ|D_i| = k·l`.
+pub fn pick_dimensions(z: &[f64], k: usize, d: usize, l: usize) -> Vec<Vec<usize>> {
+    assert_eq!(z.len(), k * d);
+    assert!(l >= 2 && l <= d, "l = {l} must lie in 2..=d ({d})");
+    let mut dims: Vec<Vec<usize>> = vec![Vec::with_capacity(l + 2); k];
+    let mut taken = vec![false; k * d];
+
+    // Two smallest Z per medoid.
+    for i in 0..k {
+        let mut order: Vec<usize> = (0..d).collect();
+        order.sort_by(|&a, &b| {
+            z[i * d + a]
+                .total_cmp(&z[i * d + b])
+                .then_with(|| a.cmp(&b))
+        });
+        for &j in order.iter().take(2) {
+            dims[i].push(j);
+            taken[i * d + j] = true;
+        }
+    }
+
+    // Globally smallest remaining Z for the last k·l − 2k slots.
+    let remaining = k * l - 2 * k;
+    if remaining > 0 {
+        let mut order: Vec<usize> = (0..k * d).filter(|&e| !taken[e]).collect();
+        order.sort_by(|&a, &b| z[a].total_cmp(&z[b]).then_with(|| a.cmp(&b)));
+        for &e in order.iter().take(remaining) {
+            dims[e / d].push(e % d);
+        }
+    }
+
+    for s in &mut dims {
+        s.sort_unstable();
+    }
+    dims
+}
+
+/// Convenience wrapper: statistics plus selection in one call.
+pub fn find_dimensions(x: &[f64], k: usize, d: usize, l: usize) -> Vec<Vec<usize>> {
+    let stats = spread_stats(x, k, d);
+    pick_dimensions(&stats.z, k, d, l)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_match_hand_computation() {
+        // k = 1, d = 3, X = [1, 2, 3] → Y = 2, σ = sqrt(2/2) = 1
+        let s = spread_stats(&[1.0, 2.0, 3.0], 1, 3);
+        assert_eq!(s.y, vec![2.0]);
+        assert_eq!(s.sigma, vec![1.0]);
+        assert_eq!(s.z, vec![-1.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn zero_sigma_gives_zero_z() {
+        let s = spread_stats(&[5.0, 5.0, 5.0], 1, 3);
+        assert_eq!(s.sigma, vec![0.0]);
+        assert!(s.z.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn pick_prefers_low_spread_dimensions() {
+        // Medoid 0 clusters tightly in dims 1 and 3 (low X), medoid 1 in 0 and 2.
+        let x = vec![
+            9.0, 1.0, 8.0, 0.5, // medoid 0
+            0.2, 7.0, 0.9, 9.0, // medoid 1
+        ];
+        let dims = find_dimensions(&x, 2, 4, 2);
+        assert_eq!(dims[0], vec![1, 3]);
+        assert_eq!(dims[1], vec![0, 2]);
+    }
+
+    #[test]
+    fn totals_and_minimum_per_medoid_hold() {
+        let k = 4;
+        let d = 10;
+        let l = 5;
+        let x: Vec<f64> = (0..k * d).map(|e| ((e * 7919) % 97) as f64).collect();
+        let dims = find_dimensions(&x, k, d, l);
+        let total: usize = dims.iter().map(|s| s.len()).sum();
+        assert_eq!(total, k * l);
+        for s in &dims {
+            assert!(s.len() >= 2);
+            assert!(s.windows(2).all(|w| w[0] < w[1]), "sorted distinct");
+        }
+    }
+
+    #[test]
+    fn extra_dims_go_to_globally_smallest_z() {
+        // Medoid 0 has very uniform spread (Z ≈ 0-ish range), medoid 1 has
+        // two extremely tight dims beyond its first two → with l = 3, both
+        // extra slots should go to medoid 1's remaining small-Z dims.
+        let x = vec![
+            5.0, 5.1, 5.2, 5.3, // medoid 0: nearly uniform
+            0.0, 0.1, 0.2, 9.0, // medoid 1: three tight dims, one wild
+        ];
+        let dims = find_dimensions(&x, 2, 4, 3);
+        assert_eq!(dims[0].len() + dims[1].len(), 6);
+        assert!(dims[1].contains(&2), "medoid 1's third tight dim picked");
+        // Every medoid keeps its two guaranteed dims.
+        assert!(dims[0].len() >= 2 && dims[1].len() >= 2);
+    }
+
+    #[test]
+    fn l_equals_two_gives_exactly_two_each() {
+        let x: Vec<f64> = (0..3 * 5).map(|e| (e % 7) as f64).collect();
+        let dims = pick_dimensions(&spread_stats(&x, 3, 5).z, 3, 5, 2);
+        assert!(dims.iter().all(|s| s.len() == 2));
+    }
+
+    #[test]
+    fn deterministic_under_exact_ties() {
+        // All-equal Z: selection must still be well-defined and identical
+        // across calls (lowest (i, j) wins).
+        let z = vec![0.0; 2 * 4];
+        let a = pick_dimensions(&z, 2, 4, 3);
+        let b = pick_dimensions(&z, 2, 4, 3);
+        assert_eq!(a, b);
+        // Each medoid is guaranteed dims {0, 1}; the two spare slots go to
+        // the globally first untaken entries, which are medoid 0's dims 2,3.
+        assert_eq!(a[0], vec![0, 1, 2, 3]);
+        assert_eq!(a[1], vec![0, 1]);
+    }
+}

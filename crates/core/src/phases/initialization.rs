@@ -1,0 +1,148 @@
+//! Initialization phase: random sampling of `Data'` and greedy selection of
+//! the potential medoids `M` (Alg. 1 lines 2–3).
+
+use crate::dataset::DataMatrix;
+use crate::distance::euclidean;
+use crate::par::Executor;
+use crate::rng::ProclusRng;
+
+/// Draws the random sample `Data'` of `size` distinct point indices.
+pub fn sample_data_prime(rng: &mut ProclusRng, n: usize, size: usize) -> Vec<usize> {
+    rng.sample_distinct(n, size.min(n))
+}
+
+/// Greedy farthest-point selection of `count` potential medoids from the
+/// candidate indices (Alg. 1 line 3 / GPU Alg. 2).
+///
+/// The first medoid is drawn uniformly from the candidates (one RNG draw);
+/// every further medoid is the candidate with the maximum distance to its
+/// nearest already-selected medoid. Ties break toward the lower candidate
+/// position, matching the GPU kernel's deterministic claim order.
+pub fn greedy_select(
+    data: &DataMatrix,
+    candidates: &[usize],
+    count: usize,
+    rng: &mut ProclusRng,
+    exec: &Executor,
+) -> Vec<usize> {
+    let s = candidates.len();
+    assert!(count >= 1 && count <= s, "greedy: count {count} of {s}");
+    let mut selected = Vec::with_capacity(count);
+    let first = rng.below(s);
+    selected.push(candidates[first]);
+
+    // Distance from each candidate to its nearest selected medoid.
+    let mut min_dist = vec![f32::INFINITY; s];
+    let mut latest = candidates[first];
+
+    for _ in 1..count {
+        // Fold the latest pick into the min-distances (disjoint writes),
+        // then take the argmax — the two kernels of GPU Alg. 2.
+        let latest_row = data.row(latest);
+        exec.for_each_slice(&mut min_dist, |off, sub| {
+            for (i, v) in sub.iter_mut().enumerate() {
+                let dist = euclidean(data.row(candidates[off + i]), latest_row);
+                if dist < *v {
+                    *v = dist;
+                }
+            }
+        });
+        let parts = exec.map_chunks(
+            s,
+            || (f32::NEG_INFINITY, usize::MAX),
+            |best, range| {
+                for c in range {
+                    if min_dist[c] > best.0 {
+                        *best = (min_dist[c], c);
+                    }
+                }
+            },
+        );
+        let (_, argmax) = parts
+            .into_iter()
+            .fold((f32::NEG_INFINITY, usize::MAX), |acc, p| {
+                if p.0 > acc.0 || (p.0 == acc.0 && p.1 < acc.1) {
+                    p
+                } else {
+                    acc
+                }
+            });
+        latest = candidates[argmax];
+        selected.push(latest);
+    }
+    selected
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid_data() -> DataMatrix {
+        // 5 points on a line: 0, 1, 2, 3, 10
+        DataMatrix::from_flat(vec![0.0, 1.0, 2.0, 3.0, 10.0], 5, 1).unwrap()
+    }
+
+    #[test]
+    fn sample_is_distinct_subset() {
+        let mut rng = ProclusRng::new(1);
+        let s = sample_data_prime(&mut rng, 100, 30);
+        assert_eq!(s.len(), 30);
+        let set: std::collections::HashSet<_> = s.iter().collect();
+        assert_eq!(set.len(), 30);
+    }
+
+    #[test]
+    fn sample_clamps_to_n() {
+        let mut rng = ProclusRng::new(1);
+        assert_eq!(sample_data_prime(&mut rng, 10, 50).len(), 10);
+    }
+
+    #[test]
+    fn greedy_spreads_points_apart() {
+        let data = grid_data();
+        let candidates: Vec<usize> = (0..5).collect();
+        let mut rng = ProclusRng::new(3);
+        let m = greedy_select(&data, &candidates, 3, &mut rng, &Executor::Sequential);
+        // Whatever the random start, the isolated point 4 (value 10) and an
+        // endpoint of the 0..3 run must both be selected.
+        assert!(m.contains(&4), "far point must be chosen, got {m:?}");
+        assert_eq!(m.len(), 3);
+        let set: std::collections::HashSet<_> = m.iter().collect();
+        assert_eq!(set.len(), 3, "selection must be distinct: {m:?}");
+    }
+
+    #[test]
+    fn greedy_sequential_and_parallel_agree() {
+        let rows: Vec<Vec<f32>> = (0..200)
+            .map(|i| vec![(i as f32 * 37.0) % 101.0, (i as f32 * 17.0) % 89.0])
+            .collect();
+        let data = DataMatrix::from_rows(&rows).unwrap();
+        let candidates: Vec<usize> = (0..200).collect();
+        let seq = greedy_select(
+            &data,
+            &candidates,
+            20,
+            &mut ProclusRng::new(9),
+            &Executor::Sequential,
+        );
+        let par = greedy_select(
+            &data,
+            &candidates,
+            20,
+            &mut ProclusRng::new(9),
+            &Executor::Parallel { threads: 4 },
+        );
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn greedy_single_pick_uses_one_draw() {
+        let data = grid_data();
+        let mut a = ProclusRng::new(5);
+        let mut b = ProclusRng::new(5);
+        let _ = greedy_select(&data, &[0, 1, 2, 3, 4], 1, &mut a, &Executor::Sequential);
+        let _ = b.below(5);
+        // Both consumed exactly one draw; subsequent draws must agree.
+        assert_eq!(a.below(1000), b.below(1000));
+    }
+}

@@ -1,0 +1,18 @@
+//! The PROCLUS sub-phases (Alg. 1): initialization, the iterative-phase
+//! building blocks (ComputeL, FindDimensions, AssignPoints,
+//! EvaluateClusters, bad-medoid handling) and the refinement phase.
+//!
+//! These functions are shared verbatim by the sequential, FAST, FAST* and
+//! multi-core variants (through [`crate::par::Executor`]); the GPU crate
+//! re-implements the numeric kernels on the simulated device but reuses the
+//! *decision* logic (`pick_dimensions`, `compute_bad_medoids`,
+//! `replace_bad_medoids`) so that all variants follow the same search path
+//! for the same seed.
+
+pub mod assign;
+pub mod bad_medoids;
+pub mod compute_l;
+pub mod evaluate;
+pub mod find_dimensions;
+pub mod initialization;
+pub mod refinement;

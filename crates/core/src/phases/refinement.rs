@@ -1,0 +1,174 @@
+//! Refinement phase (Alg. 1 lines 15–19): re-derive the subspaces from the
+//! best clustering itself (instead of the spheres), re-assign, and mark
+//! outliers.
+
+use crate::dataset::DataMatrix;
+use crate::distance::manhattan_segmental;
+use crate::par::Executor;
+use crate::phases::compute_l::reduce_h_to_x;
+use crate::result::OUTLIER;
+
+/// Computes the averaged per-dimension distance matrix `X` using the best
+/// clusters as the point sets `L` (Alg. 1 line 16–17): for each cluster
+/// member `p` of cluster `i`, accumulate `|p_j − m_{i,j}|`.
+pub fn x_from_clusters(
+    data: &DataMatrix,
+    medoids: &[usize],
+    labels: &[i32],
+    exec: &Executor,
+) -> (Vec<f64>, Vec<usize>) {
+    let (n, d, k) = (data.n(), data.d(), medoids.len());
+    debug_assert_eq!(labels.len(), n);
+    let parts = exec.map_chunks(
+        n,
+        || (vec![0.0f64; k * d], vec![0usize; k]),
+        |(h, lsz), range| {
+            for p in range {
+                let c = labels[p];
+                if c < 0 {
+                    continue;
+                }
+                let i = c as usize;
+                lsz[i] += 1;
+                let row = data.row(p);
+                let m_row = data.row(medoids[i]);
+                let h_row = &mut h[i * d..(i + 1) * d];
+                for j in 0..d {
+                    h_row[j] += ((row[j] - m_row[j]) as f64).abs();
+                }
+            }
+        },
+    );
+    reduce_h_to_x(parts, k, d)
+}
+
+/// Outlier spheres: `Δ_i = min_{j≠i} ‖m_i − m_j‖₁^{D_i} / |D_i|` — the
+/// segmental distance from each medoid to its nearest other medoid within
+/// its own subspace (§2.1, refinement).
+pub fn outlier_deltas(data: &DataMatrix, medoids: &[usize], subspaces: &[Vec<usize>]) -> Vec<f64> {
+    let k = medoids.len();
+    let mut deltas = vec![f64::INFINITY; k];
+    for i in 0..k {
+        for j in 0..k {
+            if i != j {
+                let dist =
+                    manhattan_segmental(data.row(medoids[i]), data.row(medoids[j]), &subspaces[i]);
+                if dist < deltas[i] {
+                    deltas[i] = dist;
+                }
+            }
+        }
+    }
+    deltas
+}
+
+/// Marks as [`OUTLIER`] every point that lies outside the `Δ_i` sphere of
+/// *all* medoids (in each medoid's own subspace). Other labels pass
+/// through unchanged.
+pub fn remove_outliers(
+    data: &DataMatrix,
+    labels: &[i32],
+    medoids: &[usize],
+    subspaces: &[Vec<usize>],
+    exec: &Executor,
+) -> Vec<i32> {
+    let k = medoids.len();
+    let deltas = outlier_deltas(data, medoids, subspaces);
+    let mut out = labels.to_vec();
+    exec.for_each_slice(&mut out, |off, sub| {
+        for (idx, lab) in sub.iter_mut().enumerate() {
+            let row = data.row(off + idx);
+            let inside_any = (0..k).any(|i| {
+                manhattan_segmental(row, data.row(medoids[i]), &subspaces[i]) <= deltas[i]
+            });
+            if !inside_any {
+                *lab = OUTLIER;
+            }
+        }
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn data() -> DataMatrix {
+        DataMatrix::from_rows(&[
+            vec![0.0, 0.0],
+            vec![1.0, 0.0],
+            vec![10.0, 0.0],
+            vec![11.0, 0.0],
+            vec![100.0, 100.0], // far outlier
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn x_from_clusters_uses_members_only() {
+        let d = data();
+        let labels = vec![0, 0, 1, 1, 1];
+        let (x, sizes) = x_from_clusters(&d, &[0, 2], &labels, &Executor::Sequential);
+        assert_eq!(sizes, vec![2, 3]);
+        // cluster 0, dim 0: (|0-0| + |1-0|)/2 = 0.5
+        assert!((x[0] - 0.5).abs() < 1e-12);
+        // cluster 1, dim 0: (|10-10| + |11-10| + |100-10|)/3
+        assert!((x[2] - 91.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn deltas_use_segmental_distance_in_own_subspace() {
+        let d = data();
+        let deltas = outlier_deltas(&d, &[0, 2], &[vec![0, 1], vec![0]]);
+        // medoid 0 in dims {0,1}: (|0-10| + 0)/2 = 5
+        assert_eq!(deltas[0], 5.0);
+        // medoid 1 in dims {0}: |10-0|/1 = 10
+        assert_eq!(deltas[1], 10.0);
+    }
+
+    #[test]
+    fn far_point_becomes_outlier_and_near_points_stay() {
+        let d = data();
+        let labels = vec![0, 0, 1, 1, 1];
+        let refined = remove_outliers(
+            &d,
+            &labels,
+            &[0, 2],
+            &[vec![0, 1], vec![0, 1]],
+            &Executor::Sequential,
+        );
+        assert_eq!(refined[4], OUTLIER, "point at (100,100) must be outlier");
+        assert_eq!(&refined[..4], &[0, 0, 1, 1]);
+    }
+
+    #[test]
+    fn medoids_are_never_outliers() {
+        let d = data();
+        let labels = vec![0, 0, 1, 1, 1];
+        let refined = remove_outliers(
+            &d,
+            &labels,
+            &[0, 2],
+            &[vec![0], vec![0]],
+            &Executor::Sequential,
+        );
+        assert_eq!(refined[0], 0);
+        assert_eq!(refined[2], 1);
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let d = data();
+        let labels = vec![0, 0, 1, 1, 1];
+        let subs = [vec![0, 1], vec![0, 1]];
+        let a = remove_outliers(&d, &labels, &[0, 2], &subs, &Executor::Sequential);
+        let b = remove_outliers(
+            &d,
+            &labels,
+            &[0, 2],
+            &subs,
+            &Executor::Parallel { threads: 3 },
+        );
+        assert_eq!(a, b);
+    }
+}

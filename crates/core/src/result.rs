@@ -1,0 +1,171 @@
+//! The output of a PROCLUS run: `k` disjoint projected clusters plus
+//! outliers.
+
+/// Label assigned to outliers in [`Clustering::labels`].
+pub const OUTLIER: i32 = -1;
+
+/// A projected clustering: `k` medoids, one subspace per cluster, and a
+/// label per point (`OUTLIER` for points the refinement phase rejected).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Clustering {
+    /// Medoid data indices (length `k`).
+    pub medoids: Vec<usize>,
+    /// Subspace `D_i` per cluster: sorted dimension indices, at least two
+    /// each, `Σ|D_i| = k · l`.
+    pub subspaces: Vec<Vec<usize>>,
+    /// Cluster label per point in `0..k`, or [`OUTLIER`].
+    pub labels: Vec<i32>,
+    /// Best weighted cost found during the iterative phase (Eq. 2).
+    pub cost: f64,
+    /// Cost of the refined assignment (before outlier removal).
+    pub refined_cost: f64,
+    /// Total iterative-phase iterations executed.
+    pub iterations: usize,
+    /// True if the loop stopped via `itrPat`, false if it hit the
+    /// `max_total_iterations` safety cap.
+    pub converged: bool,
+}
+
+impl Clustering {
+    /// Number of clusters `k`.
+    pub fn k(&self) -> usize {
+        self.medoids.len()
+    }
+
+    /// Point indices per cluster (outliers excluded).
+    pub fn clusters(&self) -> Vec<Vec<usize>> {
+        let mut out = vec![Vec::new(); self.k()];
+        for (p, &c) in self.labels.iter().enumerate() {
+            if c >= 0 {
+                out[c as usize].push(p);
+            }
+        }
+        out
+    }
+
+    /// Cluster sizes (outliers excluded).
+    pub fn cluster_sizes(&self) -> Vec<usize> {
+        let mut sizes = vec![0usize; self.k()];
+        for &c in &self.labels {
+            if c >= 0 {
+                sizes[c as usize] += 1;
+            }
+        }
+        sizes
+    }
+
+    /// Number of points labeled as outliers.
+    pub fn num_outliers(&self) -> usize {
+        self.labels.iter().filter(|&&c| c == OUTLIER).count()
+    }
+
+    /// Internal consistency checks; used by tests across all variants.
+    ///
+    /// Verifies the structural invariants the paper states: `k` medoids,
+    /// each subspace has ≥ 2 sorted distinct dims, the subspace sizes sum
+    /// to `k · l`, labels are in range, and each medoid belongs to its own
+    /// cluster (medoids are never outliers).
+    pub fn validate_structure(&self, n: usize, d: usize, l: usize) -> Result<(), String> {
+        let k = self.k();
+        if self.subspaces.len() != k {
+            return Err(format!(
+                "{} subspaces for {k} medoids",
+                self.subspaces.len()
+            ));
+        }
+        if self.labels.len() != n {
+            return Err(format!("{} labels for {n} points", self.labels.len()));
+        }
+        let total: usize = self.subspaces.iter().map(|s| s.len()).sum();
+        if total != k * l {
+            return Err(format!("subspace sizes sum to {total}, expected {}", k * l));
+        }
+        for (i, s) in self.subspaces.iter().enumerate() {
+            if s.len() < 2 {
+                return Err(format!("subspace {i} has fewer than 2 dims"));
+            }
+            if s.windows(2).any(|w| w[0] >= w[1]) {
+                return Err(format!("subspace {i} not sorted/distinct: {s:?}"));
+            }
+            if s.iter().any(|&j| j >= d) {
+                return Err(format!("subspace {i} has dim out of range: {s:?}"));
+            }
+        }
+        for &lab in &self.labels {
+            if lab != OUTLIER && !(0..k as i32).contains(&lab) {
+                return Err(format!("label {lab} out of range"));
+            }
+        }
+        for (i, &m) in self.medoids.iter().enumerate() {
+            if m >= n {
+                return Err(format!("medoid index {m} out of range"));
+            }
+            if self.labels[m] != i as i32 {
+                return Err(format!(
+                    "medoid {i} (point {m}) has label {} instead of {i}",
+                    self.labels[m]
+                ));
+            }
+        }
+        if !self.cost.is_finite() || self.cost < 0.0 {
+            return Err(format!(
+                "cost {} not a finite non-negative value",
+                self.cost
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Clustering {
+        Clustering {
+            medoids: vec![0, 3],
+            subspaces: vec![vec![0, 1], vec![1, 2]],
+            labels: vec![0, 0, OUTLIER, 1, 1],
+            cost: 0.5,
+            refined_cost: 0.4,
+            iterations: 3,
+            converged: true,
+        }
+    }
+
+    #[test]
+    fn clusters_partition_non_outliers() {
+        let c = sample();
+        let cl = c.clusters();
+        assert_eq!(cl[0], vec![0, 1]);
+        assert_eq!(cl[1], vec![3, 4]);
+        assert_eq!(c.num_outliers(), 1);
+        assert_eq!(c.cluster_sizes(), vec![2, 2]);
+    }
+
+    #[test]
+    fn validate_accepts_consistent_result() {
+        assert_eq!(sample().validate_structure(5, 3, 2), Ok(()));
+    }
+
+    #[test]
+    fn validate_rejects_wrong_subspace_total() {
+        let mut c = sample();
+        c.subspaces[0] = vec![0, 1, 2];
+        assert!(c.validate_structure(5, 3, 2).is_err());
+    }
+
+    #[test]
+    fn validate_rejects_unsorted_subspace() {
+        let mut c = sample();
+        c.subspaces[0] = vec![1, 0];
+        assert!(c.validate_structure(5, 3, 2).is_err());
+    }
+
+    #[test]
+    fn validate_rejects_outlier_medoid() {
+        let mut c = sample();
+        c.labels[0] = OUTLIER;
+        assert!(c.validate_structure(5, 3, 2).is_err());
+    }
+}

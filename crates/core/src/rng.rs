@@ -1,0 +1,128 @@
+//! Seeded randomness with a defined draw order.
+//!
+//! PROCLUS is non-deterministic in three places: the sample `Data'`, the
+//! greedy start, the initial medoid set, and bad-medoid replacements. All
+//! algorithm variants (sequential, FAST, FAST*, multi-core and GPU) draw
+//! through this wrapper *in the same order*, which is what makes the
+//! seed-for-seed equivalence tests in `tests/equivalence.rs` possible: the
+//! variants then explore exactly the same medoid search path and may differ
+//! only by floating-point reduction order.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A seeded RNG with the handful of draw primitives PROCLUS needs.
+#[derive(Debug, Clone)]
+pub struct ProclusRng {
+    inner: StdRng,
+}
+
+impl ProclusRng {
+    /// Creates an RNG from a seed.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            inner: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Uniform draw from `0..bound` (one underlying draw).
+    pub fn below(&mut self, bound: usize) -> usize {
+        debug_assert!(bound > 0);
+        self.inner.gen_range(0..bound)
+    }
+
+    /// Samples `count` distinct indices from `0..n`, in selection order,
+    /// via a partial Fisher–Yates shuffle (exactly `count` draws).
+    pub fn sample_distinct(&mut self, n: usize, count: usize) -> Vec<usize> {
+        assert!(count <= n, "cannot sample {count} distinct from {n}");
+        let mut pool: Vec<usize> = (0..n).collect();
+        for i in 0..count {
+            let j = i + self.inner.gen_range(0..n - i);
+            pool.swap(i, j);
+        }
+        pool.truncate(count);
+        pool
+    }
+
+    /// Draws indices from `0..n` until one passes `accept`, returning it.
+    /// Used for bad-medoid replacement ("random points from M" that are not
+    /// already in use, Alg. 1 line 14).
+    pub fn draw_until(&mut self, n: usize, mut accept: impl FnMut(usize) -> bool) -> usize {
+        loop {
+            let c = self.below(n);
+            if accept(c) {
+                return c;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn same_seed_same_sequence() {
+        let mut a = ProclusRng::new(42);
+        let mut b = ProclusRng::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.below(1000), b.below(1000));
+        }
+        assert_eq!(a.sample_distinct(50, 10), b.sample_distinct(50, 10));
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = ProclusRng::new(1);
+        let mut b = ProclusRng::new(2);
+        let sa: Vec<usize> = (0..20).map(|_| a.below(1 << 30)).collect();
+        let sb: Vec<usize> = (0..20).map(|_| b.below(1 << 30)).collect();
+        assert_ne!(sa, sb);
+    }
+
+    #[test]
+    fn sample_distinct_is_distinct_and_in_range() {
+        let mut r = ProclusRng::new(7);
+        for _ in 0..50 {
+            let s = r.sample_distinct(100, 30);
+            assert_eq!(s.len(), 30);
+            assert!(s.iter().all(|&x| x < 100));
+            assert_eq!(s.iter().collect::<HashSet<_>>().len(), 30);
+        }
+    }
+
+    #[test]
+    fn sample_distinct_full_is_a_permutation() {
+        let mut r = ProclusRng::new(3);
+        let mut s = r.sample_distinct(10, 10);
+        s.sort_unstable();
+        assert_eq!(s, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sample_distinct_eventually_covers_all_indices() {
+        let mut r = ProclusRng::new(11);
+        let mut seen = HashSet::new();
+        for _ in 0..200 {
+            seen.extend(r.sample_distinct(20, 5));
+        }
+        assert_eq!(seen.len(), 20);
+    }
+
+    #[test]
+    fn draw_until_respects_predicate() {
+        let mut r = ProclusRng::new(5);
+        let banned: HashSet<usize> = (0..90).collect();
+        for _ in 0..20 {
+            let x = r.draw_until(100, |c| !banned.contains(&c));
+            assert!(x >= 90);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot sample")]
+    fn sample_distinct_panics_when_oversampling() {
+        ProclusRng::new(0).sample_distinct(3, 4);
+    }
+}

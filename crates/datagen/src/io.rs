@@ -1,0 +1,146 @@
+//! Minimal CSV I/O for numeric datasets.
+//!
+//! Deliberately small: comma-separated floats, an optional header row, and
+//! an optional label column. Enough to drop the genuine UCI/SkyServer files
+//! into the experiment harnesses in place of the synthesized stand-ins.
+
+use std::fs::File;
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::path::Path;
+
+use proclus::{DataMatrix, ProclusError, Result};
+
+/// A dataset loaded from CSV: the matrix plus optional integer labels.
+#[derive(Debug, Clone)]
+pub struct CsvData {
+    /// The feature matrix.
+    pub data: DataMatrix,
+    /// Labels from the designated column, if one was given.
+    pub labels: Option<Vec<i32>>,
+}
+
+/// Loads a CSV file. `label_col` designates a column holding integer class
+/// labels which is excluded from the feature matrix.
+pub fn load_csv(path: &Path, has_header: bool, label_col: Option<usize>) -> Result<CsvData> {
+    let file = File::open(path).map_err(|e| ProclusError::InvalidData {
+        reason: format!("open {path:?}: {e}"),
+    })?;
+    let reader = BufReader::new(file);
+
+    let mut rows: Vec<Vec<f32>> = Vec::new();
+    let mut labels: Vec<i32> = Vec::new();
+    let mut line_buf = String::new();
+    let mut lines = reader.lines();
+    if has_header {
+        lines.next();
+    }
+    for (lineno, line) in lines.enumerate() {
+        let line = line.map_err(|e| ProclusError::InvalidData {
+            reason: format!("read: {e}"),
+        })?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        line_buf.clear();
+        line_buf.push_str(&line);
+        let mut row = Vec::new();
+        for (col, tok) in line_buf.split(',').enumerate() {
+            let tok = tok.trim();
+            if Some(col) == label_col {
+                let lab: i32 = tok.parse().map_err(|_| ProclusError::InvalidData {
+                    reason: format!("line {}: label `{tok}` not an integer", lineno + 1),
+                })?;
+                labels.push(lab);
+            } else {
+                let v: f32 = tok.parse().map_err(|_| ProclusError::InvalidData {
+                    reason: format!("line {}: value `{tok}` not a number", lineno + 1),
+                })?;
+                row.push(v);
+            }
+        }
+        rows.push(row);
+    }
+    let data = DataMatrix::from_rows(&rows)?;
+    Ok(CsvData {
+        data,
+        labels: label_col.map(|_| labels),
+    })
+}
+
+/// Writes a matrix (plus optional labels as a last column) to CSV.
+pub fn write_csv(path: &Path, data: &DataMatrix, labels: Option<&[i32]>) -> Result<()> {
+    let file = File::create(path).map_err(|e| ProclusError::InvalidData {
+        reason: format!("create {path:?}: {e}"),
+    })?;
+    let mut out = BufWriter::new(file);
+    for p in 0..data.n() {
+        let row = data.row(p);
+        for (j, v) in row.iter().enumerate() {
+            if j > 0 {
+                write!(out, ",").ok();
+            }
+            write!(out, "{v}").ok();
+        }
+        if let Some(labels) = labels {
+            write!(out, ",{}", labels[p]).ok();
+        }
+        writeln!(out).ok();
+    }
+    out.flush().map_err(|e| ProclusError::InvalidData {
+        reason: format!("flush: {e}"),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("proclus-datagen-{name}-{}.csv", std::process::id()))
+    }
+
+    #[test]
+    fn roundtrip_without_labels() {
+        let path = tmp("plain");
+        let data = DataMatrix::from_rows(&[vec![1.0, 2.5], vec![-3.0, 0.25]]).unwrap();
+        write_csv(&path, &data, None).unwrap();
+        let loaded = load_csv(&path, false, None).unwrap();
+        assert_eq!(loaded.data, data);
+        assert!(loaded.labels.is_none());
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn roundtrip_with_labels_in_last_column() {
+        let path = tmp("labeled");
+        let data = DataMatrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
+        write_csv(&path, &data, Some(&[5, -1])).unwrap();
+        let loaded = load_csv(&path, false, Some(2)).unwrap();
+        assert_eq!(loaded.data, data);
+        assert_eq!(loaded.labels, Some(vec![5, -1]));
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn header_is_skipped() {
+        let path = tmp("header");
+        std::fs::write(&path, "a,b\n1.0,2.0\n3.0,4.0\n").unwrap();
+        let loaded = load_csv(&path, true, None).unwrap();
+        assert_eq!(loaded.data.n(), 2);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn bad_number_is_a_clear_error() {
+        let path = tmp("bad");
+        std::fs::write(&path, "1.0,oops\n").unwrap();
+        let err = load_csv(&path, false, None).unwrap_err();
+        assert!(err.to_string().contains("oops"));
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn missing_file_is_an_error() {
+        assert!(load_csv(Path::new("/nonexistent/x.csv"), false, None).is_err());
+    }
+}

@@ -1,0 +1,27 @@
+//! # datagen — workloads for the GPU-FAST-PROCLUS experiments
+//!
+//! Two families of datasets, matching the paper's §5 setup:
+//!
+//! * [`synthetic`] — the subspace-cluster generator of Beer et al. (their ref. \[6\]),
+//!   modified as in GPU-INSCY (ref. \[18\]) to plant Gaussian clusters in *arbitrary*
+//!   axis-parallel subspaces (paper defaults: 64,000 × 15, 10 clusters in
+//!   5-d subspaces, σ = 5.0 on a 0–100 value range).
+//! * [`realworld`] — synthesizers reproducing the exact shapes of the
+//!   paper's real-world datasets (glass 214×9, vowel 990×10, pendigits
+//!   7494×16, SkyServer sky1×1/2×2/5×5 up to 934,073×17). The originals are
+//!   not redistributable here; since the paper uses them purely as timing
+//!   workloads of a given `(n, d)` with min–max normalization, clustered
+//!   synthetic stand-ins of identical shape preserve the measured behavior
+//!   (see DESIGN.md §2). Real CSV files can be loaded through [`io`]
+//!   instead, drop-in.
+//! * [`io`] — a small CSV loader/writer so users can run on their own data.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod io;
+pub mod realworld;
+pub mod synthetic;
+
+pub use realworld::{glass_like, pendigits_like, sky_like, vowel_like, RealWorldSpec};
+pub use synthetic::{generate, GeneratedData, SyntheticConfig};

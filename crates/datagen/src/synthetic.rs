@@ -1,0 +1,305 @@
+//! The synthetic subspace-cluster generator.
+//!
+//! Follows the generator of Beer et al. ("A Generator for Subspace
+//! Clusters", LWDA 2019, the paper's \[6\]) with the GPU-INSCY modification
+//! (\[18\]) that clusters may live in arbitrary axis-parallel subspaces:
+//! each cluster draws a random dimension subset and a random center; member
+//! points are Gaussian around the center inside the subspace and uniform
+//! noise outside it. Optionally a fraction of points is pure uniform noise.
+
+use proclus::{DataMatrix, ProclusRng};
+
+/// Configuration of the generator. Defaults are the paper's (§5):
+/// 64,000 points, 15 dimensions, 10 clusters in 5-d subspaces, σ = 5.0,
+/// values in `[0, 100]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SyntheticConfig {
+    /// Number of points.
+    pub n: usize,
+    /// Number of dimensions.
+    pub d: usize,
+    /// Number of planted clusters.
+    pub num_clusters: usize,
+    /// Dimensionality of each cluster's subspace.
+    pub subspace_dims: usize,
+    /// Gaussian standard deviation inside the subspace (same unit as the
+    /// value range).
+    pub std_dev: f32,
+    /// Value range `[min, max)` of every dimension.
+    pub value_range: (f32, f32),
+    /// Fraction of points generated as uniform noise (label `-1`).
+    pub noise_fraction: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for SyntheticConfig {
+    fn default() -> Self {
+        Self {
+            n: 64_000,
+            d: 15,
+            num_clusters: 10,
+            subspace_dims: 5,
+            std_dev: 5.0,
+            value_range: (0.0, 100.0),
+            noise_fraction: 0.0,
+            seed: 0xDA7A,
+        }
+    }
+}
+
+impl SyntheticConfig {
+    /// Convenience constructor for the most common sweep axes.
+    pub fn new(n: usize, d: usize) -> Self {
+        Self {
+            n,
+            d,
+            subspace_dims: Self::default().subspace_dims.min(d),
+            ..Self::default()
+        }
+    }
+
+    /// Sets the number of planted clusters.
+    pub fn with_clusters(mut self, c: usize) -> Self {
+        self.num_clusters = c;
+        self
+    }
+
+    /// Sets the in-subspace standard deviation.
+    pub fn with_std_dev(mut self, s: f32) -> Self {
+        self.std_dev = s;
+        self
+    }
+
+    /// Sets the subspace dimensionality per cluster.
+    pub fn with_subspace_dims(mut self, s: usize) -> Self {
+        self.subspace_dims = s;
+        self
+    }
+
+    /// Sets the noise fraction.
+    pub fn with_noise(mut self, f: f64) -> Self {
+        self.noise_fraction = f;
+        self
+    }
+
+    /// Sets the seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// A generated dataset with its planted ground truth.
+#[derive(Debug, Clone)]
+pub struct GeneratedData {
+    /// The data matrix (not normalized; call
+    /// [`DataMatrix::minmax_normalize`] to match the paper's preprocessing).
+    pub data: DataMatrix,
+    /// True cluster label per point (`-1` for noise points).
+    pub labels: Vec<i32>,
+    /// The planted subspace (sorted dims) per cluster.
+    pub subspaces: Vec<Vec<usize>>,
+}
+
+/// Draws one standard-normal value via Box–Muller (two uniform draws).
+fn gaussian(rng: &mut ProclusRng) -> f32 {
+    // Uniforms in (0, 1]: avoid ln(0).
+    let u1 = (rng.below(1 << 24) as f64 + 1.0) / (1u64 << 24) as f64;
+    let u2 = rng.below(1 << 24) as f64 / (1u64 << 24) as f64;
+    ((-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()) as f32
+}
+
+fn uniform_in(rng: &mut ProclusRng, lo: f32, hi: f32) -> f32 {
+    lo + (rng.below(1 << 24) as f32 / (1u64 << 24) as f32) * (hi - lo)
+}
+
+/// Generates a dataset according to `cfg`.
+///
+/// Cluster sizes split the non-noise points as evenly as possible; point
+/// order is shuffled so clusters are not contiguous in the matrix (the
+/// original generator also randomizes order). Panics if the configuration
+/// is degenerate (`subspace_dims > d`, zero clusters, empty range).
+pub fn generate(cfg: &SyntheticConfig) -> GeneratedData {
+    assert!(cfg.n > 0 && cfg.d > 0, "empty dataset requested");
+    assert!(cfg.num_clusters > 0, "need at least one cluster");
+    assert!(
+        cfg.subspace_dims >= 1 && cfg.subspace_dims <= cfg.d,
+        "subspace_dims {} out of 1..={}",
+        cfg.subspace_dims,
+        cfg.d
+    );
+    assert!(
+        cfg.value_range.1 > cfg.value_range.0,
+        "empty value range {:?}",
+        cfg.value_range
+    );
+    assert!((0.0..=1.0).contains(&cfg.noise_fraction), "noise fraction");
+
+    let mut rng = ProclusRng::new(cfg.seed);
+    let (lo, hi) = cfg.value_range;
+    let k = cfg.num_clusters;
+
+    // Per-cluster subspace and center. Centers keep a 2σ margin so clipped
+    // tails do not pile up at the range border.
+    let mut subspaces = Vec::with_capacity(k);
+    let mut centers = Vec::with_capacity(k);
+    let margin = (2.0 * cfg.std_dev).min((hi - lo) / 4.0);
+    for _ in 0..k {
+        let mut dims = rng.sample_distinct(cfg.d, cfg.subspace_dims);
+        dims.sort_unstable();
+        let center: Vec<f32> = (0..cfg.d)
+            .map(|_| uniform_in(&mut rng, lo + margin, hi - margin))
+            .collect();
+        subspaces.push(dims);
+        centers.push(center);
+    }
+
+    let noise_count = (cfg.n as f64 * cfg.noise_fraction).round() as usize;
+    let clustered = cfg.n - noise_count;
+
+    let mut flat = Vec::with_capacity(cfg.n * cfg.d);
+    let mut labels = Vec::with_capacity(cfg.n);
+    for p in 0..clustered {
+        // Round-robin keeps sizes within 1 of each other.
+        let c = p % k;
+        labels.push(c as i32);
+        #[allow(clippy::needless_range_loop)]
+        for j in 0..cfg.d {
+            let v = if subspaces[c].contains(&j) {
+                (centers[c][j] + gaussian(&mut rng) * cfg.std_dev).clamp(lo, hi)
+            } else {
+                uniform_in(&mut rng, lo, hi)
+            };
+            flat.push(v);
+        }
+    }
+    for _ in 0..noise_count {
+        labels.push(-1);
+        for _ in 0..cfg.d {
+            flat.push(uniform_in(&mut rng, lo, hi));
+        }
+    }
+
+    // Shuffle point order (labels move with their rows).
+    let perm = rng.sample_distinct(cfg.n, cfg.n);
+    let mut shuffled = Vec::with_capacity(cfg.n * cfg.d);
+    let mut shuffled_labels = Vec::with_capacity(cfg.n);
+    for &p in &perm {
+        shuffled.extend_from_slice(&flat[p * cfg.d..(p + 1) * cfg.d]);
+        shuffled_labels.push(labels[p]);
+    }
+
+    GeneratedData {
+        data: DataMatrix::from_flat(shuffled, cfg.n, cfg.d).expect("generator output valid"),
+        labels: shuffled_labels,
+        subspaces,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> SyntheticConfig {
+        SyntheticConfig {
+            n: 600,
+            d: 8,
+            num_clusters: 3,
+            subspace_dims: 3,
+            std_dev: 2.0,
+            value_range: (0.0, 100.0),
+            noise_fraction: 0.0,
+            seed: 1,
+        }
+    }
+
+    #[test]
+    fn shapes_and_labels_match_config() {
+        let g = generate(&small());
+        assert_eq!(g.data.n(), 600);
+        assert_eq!(g.data.d(), 8);
+        assert_eq!(g.labels.len(), 600);
+        assert_eq!(g.subspaces.len(), 3);
+        assert!(g.subspaces.iter().all(|s| s.len() == 3));
+        // Round-robin sizes: 200 each.
+        for c in 0..3 {
+            assert_eq!(g.labels.iter().filter(|&&l| l == c).count(), 200);
+        }
+    }
+
+    #[test]
+    fn values_stay_in_range() {
+        let g = generate(&small());
+        assert!(g.data.flat().iter().all(|&v| (0.0..=100.0).contains(&v)));
+    }
+
+    #[test]
+    fn same_seed_reproduces_exactly() {
+        let a = generate(&small());
+        let b = generate(&small());
+        assert_eq!(a.data, b.data);
+        assert_eq!(a.labels, b.labels);
+    }
+
+    #[test]
+    fn different_seed_differs() {
+        let a = generate(&small());
+        let b = generate(&small().with_seed(2));
+        assert_ne!(a.data, b.data);
+    }
+
+    #[test]
+    fn clusters_are_tight_in_their_subspace_and_wide_outside() {
+        let g = generate(&small());
+        // For cluster 0, the variance inside its subspace dims must be far
+        // below the variance outside (uniform over the full range).
+        let members: Vec<usize> = g
+            .labels
+            .iter()
+            .enumerate()
+            .filter(|(_, &l)| l == 0)
+            .map(|(p, _)| p)
+            .collect();
+        let var = |j: usize| {
+            let vals: Vec<f64> = members.iter().map(|&p| g.data.get(p, j) as f64).collect();
+            let mean = vals.iter().sum::<f64>() / vals.len() as f64;
+            vals.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / vals.len() as f64
+        };
+        let inside = g.subspaces[0][0];
+        let outside = (0..8).find(|j| !g.subspaces[0].contains(j)).unwrap();
+        assert!(
+            var(inside) * 10.0 < var(outside),
+            "inside var {} vs outside var {}",
+            var(inside),
+            var(outside)
+        );
+    }
+
+    #[test]
+    fn noise_points_are_labeled_minus_one() {
+        let g = generate(&small().with_noise(0.1));
+        let noise = g.labels.iter().filter(|&&l| l == -1).count();
+        assert_eq!(noise, 60);
+    }
+
+    #[test]
+    fn gaussian_has_roughly_unit_variance() {
+        let mut rng = ProclusRng::new(9);
+        let vals: Vec<f64> = (0..20_000).map(|_| gaussian(&mut rng) as f64).collect();
+        let mean = vals.iter().sum::<f64>() / vals.len() as f64;
+        let var = vals.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / vals.len() as f64;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.1, "var {var}");
+    }
+
+    #[test]
+    #[should_panic(expected = "subspace_dims")]
+    fn rejects_oversized_subspace() {
+        generate(&SyntheticConfig {
+            subspace_dims: 20,
+            d: 5,
+            ..small()
+        });
+    }
+}

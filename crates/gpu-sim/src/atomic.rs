@@ -1,0 +1,178 @@
+//! Scalar element types and word-level atomic primitives.
+//!
+//! All device memory (global buffers and block-shared memory) is stored as
+//! 64-bit words. Every element type converts losslessly to and from a word,
+//! which lets plain loads/stores be relaxed atomic word accesses (no UB under
+//! concurrent block execution) and lets the float atomics be implemented as
+//! compare-and-swap loops — precisely how `atomicAdd(float*)`-style
+//! operations behave on hardware that lacks a native instruction for them.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// An element type storable in simulated device memory.
+///
+/// `BYTES` is the *logical* size used for memory accounting and bandwidth
+/// modeling (an `f32` costs 4 bytes of traffic even though the simulator
+/// physically stores it in a 64-bit word).
+pub trait Scalar: Copy + Send + Sync + PartialEq + std::fmt::Debug + 'static {
+    /// Logical size in bytes (what the performance model charges).
+    const BYTES: usize;
+    /// The additive identity, used by `alloc_zeroed` and `memset`.
+    const ZERO: Self;
+    /// Bit-converts the value into a storage word.
+    fn to_word(self) -> u64;
+    /// Recovers the value from a storage word.
+    fn from_word(w: u64) -> Self;
+}
+
+/// A [`Scalar`] with the arithmetic needed by atomic read-modify-write ops.
+pub trait AtomicNum: Scalar {
+    /// Saturating-free addition (wrapping for integers, IEEE for floats).
+    fn add(self, rhs: Self) -> Self;
+    /// Minimum of two values.
+    fn min_v(self, rhs: Self) -> Self;
+    /// Maximum of two values.
+    fn max_v(self, rhs: Self) -> Self;
+}
+
+macro_rules! impl_scalar_float {
+    ($t:ty, $bits:ty, $bytes:expr) => {
+        impl Scalar for $t {
+            const BYTES: usize = $bytes;
+            const ZERO: Self = 0.0;
+            #[inline(always)]
+            fn to_word(self) -> u64 {
+                self.to_bits() as u64
+            }
+            #[inline(always)]
+            fn from_word(w: u64) -> Self {
+                <$t>::from_bits(w as $bits)
+            }
+        }
+        impl AtomicNum for $t {
+            #[inline(always)]
+            fn add(self, rhs: Self) -> Self {
+                self + rhs
+            }
+            #[inline(always)]
+            fn min_v(self, rhs: Self) -> Self {
+                self.min(rhs)
+            }
+            #[inline(always)]
+            fn max_v(self, rhs: Self) -> Self {
+                self.max(rhs)
+            }
+        }
+    };
+}
+
+macro_rules! impl_scalar_int {
+    ($t:ty, $bytes:expr) => {
+        impl Scalar for $t {
+            const BYTES: usize = $bytes;
+            const ZERO: Self = 0;
+            #[inline(always)]
+            fn to_word(self) -> u64 {
+                self as u64
+            }
+            #[inline(always)]
+            fn from_word(w: u64) -> Self {
+                w as $t
+            }
+        }
+        impl AtomicNum for $t {
+            #[inline(always)]
+            fn add(self, rhs: Self) -> Self {
+                self.wrapping_add(rhs)
+            }
+            #[inline(always)]
+            fn min_v(self, rhs: Self) -> Self {
+                std::cmp::min(self, rhs)
+            }
+            #[inline(always)]
+            fn max_v(self, rhs: Self) -> Self {
+                std::cmp::max(self, rhs)
+            }
+        }
+    };
+}
+
+impl_scalar_float!(f32, u32, 4);
+impl_scalar_float!(f64, u64, 8);
+impl_scalar_int!(u32, 4);
+impl_scalar_int!(i32, 4);
+impl_scalar_int!(u64, 8);
+impl_scalar_int!(i64, 8);
+
+/// Relaxed word load.
+#[inline(always)]
+pub(crate) fn word_load<T: Scalar>(w: &AtomicU64) -> T {
+    T::from_word(w.load(Ordering::Relaxed))
+}
+
+/// Relaxed word store.
+#[inline(always)]
+pub(crate) fn word_store<T: Scalar>(w: &AtomicU64, v: T) {
+    w.store(v.to_word(), Ordering::Relaxed);
+}
+
+/// CAS-loop read-modify-write, returning the previous value — the shape of
+/// every CUDA atomic. `f` must be pure.
+#[inline(always)]
+pub(crate) fn word_rmw<T: Scalar>(w: &AtomicU64, f: impl Fn(T) -> T) -> T {
+    let mut cur = w.load(Ordering::Relaxed);
+    loop {
+        let old = T::from_word(cur);
+        let new = f(old).to_word();
+        match w.compare_exchange_weak(cur, new, Ordering::AcqRel, Ordering::Relaxed) {
+            Ok(_) => return old,
+            Err(actual) => cur = actual,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn float_word_roundtrip_preserves_bits() {
+        for v in [0.0f32, -0.0, 1.5, f32::INFINITY, f32::MIN_POSITIVE] {
+            assert_eq!(f32::from_word(v.to_word()).to_bits(), v.to_bits());
+        }
+        for v in [0.0f64, -1.25e300, f64::NEG_INFINITY] {
+            assert_eq!(f64::from_word(v.to_word()).to_bits(), v.to_bits());
+        }
+    }
+
+    #[test]
+    fn int_word_roundtrip_preserves_value() {
+        assert_eq!(i32::from_word((-7i32).to_word()), -7);
+        assert_eq!(u32::from_word(u32::MAX.to_word()), u32::MAX);
+        assert_eq!(i64::from_word((-7i64).to_word()), -7);
+    }
+
+    #[test]
+    fn rmw_returns_previous_value() {
+        let w = AtomicU64::new(5u64.to_word());
+        let prev: u64 = word_rmw(&w, |x: u64| x + 3);
+        assert_eq!(prev, 5);
+        assert_eq!(word_load::<u64>(&w), 8);
+    }
+
+    #[test]
+    fn concurrent_float_adds_do_not_lose_updates() {
+        let w = AtomicU64::new(0f64.to_word());
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    for _ in 0..1000 {
+                        word_rmw(&w, |x: f64| x + 1.0);
+                    }
+                });
+            }
+        });
+        assert_eq!(word_load::<f64>(&w), 8000.0);
+    }
+}

@@ -1,0 +1,172 @@
+//! Device descriptions: the hardware parameters the performance model uses.
+
+/// Static description of a simulated device.
+///
+/// The presets correspond to the two cards used in the paper's evaluation
+/// (GTX 1660 Ti for the real-world experiments, RTX 3090 for the large
+/// synthetic ones); numbers are taken from NVIDIA's published specifications.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeviceConfig {
+    /// Marketing name, used in reports.
+    pub name: String,
+    /// Number of streaming multiprocessors.
+    pub num_sms: u32,
+    /// FP32 lanes ("CUDA cores") per SM.
+    pub cores_per_sm: u32,
+    /// Threads per warp (32 on every NVIDIA architecture to date).
+    pub warp_size: u32,
+    /// Hardware limit on threads per block.
+    pub max_threads_per_block: u32,
+    /// Maximum resident threads per SM (occupancy limit).
+    pub max_threads_per_sm: u32,
+    /// Maximum resident blocks per SM (occupancy limit).
+    pub max_blocks_per_sm: u32,
+    /// Shared memory per SM in bytes (occupancy limit).
+    pub shared_mem_per_sm: usize,
+    /// Core clock in GHz.
+    pub clock_ghz: f64,
+    /// Peak global-memory bandwidth in GB/s.
+    pub mem_bandwidth_gbps: f64,
+    /// Resident warps per SM needed to reach peak memory bandwidth.
+    ///
+    /// Below this the model scales bandwidth down linearly — the standard
+    /// "little's law" approximation for latency-bound kernels.
+    pub warps_to_saturate_mem: u32,
+    /// Effective cost of one global atomic in nanoseconds (device-wide
+    /// serialization budget; same-address contention is *not* modeled).
+    pub global_atomic_ns: f64,
+    /// Effective cost of one shared-memory atomic in nanoseconds per SM.
+    pub shared_atomic_ns: f64,
+    /// Fixed host-side cost of launching a kernel, in microseconds.
+    pub kernel_launch_us: f64,
+    /// PCIe (or NVLink) transfer bandwidth in GB/s.
+    pub pcie_bandwidth_gbps: f64,
+    /// Fixed per-transfer latency in microseconds.
+    pub pcie_latency_us: f64,
+    /// Global memory capacity in bytes available to allocations.
+    pub global_mem_bytes: usize,
+}
+
+impl DeviceConfig {
+    /// GeForce GTX 1660 Ti (Turing TU116): 24 SMs × 64 cores, 6 GB GDDR6.
+    ///
+    /// The paper reports ~4.2 GB of the 6 GB actually free for allocations;
+    /// use [`DeviceConfig::with_memory_limit`] to reproduce that.
+    pub fn gtx_1660_ti() -> Self {
+        Self {
+            name: "GeForce GTX 1660 Ti (simulated)".into(),
+            num_sms: 24,
+            cores_per_sm: 64,
+            warp_size: 32,
+            max_threads_per_block: 1024,
+            max_threads_per_sm: 1024,
+            max_blocks_per_sm: 16,
+            shared_mem_per_sm: 64 * 1024,
+            clock_ghz: 1.77,
+            mem_bandwidth_gbps: 288.0,
+            warps_to_saturate_mem: 8,
+            global_atomic_ns: 0.4,
+            shared_atomic_ns: 0.06,
+            kernel_launch_us: 4.0,
+            pcie_bandwidth_gbps: 12.0,
+            pcie_latency_us: 10.0,
+            global_mem_bytes: 6 * 1024 * 1024 * 1024,
+        }
+    }
+
+    /// GeForce RTX 3090 (Ampere GA102): 82 SMs × 128 FP32 lanes, 24 GB GDDR6X.
+    pub fn rtx_3090() -> Self {
+        Self {
+            name: "GeForce RTX 3090 (simulated)".into(),
+            num_sms: 82,
+            cores_per_sm: 128,
+            warp_size: 32,
+            max_threads_per_block: 1024,
+            max_threads_per_sm: 1536,
+            max_blocks_per_sm: 16,
+            shared_mem_per_sm: 100 * 1024,
+            clock_ghz: 1.70,
+            mem_bandwidth_gbps: 936.0,
+            warps_to_saturate_mem: 10,
+            global_atomic_ns: 0.25,
+            shared_atomic_ns: 0.05,
+            kernel_launch_us: 3.5,
+            pcie_bandwidth_gbps: 24.0,
+            pcie_latency_us: 8.0,
+            global_mem_bytes: 24 * 1024 * 1024 * 1024,
+        }
+    }
+
+    /// A deliberately tiny device, useful in tests that want to hit the
+    /// out-of-memory and low-occupancy paths quickly.
+    pub fn tiny_test_device() -> Self {
+        Self {
+            name: "tiny-test-device".into(),
+            num_sms: 2,
+            cores_per_sm: 8,
+            warp_size: 32,
+            max_threads_per_block: 256,
+            max_threads_per_sm: 512,
+            max_blocks_per_sm: 4,
+            shared_mem_per_sm: 16 * 1024,
+            clock_ghz: 1.0,
+            mem_bandwidth_gbps: 10.0,
+            warps_to_saturate_mem: 4,
+            global_atomic_ns: 1.0,
+            shared_atomic_ns: 0.2,
+            kernel_launch_us: 2.0,
+            pcie_bandwidth_gbps: 4.0,
+            pcie_latency_us: 5.0,
+            global_mem_bytes: 1024 * 1024,
+        }
+    }
+
+    /// Returns a copy with the global-memory capacity replaced by `bytes`.
+    pub fn with_memory_limit(mut self, bytes: usize) -> Self {
+        self.global_mem_bytes = bytes;
+        self
+    }
+
+    /// Total FP32 lanes on the device.
+    #[inline]
+    pub fn total_cores(&self) -> u64 {
+        self.num_sms as u64 * self.cores_per_sm as u64
+    }
+
+    /// Maximum resident warps per SM.
+    #[inline]
+    pub fn max_warps_per_sm(&self) -> u32 {
+        self.max_threads_per_sm / self.warp_size
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_self_consistent() {
+        for cfg in [
+            DeviceConfig::gtx_1660_ti(),
+            DeviceConfig::rtx_3090(),
+            DeviceConfig::tiny_test_device(),
+        ] {
+            assert!(cfg.num_sms > 0);
+            assert!(cfg.warp_size > 0);
+            assert!(cfg.max_threads_per_block <= cfg.max_threads_per_sm);
+            assert!(cfg.max_warps_per_sm() >= 1);
+            assert!(cfg.clock_ghz > 0.0 && cfg.mem_bandwidth_gbps > 0.0);
+        }
+    }
+
+    #[test]
+    fn gtx_1660_ti_core_count_matches_spec() {
+        assert_eq!(DeviceConfig::gtx_1660_ti().total_cores(), 1536);
+    }
+
+    #[test]
+    fn memory_limit_override() {
+        let cfg = DeviceConfig::gtx_1660_ti().with_memory_limit(4_200_000_000);
+        assert_eq!(cfg.global_mem_bytes, 4_200_000_000);
+    }
+}

@@ -1,0 +1,128 @@
+//! Launch geometry: the 3-component dimension type used for grids and blocks.
+
+use std::fmt;
+
+/// A CUDA-style `dim3`: the extent of a grid (in blocks) or of a block
+/// (in threads) along up to three axes.
+///
+/// Components default to 1, so `Dim3::x(n)` is the common 1-D case and
+/// `Dim3::xy(n, m)` the 2-D case used for per-(point, medoid) grids.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Dim3 {
+    /// Extent along the x axis (fastest varying).
+    pub x: u32,
+    /// Extent along the y axis.
+    pub y: u32,
+    /// Extent along the z axis (slowest varying).
+    pub z: u32,
+}
+
+impl Dim3 {
+    /// A 1-D extent `(x, 1, 1)`.
+    #[inline]
+    pub const fn x(x: u32) -> Self {
+        Self { x, y: 1, z: 1 }
+    }
+
+    /// A 2-D extent `(x, y, 1)`.
+    #[inline]
+    pub const fn xy(x: u32, y: u32) -> Self {
+        Self { x, y, z: 1 }
+    }
+
+    /// A 3-D extent `(x, y, z)`.
+    #[inline]
+    pub const fn xyz(x: u32, y: u32, z: u32) -> Self {
+        Self { x, y, z }
+    }
+
+    /// Total number of elements covered (`x · y · z`).
+    #[inline]
+    pub const fn volume(self) -> u64 {
+        self.x as u64 * self.y as u64 * self.z as u64
+    }
+
+    /// Decomposes a linear index (in `0..volume()`) back into a coordinate,
+    /// with `x` varying fastest. Used by the launcher to enumerate blocks.
+    #[inline]
+    pub fn from_linear(self, idx: u64) -> Dim3 {
+        let x = (idx % self.x as u64) as u32;
+        let rest = idx / self.x as u64;
+        let y = (rest % self.y as u64) as u32;
+        let z = (rest / self.y as u64) as u32;
+        Dim3 { x, y, z }
+    }
+
+    /// The number of 1-D blocks of `block_size` threads needed to cover
+    /// `elems` elements: `ceil(elems / block_size)`.
+    #[inline]
+    pub fn blocks_for(elems: usize, block_size: u32) -> Dim3 {
+        let bs = block_size.max(1) as usize;
+        Dim3::x(elems.div_ceil(bs).max(1) as u32)
+    }
+}
+
+impl Default for Dim3 {
+    fn default() -> Self {
+        Dim3::x(1)
+    }
+}
+
+impl fmt::Display for Dim3 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.z == 1 && self.y == 1 {
+            write!(f, "{}", self.x)
+        } else if self.z == 1 {
+            write!(f, "{}x{}", self.x, self.y)
+        } else {
+            write!(f, "{}x{}x{}", self.x, self.y, self.z)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn volume_counts_all_axes() {
+        assert_eq!(Dim3::x(7).volume(), 7);
+        assert_eq!(Dim3::xy(3, 4).volume(), 12);
+        assert_eq!(Dim3::xyz(2, 3, 4).volume(), 24);
+    }
+
+    #[test]
+    fn linear_roundtrip_covers_grid_exactly_once() {
+        let g = Dim3::xyz(3, 4, 2);
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..g.volume() {
+            let c = g.from_linear(i);
+            assert!(c.x < 3 && c.y < 4 && c.z < 2);
+            assert!(seen.insert((c.x, c.y, c.z)), "duplicate coordinate {c}");
+        }
+        assert_eq!(seen.len(), 24);
+    }
+
+    #[test]
+    fn linear_order_is_x_fastest() {
+        let g = Dim3::xy(3, 2);
+        assert_eq!(g.from_linear(0), Dim3::xyz(0, 0, 0));
+        assert_eq!(g.from_linear(1), Dim3::xyz(1, 0, 0));
+        assert_eq!(g.from_linear(3), Dim3::xyz(0, 1, 0));
+    }
+
+    #[test]
+    fn blocks_for_rounds_up() {
+        assert_eq!(Dim3::blocks_for(1000, 128).x, 8);
+        assert_eq!(Dim3::blocks_for(1024, 128).x, 8);
+        assert_eq!(Dim3::blocks_for(1025, 128).x, 9);
+        assert_eq!(Dim3::blocks_for(0, 128).x, 1);
+    }
+
+    #[test]
+    fn display_is_compact() {
+        assert_eq!(Dim3::x(5).to_string(), "5");
+        assert_eq!(Dim3::xy(5, 2).to_string(), "5x2");
+        assert_eq!(Dim3::xyz(5, 2, 3).to_string(), "5x2x3");
+    }
+}

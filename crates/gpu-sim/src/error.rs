@@ -1,0 +1,70 @@
+//! Error type for device operations.
+
+use std::fmt;
+
+/// Result alias for fallible device operations.
+pub type Result<T> = std::result::Result<T, GpuError>;
+
+/// Errors raised by the simulated device.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GpuError {
+    /// An allocation would exceed the device's global memory capacity.
+    ///
+    /// This mirrors `cudaErrorMemoryAllocation`; the paper runs into exactly
+    /// this limit at 8 M points on a 6 GB card (§5.3).
+    OutOfMemory {
+        /// Bytes requested by the failing allocation.
+        requested: usize,
+        /// Bytes still available on the device.
+        available: usize,
+        /// Label of the allocation that failed.
+        label: String,
+    },
+    /// A launch was configured with more threads per block than the device
+    /// supports, or with a zero-sized grid/block.
+    InvalidLaunch {
+        /// Human-readable description of the invalid configuration.
+        reason: String,
+    },
+    /// A buffer was freed twice or used after being freed.
+    InvalidBuffer {
+        /// Label of the offending buffer.
+        label: String,
+    },
+}
+
+impl fmt::Display for GpuError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GpuError::OutOfMemory {
+                requested,
+                available,
+                label,
+            } => write!(
+                f,
+                "device out of memory allocating `{label}`: requested {requested} B, \
+                 {available} B available"
+            ),
+            GpuError::InvalidLaunch { reason } => write!(f, "invalid kernel launch: {reason}"),
+            GpuError::InvalidBuffer { label } => write!(f, "invalid buffer `{label}`"),
+        }
+    }
+}
+
+impl std::error::Error for GpuError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_label_and_sizes() {
+        let e = GpuError::OutOfMemory {
+            requested: 100,
+            available: 10,
+            label: "dist".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("dist") && s.contains("100") && s.contains("10"));
+    }
+}

@@ -1,0 +1,259 @@
+//! Kernel execution contexts: blocks, threads, barriers and registers.
+
+use std::cell::Cell;
+
+use crate::atomic::Scalar;
+use crate::dim::Dim3;
+use crate::shared::Shared;
+use crate::stats::WorkCounters;
+
+/// Execution context for one thread block.
+///
+/// The kernel body receives a `BlockCtx` and expresses the classic CUDA
+/// phase structure:
+///
+/// ```text
+/// blk.threads(|t| { ... });   // phase 1 — all threads
+/// // implicit __syncthreads()
+/// blk.threads(|t| { ... });   // phase 2 — all threads
+/// ```
+///
+/// Each [`BlockCtx::threads`] call runs its closure once per thread of the
+/// block; because a phase completes for every thread before the next phase
+/// starts, the boundary between consecutive calls is exactly a block-wide
+/// barrier. State that must survive a barrier lives in [`Shared`] memory or
+/// per-thread [`Regs`].
+pub struct BlockCtx {
+    /// This block's index within the grid.
+    pub block: Dim3,
+    /// The grid extent of the launch.
+    pub grid_dim: Dim3,
+    /// The block extent of the launch (threads per block; x-dimension only).
+    pub block_dim: Dim3,
+    pub(crate) counters: WorkCounters,
+    pub(crate) shared_bytes: usize,
+}
+
+impl BlockCtx {
+    pub(crate) fn new(block: Dim3, grid_dim: Dim3, block_dim: Dim3) -> Self {
+        Self {
+            block,
+            grid_dim,
+            block_dim,
+            counters: WorkCounters::default(),
+            shared_bytes: 0,
+        }
+    }
+
+    /// Runs `f` once for every thread of the block (a kernel *phase*).
+    /// Consecutive calls are separated by an implicit block barrier.
+    #[inline]
+    pub fn threads<F: FnMut(&mut ThreadCtx<'_>)>(&mut self, mut f: F) {
+        let n = self.block_dim.x;
+        let (block, grid_dim, block_dim) = (self.block, self.grid_dim, self.block_dim);
+        for tid in 0..n {
+            let mut t = ThreadCtx {
+                tid,
+                block,
+                grid_dim,
+                block_dim,
+                counters: &mut self.counters,
+            };
+            f(&mut t);
+        }
+    }
+
+    /// Runs `f` on thread 0 only — the `if (threadIdx.x == 0)` idiom.
+    #[inline]
+    pub fn thread0<F: FnOnce(&mut ThreadCtx<'_>)>(&mut self, f: F) {
+        let mut t = ThreadCtx {
+            tid: 0,
+            block: self.block,
+            grid_dim: self.grid_dim,
+            block_dim: self.block_dim,
+            counters: &mut self.counters,
+        };
+        f(&mut t);
+    }
+
+    /// Allocates block-shared memory of `len` elements of `T`.
+    ///
+    /// The allocation counts toward the launch's shared-memory footprint
+    /// and thereby toward its occupancy limit.
+    pub fn shared<T: Scalar>(&mut self, len: usize) -> Shared<T> {
+        self.shared_bytes += len * T::BYTES;
+        Shared::new(len)
+    }
+
+    /// Allocates one register per thread of the block, initialized to
+    /// `T::default()`. Registers persist across barriers.
+    pub fn regs<T: Copy + Default>(&self) -> Regs<T> {
+        Regs {
+            vals: (0..self.block_dim.x as usize)
+                .map(|_| Cell::new(T::default()))
+                .collect(),
+        }
+    }
+}
+
+/// Per-thread registers surviving across block barriers.
+pub struct Regs<T: Copy> {
+    vals: Box<[Cell<T>]>,
+}
+
+impl<T: Copy> Regs<T> {
+    /// Reads the calling thread's register.
+    #[inline(always)]
+    pub fn get(&self, t: &ThreadCtx<'_>) -> T {
+        self.vals[t.tid as usize].get()
+    }
+
+    /// Writes the calling thread's register.
+    #[inline(always)]
+    pub fn set(&self, t: &ThreadCtx<'_>, v: T) {
+        self.vals[t.tid as usize].set(v);
+    }
+}
+
+/// Execution context for one thread within a block phase.
+pub struct ThreadCtx<'a> {
+    /// Thread index within the block (`threadIdx.x`).
+    pub tid: u32,
+    /// Block index within the grid (`blockIdx`).
+    pub block: Dim3,
+    /// Grid extent (`gridDim`).
+    pub grid_dim: Dim3,
+    /// Block extent (`blockDim`).
+    pub block_dim: Dim3,
+    pub(crate) counters: &'a mut WorkCounters,
+}
+
+impl ThreadCtx<'_> {
+    /// The global x-index: `blockIdx.x * blockDim.x + threadIdx.x`.
+    #[inline(always)]
+    pub fn global_id_x(&self) -> usize {
+        self.block.x as usize * self.block_dim.x as usize + self.tid as usize
+    }
+
+    /// Grid-stride loop over `0..n`: yields `global_id_x, global_id_x + S,
+    /// …` where `S` is the total number of threads along x. This is the
+    /// standard pattern for letting a fixed launch cover an arbitrary `n`
+    /// ("if the for-loop has more iterations than threads, each thread
+    /// handles multiple iterations", paper §4).
+    #[inline]
+    pub fn grid_stride_x(&self, n: usize) -> impl Iterator<Item = usize> {
+        let start = self.global_id_x();
+        let stride = self.grid_dim.x as usize * self.block_dim.x as usize;
+        (start..n).step_by(stride.max(1))
+    }
+
+    /// Charges `n` floating-point operations to the performance model.
+    #[inline(always)]
+    pub fn flops(&mut self, n: u64) {
+        self.counters.flops += n;
+    }
+
+    /// Charges `n` integer/address operations.
+    #[inline(always)]
+    pub fn ops(&mut self, n: u64) {
+        self.counters.int_ops += n;
+    }
+
+    #[inline(always)]
+    pub(crate) fn count_global_load(&mut self, bytes: usize) {
+        self.counters.global_loads += 1;
+        self.counters.bytes_loaded += bytes as u64;
+    }
+
+    #[inline(always)]
+    pub(crate) fn count_global_store(&mut self, bytes: usize) {
+        self.counters.global_stores += 1;
+        self.counters.bytes_stored += bytes as u64;
+    }
+
+    #[inline(always)]
+    pub(crate) fn count_global_atomic(&mut self, bytes: usize) {
+        self.counters.global_atomics += 1;
+        self.counters.bytes_loaded += bytes as u64;
+        self.counters.bytes_stored += bytes as u64;
+    }
+
+    #[inline(always)]
+    pub(crate) fn count_shared_access(&mut self) {
+        self.counters.shared_accesses += 1;
+    }
+
+    #[inline(always)]
+    pub(crate) fn count_shared_atomic(&mut self) {
+        self.counters.shared_atomics += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Device, DeviceConfig};
+
+    #[test]
+    fn phases_form_barriers() {
+        // Phase 2 must observe every phase-1 write, for every thread.
+        let mut dev = Device::new(DeviceConfig::gtx_1660_ti());
+        let ok = dev.alloc_zeroed::<u32>("ok", 1).unwrap();
+        dev.launch("barrier", Dim3::x(4), Dim3::x(64), |blk| {
+            let s = blk.shared::<u32>(64);
+            blk.threads(|t| {
+                s.st(t, t.tid as usize, t.tid + 1);
+            });
+            blk.threads(|t| {
+                // Read a *different* thread's slot; works only post-barrier.
+                let peer = (t.tid as usize + 1) % 64;
+                if s.ld(t, peer) == peer as u32 + 1 {
+                    ok.atomic_inc(t, 0);
+                }
+            });
+        });
+        assert_eq!(ok.peek(0), 4 * 64);
+    }
+
+    #[test]
+    fn grid_stride_covers_exactly_once() {
+        let mut dev = Device::new(DeviceConfig::gtx_1660_ti());
+        let n = 10_007; // prime, not a multiple of the stride
+        let hits = dev.alloc_zeroed::<u32>("hits", n).unwrap();
+        dev.launch("stride", Dim3::x(8), Dim3::x(128), |blk| {
+            blk.threads(|t| {
+                for i in t.grid_stride_x(n) {
+                    hits.atomic_inc(t, i);
+                }
+            });
+        });
+        assert!(hits.peek_all().iter().all(|&h| h == 1));
+    }
+
+    #[test]
+    fn regs_survive_barriers_per_thread() {
+        let mut dev = Device::new(DeviceConfig::gtx_1660_ti());
+        let out = dev.alloc_zeroed::<u32>("out", 32).unwrap();
+        dev.launch("regs", Dim3::x(1), Dim3::x(32), |blk| {
+            let r = blk.regs::<u32>();
+            blk.threads(|t| r.set(t, t.tid * 3));
+            blk.threads(|t| {
+                let v = r.get(t);
+                out.st(t, t.tid as usize, v);
+            });
+        });
+        assert_eq!(out.peek(10), 30);
+    }
+
+    #[test]
+    fn thread0_runs_once_per_block() {
+        let mut dev = Device::new(DeviceConfig::gtx_1660_ti());
+        let c = dev.alloc_zeroed::<u32>("c", 1).unwrap();
+        dev.launch("t0", Dim3::x(5), Dim3::x(256), |blk| {
+            blk.thread0(|t| {
+                c.atomic_inc(t, 0);
+            });
+        });
+        assert_eq!(c.peek(0), 5);
+    }
+}

@@ -1,0 +1,300 @@
+//! The analytic kernel performance model.
+//!
+//! The model is a standard occupancy-aware roofline. For a launch of
+//! `B` blocks of `T` threads with counted work `W`:
+//!
+//! 1. **Occupancy.** Resident blocks per SM are limited by the hardware
+//!    block/thread/shared-memory limits (the same arithmetic as NVIDIA's
+//!    occupancy calculator). Theoretical occupancy is resident warps over
+//!    the SM's warp capacity; achieved occupancy additionally accounts for
+//!    grids too small to fill every SM — which is exactly the effect the
+//!    paper discusses in §5.4 for the tiny `k × k` δ-kernel (3 % achieved).
+//! 2. **Compute time.** Issued operations divided by the clock rate times
+//!    the number of *effective* lanes: lanes are capped both by the physical
+//!    core count and by the number of concurrently resident threads (small
+//!    grids can't use all lanes; threads also can't exceed one instruction
+//!    per cycle per lane).
+//! 3. **Memory time.** Global traffic divided by peak bandwidth, derated
+//!    linearly when too few warps are resident to cover DRAM latency
+//!    (Little's-law approximation, `warps_to_saturate_mem` per SM).
+//! 4. **Atomic time.** Global and shared atomics are charged a fixed
+//!    per-operation cost spread across SMs. Same-address contention is not
+//!    modeled; the PROCLUS kernels keep per-thread partials precisely to
+//!    avoid such hotspots (paper §4.1).
+//! 5. The kernel takes `launch_overhead + max(compute, memory, atomic)`;
+//!    the max expresses overlap of computation with memory traffic.
+//!
+//! Known simplifications: memory accesses are priced as perfectly
+//! coalesced (the real row-major `data[p*d + j]` reads would amplify DRAM
+//! traffic on hardware, for the paper's CUDA code and for ours alike), and
+//! warp divergence is not modeled. Both affect absolute times, not the
+//! comparative shapes the harnesses report.
+//!
+//! Absolute times are estimates; what the model is designed to preserve is
+//! the *shape* the paper reports: time grows with useful parallel work,
+//! speedup versus the CPU grows with `n` until the device saturates and then
+//! flattens (Fig. 2a–b), and launch overhead puts a floor under tiny kernels.
+
+use crate::config::DeviceConfig;
+use crate::dim::Dim3;
+use crate::stats::WorkCounters;
+
+/// Which roofline term dominated a kernel's modeled runtime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Bound {
+    /// Instruction issue limited.
+    Compute,
+    /// Global-memory bandwidth limited.
+    Memory,
+    /// Atomic throughput limited.
+    Atomic,
+    /// Fixed launch overhead dominates (tiny kernel).
+    Launch,
+}
+
+/// Modeled timing and utilization for one kernel launch.
+#[derive(Debug, Clone, Copy)]
+pub struct KernelTiming {
+    /// Total modeled time in microseconds, including launch overhead.
+    pub time_us: f64,
+    /// Occupancy achievable from the launch configuration alone.
+    pub theoretical_occupancy: f64,
+    /// Occupancy after accounting for grids too small to fill the device.
+    pub achieved_occupancy: f64,
+    /// Achieved global-memory throughput as a fraction of peak.
+    pub mem_throughput_frac: f64,
+    /// Dominant roofline term.
+    pub bound: Bound,
+}
+
+/// Occupancy figures derived purely from the launch configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct Occupancy {
+    /// Resident blocks per SM.
+    pub blocks_per_sm: u32,
+    /// Resident warps per SM.
+    pub warps_per_sm: u32,
+    /// `warps_per_sm / max_warps_per_sm`.
+    pub theoretical: f64,
+    /// Average resident warps per SM given the actual grid size.
+    pub achieved: f64,
+}
+
+/// Computes occupancy for a launch of `grid` blocks of `block` threads using
+/// `shared_bytes` of shared memory per block.
+pub fn occupancy(cfg: &DeviceConfig, grid: Dim3, block: Dim3, shared_bytes: usize) -> Occupancy {
+    let tpb = block.volume().max(1) as u32;
+    let warps_per_block = tpb.div_ceil(cfg.warp_size);
+
+    let by_blocks = cfg.max_blocks_per_sm;
+    let by_threads = cfg.max_threads_per_sm / (warps_per_block * cfg.warp_size);
+    let by_shared = cfg
+        .shared_mem_per_sm
+        .checked_div(shared_bytes)
+        .map(|b| b as u32)
+        .unwrap_or(u32::MAX);
+    let blocks_per_sm = by_blocks.min(by_threads).min(by_shared);
+
+    let max_warps = cfg.max_warps_per_sm();
+    let warps_per_sm = (blocks_per_sm * warps_per_block).min(max_warps);
+    let theoretical = warps_per_sm as f64 / max_warps as f64;
+
+    // Average resident warps per SM over the launch, given the grid size.
+    let total_blocks = grid.volume();
+    let resident_blocks_device = (cfg.num_sms as u64 * blocks_per_sm as u64).max(1);
+    let fill = (total_blocks as f64 / resident_blocks_device as f64).min(1.0);
+    let achieved = theoretical * fill;
+
+    Occupancy {
+        blocks_per_sm,
+        warps_per_sm,
+        theoretical,
+        achieved,
+    }
+}
+
+/// Models the runtime of one kernel launch from its counted work.
+pub fn model_kernel(
+    cfg: &DeviceConfig,
+    grid: Dim3,
+    block: Dim3,
+    shared_bytes: usize,
+    w: &WorkCounters,
+) -> KernelTiming {
+    let occ = occupancy(cfg, grid, block, shared_bytes);
+    let tpb = block.volume().max(1);
+    let total_threads = grid.volume() * tpb;
+
+    // --- compute roofline -------------------------------------------------
+    // Lanes usable simultaneously: capped by the core count and by how many
+    // threads are actually resident at once.
+    let resident_threads = (grid
+        .volume()
+        .min(cfg.num_sms as u64 * occ.blocks_per_sm.max(1) as u64))
+        * tpb;
+    let effective_lanes = (cfg.total_cores() as f64).min(resident_threads.max(1) as f64);
+    let cycles = w.issued_ops() as f64;
+    let compute_us = cycles / (effective_lanes * cfg.clock_ghz * 1e3);
+
+    // --- memory roofline --------------------------------------------------
+    let resident_warps_device = cfg.num_sms as f64
+        * (occ.achieved * cfg.max_warps_per_sm() as f64).max(if total_threads > 0 {
+            1.0
+        } else {
+            0.0
+        });
+    let warps_needed = (cfg.num_sms * cfg.warps_to_saturate_mem) as f64;
+    let bw_frac = (resident_warps_device / warps_needed).min(1.0);
+    let bw_eff = cfg.mem_bandwidth_gbps * 1e3 * bw_frac; // bytes/us
+    let mem_bytes = w.global_bytes() as f64;
+    let mem_us = if mem_bytes > 0.0 {
+        mem_bytes / bw_eff.max(1e-9)
+    } else {
+        0.0
+    };
+
+    // --- atomics ----------------------------------------------------------
+    let atomic_us = (w.global_atomics as f64 * cfg.global_atomic_ns
+        + w.shared_atomics as f64 * cfg.shared_atomic_ns)
+        / (cfg.num_sms as f64)
+        / 1e3;
+
+    let body_us = compute_us.max(mem_us).max(atomic_us);
+    let time_us = cfg.kernel_launch_us + body_us;
+
+    let bound = if cfg.kernel_launch_us >= body_us {
+        Bound::Launch
+    } else if body_us == compute_us {
+        Bound::Compute
+    } else if body_us == mem_us {
+        Bound::Memory
+    } else {
+        Bound::Atomic
+    };
+
+    let mem_throughput_frac = if time_us > 0.0 {
+        (mem_bytes / time_us / (cfg.mem_bandwidth_gbps * 1e3)).min(1.0)
+    } else {
+        0.0
+    };
+
+    KernelTiming {
+        time_us,
+        theoretical_occupancy: occ.theoretical,
+        achieved_occupancy: occ.achieved,
+        mem_throughput_frac,
+        bound,
+    }
+}
+
+/// Models a host↔device transfer of `bytes`.
+pub fn model_transfer(cfg: &DeviceConfig, bytes: usize) -> f64 {
+    cfg.pcie_latency_us + bytes as f64 / (cfg.pcie_bandwidth_gbps * 1e3)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> DeviceConfig {
+        DeviceConfig::gtx_1660_ti()
+    }
+
+    fn big_work(bytes: u64) -> WorkCounters {
+        WorkCounters {
+            flops: bytes / 2,
+            bytes_loaded: bytes,
+            global_loads: bytes / 4,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn full_grid_reaches_full_theoretical_occupancy() {
+        // 1024-thread blocks on Turing: 1 block/SM → 32/32 warps.
+        let occ = occupancy(&cfg(), Dim3::x(1000), Dim3::x(1024), 0);
+        assert!((occ.theoretical - 1.0).abs() < 1e-9);
+        assert!((occ.achieved - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tiny_grid_has_tiny_achieved_occupancy() {
+        // The paper's k×k δ-kernel: k=10 blocks of 10 threads (§5.4, ~3%).
+        let occ = occupancy(&cfg(), Dim3::x(10), Dim3::x(10), 0);
+        assert!(occ.achieved < 0.05, "achieved {} too high", occ.achieved);
+        assert!(occ.theoretical <= 0.51);
+    }
+
+    #[test]
+    fn shared_memory_limits_occupancy() {
+        let none = occupancy(&cfg(), Dim3::x(1000), Dim3::x(128), 0);
+        let heavy = occupancy(&cfg(), Dim3::x(1000), Dim3::x(128), 32 * 1024);
+        assert!(heavy.blocks_per_sm < none.blocks_per_sm);
+    }
+
+    #[test]
+    fn time_is_monotone_in_work() {
+        let c = cfg();
+        let t1 = model_kernel(&c, Dim3::x(100), Dim3::x(1024), 0, &big_work(1 << 20));
+        let t2 = model_kernel(&c, Dim3::x(100), Dim3::x(1024), 0, &big_work(1 << 24));
+        assert!(t2.time_us > t1.time_us);
+    }
+
+    #[test]
+    fn empty_kernel_costs_launch_overhead() {
+        let c = cfg();
+        let t = model_kernel(&c, Dim3::x(1), Dim3::x(32), 0, &WorkCounters::default());
+        assert_eq!(t.bound, Bound::Launch);
+        assert!((t.time_us - c.kernel_launch_us).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bandwidth_bound_kernel_near_peak_throughput() {
+        let c = cfg();
+        // 1 GiB of traffic from a saturating grid: memory-bound, ≥ 80% of peak.
+        let w = WorkCounters {
+            bytes_loaded: 1 << 30,
+            global_loads: (1 << 30) / 4,
+            ..Default::default()
+        };
+        let t = model_kernel(&c, Dim3::x(100_000), Dim3::x(1024), 0, &w);
+        assert_eq!(t.bound, Bound::Memory);
+        assert!(t.mem_throughput_frac > 0.8, "{}", t.mem_throughput_frac);
+    }
+
+    #[test]
+    fn transfer_time_scales_with_bytes() {
+        let c = cfg();
+        let t0 = model_transfer(&c, 0);
+        let t1 = model_transfer(&c, 12_000_000); // 12 MB at 12 GB/s ≈ 1000 us
+        assert!((t0 - c.pcie_latency_us).abs() < 1e-9);
+        assert!((t1 - t0 - 1000.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn speedup_shape_grows_then_flattens_with_n() {
+        // The core scalability claim (Fig. 2a): modeled time per element
+        // drops as n grows (fixed overheads amortize) and approaches a
+        // bandwidth-dictated floor.
+        let c = cfg();
+        let mut per_elem = Vec::new();
+        for n in [1_000u64, 10_000, 100_000, 1_000_000, 10_000_000] {
+            let w = WorkCounters {
+                flops: 3 * n,
+                global_loads: n,
+                bytes_loaded: 4 * n,
+                ..Default::default()
+            };
+            let grid = Dim3::blocks_for(n as usize, 1024);
+            let t = model_kernel(&c, grid, Dim3::x(1024), 0, &w);
+            per_elem.push(t.time_us / n as f64);
+        }
+        for pair in per_elem.windows(2) {
+            assert!(pair[1] <= pair[0] * 1.0001, "per-element time increased");
+        }
+        // Flattening: the last two points are within 20% of each other.
+        let a = per_elem[per_elem.len() - 2];
+        let b = per_elem[per_elem.len() - 1];
+        assert!(b / a > 0.5);
+    }
+}

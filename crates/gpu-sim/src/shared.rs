@@ -1,0 +1,158 @@
+//! Block-shared memory.
+//!
+//! On real hardware shared memory is an SM-local scratchpad an order of
+//! magnitude faster than global memory; the PROCLUS kernels stage medoid
+//! rows, per-point minima (Alg. 5) and per-cluster centroids (Alg. 6) there.
+//! In the simulator a [`Shared`] allocation lives for the duration of one
+//! block's execution; accesses are counted separately from global traffic so
+//! the performance model can price them accordingly, and its size feeds the
+//! occupancy calculation.
+
+use std::cell::Cell;
+use std::marker::PhantomData;
+
+use crate::atomic::{AtomicNum, Scalar};
+use crate::kernel::ThreadCtx;
+
+/// A block-shared memory array of `T`.
+///
+/// Created with [`crate::BlockCtx::shared`]. A block executes its threads
+/// sequentially between barriers, so interior mutability via `Cell` is
+/// sufficient; *semantically* the accesses behave like CUDA shared memory
+/// including atomics (which here are trivially linearizable).
+pub struct Shared<T: Scalar> {
+    words: Box<[Cell<u64>]>,
+    _marker: PhantomData<T>,
+}
+
+impl<T: Scalar> Shared<T> {
+    pub(crate) fn new(len: usize) -> Self {
+        Self {
+            words: (0..len).map(|_| Cell::new(T::ZERO.to_word())).collect(),
+            _marker: PhantomData,
+        }
+    }
+
+    /// Number of elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.words.len()
+    }
+
+    /// True if zero-length.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+
+    /// Shared-memory load.
+    #[inline(always)]
+    pub fn ld(&self, t: &mut ThreadCtx<'_>, i: usize) -> T {
+        t.count_shared_access();
+        T::from_word(self.words[i].get())
+    }
+
+    /// Shared-memory store.
+    #[inline(always)]
+    pub fn st(&self, t: &mut ThreadCtx<'_>, i: usize, v: T) {
+        t.count_shared_access();
+        self.words[i].set(v.to_word());
+    }
+
+    /// Fills the array with `v`, charged to the calling thread.
+    pub fn fill(&self, t: &mut ThreadCtx<'_>, v: T) {
+        for i in 0..self.len() {
+            self.st(t, i, v);
+        }
+    }
+}
+
+impl<T: AtomicNum> Shared<T> {
+    #[inline(always)]
+    fn rmw(&self, t: &mut ThreadCtx<'_>, i: usize, f: impl FnOnce(T) -> T) -> T {
+        t.count_shared_atomic();
+        let old = T::from_word(self.words[i].get());
+        self.words[i].set(f(old).to_word());
+        old
+    }
+
+    /// Shared `atomicAdd`, returning the previous value.
+    #[inline(always)]
+    pub fn atomic_add(&self, t: &mut ThreadCtx<'_>, i: usize, v: T) -> T {
+        self.rmw(t, i, |x| x.add(v))
+    }
+
+    /// Shared `atomicMin`, returning the previous value.
+    #[inline(always)]
+    pub fn atomic_min(&self, t: &mut ThreadCtx<'_>, i: usize, v: T) -> T {
+        self.rmw(t, i, |x| x.min_v(v))
+    }
+
+    /// Shared `atomicMax`, returning the previous value.
+    #[inline(always)]
+    pub fn atomic_max(&self, t: &mut ThreadCtx<'_>, i: usize, v: T) -> T {
+        self.rmw(t, i, |x| x.max_v(v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{Device, DeviceConfig, Dim3};
+
+    #[test]
+    fn shared_min_then_compare_pattern() {
+        // The AssignPoints idiom: atomicMin into shared, barrier, compare.
+        let mut dev = Device::new(DeviceConfig::gtx_1660_ti());
+        let winner = dev.alloc_zeroed::<u32>("winner", 1).unwrap();
+        dev.launch("argmin", Dim3::x(1), Dim3::x(64), |blk| {
+            let dist = blk.shared::<f32>(1);
+            let mine = blk.regs::<f32>();
+            blk.threads(|t| {
+                dist.st(t, 0, f32::INFINITY);
+            });
+            blk.threads(|t| {
+                let v = ((t.tid as i32 - 17).abs()) as f32;
+                mine.set(t, v);
+                dist.atomic_min(t, 0, v);
+            });
+            blk.threads(|t| {
+                if dist.ld(t, 0) == mine.get(t) {
+                    winner.st(t, 0, t.tid);
+                }
+            });
+        });
+        assert_eq!(winner.peek(0), 17);
+    }
+
+    #[test]
+    fn shared_accesses_are_counted_separately() {
+        let mut dev = Device::new(DeviceConfig::gtx_1660_ti());
+        dev.launch("sh", Dim3::x(2), Dim3::x(32), |blk| {
+            let s = blk.shared::<f64>(4);
+            blk.threads(|t| {
+                s.st(t, (t.tid % 4) as usize, 1.0);
+                s.atomic_add(t, 0, 1.0);
+            });
+        });
+        let rep = dev.report();
+        let w = &rep.kernels["sh"].work;
+        assert_eq!(w.shared_accesses, 2 * 32);
+        assert_eq!(w.shared_atomics, 2 * 32);
+        assert_eq!(w.global_loads + w.global_stores, 0);
+    }
+
+    #[test]
+    fn shared_allocation_feeds_occupancy() {
+        let mut dev = Device::new(DeviceConfig::gtx_1660_ti());
+        dev.launch("big-shared", Dim3::x(100), Dim3::x(64), |blk| {
+            // 32 KiB/block halves the blocks/SM vs. unlimited.
+            let s = blk.shared::<f64>(4096);
+            blk.threads(|t| {
+                s.st(t, t.tid as usize % 4096, 0.0);
+            });
+        });
+        let rep = dev.report();
+        let t = rep.kernels["big-shared"].representative.as_ref().unwrap();
+        assert!(t.timing.theoretical_occupancy <= 0.51);
+    }
+}

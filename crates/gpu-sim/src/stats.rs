@@ -1,0 +1,188 @@
+//! Work counters and per-kernel / per-device statistics.
+
+use std::collections::BTreeMap;
+
+use crate::dim::Dim3;
+use crate::perf::KernelTiming;
+
+/// Work counted during kernel execution. Threads accumulate into a
+/// block-local instance; blocks merge into the kernel total at block exit,
+/// so the counting overhead in the hot path is a handful of plain integer
+/// increments.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WorkCounters {
+    /// Floating-point operations explicitly charged via `ThreadCtx::flops`.
+    pub flops: u64,
+    /// Integer/address operations charged via `ThreadCtx::ops`.
+    pub int_ops: u64,
+    /// Global-memory loads (element granularity).
+    pub global_loads: u64,
+    /// Global-memory stores.
+    pub global_stores: u64,
+    /// Global-memory atomic read-modify-writes.
+    pub global_atomics: u64,
+    /// Bytes read from global memory.
+    pub bytes_loaded: u64,
+    /// Bytes written to global memory.
+    pub bytes_stored: u64,
+    /// Shared-memory accesses (loads + stores).
+    pub shared_accesses: u64,
+    /// Shared-memory atomics.
+    pub shared_atomics: u64,
+}
+
+impl WorkCounters {
+    /// Adds `other` into `self`.
+    pub fn merge(&mut self, other: &WorkCounters) {
+        self.flops += other.flops;
+        self.int_ops += other.int_ops;
+        self.global_loads += other.global_loads;
+        self.global_stores += other.global_stores;
+        self.global_atomics += other.global_atomics;
+        self.bytes_loaded += other.bytes_loaded;
+        self.bytes_stored += other.bytes_stored;
+        self.shared_accesses += other.shared_accesses;
+        self.shared_atomics += other.shared_atomics;
+    }
+
+    /// Total global-memory traffic in bytes (loads + stores + atomics,
+    /// charging an atomic as a read-modify-write of its element).
+    pub fn global_bytes(&self) -> u64 {
+        self.bytes_loaded + self.bytes_stored
+    }
+
+    /// Total instructions issued (the compute-roofline numerator).
+    pub fn issued_ops(&self) -> u64 {
+        self.flops + self.int_ops + self.global_loads + self.global_stores + self.shared_accesses
+    }
+}
+
+/// Statistics for one kernel launch.
+#[derive(Debug, Clone)]
+pub struct KernelStats {
+    /// Kernel name as given to `Device::launch`.
+    pub name: String,
+    /// Grid extent of the launch.
+    pub grid: Dim3,
+    /// Block extent of the launch.
+    pub block: Dim3,
+    /// Shared memory allocated per block, in bytes.
+    pub shared_bytes_per_block: usize,
+    /// Work counted across all blocks.
+    pub work: WorkCounters,
+    /// The modeled timing for this launch.
+    pub timing: KernelTiming,
+}
+
+/// Per-kernel-name aggregate over a device's lifetime.
+#[derive(Debug, Clone, Default)]
+pub struct KernelAggregate {
+    /// Number of launches of this kernel.
+    pub launches: u64,
+    /// Sum of modeled kernel time in microseconds.
+    pub total_time_us: f64,
+    /// Accumulated work counters.
+    pub work: WorkCounters,
+    /// Stats of the largest launch seen (by grid volume), kept as the
+    /// representative for occupancy/throughput reporting (§5.4).
+    pub representative: Option<KernelStats>,
+}
+
+/// Snapshot of everything the device has done so far.
+#[derive(Debug, Clone, Default)]
+pub struct DeviceReport {
+    /// Simulated device time consumed so far, in microseconds
+    /// (kernels + transfers).
+    pub elapsed_us: f64,
+    /// Simulated time spent in host↔device transfers, in microseconds.
+    pub transfer_us: f64,
+    /// Number of kernel launches.
+    pub launches: u64,
+    /// Current bytes allocated from the pool.
+    pub mem_used: usize,
+    /// Peak bytes allocated from the pool.
+    pub mem_peak: usize,
+    /// Aggregates keyed by kernel name (sorted for stable output).
+    pub kernels: BTreeMap<String, KernelAggregate>,
+}
+
+impl DeviceReport {
+    /// Renders a compact table of per-kernel aggregates, most expensive
+    /// first — the simulator's answer to `nsight-compute`'s summary page.
+    pub fn kernel_table(&self) -> String {
+        let mut rows: Vec<(&String, &KernelAggregate)> = self.kernels.iter().collect();
+        rows.sort_by(|a, b| b.1.total_time_us.total_cmp(&a.1.total_time_us));
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<28} {:>8} {:>12} {:>8} {:>8} {:>8}\n",
+            "kernel", "launches", "time(us)", "occ_th", "occ_ach", "mem%"
+        ));
+        for (name, agg) in rows {
+            let (occ_t, occ_a, memf) = agg
+                .representative
+                .as_ref()
+                .map(|r| {
+                    (
+                        r.timing.theoretical_occupancy,
+                        r.timing.achieved_occupancy,
+                        r.timing.mem_throughput_frac,
+                    )
+                })
+                .unwrap_or((0.0, 0.0, 0.0));
+            out.push_str(&format!(
+                "{:<28} {:>8} {:>12.1} {:>7.1}% {:>7.1}% {:>7.1}%\n",
+                name,
+                agg.launches,
+                agg.total_time_us,
+                occ_t * 100.0,
+                occ_a * 100.0,
+                memf * 100.0
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_adds_fieldwise() {
+        let mut a = WorkCounters {
+            flops: 1,
+            int_ops: 2,
+            global_loads: 3,
+            global_stores: 4,
+            global_atomics: 5,
+            bytes_loaded: 6,
+            bytes_stored: 7,
+            shared_accesses: 8,
+            shared_atomics: 9,
+        };
+        a.merge(&a.clone());
+        assert_eq!(a.flops, 2);
+        assert_eq!(a.shared_atomics, 18);
+        assert_eq!(a.global_bytes(), 26);
+    }
+
+    #[test]
+    fn kernel_table_sorted_by_time() {
+        let mut rep = DeviceReport::default();
+        for (name, t) in [("cheap", 1.0), ("hot", 100.0)] {
+            rep.kernels.insert(
+                name.into(),
+                KernelAggregate {
+                    launches: 1,
+                    total_time_us: t,
+                    work: WorkCounters::default(),
+                    representative: None,
+                },
+            );
+        }
+        let table = rep.kernel_table();
+        let hot_pos = table.find("hot").unwrap();
+        let cheap_pos = table.find("cheap").unwrap();
+        assert!(hot_pos < cheap_pos, "hot kernel should be listed first");
+    }
+}

@@ -1,0 +1,292 @@
+//! Kernel execution timeline: per-launch records with start/end times and
+//! stream lanes, a text Gantt renderer, and Chrome-trace (`chrome://tracing`
+//! / Perfetto) JSON export.
+//!
+//! Tracing is off by default (a long PROCLUS run launches hundreds of
+//! kernels); enable it with [`crate::Device::set_tracing`]. Each record
+//! captures the *modeled* device interval the launch occupied, so the
+//! timeline shows exactly what the performance model believes happened —
+//! including stream overlap.
+
+use std::fmt::Write as _;
+
+/// One traced device operation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    /// Kernel name (or `htod`/`dtoh`/`memset` for transfers).
+    pub name: String,
+    /// Modeled start time, µs since device creation.
+    pub start_us: f64,
+    /// Modeled end time, µs.
+    pub end_us: f64,
+    /// Stream lane: 0 = default stream, `s + 1` = async stream `s`.
+    pub lane: usize,
+}
+
+impl TraceEvent {
+    /// Duration in microseconds.
+    pub fn duration_us(&self) -> f64 {
+        self.end_us - self.start_us
+    }
+}
+
+/// The recorded timeline.
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    events: Vec<TraceEvent>,
+    enabled: bool,
+}
+
+impl Trace {
+    pub(crate) fn set_enabled(&mut self, on: bool) {
+        self.enabled = on;
+    }
+
+    pub(crate) fn record(&mut self, name: &str, start_us: f64, end_us: f64, lane: usize) {
+        if self.enabled {
+            self.events.push(TraceEvent {
+                name: name.to_string(),
+                start_us,
+                end_us,
+                lane,
+            });
+        }
+    }
+
+    /// All recorded events, in issue order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// True when recording.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Drops all recorded events.
+    pub fn clear(&mut self) {
+        self.events.clear();
+    }
+
+    /// Renders a text Gantt chart of the last `max_events` events, `width`
+    /// characters wide. Each row is one event; the bar spans its modeled
+    /// interval within the rendered window. Lanes are tagged `[dN]` for the
+    /// default stream and `[sN]` for async streams.
+    pub fn render_gantt(&self, max_events: usize, width: usize) -> String {
+        let events: &[TraceEvent] = if self.events.len() > max_events {
+            &self.events[self.events.len() - max_events..]
+        } else {
+            &self.events
+        };
+        if events.is_empty() {
+            return "(no trace events; call Device::set_tracing(true))\n".to_string();
+        }
+        let t0 = events
+            .iter()
+            .map(|e| e.start_us)
+            .fold(f64::INFINITY, f64::min);
+        let t1 = events.iter().map(|e| e.end_us).fold(0.0f64, f64::max);
+        let span = (t1 - t0).max(1e-9);
+        let width = width.max(20);
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "timeline: {:.1} us .. {:.1} us ({} events)",
+            t0,
+            t1,
+            events.len()
+        );
+        for e in events {
+            let b = (((e.start_us - t0) / span) * width as f64).floor() as usize;
+            let e_end = (((e.end_us - t0) / span) * width as f64).ceil() as usize;
+            let e_end = e_end.clamp(b + 1, width);
+            let mut bar = vec![b' '; width];
+            for c in bar.iter_mut().take(e_end).skip(b) {
+                *c = b'#';
+            }
+            let lane = if e.lane == 0 {
+                "[d]".to_string()
+            } else {
+                format!("[s{}]", e.lane - 1)
+            };
+            let _ = writeln!(
+                out,
+                "{:<26} {:>4} |{}| {:>9.1} us",
+                truncate(&e.name, 26),
+                lane,
+                String::from_utf8_lossy(&bar),
+                e.duration_us()
+            );
+        }
+        out
+    }
+
+    /// Exports the timeline as Chrome-trace JSON (open in
+    /// `chrome://tracing` or Perfetto). Stream lanes map to thread ids.
+    pub fn to_chrome_trace(&self) -> String {
+        let mut out = String::from("[");
+        for (i, e) in self.events.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"name\":\"{}\",\"ph\":\"X\",\"ts\":{:.3},\"dur\":{:.3},\"pid\":1,\"tid\":{}}}",
+                e.name.replace('"', "'"),
+                e.start_us,
+                e.duration_us(),
+                e.lane
+            );
+        }
+        out.push(']');
+        out
+    }
+
+    /// Total busy time per lane (µs), lane 0 first.
+    pub fn lane_busy_us(&self) -> Vec<(usize, f64)> {
+        let mut lanes: std::collections::BTreeMap<usize, f64> = Default::default();
+        for e in &self.events {
+            *lanes.entry(e.lane).or_insert(0.0) += e.duration_us();
+        }
+        lanes.into_iter().collect()
+    }
+}
+
+fn truncate(s: &str, n: usize) -> &str {
+    if s.len() <= n {
+        s
+    } else {
+        &s[..n]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Device, DeviceConfig, Dim3};
+
+    fn traced_device() -> Device {
+        let mut dev = Device::new(DeviceConfig::gtx_1660_ti());
+        dev.set_tracing(true);
+        dev
+    }
+
+    #[test]
+    fn disabled_by_default_records_nothing() {
+        let mut dev = Device::new(DeviceConfig::gtx_1660_ti());
+        let b = dev.alloc_zeroed::<u32>("b", 8).unwrap();
+        dev.launch("k", Dim3::x(1), Dim3::x(8), |blk| {
+            blk.threads(|t| b.st(t, t.tid as usize, 1));
+        });
+        assert!(dev.trace().events().is_empty());
+    }
+
+    #[test]
+    fn launches_record_contiguous_default_lane_intervals() {
+        let mut dev = traced_device();
+        let b = dev.alloc_zeroed::<u32>("b", 8).unwrap();
+        for _ in 0..3 {
+            dev.launch("k", Dim3::x(1), Dim3::x(8), |blk| {
+                blk.threads(|t| b.st(t, t.tid as usize, 1));
+            });
+        }
+        let kernel_events: Vec<_> = dev
+            .trace()
+            .events()
+            .iter()
+            .filter(|e| e.name == "k")
+            .cloned()
+            .collect();
+        assert_eq!(kernel_events.len(), 3);
+        for w in kernel_events.windows(2) {
+            assert!(
+                w[0].end_us <= w[1].start_us + 1e-9,
+                "default lane is serial"
+            );
+        }
+        assert!(kernel_events.iter().all(|e| e.lane == 0));
+    }
+
+    #[test]
+    fn stream_launches_land_on_their_own_lanes_and_overlap() {
+        let mut dev = traced_device();
+        let b = dev.alloc_zeroed::<f32>("b", 256).unwrap();
+        let s1 = dev.create_stream();
+        let s2 = dev.create_stream();
+        for s in [s1, s2] {
+            let bb = b.clone();
+            dev.launch_on(s, "w", Dim3::x(2), Dim3::x(128), move |blk| {
+                blk.threads(|t| {
+                    t.flops(100_000);
+                    bb.st(t, t.tid as usize, 1.0);
+                });
+            });
+        }
+        dev.sync_streams();
+        let ev: Vec<_> = dev
+            .trace()
+            .events()
+            .iter()
+            .filter(|e| e.name == "w")
+            .cloned()
+            .collect();
+        assert_eq!(ev.len(), 2);
+        assert_ne!(ev[0].lane, ev[1].lane);
+        // The intervals overlap in modeled time.
+        assert!(ev[0].start_us < ev[1].end_us && ev[1].start_us < ev[0].end_us);
+    }
+
+    #[test]
+    fn gantt_renders_every_event_with_bars() {
+        let mut dev = traced_device();
+        let b = dev.alloc_zeroed::<u32>("b", 8).unwrap();
+        dev.launch("alpha", Dim3::x(1), Dim3::x(8), |blk| {
+            blk.threads(|t| b.st(t, t.tid as usize, 1));
+        });
+        dev.launch("beta", Dim3::x(1), Dim3::x(8), |blk| {
+            blk.threads(|t| b.st(t, t.tid as usize, 2));
+        });
+        let g = dev.trace().render_gantt(10, 40);
+        assert!(g.contains("alpha") && g.contains("beta"));
+        assert!(g.contains('#'));
+    }
+
+    #[test]
+    fn chrome_trace_is_valid_jsonish() {
+        let mut dev = traced_device();
+        let b = dev.alloc_zeroed::<u32>("b", 8).unwrap();
+        dev.launch("k1", Dim3::x(1), Dim3::x(8), |blk| {
+            blk.threads(|t| b.st(t, t.tid as usize, 1));
+        });
+        let json = dev.trace().to_chrome_trace();
+        assert!(json.starts_with('[') && json.ends_with(']'));
+        assert!(json.contains("\"name\":\"k1\""));
+        assert!(json.contains("\"ph\":\"X\""));
+    }
+
+    #[test]
+    fn transfers_are_traced_too() {
+        let mut dev = traced_device();
+        let b = dev.htod("x", &[1.0f32; 100]).unwrap();
+        let _ = dev.dtoh(&b);
+        let names: Vec<&str> = dev
+            .trace()
+            .events()
+            .iter()
+            .map(|e| e.name.as_str())
+            .collect();
+        assert!(names.contains(&"htod:x"));
+        assert!(names.iter().any(|n| n.starts_with("dtoh")));
+    }
+
+    #[test]
+    fn lane_busy_sums_durations() {
+        let mut t = Trace::default();
+        t.set_enabled(true);
+        t.record("a", 0.0, 5.0, 0);
+        t.record("b", 5.0, 7.0, 0);
+        t.record("c", 0.0, 3.0, 1);
+        let busy = t.lane_busy_us();
+        assert_eq!(busy, vec![(0, 7.0), (1, 3.0)]);
+    }
+}

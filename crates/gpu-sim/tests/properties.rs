@@ -1,0 +1,169 @@
+//! Property-based tests of the simulator substrate: atomics behave
+//! linearizably under arbitrary workloads, launch geometry enumerates
+//! exactly, the memory pool never mis-accounts, and the performance model
+//! stays within physical bounds.
+
+use proptest::prelude::*;
+
+use gpu_sim::memory::MemoryPool;
+use gpu_sim::perf::{model_kernel, occupancy};
+use gpu_sim::{Device, DeviceConfig, Dim3, WorkCounters};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Atomic adds from arbitrary grid shapes are exact: the final value
+    /// equals the sequential sum no matter how blocks interleave.
+    #[test]
+    fn atomic_adds_are_linearizable(
+        blocks in 1u32..40,
+        threads in 1u32..257,
+        cells in 1usize..8,
+    ) {
+        let mut dev = Device::new(DeviceConfig::gtx_1660_ti());
+        let acc = dev.alloc_zeroed::<u64>("acc", cells).unwrap();
+        dev.launch("adds", Dim3::x(blocks), Dim3::x(threads), |blk| {
+            blk.threads(|t| {
+                let g = t.global_id_x() as u64;
+                acc.atomic_add(t, (g as usize) % cells, g + 1);
+            });
+        });
+        let total_threads = blocks as u64 * threads as u64;
+        let want_total: u64 = (1..=total_threads).sum();
+        let got_total: u64 = acc.peek_all().iter().sum();
+        prop_assert_eq!(got_total, want_total);
+    }
+
+    /// Float atomic min over arbitrary values finds the true minimum.
+    #[test]
+    fn atomic_min_finds_global_minimum(vals in proptest::collection::vec(-1e6f32..1e6, 1..500)) {
+        let mut dev = Device::new(DeviceConfig::gtx_1660_ti());
+        let buf = dev.htod("vals", &vals).unwrap();
+        let m = dev.alloc::<f32>("m", 1, f32::INFINITY).unwrap();
+        let n = vals.len();
+        dev.launch("min", Dim3::blocks_for(n, 64), Dim3::x(64), |blk| {
+            blk.threads(|t| {
+                let g = t.global_id_x();
+                if g < n {
+                    let v = buf.ld(t, g);
+                    m.atomic_min(t, 0, v);
+                }
+            });
+        });
+        let want = vals.iter().copied().fold(f32::INFINITY, f32::min);
+        prop_assert_eq!(m.peek(0), want);
+    }
+
+    /// `atomic_inc` slot claiming is a bijection: every thread gets a
+    /// distinct slot and all slots in `0..total` are used.
+    #[test]
+    fn atomic_inc_claims_are_a_bijection(blocks in 1u32..20, threads in 1u32..129) {
+        let total = (blocks * threads) as usize;
+        let mut dev = Device::new(DeviceConfig::gtx_1660_ti());
+        let counter = dev.alloc_zeroed::<u32>("c", 1).unwrap();
+        let slots = dev.alloc::<u32>("s", total, u32::MAX).unwrap();
+        dev.launch("claim", Dim3::x(blocks), Dim3::x(threads), |blk| {
+            blk.threads(|t| {
+                let pos = counter.atomic_inc(t, 0) as usize;
+                slots.st(t, pos, t.global_id_x() as u32);
+            });
+        });
+        let mut got = slots.peek_all();
+        got.sort_unstable();
+        let want: Vec<u32> = (0..total as u32).collect();
+        prop_assert_eq!(got, want);
+    }
+
+    /// Grid linearization visits each coordinate exactly once.
+    #[test]
+    fn dim3_linearization_is_a_bijection(x in 1u32..12, y in 1u32..12, z in 1u32..6) {
+        let g = Dim3::xyz(x, y, z);
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..g.volume() {
+            let c = g.from_linear(i);
+            prop_assert!(c.x < x && c.y < y && c.z < z);
+            prop_assert!(seen.insert((c.x, c.y, c.z)));
+        }
+        prop_assert_eq!(seen.len() as u64, g.volume());
+    }
+
+    /// Pool accounting: after an arbitrary interleaving of allocs and
+    /// frees, `used` equals the live total and `peak >= used` always.
+    #[test]
+    fn pool_accounting_is_exact(ops in proptest::collection::vec((1usize..10_000, any::<bool>()), 1..60)) {
+        let mut pool = MemoryPool::new(1 << 20);
+        let mut live: Vec<(u64, usize)> = Vec::new();
+        let mut peak_seen = 0usize;
+        for (bytes, free_first) in ops {
+            if free_first && !live.is_empty() {
+                let (id, _) = live.remove(live.len() / 2);
+                pool.free(id).unwrap();
+            }
+            if let Ok(id) = pool.alloc("x", bytes) {
+                live.push((id, bytes));
+            }
+            let live_total: usize = live.iter().map(|&(_, b)| b).sum();
+            prop_assert_eq!(pool.used(), live_total);
+            peak_seen = peak_seen.max(live_total);
+            prop_assert_eq!(pool.peak(), peak_seen);
+        }
+    }
+
+    /// Occupancy is a valid fraction and never increases when a block
+    /// demands more shared memory.
+    #[test]
+    fn occupancy_bounds_and_shared_monotonicity(
+        blocks in 1u32..2000,
+        tpb_pow in 5u32..11,
+        shared in 0usize..48_000,
+    ) {
+        let cfg = DeviceConfig::gtx_1660_ti();
+        let tpb = 1u32 << tpb_pow;
+        let o1 = occupancy(&cfg, Dim3::x(blocks), Dim3::x(tpb), shared);
+        let o2 = occupancy(&cfg, Dim3::x(blocks), Dim3::x(tpb), shared + 8_000);
+        prop_assert!((0.0..=1.0).contains(&o1.theoretical));
+        prop_assert!((0.0..=1.0).contains(&o1.achieved));
+        prop_assert!(o1.achieved <= o1.theoretical + 1e-12);
+        prop_assert!(o2.theoretical <= o1.theoretical + 1e-12);
+    }
+
+    /// Modeled kernel time is positive, at least the launch overhead, and
+    /// monotone in added work.
+    #[test]
+    fn model_time_positive_and_monotone(
+        blocks in 1u32..500,
+        flops in 0u64..10_000_000,
+        bytes in 0u64..50_000_000,
+    ) {
+        let cfg = DeviceConfig::gtx_1660_ti();
+        let w1 = WorkCounters { flops, bytes_loaded: bytes, global_loads: bytes / 4, ..Default::default() };
+        let w2 = WorkCounters { flops: flops * 2 + 1, bytes_loaded: bytes * 2 + 4, global_loads: bytes / 2 + 1, ..Default::default() };
+        let t1 = model_kernel(&cfg, Dim3::x(blocks), Dim3::x(256), 0, &w1);
+        let t2 = model_kernel(&cfg, Dim3::x(blocks), Dim3::x(256), 0, &w2);
+        prop_assert!(t1.time_us >= cfg.kernel_launch_us);
+        prop_assert!(t2.time_us >= t1.time_us);
+        prop_assert!((0.0..=1.0).contains(&t1.mem_throughput_frac));
+    }
+
+    /// Deterministic and parallel block execution agree exactly on
+    /// integer-only workloads.
+    #[test]
+    fn deterministic_matches_parallel_for_integer_work(
+        blocks in 4u32..64,
+        threads in 1u32..128,
+    ) {
+        let run = |det: bool| {
+            let mut dev = Device::new(DeviceConfig::gtx_1660_ti());
+            dev.set_deterministic(det);
+            let acc = dev.alloc_zeroed::<u64>("acc", 7).unwrap();
+            dev.launch("w", Dim3::x(blocks), Dim3::x(threads), |blk| {
+                blk.threads(|t| {
+                    let g = t.global_id_x() as u64;
+                    acc.atomic_add(t, (g % 7) as usize, g * g);
+                });
+            });
+            acc.peek_all()
+        };
+        prop_assert_eq!(run(true), run(false));
+    }
+}

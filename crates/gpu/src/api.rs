@@ -1,0 +1,92 @@
+//! Public entry points for the single-parameter GPU algorithms.
+
+use gpu_sim::Device;
+use proclus::params::Params;
+use proclus::phases::initialization::sample_data_prime;
+use proclus::result::Clustering;
+use proclus::{DataMatrix, ProclusRng};
+
+use crate::driver::{run_core_gpu, GpuVariant};
+use crate::error::{GpuProclusError, Result};
+use crate::kernels::greedy::greedy_gpu;
+use crate::kernels::ASSIGN_BLOCK;
+use crate::rows::RowCache;
+use crate::workspace::Workspace;
+
+pub(crate) fn validate_gpu(dev: &Device, data: &DataMatrix, params: &Params) -> Result<()> {
+    params.validate(data)?;
+    if params.k as u32 > ASSIGN_BLOCK {
+        return Err(GpuProclusError::Unsupported {
+            reason: format!(
+                "AssignPoints uses {ASSIGN_BLOCK}-thread blocks covering all k medoids; \
+                 k = {} exceeds that",
+                params.k
+            ),
+        });
+    }
+    let max_t = dev.config().max_threads_per_block as usize;
+    if data.d() > max_t {
+        return Err(GpuProclusError::Unsupported {
+            reason: format!(
+                "FindDimensions launches one thread per dimension; d = {} exceeds \
+                 the device's {max_t} threads/block",
+                data.d()
+            ),
+        });
+    }
+    Ok(())
+}
+
+fn run_variant(
+    dev: &mut Device,
+    data: &DataMatrix,
+    params: &Params,
+    variant: GpuVariant,
+) -> Result<Clustering> {
+    validate_gpu(dev, data, params)?;
+    let n = data.n();
+    let sample_size = params.sample_size(n);
+    let m_size = params.num_potential_medoids(n);
+    let ws = Workspace::new(dev, data, params.k, sample_size, m_size)?;
+    let mut cache = match variant {
+        GpuVariant::Plain => RowCache::new_plain(dev, n, params.k)?,
+        GpuVariant::Fast => RowCache::new_fast(n, data.d(), params.k),
+        GpuVariant::FastStar => RowCache::new_fast_star(dev, n, data.d(), params.k)?,
+    };
+
+    let mut rng = ProclusRng::new(params.seed);
+    let sample = sample_data_prime(&mut rng, n, sample_size);
+    let m_data = greedy_gpu(dev, &ws, &sample, m_size, &mut rng);
+
+    let result = run_core_gpu(
+        dev, &ws, &mut cache, variant, params, &mut rng, &m_data, None,
+    );
+    // Free device memory whether or not the run succeeded.
+    cache.free(dev)?;
+    ws.free(dev)?;
+    result.map(|(c, _)| c)
+}
+
+/// Runs GPU-PROCLUS (§4.1) on the simulated device. Produces the same
+/// clustering as [`proclus::proclus`] for the same seed.
+pub fn gpu_proclus(dev: &mut Device, data: &DataMatrix, params: &Params) -> Result<Clustering> {
+    run_variant(dev, data, params, GpuVariant::Plain)
+}
+
+/// Runs GPU-FAST-PROCLUS (§4.2): cached distance rows + incremental `H`.
+pub fn gpu_fast_proclus(
+    dev: &mut Device,
+    data: &DataMatrix,
+    params: &Params,
+) -> Result<Clustering> {
+    run_variant(dev, data, params, GpuVariant::Fast)
+}
+
+/// Runs GPU-FAST*-PROCLUS (§3.2 + §4.2): the space-reduced variant.
+pub fn gpu_fast_star_proclus(
+    dev: &mut Device,
+    data: &DataMatrix,
+    params: &Params,
+) -> Result<Clustering> {
+    run_variant(dev, data, params, GpuVariant::FastStar)
+}

@@ -1,0 +1,300 @@
+//! The GPU medoid-search driver: the exact control flow of the CPU driver
+//! (`proclus::driver`), with every numeric phase replaced by device
+//! kernels. Decision logic — dimension picking, bad-medoid selection,
+//! replacement draws, cost comparison — reuses the CPU crate's functions on
+//! tiny arrays read back from the device (`Z`: `k × d` floats, cluster
+//! sizes and cost: scalars), so for equal seeds the GPU variants visit the
+//! same medoid sequence as the CPU variants. Everything large (data,
+//! distance rows, `H`, lists, labels) stays device-resident, as in the
+//! paper (§4.1: "to avoid costly memory transfers between the CPU and the
+//! GPU, all other computations are also performed on the GPU").
+
+use gpu_sim::Device;
+use proclus::params::Params;
+use proclus::phases::bad_medoids::{compute_bad_medoids, replace_bad_medoids};
+use proclus::phases::find_dimensions::pick_dimensions;
+use proclus::result::Clustering;
+use proclus::ProclusRng;
+
+use crate::error::Result;
+use crate::kernels::assign::assign_kernel;
+use crate::kernels::delta::deltas_kernel;
+use crate::kernels::evaluate::evaluate_kernel;
+use crate::kernels::find_dims::{h_update_kernel, x_from_h_kernel, x_from_lists_kernel, z_kernel};
+use crate::kernels::lsets::{build_lists_kernel, SphereCond};
+use crate::kernels::outliers::{outlier_deltas_kernel, remove_outliers_kernel};
+use crate::kernels::util::{copy_labels_kernel, lists_from_labels_kernel};
+use crate::rows::RowCache;
+use crate::workspace::Workspace;
+
+/// Which algorithm the driver runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GpuVariant {
+    /// GPU-PROCLUS: recompute everything each iteration.
+    Plain,
+    /// GPU-FAST-PROCLUS: `Dist`/`DistFound` + incremental `H` (§4.2).
+    Fast,
+    /// GPU-FAST*-PROCLUS: slot-local caches (§3.2 on the GPU).
+    FastStar,
+}
+
+/// Flattens subspaces for upload; returns the offsets (host side).
+fn upload_dims(dev: &mut Device, ws: &Workspace, dims: &[Vec<usize>]) -> Vec<usize> {
+    let mut flat = Vec::new();
+    let mut offsets = vec![0usize];
+    for s in dims {
+        flat.extend(s.iter().map(|&j| j as u32));
+        offsets.push(flat.len());
+    }
+    dev.upload(&ws.dims_flat, &flat);
+    offsets
+}
+
+/// One iteration's `X` (left on device) and the per-slot `|L|` sizes.
+fn x_phase(
+    dev: &mut Device,
+    ws: &Workspace,
+    cache: &mut RowCache,
+    variant: GpuVariant,
+    m_data: &[usize],
+    mcur: &[usize],
+) -> Result<Vec<usize>> {
+    let (n, d) = (ws.n, ws.d);
+    let medoids: Vec<usize> = mcur.iter().map(|&mi| m_data[mi]).collect();
+    let row_of_slot = cache.prepare(dev, &ws.data, n, d, m_data, mcur)?;
+
+    deltas_kernel(dev, cache.rows(), &row_of_slot, &medoids, &ws.deltas);
+    let deltas = dev.dtoh(&ws.deltas);
+
+    match variant {
+        GpuVariant::Plain => {
+            build_lists_kernel(
+                dev,
+                cache.rows(),
+                &row_of_slot,
+                &SphereCond::Within(deltas),
+                n,
+                &ws.l_list,
+                &ws.l_count,
+            );
+            let counts: Vec<usize> = dev.dtoh(&ws.l_count).iter().map(|&c| c as usize).collect();
+            x_from_lists_kernel(dev, &ws.data, d, n, &medoids, &ws.l_list, &counts, &ws.x);
+            Ok(counts)
+        }
+        GpuVariant::Fast | GpuVariant::FastStar => {
+            // ΔL bounds per slot (Theorem 3.1) from the host-mirrored
+            // previous radii.
+            let mut bounds = Vec::with_capacity(mcur.len());
+            let mut lambda = Vec::with_capacity(mcur.len());
+            for (slot, &row) in row_of_slot.iter().enumerate() {
+                let prev = cache.rows()[row].prev_delta;
+                let cur = deltas[slot];
+                if cur >= prev {
+                    bounds.push((prev, cur));
+                    lambda.push(1.0);
+                } else {
+                    bounds.push((cur, prev));
+                    lambda.push(-1.0);
+                }
+            }
+            build_lists_kernel(
+                dev,
+                cache.rows(),
+                &row_of_slot,
+                &SphereCond::Between(bounds),
+                n,
+                &ws.l_list,
+                &ws.l_count,
+            );
+            let dl_counts: Vec<usize> = dev.dtoh(&ws.l_count).iter().map(|&c| c as usize).collect();
+            h_update_kernel(
+                dev,
+                &ws.data,
+                d,
+                n,
+                &medoids,
+                cache.rows(),
+                &row_of_slot,
+                &ws.l_list,
+                &dl_counts,
+                &lambda,
+            );
+            // Mirror the bookkeeping the CPU engines do.
+            let mut lsizes = Vec::with_capacity(mcur.len());
+            for (slot, &row) in row_of_slot.iter().enumerate() {
+                let r = &mut cache.rows_mut()[row];
+                if lambda[slot] > 0.0 {
+                    r.lsize += dl_counts[slot];
+                } else {
+                    r.lsize -= dl_counts[slot];
+                }
+                r.prev_delta = deltas[slot];
+                lsizes.push(r.lsize);
+            }
+            x_from_h_kernel(dev, d, cache.rows(), &row_of_slot, &lsizes, &ws.x);
+            Ok(lsizes)
+        }
+    }
+}
+
+/// Runs the iterative + refinement phases on the device. `m_data` are the
+/// potential medoids (data indices); `init_mcur` optionally warm-starts
+/// the search (multi-param level 3). Returns the clustering and the best
+/// medoids as indices into `m_data`.
+#[allow(clippy::too_many_arguments)]
+pub fn run_core_gpu(
+    dev: &mut Device,
+    ws: &Workspace,
+    cache: &mut RowCache,
+    variant: GpuVariant,
+    params: &Params,
+    rng: &mut ProclusRng,
+    m_data: &[usize],
+    init_mcur: Option<Vec<usize>>,
+) -> Result<(Clustering, Vec<usize>)> {
+    let k = params.k;
+    let (n, d) = (ws.n, ws.d);
+    let m_len = m_data.len();
+
+    let mut mcur = match init_mcur {
+        Some(m) => m,
+        None => rng.sample_distinct(m_len, k),
+    };
+
+    let mut best_cost = f64::INFINITY;
+    let mut best_mcur = mcur.clone();
+    let mut best_sizes: Vec<usize> = Vec::new();
+    let mut itr = 0usize;
+    let mut total = 0usize;
+    let mut converged = false;
+
+    loop {
+        let medoids: Vec<usize> = mcur.iter().map(|&mi| m_data[mi]).collect();
+        let _lsizes = x_phase(dev, ws, cache, variant, m_data, &mcur)?;
+
+        z_kernel(dev, &ws.x, &ws.z, k, d);
+        let z = dev.dtoh(&ws.z);
+        let dims = pick_dimensions(&z[..k * d], k, d, params.l);
+        let offsets = upload_dims(dev, ws, &dims);
+
+        assign_kernel(
+            dev,
+            &ws.data,
+            d,
+            n,
+            &medoids,
+            &ws.dims_flat,
+            &offsets,
+            &ws.labels,
+            &ws.c_list,
+            &ws.c_count,
+        );
+        let mut sizes: Vec<usize> = dev.dtoh(&ws.c_count).iter().map(|&c| c as usize).collect();
+        sizes.truncate(k); // the workspace is sized for the largest k
+        let cost = evaluate_kernel(
+            dev,
+            &ws.data,
+            d,
+            n,
+            &ws.dims_flat,
+            &offsets,
+            &ws.c_list,
+            &sizes,
+            &ws.cost,
+        );
+        total += 1;
+
+        if cost < best_cost {
+            best_cost = cost;
+            best_mcur = mcur.clone();
+            best_sizes = sizes;
+            copy_labels_kernel(dev, &ws.labels, &ws.labels_best, n);
+            itr = 0;
+        } else {
+            itr += 1;
+        }
+
+        if itr >= params.itr_pat {
+            converged = true;
+            break;
+        }
+        if total >= params.max_total_iterations {
+            break;
+        }
+
+        let bad = compute_bad_medoids(&best_sizes, n, params.min_dev, params.bad_medoid_rule);
+        mcur = replace_bad_medoids(&best_mcur, &bad, m_len, rng);
+    }
+
+    // Refinement phase: L ← CBest (rebuilt on-device from the best labels).
+    let medoids: Vec<usize> = best_mcur.iter().map(|&mi| m_data[mi]).collect();
+    lists_from_labels_kernel(dev, &ws.labels_best, n, &ws.c_list, &ws.c_count);
+    let mut counts: Vec<usize> = dev.dtoh(&ws.c_count).iter().map(|&c| c as usize).collect();
+    counts.truncate(k);
+    x_from_lists_kernel(dev, &ws.data, d, n, &medoids, &ws.c_list, &counts, &ws.x);
+    z_kernel(dev, &ws.x, &ws.z, k, d);
+    let z = dev.dtoh(&ws.z);
+    let dims = pick_dimensions(&z[..k * d], k, d, params.l);
+    let offsets = upload_dims(dev, ws, &dims);
+
+    assign_kernel(
+        dev,
+        &ws.data,
+        d,
+        n,
+        &medoids,
+        &ws.dims_flat,
+        &offsets,
+        &ws.labels,
+        &ws.c_list,
+        &ws.c_count,
+    );
+    let mut sizes: Vec<usize> = dev.dtoh(&ws.c_count).iter().map(|&c| c as usize).collect();
+    sizes.truncate(k);
+    let refined_cost = evaluate_kernel(
+        dev,
+        &ws.data,
+        d,
+        n,
+        &ws.dims_flat,
+        &offsets,
+        &ws.c_list,
+        &sizes,
+        &ws.cost,
+    );
+
+    outlier_deltas_kernel(
+        dev,
+        &ws.data,
+        d,
+        &medoids,
+        &ws.dims_flat,
+        &offsets,
+        &ws.outlier_deltas,
+    );
+    remove_outliers_kernel(
+        dev,
+        &ws.data,
+        d,
+        n,
+        &medoids,
+        &ws.dims_flat,
+        &offsets,
+        &ws.outlier_deltas,
+        &ws.labels,
+    );
+    let labels = dev.dtoh(&ws.labels);
+
+    Ok((
+        Clustering {
+            medoids,
+            subspaces: dims,
+            labels,
+            cost: best_cost,
+            refined_cost,
+            iterations: total,
+            converged,
+        },
+        best_mcur,
+    ))
+}

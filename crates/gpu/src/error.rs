@@ -1,0 +1,67 @@
+//! Error type for the GPU algorithm family.
+
+use std::fmt;
+
+/// Result alias for GPU-PROCLUS operations.
+pub type Result<T> = std::result::Result<T, GpuProclusError>;
+
+/// Errors raised when configuring or running the GPU variants.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GpuProclusError {
+    /// Parameter or data validation failed (propagated from the CPU crate).
+    Algorithm(proclus::ProclusError),
+    /// A device operation failed (allocation, launch configuration).
+    Device(gpu_sim::GpuError),
+    /// The configuration exceeds what the GPU kernels support.
+    Unsupported {
+        /// What is unsupported and why.
+        reason: String,
+    },
+}
+
+impl fmt::Display for GpuProclusError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GpuProclusError::Algorithm(e) => write!(f, "{e}"),
+            GpuProclusError::Device(e) => write!(f, "{e}"),
+            GpuProclusError::Unsupported { reason } => {
+                write!(f, "unsupported on this device: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GpuProclusError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            GpuProclusError::Algorithm(e) => Some(e),
+            GpuProclusError::Device(e) => Some(e),
+            GpuProclusError::Unsupported { .. } => None,
+        }
+    }
+}
+
+impl From<proclus::ProclusError> for GpuProclusError {
+    fn from(e: proclus::ProclusError) -> Self {
+        GpuProclusError::Algorithm(e)
+    }
+}
+
+impl From<gpu_sim::GpuError> for GpuProclusError {
+    fn from(e: gpu_sim::GpuError) -> Self {
+        GpuProclusError::Device(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_preserve_message() {
+        let e: GpuProclusError = gpu_sim::GpuError::InvalidBuffer { label: "x".into() }.into();
+        assert!(e.to_string().contains('x'));
+        let e: GpuProclusError = proclus::ProclusError::InvalidParams { reason: "k".into() }.into();
+        assert!(e.to_string().contains('k'));
+    }
+}

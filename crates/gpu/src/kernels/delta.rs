@@ -1,0 +1,109 @@
+//! Sphere radii `δ_i` (GPU Alg. 3 lines 4–7): one block per medoid, one
+//! thread per other medoid, an atomic min in shared memory.
+//!
+//! This is the deliberately tiny `k × k` kernel the paper's utilization
+//! study singles out (§5.4): with `k < 32` it cannot even fill a warp, so
+//! its achieved occupancy is a few percent — harmless, because it is also
+//! nowhere near time-consuming.
+
+use gpu_sim::{Device, Dim3};
+
+use crate::rows::MedoidRow;
+
+/// Computes `δ_i = min_{j≠i} Dist_{m_i, m_j}` from the cached distance
+/// rows, writing into `deltas` (k × f32).
+pub fn deltas_kernel(
+    dev: &mut Device,
+    rows: &[MedoidRow],
+    row_of_slot: &[usize],
+    medoid_data_idx: &[usize],
+    deltas: &gpu_sim::DeviceBuffer<f32>,
+) {
+    let k = medoid_data_idx.len();
+    let dist_rows: Vec<_> = row_of_slot.iter().map(|&r| rows[r].dist.clone()).collect();
+    let medoids = medoid_data_idx.to_vec();
+    let deltas = deltas.clone();
+    dev.launch(
+        "compute_l.delta",
+        Dim3::x(k as u32),
+        Dim3::x(k as u32),
+        move |blk| {
+            let i = blk.block.x as usize;
+            let dmin = blk.shared::<f32>(1);
+            blk.thread0(|t| dmin.st(t, 0, f32::INFINITY));
+            blk.threads(|t| {
+                let j = t.tid as usize;
+                if j != i {
+                    let dist = dist_rows[i].ld(t, medoids[j]);
+                    dmin.atomic_min(t, 0, dist);
+                }
+            });
+            blk.thread0(|t| {
+                let v = dmin.ld(t, 0);
+                deltas.st(t, i, v);
+            });
+        },
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::dist::dist_row_kernel;
+    use crate::rows::RowCache;
+    use gpu_sim::{Device, DeviceConfig};
+    use proclus::phases::compute_l::medoid_deltas;
+    use proclus::DataMatrix;
+
+    #[test]
+    fn matches_cpu_deltas_bitwise() {
+        let rows_host: Vec<Vec<f32>> = (0..200)
+            .map(|i| vec![(i % 19) as f32, (i % 11) as f32 * 0.3])
+            .collect();
+        let host = DataMatrix::from_rows(&rows_host).unwrap();
+        let medoids = vec![3usize, 77, 150, 199];
+
+        let mut dev = Device::new(DeviceConfig::gtx_1660_ti());
+        dev.set_deterministic(true);
+        let data = dev.htod("data", host.flat()).unwrap();
+        let mut cache = RowCache::new_plain(&mut dev, 200, 4).unwrap();
+        for (i, &m) in medoids.iter().enumerate() {
+            dist_row_kernel(&mut dev, &data, 2, 200, m, &cache.rows()[i].dist);
+        }
+        let deltas_buf = dev.alloc_zeroed::<f32>("deltas", 4).unwrap();
+        deltas_kernel(&mut dev, cache.rows(), &[0, 1, 2, 3], &medoids, &deltas_buf);
+        let got = deltas_buf.peek_all();
+        let want = medoid_deltas(&host, &medoids);
+        assert_eq!(got, want);
+        let _ = cache.rows_mut();
+    }
+
+    #[test]
+    fn low_occupancy_is_reported() {
+        let mut dev = Device::new(DeviceConfig::gtx_1660_ti());
+        let host = DataMatrix::from_flat(vec![0.0; 50 * 2], 50, 2).unwrap();
+        let data = dev.htod("data", host.flat()).unwrap();
+        let cache = RowCache::new_plain(&mut dev, 50, 5).unwrap();
+        for (i, m) in [0usize, 10, 20, 30, 40].iter().enumerate() {
+            dist_row_kernel(&mut dev, &data, 2, 50, *m, &cache.rows()[i].dist);
+        }
+        let deltas_buf = dev.alloc_zeroed::<f32>("deltas", 5).unwrap();
+        deltas_kernel(
+            &mut dev,
+            cache.rows(),
+            &[0, 1, 2, 3, 4],
+            &[0, 10, 20, 30, 40],
+            &deltas_buf,
+        );
+        let rep = dev.report();
+        let t = rep.kernels["compute_l.delta"]
+            .representative
+            .as_ref()
+            .unwrap();
+        assert!(
+            t.timing.achieved_occupancy < 0.05,
+            "k x k kernel should be idle-ish, got {}",
+            t.timing.achieved_occupancy
+        );
+    }
+}

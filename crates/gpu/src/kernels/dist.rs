@@ -1,0 +1,185 @@
+//! Point-to-medoid distance rows (GPU Alg. 3 lines 1–3).
+
+use gpu_sim::{Device, DeviceBuffer, Dim3, StreamId};
+
+use super::WIDE_BLOCK;
+
+/// Fills `out[p] = ‖data_p − data_m‖₂` for all `n` points.
+///
+/// The medoid's coordinates are staged into shared memory once per block
+/// (one global load per dimension per block instead of per thread), then
+/// each thread computes one point's distance — fully independent, so the
+/// kernel parallelizes over threads *and* blocks exactly as the paper
+/// describes.
+pub fn dist_row_kernel(
+    dev: &mut Device,
+    data: &DeviceBuffer<f32>,
+    d: usize,
+    n: usize,
+    medoid: usize,
+    out: &DeviceBuffer<f32>,
+) {
+    let grid = Dim3::blocks_for(n, WIDE_BLOCK);
+    let data = data.clone();
+    let out = out.clone();
+    dev.launch("compute_l.dist", grid, Dim3::x(WIDE_BLOCK), move |blk| {
+        let m_sh = blk.shared::<f32>(d);
+        blk.threads(|t| {
+            let mut j = t.tid as usize;
+            while j < d {
+                let v = data.ld(t, medoid * d + j);
+                m_sh.st(t, j, v);
+                j += t.block_dim.x as usize;
+            }
+        });
+        blk.threads(|t| {
+            let p = t.global_id_x();
+            if p < n {
+                let mut acc = 0.0f64;
+                for j in 0..d {
+                    let diff = (data.ld(t, p * d + j) - m_sh.ld(t, j)) as f64;
+                    acc += diff * diff;
+                }
+                t.flops(3 * d as u64 + 1);
+                out.st(t, p, acc.sqrt() as f32);
+            }
+        });
+    });
+}
+
+/// [`dist_row_kernel`] launched asynchronously on `stream` — the §5.4
+/// future-work idea: independent per-medoid distance rows can overlap, so
+/// small datasets (whose individual launches underutilize the device)
+/// compute all `k` rows in roughly the time of the slowest one. Call
+/// [`Device::sync_streams`] before consuming the rows.
+#[allow(clippy::too_many_arguments)]
+pub fn dist_row_kernel_on(
+    dev: &mut Device,
+    stream: StreamId,
+    data: &DeviceBuffer<f32>,
+    d: usize,
+    n: usize,
+    medoid: usize,
+    out: &DeviceBuffer<f32>,
+) {
+    let grid = Dim3::blocks_for(n, WIDE_BLOCK);
+    let data = data.clone();
+    let out = out.clone();
+    dev.launch_on(
+        stream,
+        "compute_l.dist",
+        grid,
+        Dim3::x(WIDE_BLOCK),
+        move |blk| {
+            let m_sh = blk.shared::<f32>(d);
+            blk.threads(|t| {
+                let mut j = t.tid as usize;
+                while j < d {
+                    let v = data.ld(t, medoid * d + j);
+                    m_sh.st(t, j, v);
+                    j += t.block_dim.x as usize;
+                }
+            });
+            blk.threads(|t| {
+                let p = t.global_id_x();
+                if p < n {
+                    let mut acc = 0.0f64;
+                    for j in 0..d {
+                        let diff = (data.ld(t, p * d + j) - m_sh.ld(t, j)) as f64;
+                        acc += diff * diff;
+                    }
+                    t.flops(3 * d as u64 + 1);
+                    out.st(t, p, acc.sqrt() as f32);
+                }
+            });
+        },
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::DeviceConfig;
+    use proclus::distance::euclidean;
+    use proclus::DataMatrix;
+
+    #[test]
+    fn matches_cpu_euclidean_bitwise() {
+        let rows: Vec<Vec<f32>> = (0..500)
+            .map(|i| vec![(i % 13) as f32 * 0.7, (i % 7) as f32, i as f32 * 0.01])
+            .collect();
+        let host = DataMatrix::from_rows(&rows).unwrap();
+        let mut dev = Device::new(DeviceConfig::gtx_1660_ti());
+        dev.set_deterministic(true);
+        let data = dev.htod("data", host.flat()).unwrap();
+        let out = dev.alloc_zeroed::<f32>("row", 500).unwrap();
+        dist_row_kernel(&mut dev, &data, 3, 500, 42, &out);
+        let got = out.peek_all();
+        for (p, g) in got.iter().enumerate() {
+            let want = euclidean(host.row(p), host.row(42));
+            assert_eq!(g.to_bits(), want.to_bits(), "point {p}");
+        }
+    }
+
+    #[test]
+    fn streamed_rows_match_sequential_rows_and_overlap() {
+        let rows: Vec<Vec<f32>> = (0..2000)
+            .map(|i| vec![(i % 31) as f32, (i % 13) as f32])
+            .collect();
+        let host = DataMatrix::from_rows(&rows).unwrap();
+        let medoids = [3usize, 700, 1500, 1999];
+
+        // Sequential launches.
+        let mut dev_a = Device::new(DeviceConfig::gtx_1660_ti());
+        let data_a = dev_a.htod("data", host.flat()).unwrap();
+        let outs_a: Vec<_> = (0..4)
+            .map(|i| dev_a.alloc_zeroed::<f32>(&format!("r{i}"), 2000).unwrap())
+            .collect();
+        let t0 = dev_a.elapsed_us();
+        for (i, &m) in medoids.iter().enumerate() {
+            dist_row_kernel(&mut dev_a, &data_a, 2, 2000, m, &outs_a[i]);
+        }
+        let sequential = dev_a.elapsed_us() - t0;
+
+        // Overlapped on streams.
+        let mut dev_b = Device::new(DeviceConfig::gtx_1660_ti());
+        let data_b = dev_b.htod("data", host.flat()).unwrap();
+        let outs_b: Vec<_> = (0..4)
+            .map(|i| dev_b.alloc_zeroed::<f32>(&format!("r{i}"), 2000).unwrap())
+            .collect();
+        let t0 = dev_b.elapsed_us();
+        for (i, &m) in medoids.iter().enumerate() {
+            let s = dev_b.create_stream();
+            dist_row_kernel_on(&mut dev_b, s, &data_b, 2, 2000, m, &outs_b[i]);
+        }
+        dev_b.sync_streams();
+        let overlapped = dev_b.elapsed_us() - t0;
+
+        for i in 0..4 {
+            assert_eq!(outs_a[i].peek_all(), outs_b[i].peek_all(), "row {i}");
+        }
+        // Launch overhead serializes on the host even with streams, so on
+        // a tiny dataset the win is real but modest: bodies overlap,
+        // launches do not.
+        assert!(
+            overlapped < sequential,
+            "streamed rows should be no slower: {overlapped} vs {sequential}"
+        );
+    }
+
+    #[test]
+    fn counts_one_medoid_load_per_dim_per_block() {
+        let n = 4096;
+        let d = 8;
+        let mut dev = Device::new(DeviceConfig::gtx_1660_ti());
+        let data = dev.htod("data", &vec![1.0f32; n * d]).unwrap();
+        let out = dev.alloc_zeroed::<f32>("row", n).unwrap();
+        dist_row_kernel(&mut dev, &data, d, n, 0, &out);
+        let rep = dev.report();
+        let w = &rep.kernels["compute_l.dist"].work;
+        let blocks = n.div_ceil(WIDE_BLOCK as usize) as u64;
+        // n point loads per dim + d medoid loads per block.
+        assert_eq!(w.global_loads, (n * d) as u64 + blocks * d as u64);
+        assert_eq!(w.global_stores, n as u64);
+    }
+}

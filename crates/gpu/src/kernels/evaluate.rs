@@ -1,0 +1,190 @@
+//! EvaluateCluster on the device (GPU Alg. 6, Eq. 9).
+//!
+//! One block per `(cluster i, subspace-dimension j)` pair; threads stride
+//! the cluster member list. Phase 1 accumulates the centroid component
+//! `µ_{i,j}` in shared memory (per-thread local partial, then one shared
+//! atomic each); after the barrier, phase 2 accumulates
+//! `|p_j − µ_{i,j}| / (|D_i| · n)` into the global cost scalar — "only the
+//! final cost must be written to global memory".
+
+use gpu_sim::{Device, DeviceBuffer, Dim3};
+
+/// Threads per (i, j) block.
+const EVAL_BLOCK: u32 = 256;
+
+/// Computes the clustering cost (Eq. 9) from the device-resident cluster
+/// lists. Returns the cost read back from the device (one scalar dtoh,
+/// which the host needs for the `cost < costBest` decision).
+#[allow(clippy::too_many_arguments)]
+pub fn evaluate_kernel(
+    dev: &mut Device,
+    data: &DeviceBuffer<f32>,
+    d: usize,
+    n: usize,
+    dims_flat: &DeviceBuffer<u32>,
+    dims_offsets: &[usize],
+    c_list: &DeviceBuffer<u32>,
+    c_counts: &[usize],
+    cost: &DeviceBuffer<f64>,
+) -> f64 {
+    let k = c_counts.len();
+    let max_dims = (0..k)
+        .map(|i| dims_offsets[i + 1] - dims_offsets[i])
+        .max()
+        .unwrap_or(0);
+    dev.memset(cost, 0.0);
+
+    let data = data.clone();
+    let dims_flat = dims_flat.clone();
+    let c_list = c_list.clone();
+    let cost_buf = cost.clone();
+    let offsets = dims_offsets.to_vec();
+    let counts = c_counts.to_vec();
+
+    let grid = Dim3::xy(max_dims as u32, k as u32);
+    dev.launch("evaluate.cost", grid, Dim3::x(EVAL_BLOCK), move |blk| {
+        let i = blk.block.y as usize;
+        let jj = blk.block.x as usize;
+        let (lo, hi) = (offsets[i], offsets[i + 1]);
+        let cnt = counts[i];
+        if jj >= hi - lo || cnt == 0 {
+            return; // guard block: this cluster has fewer dims / is empty
+        }
+        let num_dims = hi - lo;
+        let mu = blk.shared::<f64>(1);
+        let j_sh = blk.shared::<u32>(1);
+        blk.thread0(|t| {
+            let j = dims_flat.ld(t, lo + jj);
+            j_sh.st(t, 0, j);
+        });
+        // Phase 1: centroid component µ_{i,j} (Alg. 6 lines 3–8).
+        blk.threads(|t| {
+            let j = j_sh.ld(t, 0) as usize;
+            let mut tmp = 0.0f64; // local variable (Alg. 6 line 4)
+            let mut s = t.tid as usize;
+            while s < cnt {
+                let p = c_list.ld(t, i * n + s) as usize;
+                tmp += data.ld(t, p * d + j) as f64;
+                s += t.block_dim.x as usize;
+            }
+            t.flops((cnt / t.block_dim.x as usize + 1) as u64);
+            mu.atomic_add(t, 0, tmp / cnt as f64);
+        });
+        // Phase 2: cost contribution (Alg. 6 lines 9–13).
+        blk.threads(|t| {
+            let j = j_sh.ld(t, 0) as usize;
+            let mu_v = mu.ld(t, 0);
+            let mut tmp = 0.0f64;
+            let mut s = t.tid as usize;
+            while s < cnt {
+                let p = c_list.ld(t, i * n + s) as usize;
+                tmp += (data.ld(t, p * d + j) as f64 - mu_v).abs();
+                s += t.block_dim.x as usize;
+            }
+            t.flops(2 * (cnt / t.block_dim.x as usize + 1) as u64);
+            cost_buf.atomic_add(t, 0, tmp / (num_dims as f64 * n as f64));
+        });
+    });
+
+    dev.dtoh(cost)[0]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::DeviceConfig;
+    use proclus::par::Executor;
+    use proclus::phases::evaluate::evaluate_clusters;
+    use proclus::DataMatrix;
+
+    fn device() -> Device {
+        let mut dev = Device::new(DeviceConfig::gtx_1660_ti());
+        dev.set_deterministic(true);
+        dev
+    }
+
+    #[allow(clippy::type_complexity)]
+    fn upload(
+        dev: &mut Device,
+        host: &DataMatrix,
+        labels: &[i32],
+        subspaces: &[Vec<usize>],
+    ) -> (
+        DeviceBuffer<f32>,
+        DeviceBuffer<u32>,
+        Vec<usize>,
+        DeviceBuffer<u32>,
+        Vec<usize>,
+        DeviceBuffer<f64>,
+    ) {
+        let k = subspaces.len();
+        let n = host.n();
+        let data = dev.htod("data", host.flat()).unwrap();
+        let mut flat = Vec::new();
+        let mut offsets = vec![0usize];
+        for s in subspaces {
+            flat.extend(s.iter().map(|&j| j as u32));
+            offsets.push(flat.len());
+        }
+        let dims_flat = dev.htod("dims", &flat).unwrap();
+        let c_list = dev.alloc_zeroed::<u32>("c_list", k * n).unwrap();
+        let mut counts = vec![0usize; k];
+        for (p, &c) in labels.iter().enumerate() {
+            if c >= 0 {
+                let i = c as usize;
+                c_list.poke(i * n + counts[i], p as u32);
+                counts[i] += 1;
+            }
+        }
+        let cost = dev.alloc_zeroed::<f64>("cost", 1).unwrap();
+        (data, dims_flat, offsets, c_list, counts, cost)
+    }
+
+    #[test]
+    fn matches_cpu_cost() {
+        let n = 600;
+        let rows: Vec<Vec<f32>> = (0..n)
+            .map(|i| vec![(i % 17) as f32, (i % 5) as f32, (i % 2) as f32 * 7.0])
+            .collect();
+        let host = DataMatrix::from_rows(&rows).unwrap();
+        let labels: Vec<i32> = (0..n).map(|i| (i % 3) as i32).collect();
+        let subspaces = vec![vec![0, 1], vec![1], vec![0, 2]];
+
+        let mut dev = device();
+        let (data, dims_flat, offsets, c_list, counts, cost) =
+            upload(&mut dev, &host, &labels, &subspaces);
+        let got = evaluate_kernel(
+            &mut dev, &data, 3, n, &dims_flat, &offsets, &c_list, &counts, &cost,
+        );
+        let want = evaluate_clusters(&host, &labels, &subspaces, &Executor::Sequential);
+        assert!((got - want).abs() < 1e-9, "{got} vs {want}");
+    }
+
+    #[test]
+    fn empty_cluster_contributes_zero() {
+        let host = DataMatrix::from_rows(&[vec![0.0, 1.0], vec![4.0, 1.0]]).unwrap();
+        let labels = vec![0, 0];
+        let subspaces = vec![vec![0], vec![0, 1]];
+        let mut dev = device();
+        let (data, dims_flat, offsets, c_list, counts, cost) =
+            upload(&mut dev, &host, &labels, &subspaces);
+        let got = evaluate_kernel(
+            &mut dev, &data, 2, 2, &dims_flat, &offsets, &c_list, &counts, &cost,
+        );
+        assert!((got - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn perfect_clustering_costs_zero() {
+        let host = DataMatrix::from_rows(&[vec![3.0], vec![3.0], vec![9.0]]).unwrap();
+        let labels = vec![0, 0, 1];
+        let subspaces = vec![vec![0], vec![0]];
+        let mut dev = device();
+        let (data, dims_flat, offsets, c_list, counts, cost) =
+            upload(&mut dev, &host, &labels, &subspaces);
+        let got = evaluate_kernel(
+            &mut dev, &data, 1, 3, &dims_flat, &offsets, &c_list, &counts, &cost,
+        );
+        assert_eq!(got, 0.0);
+    }
+}

@@ -1,0 +1,351 @@
+//! FindDimensions on the device (GPU Alg. 4).
+//!
+//! Three kernels:
+//!
+//! * [`x_from_lists_kernel`] — `X_{i,j}` summed over a point list (the plain
+//!   variant's spheres, or the refinement phase's clusters): one block per
+//!   `(i, j)` pair, threads stride the list with per-thread local partials
+//!   and a single atomic each (Alg. 4 lines 1–6).
+//! * [`h_update_kernel`] + [`x_from_h_kernel`] — the FAST variants:
+//!   fold `ΔL_i` into the persistent `H` rows with sign `λ` (Theorem 3.2),
+//!   then derive `X = H / |L|` in a separate kernel, "since we must ensure
+//!   that H is updated by all threads before computing X" (§4.2).
+//! * [`z_kernel`] — `Y`, `σ`, `Z` fused into one launch with the shared-
+//!   memory staging the paper describes, with barriers separating the `Y`,
+//!   `σ` and `Z` phases.
+
+use gpu_sim::{Device, DeviceBuffer, Dim3};
+
+use crate::rows::MedoidRow;
+
+/// Threads per `(i, j)` block for the X/H sums.
+const SUM_BLOCK: u32 = 256;
+
+/// Accumulates `X_{i,j} = Σ_{p ∈ list_i} |p_j − m_{i,j}| / count_i` into
+/// the zeroed `x` buffer (k × d, f64).
+#[allow(clippy::too_many_arguments)]
+pub fn x_from_lists_kernel(
+    dev: &mut Device,
+    data: &DeviceBuffer<f32>,
+    d: usize,
+    n: usize,
+    medoid_data_idx: &[usize],
+    list: &DeviceBuffer<u32>,
+    counts: &[usize],
+    x: &DeviceBuffer<f64>,
+) {
+    let k = medoid_data_idx.len();
+    dev.memset(x, 0.0);
+    let data = data.clone();
+    let list = list.clone();
+    let x = x.clone();
+    let medoids = medoid_data_idx.to_vec();
+    let counts = counts.to_vec();
+    let grid = Dim3::xy(d as u32, k as u32);
+    dev.launch("find_dims.x", grid, Dim3::x(SUM_BLOCK), move |blk| {
+        let i = blk.block.y as usize;
+        let j = blk.block.x as usize;
+        let cnt = counts[i];
+        if cnt == 0 {
+            return;
+        }
+        let m_j = blk.shared::<f32>(1);
+        blk.thread0(|t| {
+            let v = data.ld(t, medoids[i] * d + j);
+            m_j.st(t, 0, v);
+        });
+        blk.threads(|t| {
+            let m = m_j.ld(t, 0);
+            let mut sum = 0.0f64; // local variable (Alg. 4 line 3)
+            let mut s = t.tid as usize;
+            while s < cnt {
+                let p = list.ld(t, i * n + s) as usize;
+                sum += ((data.ld(t, p * d + j) - m) as f64).abs();
+                s += t.block_dim.x as usize;
+            }
+            t.flops(2 * (cnt / t.block_dim.x as usize + 1) as u64);
+            x.atomic_add(t, i * d + j, sum / cnt as f64); // Alg. 4 line 6
+        });
+    });
+}
+
+/// Folds the `ΔL_i` lists into the persistent `H` rows with sign `λ_i`
+/// (Theorem 3.2). `lambda[i]` is `+1.0` when the sphere grew, `−1.0` when
+/// it shrank.
+#[allow(clippy::too_many_arguments)]
+pub fn h_update_kernel(
+    dev: &mut Device,
+    data: &DeviceBuffer<f32>,
+    d: usize,
+    n: usize,
+    medoid_data_idx: &[usize],
+    rows: &[MedoidRow],
+    row_of_slot: &[usize],
+    dl_list: &DeviceBuffer<u32>,
+    dl_counts: &[usize],
+    lambda: &[f64],
+) {
+    let k = medoid_data_idx.len();
+    let data = data.clone();
+    let dl_list = dl_list.clone();
+    let h_rows: Vec<DeviceBuffer<f64>> = row_of_slot
+        .iter()
+        .map(|&r| rows[r].h.as_ref().expect("FAST rows carry H").clone())
+        .collect();
+    let medoids = medoid_data_idx.to_vec();
+    let counts = dl_counts.to_vec();
+    let lambda = lambda.to_vec();
+    let grid = Dim3::xy(d as u32, k as u32);
+    dev.launch("find_dims.h_update", grid, Dim3::x(SUM_BLOCK), move |blk| {
+        let i = blk.block.y as usize;
+        let j = blk.block.x as usize;
+        let cnt = counts[i];
+        if cnt == 0 {
+            return;
+        }
+        let m_j = blk.shared::<f32>(1);
+        blk.thread0(|t| {
+            let v = data.ld(t, medoids[i] * d + j);
+            m_j.st(t, 0, v);
+        });
+        blk.threads(|t| {
+            let m = m_j.ld(t, 0);
+            let mut sum = 0.0f64;
+            let mut s = t.tid as usize;
+            while s < cnt {
+                let p = dl_list.ld(t, i * n + s) as usize;
+                sum += ((data.ld(t, p * d + j) - m) as f64).abs();
+                s += t.block_dim.x as usize;
+            }
+            t.flops(2 * (cnt / t.block_dim.x as usize + 1) as u64);
+            h_rows[i].atomic_add(t, j, lambda[i] * sum);
+        });
+    });
+}
+
+/// Derives `X_{i,j} = H_{i,j} / |L_i|` — a separate kernel call so every
+/// `H` update has landed first (§4.2).
+pub fn x_from_h_kernel(
+    dev: &mut Device,
+    d: usize,
+    rows: &[MedoidRow],
+    row_of_slot: &[usize],
+    lsizes: &[usize],
+    x: &DeviceBuffer<f64>,
+) {
+    let k = row_of_slot.len();
+    let h_rows: Vec<DeviceBuffer<f64>> = row_of_slot
+        .iter()
+        .map(|&r| rows[r].h.as_ref().expect("FAST rows carry H").clone())
+        .collect();
+    let lsizes = lsizes.to_vec();
+    let x = x.clone();
+    let grid = Dim3::x(k as u32);
+    dev.launch("find_dims.x_from_h", grid, Dim3::x(d as u32), move |blk| {
+        let i = blk.block.x as usize;
+        blk.threads(|t| {
+            let j = t.tid as usize;
+            let v = if lsizes[i] > 0 {
+                h_rows[i].ld(t, j) / lsizes[i] as f64
+            } else {
+                0.0
+            };
+            t.flops(1);
+            x.st(t, i * d + j, v);
+        });
+    });
+}
+
+/// Computes `Z` from `X` in one launch (Alg. 4 lines 7–14): one block per
+/// medoid, one thread per dimension, with `Y` and `σ` kept in shared memory
+/// and barriers between the phases (the paper's combined kernel, corrected
+/// so `σ` only reads the *finished* `Y`).
+pub fn z_kernel(
+    dev: &mut Device,
+    x: &DeviceBuffer<f64>,
+    z: &DeviceBuffer<f64>,
+    k: usize,
+    d: usize,
+) {
+    let x = x.clone();
+    let z = z.clone();
+    dev.launch(
+        "find_dims.z",
+        Dim3::x(k as u32),
+        Dim3::x(d as u32),
+        move |blk| {
+            let i = blk.block.x as usize;
+            let stats = blk.shared::<f64>(2); // [0] = Y_i, [1] = σ_i
+            let xi = blk.regs::<f64>();
+            blk.threads(|t| {
+                let v = x.ld(t, i * d + t.tid as usize);
+                xi.set(t, v);
+                stats.atomic_add(t, 0, v / d as f64);
+                t.flops(2);
+            });
+            blk.threads(|t| {
+                let y = stats.ld(t, 0);
+                let diff = xi.get(t) - y;
+                stats.atomic_add(t, 1, diff * diff);
+                t.flops(3);
+            });
+            blk.thread0(|t| {
+                let ss = stats.ld(t, 1);
+                stats.st(t, 1, (ss / (d - 1) as f64).sqrt());
+                t.flops(2);
+            });
+            blk.threads(|t| {
+                let y = stats.ld(t, 0);
+                let sigma = stats.ld(t, 1);
+                let zv = if sigma > 0.0 {
+                    (xi.get(t) - y) / sigma
+                } else {
+                    0.0
+                };
+                t.flops(2);
+                z.st(t, i * d + t.tid as usize, zv);
+            });
+        },
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::DeviceConfig;
+    use proclus::phases::find_dimensions::spread_stats;
+    use proclus::DataMatrix;
+
+    #[test]
+    fn x_from_lists_matches_direct_sum() {
+        let n = 1000;
+        let d = 3;
+        let rows: Vec<Vec<f32>> = (0..n)
+            .map(|i| vec![(i % 10) as f32, (i % 4) as f32, 0.5])
+            .collect();
+        let host = DataMatrix::from_rows(&rows).unwrap();
+        let mut dev = Device::new(DeviceConfig::gtx_1660_ti());
+        dev.set_deterministic(true);
+        let data = dev.htod("data", host.flat()).unwrap();
+        // List: first 100 even points belong to medoid 0, odd to medoid 1.
+        let members0: Vec<u32> = (0..100).map(|s| s * 2).collect();
+        let members1: Vec<u32> = (0..50).map(|s| s * 2 + 1).collect();
+        let mut flat = vec![0u32; 2 * n];
+        flat[..100].copy_from_slice(&members0);
+        flat[n..n + 50].copy_from_slice(&members1);
+        let list = dev.htod("list", &flat).unwrap();
+        let x = dev.alloc_zeroed::<f64>("x", 2 * d).unwrap();
+        let medoids = [5usize, 6];
+        x_from_lists_kernel(&mut dev, &data, d, n, &medoids, &list, &[100, 50], &x);
+        let got = x.peek_all();
+        for (i, members) in [&members0, &members1].iter().enumerate() {
+            for j in 0..d {
+                let want: f64 = members
+                    .iter()
+                    .map(|&p| (host.get(p as usize, j) - host.get(medoids[i], j)).abs() as f64)
+                    .sum::<f64>()
+                    / members.len() as f64;
+                assert!(
+                    (got[i * d + j] - want).abs() < 1e-9,
+                    "X[{i}][{j}] = {} want {want}",
+                    got[i * d + j]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn z_kernel_matches_cpu_spread_stats() {
+        let (k, d) = (3, 6);
+        let x_host: Vec<f64> = (0..k * d).map(|e| ((e * 31) % 17) as f64 * 0.25).collect();
+        let mut dev = Device::new(DeviceConfig::gtx_1660_ti());
+        dev.set_deterministic(true);
+        let x = dev.htod("x", &x_host).unwrap();
+        let z = dev.alloc_zeroed::<f64>("z", k * d).unwrap();
+        z_kernel(&mut dev, &x, &z, k, d);
+        let got = z.peek_all();
+        let want = spread_stats(&x_host, k, d).z;
+        for (a, b) in got.iter().zip(&want) {
+            assert!((a - b).abs() < 1e-12, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn z_kernel_zero_sigma_row_is_zero() {
+        let (k, d) = (1, 4);
+        let mut dev = Device::new(DeviceConfig::gtx_1660_ti());
+        let x = dev.htod("x", &[2.0f64, 2.0, 2.0, 2.0]).unwrap();
+        let z = dev.alloc_zeroed::<f64>("z", k * d).unwrap();
+        z_kernel(&mut dev, &x, &z, k, d);
+        assert!(z.peek_all().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn h_update_then_x_equals_direct_x() {
+        // Build H in two increments (two ΔL batches) and compare X with a
+        // single direct sum over the union.
+        let n = 400;
+        let d = 2;
+        let rows: Vec<Vec<f32>> = (0..n)
+            .map(|i| vec![i as f32 * 0.1, (i % 3) as f32])
+            .collect();
+        let host = DataMatrix::from_rows(&rows).unwrap();
+        let mut dev = Device::new(DeviceConfig::gtx_1660_ti());
+        dev.set_deterministic(true);
+        let data = dev.htod("data", host.flat()).unwrap();
+        let h = dev.alloc_zeroed::<f64>("h", d).unwrap();
+        let row = crate::rows::MedoidRow {
+            dist: dev.alloc_zeroed("dist", n).unwrap(),
+            h: Some(h),
+            prev_delta: -1.0,
+            lsize: 0,
+        };
+        let rows_arr = [row];
+
+        // Batch 1: points 0..100; batch 2: points 100..250.
+        let mut flat = vec![0u32; n];
+        for (s, item) in flat.iter_mut().enumerate().take(100) {
+            *item = s as u32;
+        }
+        let list = dev.htod("dl", &flat).unwrap();
+        let medoids = [7usize];
+        h_update_kernel(
+            &mut dev,
+            &data,
+            d,
+            n,
+            &medoids,
+            &rows_arr,
+            &[0],
+            &list,
+            &[100],
+            &[1.0],
+        );
+        for s in 0..150 {
+            list.poke(s, (100 + s) as u32);
+        }
+        h_update_kernel(
+            &mut dev,
+            &data,
+            d,
+            n,
+            &medoids,
+            &rows_arr,
+            &[0],
+            &list,
+            &[150],
+            &[1.0],
+        );
+
+        let x = dev.alloc_zeroed::<f64>("x", d).unwrap();
+        x_from_h_kernel(&mut dev, d, &rows_arr, &[0], &[250], &x);
+        let got = x.peek_all();
+        for (j, g) in got.iter().enumerate() {
+            let want: f64 = (0..250)
+                .map(|p| (host.get(p, j) - host.get(7, j)).abs() as f64)
+                .sum::<f64>()
+                / 250.0;
+            assert!((g - want).abs() < 1e-9, "dim {j}: {g} vs {want}");
+        }
+    }
+}

@@ -1,0 +1,166 @@
+//! Greedy selection of the potential medoids on the device (GPU Alg. 2).
+//!
+//! The host draws the first medoid (one RNG draw, same as the CPU); every
+//! further pick runs three launches per round:
+//!
+//! 1. a one-thread reset of the shared `maxDist` and the claim slot,
+//! 2. the distance/update kernel (Alg. 2 lines 10–13): fold the latest pick
+//!    into the per-candidate minimum distances and `atomicMax` the global
+//!    maximum,
+//! 3. the claim kernel (Alg. 2 lines 7–9): the candidate whose distance
+//!    equals `maxDist` claims the next slot of `M` — split into its own
+//!    launch because "we must ensure that all blocks have finished before
+//!    using the global maximum" (§4.1).
+//!
+//! `M` stays on the device throughout and is read back once at the end.
+
+use gpu_sim::{Device, Dim3};
+use proclus::ProclusRng;
+
+use super::WIDE_BLOCK;
+use crate::workspace::Workspace;
+
+/// Runs the greedy selection over the uploaded sample, returning the
+/// selected potential medoids as data indices (read back once).
+pub fn greedy_gpu(
+    dev: &mut Device,
+    ws: &Workspace,
+    sample: &[usize],
+    count: usize,
+    rng: &mut ProclusRng,
+) -> Vec<usize> {
+    let s = sample.len();
+    assert!(count >= 1 && count <= s);
+    let d = ws.d;
+
+    let sample_u32: Vec<u32> = sample.iter().map(|&p| p as u32).collect();
+    dev.upload(&ws.sample_idx, &sample_u32);
+    dev.memset(&ws.greedy_dist, f32::INFINITY);
+
+    // First medoid: uniform from the sample (host RNG, same draw order as
+    // the CPU variants).
+    let mut latest = rng.below(s);
+    ws.m_list.poke(0, sample[latest] as u32);
+
+    let grid = Dim3::blocks_for(s, WIDE_BLOCK);
+    for round in 1..count {
+        // Kernel 1: reset the shared maximum and the claim slot.
+        {
+            let gmax = ws.greedy_max.clone();
+            let claim = ws.greedy_claim.clone();
+            dev.launch("greedy.reset", Dim3::x(1), Dim3::x(1), move |blk| {
+                blk.thread0(|t| {
+                    gmax.st(t, 0, f32::NEG_INFINITY);
+                    claim.st(t, 0, u32::MAX);
+                });
+            });
+        }
+        // Kernel 2: fold the latest pick in and find the max distance.
+        {
+            let data = ws.data.clone();
+            let sample_idx = ws.sample_idx.clone();
+            let dist = ws.greedy_dist.clone();
+            let gmax = ws.greedy_max.clone();
+            let latest_point = sample[latest];
+            dev.launch("greedy.dist", grid, Dim3::x(WIDE_BLOCK), move |blk| {
+                let m_sh = blk.shared::<f32>(d);
+                blk.threads(|t| {
+                    let mut j = t.tid as usize;
+                    while j < d {
+                        let v = data.ld(t, latest_point * d + j);
+                        m_sh.st(t, j, v);
+                        j += t.block_dim.x as usize;
+                    }
+                });
+                blk.threads(|t| {
+                    let c = t.global_id_x();
+                    if c < s {
+                        let p = sample_idx.ld(t, c) as usize;
+                        let mut acc = 0.0f64;
+                        for j in 0..d {
+                            let diff = (data.ld(t, p * d + j) - m_sh.ld(t, j)) as f64;
+                            acc += diff * diff;
+                        }
+                        t.flops(3 * d as u64 + 2);
+                        let new = (acc.sqrt() as f32).min(dist.ld(t, c));
+                        dist.st(t, c, new);
+                        gmax.atomic_max(t, 0, new);
+                    }
+                });
+            });
+        }
+        // Kernel 3: claim the argmax into M (ties: first claimant wins; in
+        // deterministic mode that is the lowest candidate index, matching
+        // the CPU tie-break).
+        {
+            let sample_idx = ws.sample_idx.clone();
+            let dist = ws.greedy_dist.clone();
+            let gmax = ws.greedy_max.clone();
+            let claim = ws.greedy_claim.clone();
+            let m_list = ws.m_list.clone();
+            dev.launch("greedy.claim", grid, Dim3::x(WIDE_BLOCK), move |blk| {
+                blk.threads(|t| {
+                    let c = t.global_id_x();
+                    if c < s
+                        && dist.ld(t, c) == gmax.ld(t, 0)
+                        && claim.atomic_cas(t, 0, u32::MAX, c as u32) == u32::MAX
+                    {
+                        let p = sample_idx.ld(t, c);
+                        m_list.st(t, round, p);
+                    }
+                });
+            });
+        }
+        latest = dev.dtoh(&ws.greedy_claim)[0] as usize;
+    }
+
+    dev.dtoh(&ws.m_list)[..count]
+        .iter()
+        .map(|&p| p as usize)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::DeviceConfig;
+    use proclus::par::Executor;
+    use proclus::phases::initialization::greedy_select;
+    use proclus::DataMatrix;
+
+    #[test]
+    fn matches_cpu_greedy_seed_for_seed() {
+        let rows: Vec<Vec<f32>> = (0..300)
+            .map(|i| vec![(i as f32 * 37.0) % 101.0, (i as f32 * 17.0) % 89.0])
+            .collect();
+        let host = DataMatrix::from_rows(&rows).unwrap();
+        let sample: Vec<usize> = (0..300).step_by(2).collect();
+
+        let want = greedy_select(
+            &host,
+            &sample,
+            20,
+            &mut ProclusRng::new(123),
+            &Executor::Sequential,
+        );
+
+        let mut dev = Device::new(DeviceConfig::gtx_1660_ti());
+        dev.set_deterministic(true);
+        let ws = Workspace::new(&mut dev, &host, 4, sample.len(), 20).unwrap();
+        let got = greedy_gpu(&mut dev, &ws, &sample, 20, &mut ProclusRng::new(123));
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn single_pick_consumes_one_draw() {
+        let host = DataMatrix::from_rows(&[vec![0.0], vec![1.0], vec![5.0]]).unwrap();
+        let mut dev = Device::new(DeviceConfig::gtx_1660_ti());
+        let ws = Workspace::new(&mut dev, &host, 2, 3, 2).unwrap();
+        let mut rng = ProclusRng::new(7);
+        let got = greedy_gpu(&mut dev, &ws, &[0, 1, 2], 1, &mut rng);
+        assert_eq!(got.len(), 1);
+        let mut reference = ProclusRng::new(7);
+        let _ = reference.below(3);
+        assert_eq!(rng.below(1000), reference.below(1000));
+    }
+}

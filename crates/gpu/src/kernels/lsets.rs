@@ -1,0 +1,164 @@
+//! Building the point lists `L_i` / `ΔL_i` (GPU Alg. 3 lines 8–12).
+//!
+//! Points are appended into pre-allocated worst-case arrays using
+//! `atomicInc` on the per-medoid counter, exactly as the paper describes —
+//! the member *order* inside a list is therefore nondeterministic under
+//! parallel block execution, but every consumer only reduces over the list,
+//! so order never affects results.
+
+use gpu_sim::{Device, DeviceBuffer, Dim3};
+
+use super::WIDE_BLOCK;
+use crate::rows::MedoidRow;
+
+/// Membership condition for list building.
+pub enum SphereCond {
+    /// `dist ≤ δ_i` — the full sphere `L_i` (plain GPU-PROCLUS).
+    Within(Vec<f32>),
+    /// `lo_i < dist ≤ hi_i` — the delta `ΔL_i` between the previous and
+    /// current radius (Theorem 3.1; GPU-FAST variants).
+    Between(Vec<(f32, f32)>),
+}
+
+/// Fills `list` (`k × n`, row per medoid) and `count` (k) with the points
+/// satisfying the condition against each medoid's distance row. Counts are
+/// reset on-device first.
+pub fn build_lists_kernel(
+    dev: &mut Device,
+    rows: &[MedoidRow],
+    row_of_slot: &[usize],
+    cond: &SphereCond,
+    n: usize,
+    list: &DeviceBuffer<u32>,
+    count: &DeviceBuffer<u32>,
+) {
+    let k = row_of_slot.len();
+    dev.memset(count, 0);
+    let dist_rows: Vec<_> = row_of_slot.iter().map(|&r| rows[r].dist.clone()).collect();
+    let bounds: Vec<(f32, f32)> = match cond {
+        SphereCond::Within(deltas) => deltas.iter().map(|&d| (f32::NEG_INFINITY, d)).collect(),
+        SphereCond::Between(b) => b.clone(),
+    };
+    let list = list.clone();
+    let count = count.clone();
+    let grid = Dim3::xy(Dim3::blocks_for(n, WIDE_BLOCK).x, k as u32);
+    dev.launch("compute_l.build", grid, Dim3::x(WIDE_BLOCK), move |blk| {
+        let i = blk.block.y as usize;
+        let (lo, hi) = bounds[i];
+        blk.threads(|t| {
+            let p = t.block.x as usize * t.block_dim.x as usize + t.tid as usize;
+            if p < n {
+                let dist = dist_rows[i].ld(t, p);
+                t.ops(2);
+                if dist > lo && dist <= hi {
+                    let pos = count.atomic_inc(t, i) as usize;
+                    list.st(t, i * n + pos, p as u32);
+                }
+            }
+        });
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::dist::dist_row_kernel;
+    use crate::rows::RowCache;
+    use gpu_sim::DeviceConfig;
+    use proclus::distance::euclidean;
+    use proclus::DataMatrix;
+
+    fn setup(n: usize) -> (Device, DataMatrix, DeviceBuffer<f32>) {
+        let rows: Vec<Vec<f32>> = (0..n)
+            .map(|i| vec![(i % 29) as f32, (i % 7) as f32])
+            .collect();
+        let host = DataMatrix::from_rows(&rows).unwrap();
+        let mut dev = Device::new(DeviceConfig::gtx_1660_ti());
+        let data = dev.htod("data", host.flat()).unwrap();
+        (dev, host, data)
+    }
+
+    #[test]
+    fn within_matches_cpu_sphere_membership() {
+        let n = 3000;
+        let (mut dev, host, data) = setup(n);
+        let medoids = [10usize, 500];
+        let cache = RowCache::new_plain(&mut dev, n, 2).unwrap();
+        for (i, &m) in medoids.iter().enumerate() {
+            dist_row_kernel(&mut dev, &data, 2, n, m, &cache.rows()[i].dist);
+        }
+        let list = dev.alloc_zeroed::<u32>("list", 2 * n).unwrap();
+        let count = dev.alloc_zeroed::<u32>("count", 2).unwrap();
+        let deltas = vec![5.0f32, 9.0];
+        build_lists_kernel(
+            &mut dev,
+            cache.rows(),
+            &[0, 1],
+            &SphereCond::Within(deltas.clone()),
+            n,
+            &list,
+            &count,
+        );
+        for i in 0..2 {
+            let c = count.peek(i) as usize;
+            let mut got: Vec<u32> = (0..c).map(|s| list.peek(i * n + s)).collect();
+            got.sort_unstable();
+            let want: Vec<u32> = (0..n)
+                .filter(|&p| euclidean(host.row(p), host.row(medoids[i])) <= deltas[i])
+                .map(|p| p as u32)
+                .collect();
+            assert_eq!(got, want, "medoid {i}");
+            assert!(c >= 1, "sphere must contain the medoid");
+        }
+    }
+
+    #[test]
+    fn between_is_the_set_difference_of_two_spheres() {
+        let n = 2000;
+        let (mut dev, host, data) = setup(n);
+        let cache = RowCache::new_plain(&mut dev, n, 1).unwrap();
+        dist_row_kernel(&mut dev, &data, 2, n, 7, &cache.rows()[0].dist);
+        let list = dev.alloc_zeroed::<u32>("list", n).unwrap();
+        let count = dev.alloc_zeroed::<u32>("count", 1).unwrap();
+        build_lists_kernel(
+            &mut dev,
+            cache.rows(),
+            &[0],
+            &SphereCond::Between(vec![(4.0, 11.0)]),
+            n,
+            &list,
+            &count,
+        );
+        let c = count.peek(0) as usize;
+        let mut got: Vec<u32> = (0..c).map(|s| list.peek(s)).collect();
+        got.sort_unstable();
+        let want: Vec<u32> = (0..n)
+            .filter(|&p| {
+                let dist = euclidean(host.row(p), host.row(7));
+                dist > 4.0 && dist <= 11.0
+            })
+            .map(|p| p as u32)
+            .collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn empty_band_yields_empty_list() {
+        let n = 100;
+        let (mut dev, _, data) = setup(n);
+        let cache = RowCache::new_plain(&mut dev, n, 1).unwrap();
+        dist_row_kernel(&mut dev, &data, 2, n, 0, &cache.rows()[0].dist);
+        let list = dev.alloc_zeroed::<u32>("list", n).unwrap();
+        let count = dev.alloc_zeroed::<u32>("count", 1).unwrap();
+        build_lists_kernel(
+            &mut dev,
+            cache.rows(),
+            &[0],
+            &SphereCond::Between(vec![(5.0, 5.0)]),
+            n,
+            &list,
+            &count,
+        );
+        assert_eq!(count.peek(0), 0);
+    }
+}

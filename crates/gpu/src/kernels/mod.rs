@@ -1,0 +1,27 @@
+//! The CUDA-style kernels of GPU-PROCLUS (paper Algorithms 2–6 plus
+//! RemoveOutliers), expressed on the `gpu-sim` SIMT device.
+//!
+//! Kernel structure follows the paper: data-parallel grids over points,
+//! atomics for shared results, per-thread local partials to minimize atomic
+//! traffic, shared-memory staging for values reused within a block, and
+//! `__syncthreads()` barriers expressed as consecutive `BlockCtx::threads`
+//! phases. All reductions that feed *decisions* (X, Z, cost, centroids)
+//! accumulate in `f64` so the GPU variants follow the exact search path of
+//! the CPU variants for the same seed (see DESIGN.md §4).
+
+pub mod assign;
+pub mod delta;
+pub mod dist;
+pub mod evaluate;
+pub mod find_dims;
+pub mod greedy;
+pub mod lsets;
+pub mod outliers;
+pub mod util;
+
+/// Threads per block for wide data-parallel kernels (paper §5: 1024).
+pub const WIDE_BLOCK: u32 = 1024;
+
+/// Threads per block for AssignPoints (paper §5: 128, "to reduce
+/// unnecessary synchronizations").
+pub const ASSIGN_BLOCK: u32 = 128;

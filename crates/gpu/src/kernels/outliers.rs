@@ -1,0 +1,170 @@
+//! RemoveOutliers on the device (paper §4.1, last paragraph).
+//!
+//! Kernel 1 computes the outlier sphere radii `Δ_i = min_{j≠i}
+//! ‖m_i − m_j‖₁^{D_i} / |D_i|` — one block per medoid, threads over the
+//! other medoids, atomic min in shared memory. Kernel 2 checks every point
+//! against every medoid's sphere in parallel and reports the points outside
+//! all of them as outliers.
+
+use gpu_sim::{Device, DeviceBuffer, Dim3};
+
+use super::WIDE_BLOCK;
+
+/// Computes `Δ_i` into `out_deltas` (k, f64).
+pub fn outlier_deltas_kernel(
+    dev: &mut Device,
+    data: &DeviceBuffer<f32>,
+    d: usize,
+    medoid_data_idx: &[usize],
+    dims_flat: &DeviceBuffer<u32>,
+    dims_offsets: &[usize],
+    out_deltas: &DeviceBuffer<f64>,
+) {
+    let k = medoid_data_idx.len();
+    let data = data.clone();
+    let dims_flat = dims_flat.clone();
+    let out = out_deltas.clone();
+    let medoids = medoid_data_idx.to_vec();
+    let offsets = dims_offsets.to_vec();
+    dev.launch(
+        "outliers.delta",
+        Dim3::x(k as u32),
+        Dim3::x(k as u32),
+        move |blk| {
+            let i = blk.block.x as usize;
+            let dmin = blk.shared::<f64>(1);
+            blk.thread0(|t| dmin.st(t, 0, f64::INFINITY));
+            blk.threads(|t| {
+                let j = t.tid as usize;
+                if j != i {
+                    let (lo, hi) = (offsets[i], offsets[i + 1]);
+                    let mut acc = 0.0f64;
+                    for s in lo..hi {
+                        let dim = dims_flat.ld(t, s) as usize;
+                        let a = data.ld(t, medoids[i] * d + dim);
+                        let b = data.ld(t, medoids[j] * d + dim);
+                        acc += ((a - b) as f64).abs();
+                    }
+                    t.flops(2 * (hi - lo) as u64 + 1);
+                    dmin.atomic_min(t, 0, acc / (hi - lo) as f64);
+                }
+            });
+            blk.thread0(|t| {
+                let v = dmin.ld(t, 0);
+                out.st(t, i, v);
+            });
+        },
+    );
+}
+
+/// Marks points outside every medoid's `Δ_i` sphere as outliers
+/// (`labels[p] ← −1`); all other labels pass through.
+#[allow(clippy::too_many_arguments)]
+pub fn remove_outliers_kernel(
+    dev: &mut Device,
+    data: &DeviceBuffer<f32>,
+    d: usize,
+    n: usize,
+    medoid_data_idx: &[usize],
+    dims_flat: &DeviceBuffer<u32>,
+    dims_offsets: &[usize],
+    out_deltas: &DeviceBuffer<f64>,
+    labels: &DeviceBuffer<i32>,
+) {
+    let k = medoid_data_idx.len();
+    let data = data.clone();
+    let dims_flat = dims_flat.clone();
+    let deltas = out_deltas.clone();
+    let labels = labels.clone();
+    let medoids = medoid_data_idx.to_vec();
+    let offsets = dims_offsets.to_vec();
+    let grid = Dim3::blocks_for(n, WIDE_BLOCK);
+    dev.launch("outliers.scan", grid, Dim3::x(WIDE_BLOCK), move |blk| {
+        blk.threads(|t| {
+            let p = t.global_id_x();
+            if p >= n {
+                return;
+            }
+            let mut inside_any = false;
+            for i in 0..k {
+                let (lo, hi) = (offsets[i], offsets[i + 1]);
+                let mut acc = 0.0f64;
+                for s in lo..hi {
+                    let dim = dims_flat.ld(t, s) as usize;
+                    let a = data.ld(t, p * d + dim);
+                    let b = data.ld(t, medoids[i] * d + dim);
+                    acc += ((a - b) as f64).abs();
+                }
+                t.flops(2 * (hi - lo) as u64 + 1);
+                if acc / (hi - lo) as f64 <= deltas.ld(t, i) {
+                    inside_any = true;
+                    break;
+                }
+            }
+            if !inside_any {
+                labels.st(t, p, -1);
+            }
+        });
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::DeviceConfig;
+    use proclus::par::Executor;
+    use proclus::phases::refinement::{outlier_deltas, remove_outliers};
+    use proclus::DataMatrix;
+
+    fn upload_dims(dev: &mut Device, subspaces: &[Vec<usize>]) -> (DeviceBuffer<u32>, Vec<usize>) {
+        let mut flat = Vec::new();
+        let mut offsets = vec![0usize];
+        for s in subspaces {
+            flat.extend(s.iter().map(|&j| j as u32));
+            offsets.push(flat.len());
+        }
+        (dev.htod("dims", &flat).unwrap(), offsets)
+    }
+
+    #[test]
+    fn matches_cpu_outlier_detection() {
+        let n = 500;
+        let mut rows: Vec<Vec<f32>> = (0..n - 1)
+            .map(|i| {
+                let c = (i % 2) as f32 * 20.0;
+                vec![c + (i % 5) as f32 * 0.2, c + (i % 3) as f32 * 0.2]
+            })
+            .collect();
+        rows.push(vec![500.0, -500.0]); // wild outlier
+        let host = DataMatrix::from_rows(&rows).unwrap();
+        let medoids = vec![0usize, 1];
+        let subspaces = vec![vec![0, 1], vec![0, 1]];
+        let labels_host: Vec<i32> = (0..n).map(|i| (i % 2) as i32).collect();
+
+        let mut dev = Device::new(DeviceConfig::gtx_1660_ti());
+        dev.set_deterministic(true);
+        let data = dev.htod("data", host.flat()).unwrap();
+        let (dims_flat, offsets) = upload_dims(&mut dev, &subspaces);
+        let deltas = dev.alloc_zeroed::<f64>("odeltas", 2).unwrap();
+        outlier_deltas_kernel(&mut dev, &data, 2, &medoids, &dims_flat, &offsets, &deltas);
+
+        let want_deltas = outlier_deltas(&host, &medoids, &subspaces);
+        for (a, b) in deltas.peek_all().iter().zip(&want_deltas) {
+            assert!((a - b).abs() < 1e-9);
+        }
+
+        let labels = dev.htod("labels", &labels_host).unwrap();
+        remove_outliers_kernel(
+            &mut dev, &data, 2, n, &medoids, &dims_flat, &offsets, &deltas, &labels,
+        );
+        let want = remove_outliers(
+            &host,
+            &labels_host,
+            &medoids,
+            &subspaces,
+            &Executor::Sequential,
+        );
+        assert_eq!(labels.peek_all(), want);
+        assert_eq!(labels.peek(n - 1), -1, "the wild point must be an outlier");
+    }
+}

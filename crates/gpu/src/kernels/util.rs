@@ -1,0 +1,105 @@
+//! Small maintenance kernels: device-to-device label copies (keeping the
+//! best assignment resident, §4.1 "Updated and iterations" — not
+//! time-consuming but still on-device to avoid transfers) and rebuilding
+//! cluster member lists from a label array for the refinement phase.
+
+use gpu_sim::{Device, DeviceBuffer, Dim3};
+
+use super::WIDE_BLOCK;
+
+/// Copies `src` into `dst` on the device (labels of the best iteration).
+pub fn copy_labels_kernel(
+    dev: &mut Device,
+    src: &DeviceBuffer<i32>,
+    dst: &DeviceBuffer<i32>,
+    n: usize,
+) {
+    let src = src.clone();
+    let dst = dst.clone();
+    let grid = Dim3::blocks_for(n, WIDE_BLOCK);
+    dev.launch("util.copy_labels", grid, Dim3::x(WIDE_BLOCK), move |blk| {
+        blk.threads(|t| {
+            let p = t.global_id_x();
+            if p < n {
+                let v = src.ld(t, p);
+                dst.st(t, p, v);
+            }
+        });
+    });
+}
+
+/// Rebuilds the per-cluster member lists from a label array (used by the
+/// refinement phase, which needs `L ← CBest`, Alg. 1 line 16). Negative
+/// labels are skipped.
+pub fn lists_from_labels_kernel(
+    dev: &mut Device,
+    labels: &DeviceBuffer<i32>,
+    n: usize,
+    list: &DeviceBuffer<u32>,
+    count: &DeviceBuffer<u32>,
+) {
+    dev.memset(count, 0);
+    let labels = labels.clone();
+    let list = list.clone();
+    let count = count.clone();
+    let grid = Dim3::blocks_for(n, WIDE_BLOCK);
+    dev.launch(
+        "util.lists_from_labels",
+        grid,
+        Dim3::x(WIDE_BLOCK),
+        move |blk| {
+            blk.threads(|t| {
+                let p = t.global_id_x();
+                if p < n {
+                    let c = labels.ld(t, p);
+                    if c >= 0 {
+                        let i = c as usize;
+                        let pos = count.atomic_inc(t, i) as usize;
+                        list.st(t, i * n + pos, p as u32);
+                    }
+                }
+            });
+        },
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::DeviceConfig;
+
+    #[test]
+    fn copy_preserves_all_labels() {
+        let mut dev = Device::new(DeviceConfig::gtx_1660_ti());
+        let n = 5000;
+        let vals: Vec<i32> = (0..n as i32).map(|i| i % 7 - 1).collect();
+        let src = dev.htod("src", &vals).unwrap();
+        let dst = dev.alloc_zeroed::<i32>("dst", n).unwrap();
+        copy_labels_kernel(&mut dev, &src, &dst, n);
+        assert_eq!(dst.peek_all(), vals);
+    }
+
+    #[test]
+    fn lists_partition_non_negative_labels() {
+        let mut dev = Device::new(DeviceConfig::gtx_1660_ti());
+        let n = 1000;
+        let labels_host: Vec<i32> = (0..n as i32)
+            .map(|i| if i % 10 == 0 { -1 } else { i % 3 })
+            .collect();
+        let labels = dev.htod("labels", &labels_host).unwrap();
+        let list = dev.alloc_zeroed::<u32>("list", 3 * n).unwrap();
+        let count = dev.alloc_zeroed::<u32>("count", 3).unwrap();
+        lists_from_labels_kernel(&mut dev, &labels, n, &list, &count);
+        let mut seen = 0usize;
+        for i in 0..3 {
+            let c = count.peek(i) as usize;
+            for s in 0..c {
+                let p = list.peek(i * n + s) as usize;
+                assert_eq!(labels_host[p], i as i32);
+            }
+            seen += c;
+        }
+        let expected = labels_host.iter().filter(|&&l| l >= 0).count();
+        assert_eq!(seen, expected);
+    }
+}

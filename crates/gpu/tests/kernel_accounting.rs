@@ -1,0 +1,118 @@
+//! Work-counter exactness: the performance model is only as good as the
+//! counted work feeding it, so these tests pin the exact global-memory
+//! traffic of the main kernels against hand-derived formulas.
+
+use gpu_sim::{Device, DeviceConfig};
+use proclus::DataMatrix;
+use proclus_gpu::kernels::assign::assign_kernel;
+use proclus_gpu::kernels::dist::dist_row_kernel;
+use proclus_gpu::kernels::evaluate::evaluate_kernel;
+
+fn host_data(n: usize, d: usize) -> DataMatrix {
+    let rows: Vec<Vec<f32>> = (0..n)
+        .map(|i| (0..d).map(|j| ((i * 7 + j * 13) % 29) as f32).collect())
+        .collect();
+    DataMatrix::from_rows(&rows).unwrap()
+}
+
+fn upload_dims(
+    dev: &mut Device,
+    subspaces: &[Vec<usize>],
+) -> (gpu_sim::DeviceBuffer<u32>, Vec<usize>) {
+    let mut flat = Vec::new();
+    let mut offsets = vec![0usize];
+    for s in subspaces {
+        flat.extend(s.iter().map(|&j| j as u32));
+        offsets.push(flat.len());
+    }
+    (dev.htod("dims", &flat).unwrap(), offsets)
+}
+
+#[test]
+fn assign_kernel_traffic_matches_formula() {
+    let (n, d, k) = (5_000usize, 6usize, 4usize);
+    let host = host_data(n, d);
+    let mut dev = Device::new(DeviceConfig::gtx_1660_ti());
+    let data = dev.htod("data", host.flat()).unwrap();
+    let subspaces: Vec<Vec<usize>> = (0..k).map(|i| vec![i % d, (i + 2) % d]).collect();
+    let (dims_flat, offsets) = upload_dims(&mut dev, &subspaces);
+    let medoids: Vec<usize> = (0..k).map(|i| i * (n / k)).collect();
+    let labels = dev.alloc_zeroed::<i32>("labels", n).unwrap();
+    let c_list = dev.alloc_zeroed::<u32>("c_list", k * n).unwrap();
+    let c_count = dev.alloc_zeroed::<u32>("c_count", k).unwrap();
+    assign_kernel(
+        &mut dev, &data, d, n, &medoids, &dims_flat, &offsets, &labels, &c_list, &c_count,
+    );
+    let rep = dev.report();
+    let w = &rep.kernels["assign.points"].work;
+
+    // Loads per real (point, medoid) pair: |D_i| dim indices + 2·|D_i|
+    // data values. Every subspace here has 2 dims.
+    let dims_per = 2u64;
+    let pair_loads = (n * k) as u64 * (dims_per + 2 * dims_per);
+    assert_eq!(w.global_loads, pair_loads, "loads");
+    // Stores: one label + one c_list slot per point.
+    assert_eq!(w.global_stores, 2 * n as u64, "stores");
+    // Global atomics: one c_count bump per point.
+    assert_eq!(w.global_atomics, n as u64, "atomics");
+    // Shared: at least one atomic min per (point, medoid) pair.
+    assert!(w.shared_atomics >= (n * k) as u64);
+}
+
+#[test]
+fn dist_row_traffic_is_exact_for_uneven_tail_block() {
+    // n deliberately NOT a multiple of the block size: tail threads must
+    // not touch memory.
+    let (n, d) = (2_500usize, 5usize);
+    let host = host_data(n, d);
+    let mut dev = Device::new(DeviceConfig::gtx_1660_ti());
+    let data = dev.htod("data", host.flat()).unwrap();
+    let out = dev.alloc_zeroed::<f32>("row", n).unwrap();
+    dist_row_kernel(&mut dev, &data, d, n, 3, &out);
+    let rep = dev.report();
+    let w = &rep.kernels["compute_l.dist"].work;
+    let blocks = n.div_ceil(1024) as u64;
+    assert_eq!(w.global_loads, (n * d) as u64 + blocks * d as u64);
+    assert_eq!(w.global_stores, n as u64);
+    assert_eq!(w.bytes_loaded, 4 * ((n * d) as u64 + blocks * d as u64));
+}
+
+#[test]
+fn evaluate_kernel_scans_each_member_twice_per_dim() {
+    let (n, d, k) = (3_000usize, 4usize, 3usize);
+    let host = host_data(n, d);
+    let mut dev = Device::new(DeviceConfig::gtx_1660_ti());
+    let data = dev.htod("data", host.flat()).unwrap();
+    let subspaces: Vec<Vec<usize>> = vec![vec![0, 1], vec![1, 2, 3], vec![2]];
+    let (dims_flat, offsets) = upload_dims(&mut dev, &subspaces);
+    // Balanced membership 0,1,2,0,1,2,...
+    let c_list = dev.alloc_zeroed::<u32>("c_list", k * n).unwrap();
+    let mut counts = vec![0usize; k];
+    for p in 0..n {
+        let c = p % k;
+        c_list.poke(c * n + counts[c], p as u32);
+        counts[c] += 1;
+    }
+    let cost = dev.alloc_zeroed::<f64>("cost", 1).unwrap();
+    evaluate_kernel(
+        &mut dev, &data, d, n, &dims_flat, &offsets, &c_list, &counts, &cost,
+    );
+    let rep = dev.report();
+    let w = &rep.kernels["evaluate.cost"].work;
+    // Per (cluster i, dim j): phase 1 reads |C_i| list entries + |C_i|
+    // data values; phase 2 the same — the dominant term.
+    let member_dim_pairs: u64 = (0..k)
+        .map(|i| (counts[i] * subspaces[i].len()) as u64)
+        .sum();
+    let expected_min = 4 * member_dim_pairs;
+    assert!(
+        w.global_loads >= expected_min && w.global_loads <= expected_min + 10_000,
+        "loads {} vs expected ~{}",
+        w.global_loads,
+        expected_min
+    );
+    // Only the cost scalar is written to global memory (Eq. 9's point) —
+    // and only via atomics, not plain stores.
+    assert_eq!(w.global_stores, 0, "stores {}", w.global_stores);
+    assert!(w.global_atomics > 0);
+}

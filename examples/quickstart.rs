@@ -1,0 +1,68 @@
+//! Quickstart: cluster a small synthetic dataset with every variant and
+//! compare them.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use gpu_fast_proclus::prelude::*;
+
+fn main() {
+    // 2,000 points in 10 dimensions: 4 Gaussian clusters, each living in
+    // its own 4-dimensional subspace, plus 2% uniform noise.
+    let gen = datagen::synthetic::generate(
+        &SyntheticConfig::new(2_000, 10)
+            .with_clusters(4)
+            .with_subspace_dims(4)
+            .with_std_dev(3.0)
+            .with_noise(0.02)
+            .with_seed(11),
+    );
+    let mut data = gen.data;
+    data.minmax_normalize();
+
+    let params = Params::new(4, 4).with_seed(7);
+
+    // --- CPU: baseline PROCLUS and FAST-PROCLUS -------------------------
+    let t0 = std::time::Instant::now();
+    let base = proclus(&data, &params).expect("valid configuration");
+    let t_base = t0.elapsed();
+    let t0 = std::time::Instant::now();
+    let fast = fast_proclus(&data, &params).expect("valid configuration");
+    let t_fast = t0.elapsed();
+
+    // Same seed → same search path → same clustering.
+    assert_eq!(base.labels, fast.labels);
+
+    // --- GPU (simulated device) -----------------------------------------
+    let mut dev = Device::new(DeviceConfig::gtx_1660_ti());
+    let gpu = gpu_fast_proclus(&mut dev, &data, &params).expect("fits on device");
+
+    println!("points                : {}", data.n());
+    println!("clusters (k)          : {}", gpu.k());
+    println!("iterations            : {}", gpu.iterations);
+    println!("best cost             : {:.5}", gpu.cost);
+    println!("outliers              : {}", gpu.num_outliers());
+    println!("cluster sizes         : {:?}", gpu.cluster_sizes());
+    for (i, s) in gpu.subspaces.iter().enumerate() {
+        println!("subspace of cluster {i} : {s:?}");
+    }
+    println!();
+    println!(
+        "PROCLUS      (CPU wall) : {:.1} ms",
+        t_base.as_secs_f64() * 1e3
+    );
+    println!(
+        "FAST-PROCLUS (CPU wall) : {:.1} ms",
+        t_fast.as_secs_f64() * 1e3
+    );
+    println!(
+        "GPU-FAST     (simulated): {:.3} ms on {}",
+        dev.elapsed_ms(),
+        dev.config().name
+    );
+
+    // How well did we recover the planted clusters?
+    let ari = proclus::metrics::adjusted_rand_index(&gen.labels, &gpu.labels);
+    println!("adjusted Rand index vs. ground truth: {ari:.3}");
+}

@@ -1,0 +1,41 @@
+//! # gpu-fast-proclus — umbrella crate
+//!
+//! Re-exports the whole GPU-FAST-PROCLUS reproduction (EDBT 2022) behind
+//! one dependency: the CPU algorithm family ([`proclus`]), the GPU variants
+//! on the SIMT device simulator ([`proclus_gpu`] + [`gpu_sim`]), and the
+//! dataset generators ([`datagen`]).
+//!
+//! ```
+//! use gpu_fast_proclus::prelude::*;
+//!
+//! let gen = datagen::synthetic::generate(
+//!     &datagen::SyntheticConfig::new(500, 8).with_clusters(3).with_seed(7),
+//! );
+//! let params = Params::new(3, 3).with_a(30).with_b(5);
+//! let cpu = fast_proclus(&gen.data, &params).unwrap();
+//!
+//! let mut dev = Device::new(DeviceConfig::gtx_1660_ti());
+//! dev.set_deterministic(true);
+//! let gpu = gpu_fast_proclus(&mut dev, &gen.data, &params).unwrap();
+//! assert_eq!(cpu.labels, gpu.labels);
+//! ```
+
+#![warn(missing_docs)]
+
+pub use datagen;
+pub use gpu_sim;
+pub use proclus;
+pub use proclus_gpu;
+
+/// The most common imports in one place.
+pub mod prelude {
+    pub use datagen::{self, SyntheticConfig};
+    pub use gpu_sim::{Device, DeviceConfig};
+    pub use proclus::{
+        fast_proclus, fast_proclus_multi, fast_star_proclus, proclus, Clustering, DataMatrix,
+        Params, ReuseLevel, Setting, OUTLIER,
+    };
+    pub use proclus_gpu::{
+        gpu_fast_proclus, gpu_fast_proclus_multi, gpu_fast_star_proclus, gpu_proclus,
+    };
+}

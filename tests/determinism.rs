@@ -1,0 +1,88 @@
+//! Golden regression tests: exact expected outputs for fixed seeds.
+//!
+//! Any behavioral change to the search path — RNG draw order, tie
+//! breaking, the σ formula, dimension selection, bad-medoid handling —
+//! shows up here as a diff against recorded values, before it can silently
+//! change every benchmark. If a change is *intentional*, re-record the
+//! constants (instructions below).
+
+use datagen::synthetic::{generate, SyntheticConfig};
+use proclus::{fast_proclus, proclus, DataMatrix, Params};
+
+fn golden_data() -> DataMatrix {
+    let mut g = generate(&SyntheticConfig {
+        n: 500,
+        d: 8,
+        num_clusters: 4,
+        subspace_dims: 3,
+        std_dev: 3.0,
+        value_range: (0.0, 100.0),
+        noise_fraction: 0.02,
+        seed: 0xBEEF,
+    });
+    g.data.minmax_normalize();
+    g.data
+}
+
+fn golden_params() -> Params {
+    Params::new(4, 3).with_a(25).with_b(5).with_seed(12345)
+}
+
+/// To re-record after an intentional behavior change:
+/// `cargo test -p gpu-fast-proclus --test determinism -- --nocapture print_golden --ignored`
+#[test]
+#[ignore]
+fn print_golden() {
+    let c = proclus(&golden_data(), &golden_params()).unwrap();
+    println!("medoids     : {:?}", c.medoids);
+    println!("subspaces   : {:?}", c.subspaces);
+    println!("iterations  : {}", c.iterations);
+    println!("cost        : {:.15}", c.cost);
+    println!("refined     : {:.15}", c.refined_cost);
+    println!("outliers    : {}", c.num_outliers());
+    println!("sizes       : {:?}", c.cluster_sizes());
+}
+
+#[test]
+fn golden_run_matches_recorded_output() {
+    let c = proclus(&golden_data(), &golden_params()).unwrap();
+    assert_eq!(c.medoids, vec![292, 0, 237, 496]);
+    assert_eq!(
+        c.subspaces,
+        vec![vec![4, 5, 6], vec![3, 6, 7], vec![2, 3, 5], vec![1, 2, 3]]
+    );
+    assert_eq!(c.iterations, 10);
+    assert_eq!(c.num_outliers(), 2);
+    assert_eq!(c.cluster_sizes(), vec![128, 120, 125, 125]);
+    assert!(
+        (c.cost - 0.039_286_633_979_767).abs() < 1e-12,
+        "cost drifted: {:.15}",
+        c.cost
+    );
+    assert!(
+        (c.refined_cost - 0.027_539_284_469_215).abs() < 1e-12,
+        "refined cost drifted: {:.15}",
+        c.refined_cost
+    );
+}
+
+#[test]
+fn golden_fast_is_bit_identical_to_baseline() {
+    let a = proclus(&golden_data(), &golden_params()).unwrap();
+    let b = fast_proclus(&golden_data(), &golden_params()).unwrap();
+    assert_eq!(a.medoids, b.medoids);
+    assert_eq!(a.labels, b.labels);
+    assert_eq!(a.subspaces, b.subspaces);
+}
+
+#[test]
+fn generator_golden_checksum() {
+    // Guards the RNG/generator pipeline itself: a change to ProclusRng's
+    // draw order would silently invalidate every recorded number.
+    let data = golden_data();
+    let checksum: f64 = data.flat().iter().map(|&v| v as f64).sum();
+    assert!(
+        (checksum - 2_129.636_689_961).abs() < 1e-6,
+        "generator output drifted: {checksum:.9}"
+    );
+}

@@ -1,0 +1,157 @@
+//! Seed-for-seed equivalence across the CPU algorithm family — the core of
+//! the paper's correctness argument (§5.1: "besides this random behavior,
+//! GPU-PROCLUS and all the algorithmic strategies produce the same
+//! clustering as PROCLUS"). FAST and FAST* change only *how* `X` is
+//! computed, so with the same seed every variant must visit the same
+//! medoid sequence and return the same result.
+
+use datagen::synthetic::{generate, SyntheticConfig};
+use proclus::{
+    fast_proclus, fast_proclus_par, fast_star_proclus, fast_star_proclus_par, proclus, proclus_par,
+    Clustering, DataMatrix, Params,
+};
+
+fn dataset(n: usize, d: usize, clusters: usize, seed: u64) -> DataMatrix {
+    let cfg = SyntheticConfig {
+        n,
+        d,
+        num_clusters: clusters,
+        subspace_dims: (d / 2).max(2),
+        std_dev: 4.0,
+        value_range: (0.0, 100.0),
+        noise_fraction: 0.01,
+        seed,
+    };
+    let mut g = generate(&cfg);
+    g.data.minmax_normalize();
+    g.data
+}
+
+fn assert_same(a: &Clustering, b: &Clustering, what: &str) {
+    assert_eq!(a.medoids, b.medoids, "{what}: medoids");
+    assert_eq!(a.subspaces, b.subspaces, "{what}: subspaces");
+    assert_eq!(a.labels, b.labels, "{what}: labels");
+    assert_eq!(a.iterations, b.iterations, "{what}: iterations");
+    assert!(
+        (a.cost - b.cost).abs() < 1e-9,
+        "{what}: cost {} vs {}",
+        a.cost,
+        b.cost
+    );
+    assert!(
+        (a.refined_cost - b.refined_cost).abs() < 1e-9,
+        "{what}: refined cost"
+    );
+}
+
+#[test]
+fn fast_and_fast_star_match_baseline_across_seeds() {
+    let data = dataset(1500, 10, 5, 42);
+    for seed in [0u64, 1, 2, 3, 4] {
+        let params = Params::new(5, 3).with_a(25).with_b(5).with_seed(seed);
+        let base = proclus(&data, &params).unwrap();
+        assert_same(
+            &base,
+            &fast_proclus(&data, &params).unwrap(),
+            &format!("fast s{seed}"),
+        );
+        assert_same(
+            &base,
+            &fast_star_proclus(&data, &params).unwrap(),
+            &format!("fast* s{seed}"),
+        );
+    }
+}
+
+#[test]
+fn parallel_variants_match_sequential() {
+    let data = dataset(1200, 8, 4, 7);
+    let params = Params::new(4, 3).with_a(25).with_b(5).with_seed(13);
+    let base = proclus(&data, &params).unwrap();
+    for threads in [2usize, 4, 8] {
+        assert_same(
+            &base,
+            &proclus_par(&data, &params, threads).unwrap(),
+            &format!("par({threads})"),
+        );
+        assert_same(
+            &base,
+            &fast_proclus_par(&data, &params, threads).unwrap(),
+            &format!("fast par({threads})"),
+        );
+        assert_same(
+            &base,
+            &fast_star_proclus_par(&data, &params, threads).unwrap(),
+            &format!("fast* par({threads})"),
+        );
+    }
+}
+
+#[test]
+fn equivalence_holds_across_parameter_corners() {
+    let data = dataset(900, 12, 3, 21);
+    let corners = [
+        Params::new(2, 2).with_a(10).with_b(2),
+        Params::new(3, 12).with_a(20).with_b(4), // l = d
+        Params::new(8, 3).with_a(15).with_b(3).with_min_dev(0.3),
+        Params::new(4, 4).with_itr_pat(1),
+        Params::new(4, 4)
+            .with_itr_pat(20)
+            .with_max_total_iterations(40),
+    ];
+    for (i, p) in corners.iter().enumerate() {
+        let p = p.clone().with_seed(100 + i as u64);
+        let base = proclus(&data, &p).unwrap();
+        assert_same(
+            &base,
+            &fast_proclus(&data, &p).unwrap(),
+            &format!("corner {i}"),
+        );
+        assert_same(
+            &base,
+            &fast_star_proclus(&data, &p).unwrap(),
+            &format!("corner {i} (fast*)"),
+        );
+    }
+}
+
+#[test]
+fn both_bad_medoid_rules_stay_equivalent_across_variants() {
+    use proclus::BadMedoidRule;
+    let data = dataset(800, 8, 4, 3);
+    for rule in [BadMedoidRule::PaperEdbt22, BadMedoidRule::Original99] {
+        let p = Params::new(4, 3)
+            .with_a(20)
+            .with_b(4)
+            .with_seed(9)
+            .with_bad_medoid_rule(rule);
+        let base = proclus(&data, &p).unwrap();
+        assert_same(
+            &base,
+            &fast_proclus(&data, &p).unwrap(),
+            &format!("{rule:?}"),
+        );
+    }
+}
+
+#[test]
+fn unclustered_uniform_data_still_works() {
+    // No planted structure at all: the algorithm must still terminate with
+    // a valid (if meaningless) clustering and all variants must agree.
+    let cfg = SyntheticConfig {
+        n: 600,
+        d: 6,
+        num_clusters: 1,
+        subspace_dims: 2,
+        std_dev: 1000.0, // effectively uniform after clamping
+        value_range: (0.0, 100.0),
+        noise_fraction: 1.0,
+        seed: 5,
+    };
+    let mut g = generate(&cfg);
+    g.data.minmax_normalize();
+    let p = Params::new(3, 2).with_a(20).with_b(4).with_seed(77);
+    let base = proclus(&g.data, &p).unwrap();
+    base.validate_structure(600, 6, 2).unwrap();
+    assert_same(&base, &fast_proclus(&g.data, &p).unwrap(), "uniform");
+}

@@ -1,0 +1,155 @@
+//! Multi-parameter runs (§3.1): all reuse levels produce valid clusterings
+//! for every setting, on CPU and GPU, and the GPU multi runner agrees with
+//! the CPU one seed-for-seed at each level.
+
+use datagen::synthetic::{generate, SyntheticConfig};
+use gpu_sim::{Device, DeviceConfig};
+use proclus::multi_param::{ReuseLevel, Setting};
+use proclus::{default_grid, fast_proclus_multi, proclus_multi, DataMatrix, Params};
+use proclus_gpu::{gpu_fast_proclus_multi, gpu_proclus_multi};
+
+fn dataset() -> DataMatrix {
+    let mut g = generate(&SyntheticConfig {
+        n: 1000,
+        d: 8,
+        num_clusters: 5,
+        subspace_dims: 3,
+        std_dev: 3.0,
+        value_range: (0.0, 100.0),
+        noise_fraction: 0.0,
+        seed: 404,
+    });
+    g.data.minmax_normalize();
+    g.data
+}
+
+fn grid() -> Vec<Setting> {
+    vec![
+        Setting::new(3, 2),
+        Setting::new(5, 3),
+        Setting::new(4, 4),
+        Setting::new(5, 2),
+    ]
+}
+
+fn base() -> Params {
+    Params::new(5, 3).with_a(20).with_b(4).with_seed(55)
+}
+
+const LEVELS: [ReuseLevel; 4] = [
+    ReuseLevel::Independent,
+    ReuseLevel::SharedCache,
+    ReuseLevel::SharedGreedy,
+    ReuseLevel::WarmStart,
+];
+
+#[test]
+fn cpu_levels_all_valid() {
+    let data = dataset();
+    let exec = proclus::par::Executor::Sequential;
+    for level in LEVELS {
+        let results = fast_proclus_multi(&data, &base(), &grid(), level, &exec).unwrap();
+        assert_eq!(results.len(), 4);
+        for (s, r) in grid().iter().zip(&results) {
+            assert_eq!(r.k(), s.k, "{level:?}");
+            r.validate_structure(data.n(), data.d(), s.l)
+                .unwrap_or_else(|e| panic!("{level:?} k={}: {e}", s.k));
+        }
+    }
+}
+
+#[test]
+fn gpu_levels_match_cpu_levels() {
+    let data = dataset();
+    let exec = proclus::par::Executor::Sequential;
+    for level in LEVELS {
+        let cpu = fast_proclus_multi(&data, &base(), &grid(), level, &exec).unwrap();
+        let mut dev = Device::new(DeviceConfig::gtx_1660_ti());
+        dev.set_deterministic(true);
+        let gpu = gpu_fast_proclus_multi(&mut dev, &data, &base(), &grid(), level).unwrap();
+        for (i, (c, g)) in cpu.iter().zip(&gpu).enumerate() {
+            assert_eq!(c.medoids, g.medoids, "{level:?} setting {i}: medoids");
+            assert_eq!(c.labels, g.labels, "{level:?} setting {i}: labels");
+            assert!(
+                (c.cost - g.cost).abs() < 1e-9,
+                "{level:?} setting {i}: cost"
+            );
+        }
+    }
+}
+
+#[test]
+fn gpu_plain_multi_matches_cpu_plain_multi() {
+    let data = dataset();
+    let exec = proclus::par::Executor::Sequential;
+    let cpu = proclus_multi(&data, &base(), &grid(), &exec).unwrap();
+    let mut dev = Device::new(DeviceConfig::gtx_1660_ti());
+    dev.set_deterministic(true);
+    let gpu = gpu_proclus_multi(&mut dev, &data, &base(), &grid()).unwrap();
+    for (i, (c, g)) in cpu.iter().zip(&gpu).enumerate() {
+        assert_eq!(c.medoids, g.medoids, "setting {i}");
+        assert_eq!(c.labels, g.labels, "setting {i}");
+    }
+}
+
+#[test]
+fn reuse_reduces_device_distance_work() {
+    // Level 2 shares one M across settings, so distance rows computed for
+    // one setting are hits for the next: total compute_l.dist work must be
+    // strictly smaller than with independent runs.
+    let data = dataset();
+    let work = |level: ReuseLevel| {
+        let mut dev = Device::new(DeviceConfig::gtx_1660_ti());
+        gpu_fast_proclus_multi(&mut dev, &data, &base(), &grid(), level).unwrap();
+        dev.report()
+            .kernels
+            .get("compute_l.dist")
+            .map(|k| k.work.global_loads)
+            .unwrap_or(0)
+    };
+    let independent = work(ReuseLevel::Independent);
+    let shared = work(ReuseLevel::SharedGreedy);
+    assert!(
+        shared < independent,
+        "shared-greedy should compute fewer distances: {shared} vs {independent}"
+    );
+}
+
+#[test]
+fn warm_start_converges_no_slower_on_average() {
+    // Heuristic claim (§3.1): initializing from the previous best medoids
+    // "may lead to faster convergence". Check total iterations across the
+    // grid do not blow up versus independent runs.
+    let data = dataset();
+    let exec = proclus::par::Executor::Sequential;
+    let iters = |level: ReuseLevel| -> usize {
+        fast_proclus_multi(&data, &base(), &grid(), level, &exec)
+            .unwrap()
+            .iter()
+            .map(|c| c.iterations)
+            .sum()
+    };
+    let independent = iters(ReuseLevel::Independent);
+    let warm = iters(ReuseLevel::WarmStart);
+    assert!(
+        warm <= independent * 2,
+        "warm start should not drastically slow convergence: {warm} vs {independent}"
+    );
+}
+
+#[test]
+fn default_grid_runs_end_to_end() {
+    let data = dataset();
+    let exec = proclus::par::Executor::Sequential;
+    let grid = default_grid(5, 3);
+    assert_eq!(grid.len(), 9);
+    let results = fast_proclus_multi(
+        &data,
+        &Params::new(5, 3).with_a(15).with_b(3).with_seed(1),
+        &grid,
+        ReuseLevel::WarmStart,
+        &exec,
+    )
+    .unwrap();
+    assert_eq!(results.len(), 9);
+}

@@ -1,0 +1,204 @@
+//! Property-based tests on the paper's theorems and structural invariants.
+//!
+//! * Theorem 3.1 — the band `δ' < dist ≤ δ` (in either direction) is the
+//!   symmetric difference of consecutive spheres.
+//! * Theorem 3.2 — incrementally maintained `H` equals recomputed `H`.
+//! * FindDimensions invariants — subspace totals, per-medoid minimum, tie
+//!   determinism.
+//! * Cost function invariants — non-negativity, label-permutation
+//!   equivariance, scaling.
+//! * Full-algorithm invariant — any valid parameters produce a structurally
+//!   valid clustering on arbitrary data.
+
+use proptest::prelude::*;
+
+use proclus::distance::{euclidean, manhattan_segmental};
+use proclus::par::Executor;
+use proclus::phases::evaluate::evaluate_clusters;
+use proclus::phases::find_dimensions::{pick_dimensions, spread_stats};
+use proclus::{fast_proclus, proclus, DataMatrix, Params};
+
+fn small_matrix() -> impl Strategy<Value = DataMatrix> {
+    // n in 20..60, d in 2..6, values in a bounded range.
+    (20usize..60, 2usize..6).prop_flat_map(|(n, d)| {
+        proptest::collection::vec(-100.0f32..100.0, n * d)
+            .prop_map(move |v| DataMatrix::from_flat(v, n, d).unwrap())
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Theorem 3.1: the band between two radii is exactly the symmetric
+    /// difference of the two spheres.
+    #[test]
+    fn theorem_3_1_band_is_symmetric_difference(
+        data in small_matrix(),
+        medoid_frac in 0.0f64..1.0,
+        r1 in 0.0f32..300.0,
+        r2 in 0.0f32..300.0,
+    ) {
+        let m = ((data.n() - 1) as f64 * medoid_frac) as usize;
+        let sphere = |r: f32| -> std::collections::HashSet<usize> {
+            (0..data.n())
+                .filter(|&p| euclidean(data.row(p), data.row(m)) <= r)
+                .collect()
+        };
+        let (lo, hi) = if r1 <= r2 { (r1, r2) } else { (r2, r1) };
+        let band: std::collections::HashSet<usize> = (0..data.n())
+            .filter(|&p| {
+                let dist = euclidean(data.row(p), data.row(m));
+                dist > lo && dist <= hi
+            })
+            .collect();
+        let s1 = sphere(r1);
+        let s2 = sphere(r2);
+        let sym: std::collections::HashSet<usize> =
+            s1.symmetric_difference(&s2).copied().collect();
+        prop_assert_eq!(band, sym);
+    }
+
+    /// Theorem 3.2 as used by the engines: growing and shrinking a sphere
+    /// through arbitrary radii keeps the incremental H equal to the direct
+    /// recomputation (up to float error).
+    #[test]
+    fn theorem_3_2_incremental_h_matches_recompute(
+        data in small_matrix(),
+        radii in proptest::collection::vec(0.0f32..200.0, 1..8),
+    ) {
+        let m = 0usize;
+        let m_row: Vec<f32> = data.row(m).to_vec();
+        let d = data.d();
+        // Incremental: walk the radius sequence.
+        let mut h = vec![0.0f64; d];
+        let mut prev = -1.0f32;
+        for &r in &radii {
+            let (lo, hi, lambda) = if r >= prev { (prev, r, 1.0) } else { (r, prev, -1.0) };
+            for p in 0..data.n() {
+                let dist = euclidean(data.row(p), &m_row);
+                if dist > lo && dist <= hi {
+                    for j in 0..d {
+                        h[j] += lambda * ((data.get(p, j) - m_row[j]) as f64).abs();
+                    }
+                }
+            }
+            prev = r;
+        }
+        // Direct at the final radius.
+        let r_final = *radii.last().unwrap();
+        for j in 0..d {
+            let direct: f64 = (0..data.n())
+                .filter(|&p| euclidean(data.row(p), &m_row) <= r_final)
+                .map(|p| ((data.get(p, j) - m_row[j]) as f64).abs())
+                .sum();
+            prop_assert!((h[j] - direct).abs() < 1e-6 * (1.0 + direct.abs()),
+                "dim {}: incremental {} vs direct {}", j, h[j], direct);
+        }
+    }
+
+    /// FindDimensions: totals k·l, at least two dims per medoid, all sorted
+    /// and in range, deterministic.
+    #[test]
+    fn pick_dimensions_invariants(
+        k in 1usize..6,
+        d in 2usize..12,
+        l_off in 0usize..10,
+        seed_vals in proptest::collection::vec(-10.0f64..10.0, 72),
+    ) {
+        let l = 2 + l_off.min(d.saturating_sub(2));
+        let x: Vec<f64> = (0..k * d).map(|e| seed_vals[e % seed_vals.len()]).collect();
+        let stats = spread_stats(&x, k, d);
+        let dims_a = pick_dimensions(&stats.z, k, d, l);
+        let dims_b = pick_dimensions(&stats.z, k, d, l);
+        prop_assert_eq!(&dims_a, &dims_b, "selection must be deterministic");
+        let total: usize = dims_a.iter().map(|s| s.len()).sum();
+        prop_assert_eq!(total, k * l);
+        for s in &dims_a {
+            prop_assert!(s.len() >= 2);
+            prop_assert!(s.windows(2).all(|w| w[0] < w[1]));
+            prop_assert!(s.iter().all(|&j| j < d));
+        }
+    }
+
+    /// Cost: non-negative, and invariant under a consistent relabeling of
+    /// clusters (with subspaces permuted the same way).
+    #[test]
+    fn cost_is_nonnegative_and_permutation_equivariant(
+        data in small_matrix(),
+        labels_seed in proptest::collection::vec(0usize..3, 60),
+    ) {
+        let k = 3;
+        let d = data.d();
+        let labels: Vec<i32> = (0..data.n()).map(|p| (labels_seed[p % labels_seed.len()] % k) as i32).collect();
+        let subspaces: Vec<Vec<usize>> = (0..k).map(|i| {
+            let mut s: Vec<usize> = (0..d).filter(|j| (i + j) % 2 == 0).collect();
+            if s.is_empty() { s.push(0); }
+            s
+        }).collect();
+        let cost = evaluate_clusters(&data, &labels, &subspaces, &Executor::Sequential);
+        prop_assert!(cost >= 0.0 && cost.is_finite());
+
+        // Swap cluster ids 0 <-> 1 together with their subspaces.
+        let swapped: Vec<i32> = labels.iter().map(|&c| match c { 0 => 1, 1 => 0, c => c }).collect();
+        let mut sub2 = subspaces.clone();
+        sub2.swap(0, 1);
+        let cost2 = evaluate_clusters(&data, &swapped, &sub2, &Executor::Sequential);
+        prop_assert!((cost - cost2).abs() < 1e-9, "{} vs {}", cost, cost2);
+    }
+
+    /// Manhattan segmental distance is a pseudometric on the subspace.
+    #[test]
+    fn segmental_distance_pseudometric(
+        a in proptest::collection::vec(-50.0f32..50.0, 6),
+        b in proptest::collection::vec(-50.0f32..50.0, 6),
+        c in proptest::collection::vec(-50.0f32..50.0, 6),
+    ) {
+        let dims = [0usize, 2, 4];
+        let dab = manhattan_segmental(&a, &b, &dims);
+        let dba = manhattan_segmental(&b, &a, &dims);
+        let dac = manhattan_segmental(&a, &c, &dims);
+        let dcb = manhattan_segmental(&c, &b, &dims);
+        prop_assert!((dab - dba).abs() < 1e-12);
+        prop_assert!(dab >= 0.0);
+        // f32 subtraction rounds each per-dimension term independently, so
+        // the triangle inequality holds only up to f32 relative error.
+        let tol = 1e-5 * (1.0 + dab.abs() + dac.abs() + dcb.abs());
+        prop_assert!(dab <= dac + dcb + tol, "triangle: {} > {} + {}", dab, dac, dcb);
+        prop_assert_eq!(manhattan_segmental(&a, &a, &dims), 0.0);
+    }
+
+    /// Min–max normalization maps every dimension into [0, 1].
+    #[test]
+    fn minmax_bounds(data in small_matrix()) {
+        let mut m = data;
+        m.minmax_normalize();
+        prop_assert!(m.flat().iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+}
+
+proptest! {
+    // Fewer cases: each runs the whole algorithm.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// End-to-end: arbitrary data + valid parameters always yield a
+    /// structurally valid clustering, and FAST matches the baseline.
+    #[test]
+    fn full_run_is_always_structurally_valid(
+        data in small_matrix(),
+        k in 2usize..4,
+        seed in 0u64..1000,
+    ) {
+        let l = 2;
+        let params = Params::new(k, l).with_a(8).with_b(3).with_seed(seed);
+        if params.validate(&data).is_err() {
+            return Ok(()); // undersized corner: covered by params tests
+        }
+        let base = proclus(&data, &params).unwrap();
+        base.validate_structure(data.n(), data.d(), l).map_err(|e| {
+            TestCaseError::fail(format!("invalid structure: {e}"))
+        })?;
+        let fast = fast_proclus(&data, &params).unwrap();
+        prop_assert_eq!(&base.medoids, &fast.medoids);
+        prop_assert_eq!(&base.labels, &fast.labels);
+    }
+}
