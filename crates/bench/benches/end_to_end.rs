@@ -21,13 +21,13 @@ fn bench_cpu_variants(c: &mut Criterion) {
         let data = workloads::synthetic_data(&cfg, 0);
         let params = workloads::default_params().with_seed(3);
         g.bench_with_input(BenchmarkId::new("PROCLUS", n), &data, |b, data| {
-            b.iter(|| black_box(proclus(data, &params).unwrap()))
+            b.iter(|| black_box(proclus(data, &params).unwrap()));
         });
         g.bench_with_input(BenchmarkId::new("FAST", n), &data, |b, data| {
-            b.iter(|| black_box(fast_proclus(data, &params).unwrap()))
+            b.iter(|| black_box(fast_proclus(data, &params).unwrap()));
         });
         g.bench_with_input(BenchmarkId::new("FAST_STAR", n), &data, |b, data| {
-            b.iter(|| black_box(fast_star_proclus(data, &params).unwrap()))
+            b.iter(|| black_box(fast_star_proclus(data, &params).unwrap()));
         });
     }
     g.finish();
@@ -47,19 +47,19 @@ fn bench_gpu_variants(c: &mut Criterion) {
         b.iter(|| {
             let mut dev = Device::new(DeviceConfig::gtx_1660_ti());
             black_box(gpu_proclus(&mut dev, &data, &params).unwrap())
-        })
+        });
     });
     g.bench_function("GPU_FAST", |b| {
         b.iter(|| {
             let mut dev = Device::new(DeviceConfig::gtx_1660_ti());
             black_box(gpu_fast_proclus(&mut dev, &data, &params).unwrap())
-        })
+        });
     });
     g.bench_function("GPU_FAST_STAR", |b| {
         b.iter(|| {
             let mut dev = Device::new(DeviceConfig::gtx_1660_ti());
             black_box(gpu_fast_star_proclus(&mut dev, &data, &params).unwrap())
-        })
+        });
     });
     g.finish();
 }

@@ -25,7 +25,7 @@ fn bench_dist_row(c: &mut Criterion) {
             b.iter(|| {
                 dist_row_kernel(&mut dev, &data, host.d(), n, 17, &out);
                 black_box(out.peek(0))
-            })
+            });
         });
     }
     g.finish();
@@ -60,7 +60,7 @@ fn bench_assign(c: &mut Criterion) {
                 &mut dev, &data, d, n, &medoids, &dims_flat, &offsets, &labels, &c_list, &c_count,
             );
             black_box(labels.peek(0))
-        })
+        });
     });
     g.finish();
 }
@@ -78,7 +78,7 @@ fn bench_raw_launch_overhead(c: &mut Criterion) {
                 });
             });
             black_box(buf.peek(0))
-        })
+        });
     });
 }
 

@@ -32,11 +32,11 @@ fn bench_reuse_levels(c: &mut Criterion) {
         ("L3_warm_start", ReuseLevel::WarmStart),
     ] {
         g.bench_with_input(BenchmarkId::from_parameter(name), &level, |b, &level| {
-            b.iter(|| black_box(fast_proclus_multi(&data, &base, &grid, level, &exec).unwrap()))
+            b.iter(|| black_box(fast_proclus_multi(&data, &base, &grid, level, &exec).unwrap()));
         });
     }
     g.bench_function("baseline_proclus_multi", |b| {
-        b.iter(|| black_box(proclus_multi(&data, &base, &grid, &exec).unwrap()))
+        b.iter(|| black_box(proclus_multi(&data, &base, &grid, &exec).unwrap()));
     });
     g.finish();
 }

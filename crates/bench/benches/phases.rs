@@ -48,19 +48,19 @@ fn bench_phases(c: &mut Criterion) {
     let exec = Executor::Sequential;
 
     c.bench_function("phase/compute_x_baseline_16k", |b| {
-        b.iter(|| black_box(compute_x_baseline(&f.data, &f.medoids, &f.deltas, &exec)))
+        b.iter(|| black_box(compute_x_baseline(&f.data, &f.medoids, &f.deltas, &exec)));
     });
 
     c.bench_function("phase/medoid_deltas", |b| {
-        b.iter(|| black_box(medoid_deltas(&f.data, &f.medoids)))
+        b.iter(|| black_box(medoid_deltas(&f.data, &f.medoids)));
     });
 
     c.bench_function("phase/assign_points_16k", |b| {
-        b.iter(|| black_box(assign_points(&f.data, &f.medoids, &f.dims, &exec)))
+        b.iter(|| black_box(assign_points(&f.data, &f.medoids, &f.dims, &exec)));
     });
 
     c.bench_function("phase/evaluate_clusters_16k", |b| {
-        b.iter(|| black_box(evaluate_clusters(&f.data, &f.labels, &f.dims, &exec)))
+        b.iter(|| black_box(evaluate_clusters(&f.data, &f.labels, &f.dims, &exec)));
     });
 
     c.bench_function("phase/remove_outliers_16k", |b| {
@@ -68,7 +68,7 @@ fn bench_phases(c: &mut Criterion) {
             black_box(remove_outliers(
                 &f.data, &f.labels, &f.medoids, &f.dims, &exec,
             ))
-        })
+        });
     });
 
     let mut g = c.benchmark_group("phase/greedy");
@@ -78,7 +78,7 @@ fn bench_phases(c: &mut Criterion) {
             b.iter(|| {
                 let mut rng = ProclusRng::new(3);
                 black_box(greedy_select(&f.data, sample, 50, &mut rng, &exec))
-            })
+            });
         });
     }
     g.finish();
@@ -104,7 +104,7 @@ fn bench_fast_delta(c: &mut Criterion) {
                 &f.data, &dist_row, &m_row, 0.30, 0.32, &mut h, &mut lsize, &exec,
             );
             black_box(h)
-        })
+        });
     });
 }
 

@@ -3,6 +3,19 @@
 
 use std::fmt;
 
+use gpu_sim::SanitizerMode;
+
+fn parse_sanitize(s: &str) -> Result<SanitizerMode, String> {
+    match s {
+        "off" => Ok(SanitizerMode::Off),
+        "report" => Ok(SanitizerMode::Report),
+        "abort" => Ok(SanitizerMode::Abort),
+        other => Err(format!(
+            "unknown sanitizer mode `{other}` (off | report | abort)"
+        )),
+    }
+}
+
 /// Which algorithm runs the clustering.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum Engine {
@@ -125,6 +138,8 @@ pub enum Command {
         a: usize,
         /// Medoid constant B.
         b: usize,
+        /// Kernel sanitizer mode for GPU engines.
+        sanitize: SanitizerMode,
     },
     /// Generate a synthetic dataset CSV.
     Generate {
@@ -169,6 +184,7 @@ cluster flags:
   --label-col I      ignore column I (0-based) as ground-truth labels
   --no-normalize     skip min-max normalization
   --out FILE         write per-point labels as CSV
+  --sanitize M       kernel sanitizer: off|report|abort (GPU engines)  [off]
 
 generate flags:
   --n N --d D --clusters C --subspace-dims S --std-dev V --noise F --seed S
@@ -209,6 +225,7 @@ impl Cli {
                 let mut out = None;
                 let mut a = 100usize;
                 let mut b = 10usize;
+                let mut sanitize = SanitizerMode::Off;
                 while let Some(arg) = args.next() {
                     match arg.as_str() {
                         "--k" => k = Some(KSpec::parse(&take_value(&mut args, "--k")?)?),
@@ -224,11 +241,14 @@ impl Cli {
                             label_col = Some(parse_num(
                                 take_value(&mut args, "--label-col")?,
                                 "--label-col",
-                            )?)
+                            )?);
                         }
                         "--out" => out = Some(take_value(&mut args, "--out")?),
+                        "--sanitize" => {
+                            sanitize = parse_sanitize(&take_value(&mut args, "--sanitize")?)?;
+                        }
                         other if !other.starts_with("--") && input.is_none() => {
-                            input = Some(other.to_string())
+                            input = Some(other.to_string());
                         }
                         other => return Err(format!("unexpected argument `{other}`")),
                     }
@@ -246,6 +266,7 @@ impl Cli {
                     out,
                     a,
                     b,
+                    sanitize,
                 }
             }
             Some("generate") => {
@@ -263,19 +284,19 @@ impl Cli {
                         "--d" => d = parse_num(take_value(&mut args, "--d")?, "--d")?,
                         "--clusters" => {
                             clusters =
-                                parse_num(take_value(&mut args, "--clusters")?, "--clusters")?
+                                parse_num(take_value(&mut args, "--clusters")?, "--clusters")?;
                         }
                         "--subspace-dims" => {
                             subspace_dims = parse_num(
                                 take_value(&mut args, "--subspace-dims")?,
                                 "--subspace-dims",
-                            )?
+                            )?;
                         }
                         "--std-dev" => {
-                            std_dev = parse_num(take_value(&mut args, "--std-dev")?, "--std-dev")?
+                            std_dev = parse_num(take_value(&mut args, "--std-dev")?, "--std-dev")?;
                         }
                         "--noise" => {
-                            noise = parse_num(take_value(&mut args, "--noise")?, "--noise")?
+                            noise = parse_num(take_value(&mut args, "--noise")?, "--noise")?;
                         }
                         "--seed" => seed = parse_num(take_value(&mut args, "--seed")?, "--seed")?,
                         "--out" => out = Some(take_value(&mut args, "--out")?),
@@ -385,6 +406,28 @@ mod tests {
     #[test]
     fn missing_k_is_an_error() {
         assert!(parse(&["cluster", "data.csv"]).unwrap_err().contains("--k"));
+    }
+
+    #[test]
+    fn sanitize_flag_parses_all_modes() {
+        for (arg, want) in [
+            ("off", SanitizerMode::Off),
+            ("report", SanitizerMode::Report),
+            ("abort", SanitizerMode::Abort),
+        ] {
+            let cli = parse(&["cluster", "d.csv", "--k", "3", "--sanitize", arg]).unwrap();
+            match cli.command {
+                Command::Cluster { sanitize, .. } => assert_eq!(sanitize, want, "{arg}"),
+                _ => panic!("wrong command"),
+            }
+        }
+        // Defaults to off; rejects junk.
+        match parse(&["cluster", "d.csv", "--k", "3"]).unwrap().command {
+            Command::Cluster { sanitize, .. } => assert_eq!(sanitize, SanitizerMode::Off),
+            _ => panic!("wrong command"),
+        }
+        let e = parse(&["cluster", "d.csv", "--k", "3", "--sanitize", "strict"]).unwrap_err();
+        assert!(e.contains("strict"));
     }
 
     #[test]

@@ -2,7 +2,7 @@
 
 use std::path::Path;
 
-use gpu_sim::{Device, DeviceConfig};
+use gpu_sim::{Device, DeviceConfig, SanitizerMode};
 use proclus::{
     fast_proclus, fast_proclus_par, fast_star_proclus, proclus, Clustering, DataMatrix, Params,
 };
@@ -36,9 +36,11 @@ fn run_engine(
     device: &str,
     data: &DataMatrix,
     params: &Params,
-) -> Result<(Clustering, Option<f64>), String> {
+    sanitize: SanitizerMode,
+) -> Result<(Clustering, Option<f64>, Vec<String>), String> {
     let run_cpu = |f: &dyn Fn() -> proclus::Result<Clustering>| {
-        f().map(|c| (c, None)).map_err(|e| e.to_string())
+        f().map(|c| (c, None, Vec::new()))
+            .map_err(|e| e.to_string())
     };
     match engine {
         Engine::Proclus => run_cpu(&|| proclus(data, params)),
@@ -52,13 +54,15 @@ fn run_engine(
         }
         Engine::GpuProclus | Engine::GpuFast => {
             let mut dev = Device::new(device_for(device)?);
+            dev.set_sanitizer(sanitize);
             let result = if engine == Engine::GpuProclus {
                 gpu_proclus(&mut dev, data, params)
             } else {
                 gpu_fast_proclus(&mut dev, data, params)
             };
+            let hazards = dev.take_hazards().iter().map(|h| h.to_string()).collect();
             result
-                .map(|c| (c, Some(dev.elapsed_ms())))
+                .map(|c| (c, Some(dev.elapsed_ms()), hazards))
                 .map_err(|e| e.to_string())
         }
     }
@@ -110,6 +114,7 @@ pub fn execute(cli: &Cli) -> Result<String, (i32, String)> {
             out,
             a,
             b,
+            sanitize,
         } => {
             let loaded = datagen::io::load_csv(Path::new(input), *header, *label_col)
                 .map_err(|e| (crate::exit::INVALID, e.to_string()))?;
@@ -119,14 +124,17 @@ pub fn execute(cli: &Cli) -> Result<String, (i32, String)> {
             }
 
             let mut outcomes = Vec::new();
+            let mut all_hazards = Vec::new();
             for k in k.values() {
                 let params = Params::new(k, *l).with_a(*a).with_b(*b).with_seed(*seed);
                 params
                     .validate(&data)
                     .map_err(|e| (crate::exit::INVALID, e.to_string()))?;
                 let t0 = std::time::Instant::now();
-                let (clustering, sim_ms) = run_engine(*engine, device, &data, &params)
-                    .map_err(|e| (crate::exit::DEVICE, e))?;
+                let (clustering, sim_ms, hazards) =
+                    run_engine(*engine, device, &data, &params, *sanitize)
+                        .map_err(|e| (crate::exit::DEVICE, e))?;
+                all_hazards.extend(hazards);
                 outcomes.push(RunOutcome {
                     k,
                     clustering,
@@ -149,13 +157,27 @@ pub fn execute(cli: &Cli) -> Result<String, (i32, String)> {
                     .map_err(|e| (crate::exit::INVALID, e.to_string()))?;
             }
 
-            Ok(report::render(
+            let mut rendered = report::render(
                 &data,
                 *engine,
                 &outcomes,
                 loaded.labels.as_deref(),
                 out.as_deref(),
-            ))
+            );
+            if *sanitize != SanitizerMode::Off && engine.is_gpu() {
+                if all_hazards.is_empty() {
+                    rendered.push_str("sanitizer: no hazards detected\n");
+                } else {
+                    rendered.push_str(&format!(
+                        "sanitizer: {} hazard(s) detected\n",
+                        all_hazards.len()
+                    ));
+                    for h in &all_hazards {
+                        rendered.push_str(&format!("  {h}\n"));
+                    }
+                }
+            }
+            Ok(rendered)
         }
     }
 }
@@ -294,6 +316,46 @@ mod tests {
         ]))
         .unwrap();
         assert!(out.contains("simulated"), "{out}");
+        std::fs::remove_file(data_path).ok();
+    }
+
+    #[test]
+    fn gpu_engine_with_sanitizer_reports_clean() {
+        let data_path = tmp("san");
+        execute(&cli(&[
+            "generate",
+            "--n",
+            "500",
+            "--d",
+            "5",
+            "--clusters",
+            "3",
+            "--subspace-dims",
+            "2",
+            "--out",
+            data_path.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let out = execute(&cli(&[
+            "cluster",
+            data_path.to_str().unwrap(),
+            "--k",
+            "3",
+            "--l",
+            "2",
+            "--a",
+            "15",
+            "--b",
+            "3",
+            "--label-col",
+            "5",
+            "--engine",
+            "gpu-fast",
+            "--sanitize",
+            "abort",
+        ]))
+        .unwrap();
+        assert!(out.contains("sanitizer: no hazards detected"), "{out}");
         std::fs::remove_file(data_path).ok();
     }
 

@@ -6,11 +6,44 @@ use std::sync::Arc;
 
 use crate::atomic::{word_load, word_rmw, word_store, AtomicNum, Scalar};
 use crate::kernel::ThreadCtx;
+use crate::sanitizer::AccessKind;
+
+/// Word pattern backing [`crate::Device::alloc_uninit`] allocations: a
+/// recognizable non-zero sentinel, so code that wrongly consumes
+/// uninitialized memory misbehaves visibly instead of reading convenient
+/// zeros (real `cudaMalloc` memory is garbage).
+pub(crate) const UNINIT_WORD: u64 = 0xA5A5_A5A5_A5A5_A5A5;
 
 pub(crate) struct BufInner {
     pub(crate) words: Box<[AtomicU64]>,
     pub(crate) label: String,
     pub(crate) pool_id: u64,
+    /// One bit per element, set once the element has been written; present
+    /// only for [`crate::Device::alloc_uninit`] allocations. `None` means
+    /// the whole buffer was initialized at allocation time, so the common
+    /// path pays nothing for init tracking.
+    init: Option<Box<[AtomicU64]>>,
+}
+
+impl BufInner {
+    /// True if element `i` (absolute index) has ever been initialized.
+    #[inline]
+    pub(crate) fn is_init(&self, i: usize) -> bool {
+        match &self.init {
+            None => true,
+            Some(bits) => {
+                bits[i / 64].load(std::sync::atomic::Ordering::Relaxed) & (1u64 << (i % 64)) != 0
+            }
+        }
+    }
+
+    /// Marks element `i` (absolute index) initialized.
+    #[inline]
+    fn mark_init(&self, i: usize) {
+        if let Some(bits) = &self.init {
+            bits[i / 64].fetch_or(1u64 << (i % 64), std::sync::atomic::Ordering::Relaxed);
+        }
+    }
 }
 
 /// A typed allocation in simulated device global memory.
@@ -43,6 +76,27 @@ impl<T: Scalar> DeviceBuffer<T> {
                 words,
                 label: label.to_string(),
                 pool_id,
+                init: None,
+            }),
+            offset: 0,
+            len,
+            view: false,
+            _marker: PhantomData,
+        }
+    }
+
+    /// A `cudaMalloc` analogue: contents are a garbage sentinel and every
+    /// element is tracked as uninitialized until first written (by a device
+    /// store, an atomic, or a host-side transfer/memset).
+    pub(crate) fn new_uninit(label: &str, len: usize, pool_id: u64) -> Self {
+        let words: Box<[AtomicU64]> = (0..len).map(|_| AtomicU64::new(UNINIT_WORD)).collect();
+        let init = (0..len.div_ceil(64)).map(|_| AtomicU64::new(0)).collect();
+        Self {
+            inner: Arc::new(BufInner {
+                words,
+                label: label.to_string(),
+                pool_id,
+                init: Some(init),
             }),
             offset: 0,
             len,
@@ -112,6 +166,7 @@ impl<T: Scalar> DeviceBuffer<T> {
     #[inline(always)]
     pub fn ld(&self, t: &mut ThreadCtx<'_>, i: usize) -> T {
         t.count_global_load(T::BYTES);
+        t.san_global(&self.inner, self.offset + i, AccessKind::Read);
         word_load(self.word(i))
     }
 
@@ -119,6 +174,8 @@ impl<T: Scalar> DeviceBuffer<T> {
     #[inline(always)]
     pub fn st(&self, t: &mut ThreadCtx<'_>, i: usize, v: T) {
         t.count_global_store(T::BYTES);
+        t.san_global(&self.inner, self.offset + i, AccessKind::Write);
+        self.inner.mark_init(self.offset + i);
         word_store(self.word(i), v);
     }
 
@@ -132,6 +189,7 @@ impl<T: Scalar> DeviceBuffer<T> {
     /// Host-side write without transfer accounting (see [`Self::peek`]).
     #[inline]
     pub fn poke(&self, i: usize, v: T) {
+        self.inner.mark_init(self.offset + i);
         word_store(self.word(i), v);
     }
 
@@ -146,6 +204,8 @@ impl<T: AtomicNum> DeviceBuffer<T> {
     #[inline(always)]
     pub fn atomic_add(&self, t: &mut ThreadCtx<'_>, i: usize, v: T) -> T {
         t.count_global_atomic(T::BYTES);
+        t.san_global(&self.inner, self.offset + i, AccessKind::Atomic);
+        self.inner.mark_init(self.offset + i);
         word_rmw(self.word(i), |x: T| x.add(v))
     }
 
@@ -153,6 +213,8 @@ impl<T: AtomicNum> DeviceBuffer<T> {
     #[inline(always)]
     pub fn atomic_min(&self, t: &mut ThreadCtx<'_>, i: usize, v: T) -> T {
         t.count_global_atomic(T::BYTES);
+        t.san_global(&self.inner, self.offset + i, AccessKind::Atomic);
+        self.inner.mark_init(self.offset + i);
         word_rmw(self.word(i), |x: T| x.min_v(v))
     }
 
@@ -160,6 +222,8 @@ impl<T: AtomicNum> DeviceBuffer<T> {
     #[inline(always)]
     pub fn atomic_max(&self, t: &mut ThreadCtx<'_>, i: usize, v: T) -> T {
         t.count_global_atomic(T::BYTES);
+        t.san_global(&self.inner, self.offset + i, AccessKind::Atomic);
+        self.inner.mark_init(self.offset + i);
         word_rmw(self.word(i), |x: T| x.max_v(v))
     }
 }
@@ -179,6 +243,8 @@ impl DeviceBuffer<u32> {
     #[inline(always)]
     pub fn atomic_cas(&self, t: &mut ThreadCtx<'_>, i: usize, expected: u32, new: u32) -> u32 {
         t.count_global_atomic(4);
+        t.san_global(&self.inner, self.offset + i, AccessKind::Atomic);
+        self.inner.mark_init(self.offset + i);
         word_rmw(self.word(i), |x: u32| if x == expected { new } else { x })
     }
 }

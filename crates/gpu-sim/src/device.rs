@@ -14,6 +14,7 @@ use crate::error::Result;
 use crate::kernel::BlockCtx;
 use crate::memory::MemoryPool;
 use crate::perf::{self, KernelTiming};
+use crate::sanitizer::{HazardFinding, LaunchSanitizer, SanitizerMode};
 use crate::stats::{DeviceReport, KernelAggregate, KernelStats, WorkCounters};
 use crate::trace::Trace;
 
@@ -41,6 +42,12 @@ pub struct Device {
     last_sync_us: f64,
     /// Optional execution timeline (off by default).
     trace: Trace,
+    /// Kernel sanitizer mode (off by default; see [`crate::sanitizer`]).
+    sanitizer: SanitizerMode,
+    /// Hazards accumulated across launches while the sanitizer is on.
+    hazards: Vec<HazardFinding>,
+    /// Findings dropped by per-launch dedup/caps (count only).
+    hazards_truncated: u64,
 }
 
 /// Handle to a CUDA-style stream created with [`Device::create_stream`].
@@ -67,6 +74,9 @@ impl Device {
             stream_busy_us: 0.0,
             last_sync_us: 0.0,
             trace: Trace::default(),
+            sanitizer: SanitizerMode::Off,
+            hazards: Vec::new(),
+            hazards_truncated: 0,
         }
     }
 
@@ -90,6 +100,43 @@ impl Device {
     /// Enables or disables timeline recording (see [`crate::trace`]).
     pub fn set_tracing(&mut self, on: bool) {
         self.trace.set_enabled(on);
+    }
+
+    /// Sets the kernel sanitizer mode (see [`crate::sanitizer`]).
+    ///
+    /// In [`SanitizerMode::Report`] detected hazards accumulate (see
+    /// [`Device::hazards`]); in [`SanitizerMode::Abort`] the offending
+    /// launch panics with the first finding. Expect a functional-execution
+    /// slowdown of roughly 2–5× while enabled; modeled timings are
+    /// unaffected.
+    pub fn set_sanitizer(&mut self, mode: SanitizerMode) {
+        self.sanitizer = mode;
+    }
+
+    /// The current sanitizer mode.
+    pub fn sanitizer(&self) -> SanitizerMode {
+        self.sanitizer
+    }
+
+    /// Hazards detected so far (empty when the sanitizer is off or all
+    /// launches ran clean).
+    pub fn hazards(&self) -> &[HazardFinding] {
+        &self.hazards
+    }
+
+    /// Removes and returns all accumulated hazards.
+    pub fn take_hazards(&mut self) -> Vec<HazardFinding> {
+        self.hazards_truncated = 0;
+        std::mem::take(&mut self.hazards)
+    }
+
+    /// `Ok(())` if no hazards have been detected, otherwise the first
+    /// finding as a structured [`crate::GpuError::Hazard`].
+    pub fn check_hazards(&self) -> Result<()> {
+        match self.hazards.first() {
+            None => Ok(()),
+            Some(h) => Err(h.to_error()),
+        }
     }
 
     /// The recorded execution timeline.
@@ -127,6 +174,17 @@ impl Device {
     /// Allocates `len` zero-initialized elements.
     pub fn alloc_zeroed<T: Scalar>(&mut self, label: &str, len: usize) -> Result<DeviceBuffer<T>> {
         self.alloc(label, len, T::ZERO)
+    }
+
+    /// Allocates `len` elements *without* initializing them — the honest
+    /// `cudaMalloc` analogue. Contents are a garbage sentinel, and the
+    /// sanitizer's initcheck (see [`crate::sanitizer`]) flags any device
+    /// read of an element that was never stored to (by a kernel, `upload`,
+    /// `memset` or `poke`).
+    pub fn alloc_uninit<T: Scalar>(&mut self, label: &str, len: usize) -> Result<DeviceBuffer<T>> {
+        let id = self.pool.alloc(label, len * T::BYTES)?;
+        self.elapsed_us += self.pool.alloc_cost_us();
+        Ok(DeviceBuffer::new_uninit(label, len, id))
     }
 
     /// Frees a buffer's reservation in the pool. The handle itself stays
@@ -215,7 +273,7 @@ impl Device {
 
     /// Resets the peak-memory tracker to current usage.
     pub fn reset_mem_peak(&mut self) {
-        self.pool.reset_peak()
+        self.pool.reset_peak();
     }
 
     /// Live allocations, largest first.
@@ -338,12 +396,22 @@ impl Device {
         let total_blocks = grid.volume();
         let work = Mutex::new(WorkCounters::default());
         let shared_max = AtomicUsize::new(0);
+        // When the sanitizer is on, every block records its access sets and
+        // merges them here as it retires; cross-block conflicts fall out of
+        // the merge (each block merges exactly once, so pre-existing entries
+        // are always from a different block).
+        let san =
+            (self.sanitizer != SanitizerMode::Off).then(|| Mutex::new(LaunchSanitizer::new()));
+        let sanitize = san.is_some();
 
         let run_block = |lin: u64, acc: &mut WorkCounters, sh: &mut usize| {
-            let mut ctx = BlockCtx::new(grid.from_linear(lin), grid, block);
+            let mut ctx = BlockCtx::new(grid.from_linear(lin), grid, block, lin, sanitize);
             f(&mut ctx);
             acc.merge(&ctx.counters);
             *sh = (*sh).max(ctx.shared_bytes);
+            if let (Some(launch_san), Some(block_san)) = (&san, ctx.san.take()) {
+                launch_san.lock().merge_block(*block_san);
+            }
         };
 
         let workers = self.host_threads.min(total_blocks as usize).max(1);
@@ -408,6 +476,18 @@ impl Device {
         if replace {
             agg.representative = Some(stats);
         }
+
+        if let Some(san) = san {
+            let (findings, truncated) = san.into_inner().finish(name);
+            self.hazards_truncated += truncated;
+            if !findings.is_empty() {
+                let first = findings[0].clone();
+                self.hazards.extend(findings);
+                if self.sanitizer == SanitizerMode::Abort {
+                    panic!("kernel sanitizer: {first}");
+                }
+            }
+        }
         timing
     }
 
@@ -444,7 +524,13 @@ impl Device {
             mem_used: self.pool.used(),
             mem_peak: self.pool.peak(),
             kernels: self.kernels.clone(),
+            hazards: self.hazards.clone(),
         }
+    }
+
+    /// Number of sanitizer findings dropped by per-launch dedup/caps.
+    pub fn hazards_truncated(&self) -> u64 {
+        self.hazards_truncated
     }
 }
 

@@ -31,6 +31,18 @@ pub enum GpuError {
         /// Label of the offending buffer.
         label: String,
     },
+    /// The kernel sanitizer detected a race or uninitialized read (see
+    /// [`crate::sanitizer`]).
+    Hazard {
+        /// Kernel in which the hazard occurred.
+        kernel: String,
+        /// Buffer label (or `shared#N` for block-shared memory).
+        buffer: String,
+        /// Element index within the allocation.
+        index: usize,
+        /// Human-readable description of the conflicting accesses.
+        threads: String,
+    },
 }
 
 impl fmt::Display for GpuError {
@@ -47,6 +59,15 @@ impl fmt::Display for GpuError {
             ),
             GpuError::InvalidLaunch { reason } => write!(f, "invalid kernel launch: {reason}"),
             GpuError::InvalidBuffer { label } => write!(f, "invalid buffer `{label}`"),
+            GpuError::Hazard {
+                kernel,
+                buffer,
+                index,
+                threads,
+            } => write!(
+                f,
+                "sanitizer hazard in kernel `{kernel}` on `{buffer}`[{index}]: {threads}"
+            ),
         }
     }
 }

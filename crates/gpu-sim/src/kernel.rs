@@ -3,7 +3,9 @@
 use std::cell::Cell;
 
 use crate::atomic::Scalar;
+use crate::buffer::BufInner;
 use crate::dim::Dim3;
+use crate::sanitizer::{AccessKind, AccessSite, BlockSanitizer};
 use crate::shared::Shared;
 use crate::stats::WorkCounters;
 
@@ -32,16 +34,34 @@ pub struct BlockCtx {
     pub block_dim: Dim3,
     pub(crate) counters: WorkCounters,
     pub(crate) shared_bytes: usize,
+    /// Linear block index within the grid (sanitizer coordinate).
+    pub(crate) block_lin: u64,
+    /// Barrier-phase counter: each `threads`/`thread0` call is one phase.
+    pub(crate) phase: u32,
+    /// Sequential id handed to each `Shared` allocation of this block.
+    pub(crate) shared_count: u32,
+    /// Per-block access recorder, present when the device sanitizer is on.
+    pub(crate) san: Option<Box<BlockSanitizer>>,
 }
 
 impl BlockCtx {
-    pub(crate) fn new(block: Dim3, grid_dim: Dim3, block_dim: Dim3) -> Self {
+    pub(crate) fn new(
+        block: Dim3,
+        grid_dim: Dim3,
+        block_dim: Dim3,
+        block_lin: u64,
+        sanitize: bool,
+    ) -> Self {
         Self {
             block,
             grid_dim,
             block_dim,
             counters: WorkCounters::default(),
             shared_bytes: 0,
+            block_lin,
+            phase: 0,
+            shared_count: 0,
+            san: sanitize.then(|| Box::new(BlockSanitizer::new())),
         }
     }
 
@@ -49,8 +69,10 @@ impl BlockCtx {
     /// Consecutive calls are separated by an implicit block barrier.
     #[inline]
     pub fn threads<F: FnMut(&mut ThreadCtx<'_>)>(&mut self, mut f: F) {
+        self.phase += 1;
         let n = self.block_dim.x;
         let (block, grid_dim, block_dim) = (self.block, self.grid_dim, self.block_dim);
+        let (block_lin, phase) = (self.block_lin, self.phase);
         for tid in 0..n {
             let mut t = ThreadCtx {
                 tid,
@@ -58,6 +80,9 @@ impl BlockCtx {
                 grid_dim,
                 block_dim,
                 counters: &mut self.counters,
+                block_lin,
+                phase,
+                san: self.san.as_deref_mut(),
             };
             f(&mut t);
         }
@@ -66,12 +91,16 @@ impl BlockCtx {
     /// Runs `f` on thread 0 only — the `if (threadIdx.x == 0)` idiom.
     #[inline]
     pub fn thread0<F: FnOnce(&mut ThreadCtx<'_>)>(&mut self, f: F) {
+        self.phase += 1;
         let mut t = ThreadCtx {
             tid: 0,
             block: self.block,
             grid_dim: self.grid_dim,
             block_dim: self.block_dim,
             counters: &mut self.counters,
+            block_lin: self.block_lin,
+            phase: self.phase,
+            san: self.san.as_deref_mut(),
         };
         f(&mut t);
     }
@@ -79,10 +108,15 @@ impl BlockCtx {
     /// Allocates block-shared memory of `len` elements of `T`.
     ///
     /// The allocation counts toward the launch's shared-memory footprint
-    /// and thereby toward its occupancy limit.
+    /// and thereby toward its occupancy limit. Like CUDA `__shared__`
+    /// arrays, the contents start *uninitialized* as far as the sanitizer
+    /// is concerned (the simulator backs them with zeros, but relying on
+    /// that would not survive real hardware).
     pub fn shared<T: Scalar>(&mut self, len: usize) -> Shared<T> {
         self.shared_bytes += len * T::BYTES;
-        Shared::new(len)
+        let id = self.shared_count;
+        self.shared_count += 1;
+        Shared::new(len, id)
     }
 
     /// Allocates one register per thread of the block, initialized to
@@ -126,6 +160,9 @@ pub struct ThreadCtx<'a> {
     /// Block extent (`blockDim`).
     pub block_dim: Dim3,
     pub(crate) counters: &'a mut WorkCounters,
+    pub(crate) block_lin: u64,
+    pub(crate) phase: u32,
+    pub(crate) san: Option<&'a mut BlockSanitizer>,
 }
 
 impl ThreadCtx<'_> {
@@ -186,6 +223,35 @@ impl ThreadCtx<'_> {
     #[inline(always)]
     pub(crate) fn count_shared_atomic(&mut self) {
         self.counters.shared_atomics += 1;
+    }
+
+    /// Sanitizer hook for a global-memory access (`index` absolute within
+    /// the allocation). No-op unless the device sanitizer is enabled.
+    #[inline(always)]
+    pub(crate) fn san_global(&mut self, inner: &BufInner, index: usize, kind: AccessKind) {
+        if let Some(san) = self.san.as_deref_mut() {
+            let site = AccessSite {
+                block: self.block_lin,
+                thread: self.tid,
+                phase: self.phase,
+                kind,
+            };
+            san.global_access(inner, index, site);
+        }
+    }
+
+    /// Sanitizer hook for a shared-memory access.
+    #[inline(always)]
+    pub(crate) fn san_shared(&mut self, id: u32, index: usize, kind: AccessKind) {
+        if let Some(san) = self.san.as_deref_mut() {
+            let site = AccessSite {
+                block: self.block_lin,
+                thread: self.tid,
+                phase: self.phase,
+                kind,
+            };
+            san.shared_access(id, index, site);
+        }
     }
 }
 

@@ -73,6 +73,7 @@ pub mod error;
 pub mod kernel;
 pub mod memory;
 pub mod perf;
+pub mod sanitizer;
 pub mod shared;
 pub mod stats;
 pub mod trace;
@@ -84,6 +85,7 @@ pub use dim::Dim3;
 pub use error::{GpuError, Result};
 pub use kernel::{BlockCtx, Regs, ThreadCtx};
 pub use perf::KernelTiming;
+pub use sanitizer::{AccessKind, AccessSite, HazardFinding, HazardKind, SanitizerMode};
 pub use shared::Shared;
 pub use stats::{DeviceReport, KernelStats, WorkCounters};
 pub use trace::{Trace, TraceEvent};

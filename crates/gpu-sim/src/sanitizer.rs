@@ -1,0 +1,527 @@
+//! Kernel sanitizer: race/hazard and uninitialized-read detection.
+//!
+//! The simulator's analogue of `compute-sanitizer --tool racecheck` and
+//! `--tool initcheck`. Because every device-side memory access flows through
+//! a [`crate::ThreadCtx`] (see [`crate::DeviceBuffer`] and [`crate::Shared`]),
+//! the simulator can record, per kernel launch, *which* thread touched
+//! *which* element in *which* barrier phase — and from those access sets
+//! prove (or refute) that a kernel is hazard-free:
+//!
+//! * **Shared-memory races** — two threads of one block touching the same
+//!   [`crate::Shared`] slot in the same phase (between two barriers) with at
+//!   least one non-atomic write. On hardware the outcome depends on warp
+//!   scheduling; the simulator's sequential thread loop would silently hide
+//!   it.
+//! * **Global-memory races** — conflicting non-atomic accesses to the same
+//!   [`crate::DeviceBuffer`] element from *different blocks* of one launch
+//!   (blocks are unordered, so no phase structure can save this; only
+//!   atomics or disjoint indices can).
+//! * **Mixed atomic/non-atomic hazards** — one side atomic, the other a
+//!   plain load/store, to the same location, unordered (same phase within a
+//!   block, or cross-block within a launch). Atomicity only protects
+//!   accesses that are *all* atomic.
+//! * **Uninitialized reads** — a read (or atomic read-modify-write) of an
+//!   element never initialized by `htod`/`alloc`/`alloc_zeroed`/`memset`/
+//!   `upload`/a prior `st`. Shared memory has block lifetime, so a shared
+//!   slot must be written *in this block* before it is read — exactly the
+//!   CUDA rule (`__shared__` arrays are never zeroed).
+//!
+//! Enable with [`crate::Device::set_sanitizer`]. In
+//! [`SanitizerMode::Report`] findings accumulate on the device (see
+//! [`crate::Device::hazards`] and [`crate::DeviceReport`]); in
+//! [`SanitizerMode::Abort`] the offending launch panics with the first
+//! finding, like `compute-sanitizer --error-exitcode`. Expect roughly a
+//! 2–5× functional-execution slowdown while enabled: every access appends
+//! to per-location hash-map state. The mode is intended for tests and CI,
+//! not for timing runs (modeled kernel timings are unaffected either way).
+
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+
+use crate::buffer::BufInner;
+use crate::error::GpuError;
+
+/// How the sanitizer reacts to detected hazards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SanitizerMode {
+    /// No recording, no overhead (default).
+    #[default]
+    Off,
+    /// Record findings on the device; execution continues.
+    Report,
+    /// Record findings and panic at the end of the offending launch.
+    Abort,
+}
+
+/// The kind of one memory access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessKind {
+    /// Non-atomic load (`ld`).
+    Read,
+    /// Non-atomic store (`st`, `fill`).
+    Write,
+    /// Atomic read-modify-write (`atomic_add`, `atomic_min`, CAS, …).
+    Atomic,
+}
+
+impl fmt::Display for AccessKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            AccessKind::Read => "read",
+            AccessKind::Write => "write",
+            AccessKind::Atomic => "atomic",
+        })
+    }
+}
+
+/// Coordinates of one recorded access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccessSite {
+    /// Linear block index within the grid.
+    pub block: u64,
+    /// Thread index within the block.
+    pub thread: u32,
+    /// Barrier phase within the block (1-based; each
+    /// [`crate::BlockCtx::threads`] / [`crate::BlockCtx::thread0`] call is
+    /// one phase).
+    pub phase: u32,
+    /// What the access did.
+    pub kind: AccessKind,
+}
+
+impl fmt::Display for AccessSite {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "block {} thread {} phase {} ({})",
+            self.block, self.thread, self.phase, self.kind
+        )
+    }
+}
+
+/// The class of a detected hazard.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HazardKind {
+    /// Intra-block shared-memory race (same slot, same phase, different
+    /// threads, at least one non-atomic write).
+    SharedRace,
+    /// Cross-block global-memory race (same element, different blocks, at
+    /// least one non-atomic write).
+    GlobalRace,
+    /// Atomic and non-atomic access to the same unordered location.
+    MixedAtomic,
+    /// Read of a never-initialized element.
+    UninitRead,
+}
+
+impl fmt::Display for HazardKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            HazardKind::SharedRace => "shared-memory race",
+            HazardKind::GlobalRace => "global-memory race",
+            HazardKind::MixedAtomic => "mixed atomic/non-atomic access",
+            HazardKind::UninitRead => "uninitialized read",
+        })
+    }
+}
+
+/// One detected hazard.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HazardFinding {
+    /// Kernel name as given to [`crate::Device::launch`].
+    pub kernel: String,
+    /// What went wrong.
+    pub kind: HazardKind,
+    /// Label of the buffer (allocation label, or `shared#N` for the N-th
+    /// shared array of the block).
+    pub buffer: String,
+    /// Element index (absolute within the allocation; accesses through
+    /// [`crate::DeviceBuffer::slice`] views report the parent index).
+    pub index: usize,
+    /// The earlier of the two conflicting accesses (for
+    /// [`HazardKind::UninitRead`], the reading access itself).
+    pub first: AccessSite,
+    /// The later conflicting access.
+    pub second: AccessSite,
+}
+
+impl HazardFinding {
+    /// Converts the finding into the structured error variant.
+    pub fn to_error(&self) -> GpuError {
+        GpuError::Hazard {
+            kernel: self.kernel.clone(),
+            buffer: self.buffer.clone(),
+            index: self.index,
+            threads: if self.first == self.second {
+                self.first.to_string()
+            } else {
+                format!("{} vs {}", self.first, self.second)
+            },
+        }
+    }
+}
+
+impl fmt::Display for HazardFinding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} in kernel `{}` on `{}`[{}]: {}",
+            self.kind, self.kernel, self.buffer, self.index, self.first
+        )?;
+        if self.first != self.second {
+            write!(f, " vs {}", self.second)?;
+        }
+        Ok(())
+    }
+}
+
+/// Upper bound on distinct findings kept per launch; further hazards only
+/// bump [`LaunchSanitizer::truncated`]. One finding per (kind, buffer,
+/// element) is kept, so real kernels rarely approach this.
+const MAX_FINDINGS_PER_LAUNCH: usize = 256;
+
+// ------------------------------------------------------------- block level
+
+#[derive(Default)]
+struct SharedLoc {
+    /// Phase the `read`/`write`/`atomic` sites belong to (state resets at
+    /// each barrier — barriers order accesses, so only same-phase accesses
+    /// can race).
+    phase: u32,
+    read: Option<AccessSite>,
+    write: Option<AccessSite>,
+    atomic: Option<AccessSite>,
+    /// A store or atomic has landed at any point in this block's lifetime.
+    ever_written: bool,
+    uninit_reported: bool,
+    race_reported: bool,
+}
+
+#[derive(Default)]
+struct GlobalLoc {
+    read: Option<AccessSite>,
+    write: Option<AccessSite>,
+    atomic: Option<AccessSite>,
+    uninit_reported: bool,
+}
+
+/// Per-block access recorder. Lives inside a [`crate::BlockCtx`] while the
+/// block executes (single host thread, so no synchronization needed) and is
+/// merged into the launch-level [`LaunchSanitizer`] when the block retires.
+pub(crate) struct BlockSanitizer {
+    shared: HashMap<(u32, usize), SharedLoc>,
+    global: HashMap<(u64, usize), GlobalLoc>,
+    labels: HashMap<u64, String>,
+    findings: Vec<HazardFinding>,
+}
+
+impl BlockSanitizer {
+    pub(crate) fn new() -> Self {
+        Self {
+            shared: HashMap::new(),
+            global: HashMap::new(),
+            labels: HashMap::new(),
+            findings: Vec::new(),
+        }
+    }
+
+    /// Records one shared-memory access and checks the intra-block rules.
+    pub(crate) fn shared_access(&mut self, id: u32, index: usize, site: AccessSite) {
+        let loc = self.shared.entry((id, index)).or_default();
+        if loc.phase != site.phase {
+            // A barrier separates this access from everything recorded so
+            // far: only same-phase accesses can race.
+            loc.phase = site.phase;
+            loc.read = None;
+            loc.write = None;
+            loc.atomic = None;
+        }
+
+        let mut found: [Option<(HazardKind, AccessSite, AccessSite)>; 2] = [None, None];
+        if !loc.ever_written
+            && !loc.uninit_reported
+            && matches!(site.kind, AccessKind::Read | AccessKind::Atomic)
+        {
+            loc.uninit_reported = true;
+            found[0] = Some((HazardKind::UninitRead, site, site));
+        }
+
+        if !loc.race_reported {
+            let other = |s: Option<AccessSite>| s.filter(|p| p.thread != site.thread);
+            let conflict = match site.kind {
+                AccessKind::Write => other(loc.write)
+                    .or(other(loc.read))
+                    .map(|p| (p, HazardKind::SharedRace))
+                    .or_else(|| other(loc.atomic).map(|p| (p, HazardKind::MixedAtomic))),
+                AccessKind::Read => other(loc.write)
+                    .map(|p| (p, HazardKind::SharedRace))
+                    .or_else(|| other(loc.atomic).map(|p| (p, HazardKind::MixedAtomic))),
+                AccessKind::Atomic => other(loc.write)
+                    .or(other(loc.read))
+                    .map(|p| (p, HazardKind::MixedAtomic)),
+            };
+            if let Some((prior, kind)) = conflict {
+                loc.race_reported = true;
+                found[1] = Some((kind, prior, site));
+            }
+        }
+
+        match site.kind {
+            AccessKind::Read => {
+                loc.read.get_or_insert(site);
+            }
+            AccessKind::Write => {
+                loc.write.get_or_insert(site);
+                loc.ever_written = true;
+            }
+            AccessKind::Atomic => {
+                loc.atomic.get_or_insert(site);
+                loc.ever_written = true;
+            }
+        }
+
+        for (kind, first, second) in found.into_iter().flatten() {
+            self.findings.push(HazardFinding {
+                kernel: String::new(), // filled in by the launch merge
+                kind,
+                buffer: format!("shared#{id}"),
+                index,
+                first,
+                second,
+            });
+        }
+    }
+
+    /// Records one global-memory access; cross-block conflicts are found
+    /// when this block's summary merges into the [`LaunchSanitizer`].
+    /// `index` is absolute within the allocation, so views alias correctly.
+    pub(crate) fn global_access(&mut self, inner: &BufInner, index: usize, site: AccessSite) {
+        // The init bit must be tested before the caller performs the access
+        // (an atomic marks its element initialized as a side effect).
+        let uninit =
+            matches!(site.kind, AccessKind::Read | AccessKind::Atomic) && !inner.is_init(index);
+        self.labels
+            .entry(inner.pool_id)
+            .or_insert_with(|| inner.label.clone());
+        let loc = self.global.entry((inner.pool_id, index)).or_default();
+        let report_uninit = uninit && !loc.uninit_reported;
+        if report_uninit {
+            loc.uninit_reported = true;
+        }
+        let slot = match site.kind {
+            AccessKind::Read => &mut loc.read,
+            AccessKind::Write => &mut loc.write,
+            AccessKind::Atomic => &mut loc.atomic,
+        };
+        slot.get_or_insert(site);
+        if report_uninit {
+            self.findings.push(HazardFinding {
+                kernel: String::new(),
+                kind: HazardKind::UninitRead,
+                buffer: inner.label.clone(),
+                index,
+                first: site,
+                second: site,
+            });
+        }
+    }
+}
+
+// ------------------------------------------------------------ launch level
+
+#[derive(Default)]
+struct MergedLoc {
+    read: Option<AccessSite>,
+    write: Option<AccessSite>,
+    atomic: Option<AccessSite>,
+    reported: bool,
+}
+
+/// Launch-level aggregation: blocks merge their summaries here (under the
+/// launch's statistics mutex) and cross-block conflicts fall out of the
+/// merge. Every entry already present when a block merges is guaranteed to
+/// come from a *different* block, because each block merges exactly once.
+pub(crate) struct LaunchSanitizer {
+    global: HashMap<(u64, usize), MergedLoc>,
+    labels: HashMap<u64, String>,
+    findings: Vec<HazardFinding>,
+    /// Dedup key: one finding per (kind, buffer, element).
+    seen: HashSet<(u8, String, usize)>,
+    /// Findings dropped by dedup or the launch cap.
+    truncated: u64,
+}
+
+impl LaunchSanitizer {
+    pub(crate) fn new() -> Self {
+        Self {
+            global: HashMap::new(),
+            labels: HashMap::new(),
+            findings: Vec::new(),
+            seen: HashSet::new(),
+            truncated: 0,
+        }
+    }
+
+    fn push(&mut self, finding: HazardFinding) {
+        let kind_tag = match finding.kind {
+            HazardKind::SharedRace => 0u8,
+            HazardKind::GlobalRace => 1,
+            HazardKind::MixedAtomic => 2,
+            HazardKind::UninitRead => 3,
+        };
+        let key = (kind_tag, finding.buffer.clone(), finding.index);
+        if !self.seen.insert(key) || self.findings.len() >= MAX_FINDINGS_PER_LAUNCH {
+            self.truncated += 1;
+            return;
+        }
+        self.findings.push(finding);
+    }
+
+    /// Folds one retired block's recorder into the launch state.
+    pub(crate) fn merge_block(&mut self, block: BlockSanitizer) {
+        for finding in block.findings {
+            self.push(finding);
+        }
+        for (pool, label) in block.labels {
+            self.labels.entry(pool).or_insert(label);
+        }
+        for ((pool, index), loc) in block.global {
+            let merged = self.global.entry((pool, index)).or_default();
+            if !merged.reported {
+                // (mine, prior-from-another-block, verdict) — races first so
+                // a location that is both racy and mixed reads as a race.
+                let conflict = [
+                    (loc.write, merged.write, HazardKind::GlobalRace),
+                    (loc.write, merged.read, HazardKind::GlobalRace),
+                    (loc.read, merged.write, HazardKind::GlobalRace),
+                    (loc.write, merged.atomic, HazardKind::MixedAtomic),
+                    (loc.atomic, merged.write, HazardKind::MixedAtomic),
+                    (loc.read, merged.atomic, HazardKind::MixedAtomic),
+                    (loc.atomic, merged.read, HazardKind::MixedAtomic),
+                ]
+                .into_iter()
+                .find_map(|(mine, prior, kind)| Some((prior?, mine?, kind)));
+                if let Some((first, second, kind)) = conflict {
+                    merged.reported = true;
+                    let buffer = self
+                        .labels
+                        .get(&pool)
+                        .cloned()
+                        .unwrap_or_else(|| format!("pool#{pool}"));
+                    self.push(HazardFinding {
+                        kernel: String::new(),
+                        kind,
+                        buffer,
+                        index,
+                        first,
+                        second,
+                    });
+                }
+            }
+            let merged = self.global.entry((pool, index)).or_default();
+            if merged.read.is_none() {
+                merged.read = loc.read;
+            }
+            if merged.write.is_none() {
+                merged.write = loc.write;
+            }
+            if merged.atomic.is_none() {
+                merged.atomic = loc.atomic;
+            }
+        }
+    }
+
+    /// Finalizes the launch: stamps the kernel name onto every finding.
+    pub(crate) fn finish(mut self, kernel: &str) -> (Vec<HazardFinding>, u64) {
+        for f in &mut self.findings {
+            f.kernel = kernel.to_string();
+        }
+        (self.findings, self.truncated)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn site(block: u64, thread: u32, phase: u32, kind: AccessKind) -> AccessSite {
+        AccessSite {
+            block,
+            thread,
+            phase,
+            kind,
+        }
+    }
+
+    #[test]
+    fn shared_same_thread_rmw_is_clean() {
+        let mut bs = BlockSanitizer::new();
+        bs.shared_access(0, 3, site(0, 5, 1, AccessKind::Write));
+        bs.shared_access(0, 3, site(0, 5, 1, AccessKind::Read));
+        bs.shared_access(0, 3, site(0, 5, 1, AccessKind::Write));
+        assert!(bs.findings.is_empty());
+    }
+
+    #[test]
+    fn shared_cross_thread_same_phase_write_read_races() {
+        let mut bs = BlockSanitizer::new();
+        bs.shared_access(0, 0, site(0, 0, 1, AccessKind::Write));
+        bs.shared_access(0, 0, site(0, 1, 1, AccessKind::Read));
+        assert_eq!(bs.findings.len(), 1);
+        assert_eq!(bs.findings[0].kind, HazardKind::SharedRace);
+    }
+
+    #[test]
+    fn shared_cross_thread_different_phase_is_clean() {
+        let mut bs = BlockSanitizer::new();
+        bs.shared_access(0, 0, site(0, 0, 1, AccessKind::Write));
+        bs.shared_access(0, 0, site(0, 1, 2, AccessKind::Read));
+        assert!(bs.findings.is_empty());
+    }
+
+    #[test]
+    fn shared_atomic_only_is_clean_but_mixed_is_not() {
+        let mut bs = BlockSanitizer::new();
+        bs.shared_access(0, 0, site(0, 9, 1, AccessKind::Write)); // init by one thread
+        bs.shared_access(0, 0, site(0, 0, 2, AccessKind::Atomic));
+        bs.shared_access(0, 0, site(0, 1, 2, AccessKind::Atomic));
+        assert!(bs.findings.is_empty());
+        bs.shared_access(0, 0, site(0, 2, 2, AccessKind::Read));
+        assert_eq!(bs.findings.len(), 1);
+        assert_eq!(bs.findings[0].kind, HazardKind::MixedAtomic);
+    }
+
+    #[test]
+    fn shared_uninit_read_is_flagged_once() {
+        let mut bs = BlockSanitizer::new();
+        bs.shared_access(2, 7, site(0, 0, 1, AccessKind::Read));
+        bs.shared_access(2, 7, site(0, 1, 1, AccessKind::Read));
+        let uninit: Vec<_> = bs
+            .findings
+            .iter()
+            .filter(|f| f.kind == HazardKind::UninitRead)
+            .collect();
+        assert_eq!(uninit.len(), 1);
+        assert_eq!(uninit[0].buffer, "shared#2");
+        assert_eq!(uninit[0].index, 7);
+    }
+
+    #[test]
+    fn launch_dedups_and_caps() {
+        let mut ls = LaunchSanitizer::new();
+        for _ in 0..3 {
+            ls.push(HazardFinding {
+                kernel: String::new(),
+                kind: HazardKind::GlobalRace,
+                buffer: "b".into(),
+                index: 0,
+                first: site(0, 0, 1, AccessKind::Write),
+                second: site(1, 0, 1, AccessKind::Write),
+            });
+        }
+        let (findings, truncated) = ls.finish("k");
+        assert_eq!(findings.len(), 1);
+        assert_eq!(truncated, 2);
+        assert_eq!(findings[0].kernel, "k");
+    }
+}

@@ -13,6 +13,7 @@ use std::marker::PhantomData;
 
 use crate::atomic::{AtomicNum, Scalar};
 use crate::kernel::ThreadCtx;
+use crate::sanitizer::AccessKind;
 
 /// A block-shared memory array of `T`.
 ///
@@ -22,13 +23,17 @@ use crate::kernel::ThreadCtx;
 /// including atomics (which here are trivially linearizable).
 pub struct Shared<T: Scalar> {
     words: Box<[Cell<u64>]>,
+    /// Allocation order within the block (`shared#<id>` in sanitizer
+    /// findings).
+    id: u32,
     _marker: PhantomData<T>,
 }
 
 impl<T: Scalar> Shared<T> {
-    pub(crate) fn new(len: usize) -> Self {
+    pub(crate) fn new(len: usize, id: u32) -> Self {
         Self {
             words: (0..len).map(|_| Cell::new(T::ZERO.to_word())).collect(),
+            id,
             _marker: PhantomData,
         }
     }
@@ -49,6 +54,7 @@ impl<T: Scalar> Shared<T> {
     #[inline(always)]
     pub fn ld(&self, t: &mut ThreadCtx<'_>, i: usize) -> T {
         t.count_shared_access();
+        t.san_shared(self.id, i, AccessKind::Read);
         T::from_word(self.words[i].get())
     }
 
@@ -56,6 +62,7 @@ impl<T: Scalar> Shared<T> {
     #[inline(always)]
     pub fn st(&self, t: &mut ThreadCtx<'_>, i: usize, v: T) {
         t.count_shared_access();
+        t.san_shared(self.id, i, AccessKind::Write);
         self.words[i].set(v.to_word());
     }
 
@@ -71,6 +78,7 @@ impl<T: AtomicNum> Shared<T> {
     #[inline(always)]
     fn rmw(&self, t: &mut ThreadCtx<'_>, i: usize, f: impl FnOnce(T) -> T) -> T {
         t.count_shared_atomic();
+        t.san_shared(self.id, i, AccessKind::Atomic);
         let old = T::from_word(self.words[i].get());
         self.words[i].set(f(old).to_word());
         old
@@ -107,7 +115,7 @@ mod tests {
         dev.launch("argmin", Dim3::x(1), Dim3::x(64), |blk| {
             let dist = blk.shared::<f32>(1);
             let mine = blk.regs::<f32>();
-            blk.threads(|t| {
+            blk.thread0(|t| {
                 dist.st(t, 0, f32::INFINITY);
             });
             blk.threads(|t| {

@@ -4,6 +4,7 @@ use std::collections::BTreeMap;
 
 use crate::dim::Dim3;
 use crate::perf::KernelTiming;
+use crate::sanitizer::HazardFinding;
 
 /// Work counted during kernel execution. Threads accumulate into a
 /// block-local instance; blocks merge into the kernel total at block exit,
@@ -104,6 +105,9 @@ pub struct DeviceReport {
     pub mem_peak: usize,
     /// Aggregates keyed by kernel name (sorted for stable output).
     pub kernels: BTreeMap<String, KernelAggregate>,
+    /// Hazards detected by the kernel sanitizer (empty when the sanitizer
+    /// is off or every launch ran clean). See [`crate::sanitizer`].
+    pub hazards: Vec<HazardFinding>,
 }
 
 impl DeviceReport {

@@ -132,7 +132,7 @@ impl Trace {
             let _ = write!(
                 out,
                 "{{\"name\":\"{}\",\"ph\":\"X\",\"ts\":{:.3},\"dur\":{:.3},\"pid\":1,\"tid\":{}}}",
-                e.name.replace('"', "'"),
+                json_escape(&e.name),
                 e.start_us,
                 e.duration_us(),
                 e.lane
@@ -152,12 +152,32 @@ impl Trace {
     }
 }
 
+/// First `n` *characters* of `s` — slicing by byte count would panic on a
+/// multi-byte UTF-8 boundary.
 fn truncate(s: &str, n: usize) -> &str {
-    if s.len() <= n {
-        s
-    } else {
-        &s[..n]
+    match s.char_indices().nth(n) {
+        Some((i, _)) => &s[..i],
+        None => s,
     }
+}
+
+/// Escapes `s` for use inside a JSON string literal (RFC 8259 §7).
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
 }
 
 #[cfg(test)]
@@ -277,6 +297,134 @@ mod tests {
             .collect();
         assert!(names.contains(&"htod:x"));
         assert!(names.iter().any(|n| n.starts_with("dtoh")));
+    }
+
+    #[test]
+    fn gantt_truncates_multibyte_names_on_char_boundaries() {
+        // Regression: `&s[..26]` panicked when byte 26 fell inside a
+        // multi-byte character. `µ` is 2 bytes, so 26 of them straddle
+        // every even byte index.
+        let mut t = Trace::default();
+        t.set_enabled(true);
+        t.record(&"µ".repeat(40), 0.0, 5.0, 0);
+        t.record("find_dims.z_σ²_und_mehr_αβγδεζη", 5.0, 9.0, 0);
+        let g = t.render_gantt(10, 40);
+        assert!(g.contains(&"µ".repeat(26)));
+        assert!(!g.contains(&"µ".repeat(27)));
+    }
+
+    #[test]
+    fn truncate_counts_chars_not_bytes() {
+        assert_eq!(truncate("abcdef", 4), "abcd");
+        assert_eq!(truncate("abc", 4), "abc");
+        assert_eq!(truncate("ααββ", 2), "αα");
+        assert_eq!(truncate("", 0), "");
+    }
+
+    /// Minimal JSON reader for the test below (no serde_json in-tree):
+    /// validates the exact shape `to_chrome_trace` emits — an array of flat
+    /// objects with string and number values — and returns each object's
+    /// decoded `name`.
+    fn parse_chrome_trace(json: &str) -> Result<Vec<String>, String> {
+        let mut chars = json.chars().peekable();
+        let mut names = Vec::new();
+        let expect =
+            |chars: &mut std::iter::Peekable<std::str::Chars<'_>>, want: char| match chars.next() {
+                Some(c) if c == want => Ok(()),
+                other => Err(format!("expected {want:?}, got {other:?}")),
+            };
+        let parse_string =
+            |chars: &mut std::iter::Peekable<std::str::Chars<'_>>| -> Result<String, String> {
+                expect(chars, '"')?;
+                let mut s = String::new();
+                loop {
+                    match chars.next().ok_or("eof in string")? {
+                        '"' => return Ok(s),
+                        '\\' => match chars.next().ok_or("eof after backslash")? {
+                            '"' => s.push('"'),
+                            '\\' => s.push('\\'),
+                            'n' => s.push('\n'),
+                            'r' => s.push('\r'),
+                            't' => s.push('\t'),
+                            'u' => {
+                                let hex: String = (0..4).filter_map(|_| chars.next()).collect();
+                                let v = u32::from_str_radix(&hex, 16)
+                                    .map_err(|e| format!("bad \\u{hex}: {e}"))?;
+                                s.push(char::from_u32(v).ok_or("bad codepoint")?);
+                            }
+                            c => return Err(format!("bad escape \\{c}")),
+                        },
+                        c if (c as u32) < 0x20 => {
+                            return Err(format!("raw control char {:#04x}", c as u32))
+                        }
+                        c => s.push(c),
+                    }
+                }
+            };
+        expect(&mut chars, '[')?;
+        if chars.peek() == Some(&']') {
+            return Ok(names);
+        }
+        loop {
+            expect(&mut chars, '{')?;
+            loop {
+                let key = parse_string(&mut chars)?;
+                expect(&mut chars, ':')?;
+                if chars.peek() == Some(&'"') {
+                    let val = parse_string(&mut chars)?;
+                    if key == "name" {
+                        names.push(val);
+                    }
+                } else {
+                    // number
+                    let mut any = false;
+                    while matches!(chars.peek(), Some(c) if c.is_ascii_digit() || "+-.eE".contains(*c))
+                    {
+                        chars.next();
+                        any = true;
+                    }
+                    if !any {
+                        return Err(format!("expected a value after {key:?}"));
+                    }
+                }
+                match chars.next() {
+                    Some(',') => continue,
+                    Some('}') => break,
+                    other => return Err(format!("expected , or }} got {other:?}")),
+                }
+            }
+            match chars.next() {
+                Some(',') => continue,
+                Some(']') => break,
+                other => return Err(format!("expected , or ] got {other:?}")),
+            }
+        }
+        match chars.next() {
+            None => Ok(names),
+            Some(c) => Err(format!("trailing {c:?}")),
+        }
+    }
+
+    #[test]
+    fn chrome_trace_escapes_special_characters() {
+        // Regression: quotes used to be mangled into apostrophes and
+        // backslashes / control characters passed through unescaped,
+        // producing invalid JSON.
+        let mut t = Trace::default();
+        t.set_enabled(true);
+        let evil = "k\"quoted\" \\slash\nnewline\ttab\u{1}ctl";
+        t.record(evil, 0.0, 1.0, 0);
+        t.record("plain", 1.0, 2.0, 1);
+        let json = t.to_chrome_trace();
+        let names = parse_chrome_trace(&json).expect("output must be valid JSON");
+        // Round-trips losslessly: the decoded name equals the original.
+        assert_eq!(names, vec![evil.to_string(), "plain".to_string()]);
+    }
+
+    #[test]
+    fn empty_chrome_trace_parses() {
+        let t = Trace::default();
+        assert_eq!(parse_chrome_trace(&t.to_chrome_trace()).unwrap().len(), 0);
     }
 
     #[test]

@@ -1,0 +1,420 @@
+//! Integration tests for the kernel sanitizer: seeded racy/uninit fixture
+//! kernels must be detected (with the correct kernel name, buffer label and
+//! element index), and clean barrier-separated kernels must produce zero
+//! findings under both deterministic and parallel block execution.
+
+use gpu_sim::{Device, DeviceConfig, Dim3, GpuError, HazardKind, SanitizerMode};
+
+fn device(mode: SanitizerMode) -> Device {
+    let mut dev = Device::new(DeviceConfig::gtx_1660_ti());
+    dev.set_deterministic(true);
+    dev.set_sanitizer(mode);
+    dev
+}
+
+// ----------------------------------------------------------- true positives
+
+#[test]
+fn racy_shared_reduction_is_detected() {
+    // The classic broken reduction: every thread does a non-atomic
+    // read-modify-write of the same shared slot in one phase.
+    let mut dev = device(SanitizerMode::Report);
+    let out = dev.alloc_zeroed::<f32>("out", 1).unwrap();
+    dev.launch("racy_reduce", Dim3::x(1), Dim3::x(32), |blk| {
+        let acc = blk.shared::<f32>(1);
+        blk.thread0(|t| acc.st(t, 0, 0.0));
+        blk.threads(|t| {
+            let v = acc.ld(t, 0); // racy: no barrier, no atomic
+            acc.st(t, 0, v + 1.0);
+        });
+        blk.thread0(|t| {
+            let v = acc.ld(t, 0);
+            out.st(t, 0, v);
+        });
+    });
+    let hazards = dev.hazards();
+    assert!(!hazards.is_empty(), "the racy reduction must be flagged");
+    let h = &hazards[0];
+    assert_eq!(h.kind, HazardKind::SharedRace);
+    assert_eq!(h.kernel, "racy_reduce");
+    assert_eq!(h.buffer, "shared#0");
+    assert_eq!(h.index, 0);
+    assert_ne!(
+        h.first.thread, h.second.thread,
+        "a race needs two distinct threads"
+    );
+    assert_eq!(h.first.phase, h.second.phase);
+}
+
+#[test]
+fn racy_cross_block_scatter_is_detected() {
+    // Every block non-atomically stores to the same global element.
+    let mut dev = device(SanitizerMode::Report);
+    let sum = dev.alloc_zeroed::<u32>("sum", 4).unwrap();
+    dev.launch("racy_scatter", Dim3::x(8), Dim3::x(16), |blk| {
+        let b = blk.block.x;
+        blk.thread0(|t| {
+            let old = sum.ld(t, 2);
+            sum.st(t, 2, old + b);
+        });
+    });
+    let hazards = dev.hazards();
+    assert!(
+        !hazards.is_empty(),
+        "the cross-block scatter must be flagged"
+    );
+    let h = &hazards[0];
+    assert_eq!(h.kind, HazardKind::GlobalRace);
+    assert_eq!(h.kernel, "racy_scatter");
+    assert_eq!(h.buffer, "sum");
+    assert_eq!(h.index, 2);
+    assert_ne!(
+        h.first.block, h.second.block,
+        "a global race needs two distinct blocks"
+    );
+}
+
+#[test]
+fn mixed_atomic_and_plain_store_is_detected() {
+    // One block updates a counter atomically while another stores to it.
+    let mut dev = device(SanitizerMode::Report);
+    let c = dev.alloc_zeroed::<u32>("counter", 1).unwrap();
+    dev.launch("mixed", Dim3::x(4), Dim3::x(8), |blk| {
+        let b = blk.block.x;
+        blk.thread0(|t| {
+            if b == 0 {
+                c.st(t, 0, 7); // non-atomic "reset" racing the atomics
+            } else {
+                c.atomic_inc(t, 0);
+            }
+        });
+    });
+    let kinds: Vec<HazardKind> = dev.hazards().iter().map(|h| h.kind).collect();
+    assert!(
+        kinds.contains(&HazardKind::MixedAtomic),
+        "expected a mixed-atomic finding, got {kinds:?}"
+    );
+}
+
+#[test]
+fn shared_mixed_atomic_same_phase_is_detected() {
+    let mut dev = device(SanitizerMode::Report);
+    dev.launch("shared_mixed", Dim3::x(1), Dim3::x(16), |blk| {
+        let s = blk.shared::<u32>(1);
+        blk.thread0(|t| s.st(t, 0, 0));
+        blk.threads(|t| {
+            if t.tid == 3 {
+                s.st(t, 0, 1); // plain store racing the atomics below
+            } else {
+                s.atomic_add(t, 0, 1);
+            }
+        });
+    });
+    let h = dev
+        .hazards()
+        .iter()
+        .find(|h| h.kind == HazardKind::MixedAtomic)
+        .expect("mixed shared access must be flagged");
+    assert_eq!(h.kernel, "shared_mixed");
+    assert_eq!(h.buffer, "shared#0");
+}
+
+#[test]
+fn uninitialized_global_read_is_detected() {
+    let mut dev = device(SanitizerMode::Report);
+    let scratch = dev.alloc_uninit::<f32>("scratch", 8).unwrap();
+    let out = dev.alloc_zeroed::<f32>("out", 1).unwrap();
+    dev.launch("uninit_read", Dim3::x(1), Dim3::x(1), |blk| {
+        blk.thread0(|t| {
+            let v = scratch.ld(t, 3); // never written
+            out.st(t, 0, v);
+        });
+    });
+    let hazards = dev.hazards();
+    assert_eq!(hazards.len(), 1);
+    let h = &hazards[0];
+    assert_eq!(h.kind, HazardKind::UninitRead);
+    assert_eq!(h.kernel, "uninit_read");
+    assert_eq!(h.buffer, "scratch");
+    assert_eq!(h.index, 3);
+}
+
+#[test]
+fn uninitialized_shared_read_is_detected() {
+    // CUDA `__shared__` memory is garbage until written; reading (or
+    // atomically accumulating into) it before any store is a bug even
+    // though the simulator backs it with zeros.
+    let mut dev = device(SanitizerMode::Report);
+    dev.launch("uninit_shared", Dim3::x(1), Dim3::x(4), |blk| {
+        let acc = blk.shared::<f64>(2);
+        blk.threads(|t| {
+            acc.atomic_add(t, 1, 1.0); // no prior init
+        });
+    });
+    let hazards = dev.hazards();
+    assert!(!hazards.is_empty());
+    let h = &hazards[0];
+    assert_eq!(h.kind, HazardKind::UninitRead);
+    assert_eq!(h.buffer, "shared#0");
+    assert_eq!(h.index, 1);
+}
+
+#[test]
+fn overlapping_views_race_at_the_parent_index() {
+    // Two views of one slab alias the same underlying element; conflicting
+    // block writes through them must be reported against the allocation.
+    let mut dev = device(SanitizerMode::Report);
+    let slab = dev.alloc_zeroed::<u32>("slab", 16).unwrap();
+    let a = slab.slice(0, 12);
+    let b = slab.slice(8, 8);
+    dev.launch("view_race", Dim3::x(2), Dim3::x(1), |blk| {
+        let which = blk.block.x;
+        blk.thread0(|t| {
+            if which == 0 {
+                a.st(t, 10, 1); // slab[10]
+            } else {
+                b.st(t, 2, 2); // also slab[10]
+            }
+        });
+    });
+    let hazards = dev.hazards();
+    assert_eq!(hazards.len(), 1);
+    assert_eq!(hazards[0].kind, HazardKind::GlobalRace);
+    assert_eq!(hazards[0].buffer, "slab");
+    assert_eq!(hazards[0].index, 10);
+}
+
+// ---------------------------------------------------------- false positives
+
+/// A representative well-synchronized kernel: staged shared loads, a
+/// barrier, an atomic reduction, a barrier, a single-thread read-back and
+/// disjoint global stores.
+fn clean_kernel(dev: &mut Device) {
+    let input = dev
+        .htod("input", &(0..1024).map(|i| i as f32).collect::<Vec<_>>())
+        .unwrap();
+    let out = dev.alloc_zeroed::<f32>("out", 64).unwrap();
+    dev.launch("clean", Dim3::x(64), Dim3::x(16), |blk| {
+        let stage = blk.shared::<f32>(16);
+        let acc = blk.shared::<f32>(1);
+        let b = blk.block.x as usize;
+        blk.thread0(|t| acc.st(t, 0, 0.0));
+        blk.threads(|t| {
+            let v = input.ld(t, b * 16 + t.tid as usize);
+            stage.st(t, t.tid as usize, v);
+        });
+        blk.threads(|t| {
+            // Post-barrier read of a *different* thread's slot, then an
+            // atomic accumulation — all ordered or atomic, never racy.
+            let peer = (t.tid as usize + 1) % 16;
+            let v = stage.ld(t, peer);
+            acc.atomic_add(t, 0, v);
+        });
+        blk.thread0(|t| {
+            let v = acc.ld(t, 0);
+            out.st(t, b, v);
+        });
+    });
+}
+
+#[test]
+fn clean_kernel_has_zero_findings_deterministic() {
+    let mut dev = device(SanitizerMode::Abort);
+    clean_kernel(&mut dev);
+    assert!(dev.hazards().is_empty());
+    dev.check_hazards().unwrap();
+}
+
+#[test]
+fn clean_kernel_has_zero_findings_parallel() {
+    // Detection is access-set based, so it must not depend on block timing:
+    // repeat under parallel block execution.
+    for _ in 0..4 {
+        let mut dev = Device::new(DeviceConfig::gtx_1660_ti());
+        dev.set_deterministic(false);
+        dev.set_sanitizer(SanitizerMode::Abort);
+        clean_kernel(&mut dev);
+        assert!(dev.hazards().is_empty());
+    }
+}
+
+#[test]
+fn racy_kernel_detected_under_parallel_execution_too() {
+    for _ in 0..4 {
+        let mut dev = Device::new(DeviceConfig::gtx_1660_ti());
+        dev.set_deterministic(false);
+        dev.set_sanitizer(SanitizerMode::Report);
+        let target = dev.alloc_zeroed::<u32>("target", 1).unwrap();
+        dev.launch("par_racy", Dim3::x(16), Dim3::x(8), |blk| {
+            let b = blk.block.x;
+            blk.thread0(|t| {
+                target.st(t, 0, b);
+            });
+        });
+        assert!(
+            dev.hazards()
+                .iter()
+                .any(|h| h.kind == HazardKind::GlobalRace && h.buffer == "target"),
+            "parallel execution must not hide the race"
+        );
+    }
+}
+
+#[test]
+fn same_phase_distinct_elements_are_clean() {
+    let mut dev = device(SanitizerMode::Abort);
+    let buf = dev.alloc_zeroed::<u64>("buf", 2048).unwrap();
+    dev.launch("disjoint", Dim3::x(16), Dim3::x(128), |blk| {
+        blk.threads(|t| {
+            let g = t.global_id_x();
+            buf.st(t, g, g as u64);
+        });
+    });
+    assert!(dev.hazards().is_empty());
+}
+
+#[test]
+fn atomics_from_all_blocks_are_clean() {
+    let mut dev = device(SanitizerMode::Abort);
+    let acc = dev.alloc_zeroed::<u64>("acc", 1).unwrap();
+    dev.launch("atomic_sum", Dim3::x(32), Dim3::x(64), |blk| {
+        blk.threads(|t| {
+            acc.atomic_add(t, 0, 1u64);
+        });
+    });
+    assert_eq!(acc.peek(0), 32 * 64);
+    assert!(dev.hazards().is_empty());
+}
+
+#[test]
+fn initialized_uninit_allocation_is_clean() {
+    // memset / upload / kernel stores all count as initialization.
+    let mut dev = device(SanitizerMode::Abort);
+    let a = dev.alloc_uninit::<f32>("a", 16).unwrap();
+    let b = dev.alloc_uninit::<f32>("b", 16).unwrap();
+    dev.memset(&a, 1.0);
+    dev.upload(&b, &[2.0; 16]);
+    let out = dev.alloc_zeroed::<f32>("out", 16).unwrap();
+    dev.launch("consume", Dim3::x(1), Dim3::x(16), |blk| {
+        blk.threads(|t| {
+            let i = t.tid as usize;
+            let va = a.ld(t, i);
+            let vb = b.ld(t, i);
+            out.st(t, i, va + vb);
+        });
+    });
+    assert!(dev.hazards().is_empty());
+    assert_eq!(out.peek(5), 3.0);
+}
+
+#[test]
+fn write_then_read_same_launch_marks_initialized() {
+    let mut dev = device(SanitizerMode::Abort);
+    let scratch = dev.alloc_uninit::<u32>("scratch", 64).unwrap();
+    dev.launch("fill", Dim3::x(1), Dim3::x(64), |blk| {
+        blk.threads(|t| scratch.st(t, t.tid as usize, t.tid));
+        blk.threads(|t| {
+            let peer = (t.tid as usize + 1) % 64;
+            let _ = scratch.ld(t, peer);
+        });
+    });
+    assert!(dev.hazards().is_empty());
+}
+
+// -------------------------------------------------------------------- modes
+
+#[test]
+fn off_mode_records_nothing() {
+    let mut dev = device(SanitizerMode::Off);
+    let x = dev.alloc_zeroed::<u32>("x", 1).unwrap();
+    dev.launch("racy_off", Dim3::x(4), Dim3::x(4), |blk| {
+        let b = blk.block.x;
+        blk.thread0(|t| x.st(t, 0, b));
+    });
+    assert!(dev.hazards().is_empty());
+    dev.check_hazards().unwrap();
+}
+
+#[test]
+#[should_panic(expected = "kernel sanitizer")]
+fn abort_mode_panics_on_hazard() {
+    let mut dev = device(SanitizerMode::Abort);
+    let x = dev.alloc_zeroed::<u32>("x", 1).unwrap();
+    dev.launch("racy_abort", Dim3::x(4), Dim3::x(4), |blk| {
+        let b = blk.block.x;
+        blk.thread0(|t| x.st(t, 0, b));
+    });
+}
+
+#[test]
+fn check_hazards_returns_structured_error() {
+    let mut dev = device(SanitizerMode::Report);
+    let x = dev.alloc_zeroed::<u32>("unlucky", 4).unwrap();
+    dev.launch("racy_err", Dim3::x(4), Dim3::x(4), |blk| {
+        let b = blk.block.x;
+        blk.thread0(|t| x.st(t, 1, b));
+    });
+    match dev.check_hazards() {
+        Err(GpuError::Hazard {
+            kernel,
+            buffer,
+            index,
+            threads,
+        }) => {
+            assert_eq!(kernel, "racy_err");
+            assert_eq!(buffer, "unlucky");
+            assert_eq!(index, 1);
+            assert!(threads.contains("block"), "coordinates in {threads:?}");
+        }
+        other => panic!("expected a hazard error, got {other:?}"),
+    }
+    // take_hazards drains the accumulator.
+    assert!(!dev.take_hazards().is_empty());
+    assert!(dev.hazards().is_empty());
+    dev.check_hazards().unwrap();
+}
+
+#[test]
+fn report_mode_surfaces_hazards_in_device_report() {
+    let mut dev = device(SanitizerMode::Report);
+    let x = dev.alloc_zeroed::<u32>("x", 1).unwrap();
+    dev.launch("racy_rep", Dim3::x(2), Dim3::x(2), |blk| {
+        let b = blk.block.x;
+        blk.thread0(|t| x.st(t, 0, b));
+    });
+    let rep = dev.report();
+    assert_eq!(rep.hazards.len(), dev.hazards().len());
+    assert!(!rep.hazards.is_empty());
+    let text = rep.hazards[0].to_string();
+    assert!(text.contains("racy_rep") && text.contains("x"), "{text}");
+}
+
+#[test]
+fn findings_are_deduplicated_per_location() {
+    // Every one of 16 blocks hits the same shared-memory race; the launch
+    // must keep one finding per (kind, buffer, element) and count the rest
+    // as truncated rather than producing a finding per block.
+    let mut dev = device(SanitizerMode::Report);
+    dev.launch("racy_many", Dim3::x(16), Dim3::x(64), |blk| {
+        let s = blk.shared::<u32>(1);
+        blk.thread0(|t| s.st(t, 0, 0));
+        blk.threads(|t| s.st(t, 0, t.tid)); // WAW race in every block
+    });
+    let races = dev
+        .hazards()
+        .iter()
+        .filter(|h| h.kind == HazardKind::SharedRace && h.buffer == "shared#0")
+        .count();
+    assert_eq!(races, 1, "deduplicated to one finding per element");
+    assert!(dev.hazards_truncated() > 0, "drops are counted");
+}
+
+#[test]
+fn uninit_sentinel_is_visible_from_host() {
+    // alloc_uninit contents are a recognizable garbage pattern, not zeros.
+    let mut dev = device(SanitizerMode::Off);
+    let buf = dev.alloc_uninit::<u32>("garbage", 4).unwrap();
+    assert!(buf.peek_all().iter().all(|&v| v == 0xA5A5_A5A5));
+    buf.poke(2, 9);
+    assert_eq!(buf.peek(2), 9);
+}

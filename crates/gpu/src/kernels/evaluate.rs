@@ -56,6 +56,9 @@ pub fn evaluate_kernel(
         blk.thread0(|t| {
             let j = dims_flat.ld(t, lo + jj);
             j_sh.st(t, 0, j);
+            // µ accumulates via atomicAdd below; shared memory is garbage
+            // until written on hardware, so zero it first.
+            mu.st(t, 0, 0.0);
         });
         // Phase 1: centroid component µ_{i,j} (Alg. 6 lines 3–8).
         blk.threads(|t| {

@@ -177,6 +177,12 @@ pub fn z_kernel(
             let i = blk.block.x as usize;
             let stats = blk.shared::<f64>(2); // [0] = Y_i, [1] = σ_i
             let xi = blk.regs::<f64>();
+            // Shared memory starts as garbage on hardware: zero the
+            // accumulators before any atomicAdd lands (sanitizer initcheck).
+            blk.thread0(|t| {
+                stats.st(t, 0, 0.0);
+                stats.st(t, 1, 0.0);
+            });
             blk.threads(|t| {
                 let v = x.ld(t, i * d + t.tid as usize);
                 xi.set(t, v);
