@@ -5,6 +5,8 @@
 //! The figure harnesses in `src/bin/` are the tool for paper-shaped sweeps;
 //! these benches exist to catch performance regressions per variant.
 
+#![allow(deprecated)] // exercises the legacy entry points deliberately
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 

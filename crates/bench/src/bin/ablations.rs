@@ -15,6 +15,8 @@
 //!    future-work remark: independent kernels overlapped on streams engage
 //!    more cores when each launch underutilizes the device (small `n`).
 
+#![allow(deprecated)] // exercises the legacy entry points deliberately
+
 use gpu_sim::{Device, DeviceConfig};
 use proclus::{fast_proclus, fast_star_proclus, proclus, BadMedoidRule};
 use proclus_bench::{time_cpu_ms, workloads, ExpTable, Options};

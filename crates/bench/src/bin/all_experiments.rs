@@ -19,6 +19,7 @@ const HARNESSES: &[&str] = &[
     "fig3_realworld",
     "table_utilization",
     "ablations",
+    "telemetry",
 ];
 
 fn main() {

@@ -6,6 +6,8 @@
 //! platforms, and FAST* is a 1.05–1.1× slowdown relative to FAST (the
 //! price of the factor-`B` space reduction, §5.1).
 
+#![allow(deprecated)] // exercises the legacy entry points deliberately
+
 use gpu_sim::DeviceConfig;
 use proclus::{fast_proclus, fast_star_proclus, proclus};
 use proclus_bench::workloads;

@@ -5,6 +5,8 @@
 //! measures 896–1,265×, attributing the drop at high `d` to distance
 //! computations not being parallelized across dimensions).
 
+#![allow(deprecated)] // exercises the legacy entry points deliberately
+
 use gpu_sim::DeviceConfig;
 use proclus::{fast_proclus, proclus};
 use proclus_bench::workloads::{self, names::*};

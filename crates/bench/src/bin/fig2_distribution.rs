@@ -5,6 +5,8 @@
 //! largely unaffected by either knob (the work per iteration depends on
 //! `n`, `d`, `k`, not on how the points are arranged).
 
+#![allow(deprecated)] // exercises the legacy entry points deliberately
+
 use gpu_sim::DeviceConfig;
 use proclus::{fast_proclus, proclus};
 use proclus_bench::workloads::{self, names::*};

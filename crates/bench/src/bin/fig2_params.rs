@@ -7,6 +7,8 @@
 //! compute), while the GPU speedup factor stays roughly constant
 //! (≈1,100× in the paper) across all sweeps.
 
+#![allow(deprecated)] // exercises the legacy entry points deliberately
+
 use gpu_sim::DeviceConfig;
 use proclus::{fast_proclus, proclus, Params};
 use proclus_bench::workloads::{self, names::*};

@@ -8,6 +8,8 @@
 //! with `n` until the device saturates and then staying flat; at 1 M points
 //! GPU-FAST-PROCLUS stays under the 100 ms interactivity budget.
 
+#![allow(deprecated)] // exercises the legacy entry points deliberately
+
 use gpu_sim::DeviceConfig;
 use proclus::{
     fast_proclus, fast_proclus_par, fast_star_proclus, fast_star_proclus_par, proclus, proclus_par,

@@ -9,6 +9,8 @@
 //! deterministic model output (pool accounting), so one repetition
 //! suffices.
 
+#![allow(deprecated)] // exercises the legacy entry points deliberately
+
 use gpu_sim::{Device, DeviceConfig};
 use proclus_bench::workloads::{self, names::*};
 use proclus_bench::{ExpTable, Options};

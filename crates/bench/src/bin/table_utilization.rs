@@ -10,6 +10,8 @@
 //!   occupancy around 50 % and an achieved occupancy of a few percent —
 //!   "not a good utilization, but not a time-consuming computation either".
 
+#![allow(deprecated)] // exercises the legacy entry points deliberately
+
 use gpu_sim::{Device, DeviceConfig};
 use proclus_bench::{workloads, Options};
 use proclus_gpu::gpu_fast_proclus;

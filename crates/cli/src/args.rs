@@ -1,9 +1,12 @@
 //! Hand-rolled argument parsing (three subcommands, a dozen flags — no
 //! dependency needed).
-
-use std::fmt;
+//!
+//! Algorithm selection is the unified `--algo` / `--backend` / `--threads`
+//! triple matching [`proclus::Config`]; the historical `--engine` spellings
+//! remain as aliases that expand to the same triple.
 
 use gpu_sim::SanitizerMode;
+use proclus::{Algo, Backend};
 
 fn parse_sanitize(s: &str) -> Result<SanitizerMode, String> {
     match s {
@@ -16,56 +19,27 @@ fn parse_sanitize(s: &str) -> Result<SanitizerMode, String> {
     }
 }
 
-/// Which algorithm runs the clustering.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub enum Engine {
-    /// Sequential baseline PROCLUS.
-    Proclus,
-    /// Sequential FAST-PROCLUS (default).
-    #[default]
-    Fast,
-    /// Sequential FAST*-PROCLUS.
-    FastStar,
-    /// Multi-core FAST-PROCLUS (all cores).
-    ParFast,
-    /// GPU-PROCLUS on the simulated device.
-    GpuProclus,
-    /// GPU-FAST-PROCLUS on the simulated device.
-    GpuFast,
+fn all_cores() -> usize {
+    std::thread::available_parallelism()
+        .map(|t| t.get())
+        .unwrap_or(1)
 }
 
-impl Engine {
-    fn parse(s: &str) -> Result<Self, String> {
-        match s {
-            "proclus" => Ok(Engine::Proclus),
-            "fast" => Ok(Engine::Fast),
-            "fast-star" | "fast*" => Ok(Engine::FastStar),
-            "par-fast" | "mc-fast" => Ok(Engine::ParFast),
-            "gpu" | "gpu-proclus" => Ok(Engine::GpuProclus),
-            "gpu-fast" => Ok(Engine::GpuFast),
-            other => Err(format!(
-                "unknown engine `{other}` (proclus | fast | fast-star | par-fast | gpu-proclus | gpu-fast)"
-            )),
-        }
-    }
-
-    /// True for the simulated-GPU engines.
-    pub fn is_gpu(self) -> bool {
-        matches!(self, Engine::GpuProclus | Engine::GpuFast)
-    }
-}
-
-impl fmt::Display for Engine {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let s = match self {
-            Engine::Proclus => "proclus",
-            Engine::Fast => "fast",
-            Engine::FastStar => "fast-star",
-            Engine::ParFast => "par-fast",
-            Engine::GpuProclus => "gpu-proclus",
-            Engine::GpuFast => "gpu-fast",
-        };
-        f.write_str(s)
+/// Expands a legacy `--engine` spelling into the `(algo, backend, threads)`
+/// triple the unified API speaks.
+pub fn engine_alias(s: &str) -> Result<(Algo, Backend, usize), String> {
+    match s {
+        "proclus" => Ok((Algo::Baseline, Backend::Cpu, 0)),
+        "fast" => Ok((Algo::Fast, Backend::Cpu, 0)),
+        "fast-star" | "fast*" => Ok((Algo::FastStar, Backend::Cpu, 0)),
+        "par-fast" | "mc-fast" => Ok((Algo::Fast, Backend::Cpu, all_cores())),
+        "gpu" | "gpu-proclus" => Ok((Algo::Baseline, Backend::Gpu, 0)),
+        "gpu-fast" => Ok((Algo::Fast, Backend::Gpu, 0)),
+        "gpu-fast-star" => Ok((Algo::FastStar, Backend::Gpu, 0)),
+        other => Err(format!(
+            "unknown engine `{other}` (proclus | fast | fast-star | par-fast | \
+             gpu-proclus | gpu-fast | gpu-fast-star)"
+        )),
     }
 }
 
@@ -120,9 +94,13 @@ pub enum Command {
         k: KSpec,
         /// Average subspace dimensionality.
         l: usize,
-        /// Engine to run.
-        engine: Engine,
-        /// Device preset (`gtx1660ti` | `rtx3090`) for GPU engines.
+        /// Algorithm variant.
+        algo: Algo,
+        /// Execution backend.
+        backend: Backend,
+        /// CPU worker threads (0/1 = sequential).
+        threads: usize,
+        /// Device preset (`gtx1660ti` | `rtx3090`) for the GPU backend.
         device: String,
         /// Seed.
         seed: u64,
@@ -138,8 +116,12 @@ pub enum Command {
         a: usize,
         /// Medoid constant B.
         b: usize,
-        /// Kernel sanitizer mode for GPU engines.
+        /// Kernel sanitizer mode for the GPU backend.
         sanitize: SanitizerMode,
+        /// Where to write the telemetry JSON report, if anywhere.
+        telemetry: Option<String>,
+        /// Where to write the chrome-trace JSON, if anywhere.
+        chrome_trace: Option<String>,
     },
     /// Generate a synthetic dataset CSV.
     Generate {
@@ -176,15 +158,21 @@ USAGE:
 cluster flags:
   --k K | LO..HI     number of clusters, or an inclusive sweep   (required)
   --l L              average subspace dims                        [5]
-  --engine E         proclus|fast|fast-star|par-fast|gpu-proclus|gpu-fast [fast]
-  --device D         gtx1660ti|rtx3090 (GPU engines)              [gtx1660ti]
+  --algo A           baseline|fast|fast-star                      [fast]
+  --backend B        cpu|gpu                                      [cpu]
+  --threads T        CPU worker threads (0/1 = sequential)        [0]
+  --engine E         alias expanding to --algo/--backend/--threads:
+                     proclus|fast|fast-star|par-fast|gpu-proclus|gpu-fast|gpu-fast-star
+  --device D         gtx1660ti|rtx3090 (GPU backend)              [gtx1660ti]
   --seed S           RNG seed                                     [42]
   --a A  --b B       PROCLUS sampling constants                   [100, 10]
   --header           input has a header row
   --label-col I      ignore column I (0-based) as ground-truth labels
   --no-normalize     skip min-max normalization
   --out FILE         write per-point labels as CSV
-  --sanitize M       kernel sanitizer: off|report|abort (GPU engines)  [off]
+  --telemetry FILE   write the telemetry JSON report (spans + counters)
+  --chrome-trace FILE  write a chrome-trace JSON (about:tracing / Perfetto)
+  --sanitize M       kernel sanitizer: off|report|abort (GPU backend)  [off]
 
 generate flags:
   --n N --d D --clusters C --subspace-dims S --std-dev V --noise F --seed S
@@ -216,7 +204,9 @@ impl Cli {
                 let mut input: Option<String> = None;
                 let mut k: Option<KSpec> = None;
                 let mut l = 5usize;
-                let mut engine = Engine::default();
+                let mut algo = Algo::default();
+                let mut backend = Backend::default();
+                let mut threads = 0usize;
                 let mut device = "gtx1660ti".to_string();
                 let mut seed = 42u64;
                 let mut no_normalize = false;
@@ -226,11 +216,34 @@ impl Cli {
                 let mut a = 100usize;
                 let mut b = 10usize;
                 let mut sanitize = SanitizerMode::Off;
+                let mut telemetry = None;
+                let mut chrome_trace = None;
                 while let Some(arg) = args.next() {
                     match arg.as_str() {
                         "--k" => k = Some(KSpec::parse(&take_value(&mut args, "--k")?)?),
                         "--l" => l = parse_num(take_value(&mut args, "--l")?, "--l")?,
-                        "--engine" => engine = Engine::parse(&take_value(&mut args, "--engine")?)?,
+                        "--algo" => {
+                            let v = take_value(&mut args, "--algo")?;
+                            algo = Algo::parse(&v).ok_or_else(|| {
+                                format!("unknown algo `{v}` (baseline | fast | fast-star)")
+                            })?;
+                        }
+                        "--backend" => {
+                            let v = take_value(&mut args, "--backend")?;
+                            backend = Backend::parse(&v)
+                                .ok_or_else(|| format!("unknown backend `{v}` (cpu | gpu)"))?;
+                        }
+                        "--threads" => {
+                            threads = parse_num(take_value(&mut args, "--threads")?, "--threads")?;
+                        }
+                        "--engine" => {
+                            (algo, backend, threads) =
+                                engine_alias(&take_value(&mut args, "--engine")?)?;
+                        }
+                        "--telemetry" => telemetry = Some(take_value(&mut args, "--telemetry")?),
+                        "--chrome-trace" => {
+                            chrome_trace = Some(take_value(&mut args, "--chrome-trace")?);
+                        }
                         "--device" => device = take_value(&mut args, "--device")?,
                         "--seed" => seed = parse_num(take_value(&mut args, "--seed")?, "--seed")?,
                         "--a" => a = parse_num(take_value(&mut args, "--a")?, "--a")?,
@@ -257,7 +270,9 @@ impl Cli {
                     input: input.ok_or("cluster: missing input CSV path")?,
                     k: k.ok_or("cluster: --k is required")?,
                     l,
-                    engine,
+                    algo,
+                    backend,
+                    threads,
                     device,
                     seed,
                     no_normalize,
@@ -267,6 +282,8 @@ impl Cli {
                     a,
                     b,
                     sanitize,
+                    telemetry,
+                    chrome_trace,
                 }
             }
             Some("generate") => {
@@ -336,13 +353,20 @@ mod tests {
                 input,
                 k,
                 l,
-                engine,
+                algo,
+                backend,
+                threads,
+                telemetry,
+                chrome_trace,
                 ..
             } => {
                 assert_eq!(input, "data.csv");
                 assert_eq!(k, KSpec::Single(5));
                 assert_eq!(l, 5);
-                assert_eq!(engine, Engine::Fast);
+                assert_eq!(algo, Algo::Fast);
+                assert_eq!(backend, Backend::Cpu);
+                assert_eq!(threads, 0);
+                assert!(telemetry.is_none() && chrome_trace.is_none());
             }
             _ => panic!("wrong command"),
         }
@@ -357,8 +381,10 @@ mod tests {
             "4..8",
             "--l",
             "3",
-            "--engine",
-            "gpu-fast",
+            "--algo",
+            "baseline",
+            "--backend",
+            "gpu",
             "--device",
             "rtx3090",
             "--seed",
@@ -368,6 +394,10 @@ mod tests {
             "0",
             "--out",
             "labels.csv",
+            "--telemetry",
+            "tel.json",
+            "--chrome-trace",
+            "trace.json",
             "--a",
             "50",
             "--b",
@@ -378,7 +408,8 @@ mod tests {
         match cli.command {
             Command::Cluster {
                 k,
-                engine,
+                algo,
+                backend,
                 device,
                 seed,
                 header,
@@ -387,20 +418,70 @@ mod tests {
                 a,
                 b,
                 no_normalize,
+                telemetry,
+                chrome_trace,
                 ..
             } => {
                 assert_eq!(k.values(), vec![4, 5, 6, 7, 8]);
-                assert_eq!(engine, Engine::GpuFast);
-                assert!(engine.is_gpu());
+                assert_eq!(algo, Algo::Baseline);
+                assert_eq!(backend, Backend::Gpu);
                 assert_eq!(device, "rtx3090");
                 assert_eq!(seed, 9);
                 assert!(header && no_normalize);
                 assert_eq!(label_col, Some(0));
                 assert_eq!(out.as_deref(), Some("labels.csv"));
+                assert_eq!(telemetry.as_deref(), Some("tel.json"));
+                assert_eq!(chrome_trace.as_deref(), Some("trace.json"));
                 assert_eq!((a, b), (50, 5));
             }
             _ => panic!("wrong command"),
         }
+    }
+
+    #[test]
+    fn engine_aliases_expand_to_the_unified_triple() {
+        for (spelling, algo, backend) in [
+            ("proclus", Algo::Baseline, Backend::Cpu),
+            ("fast", Algo::Fast, Backend::Cpu),
+            ("fast-star", Algo::FastStar, Backend::Cpu),
+            ("gpu-proclus", Algo::Baseline, Backend::Gpu),
+            ("gpu-fast", Algo::Fast, Backend::Gpu),
+            ("gpu-fast-star", Algo::FastStar, Backend::Gpu),
+        ] {
+            let cli = parse(&["cluster", "d.csv", "--k", "3", "--engine", spelling]).unwrap();
+            match cli.command {
+                Command::Cluster {
+                    algo: got_a,
+                    backend: got_b,
+                    ..
+                } => {
+                    assert_eq!(got_a, algo, "{spelling}");
+                    assert_eq!(got_b, backend, "{spelling}");
+                }
+                _ => panic!("wrong command"),
+            }
+        }
+        // par-fast turns on all cores.
+        match parse(&["cluster", "d.csv", "--k", "3", "--engine", "par-fast"])
+            .unwrap()
+            .command
+        {
+            Command::Cluster { algo, threads, .. } => {
+                assert_eq!(algo, Algo::Fast);
+                assert!(threads >= 1);
+            }
+            _ => panic!("wrong command"),
+        }
+    }
+
+    #[test]
+    fn bad_algo_and_backend_are_errors() {
+        assert!(parse(&["cluster", "d.csv", "--k", "3", "--algo", "slow"])
+            .unwrap_err()
+            .contains("slow"));
+        assert!(parse(&["cluster", "d.csv", "--k", "3", "--backend", "tpu"])
+            .unwrap_err()
+            .contains("tpu"));
     }
 
     #[test]
@@ -466,17 +547,10 @@ mod tests {
     }
 
     #[test]
-    fn engine_display_roundtrip() {
-        for e in [
-            Engine::Proclus,
-            Engine::Fast,
-            Engine::FastStar,
-            Engine::ParFast,
-            Engine::GpuProclus,
-            Engine::GpuFast,
-        ] {
-            let s = e.to_string();
-            assert_eq!(Engine::parse(&s).unwrap(), e, "{s}");
-        }
+    fn bad_engine_alias_is_an_error() {
+        assert!(engine_alias("warp-drive")
+            .unwrap_err()
+            .contains("warp-drive"));
+        assert!(parse(&["cluster", "d.csv", "--k", "3", "--engine", "warp-drive"]).is_err());
     }
 }

@@ -5,11 +5,14 @@
 //! `main.rs` only wires stdin/stdout/exit codes.
 //!
 //! ```text
-//! proclus cluster data.csv --k 10 --l 5 --engine fast --out labels.csv
-//! proclus cluster data.csv --k 10 --l 5 --engine gpu-fast --device rtx3090
-//! proclus sweep   data.csv --k 4..12 --l 3 --engine fast
+//! proclus cluster data.csv --k 10 --l 5 --algo fast --out labels.csv
+//! proclus cluster data.csv --k 10 --l 5 --algo fast --backend gpu --device rtx3090
+//! proclus cluster data.csv --k 4..12 --l 3 --telemetry tel.json --chrome-trace trace.json
 //! proclus generate --n 10000 --d 15 --clusters 10 --out synth.csv
 //! ```
+//!
+//! The historical `--engine` spellings (`fast`, `gpu-fast`, …) are kept as
+//! aliases that expand to `--algo`/`--backend`/`--threads`.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -18,7 +21,7 @@ pub mod args;
 pub mod report;
 pub mod run;
 
-pub use args::{Cli, Command, Engine};
+pub use args::{engine_alias, Cli, Command};
 pub use run::execute;
 
 /// CLI process exit codes.

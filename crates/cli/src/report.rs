@@ -5,22 +5,23 @@ use std::io::Write;
 use std::path::Path;
 
 use proclus::metrics::{adjusted_rand_index, normalized_mutual_information};
+use proclus::telemetry::TelemetryReport;
 use proclus::DataMatrix;
 
-use crate::args::Engine;
 use crate::run::RunOutcome;
 
-/// Renders the report for a (possibly swept) cluster command.
+/// Renders the report for a (possibly swept) cluster command. `label`
+/// names the configuration, e.g. `fast on gpu`.
 pub fn render(
     data: &DataMatrix,
-    engine: Engine,
+    label: &str,
     outcomes: &[RunOutcome],
     truth: Option<&[i32]>,
     out_path: Option<&str>,
 ) -> String {
     let mut s = String::new();
     s.push_str(&format!(
-        "clustered {} points x {} dims with engine `{engine}`\n\n",
+        "clustered {} points x {} dims with `{label}`\n\n",
         data.n(),
         data.d()
     ));
@@ -71,6 +72,31 @@ pub fn render(
     s
 }
 
+/// Renders the per-phase time table of a telemetry report: one row per
+/// distinct span name with its invocation count, summed wall-clock time,
+/// and (for GPU runs) summed simulated device time.
+pub fn render_phase_table(report: &TelemetryReport) -> String {
+    let rows = report.phase_table();
+    if rows.is_empty() {
+        return String::new();
+    }
+    let width = rows.iter().map(|r| r.name.len()).max().unwrap_or(5).max(5);
+    let mut s = format!(
+        "\n{:<width$}  {:>6}  {:>11}  {:>11}\n",
+        "phase", "calls", "total ms", "sim ms"
+    );
+    for r in rows {
+        s.push_str(&format!(
+            "{:<width$}  {:>6}  {:>11.3}  {:>11.3}\n",
+            r.name,
+            r.count,
+            r.total_ms,
+            r.sim_us / 1e3
+        ));
+    }
+    s
+}
+
 /// Writes one label per line.
 pub fn write_labels(path: &Path, labels: &[i32]) -> std::io::Result<()> {
     let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
@@ -99,6 +125,7 @@ mod tests {
             },
             wall_ms: 1.5,
             sim_ms: None,
+            telemetry: None,
         }
     }
 
@@ -106,7 +133,8 @@ mod tests {
     fn render_lists_all_k_and_marks_best() {
         let data = DataMatrix::from_flat(vec![0.0; 20], 10, 2).unwrap();
         let outcomes = vec![outcome(2, 0.5), outcome(3, 0.2)];
-        let s = render(&data, Engine::Fast, &outcomes, None, None);
+        let s = render(&data, "fast on cpu", &outcomes, None, None);
+        assert!(s.contains("`fast on cpu`"));
         assert!(s.contains("k = 2"));
         assert!(s.contains("k = 3"));
         assert!(s.contains("best by refined cost: k = 3"));
@@ -116,8 +144,24 @@ mod tests {
     fn render_includes_truth_metrics_when_given() {
         let data = DataMatrix::from_flat(vec![0.0; 20], 10, 2).unwrap();
         let truth = vec![0i32; 10];
-        let s = render(&data, Engine::Fast, &[outcome(2, 0.1)], Some(&truth), None);
+        let s = render(&data, "fast on cpu", &[outcome(2, 0.1)], Some(&truth), None);
         assert!(s.contains("ARI"));
+    }
+
+    #[test]
+    fn phase_table_lists_each_span_name_once() {
+        use proclus::telemetry::{span, Telemetry};
+        let tel = Telemetry::new();
+        {
+            let _run = span(&tel, "run");
+            for _ in 0..3 {
+                let _p = span(&tel, "assign_points");
+            }
+        }
+        let s = render_phase_table(&tel.finish());
+        assert!(s.contains("phase"), "{s}");
+        assert_eq!(s.matches("assign_points").count(), 1, "{s}");
+        assert_eq!(s.matches("run").count(), 1, "{s}");
     }
 
     #[test]

@@ -1,14 +1,18 @@
 //! Command execution: load → cluster → report.
+//!
+//! Every variant/backend combination is reached through the unified
+//! `proclus::run` / `proclus_gpu::run_on` entry points, so this module
+//! contains no per-engine dispatch: it builds a [`proclus::Config`],
+//! runs it, and maps the one [`proclus::ProclusError`] type onto the
+//! process exit codes in [`crate::exit`].
 
 use std::path::Path;
 
 use gpu_sim::{Device, DeviceConfig, SanitizerMode};
-use proclus::{
-    fast_proclus, fast_proclus_par, fast_star_proclus, proclus, Clustering, DataMatrix, Params,
-};
-use proclus_gpu::{gpu_fast_proclus, gpu_proclus};
+use proclus::telemetry::TelemetryReport;
+use proclus::{Backend, Clustering, Config, DataMatrix, Params, ProclusError, RunOutput};
 
-use crate::args::{Cli, Command, Engine};
+use crate::args::{Cli, Command};
 use crate::report;
 
 /// One sweep entry's outcome.
@@ -19,8 +23,11 @@ pub struct RunOutcome {
     pub clustering: Clustering,
     /// CPU wall-clock in ms.
     pub wall_ms: f64,
-    /// Simulated device time in ms (GPU engines only).
+    /// Simulated device time in ms (GPU backend only).
     pub sim_ms: Option<f64>,
+    /// The recorded span tree, when `--telemetry`/`--chrome-trace` asked
+    /// for one.
+    pub telemetry: Option<TelemetryReport>,
 }
 
 fn device_for(name: &str) -> Result<DeviceConfig, String> {
@@ -31,39 +38,42 @@ fn device_for(name: &str) -> Result<DeviceConfig, String> {
     }
 }
 
-fn run_engine(
-    engine: Engine,
-    device: &str,
-    data: &DataMatrix,
-    params: &Params,
-    sanitize: SanitizerMode,
-) -> Result<(Clustering, Option<f64>, Vec<String>), String> {
-    let run_cpu = |f: &dyn Fn() -> proclus::Result<Clustering>| {
-        f().map(|c| (c, None, Vec::new()))
-            .map_err(|e| e.to_string())
-    };
-    match engine {
-        Engine::Proclus => run_cpu(&|| proclus(data, params)),
-        Engine::Fast => run_cpu(&|| fast_proclus(data, params)),
-        Engine::FastStar => run_cpu(&|| fast_star_proclus(data, params)),
-        Engine::ParFast => {
-            let threads = std::thread::available_parallelism()
-                .map(|t| t.get())
-                .unwrap_or(1);
-            run_cpu(&|| fast_proclus_par(data, params, threads))
+/// Maps the unified error type onto a process exit code: bad input is the
+/// user's problem (`INVALID`), everything the environment refuses is
+/// `DEVICE`.
+fn exit_for(e: &ProclusError) -> i32 {
+    match e {
+        ProclusError::InvalidParams { .. } | ProclusError::InvalidData { .. } => {
+            crate::exit::INVALID
         }
-        Engine::GpuProclus | Engine::GpuFast => {
-            let mut dev = Device::new(device_for(device)?);
+        ProclusError::Unsupported { .. } | ProclusError::Device { .. } => crate::exit::DEVICE,
+    }
+}
+
+/// What one configuration's run leaves behind: the run output, the
+/// simulated device time (GPU only) and any sanitizer hazards.
+type ConfigRun = (RunOutput, Option<f64>, Vec<String>);
+
+/// Runs one configuration on its backend.
+fn run_config(
+    data: &DataMatrix,
+    config: &Config,
+    device: &str,
+    sanitize: SanitizerMode,
+) -> Result<ConfigRun, (i32, String)> {
+    match config.backend {
+        Backend::Cpu => proclus::run(data, config)
+            .map(|o| (o, None, Vec::new()))
+            .map_err(|e| (exit_for(&e), e.to_string())),
+        Backend::Gpu => {
+            let cfg = device_for(device).map_err(|e| (crate::exit::DEVICE, e))?;
+            let mut dev = Device::new(cfg);
             dev.set_sanitizer(sanitize);
-            let result = if engine == Engine::GpuProclus {
-                gpu_proclus(&mut dev, data, params)
-            } else {
-                gpu_fast_proclus(&mut dev, data, params)
-            };
+            let output = proclus_gpu::run_on(&mut dev, data, config)
+                .map_err(|e| (exit_for(&e), e.to_string()))?;
             let hazards = dev.take_hazards().iter().map(|h| h.to_string()).collect();
-            result
-                .map(|c| (c, Some(dev.elapsed_ms()), hazards))
-                .map_err(|e| e.to_string())
+            let sim_ms = Some(dev.elapsed_ms());
+            Ok((output, sim_ms, hazards))
         }
     }
 }
@@ -105,7 +115,9 @@ pub fn execute(cli: &Cli) -> Result<String, (i32, String)> {
             input,
             k,
             l,
-            engine,
+            algo,
+            backend,
+            threads,
             device,
             seed,
             no_normalize,
@@ -115,6 +127,8 @@ pub fn execute(cli: &Cli) -> Result<String, (i32, String)> {
             a,
             b,
             sanitize,
+            telemetry,
+            chrome_trace,
         } => {
             let loaded = datagen::io::load_csv(Path::new(input), *header, *label_col)
                 .map_err(|e| (crate::exit::INVALID, e.to_string()))?;
@@ -123,23 +137,29 @@ pub fn execute(cli: &Cli) -> Result<String, (i32, String)> {
                 data.minmax_normalize();
             }
 
+            let want_telemetry = telemetry.is_some() || chrome_trace.is_some();
             let mut outcomes = Vec::new();
             let mut all_hazards = Vec::new();
             for k in k.values() {
                 let params = Params::new(k, *l).with_a(*a).with_b(*b).with_seed(*seed);
-                params
-                    .validate(&data)
-                    .map_err(|e| (crate::exit::INVALID, e.to_string()))?;
+                let config = Config::new(params)
+                    .with_algo(*algo)
+                    .with_backend(*backend)
+                    .with_threads(*threads)
+                    .with_telemetry(want_telemetry);
                 let t0 = std::time::Instant::now();
-                let (clustering, sim_ms, hazards) =
-                    run_engine(*engine, device, &data, &params, *sanitize)
-                        .map_err(|e| (crate::exit::DEVICE, e))?;
+                let (output, sim_ms, hazards) = run_config(&data, &config, device, *sanitize)?;
                 all_hazards.extend(hazards);
+                let clustering =
+                    output.clusterings.into_iter().next().ok_or_else(|| {
+                        (crate::exit::DEVICE, "run produced no clustering".into())
+                    })?;
                 outcomes.push(RunOutcome {
                     k,
                     clustering,
                     wall_ms: t0.elapsed().as_secs_f64() * 1e3,
                     sim_ms,
+                    telemetry: output.telemetry,
                 });
             }
 
@@ -151,20 +171,41 @@ pub fn execute(cli: &Cli) -> Result<String, (i32, String)> {
                         .refined_cost
                         .total_cmp(&y.clustering.refined_cost)
                 })
-                .expect("at least one k");
+                .ok_or_else(|| (crate::exit::INVALID, "empty k sweep".into()))?;
             if let Some(out_path) = out {
                 report::write_labels(Path::new(out_path), &best.clustering.labels)
                     .map_err(|e| (crate::exit::INVALID, e.to_string()))?;
             }
 
+            let label = format!("{} on {}", algo.name(), backend.name());
             let mut rendered = report::render(
                 &data,
-                *engine,
+                &label,
                 &outcomes,
                 loaded.labels.as_deref(),
                 out.as_deref(),
             );
-            if *sanitize != SanitizerMode::Off && engine.is_gpu() {
+            if let Some(t) = &best.telemetry {
+                rendered.push_str(&report::render_phase_table(t));
+            }
+
+            // One multi-run document covers the whole sweep, in k order.
+            let reports: Vec<TelemetryReport> = outcomes
+                .iter()
+                .filter_map(|o| o.telemetry.clone())
+                .collect();
+            if let Some(path) = telemetry {
+                std::fs::write(path, proclus::telemetry::runs_json(&reports))
+                    .map_err(|e| (crate::exit::INVALID, e.to_string()))?;
+                rendered.push_str(&format!("telemetry written to {path}\n"));
+            }
+            if let Some(path) = chrome_trace {
+                std::fs::write(path, proclus::telemetry::chrome_trace_combined(&reports))
+                    .map_err(|e| (crate::exit::INVALID, e.to_string()))?;
+                rendered.push_str(&format!("chrome trace written to {path}\n"));
+            }
+
+            if *sanitize != SanitizerMode::Off && *backend == Backend::Gpu {
                 if all_hazards.is_empty() {
                     rendered.push_str("sanitizer: no hazards detected\n");
                 } else {
@@ -360,9 +401,143 @@ mod tests {
     }
 
     #[test]
+    fn telemetry_flags_write_schema_valid_files() {
+        let data_path = tmp("teldata");
+        let tel_path = tmp("teljson").with_extension("json");
+        let trace_path = tmp("teltrace").with_extension("json");
+        execute(&cli(&[
+            "generate",
+            "--n",
+            "400",
+            "--d",
+            "5",
+            "--clusters",
+            "3",
+            "--subspace-dims",
+            "2",
+            "--out",
+            data_path.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let out = execute(&cli(&[
+            "cluster",
+            data_path.to_str().unwrap(),
+            "--k",
+            "2..3",
+            "--l",
+            "2",
+            "--a",
+            "15",
+            "--b",
+            "3",
+            "--label-col",
+            "5",
+            "--telemetry",
+            tel_path.to_str().unwrap(),
+            "--chrome-trace",
+            trace_path.to_str().unwrap(),
+        ]))
+        .unwrap();
+        // Phase-time table is printed for the best run.
+        assert!(out.contains("phase"), "{out}");
+        assert!(out.contains("assign_points"), "{out}");
+        assert!(out.contains("telemetry written to"), "{out}");
+
+        let tel_json = std::fs::read_to_string(&tel_path).unwrap();
+        proclus::telemetry::schema::validate_any_str(&tel_json).expect("schema-valid telemetry");
+        // One run per swept k.
+        assert_eq!(tel_json.matches("\"spans\"").count(), 2, "{tel_json}");
+        let trace = std::fs::read_to_string(&trace_path).unwrap();
+        proclus::telemetry::schema::validate_chrome_trace_str(&trace)
+            .expect("chrome trace loads as valid JSON");
+
+        std::fs::remove_file(data_path).ok();
+        std::fs::remove_file(tel_path).ok();
+        std::fs::remove_file(trace_path).ok();
+    }
+
+    #[test]
+    fn gpu_telemetry_includes_kernel_spans() {
+        let data_path = tmp("gputel");
+        let tel_path = tmp("gputeljson").with_extension("json");
+        execute(&cli(&[
+            "generate",
+            "--n",
+            "400",
+            "--d",
+            "5",
+            "--clusters",
+            "3",
+            "--subspace-dims",
+            "2",
+            "--out",
+            data_path.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let out = execute(&cli(&[
+            "cluster",
+            data_path.to_str().unwrap(),
+            "--k",
+            "3",
+            "--l",
+            "2",
+            "--a",
+            "15",
+            "--b",
+            "3",
+            "--label-col",
+            "5",
+            "--engine",
+            "gpu-fast",
+            "--telemetry",
+            tel_path.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(out.contains("kernel:"), "{out}");
+        let tel_json = std::fs::read_to_string(&tel_path).unwrap();
+        assert!(tel_json.contains("kernel:"), "{tel_json}");
+        proclus::telemetry::schema::validate_any_str(&tel_json).unwrap();
+        std::fs::remove_file(data_path).ok();
+        std::fs::remove_file(tel_path).ok();
+    }
+
+    #[test]
     fn missing_file_maps_to_invalid_exit() {
         let err = execute(&cli(&["cluster", "/no/such/file.csv", "--k", "3"])).unwrap_err();
         assert_eq!(err.0, crate::exit::INVALID);
+    }
+
+    #[test]
+    fn invalid_params_map_to_invalid_exit() {
+        let data_path = tmp("inv");
+        execute(&cli(&[
+            "generate",
+            "--n",
+            "50",
+            "--d",
+            "4",
+            "--clusters",
+            "2",
+            "--subspace-dims",
+            "2",
+            "--out",
+            data_path.to_str().unwrap(),
+        ]))
+        .unwrap();
+        // l = 1 < 2 is rejected by parameter validation, not a panic.
+        let err = execute(&cli(&[
+            "cluster",
+            data_path.to_str().unwrap(),
+            "--k",
+            "2",
+            "--l",
+            "1",
+            "--label-col",
+            "4",
+        ]))
+        .unwrap_err();
+        assert_eq!(err.0, crate::exit::INVALID, "{}", err.1);
+        std::fs::remove_file(data_path).ok();
     }
 
     #[test]

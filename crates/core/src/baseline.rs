@@ -2,6 +2,8 @@
 //! summarized in §2.1 of the EDBT '22 paper): every iteration recomputes
 //! all point-to-medoid distances and distance sums from scratch.
 
+use proclus_telemetry::{counters, Recorder};
+
 use crate::dataset::DataMatrix;
 use crate::driver::{run_full, XEngine};
 use crate::error::Result;
@@ -21,17 +23,37 @@ impl XEngine for BaselineEngine {
         m_data: &[usize],
         mcur: &[usize],
         exec: &Executor,
+        rec: &dyn Recorder,
     ) -> (Vec<f64>, Vec<usize>) {
         let medoids: Vec<usize> = mcur.iter().map(|&mi| m_data[mi]).collect();
+        let k = medoids.len();
+        // k·(k−1) medoid-pair deltas plus a full n·k sphere recomputation —
+        // the from-scratch cost the Dist/H caches eliminate.
+        rec.add(
+            counters::DISTANCES_COMPUTED,
+            (k * (k - 1) + data.n() * k) as u64,
+        );
         let deltas = medoid_deltas(data, &medoids);
         compute_x_baseline(data, &medoids, &deltas, exec)
     }
 }
 
+pub(crate) fn run_baseline(
+    data: &DataMatrix,
+    params: &Params,
+    exec: &Executor,
+    rec: &dyn Recorder,
+) -> Result<Clustering> {
+    run_full(data, params, exec, &mut BaselineEngine, rec)
+}
+
 /// Runs sequential baseline PROCLUS.
 ///
+/// Deprecated shim: use [`crate::run`] with
+/// [`Algo::Baseline`](crate::Algo::Baseline).
+///
 /// ```
-/// use proclus::{DataMatrix, Params};
+/// use proclus::{Algo, Config, DataMatrix, Params};
 /// let rows: Vec<Vec<f32>> = (0..200)
 ///     .map(|i| {
 ///         let c = (i % 2) as f32 * 10.0;
@@ -39,25 +61,37 @@ impl XEngine for BaselineEngine {
 ///     })
 ///     .collect();
 /// let data = DataMatrix::from_rows(&rows).unwrap();
-/// let result = proclus::proclus(&data, &Params::new(2, 2).with_a(20).with_b(5)).unwrap();
-/// assert_eq!(result.k(), 2);
+/// let config = Config::new(Params::new(2, 2).with_a(20).with_b(5)).with_algo(Algo::Baseline);
+/// let result = proclus::run(&data, &config).unwrap();
+/// assert_eq!(result.clustering().k(), 2);
 /// ```
+#[deprecated(since = "0.1.0", note = "use proclus::run with Algo::Baseline")]
 pub fn proclus(data: &DataMatrix, params: &Params) -> Result<Clustering> {
-    run_full(data, params, &Executor::Sequential, &mut BaselineEngine)
+    run_baseline(
+        data,
+        params,
+        &Executor::Sequential,
+        &proclus_telemetry::NullRecorder,
+    )
 }
 
 /// Runs baseline PROCLUS with its hot loops forked across `threads` OS
 /// threads (the paper's multi-core OpenMP comparison, §5).
+///
+/// Deprecated shim: use [`crate::run`] with
+/// [`Config::with_threads`](crate::Config::with_threads).
+#[deprecated(since = "0.1.0", note = "use proclus::run with Config::with_threads")]
 pub fn proclus_par(data: &DataMatrix, params: &Params, threads: usize) -> Result<Clustering> {
-    run_full(
+    run_baseline(
         data,
         params,
         &Executor::Parallel { threads },
-        &mut BaselineEngine,
+        &proclus_telemetry::NullRecorder,
     )
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // the shims must keep working until removed
 mod tests {
     use super::*;
     use crate::result::OUTLIER;

@@ -1,0 +1,219 @@
+//! The unified run configuration: one `Config` selects the algorithm
+//! variant, the backend, the execution width, an optional parameter grid,
+//! and whether telemetry is collected.
+//!
+//! [`crate::run`] consumes a `Config` for the CPU backend; the
+//! `proclus-gpu` crate's `run`/`run_on` consume the *same* type for both
+//! backends, so a `Config` is the single currency every entry point speaks.
+
+use proclus_telemetry::TelemetryReport;
+
+use crate::multi_param::{ReuseLevel, Setting};
+use crate::params::Params;
+use crate::result::Clustering;
+
+/// Which member of the PROCLUS family to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Algo {
+    /// The SIGMOD '99 baseline: every iteration recomputes all distances.
+    Baseline,
+    /// FAST-PROCLUS (§3): `Dist`/`H` caches + incremental `ΔL` updates.
+    #[default]
+    Fast,
+    /// FAST*-PROCLUS (§3.2): the `O(k·n)`-space slot-cache variant.
+    FastStar,
+}
+
+impl Algo {
+    /// Stable lowercase name (used in telemetry metadata and CLI flags).
+    pub fn name(self) -> &'static str {
+        match self {
+            Algo::Baseline => "baseline",
+            Algo::Fast => "fast",
+            Algo::FastStar => "fast_star",
+        }
+    }
+
+    /// Parses the CLI spelling (`baseline` / `fast` / `fast_star` or
+    /// `fast-star`).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "baseline" => Some(Algo::Baseline),
+            "fast" => Some(Algo::Fast),
+            "fast_star" | "fast-star" | "faststar" => Some(Algo::FastStar),
+            _ => None,
+        }
+    }
+}
+
+/// Where the algorithm executes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Backend {
+    /// Host execution via [`crate::par::Executor`] (sequential or
+    /// multi-threaded, see [`Config::threads`]).
+    #[default]
+    Cpu,
+    /// The simulated-GPU kernels of the `proclus-gpu` crate. Only available
+    /// through `proclus_gpu::run` / `run_on`; [`crate::run`] reports
+    /// [`crate::ProclusError::Unsupported`] for it.
+    Gpu,
+}
+
+impl Backend {
+    /// Stable lowercase name (used in telemetry metadata and CLI flags).
+    pub fn name(self) -> &'static str {
+        match self {
+            Backend::Cpu => "cpu",
+            Backend::Gpu => "gpu",
+        }
+    }
+
+    /// Parses the CLI spelling.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "cpu" => Some(Backend::Cpu),
+            "gpu" => Some(Backend::Gpu),
+            _ => None,
+        }
+    }
+}
+
+/// A multi-parameter exploration grid (§3.1): run every [`Setting`] with
+/// the given reuse level instead of a single `(k, l)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Grid {
+    /// The `(k, l)` settings, run in order.
+    pub settings: Vec<Setting>,
+    /// How much computation is shared across settings (FAST only; the
+    /// baseline always runs independently).
+    pub reuse: ReuseLevel,
+}
+
+impl Grid {
+    /// A grid with the given settings and reuse level.
+    pub fn new(settings: Vec<Setting>, reuse: ReuseLevel) -> Self {
+        Self { settings, reuse }
+    }
+}
+
+/// The unified run configuration consumed by [`crate::run`] (CPU) and
+/// `proclus_gpu::run` (CPU + GPU).
+///
+/// ```
+/// use proclus::{Algo, Backend, Config, Params};
+/// let config = Config::new(Params::new(4, 3))
+///     .with_algo(Algo::FastStar)
+///     .with_threads(4)
+///     .with_telemetry(true);
+/// assert_eq!(config.backend, Backend::Cpu);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Config {
+    /// Algorithm parameters (used as the base setting when `grid` is set).
+    pub params: Params,
+    /// Algorithm variant.
+    pub algo: Algo,
+    /// Execution backend.
+    pub backend: Backend,
+    /// CPU worker threads; `0` or `1` means sequential. Ignored by the GPU
+    /// backend.
+    pub threads: usize,
+    /// Collect phase spans and algorithm counters into
+    /// [`RunOutput::telemetry`].
+    pub telemetry: bool,
+    /// Optional multi-parameter grid; `None` runs the single setting in
+    /// `params`.
+    pub grid: Option<Grid>,
+}
+
+impl Config {
+    /// A single-setting CPU FAST-PROCLUS run with telemetry off.
+    pub fn new(params: Params) -> Self {
+        Self {
+            params,
+            algo: Algo::default(),
+            backend: Backend::default(),
+            threads: 0,
+            telemetry: false,
+            grid: None,
+        }
+    }
+
+    /// Sets the algorithm variant.
+    pub fn with_algo(mut self, algo: Algo) -> Self {
+        self.algo = algo;
+        self
+    }
+
+    /// Sets the backend.
+    pub fn with_backend(mut self, backend: Backend) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// Sets the CPU thread count (`0`/`1` = sequential).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Enables or disables telemetry collection.
+    pub fn with_telemetry(mut self, telemetry: bool) -> Self {
+        self.telemetry = telemetry;
+        self
+    }
+
+    /// Sets a multi-parameter grid.
+    pub fn with_grid(mut self, grid: Grid) -> Self {
+        self.grid = Some(grid);
+        self
+    }
+}
+
+/// Everything a run produced: one clustering per setting (exactly one for
+/// non-grid runs) plus the telemetry report when it was requested.
+#[derive(Debug, Clone)]
+pub struct RunOutput {
+    /// One clustering per executed setting, in setting order.
+    pub clusterings: Vec<Clustering>,
+    /// The recorded span tree and counters, when
+    /// [`Config::telemetry`] was on.
+    pub telemetry: Option<TelemetryReport>,
+    /// End-to-end wall-clock time of the run, milliseconds.
+    pub wall_ms: f64,
+}
+
+impl RunOutput {
+    /// The single clustering of a non-grid run (first setting otherwise).
+    pub fn clustering(&self) -> &Clustering {
+        &self.clusterings[0]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_cpu_fast_sequential() {
+        let c = Config::new(Params::new(4, 3));
+        assert_eq!(c.algo, Algo::Fast);
+        assert_eq!(c.backend, Backend::Cpu);
+        assert_eq!(c.threads, 0);
+        assert!(!c.telemetry);
+        assert!(c.grid.is_none());
+    }
+
+    #[test]
+    fn names_and_parse_round_trip() {
+        for algo in [Algo::Baseline, Algo::Fast, Algo::FastStar] {
+            assert_eq!(Algo::parse(algo.name()), Some(algo));
+        }
+        assert_eq!(Algo::parse("fast-star"), Some(Algo::FastStar));
+        assert_eq!(Algo::parse("nope"), None);
+        for b in [Backend::Cpu, Backend::Gpu] {
+            assert_eq!(Backend::parse(b.name()), Some(b));
+        }
+        assert_eq!(Backend::parse("tpu"), None);
+    }
+}

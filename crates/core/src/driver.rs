@@ -9,6 +9,15 @@
 //! lives here once. That is also what guarantees the seed-for-seed
 //! equivalence the paper asserts ("all our results are fully correct with
 //! respect to the PROCLUS definition", §4.1).
+//!
+//! The driver is also where the phase telemetry is recorded: every phase of
+//! Alg. 1 runs inside a span, and the algorithm counters (distances,
+//! cache hits, `ΔL` sizes, reassignments, replacements) are attributed to
+//! the innermost open span. Counters are computed from closed-form sizes at
+//! the orchestration level — never inside the parallel hot loops — so
+//! instrumentation cannot perturb the seeded search path.
+
+use proclus_telemetry::{counters, span, Recorder};
 
 use crate::dataset::DataMatrix;
 use crate::error::Result;
@@ -34,6 +43,7 @@ pub(crate) trait XEngine {
         m_data: &[usize],
         mcur: &[usize],
         exec: &Executor,
+        rec: &dyn Recorder,
     ) -> (Vec<f64>, Vec<usize>);
 }
 
@@ -44,9 +54,17 @@ pub(crate) fn initialization_phase(
     params: &Params,
     rng: &mut ProclusRng,
     exec: &Executor,
+    rec: &dyn Recorder,
 ) -> Vec<usize> {
+    let _init = span(rec, "initialization");
     let sample = sample_data_prime(rng, data.n(), params.sample_size(data.n()));
     let m_count = params.num_potential_medoids(data.n());
+    // Greedy farthest-point selection evaluates |S| distances per pick
+    // after the first (one fold pass over all candidates).
+    rec.add(
+        counters::DISTANCES_COMPUTED,
+        (m_count.saturating_sub(1) * sample.len()) as u64,
+    );
     greedy_select(data, &sample, m_count, rng, exec)
 }
 
@@ -56,6 +74,7 @@ pub(crate) fn initialization_phase(
 /// set — used by multi-parameter level 3 to warm-start from the previous
 /// setting's best medoids (§3.1). Returns the clustering together with the
 /// best medoids as indices into `m_data`, which the warm start needs.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn run_core<E: XEngine>(
     data: &DataMatrix,
     params: &Params,
@@ -64,6 +83,7 @@ pub(crate) fn run_core<E: XEngine>(
     engine: &mut E,
     m_data: &[usize],
     init_mcur: Option<Vec<usize>>,
+    rec: &dyn Recorder,
 ) -> Result<(Clustering, Vec<usize>)> {
     let k = params.k;
     let (n, d) = (data.n(), data.d());
@@ -83,15 +103,46 @@ pub(crate) fn run_core<E: XEngine>(
     let mut itr = 0usize;
     let mut total = 0usize;
     let mut converged = false;
+    // Previous iteration's assignment, for the points_reassigned counter
+    // (only maintained when a real recorder is attached).
+    let mut prev_labels: Vec<i32> = Vec::new();
 
     // Iterative phase (Alg. 1 lines 5–14).
     loop {
+        let _iter = span(rec, "iteration");
         let medoids: Vec<usize> = mcur.iter().map(|&mi| m_data[mi]).collect();
-        let (x, _lsz) = engine.x_matrix(data, m_data, &mcur, exec);
-        let dims = find_dimensions(&x, k, d, params.l);
-        let labels = assign_points(data, &medoids, &dims, exec);
-        let cost = evaluate_clusters(data, &labels, &dims, exec);
+        let (x, _lsz) = {
+            let _ph = span(rec, "compute_l");
+            engine.x_matrix(data, m_data, &mcur, exec, rec)
+        };
+        let dims = {
+            let _ph = span(rec, "find_dimensions");
+            find_dimensions(&x, k, d, params.l)
+        };
+        let labels = {
+            let _ph = span(rec, "assign_points");
+            rec.add(counters::SEGMENTAL_DISTANCES, (n * k) as u64);
+            assign_points(data, &medoids, &dims, exec)
+        };
+        if rec.enabled() {
+            let changed = if prev_labels.is_empty() {
+                n
+            } else {
+                labels
+                    .iter()
+                    .zip(&prev_labels)
+                    .filter(|(a, b)| a != b)
+                    .count()
+            };
+            rec.add(counters::POINTS_REASSIGNED, changed as u64);
+            prev_labels = labels.clone();
+        }
+        let cost = {
+            let _ph = span(rec, "evaluate_clusters");
+            evaluate_clusters(data, &labels, &dims, exec)
+        };
         total += 1;
+        rec.add(counters::ITERATIONS, 1);
 
         if cost < best_cost {
             best_cost = cost;
@@ -110,18 +161,38 @@ pub(crate) fn run_core<E: XEngine>(
             break;
         }
 
+        let _ph = span(rec, "bad_medoids");
         let best_sizes = cluster_sizes(&best_labels, k);
         let bad = compute_bad_medoids(&best_sizes, n, params.min_dev, params.bad_medoid_rule);
+        rec.add(counters::MEDOIDS_REPLACED, bad.len() as u64);
         mcur = replace_bad_medoids(&best_mcur, &bad, m_len, rng);
     }
 
     // Refinement phase (Alg. 1 lines 15–19): L ← CBest.
+    let _refine = span(rec, "refinement");
     let medoids: Vec<usize> = best_mcur.iter().map(|&mi| m_data[mi]).collect();
-    let (x, _) = x_from_clusters(data, &medoids, &best_labels, exec);
-    let dims = find_dimensions(&x, k, d, params.l);
-    let labels = assign_points(data, &medoids, &dims, exec);
-    let refined_cost = evaluate_clusters(data, &labels, &dims, exec);
-    let labels = remove_outliers(data, &labels, &medoids, &dims, exec);
+    let (x, _) = {
+        let _ph = span(rec, "compute_l");
+        x_from_clusters(data, &medoids, &best_labels, exec)
+    };
+    let dims = {
+        let _ph = span(rec, "find_dimensions");
+        find_dimensions(&x, k, d, params.l)
+    };
+    let labels = {
+        let _ph = span(rec, "assign_points");
+        rec.add(counters::SEGMENTAL_DISTANCES, (n * k) as u64);
+        assign_points(data, &medoids, &dims, exec)
+    };
+    let refined_cost = {
+        let _ph = span(rec, "evaluate_clusters");
+        evaluate_clusters(data, &labels, &dims, exec)
+    };
+    let labels = {
+        let _ph = span(rec, "remove_outliers");
+        rec.add(counters::SEGMENTAL_DISTANCES, (n * k) as u64);
+        remove_outliers(data, &labels, &medoids, &dims, exec)
+    };
 
     Ok((
         Clustering {
@@ -137,15 +208,18 @@ pub(crate) fn run_core<E: XEngine>(
     ))
 }
 
-/// Convenience: full run (init + iterate + refine) with a given engine.
+/// Convenience: full run (init + iterate + refine) with a given engine,
+/// wrapped in one `run` span.
 pub(crate) fn run_full<E: XEngine>(
     data: &DataMatrix,
     params: &Params,
     exec: &Executor,
     engine: &mut E,
+    rec: &dyn Recorder,
 ) -> Result<Clustering> {
     params.validate(data)?;
+    let _run = span(rec, "run");
     let mut rng = ProclusRng::new(params.seed);
-    let m_data = initialization_phase(data, params, &mut rng, exec);
-    run_core(data, params, exec, &mut rng, engine, &m_data, None).map(|(c, _)| c)
+    let m_data = initialization_phase(data, params, &mut rng, exec, rec);
+    run_core(data, params, exec, &mut rng, engine, &m_data, None, rec).map(|(c, _)| c)
 }

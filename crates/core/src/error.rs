@@ -18,6 +18,19 @@ pub enum ProclusError {
         /// What is wrong with the data.
         reason: String,
     },
+    /// The requested configuration is valid but not available through this
+    /// entry point (e.g. `Backend::Gpu` via `proclus::run`, which has no
+    /// device — use `proclus_gpu::run`).
+    Unsupported {
+        /// What is unavailable and where to find it.
+        reason: String,
+    },
+    /// A device-side failure surfaced by a GPU backend (converted from the
+    /// `proclus-gpu` crate's error type).
+    Device {
+        /// The device error message.
+        reason: String,
+    },
 }
 
 impl ProclusError {
@@ -32,6 +45,12 @@ impl ProclusError {
             reason: reason.into(),
         }
     }
+
+    pub(crate) fn unsupported(reason: impl Into<String>) -> Self {
+        ProclusError::Unsupported {
+            reason: reason.into(),
+        }
+    }
 }
 
 impl fmt::Display for ProclusError {
@@ -39,6 +58,8 @@ impl fmt::Display for ProclusError {
         match self {
             ProclusError::InvalidParams { reason } => write!(f, "invalid parameters: {reason}"),
             ProclusError::InvalidData { reason } => write!(f, "invalid data: {reason}"),
+            ProclusError::Unsupported { reason } => write!(f, "unsupported: {reason}"),
+            ProclusError::Device { reason } => write!(f, "device error: {reason}"),
         }
     }
 }

@@ -4,6 +4,8 @@
 
 use std::collections::HashMap;
 
+use proclus_telemetry::{counters, Recorder};
+
 use crate::dataset::DataMatrix;
 use crate::distance::euclidean;
 use crate::driver::{run_full, XEngine};
@@ -156,6 +158,12 @@ impl DistCache {
         &self.dist[row * self.n..(row + 1) * self.n]
     }
 
+    /// Current sphere size `|L|` of a row (telemetry: ΔL sizes are the
+    /// difference of this value across an [`DistCache::advance_row`]).
+    pub(crate) fn lsize(&self, row: usize) -> usize {
+        self.lsize[row]
+    }
+
     /// Advances row `row` from its previous radius to `delta_cur`,
     /// returning the averaged `X` values and the sphere size.
     pub(crate) fn advance_row(
@@ -208,15 +216,26 @@ impl XEngine for FastEngine {
         m_data: &[usize],
         mcur: &[usize],
         exec: &Executor,
+        rec: &dyn Recorder,
     ) -> (Vec<f64>, Vec<usize>) {
         let k = mcur.len();
         let d = data.d();
         let medoids: Vec<usize> = mcur.iter().map(|&mi| m_data[mi]).collect();
 
-        // Ensure all rows exist (DistFound check, §3).
+        // Ensure all rows exist (DistFound check, §3). A miss costs one full
+        // Dist row (n distances); a hit costs nothing — Theorem 3.1.
         let rows: Vec<usize> = medoids
             .iter()
-            .map(|&m| self.cache.ensure_row(data, m, exec).0)
+            .map(|&m| {
+                let (row, fresh) = self.cache.ensure_row(data, m, exec);
+                if fresh {
+                    rec.add(counters::DIST_CACHE_MISSES, 1);
+                    rec.add(counters::DISTANCES_COMPUTED, data.n() as u64);
+                } else {
+                    rec.add(counters::DIST_CACHE_HITS, 1);
+                }
+                row
+            })
             .collect();
 
         // δ_i from the cached rows: same f32 values the baseline computes
@@ -234,9 +253,11 @@ impl XEngine for FastEngine {
                     }
                 }
             }
+            let l_before = self.cache.lsize(rows[i]);
             let (xi, li) = self
                 .cache
                 .advance_row(data, rows[i], medoids[i], delta, exec);
+            rec.add(counters::DELTA_L_POINTS, l_before.abs_diff(li) as u64);
             x[i * d..(i + 1) * d].copy_from_slice(&xi);
             lsz[i] = li;
         }
@@ -275,29 +296,47 @@ pub mod bench_support {
     }
 }
 
-/// Runs sequential FAST-PROCLUS (§3): identical output to [`crate::proclus`]
+pub(crate) fn run_fast(
+    data: &DataMatrix,
+    params: &Params,
+    exec: &Executor,
+    rec: &dyn Recorder,
+) -> Result<Clustering> {
+    run_full(data, params, exec, &mut FastEngine::new(data), rec)
+}
+
+/// Runs sequential FAST-PROCLUS (§3): identical output to the baseline
 /// for the same seed, but with distances computed once per potential medoid
 /// and `H` maintained incrementally.
+///
+/// Deprecated shim: use [`crate::run`] with
+/// [`Algo::Fast`](crate::Algo::Fast) (the default).
+#[deprecated(since = "0.1.0", note = "use proclus::run with Algo::Fast")]
 pub fn fast_proclus(data: &DataMatrix, params: &Params) -> Result<Clustering> {
-    run_full(
+    run_fast(
         data,
         params,
         &Executor::Sequential,
-        &mut FastEngine::new(data),
+        &proclus_telemetry::NullRecorder,
     )
 }
 
 /// Multi-core FAST-PROCLUS.
+///
+/// Deprecated shim: use [`crate::run`] with
+/// [`Config::with_threads`](crate::Config::with_threads).
+#[deprecated(since = "0.1.0", note = "use proclus::run with Config::with_threads")]
 pub fn fast_proclus_par(data: &DataMatrix, params: &Params, threads: usize) -> Result<Clustering> {
-    run_full(
+    run_fast(
         data,
         params,
         &Executor::Parallel { threads },
-        &mut FastEngine::new(data),
+        &proclus_telemetry::NullRecorder,
     )
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // the shims must keep working until removed
 mod tests {
     use super::*;
     use crate::baseline::proclus;
@@ -381,7 +420,13 @@ mod tests {
         let medoids: Vec<usize> = mcur.iter().map(|&mi| m_data[mi]).collect();
 
         let mut engine = FastEngine::new(&data);
-        let (x_fast, l_fast) = engine.x_matrix(&data, &m_data, &mcur, &exec);
+        let (x_fast, l_fast) = engine.x_matrix(
+            &data,
+            &m_data,
+            &mcur,
+            &exec,
+            &proclus_telemetry::NullRecorder,
+        );
 
         let deltas = medoid_deltas(&data, &medoids);
         let (x_base, l_base) = compute_x_baseline(&data, &medoids, &deltas, &exec);

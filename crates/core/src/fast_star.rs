@@ -6,6 +6,8 @@
 //! (see [`crate::phases::bad_medoids::replace_bad_medoids`]), unchanged
 //! slots keep their caches from iteration `t − 1`.
 
+use proclus_telemetry::{counters, Recorder};
+
 use crate::dataset::DataMatrix;
 use crate::driver::{run_full, XEngine};
 use crate::error::Result;
@@ -54,13 +56,15 @@ impl XEngine for FastStarEngine {
         m_data: &[usize],
         mcur: &[usize],
         exec: &Executor,
+        rec: &dyn Recorder,
     ) -> (Vec<f64>, Vec<usize>) {
         let k = mcur.len();
         let (n, d) = (self.n, self.d);
         let medoids: Vec<usize> = mcur.iter().map(|&mi| m_data[mi]).collect();
 
         // Reset the slots whose medoid changed (the i ∈ MBad of §3.2):
-        // recompute the distance row and clear δ', |L|, H.
+        // recompute the distance row and clear δ', |L|, H. A surviving slot
+        // is a cache hit; a reset slot costs n fresh distances.
         for i in 0..k {
             if self.prev_mcur[i] != Some(mcur[i]) {
                 self.prev_mcur[i] = Some(mcur[i]);
@@ -69,6 +73,10 @@ impl XEngine for FastStarEngine {
                 self.h[i * d..(i + 1) * d].fill(0.0);
                 let m_row: Vec<f32> = data.row(medoids[i]).to_vec();
                 compute_dist_row(data, &m_row, &mut self.dist[i * n..(i + 1) * n], exec);
+                rec.add(counters::DIST_CACHE_MISSES, 1);
+                rec.add(counters::DISTANCES_COMPUTED, n as u64);
+            } else {
+                rec.add(counters::DIST_CACHE_HITS, 1);
             }
         }
 
@@ -91,6 +99,7 @@ impl XEngine for FastStarEngine {
             let dist_row = &dist[i * n..(i + 1) * n];
             let h_row = &mut h[i * d..(i + 1) * d];
             let mut lsize = self.lsize[i];
+            let l_before = lsize;
             update_h_row(
                 data,
                 dist_row,
@@ -103,6 +112,7 @@ impl XEngine for FastStarEngine {
             );
             self.prev_delta[i] = delta;
             self.lsize[i] = lsize;
+            rec.add(counters::DELTA_L_POINTS, l_before.abs_diff(lsize) as u64);
             lsz[i] = lsize;
             if lsize > 0 {
                 for j in 0..d {
@@ -114,34 +124,57 @@ impl XEngine for FastStarEngine {
     }
 }
 
-/// Runs sequential FAST*-PROCLUS (§3.2): same output as
-/// [`crate::proclus`] / [`crate::fast_proclus`] for the same seed, with
-/// `O(k·n)` instead of `O(B·k·n)` cache space at the cost of recomputing
-/// distance rows for replaced medoids.
-pub fn fast_star_proclus(data: &DataMatrix, params: &Params) -> Result<Clustering> {
+pub(crate) fn run_fast_star(
+    data: &DataMatrix,
+    params: &Params,
+    exec: &Executor,
+    rec: &dyn Recorder,
+) -> Result<Clustering> {
     run_full(
         data,
         params,
-        &Executor::Sequential,
+        exec,
         &mut FastStarEngine::new(data, params.k),
+        rec,
+    )
+}
+
+/// Runs sequential FAST*-PROCLUS (§3.2): same output as the baseline and
+/// FAST for the same seed, with `O(k·n)` instead of `O(B·k·n)` cache space
+/// at the cost of recomputing distance rows for replaced medoids.
+///
+/// Deprecated shim: use [`crate::run`] with
+/// [`Algo::FastStar`](crate::Algo::FastStar).
+#[deprecated(since = "0.1.0", note = "use proclus::run with Algo::FastStar")]
+pub fn fast_star_proclus(data: &DataMatrix, params: &Params) -> Result<Clustering> {
+    run_fast_star(
+        data,
+        params,
+        &Executor::Sequential,
+        &proclus_telemetry::NullRecorder,
     )
 }
 
 /// Multi-core FAST*-PROCLUS.
+///
+/// Deprecated shim: use [`crate::run`] with
+/// [`Config::with_threads`](crate::Config::with_threads).
+#[deprecated(since = "0.1.0", note = "use proclus::run with Config::with_threads")]
 pub fn fast_star_proclus_par(
     data: &DataMatrix,
     params: &Params,
     threads: usize,
 ) -> Result<Clustering> {
-    run_full(
+    run_fast_star(
         data,
         params,
         &Executor::Parallel { threads },
-        &mut FastStarEngine::new(data, params.k),
+        &proclus_telemetry::NullRecorder,
     )
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // the shims must keep working until removed
 mod tests {
     use super::*;
     use crate::baseline::proclus;
@@ -209,16 +242,17 @@ mod tests {
         let data = blob_data(200);
         let exec = Executor::Sequential;
         let m_data: Vec<usize> = (0..20).map(|i| i * 10).collect();
+        let rec = proclus_telemetry::NullRecorder;
         let mut engine = FastStarEngine::new(&data, 3);
         let mcur = vec![1usize, 5, 9];
-        let _ = engine.x_matrix(&data, &m_data, &mcur, &exec);
+        let _ = engine.x_matrix(&data, &m_data, &mcur, &exec, &rec);
         let deltas_after_first = engine.prev_delta.clone();
         assert!(deltas_after_first.iter().any(|&d| d > 0.0));
-        let _ = engine.x_matrix(&data, &m_data, &mcur, &exec);
+        let _ = engine.x_matrix(&data, &m_data, &mcur, &exec, &rec);
         assert_eq!(engine.prev_delta, deltas_after_first);
 
         let mcur2 = vec![1usize, 7, 9]; // slot 1 replaced
-        let _ = engine.x_matrix(&data, &m_data, &mcur2, &exec);
+        let _ = engine.x_matrix(&data, &m_data, &mcur2, &exec, &rec);
         assert_eq!(engine.prev_mcur[1], Some(7));
     }
 }

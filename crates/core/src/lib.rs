@@ -2,33 +2,41 @@
 //!
 //! A faithful Rust implementation of PROCLUS (Aggarwal et al., SIGMOD '99)
 //! and of the algorithmic accelerations from *GPU-FAST-PROCLUS* (Jørgensen
-//! et al., EDBT '22):
+//! et al., EDBT '22).
 //!
-//! * [`proclus`] — the baseline: sample → greedy medoid candidates →
-//!   iterative medoid search (ComputeL, FindDimensions, AssignPoints,
+//! Every variant is reached through one entry point, [`run`], configured by
+//! a [`Config`]:
+//!
+//! * [`Algo::Baseline`] — sample → greedy medoid candidates → iterative
+//!   medoid search (ComputeL, FindDimensions, AssignPoints,
 //!   EvaluateClusters, bad-medoid replacement) → refinement with outlier
 //!   removal.
-//! * [`fast_proclus`] — FAST-PROCLUS (§3): distances to potential medoids
+//! * [`Algo::Fast`] — FAST-PROCLUS (§3): distances to potential medoids
 //!   computed once and cached (`Dist`/`DistFound`), and the per-dimension
 //!   distance sums `H` maintained incrementally from the sphere delta
 //!   `ΔL_i` (Theorems 3.1/3.2).
-//! * [`fast_star_proclus`] — FAST*-PROCLUS (§3.2): the space-reduced
-//!   variant keeping only the current `k` medoids' caches.
-//! * `*_par` variants — the paper's multi-core CPU parallelizations
+//! * [`Algo::FastStar`] — FAST*-PROCLUS (§3.2): the space-reduced variant
+//!   keeping only the current `k` medoids' caches.
+//! * [`Config::with_threads`] — the paper's multi-core CPU parallelizations
 //!   (per-thread partials + reduction, the OpenMP structure) built on
 //!   [`par::Executor`].
-//! * [`multi_param`] — running a grid of `(k, l)` settings with the three
-//!   cumulative reuse levels of §3.1.
+//! * [`Config::with_grid`] — a grid of `(k, l)` settings with the three
+//!   cumulative reuse levels of §3.1 (see [`multi_param`]).
+//! * [`Config::with_telemetry`] — phase spans and algorithm counters
+//!   (distances computed, cache hits, `ΔL` sizes, …) recorded into
+//!   [`RunOutput::telemetry`]; see the [`telemetry`] crate re-export.
 //!
 //! All variants are driven by the same seeded search path: for equal
 //! [`Params::seed`] they visit the same medoid sets and return the same
 //! clustering (up to floating-point reduction order), which the integration
-//! tests assert. The GPU counterparts live in the `proclus-gpu` crate.
+//! tests assert. The GPU counterparts live in the `proclus-gpu` crate,
+//! whose `run`/`run_on` accept this same [`Config`] with
+//! [`Backend::Gpu`].
 //!
 //! ## Quick start
 //!
 //! ```
-//! use proclus::{fast_proclus, DataMatrix, Params};
+//! use proclus::{run, Config, DataMatrix, Params};
 //!
 //! // Two clusters along dim 0 of 3-D data.
 //! let rows: Vec<Vec<f32>> = (0..300)
@@ -39,7 +47,8 @@
 //!     .collect();
 //! let data = DataMatrix::from_rows(&rows).unwrap();
 //! let params = Params::new(2, 2).with_a(30).with_b(5).with_seed(42);
-//! let clustering = fast_proclus(&data, &params).unwrap();
+//! let output = run(&data, &Config::new(params)).unwrap();
+//! let clustering = output.clustering();
 //! assert_eq!(clustering.k(), 2);
 //! assert_eq!(clustering.labels.len(), 300);
 //! ```
@@ -48,6 +57,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod baseline;
+pub mod config;
 pub mod dataset;
 pub mod distance;
 mod driver;
@@ -62,13 +72,25 @@ pub mod params;
 pub mod phases;
 pub mod result;
 pub mod rng;
+mod run;
 
+/// Re-export of the `proclus-telemetry` crate: recorder trait, collecting
+/// [`telemetry::Telemetry`], counter names, and the report exporters.
+pub use proclus_telemetry as telemetry;
+
+#[allow(deprecated)]
 pub use baseline::{proclus, proclus_par};
+pub use config::{Algo, Backend, Config, Grid, RunOutput};
 pub use dataset::DataMatrix;
 pub use error::{ProclusError, Result};
+#[allow(deprecated)]
 pub use fast::{fast_proclus, fast_proclus_par};
+#[allow(deprecated)]
 pub use fast_star::{fast_star_proclus, fast_star_proclus_par};
 pub use multi_param::{default_grid, fast_proclus_multi, proclus_multi, ReuseLevel, Setting};
-pub use params::{BadMedoidRule, Params};
+pub use params::{BadMedoidRule, Params, ParamsBuilder};
 pub use result::{Clustering, OUTLIER};
 pub use rng::ProclusRng;
+pub use run::run;
+#[doc(hidden)]
+pub use run::{executor_for, run_cpu_with, stamp_meta};

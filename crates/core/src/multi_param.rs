@@ -19,6 +19,8 @@
 //! [`ReuseLevel::Independent`] runs every setting from scratch (the
 //! comparison baseline in Fig. 3a–e).
 
+use proclus_telemetry::{span, NullRecorder, Recorder};
+
 use crate::baseline::BaselineEngine;
 use crate::dataset::DataMatrix;
 use crate::driver::{initialization_phase, run_core};
@@ -76,6 +78,20 @@ pub fn fast_proclus_multi(
     level: ReuseLevel,
     exec: &Executor,
 ) -> Result<Vec<Clustering>> {
+    fast_proclus_multi_rec(data, base, settings, level, exec, &NullRecorder)
+}
+
+/// [`fast_proclus_multi`] with telemetry: each setting is recorded as its
+/// own `run` span (the shared greedy pass, when present, gets a
+/// free-standing `initialization` span before the first run).
+pub(crate) fn fast_proclus_multi_rec(
+    data: &DataMatrix,
+    base: &Params,
+    settings: &[Setting],
+    level: ReuseLevel,
+    exec: &Executor,
+    rec: &dyn Recorder,
+) -> Result<Vec<Clustering>> {
     for &s in settings {
         derive_params(base, s).validate(data)?;
     }
@@ -84,10 +100,20 @@ pub fn fast_proclus_multi(
 
     if level == ReuseLevel::Independent {
         for &s in settings {
+            let _run = span(rec, "run");
             let params = derive_params(base, s);
             let mut engine = FastEngine::new(data);
-            let m_data = initialization_phase(data, &params, &mut rng, exec);
-            let (c, _) = run_core(data, &params, exec, &mut rng, &mut engine, &m_data, None)?;
+            let m_data = initialization_phase(data, &params, &mut rng, exec, rec);
+            let (c, _) = run_core(
+                data,
+                &params,
+                exec,
+                &mut rng,
+                &mut engine,
+                &m_data,
+                None,
+                rec,
+            )?;
             results.push(c);
         }
         return Ok(results);
@@ -104,6 +130,11 @@ pub fn fast_proclus_multi(
     // Level ≥ 2: one greedy pass for the largest k; constant |M| = B·k_max.
     let shared_m: Option<Vec<usize>> = if level >= ReuseLevel::SharedGreedy {
         let count = (base.b * k_max).min(sample.len());
+        let _init = span(rec, "initialization");
+        rec.add(
+            proclus_telemetry::counters::DISTANCES_COMPUTED,
+            (count.saturating_sub(1) * sample.len()) as u64,
+        );
         Some(greedy_select(data, &sample, count, &mut rng, exec))
     } else {
         None
@@ -111,11 +142,17 @@ pub fn fast_proclus_multi(
 
     let mut prev_best_mcur: Option<Vec<usize>> = None;
     for &s in settings {
+        let _run = span(rec, "run");
         let params = derive_params(base, s);
         let m_data: Vec<usize> = match &shared_m {
             Some(m) => m.clone(),
             None => {
                 let count = (base.b * s.k).min(sample.len());
+                let _init = span(rec, "initialization");
+                rec.add(
+                    proclus_telemetry::counters::DISTANCES_COMPUTED,
+                    (count.saturating_sub(1) * sample.len()) as u64,
+                );
                 greedy_select(data, &sample, count, &mut rng, exec)
             }
         };
@@ -137,6 +174,7 @@ pub fn fast_proclus_multi(
             &mut engine,
             &m_data,
             init_mcur,
+            rec,
         )?;
         prev_best_mcur = Some(best_mcur);
         results.push(c);
@@ -171,12 +209,24 @@ pub fn proclus_multi(
     settings: &[Setting],
     exec: &Executor,
 ) -> Result<Vec<Clustering>> {
+    proclus_multi_rec(data, base, settings, exec, &NullRecorder)
+}
+
+/// [`proclus_multi`] with telemetry: one `run` span per setting.
+pub(crate) fn proclus_multi_rec(
+    data: &DataMatrix,
+    base: &Params,
+    settings: &[Setting],
+    exec: &Executor,
+    rec: &dyn Recorder,
+) -> Result<Vec<Clustering>> {
     let mut rng = ProclusRng::new(base.seed);
     let mut results = Vec::with_capacity(settings.len());
     for &s in settings {
+        let _run = span(rec, "run");
         let params = derive_params(base, s);
         params.validate(data)?;
-        let m_data = initialization_phase(data, &params, &mut rng, exec);
+        let m_data = initialization_phase(data, &params, &mut rng, exec, rec);
         let (c, _) = run_core(
             data,
             &params,
@@ -185,6 +235,7 @@ pub fn proclus_multi(
             &mut BaselineEngine,
             &m_data,
             None,
+            rec,
         )?;
         results.push(c);
     }

@@ -119,8 +119,9 @@ impl Params {
         (self.b * self.k).min(self.sample_size(n))
     }
 
-    /// Validates the parameters against a dataset.
-    pub fn validate(&self, data: &DataMatrix) -> Result<()> {
+    /// Validates the data-independent constraints (`k ≥ 2`, `l ≥ 2`,
+    /// `0 < B ≤ A`, `minDev ∈ (0, 1]`, positive iteration bounds).
+    pub fn validate_basic(&self) -> Result<()> {
         if self.k < 2 {
             return Err(ProclusError::params(format!(
                 "k must be >= 2 (the medoid radius delta_i is the distance \
@@ -133,13 +134,6 @@ impl Params {
                 "l must be >= 2 (every medoid receives at least two \
                  dimensions), got l = {}",
                 self.l
-            )));
-        }
-        if self.l > data.d() {
-            return Err(ProclusError::params(format!(
-                "l = {} exceeds the data dimensionality d = {}",
-                self.l,
-                data.d()
             )));
         }
         if self.a == 0 || self.b == 0 {
@@ -165,6 +159,20 @@ impl Params {
                 "max_total_iterations must be positive".to_string(),
             ));
         }
+        Ok(())
+    }
+
+    /// Validates the parameters against a dataset (the basic constraints
+    /// plus `l ≤ d` and enough potential medoids for `k`).
+    pub fn validate(&self, data: &DataMatrix) -> Result<()> {
+        self.validate_basic()?;
+        if self.l > data.d() {
+            return Err(ProclusError::params(format!(
+                "l = {} exceeds the data dimensionality d = {}",
+                self.l,
+                data.d()
+            )));
+        }
         if self.num_potential_medoids(data.n()) < self.k {
             return Err(ProclusError::params(format!(
                 "need at least k = {} potential medoids but the dataset \
@@ -175,6 +183,93 @@ impl Params {
             )));
         }
         Ok(())
+    }
+
+    /// Starts a validating builder (see [`ParamsBuilder`]).
+    pub fn builder(k: usize, l: usize) -> ParamsBuilder {
+        ParamsBuilder::new(k, l)
+    }
+}
+
+/// Validating builder for [`Params`]: the same knobs as the `with_*`
+/// methods, but terminated by [`build`](ParamsBuilder::build) /
+/// [`build_for`](ParamsBuilder::build_for), which return
+/// [`ProclusError::InvalidParams`] instead of deferring the failure to run
+/// time.
+///
+/// ```
+/// use proclus::{Params, ProclusError};
+/// let p = Params::builder(10, 5).seed(7).a(50).build().unwrap();
+/// assert_eq!(p.a, 50);
+/// let err = Params::builder(1, 5).build().unwrap_err();
+/// assert!(matches!(err, ProclusError::InvalidParams { .. }));
+/// ```
+#[derive(Debug, Clone)]
+pub struct ParamsBuilder {
+    inner: Params,
+}
+
+impl ParamsBuilder {
+    /// Starts from the paper defaults with the given `k` and `l`.
+    pub fn new(k: usize, l: usize) -> Self {
+        Self {
+            inner: Params::new(k, l),
+        }
+    }
+
+    /// Sets the sample constant `A`.
+    pub fn a(mut self, a: usize) -> Self {
+        self.inner.a = a;
+        self
+    }
+
+    /// Sets the potential-medoid constant `B`.
+    pub fn b(mut self, b: usize) -> Self {
+        self.inner.b = b;
+        self
+    }
+
+    /// Sets the minimum-deviation threshold.
+    pub fn min_dev(mut self, min_dev: f64) -> Self {
+        self.inner.min_dev = min_dev;
+        self
+    }
+
+    /// Sets the no-improvement patience.
+    pub fn itr_pat(mut self, itr_pat: usize) -> Self {
+        self.inner.itr_pat = itr_pat;
+        self
+    }
+
+    /// Sets the RNG seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.inner.seed = seed;
+        self
+    }
+
+    /// Sets the hard iteration cap.
+    pub fn max_total_iterations(mut self, cap: usize) -> Self {
+        self.inner.max_total_iterations = cap;
+        self
+    }
+
+    /// Sets the bad-medoid rule.
+    pub fn bad_medoid_rule(mut self, rule: BadMedoidRule) -> Self {
+        self.inner.bad_medoid_rule = rule;
+        self
+    }
+
+    /// Validates the data-independent constraints and returns the params.
+    pub fn build(self) -> Result<Params> {
+        self.inner.validate_basic()?;
+        Ok(self.inner)
+    }
+
+    /// Validates against a dataset (adds `l ≤ d` and the `B·k ≤ A·k ≤ n`
+    /// derived potential-medoid check) and returns the params.
+    pub fn build_for(self, data: &DataMatrix) -> Result<Params> {
+        self.inner.validate(data)?;
+        Ok(self.inner)
     }
 }
 
@@ -232,5 +327,36 @@ mod tests {
     fn tiny_dataset_fails_when_not_enough_medoids() {
         let p = Params::new(10, 2);
         assert!(p.validate(&data(5, 4)).is_err());
+    }
+
+    #[test]
+    fn builder_accepts_valid_and_rejects_invalid() {
+        let p = Params::builder(4, 3)
+            .a(20)
+            .b(5)
+            .seed(9)
+            .min_dev(0.5)
+            .itr_pat(3)
+            .max_total_iterations(50)
+            .build()
+            .unwrap();
+        assert_eq!((p.k, p.l, p.a, p.b, p.seed), (4, 3, 20, 5, 9));
+
+        assert!(Params::builder(1, 3).build().is_err());
+        assert!(Params::builder(4, 1).build().is_err());
+        assert!(Params::builder(4, 3).a(5).b(10).build().is_err());
+        assert!(Params::builder(4, 3).min_dev(0.0).build().is_err());
+        assert!(Params::builder(4, 3).itr_pat(0).build().is_err());
+    }
+
+    #[test]
+    fn builder_build_for_adds_data_checks() {
+        let d = data(1000, 4);
+        assert!(Params::builder(4, 3).build_for(&d).is_ok());
+        // l > d only fails with the dataset in hand.
+        assert!(Params::builder(4, 5).build().is_ok());
+        assert!(Params::builder(4, 5).build_for(&d).is_err());
+        // Too few points for k potential medoids.
+        assert!(Params::builder(10, 2).build_for(&data(5, 4)).is_err());
     }
 }

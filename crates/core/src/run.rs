@@ -1,0 +1,287 @@
+//! The unified CPU entry point: [`run`] dispatches a [`Config`] to the
+//! right variant × executor × (single | grid) combination and optionally
+//! records telemetry.
+
+use std::time::Instant;
+
+use proclus_telemetry::{NullRecorder, Recorder, Telemetry};
+
+use crate::baseline::run_baseline;
+use crate::config::{Algo, Backend, Config, RunOutput};
+use crate::dataset::DataMatrix;
+use crate::error::{ProclusError, Result};
+use crate::fast::run_fast;
+use crate::fast_star::run_fast_star;
+use crate::multi_param::{fast_proclus_multi_rec, proclus_multi_rec, ReuseLevel};
+use crate::par::Executor;
+
+/// Builds the executor a [`Config`] asks for (`0`/`1` threads →
+/// sequential).
+pub fn executor_for(config: &Config) -> Executor {
+    if config.threads > 1 {
+        Executor::Parallel {
+            threads: config.threads,
+        }
+    } else {
+        Executor::Sequential
+    }
+}
+
+/// Stamps the run metadata every backend reports identically.
+pub fn stamp_meta(tel: &Telemetry, data: &DataMatrix, config: &Config) {
+    tel.set_meta("algo", config.algo.name());
+    tel.set_meta("backend", config.backend.name());
+    tel.set_meta("seed", config.params.seed);
+    tel.set_meta("n", data.n());
+    tel.set_meta("d", data.d());
+    tel.set_meta("k", config.params.k);
+    tel.set_meta("l", config.params.l);
+    tel.set_meta("threads", config.threads);
+    if let Some(grid) = &config.grid {
+        tel.set_meta("grid_settings", grid.settings.len());
+    }
+}
+
+/// Runs the configured algorithm on the CPU.
+///
+/// This is the single entry point replacing the per-variant functions
+/// (`proclus`, `fast_proclus`, `fast_star_proclus` and their `_par`
+/// siblings): variant, thread count, parameter grid, and telemetry are all
+/// chosen by the [`Config`]. [`Backend::Gpu`] is rejected with
+/// [`ProclusError::Unsupported`] — the `proclus-gpu` crate's `run`/`run_on`
+/// accept the same `Config` and handle both backends.
+///
+/// ```
+/// use proclus::{run, Algo, Config, DataMatrix, Params};
+///
+/// let rows: Vec<Vec<f32>> = (0..300)
+///     .map(|i| {
+///         let c = (i % 2) as f32 * 20.0;
+///         vec![c + (i % 5) as f32 * 0.1, (i % 11) as f32, c + (i % 3) as f32 * 0.1]
+///     })
+///     .collect();
+/// let data = DataMatrix::from_rows(&rows).unwrap();
+/// let config = Config::new(Params::new(2, 2).with_a(30).with_b(5).with_seed(42))
+///     .with_algo(Algo::Fast)
+///     .with_telemetry(true);
+/// let output = run(&data, &config).unwrap();
+/// assert_eq!(output.clustering().k(), 2);
+/// let report = output.telemetry.unwrap();
+/// assert!(report.total(proclus::telemetry::counters::DISTANCES_COMPUTED) > 0);
+/// ```
+pub fn run(data: &DataMatrix, config: &Config) -> Result<RunOutput> {
+    if config.backend != Backend::Cpu {
+        return Err(ProclusError::unsupported(
+            "proclus::run executes on the CPU only; use proclus_gpu::run \
+             (or run_on) for Backend::Gpu",
+        ));
+    }
+    let t0 = Instant::now();
+    let tel = config.telemetry.then(|| {
+        let t = Telemetry::new();
+        stamp_meta(&t, data, config);
+        t
+    });
+    let null = NullRecorder;
+    let rec: &dyn Recorder = tel.as_ref().map_or(&null as &dyn Recorder, |t| t);
+
+    let clusterings = run_cpu_with(data, config, rec)?;
+
+    Ok(RunOutput {
+        clusterings,
+        telemetry: tel.map(Telemetry::finish),
+        wall_ms: t0.elapsed().as_secs_f64() * 1e3,
+    })
+}
+
+/// CPU dispatch against an externally owned recorder — shared with the
+/// `proclus-gpu` crate, whose `run` delegates CPU configs here while
+/// keeping its own telemetry collector (so GPU and CPU runs land in one
+/// report format).
+#[doc(hidden)]
+pub fn run_cpu_with(
+    data: &DataMatrix,
+    config: &Config,
+    rec: &dyn Recorder,
+) -> Result<Vec<crate::result::Clustering>> {
+    let exec = executor_for(config);
+    match &config.grid {
+        None => {
+            let c = match config.algo {
+                Algo::Baseline => run_baseline(data, &config.params, &exec, rec)?,
+                Algo::Fast => run_fast(data, &config.params, &exec, rec)?,
+                Algo::FastStar => run_fast_star(data, &config.params, &exec, rec)?,
+            };
+            Ok(vec![c])
+        }
+        Some(grid) => match config.algo {
+            Algo::Baseline => {
+                if grid.reuse != ReuseLevel::Independent {
+                    return Err(ProclusError::unsupported(
+                        "the baseline cannot share computation across settings; \
+                         use ReuseLevel::Independent or Algo::Fast",
+                    ));
+                }
+                proclus_multi_rec(data, &config.params, &grid.settings, &exec, rec)
+            }
+            Algo::Fast => {
+                fast_proclus_multi_rec(data, &config.params, &grid.settings, grid.reuse, &exec, rec)
+            }
+            Algo::FastStar => Err(ProclusError::unsupported(
+                "multi-parameter grids are defined for Algo::Fast (the \
+                 Dist/H cache is what settings share, §3.1) and \
+                 Algo::Baseline (independent runs); FAST* keeps no \
+                 cross-setting state",
+            )),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Grid;
+    use crate::multi_param::Setting;
+    use crate::params::Params;
+    use proclus_telemetry::counters;
+
+    fn blob_data(n: usize) -> DataMatrix {
+        let rows: Vec<Vec<f32>> = (0..n)
+            .map(|i| {
+                let c = if i % 2 == 0 { 0.0f32 } else { 50.0 };
+                let noise = |s: usize| ((i * s) % 17) as f32 * 0.05;
+                vec![
+                    c + noise(3),
+                    c + noise(5),
+                    ((i * 7) % 100) as f32,
+                    ((i * 11) % 100) as f32,
+                ]
+            })
+            .collect();
+        DataMatrix::from_rows(&rows).unwrap()
+    }
+
+    fn small_params() -> Params {
+        Params::new(2, 2).with_a(30).with_b(5).with_seed(7)
+    }
+
+    #[test]
+    fn run_matches_the_deprecated_entry_points() {
+        #![allow(deprecated)]
+        let data = blob_data(400);
+        let p = small_params();
+        let via_run = run(&data, &Config::new(p.clone()).with_algo(Algo::Baseline)).unwrap();
+        let via_shim = crate::baseline::proclus(&data, &p).unwrap();
+        assert_eq!(via_run.clustering(), &via_shim);
+
+        let fast_run = run(&data, &Config::new(p.clone())).unwrap();
+        let fast_shim = crate::fast::fast_proclus(&data, &p).unwrap();
+        assert_eq!(fast_run.clustering(), &fast_shim);
+
+        let star_run = run(&data, &Config::new(p.clone()).with_algo(Algo::FastStar)).unwrap();
+        let star_shim = crate::fast_star::fast_star_proclus(&data, &p).unwrap();
+        assert_eq!(star_run.clustering(), &star_shim);
+    }
+
+    #[test]
+    fn telemetry_is_off_by_default_and_on_when_asked() {
+        let data = blob_data(300);
+        let off = run(&data, &Config::new(small_params())).unwrap();
+        assert!(off.telemetry.is_none());
+        let on = run(&data, &Config::new(small_params()).with_telemetry(true)).unwrap();
+        let report = on.telemetry.unwrap();
+        assert_eq!(report.meta.get("algo").map(String::as_str), Some("fast"));
+        assert_eq!(report.total(counters::ITERATIONS) as usize, {
+            on.clusterings[0].iterations
+        });
+        for phase in [
+            "run",
+            "initialization",
+            "iteration",
+            "compute_l",
+            "find_dimensions",
+            "assign_points",
+            "evaluate_clusters",
+            "refinement",
+            "remove_outliers",
+        ] {
+            assert!(report.find_span(phase).is_some(), "missing span {phase}");
+        }
+        assert!(report.total(counters::DIST_CACHE_HITS) > 0);
+        assert!(report.total(counters::POINTS_REASSIGNED) >= data.n() as u64);
+    }
+
+    #[test]
+    fn telemetry_does_not_change_the_result() {
+        let data = blob_data(300);
+        let quiet = run(&data, &Config::new(small_params())).unwrap();
+        let loud = run(&data, &Config::new(small_params()).with_telemetry(true)).unwrap();
+        assert_eq!(quiet.clusterings, loud.clusterings);
+    }
+
+    #[test]
+    fn fast_computes_strictly_fewer_distances_than_baseline() {
+        // Theorem 3.1 made observable: same seed, same search path, fewer
+        // full-dimensional distance evaluations.
+        let data = blob_data(400);
+        let base = run(
+            &data,
+            &Config::new(small_params())
+                .with_algo(Algo::Baseline)
+                .with_telemetry(true),
+        )
+        .unwrap();
+        let fast = run(&data, &Config::new(small_params()).with_telemetry(true)).unwrap();
+        assert_eq!(base.clusterings, fast.clusterings);
+        let db = base.telemetry.unwrap().total(counters::DISTANCES_COMPUTED);
+        let df = fast.telemetry.unwrap().total(counters::DISTANCES_COMPUTED);
+        assert!(df < db, "fast {df} must be < baseline {db}");
+    }
+
+    #[test]
+    fn grid_runs_every_setting() {
+        let data = blob_data(500);
+        let grid = Grid::new(
+            vec![Setting::new(3, 2), Setting::new(4, 3)],
+            ReuseLevel::SharedCache,
+        );
+        let out = run(
+            &data,
+            &Config::new(Params::new(4, 2).with_a(20).with_b(4).with_seed(5))
+                .with_grid(grid)
+                .with_telemetry(true),
+        )
+        .unwrap();
+        assert_eq!(out.clusterings.len(), 2);
+        assert_eq!(out.clusterings[1].k(), 4);
+        // One root run span per setting.
+        let report = out.telemetry.unwrap();
+        assert_eq!(report.spans.iter().filter(|s| s.name == "run").count(), 2);
+    }
+
+    #[test]
+    fn unsupported_combinations_are_reported_not_panicked() {
+        let data = blob_data(300);
+        let gpu = Config::new(small_params()).with_backend(Backend::Gpu);
+        assert!(matches!(
+            run(&data, &gpu),
+            Err(ProclusError::Unsupported { .. })
+        ));
+        let star_grid = Config::new(small_params())
+            .with_algo(Algo::FastStar)
+            .with_grid(Grid::new(vec![Setting::new(2, 2)], ReuseLevel::Independent));
+        assert!(matches!(
+            run(&data, &star_grid),
+            Err(ProclusError::Unsupported { .. })
+        ));
+    }
+
+    #[test]
+    fn threads_follow_the_same_search_path() {
+        let data = blob_data(400);
+        let seq = run(&data, &Config::new(small_params())).unwrap();
+        let par = run(&data, &Config::new(small_params()).with_threads(4)).unwrap();
+        assert_eq!(seq.clustering().medoids, par.clustering().medoids);
+        assert_eq!(seq.clustering().labels, par.clustering().labels);
+    }
+}

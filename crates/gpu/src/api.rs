@@ -1,15 +1,22 @@
-//! Public entry points for the single-parameter GPU algorithms.
+//! Public entry points for the GPU algorithms: the unified [`run`] /
+//! [`run_on`] pair consuming the CPU crate's `Config`, plus the deprecated
+//! per-variant shims.
 
-use gpu_sim::Device;
+use std::time::Instant;
+
+use gpu_sim::{Device, DeviceConfig, DeviceReport};
+use proclus::multi_param::ReuseLevel;
 use proclus::params::Params;
 use proclus::phases::initialization::sample_data_prime;
 use proclus::result::Clustering;
-use proclus::{DataMatrix, ProclusRng};
+use proclus::{Algo, Backend, Config, DataMatrix, ProclusError, ProclusRng, RunOutput};
+use proclus_telemetry::{attrs, counters, span, NullRecorder, Recorder, Telemetry};
 
 use crate::driver::{run_core_gpu, GpuVariant};
 use crate::error::{GpuProclusError, Result};
 use crate::kernels::greedy::greedy_gpu;
 use crate::kernels::ASSIGN_BLOCK;
+use crate::multi_param::{gpu_fast_proclus_multi_rec, gpu_proclus_multi_rec};
 use crate::rows::RowCache;
 use crate::workspace::Workspace;
 
@@ -37,13 +44,16 @@ pub(crate) fn validate_gpu(dev: &Device, data: &DataMatrix, params: &Params) -> 
     Ok(())
 }
 
-fn run_variant(
+pub(crate) fn run_variant(
     dev: &mut Device,
     data: &DataMatrix,
     params: &Params,
     variant: GpuVariant,
+    rec: &dyn Recorder,
 ) -> Result<Clustering> {
     validate_gpu(dev, data, params)?;
+    let run_span = span(rec, "run");
+    let run_t = dev.elapsed_us();
     let n = data.n();
     let sample_size = params.sample_size(n);
     let m_size = params.num_potential_medoids(n);
@@ -55,38 +65,342 @@ fn run_variant(
     };
 
     let mut rng = ProclusRng::new(params.seed);
+    let init_span = span(rec, "initialization");
+    let init_t = dev.elapsed_us();
     let sample = sample_data_prime(&mut rng, n, sample_size);
     let m_data = greedy_gpu(dev, &ws, &sample, m_size, &mut rng);
+    // Greedy evaluates every remaining candidate against each chosen medoid
+    // over the sample (Alg. 2), same closed form as the CPU driver.
+    rec.add(
+        counters::DISTANCES_COMPUTED,
+        ((m_size.saturating_sub(1)) * sample.len()) as u64,
+    );
+    rec.annotate(init_span.id(), attrs::SIM_US, dev.elapsed_us() - init_t);
+    drop(init_span);
 
     let result = run_core_gpu(
-        dev, &ws, &mut cache, variant, params, &mut rng, &m_data, None,
+        dev, &ws, &mut cache, variant, params, &mut rng, &m_data, None, rec,
     );
     // Free device memory whether or not the run succeeded.
     cache.free(dev)?;
     ws.free(dev)?;
+    rec.annotate(run_span.id(), attrs::SIM_US, dev.elapsed_us() - run_t);
     result.map(|(c, _)| c)
 }
 
+fn variant_for(algo: Algo) -> GpuVariant {
+    match algo {
+        Algo::Baseline => GpuVariant::Plain,
+        Algo::Fast => GpuVariant::Fast,
+        Algo::FastStar => GpuVariant::FastStar,
+    }
+}
+
+fn run_gpu_with(
+    dev: &mut Device,
+    data: &DataMatrix,
+    config: &Config,
+    rec: &dyn Recorder,
+) -> Result<Vec<Clustering>> {
+    match &config.grid {
+        None => Ok(vec![run_variant(
+            dev,
+            data,
+            &config.params,
+            variant_for(config.algo),
+            rec,
+        )?]),
+        Some(grid) => match config.algo {
+            Algo::Baseline => {
+                if grid.reuse != ReuseLevel::Independent {
+                    return Err(GpuProclusError::Unsupported {
+                        reason: "the baseline cannot share computation across settings; \
+                                 use ReuseLevel::Independent or Algo::Fast"
+                            .into(),
+                    });
+                }
+                gpu_proclus_multi_rec(dev, data, &config.params, &grid.settings, rec)
+            }
+            Algo::Fast => gpu_fast_proclus_multi_rec(
+                dev,
+                data,
+                &config.params,
+                &grid.settings,
+                grid.reuse,
+                rec,
+            ),
+            Algo::FastStar => Err(GpuProclusError::Unsupported {
+                reason: "multi-parameter grids are defined for Algo::Fast (the \
+                         Dist/H cache is what settings share, §3.1) and \
+                         Algo::Baseline (independent runs); FAST* keeps no \
+                         cross-setting state"
+                    .into(),
+            }),
+        },
+    }
+}
+
+/// Emits one instantaneous `kernel:<name>` span per kernel family the
+/// device launched between the two snapshots, bridging gpu-sim's aggregated
+/// statistics (launch counts, modeled kernel time) into the span tree.
+fn bridge_kernels(rec: &dyn Recorder, before: &DeviceReport, after: &DeviceReport) {
+    for (name, agg) in &after.kernels {
+        let (launches, time_us) = match before.kernels.get(name) {
+            Some(b) => (
+                agg.launches - b.launches,
+                agg.total_time_us - b.total_time_us,
+            ),
+            None => (agg.launches, agg.total_time_us),
+        };
+        if launches == 0 {
+            continue;
+        }
+        rec.emit(
+            &format!("kernel:{name}"),
+            &[(counters::KERNEL_LAUNCHES, launches)],
+            &[(attrs::KERNEL_TIME_US, time_us)],
+        );
+    }
+}
+
+/// Runs the configured algorithm on an existing device.
+///
+/// The GPU half of the unified entry point: accepts the same
+/// [`Config`] as [`proclus::run`], executes [`Backend::Gpu`] configs on
+/// `dev`, and delegates [`Backend::Cpu`] configs to the CPU crate — so one
+/// call site serves both backends and produces one report format.
+/// Telemetry reports carry the same phase spans as the CPU backend, each
+/// annotated with simulated device microseconds, plus one bridged
+/// `kernel:<name>` span per kernel family with its launch count and modeled
+/// kernel time.
+pub fn run_on(dev: &mut Device, data: &DataMatrix, config: &Config) -> proclus::Result<RunOutput> {
+    if config.backend == Backend::Cpu {
+        return proclus::run(data, config);
+    }
+    let t0 = Instant::now();
+    let tel = config.telemetry.then(|| {
+        let t = Telemetry::new();
+        proclus::stamp_meta(&t, data, config);
+        t.set_meta("device", &dev.config().name);
+        t
+    });
+    let null = NullRecorder;
+    let rec: &dyn Recorder = tel.as_ref().map_or(&null as &dyn Recorder, |t| t);
+
+    let before = rec.enabled().then(|| dev.report());
+    let clusterings = run_gpu_with(dev, data, config, rec).map_err(ProclusError::from)?;
+    if let Some(before) = &before {
+        bridge_kernels(rec, before, &dev.report());
+    }
+
+    Ok(RunOutput {
+        clusterings,
+        telemetry: tel.map(Telemetry::finish),
+        wall_ms: t0.elapsed().as_secs_f64() * 1e3,
+    })
+}
+
+/// Runs the configured algorithm, creating a fresh simulated device
+/// (the paper's GTX 1660 Ti) for [`Backend::Gpu`] configs.
+///
+/// Use [`run_on`] to keep the device (its clock, statistics and memory
+/// pool) across runs.
+pub fn run(data: &DataMatrix, config: &Config) -> proclus::Result<RunOutput> {
+    if config.backend == Backend::Cpu {
+        return proclus::run(data, config);
+    }
+    let mut dev = Device::new(DeviceConfig::gtx_1660_ti());
+    run_on(&mut dev, data, config)
+}
+
 /// Runs GPU-PROCLUS (§4.1) on the simulated device. Produces the same
-/// clustering as [`proclus::proclus`] for the same seed.
+/// clustering as the CPU baseline for the same seed.
+///
+/// Deprecated shim: use [`run_on`] with
+/// [`Algo::Baseline`](proclus::Algo::Baseline) and [`Backend::Gpu`].
+#[deprecated(since = "0.1.0", note = "use proclus_gpu::run_on with Algo::Baseline")]
 pub fn gpu_proclus(dev: &mut Device, data: &DataMatrix, params: &Params) -> Result<Clustering> {
-    run_variant(dev, data, params, GpuVariant::Plain)
+    run_variant(dev, data, params, GpuVariant::Plain, &NullRecorder)
 }
 
 /// Runs GPU-FAST-PROCLUS (§4.2): cached distance rows + incremental `H`.
+///
+/// Deprecated shim: use [`run_on`] with
+/// [`Algo::Fast`](proclus::Algo::Fast) and [`Backend::Gpu`].
+#[deprecated(since = "0.1.0", note = "use proclus_gpu::run_on with Algo::Fast")]
 pub fn gpu_fast_proclus(
     dev: &mut Device,
     data: &DataMatrix,
     params: &Params,
 ) -> Result<Clustering> {
-    run_variant(dev, data, params, GpuVariant::Fast)
+    run_variant(dev, data, params, GpuVariant::Fast, &NullRecorder)
 }
 
 /// Runs GPU-FAST*-PROCLUS (§3.2 + §4.2): the space-reduced variant.
+///
+/// Deprecated shim: use [`run_on`] with
+/// [`Algo::FastStar`](proclus::Algo::FastStar) and [`Backend::Gpu`].
+#[deprecated(since = "0.1.0", note = "use proclus_gpu::run_on with Algo::FastStar")]
 pub fn gpu_fast_star_proclus(
     dev: &mut Device,
     data: &DataMatrix,
     params: &Params,
 ) -> Result<Clustering> {
-    run_variant(dev, data, params, GpuVariant::FastStar)
+    run_variant(dev, data, params, GpuVariant::FastStar, &NullRecorder)
+}
+
+#[cfg(test)]
+#[allow(deprecated)] // the shims must keep working until removed
+mod tests {
+    use super::*;
+    use proclus::multi_param::Setting;
+    use proclus::Grid;
+
+    fn blob_data(n: usize) -> DataMatrix {
+        let rows: Vec<Vec<f32>> = (0..n)
+            .map(|i| {
+                let c = if i % 2 == 0 { 0.0f32 } else { 50.0 };
+                let noise = |s: usize| ((i * s) % 17) as f32 * 0.05;
+                vec![
+                    c + noise(3),
+                    c + noise(5),
+                    ((i * 7) % 100) as f32,
+                    ((i * 11) % 100) as f32,
+                ]
+            })
+            .collect();
+        DataMatrix::from_rows(&rows).unwrap()
+    }
+
+    fn small_params() -> Params {
+        Params::new(2, 2).with_a(30).with_b(5).with_seed(7)
+    }
+
+    fn gpu_config() -> Config {
+        Config::new(small_params()).with_backend(Backend::Gpu)
+    }
+
+    #[test]
+    fn run_matches_the_deprecated_entry_points() {
+        let data = blob_data(400);
+        let p = small_params();
+        let mut dev = Device::new(DeviceConfig::gtx_1660_ti());
+
+        let via_run = run(&data, &gpu_config().with_algo(Algo::Baseline)).unwrap();
+        let via_shim = gpu_proclus(&mut dev, &data, &p).unwrap();
+        assert_eq!(via_run.clustering(), &via_shim);
+
+        let fast_run = run(&data, &gpu_config()).unwrap();
+        let fast_shim = gpu_fast_proclus(&mut dev, &data, &p).unwrap();
+        assert_eq!(fast_run.clustering(), &fast_shim);
+
+        let star_run = run(&data, &gpu_config().with_algo(Algo::FastStar)).unwrap();
+        let star_shim = gpu_fast_star_proclus(&mut dev, &data, &p).unwrap();
+        assert_eq!(star_run.clustering(), &star_shim);
+    }
+
+    #[test]
+    fn telemetry_covers_every_phase_and_kernel_family() {
+        let data = blob_data(400);
+        let out = run(&data, &gpu_config().with_telemetry(true)).unwrap();
+        let report = out.telemetry.unwrap();
+        assert_eq!(report.meta.get("backend").map(String::as_str), Some("gpu"));
+        assert!(report.meta.contains_key("device"));
+        for phase in [
+            "run",
+            "initialization",
+            "iteration",
+            "compute_l",
+            "find_dimensions",
+            "assign_points",
+            "evaluate_clusters",
+            "refinement",
+            "remove_outliers",
+        ] {
+            assert!(report.find_span(phase).is_some(), "missing span {phase}");
+        }
+        // Every kernel family the device launched is bridged into the tree.
+        let mut dev = Device::new(DeviceConfig::gtx_1660_ti());
+        gpu_fast_proclus(&mut dev, &data, &small_params()).unwrap();
+        for name in dev.report().kernels.keys() {
+            let bridged = format!("kernel:{name}");
+            let s = report
+                .find_span(&bridged)
+                .unwrap_or_else(|| panic!("kernel family {name} not bridged into the span tree"));
+            assert!(s.counters.get(counters::KERNEL_LAUNCHES).copied() > Some(0));
+        }
+        assert!(report.total(counters::DIST_CACHE_HITS) > 0);
+        assert!(report.total(counters::POINTS_REASSIGNED) >= data.n() as u64);
+    }
+
+    #[test]
+    fn gpu_fast_computes_fewer_distances_than_gpu_baseline() {
+        let data = blob_data(400);
+        let base = run(
+            &data,
+            &gpu_config().with_algo(Algo::Baseline).with_telemetry(true),
+        )
+        .unwrap();
+        let fast = run(&data, &gpu_config().with_telemetry(true)).unwrap();
+        assert_eq!(base.clusterings, fast.clusterings);
+        let db = base.telemetry.unwrap().total(counters::DISTANCES_COMPUTED);
+        let df = fast.telemetry.unwrap().total(counters::DISTANCES_COMPUTED);
+        assert!(df < db, "gpu fast {df} must be < gpu baseline {db}");
+    }
+
+    #[test]
+    fn telemetry_does_not_change_the_result() {
+        let data = blob_data(300);
+        let quiet = run(&data, &gpu_config()).unwrap();
+        let loud = run(&data, &gpu_config().with_telemetry(true)).unwrap();
+        assert_eq!(quiet.clusterings, loud.clusterings);
+    }
+
+    #[test]
+    fn cpu_configs_are_delegated() {
+        let data = blob_data(300);
+        let cpu = run(&data, &Config::new(small_params()).with_telemetry(true)).unwrap();
+        assert_eq!(
+            cpu.telemetry
+                .unwrap()
+                .meta
+                .get("backend")
+                .map(String::as_str),
+            Some("cpu")
+        );
+    }
+
+    #[test]
+    fn grid_runs_every_setting_on_the_gpu() {
+        let data = blob_data(500);
+        let grid = Grid::new(
+            vec![Setting::new(3, 2), Setting::new(4, 3)],
+            ReuseLevel::SharedCache,
+        );
+        let out = run(
+            &data,
+            &Config::new(Params::new(4, 2).with_a(20).with_b(4).with_seed(5))
+                .with_backend(Backend::Gpu)
+                .with_grid(grid)
+                .with_telemetry(true),
+        )
+        .unwrap();
+        assert_eq!(out.clusterings.len(), 2);
+        let report = out.telemetry.unwrap();
+        assert_eq!(report.spans.iter().filter(|s| s.name == "run").count(), 2);
+    }
+
+    #[test]
+    fn unsupported_combinations_are_reported_not_panicked() {
+        let data = blob_data(300);
+        let star_grid = gpu_config()
+            .with_algo(Algo::FastStar)
+            .with_grid(Grid::new(vec![Setting::new(2, 2)], ReuseLevel::Independent));
+        assert!(matches!(
+            run(&data, &star_grid),
+            Err(ProclusError::Unsupported { .. })
+        ));
+        let tall = Config::new(Params::new(2000, 2)).with_backend(Backend::Gpu);
+        assert!(run(&data, &tall).is_err());
+    }
 }

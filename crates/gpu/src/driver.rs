@@ -15,6 +15,7 @@ use proclus::phases::bad_medoids::{compute_bad_medoids, replace_bad_medoids};
 use proclus::phases::find_dimensions::pick_dimensions;
 use proclus::result::Clustering;
 use proclus::ProclusRng;
+use proclus_telemetry::{attrs, counters, span, Recorder};
 
 use crate::error::Result;
 use crate::kernels::assign::assign_kernel;
@@ -58,9 +59,22 @@ fn x_phase(
     variant: GpuVariant,
     m_data: &[usize],
     mcur: &[usize],
+    rec: &dyn Recorder,
 ) -> Result<Vec<usize>> {
     let (n, d) = (ws.n, ws.d);
     let medoids: Vec<usize> = mcur.iter().map(|&mi| m_data[mi]).collect();
+    // `DistFound` hits/misses, observed before `prepare` consumes them.
+    // A miss costs one `dist_row_kernel` launch = n full-dimensional
+    // distances; the plain variant recomputes every slot and has no cache
+    // to hit.
+    if rec.enabled() {
+        let misses = cache.misses(m_data, mcur);
+        rec.add(counters::DISTANCES_COMPUTED, (misses * n) as u64);
+        if variant != GpuVariant::Plain {
+            rec.add(counters::DIST_CACHE_MISSES, misses as u64);
+            rec.add(counters::DIST_CACHE_HITS, (mcur.len() - misses) as u64);
+        }
+    }
     let row_of_slot = cache.prepare(dev, &ws.data, n, d, m_data, mcur)?;
 
     deltas_kernel(dev, cache.rows(), &row_of_slot, &medoids, &ws.deltas);
@@ -107,6 +121,10 @@ fn x_phase(
                 &ws.l_count,
             );
             let dl_counts: Vec<usize> = dev.dtoh(&ws.l_count).iter().map(|&c| c as usize).collect();
+            rec.add(
+                counters::DELTA_L_POINTS,
+                dl_counts.iter().map(|&c| c as u64).sum(),
+            );
             h_update_kernel(
                 dev,
                 &ws.data,
@@ -141,6 +159,11 @@ fn x_phase(
 /// potential medoids (data indices); `init_mcur` optionally warm-starts
 /// the search (multi-param level 3). Returns the clustering and the best
 /// medoids as indices into `m_data`.
+///
+/// Records the same phase spans as the CPU driver (`iteration`,
+/// `compute_l`, `find_dimensions`, `assign_points`, `evaluate_clusters`,
+/// `bad_medoids`, `refinement`, `remove_outliers`), each annotated with the
+/// simulated device microseconds it consumed.
 #[allow(clippy::too_many_arguments)]
 pub fn run_core_gpu(
     dev: &mut Device,
@@ -151,6 +174,7 @@ pub fn run_core_gpu(
     rng: &mut ProclusRng,
     m_data: &[usize],
     init_mcur: Option<Vec<usize>>,
+    rec: &dyn Recorder,
 ) -> Result<(Clustering, Vec<usize>)> {
     let k = params.k;
     let (n, d) = (ws.n, ws.d);
@@ -167,16 +191,29 @@ pub fn run_core_gpu(
     let mut itr = 0usize;
     let mut total = 0usize;
     let mut converged = false;
+    let mut prev_labels: Option<Vec<i32>> = None;
 
     loop {
+        let iter_span = span(rec, "iteration");
         let medoids: Vec<usize> = mcur.iter().map(|&mi| m_data[mi]).collect();
-        let _lsizes = x_phase(dev, ws, cache, variant, m_data, &mcur)?;
 
+        let g = span(rec, "compute_l");
+        let t = dev.elapsed_us();
+        let _lsizes = x_phase(dev, ws, cache, variant, m_data, &mcur, rec)?;
+        rec.annotate(g.id(), attrs::SIM_US, dev.elapsed_us() - t);
+        drop(g);
+
+        let g = span(rec, "find_dimensions");
+        let t = dev.elapsed_us();
         z_kernel(dev, &ws.x, &ws.z, k, d);
         let z = dev.dtoh(&ws.z);
         let dims = pick_dimensions(&z[..k * d], k, d, params.l);
         let offsets = upload_dims(dev, ws, &dims);
+        rec.annotate(g.id(), attrs::SIM_US, dev.elapsed_us() - t);
+        drop(g);
 
+        let g = span(rec, "assign_points");
+        let t = dev.elapsed_us();
         assign_kernel(
             dev,
             &ws.data,
@@ -189,8 +226,14 @@ pub fn run_core_gpu(
             &ws.c_list,
             &ws.c_count,
         );
+        rec.add(counters::SEGMENTAL_DISTANCES, (n * k) as u64);
+        rec.annotate(g.id(), attrs::SIM_US, dev.elapsed_us() - t);
+        drop(g);
         let mut sizes: Vec<usize> = dev.dtoh(&ws.c_count).iter().map(|&c| c as usize).collect();
         sizes.truncate(k); // the workspace is sized for the largest k
+
+        let g = span(rec, "evaluate_clusters");
+        let t = dev.elapsed_us();
         let cost = evaluate_kernel(
             dev,
             &ws.data,
@@ -202,7 +245,22 @@ pub fn run_core_gpu(
             &sizes,
             &ws.cost,
         );
+        rec.annotate(g.id(), attrs::SIM_US, dev.elapsed_us() - t);
+        drop(g);
         total += 1;
+        rec.add(counters::ITERATIONS, 1);
+
+        // Label churn, mirrored from the CPU driver: a device readback only
+        // happens when telemetry is on (the first iteration assigns all n).
+        if rec.enabled() {
+            let labels: Vec<i32> = dev.dtoh(&ws.labels);
+            let changed = match &prev_labels {
+                None => n as u64,
+                Some(prev) => prev.iter().zip(&labels).filter(|(a, b)| a != b).count() as u64,
+            };
+            rec.add(counters::POINTS_REASSIGNED, changed);
+            prev_labels = Some(labels);
+        }
 
         if cost < best_cost {
             best_cost = cost;
@@ -222,21 +280,38 @@ pub fn run_core_gpu(
             break;
         }
 
+        let g = span(rec, "bad_medoids");
         let bad = compute_bad_medoids(&best_sizes, n, params.min_dev, params.bad_medoid_rule);
+        rec.add(counters::MEDOIDS_REPLACED, bad.len() as u64);
         mcur = replace_bad_medoids(&best_mcur, &bad, m_len, rng);
+        drop(g);
+        drop(iter_span);
     }
 
     // Refinement phase: L ← CBest (rebuilt on-device from the best labels).
+    let refine_span = span(rec, "refinement");
     let medoids: Vec<usize> = best_mcur.iter().map(|&mi| m_data[mi]).collect();
+
+    let g = span(rec, "compute_l");
+    let t = dev.elapsed_us();
     lists_from_labels_kernel(dev, &ws.labels_best, n, &ws.c_list, &ws.c_count);
     let mut counts: Vec<usize> = dev.dtoh(&ws.c_count).iter().map(|&c| c as usize).collect();
     counts.truncate(k);
     x_from_lists_kernel(dev, &ws.data, d, n, &medoids, &ws.c_list, &counts, &ws.x);
+    rec.annotate(g.id(), attrs::SIM_US, dev.elapsed_us() - t);
+    drop(g);
+
+    let g = span(rec, "find_dimensions");
+    let t = dev.elapsed_us();
     z_kernel(dev, &ws.x, &ws.z, k, d);
     let z = dev.dtoh(&ws.z);
     let dims = pick_dimensions(&z[..k * d], k, d, params.l);
     let offsets = upload_dims(dev, ws, &dims);
+    rec.annotate(g.id(), attrs::SIM_US, dev.elapsed_us() - t);
+    drop(g);
 
+    let g = span(rec, "assign_points");
+    let t = dev.elapsed_us();
     assign_kernel(
         dev,
         &ws.data,
@@ -249,8 +324,14 @@ pub fn run_core_gpu(
         &ws.c_list,
         &ws.c_count,
     );
+    rec.add(counters::SEGMENTAL_DISTANCES, (n * k) as u64);
+    rec.annotate(g.id(), attrs::SIM_US, dev.elapsed_us() - t);
+    drop(g);
     let mut sizes: Vec<usize> = dev.dtoh(&ws.c_count).iter().map(|&c| c as usize).collect();
     sizes.truncate(k);
+
+    let g = span(rec, "evaluate_clusters");
+    let t = dev.elapsed_us();
     let refined_cost = evaluate_kernel(
         dev,
         &ws.data,
@@ -262,7 +343,11 @@ pub fn run_core_gpu(
         &sizes,
         &ws.cost,
     );
+    rec.annotate(g.id(), attrs::SIM_US, dev.elapsed_us() - t);
+    drop(g);
 
+    let g = span(rec, "remove_outliers");
+    let t = dev.elapsed_us();
     outlier_deltas_kernel(
         dev,
         &ws.data,
@@ -283,7 +368,11 @@ pub fn run_core_gpu(
         &ws.outlier_deltas,
         &ws.labels,
     );
+    rec.add(counters::SEGMENTAL_DISTANCES, (n * k) as u64);
+    rec.annotate(g.id(), attrs::SIM_US, dev.elapsed_us() - t);
+    drop(g);
     let labels = dev.dtoh(&ws.labels);
+    drop(refine_span);
 
     Ok((
         Clustering {

@@ -53,6 +53,20 @@ impl From<gpu_sim::GpuError> for GpuProclusError {
     }
 }
 
+impl From<GpuProclusError> for proclus::ProclusError {
+    fn from(e: GpuProclusError) -> Self {
+        match e {
+            GpuProclusError::Algorithm(e) => e,
+            GpuProclusError::Device(e) => proclus::ProclusError::Device {
+                reason: e.to_string(),
+            },
+            GpuProclusError::Unsupported { reason } => {
+                proclus::ProclusError::Unsupported { reason }
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -63,5 +77,24 @@ mod tests {
         assert!(e.to_string().contains('x'));
         let e: GpuProclusError = proclus::ProclusError::InvalidParams { reason: "k".into() }.into();
         assert!(e.to_string().contains('k'));
+    }
+
+    #[test]
+    fn converts_back_to_the_core_error() {
+        // Algorithm errors unwrap to the original core error.
+        let core = proclus::ProclusError::InvalidParams { reason: "k".into() };
+        let back: proclus::ProclusError = GpuProclusError::Algorithm(core.clone()).into();
+        assert_eq!(back.to_string(), core.to_string());
+        // Device and Unsupported map onto the core's counterparts.
+        let dev: proclus::ProclusError = GpuProclusError::from(gpu_sim::GpuError::InvalidBuffer {
+            label: "buf".into(),
+        })
+        .into();
+        assert!(matches!(dev, proclus::ProclusError::Device { .. }));
+        let uns: proclus::ProclusError = GpuProclusError::Unsupported {
+            reason: "d too large".into(),
+        }
+        .into();
+        assert!(matches!(uns, proclus::ProclusError::Unsupported { .. }));
     }
 }

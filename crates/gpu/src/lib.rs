@@ -25,10 +25,14 @@
 //!
 //! ## Example
 //!
+//! All variants are reached through [`run`] / [`run_on`], which accept the
+//! CPU crate's `Config` — the same call dispatches to either backend, and a
+//! telemetry report (phase spans annotated with simulated device time,
+//! bridged `kernel:<name>` spans) is available on request:
+//!
 //! ```
 //! use gpu_sim::{Device, DeviceConfig};
-//! use proclus::{DataMatrix, Params};
-//! use proclus_gpu::gpu_fast_proclus;
+//! use proclus::{Backend, Config, DataMatrix, Params};
 //!
 //! let rows: Vec<Vec<f32>> = (0..400)
 //!     .map(|i| {
@@ -37,11 +41,15 @@
 //!     })
 //!     .collect();
 //! let data = DataMatrix::from_rows(&rows).unwrap();
-//! let params = Params::new(2, 2).with_a(40).with_b(5);
+//! let config = Config::new(Params::new(2, 2).with_a(40).with_b(5))
+//!     .with_backend(Backend::Gpu)
+//!     .with_telemetry(true);
 //!
 //! let mut dev = Device::new(DeviceConfig::gtx_1660_ti());
-//! let clustering = gpu_fast_proclus(&mut dev, &data, &params).unwrap();
-//! assert_eq!(clustering.k(), 2);
+//! let output = proclus_gpu::run_on(&mut dev, &data, &config).unwrap();
+//! assert_eq!(output.clustering().k(), 2);
+//! let report = output.telemetry.unwrap();
+//! assert!(report.find_span("assign_points").is_some());
 //! println!("simulated device time: {:.2} ms", dev.elapsed_ms());
 //! ```
 
@@ -56,7 +64,9 @@ pub mod multi_param;
 pub mod rows;
 pub mod workspace;
 
+#[allow(deprecated)]
 pub use api::{gpu_fast_proclus, gpu_fast_star_proclus, gpu_proclus};
+pub use api::{run, run_on};
 pub use driver::GpuVariant;
 pub use error::{GpuProclusError, Result};
 pub use multi_param::{gpu_fast_proclus_multi, gpu_proclus_multi};

@@ -5,6 +5,10 @@
 //! `Dist`/`H` row cache persists across settings, so a setting whose
 //! medoids were already seen performs no distance computations at all —
 //! the effect behind GPU-FAST-PROCLUS's ~7000× speedup in Fig. 3a–e.
+//!
+//! The preferred route here is `proclus_gpu::run` / `run_on` with
+//! [`proclus::Config::with_grid`]; the free functions below remain as the
+//! direct API.
 
 use gpu_sim::Device;
 use proclus::multi_param::{ReuseLevel, Setting};
@@ -12,6 +16,7 @@ use proclus::params::Params;
 use proclus::phases::initialization::sample_data_prime;
 use proclus::result::Clustering;
 use proclus::{DataMatrix, ProclusRng};
+use proclus_telemetry::{attrs, counters, span, NullRecorder, Recorder};
 
 use crate::api::validate_gpu;
 use crate::driver::{run_core_gpu, GpuVariant};
@@ -45,14 +50,34 @@ fn warm_start(prev: &[usize], k: usize, m_len: usize, rng: &mut ProclusRng) -> V
     }
 }
 
-/// Runs GPU-FAST-PROCLUS over a grid of `(k, l)` settings with the chosen
-/// reuse level, returning one clustering per setting.
-pub fn gpu_fast_proclus_multi(
+/// Greedy selection wrapped in an `initialization` span with the same
+/// closed-form distance count as the CPU driver.
+fn greedy_with_rec(
+    dev: &mut Device,
+    ws: &Workspace,
+    sample: &[usize],
+    count: usize,
+    rng: &mut ProclusRng,
+    rec: &dyn Recorder,
+) -> Vec<usize> {
+    let g = span(rec, "initialization");
+    let t = dev.elapsed_us();
+    let m = greedy_gpu(dev, ws, sample, count, rng);
+    rec.add(
+        counters::DISTANCES_COMPUTED,
+        (count.saturating_sub(1) * sample.len()) as u64,
+    );
+    rec.annotate(g.id(), attrs::SIM_US, dev.elapsed_us() - t);
+    m
+}
+
+pub(crate) fn gpu_fast_proclus_multi_rec(
     dev: &mut Device,
     data: &DataMatrix,
     base: &Params,
     settings: &[Setting],
     level: ReuseLevel,
+    rec: &dyn Recorder,
 ) -> Result<Vec<Clustering>> {
     for &s in settings {
         validate_gpu(dev, data, &derive(base, s))?;
@@ -71,11 +96,13 @@ pub fn gpu_fast_proclus_multi(
         // allocates its own workspace and uploads the data itself.
         for &s in settings {
             let params = derive(base, s);
+            let run_span = span(rec, "run");
+            let run_t = dev.elapsed_us();
             let sample_size = params.sample_size(n);
             let m_count = params.num_potential_medoids(n);
             let ws_s = Workspace::new(dev, data, params.k, sample_size, m_count)?;
             let sample = sample_data_prime(&mut rng, n, sample_size);
-            let m_data = greedy_gpu(dev, &ws_s, &sample, m_count, &mut rng);
+            let m_data = greedy_with_rec(dev, &ws_s, &sample, m_count, &mut rng, rec);
             let mut cache = RowCache::new_fast(n, data.d(), params.k);
             let (c, _) = run_core_gpu(
                 dev,
@@ -86,9 +113,11 @@ pub fn gpu_fast_proclus_multi(
                 &mut rng,
                 &m_data,
                 None,
+                rec,
             )?;
             cache.free(dev)?;
             ws_s.free(dev)?;
+            rec.annotate(run_span.id(), attrs::SIM_US, dev.elapsed_us() - run_t);
             results.push(c);
         }
         return Ok(results);
@@ -101,7 +130,7 @@ pub fn gpu_fast_proclus_multi(
 
     // Level ≥ 2: one greedy pass for the largest k (constant |M|).
     let shared_m: Option<Vec<usize>> = if level >= ReuseLevel::SharedGreedy {
-        Some(greedy_gpu(dev, &ws, &sample, m_max, &mut rng))
+        Some(greedy_with_rec(dev, &ws, &sample, m_max, &mut rng, rec))
     } else {
         None
     };
@@ -109,6 +138,8 @@ pub fn gpu_fast_proclus_multi(
     let mut prev_best: Option<Vec<usize>> = None;
     for &s in settings {
         let params = derive(base, s);
+        let run_span = span(rec, "run");
+        let run_t = dev.elapsed_us();
         let m_data = match &shared_m {
             Some(m) => m.clone(),
             None => {
@@ -116,7 +147,7 @@ pub fn gpu_fast_proclus_multi(
                 // sample); the row cache is keyed by data index and keeps
                 // paying off across the overlapping selections.
                 let count = (base.b * s.k).min(sample.len());
-                greedy_gpu(dev, &ws, &sample, count, &mut rng)
+                greedy_with_rec(dev, &ws, &sample, count, &mut rng, rec)
             }
         };
         let init_mcur = if level >= ReuseLevel::WarmStart {
@@ -135,8 +166,10 @@ pub fn gpu_fast_proclus_multi(
             &mut rng,
             &m_data,
             init_mcur,
+            rec,
         )?;
         prev_best = Some(best_mcur);
+        rec.annotate(run_span.id(), attrs::SIM_US, dev.elapsed_us() - run_t);
         results.push(c);
     }
     cache.free(dev)?;
@@ -144,13 +177,24 @@ pub fn gpu_fast_proclus_multi(
     Ok(results)
 }
 
-/// Runs plain GPU-PROCLUS independently for every setting (the comparison
-/// baseline of Fig. 3a–e).
-pub fn gpu_proclus_multi(
+/// Runs GPU-FAST-PROCLUS over a grid of `(k, l)` settings with the chosen
+/// reuse level, returning one clustering per setting.
+pub fn gpu_fast_proclus_multi(
     dev: &mut Device,
     data: &DataMatrix,
     base: &Params,
     settings: &[Setting],
+    level: ReuseLevel,
+) -> Result<Vec<Clustering>> {
+    gpu_fast_proclus_multi_rec(dev, data, base, settings, level, &NullRecorder)
+}
+
+pub(crate) fn gpu_proclus_multi_rec(
+    dev: &mut Device,
+    data: &DataMatrix,
+    base: &Params,
+    settings: &[Setting],
+    rec: &dyn Recorder,
 ) -> Result<Vec<Clustering>> {
     for &s in settings {
         validate_gpu(dev, data, &derive(base, s))?;
@@ -164,9 +208,11 @@ pub fn gpu_proclus_multi(
     let mut results = Vec::with_capacity(settings.len());
     for &s in settings {
         let params = derive(base, s);
+        let run_span = span(rec, "run");
+        let run_t = dev.elapsed_us();
         let sample = sample_data_prime(&mut rng, n, params.sample_size(n));
         let m_count = params.num_potential_medoids(n);
-        let m_data = greedy_gpu(dev, &ws, &sample, m_count, &mut rng);
+        let m_data = greedy_with_rec(dev, &ws, &sample, m_count, &mut rng, rec);
         let mut cache = RowCache::new_plain(dev, n, params.k)?;
         let (c, _) = run_core_gpu(
             dev,
@@ -177,10 +223,23 @@ pub fn gpu_proclus_multi(
             &mut rng,
             &m_data,
             None,
+            rec,
         )?;
         cache.free(dev)?;
+        rec.annotate(run_span.id(), attrs::SIM_US, dev.elapsed_us() - run_t);
         results.push(c);
     }
     ws.free(dev)?;
     Ok(results)
+}
+
+/// Runs plain GPU-PROCLUS independently for every setting (the comparison
+/// baseline of Fig. 3a–e).
+pub fn gpu_proclus_multi(
+    dev: &mut Device,
+    data: &DataMatrix,
+    base: &Params,
+    settings: &[Setting],
+) -> Result<Vec<Clustering>> {
+    gpu_proclus_multi_rec(dev, data, base, settings, &NullRecorder)
 }

@@ -218,6 +218,24 @@ impl RowCache {
         }
     }
 
+    /// How many of `mcur`'s slots [`RowCache::prepare`] would recompute
+    /// from scratch — the telemetry `DistFound` miss count. The plain
+    /// variant recomputes every slot by design.
+    pub fn misses(&self, m_data: &[usize], mcur: &[usize]) -> usize {
+        match self {
+            RowCache::Plain { .. } => mcur.len(),
+            RowCache::Fast { slot_of, .. } => mcur
+                .iter()
+                .filter(|&&mi| !slot_of.contains_key(&m_data[mi]))
+                .count(),
+            RowCache::FastStar { slot_medoid, .. } => mcur
+                .iter()
+                .enumerate()
+                .filter(|&(i, &mi)| slot_medoid[i] != Some(mi))
+                .count(),
+        }
+    }
+
     /// The rows slice.
     pub fn rows(&self) -> &[MedoidRow] {
         match self {

@@ -1,0 +1,49 @@
+//! CI helper: validates telemetry JSON / chrome-trace files against the
+//! schema rules in `proclus_telemetry::schema`.
+//!
+//! Usage:
+//!   telemetry_validate <report.json> [more.json ...]
+//!   telemetry_validate --chrome-trace <trace.json> [more.json ...]
+//!
+//! Exits 0 when every file validates, 1 otherwise (one diagnostic line per
+//! file on stderr).
+
+use std::process::ExitCode;
+
+use proclus_telemetry::schema;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (chrome, files): (bool, &[String]) = match args.first().map(String::as_str) {
+        Some("--chrome-trace") => (true, &args[1..]),
+        _ => (false, &args[..]),
+    };
+    if files.is_empty() {
+        eprintln!("usage: telemetry_validate [--chrome-trace] <file.json> ...");
+        return ExitCode::FAILURE;
+    }
+    let mut ok = true;
+    for path in files {
+        let result = std::fs::read_to_string(path)
+            .map_err(|e| format!("read failed: {e}"))
+            .and_then(|text| {
+                if chrome {
+                    schema::validate_chrome_trace_str(&text)
+                } else {
+                    schema::validate_any_str(&text)
+                }
+            });
+        match result {
+            Ok(()) => println!("ok: {path}"),
+            Err(e) => {
+                eprintln!("FAIL: {path}: {e}");
+                ok = false;
+            }
+        }
+    }
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,254 @@
+//! The collecting recorder: builds the span tree a run leaves behind.
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+use std::time::Instant;
+
+use crate::recorder::{Recorder, SpanId};
+use crate::report::{SpanNode, TelemetryReport};
+
+#[derive(Debug)]
+struct Node {
+    name: String,
+    start_us: f64,
+    end_us: Option<f64>,
+    counters: BTreeMap<String, u64>,
+    attrs: BTreeMap<String, f64>,
+    children: Vec<usize>,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    nodes: Vec<Node>,
+    /// Indices of currently-open spans, outermost first.
+    stack: Vec<usize>,
+    roots: Vec<usize>,
+    totals: BTreeMap<String, u64>,
+    meta: BTreeMap<String, String>,
+}
+
+/// The collecting [`Recorder`]: thread-safe (a `Mutex` guards the tree —
+/// spans and counters are recorded from the orchestrating thread, so the
+/// lock is uncontended in practice) and cheap enough to leave on for every
+/// instrumented run.
+#[derive(Debug)]
+pub struct Telemetry {
+    t0: Instant,
+    inner: Mutex<Inner>,
+}
+
+impl Default for Telemetry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Telemetry {
+    /// Creates an empty collector; the clock starts now.
+    pub fn new() -> Self {
+        Self {
+            t0: Instant::now(),
+            inner: Mutex::new(Inner::default()),
+        }
+    }
+
+    fn now_us(&self) -> f64 {
+        self.t0.elapsed().as_secs_f64() * 1e6
+    }
+
+    /// Attaches a `key = value` metadata pair to the report (algorithm,
+    /// backend, seed, dataset shape, …).
+    pub fn set_meta(&self, key: &str, value: impl ToString) {
+        let mut inner = self.inner.lock().expect("telemetry lock");
+        inner.meta.insert(key.to_string(), value.to_string());
+    }
+
+    /// Closes any still-open spans and turns the collected tree into a
+    /// [`TelemetryReport`].
+    pub fn finish(self) -> TelemetryReport {
+        let end = self.now_us();
+        let mut inner = self.inner.into_inner().expect("telemetry lock");
+        while let Some(idx) = inner.stack.pop() {
+            inner.nodes[idx].end_us = Some(end);
+        }
+        let roots = inner.roots.clone();
+        let spans = roots.iter().map(|&r| build_node(&inner.nodes, r)).collect();
+        TelemetryReport {
+            meta: inner.meta,
+            totals: inner.totals,
+            spans,
+        }
+    }
+}
+
+fn build_node(nodes: &[Node], idx: usize) -> SpanNode {
+    let n = &nodes[idx];
+    SpanNode {
+        name: n.name.clone(),
+        start_us: n.start_us,
+        dur_us: n.end_us.unwrap_or(n.start_us) - n.start_us,
+        counters: n.counters.clone(),
+        attrs: n.attrs.clone(),
+        children: n.children.iter().map(|&c| build_node(nodes, c)).collect(),
+    }
+}
+
+impl Recorder for Telemetry {
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    fn span_start(&self, name: &str) -> SpanId {
+        let now = self.now_us();
+        let mut inner = self.inner.lock().expect("telemetry lock");
+        let idx = inner.nodes.len();
+        inner.nodes.push(Node {
+            name: name.to_string(),
+            start_us: now,
+            end_us: None,
+            counters: BTreeMap::new(),
+            attrs: BTreeMap::new(),
+            children: Vec::new(),
+        });
+        match inner.stack.last().copied() {
+            Some(parent) => inner.nodes[parent].children.push(idx),
+            None => inner.roots.push(idx),
+        }
+        inner.stack.push(idx);
+        SpanId(idx as u64 + 1)
+    }
+
+    fn span_end(&self, id: SpanId) {
+        if id.is_null() {
+            return;
+        }
+        let now = self.now_us();
+        let target = (id.0 - 1) as usize;
+        let mut inner = self.inner.lock().expect("telemetry lock");
+        // Close the target and anything opened after it that leaked (the
+        // guard discipline makes this a single pop in practice).
+        while let Some(idx) = inner.stack.pop() {
+            inner.nodes[idx].end_us = Some(now);
+            if idx == target {
+                break;
+            }
+        }
+    }
+
+    fn add(&self, name: &str, delta: u64) {
+        let mut inner = self.inner.lock().expect("telemetry lock");
+        *inner.totals.entry(name.to_string()).or_insert(0) += delta;
+        if let Some(&top) = inner.stack.last() {
+            *inner.nodes[top]
+                .counters
+                .entry(name.to_string())
+                .or_insert(0) += delta;
+        }
+    }
+
+    fn annotate(&self, id: SpanId, key: &str, value: f64) {
+        if id.is_null() {
+            return;
+        }
+        let idx = (id.0 - 1) as usize;
+        let mut inner = self.inner.lock().expect("telemetry lock");
+        if let Some(node) = inner.nodes.get_mut(idx) {
+            *node.attrs.entry(key.to_string()).or_insert(0.0) += value;
+        }
+    }
+
+    fn emit(&self, name: &str, counters: &[(&str, u64)], attrs: &[(&str, f64)]) {
+        let now = self.now_us();
+        let mut inner = self.inner.lock().expect("telemetry lock");
+        let idx = inner.nodes.len();
+        inner.nodes.push(Node {
+            name: name.to_string(),
+            start_us: now,
+            end_us: Some(now),
+            counters: counters.iter().map(|(k, v)| (k.to_string(), *v)).collect(),
+            attrs: attrs.iter().map(|(k, v)| (k.to_string(), *v)).collect(),
+            children: Vec::new(),
+        });
+        match inner.stack.last().copied() {
+            Some(parent) => inner.nodes[parent].children.push(idx),
+            None => inner.roots.push(idx),
+        }
+        for (k, v) in counters {
+            *inner.totals.entry(k.to_string()).or_insert(0) += v;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::span;
+
+    #[test]
+    fn builds_a_nested_tree_with_counters() {
+        let tel = Telemetry::new();
+        tel.set_meta("algo", "fast");
+        {
+            let _run = span(&tel, "run");
+            {
+                let _it = span(&tel, "iteration");
+                let _ph = span(&tel, "compute_l");
+                tel.add("distances_computed", 10);
+            }
+            tel.add("iterations", 1);
+        }
+        let report = tel.finish();
+        assert_eq!(report.meta.get("algo").map(String::as_str), Some("fast"));
+        assert_eq!(report.total("distances_computed"), 10);
+        assert_eq!(report.total("iterations"), 1);
+        assert_eq!(report.spans.len(), 1);
+        let run = &report.spans[0];
+        assert_eq!(run.name, "run");
+        assert_eq!(run.children[0].name, "iteration");
+        assert_eq!(run.children[0].children[0].name, "compute_l");
+        assert_eq!(
+            run.children[0].children[0]
+                .counters
+                .get("distances_computed"),
+            Some(&10)
+        );
+        // The `iterations` counter landed on the still-open run span.
+        assert_eq!(run.counters.get("iterations"), Some(&1));
+        assert!(run.dur_us >= run.children[0].dur_us);
+    }
+
+    #[test]
+    fn finish_closes_leaked_spans() {
+        let tel = Telemetry::new();
+        let _ = tel.span_start("run");
+        let _ = tel.span_start("iteration");
+        let report = tel.finish();
+        assert!(report.spans[0].dur_us >= 0.0);
+        assert!(report.spans[0].children[0].dur_us >= 0.0);
+    }
+
+    #[test]
+    fn emit_attaches_instant_children_and_totals() {
+        let tel = Telemetry::new();
+        let run = tel.span_start("run");
+        tel.emit("kernel:assign", &[("kernel_launches", 7)], &[("t", 3.5)]);
+        tel.span_end(run);
+        let report = tel.finish();
+        let k = &report.spans[0].children[0];
+        assert_eq!(k.name, "kernel:assign");
+        assert_eq!(k.counters.get("kernel_launches"), Some(&7));
+        assert_eq!(k.attrs.get("t"), Some(&3.5));
+        assert_eq!(report.total("kernel_launches"), 7);
+    }
+
+    #[test]
+    fn annotate_accumulates() {
+        let tel = Telemetry::new();
+        let id = tel.span_start("phase");
+        tel.annotate(id, "sim_us", 2.0);
+        tel.annotate(id, "sim_us", 3.0);
+        tel.span_end(id);
+        let report = tel.finish();
+        assert_eq!(report.spans[0].attrs.get("sim_us"), Some(&5.0));
+    }
+}

@@ -1,0 +1,96 @@
+//! # proclus-telemetry — phase-level telemetry for the PROCLUS family
+//!
+//! The paper's whole contribution is a per-phase cost story: FindDimensions
+//! and AssignPoints dominate the baseline, and the `Dist`/`H` reuse of
+//! FAST-PROCLUS (Theorems 3.1/3.2) moves work out of ComputeL. This crate
+//! is the measuring instrument for that story: lightweight hierarchical
+//! **spans** (run → iteration → phase → kernel) with wall-clock time,
+//! invocation counts, and **algorithm counters** (distances computed,
+//! `DistFound` hits/misses, `ΔL` sizes, points reassigned, medoids
+//! replaced), recorded through a zero-cost-when-disabled [`Recorder`]
+//! trait.
+//!
+//! * Algorithm code records against `&dyn Recorder`. The default
+//!   [`NullRecorder`] compiles every call down to a no-op (its `enabled()`
+//!   returns `false`, so call sites can skip even the bookkeeping needed to
+//!   compute a counter value).
+//! * [`Telemetry`] is the collecting recorder: it builds a span tree and,
+//!   once the run finishes, yields a [`TelemetryReport`].
+//! * [`TelemetryReport`] exports structured JSON (validated by
+//!   [`schema::validate_report`]), Chrome-trace JSON (loadable in
+//!   `about:tracing` / Perfetto), a human-readable phase-time table, and a
+//!   deterministic tree rendering used by the golden-file tests.
+//!
+//! No external dependencies: JSON is emitted and parsed by the tiny
+//! hand-rolled [`json`] module, mirroring the repo's no-serde policy.
+//!
+//! ## Example
+//!
+//! ```
+//! use proclus_telemetry::{counters, span, Recorder, Telemetry};
+//!
+//! let tel = Telemetry::new();
+//! {
+//!     let _run = span(&tel, "run");
+//!     let _it = span(&tel, "iteration");
+//!     tel.add(counters::DISTANCES_COMPUTED, 42);
+//! }
+//! let report = tel.finish();
+//! assert_eq!(report.total(counters::DISTANCES_COMPUTED), 42);
+//! assert!(report.to_chrome_trace().starts_with('['));
+//! proclus_telemetry::schema::validate_report_str(&report.to_json()).unwrap();
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod collect;
+pub mod json;
+mod recorder;
+mod report;
+pub mod schema;
+
+pub use collect::Telemetry;
+pub use recorder::{span, NullRecorder, Recorder, SpanGuard, SpanId};
+pub use report::{chrome_trace_combined, runs_json, PhaseRow, SpanNode, TelemetryReport};
+
+/// Names of the algorithm counters recorded by the PROCLUS crates. Keeping
+/// them here (rather than as ad-hoc strings at each call site) is what makes
+/// the JSON schema and the golden tests stable.
+pub mod counters {
+    /// Full-dimensional Euclidean point↔medoid distance evaluations
+    /// (greedy selection, baseline ComputeL, `Dist` row fills). This is the
+    /// quantity Theorem 3.1 reduces, so it is the headline number for
+    /// FAST vs baseline comparisons.
+    pub const DISTANCES_COMPUTED: &str = "distances_computed";
+    /// Manhattan segmental distance evaluations (AssignPoints,
+    /// RemoveOutliers). Counted as launched work; short-circuit exits are
+    /// not subtracted.
+    pub const SEGMENTAL_DISTANCES: &str = "segmental_distances";
+    /// `DistFound` hits: a current medoid whose `Dist` row was already
+    /// cached (FAST) or whose slot survived unchanged (FAST*).
+    pub const DIST_CACHE_HITS: &str = "dist_cache_hits";
+    /// `DistFound` misses: a `Dist` row had to be computed from scratch.
+    pub const DIST_CACHE_MISSES: &str = "dist_cache_misses";
+    /// Points scanned by the incremental `ΔL_i` update (Theorem 3.2), i.e.
+    /// `Σ_i |ΔL_i|` over all slots and iterations.
+    pub const DELTA_L_POINTS: &str = "delta_l_points";
+    /// Points whose cluster label changed relative to the previous
+    /// iteration's assignment (the first iteration counts every point).
+    pub const POINTS_REASSIGNED: &str = "points_reassigned";
+    /// Bad-medoid replacements performed across all iterations.
+    pub const MEDOIDS_REPLACED: &str = "medoids_replaced";
+    /// Iterations of the medoid search (refinement not included).
+    pub const ITERATIONS: &str = "iterations";
+    /// Device kernel launches (GPU backends; bridged from gpu-sim).
+    pub const KERNEL_LAUNCHES: &str = "kernel_launches";
+}
+
+/// Names of span attributes (float-valued annotations).
+pub mod attrs {
+    /// Simulated device time attributed to a span, in microseconds
+    /// (GPU backends; from the gpu-sim performance model).
+    pub const SIM_US: &str = "sim_us";
+    /// Modeled kernel time for a bridged `kernel:*` span, in microseconds.
+    pub const KERNEL_TIME_US: &str = "kernel_time_us";
+}

@@ -1,0 +1,126 @@
+//! The [`Recorder`] trait: how algorithm code reports spans and counters
+//! without knowing (or paying for) the collection machinery.
+
+/// Opaque handle to an open span. `SpanId(0)` is the null span (returned by
+/// disabled recorders); every real span has a non-zero id.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanId(pub(crate) u64);
+
+impl SpanId {
+    /// The null span handle (what disabled recorders hand out).
+    pub const NULL: SpanId = SpanId(0);
+
+    /// True for the null handle.
+    pub fn is_null(self) -> bool {
+        self.0 == 0
+    }
+}
+
+/// Sink for spans, counters and annotations.
+///
+/// All methods take `&self` so a recorder can be shared down a call tree;
+/// implementations use interior mutability. Hot paths should gate any
+/// *preparation* work (e.g. diffing label arrays to count reassignments) on
+/// [`Recorder::enabled`]; the calls themselves are no-ops on the
+/// [`NullRecorder`].
+pub trait Recorder {
+    /// False when recording is off and call sites may skip counter
+    /// preparation entirely.
+    fn enabled(&self) -> bool;
+
+    /// Opens a span named `name`, nested under the innermost open span.
+    fn span_start(&self, name: &str) -> SpanId;
+
+    /// Closes span `id` (and any spans opened after it that were leaked).
+    fn span_end(&self, id: SpanId);
+
+    /// Adds `delta` to counter `name` on the innermost open span and on the
+    /// run totals.
+    fn add(&self, name: &str, delta: u64);
+
+    /// Adds `value` to float attribute `key` of span `id` (e.g. simulated
+    /// device microseconds).
+    fn annotate(&self, id: SpanId, key: &str, value: f64);
+
+    /// Records an instantaneous child span of the innermost open span with
+    /// pre-computed counters and attributes — used to bridge externally
+    /// aggregated data (gpu-sim kernel statistics) into the tree.
+    fn emit(&self, name: &str, counters: &[(&str, u64)], attrs: &[(&str, f64)]);
+}
+
+/// The disabled recorder: every operation is a no-op.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullRecorder;
+
+impl Recorder for NullRecorder {
+    fn enabled(&self) -> bool {
+        false
+    }
+    fn span_start(&self, _name: &str) -> SpanId {
+        SpanId::NULL
+    }
+    fn span_end(&self, _id: SpanId) {}
+    fn add(&self, _name: &str, _delta: u64) {}
+    fn annotate(&self, _id: SpanId, _key: &str, _value: f64) {}
+    fn emit(&self, _name: &str, _counters: &[(&str, u64)], _attrs: &[(&str, f64)]) {}
+}
+
+/// RAII guard closing its span on drop.
+///
+/// ```
+/// use proclus_telemetry::{span, NullRecorder};
+/// let rec = NullRecorder;
+/// let guard = span(&rec, "phase");
+/// drop(guard); // span closed
+/// ```
+pub struct SpanGuard<'r> {
+    rec: &'r dyn Recorder,
+    id: SpanId,
+}
+
+impl SpanGuard<'_> {
+    /// The guarded span's id (for [`Recorder::annotate`]).
+    pub fn id(&self) -> SpanId {
+        self.id
+    }
+}
+
+impl Drop for SpanGuard<'_> {
+    fn drop(&mut self) {
+        self.rec.span_end(self.id);
+    }
+}
+
+/// Opens a span and returns the guard that closes it.
+pub fn span<'r>(rec: &'r dyn Recorder, name: &str) -> SpanGuard<'r> {
+    SpanGuard {
+        id: rec.span_start(name),
+        rec,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_recorder_is_disabled_and_inert() {
+        let r = NullRecorder;
+        assert!(!r.enabled());
+        let id = r.span_start("x");
+        assert!(id.is_null());
+        r.add("c", 1);
+        r.annotate(id, "a", 1.0);
+        r.emit("e", &[("c", 1)], &[]);
+        r.span_end(id);
+    }
+
+    #[test]
+    fn span_guard_closes_on_drop() {
+        // Closing behavior is asserted against the collecting recorder in
+        // collect.rs; here we only check the guard compiles against dyn.
+        let r = NullRecorder;
+        let g = span(&r, "s");
+        assert!(g.id().is_null());
+    }
+}

@@ -1,0 +1,438 @@
+//! The finished artefact of a recorded run: span tree, totals and the
+//! exporters (structured JSON, chrome-trace, phase table, golden tree).
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::attrs;
+use crate::json::{escape, fmt_f64};
+
+/// One node of the finished span tree.
+#[derive(Debug, Clone)]
+pub struct SpanNode {
+    /// Span name (`"run"`, `"iteration"`, `"assign_points"`,
+    /// `"kernel:assign"`, …).
+    pub name: String,
+    /// Start offset from the collector's epoch, microseconds.
+    pub start_us: f64,
+    /// Wall-clock duration, microseconds (0 for instantaneous `emit` spans).
+    pub dur_us: f64,
+    /// Algorithm counters recorded while this span was innermost.
+    pub counters: BTreeMap<String, u64>,
+    /// Float annotations (e.g. simulated device time).
+    pub attrs: BTreeMap<String, f64>,
+    /// Nested spans, in start order.
+    pub children: Vec<SpanNode>,
+}
+
+/// One row of the human-readable phase table: all spans sharing a name,
+/// aggregated.
+#[derive(Debug, Clone)]
+pub struct PhaseRow {
+    /// Span name.
+    pub name: String,
+    /// Number of spans with this name.
+    pub count: u64,
+    /// Summed wall-clock time, milliseconds.
+    pub total_ms: f64,
+    /// Summed simulated device time (the `sim_us` attribute), microseconds.
+    pub sim_us: f64,
+}
+
+/// Everything a recorded run left behind. Produced by
+/// [`Telemetry::finish`](crate::Telemetry::finish).
+#[derive(Debug, Clone, Default)]
+pub struct TelemetryReport {
+    /// Run metadata (`algo`, `backend`, `seed`, `n`, `d`, …).
+    pub meta: BTreeMap<String, String>,
+    /// Run-wide counter totals.
+    pub totals: BTreeMap<String, u64>,
+    /// Root spans (normally exactly one `run` span).
+    pub spans: Vec<SpanNode>,
+}
+
+impl TelemetryReport {
+    /// Run-wide total for counter `name` (0 if never recorded).
+    pub fn total(&self, name: &str) -> u64 {
+        self.totals.get(name).copied().unwrap_or(0)
+    }
+
+    /// Finds the first span named `name` anywhere in the tree
+    /// (depth-first, pre-order).
+    pub fn find_span(&self, name: &str) -> Option<&SpanNode> {
+        fn walk<'a>(nodes: &'a [SpanNode], name: &str) -> Option<&'a SpanNode> {
+            for n in nodes {
+                if n.name == name {
+                    return Some(n);
+                }
+                if let Some(hit) = walk(&n.children, name) {
+                    return Some(hit);
+                }
+            }
+            None
+        }
+        walk(&self.spans, name)
+    }
+
+    /// Collects the distinct span names present in the tree, sorted.
+    pub fn span_names(&self) -> Vec<String> {
+        fn walk(nodes: &[SpanNode], out: &mut std::collections::BTreeSet<String>) {
+            for n in nodes {
+                out.insert(n.name.clone());
+                walk(&n.children, out);
+            }
+        }
+        let mut set = std::collections::BTreeSet::new();
+        walk(&self.spans, &mut set);
+        set.into_iter().collect()
+    }
+
+    /// Structured JSON export:
+    /// `{"version":1,"meta":{..},"totals":{..},"spans":[..]}`.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\"version\":1,\"meta\":{");
+        let mut first = true;
+        for (k, v) in &self.meta {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let _ = write!(out, "\"{}\":\"{}\"", escape(k), escape(v));
+        }
+        out.push_str("},\"totals\":{");
+        first = true;
+        for (k, v) in &self.totals {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let _ = write!(out, "\"{}\":{}", escape(k), v);
+        }
+        out.push_str("},\"spans\":[");
+        for (i, s) in self.spans.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            write_span(&mut out, s);
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Chrome-trace export: a JSON array of complete (`"ph":"X"`) events,
+    /// loadable in `about:tracing` / Perfetto. `pid` 0, one thread.
+    pub fn to_chrome_trace(&self) -> String {
+        self.chrome_trace_with_pid(0, &self.trace_label())
+    }
+
+    fn trace_label(&self) -> String {
+        match (self.meta.get("algo"), self.meta.get("backend")) {
+            (Some(a), Some(b)) => format!("{a}/{b}"),
+            (Some(a), None) => a.clone(),
+            _ => "run".to_string(),
+        }
+    }
+
+    fn chrome_trace_with_pid(&self, pid: u32, label: &str) -> String {
+        let mut out = String::from("[");
+        // Process name metadata event so about:tracing labels the track.
+        let _ = write!(
+            out,
+            "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{pid},\"tid\":0,\
+             \"args\":{{\"name\":\"{}\"}}}}",
+            escape(label)
+        );
+        let mut first = false;
+        fn walk(out: &mut String, first: &mut bool, pid: u32, node: &SpanNode) {
+            if !*first {
+                out.push(',');
+            }
+            *first = false;
+            let _ = write!(
+                out,
+                "{{\"name\":\"{}\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\
+                 \"pid\":{pid},\"tid\":0,\"args\":{{",
+                escape(&node.name),
+                fmt_f64(node.start_us),
+                fmt_f64(node.dur_us.max(0.0)),
+            );
+            let mut afirst = true;
+            for (k, v) in &node.counters {
+                if !afirst {
+                    out.push(',');
+                }
+                afirst = false;
+                let _ = write!(out, "\"{}\":{}", escape(k), v);
+            }
+            for (k, v) in &node.attrs {
+                if !afirst {
+                    out.push(',');
+                }
+                afirst = false;
+                let _ = write!(out, "\"{}\":{}", escape(k), fmt_f64(*v));
+            }
+            out.push_str("}}");
+            for c in &node.children {
+                walk(out, first, pid, c);
+            }
+        }
+        for s in &self.spans {
+            walk(&mut out, &mut first, pid, s);
+        }
+        out.push(']');
+        out
+    }
+
+    /// Aggregates the tree into per-name rows, sorted by total time
+    /// (descending) then name.
+    pub fn phase_table(&self) -> Vec<PhaseRow> {
+        let mut acc: BTreeMap<String, (u64, f64, f64)> = BTreeMap::new();
+        fn walk(nodes: &[SpanNode], acc: &mut BTreeMap<String, (u64, f64, f64)>) {
+            for n in nodes {
+                let e = acc.entry(n.name.clone()).or_insert((0, 0.0, 0.0));
+                e.0 += 1;
+                e.1 += n.dur_us / 1000.0;
+                e.2 += n.attrs.get(attrs::SIM_US).copied().unwrap_or(0.0)
+                    + n.attrs.get(attrs::KERNEL_TIME_US).copied().unwrap_or(0.0);
+                walk(&n.children, acc);
+            }
+        }
+        walk(&self.spans, &mut acc);
+        let mut rows: Vec<PhaseRow> = acc
+            .into_iter()
+            .map(|(name, (count, total_ms, sim_us))| PhaseRow {
+                name,
+                count,
+                total_ms,
+                sim_us,
+            })
+            .collect();
+        rows.sort_by(|a, b| {
+            b.total_ms
+                .partial_cmp(&a.total_ms)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| a.name.cmp(&b.name))
+        });
+        rows
+    }
+
+    /// Deterministic rendering for golden-file tests: the span tree as
+    /// indented `name` lines with sorted `counter=value` pairs, no timings.
+    pub fn render_tree(&self) -> String {
+        let mut out = String::new();
+        fn walk(out: &mut String, node: &SpanNode, depth: usize) {
+            for _ in 0..depth {
+                out.push_str("  ");
+            }
+            out.push_str(&node.name);
+            for (k, v) in &node.counters {
+                let _ = write!(out, " {k}={v}");
+            }
+            out.push('\n');
+            for c in &node.children {
+                walk(out, c, depth + 1);
+            }
+        }
+        for s in &self.spans {
+            walk(&mut out, s, 0);
+        }
+        out
+    }
+}
+
+fn write_span(out: &mut String, node: &SpanNode) {
+    let _ = write!(
+        out,
+        "{{\"name\":\"{}\",\"start_us\":{},\"dur_us\":{},\"counters\":{{",
+        escape(&node.name),
+        fmt_f64(node.start_us),
+        fmt_f64(node.dur_us.max(0.0)),
+    );
+    let mut first = true;
+    for (k, v) in &node.counters {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        let _ = write!(out, "\"{}\":{}", escape(k), v);
+    }
+    out.push_str("},\"attrs\":{");
+    first = true;
+    for (k, v) in &node.attrs {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        let _ = write!(out, "\"{}\":{}", escape(k), fmt_f64(*v));
+    }
+    out.push_str("},\"children\":[");
+    for (i, c) in node.children.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        write_span(out, c);
+    }
+    out.push_str("]}");
+}
+
+/// Serializes several reports as the multi-run document the CLI and bench
+/// harness write: `{"version":1,"runs":[<report>..]}`.
+pub fn runs_json(reports: &[TelemetryReport]) -> String {
+    let mut out = String::from("{\"version\":1,\"runs\":[");
+    for (i, r) in reports.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&r.to_json());
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Merges several reports into one chrome-trace document, one `pid` (track)
+/// per run — used when the CLI or bench harness records a sweep.
+pub fn chrome_trace_combined(reports: &[TelemetryReport]) -> String {
+    let mut out = String::from("[");
+    for (i, r) in reports.iter().enumerate() {
+        let inner = r.chrome_trace_with_pid(i as u32, &r.trace_label());
+        // Strip the surrounding brackets and splice.
+        let body = &inner[1..inner.len() - 1];
+        if i > 0 && !body.is_empty() {
+            out.push(',');
+        }
+        out.push_str(body);
+    }
+    out.push(']');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+
+    fn sample() -> TelemetryReport {
+        let mut meta = BTreeMap::new();
+        meta.insert("algo".to_string(), "fast".to_string());
+        meta.insert("backend".to_string(), "cpu".to_string());
+        let mut totals = BTreeMap::new();
+        totals.insert("distances_computed".to_string(), 12);
+        let mut counters = BTreeMap::new();
+        counters.insert("distances_computed".to_string(), 12u64);
+        let mut sattrs = BTreeMap::new();
+        sattrs.insert("sim_us".to_string(), 4.5);
+        TelemetryReport {
+            meta,
+            totals,
+            spans: vec![SpanNode {
+                name: "run".to_string(),
+                start_us: 0.0,
+                dur_us: 100.0,
+                counters: BTreeMap::new(),
+                attrs: BTreeMap::new(),
+                children: vec![SpanNode {
+                    name: "compute_l".to_string(),
+                    start_us: 10.0,
+                    dur_us: 50.0,
+                    counters,
+                    attrs: sattrs,
+                    children: vec![],
+                }],
+            }],
+        }
+    }
+
+    #[test]
+    fn json_round_trips_through_parser() {
+        let r = sample();
+        let v = json::parse(&r.to_json()).unwrap();
+        assert_eq!(v.get("version").unwrap().as_f64(), Some(1.0));
+        assert_eq!(
+            v.get("meta").unwrap().get("algo").unwrap().as_str(),
+            Some("fast")
+        );
+        assert_eq!(
+            v.get("totals")
+                .unwrap()
+                .get("distances_computed")
+                .unwrap()
+                .as_f64(),
+            Some(12.0)
+        );
+        let spans = v.get("spans").unwrap().as_array().unwrap();
+        assert_eq!(spans[0].get("name").unwrap().as_str(), Some("run"));
+        let child = &spans[0].get("children").unwrap().as_array().unwrap()[0];
+        assert_eq!(child.get("name").unwrap().as_str(), Some("compute_l"));
+        assert_eq!(
+            child.get("attrs").unwrap().get("sim_us").unwrap().as_f64(),
+            Some(4.5)
+        );
+    }
+
+    #[test]
+    fn chrome_trace_is_valid_json_with_x_events() {
+        let trace = sample().to_chrome_trace();
+        let v = json::parse(&trace).unwrap();
+        let events = v.as_array().unwrap();
+        // Metadata event + 2 spans.
+        assert_eq!(events.len(), 3);
+        assert_eq!(events[0].get("ph").unwrap().as_str(), Some("M"));
+        assert_eq!(events[1].get("ph").unwrap().as_str(), Some("X"));
+        assert_eq!(events[1].get("name").unwrap().as_str(), Some("run"));
+        assert_eq!(
+            events[2]
+                .get("args")
+                .unwrap()
+                .get("distances_computed")
+                .unwrap()
+                .as_f64(),
+            Some(12.0)
+        );
+    }
+
+    #[test]
+    fn runs_json_validates_as_a_multi_run_document() {
+        let doc = runs_json(&[sample(), sample()]);
+        crate::schema::validate_any_str(&doc).unwrap();
+        let v = json::parse(&doc).unwrap();
+        assert_eq!(v.get("runs").unwrap().as_array().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn combined_trace_gives_each_run_its_own_pid() {
+        let combined = chrome_trace_combined(&[sample(), sample()]);
+        let v = json::parse(&combined).unwrap();
+        let events = v.as_array().unwrap();
+        assert_eq!(events.len(), 6);
+        let pids: Vec<f64> = events
+            .iter()
+            .map(|e| e.get("pid").unwrap().as_f64().unwrap())
+            .collect();
+        assert!(pids.contains(&0.0) && pids.contains(&1.0));
+    }
+
+    #[test]
+    fn phase_table_sorted_by_time() {
+        let rows = sample().phase_table();
+        assert_eq!(rows[0].name, "run");
+        assert_eq!(rows[1].name, "compute_l");
+        assert_eq!(rows[1].count, 1);
+        assert!((rows[1].total_ms - 0.05).abs() < 1e-9);
+        assert!((rows[1].sim_us - 4.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn render_tree_is_time_free() {
+        let tree = sample().render_tree();
+        assert_eq!(tree, "run\n  compute_l distances_computed=12\n");
+    }
+
+    #[test]
+    fn find_span_and_names() {
+        let r = sample();
+        assert!(r.find_span("compute_l").is_some());
+        assert!(r.find_span("missing").is_none());
+        assert_eq!(r.span_names(), vec!["compute_l", "run"]);
+    }
+}

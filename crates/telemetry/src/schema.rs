@@ -1,0 +1,217 @@
+//! Structural validation of telemetry JSON against the checked-in schema
+//! (`schema/telemetry.schema.json` at the repo root mirrors these rules for
+//! human readers and external tooling; this module is the executable
+//! version CI actually runs).
+
+use crate::json::{self, Value};
+
+/// Validates a single-run report document
+/// (`{"version":1,"meta":{..},"totals":{..},"spans":[..]}`).
+pub fn validate_report(v: &Value) -> Result<(), String> {
+    let obj = v.as_object().ok_or("report: expected object")?;
+    match obj.get("version").and_then(Value::as_f64) {
+        Some(1.0) => {}
+        Some(other) => return Err(format!("report: unsupported version {other}")),
+        None => return Err("report: missing numeric 'version'".to_string()),
+    }
+    let meta = obj
+        .get("meta")
+        .and_then(Value::as_object)
+        .ok_or("report: missing object 'meta'")?;
+    for (k, val) in meta {
+        if val.as_str().is_none() {
+            return Err(format!("report: meta['{k}'] must be a string"));
+        }
+    }
+    let totals = obj
+        .get("totals")
+        .and_then(Value::as_object)
+        .ok_or("report: missing object 'totals'")?;
+    for (k, val) in totals {
+        check_counter(k, val)?;
+    }
+    let spans = obj
+        .get("spans")
+        .and_then(Value::as_array)
+        .ok_or("report: missing array 'spans'")?;
+    if spans.is_empty() {
+        return Err("report: 'spans' must not be empty".to_string());
+    }
+    for s in spans {
+        validate_span(s)?;
+    }
+    Ok(())
+}
+
+/// Validates a multi-run document (`{"version":1,"runs":[<report>..]}`),
+/// the shape the CLI and bench harness write.
+pub fn validate_runs(v: &Value) -> Result<(), String> {
+    let obj = v.as_object().ok_or("runs: expected object")?;
+    match obj.get("version").and_then(Value::as_f64) {
+        Some(1.0) => {}
+        _ => return Err("runs: missing 'version': 1".to_string()),
+    }
+    let runs = obj
+        .get("runs")
+        .and_then(Value::as_array)
+        .ok_or("runs: missing array 'runs'")?;
+    if runs.is_empty() {
+        return Err("runs: 'runs' must not be empty".to_string());
+    }
+    for (i, r) in runs.iter().enumerate() {
+        validate_report(r).map_err(|e| format!("runs[{i}]: {e}"))?;
+    }
+    Ok(())
+}
+
+/// Parses `input` and validates it as a single-run report.
+pub fn validate_report_str(input: &str) -> Result<(), String> {
+    validate_report(&json::parse(input)?)
+}
+
+/// Parses `input` and validates it as either a single-run report or a
+/// multi-run `{"runs":[..]}` document (CI uses this on CLI output).
+pub fn validate_any_str(input: &str) -> Result<(), String> {
+    let v = json::parse(input)?;
+    if v.get("runs").is_some() {
+        validate_runs(&v)
+    } else {
+        validate_report(&v)
+    }
+}
+
+/// Parses `input` and validates it as a chrome-trace array of events.
+pub fn validate_chrome_trace_str(input: &str) -> Result<(), String> {
+    let v = json::parse(input)?;
+    let events = v.as_array().ok_or("trace: expected array")?;
+    for (i, e) in events.iter().enumerate() {
+        let obj = e
+            .as_object()
+            .ok_or_else(|| format!("trace[{i}]: expected object"))?;
+        let ph = obj
+            .get("ph")
+            .and_then(Value::as_str)
+            .ok_or_else(|| format!("trace[{i}]: missing string 'ph'"))?;
+        if obj.get("name").and_then(Value::as_str).is_none() {
+            return Err(format!("trace[{i}]: missing string 'name'"));
+        }
+        for key in ["pid", "tid"] {
+            if obj.get(key).and_then(Value::as_f64).is_none() {
+                return Err(format!("trace[{i}]: missing numeric '{key}'"));
+            }
+        }
+        if ph == "X" {
+            for key in ["ts", "dur"] {
+                if obj.get(key).and_then(Value::as_f64).is_none() {
+                    return Err(format!("trace[{i}]: missing numeric '{key}'"));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+fn check_counter(key: &str, val: &Value) -> Result<(), String> {
+    match val.as_f64() {
+        Some(n) if n >= 0.0 && n == n.trunc() => Ok(()),
+        _ => Err(format!("counter '{key}' must be a non-negative integer")),
+    }
+}
+
+fn validate_span(v: &Value) -> Result<(), String> {
+    let obj = v.as_object().ok_or("span: expected object")?;
+    let name = obj
+        .get("name")
+        .and_then(Value::as_str)
+        .ok_or("span: missing string 'name'")?;
+    if name.is_empty() {
+        return Err("span: 'name' must not be empty".to_string());
+    }
+    for key in ["start_us", "dur_us"] {
+        match obj.get(key).and_then(Value::as_f64) {
+            Some(n) if n >= 0.0 => {}
+            _ => {
+                return Err(format!(
+                    "span '{name}': '{key}' must be a non-negative number"
+                ))
+            }
+        }
+    }
+    let counters = obj
+        .get("counters")
+        .and_then(Value::as_object)
+        .ok_or_else(|| format!("span '{name}': missing object 'counters'"))?;
+    for (k, val) in counters {
+        check_counter(k, val).map_err(|e| format!("span '{name}': {e}"))?;
+    }
+    let attrs = obj
+        .get("attrs")
+        .and_then(Value::as_object)
+        .ok_or_else(|| format!("span '{name}': missing object 'attrs'"))?;
+    for (k, val) in attrs {
+        if val.as_f64().is_none() {
+            return Err(format!("span '{name}': attr '{k}' must be a number"));
+        }
+    }
+    let children = obj
+        .get("children")
+        .and_then(Value::as_array)
+        .ok_or_else(|| format!("span '{name}': missing array 'children'"))?;
+    for c in children {
+        validate_span(c)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GOOD: &str = r#"{"version":1,"meta":{"algo":"fast"},"totals":{"iterations":3},
+        "spans":[{"name":"run","start_us":0,"dur_us":10,"counters":{},
+        "attrs":{},"children":[{"name":"iteration","start_us":1,"dur_us":5,
+        "counters":{"distances_computed":9},"attrs":{"sim_us":2.5},"children":[]}]}]}"#;
+
+    #[test]
+    fn accepts_well_formed_report() {
+        validate_report_str(GOOD).unwrap();
+        validate_any_str(GOOD).unwrap();
+    }
+
+    #[test]
+    fn accepts_multi_run_document() {
+        let doc = format!(r#"{{"version":1,"runs":[{GOOD},{GOOD}]}}"#);
+        validate_any_str(&doc).unwrap();
+        assert!(validate_runs(&crate::json::parse(&doc).unwrap()).is_ok());
+    }
+
+    #[test]
+    fn rejects_bad_documents() {
+        // Not JSON at all.
+        assert!(validate_any_str("nope").is_err());
+        // Wrong version.
+        assert!(validate_report_str(r#"{"version":2,"meta":{},"totals":{},"spans":[]}"#).is_err());
+        // Empty spans.
+        assert!(validate_report_str(r#"{"version":1,"meta":{},"totals":{},"spans":[]}"#).is_err());
+        // Negative counter.
+        let bad = GOOD.replace("\"distances_computed\":9", "\"distances_computed\":-1");
+        assert!(validate_report_str(&bad).is_err());
+        // Fractional counter.
+        let bad = GOOD.replace("\"distances_computed\":9", "\"distances_computed\":9.5");
+        assert!(validate_report_str(&bad).is_err());
+        // Missing span field.
+        let bad = GOOD.replace("\"attrs\":{\"sim_us\":2.5},", "");
+        assert!(validate_report_str(&bad).is_err());
+        // Empty runs array.
+        assert!(validate_any_str(r#"{"version":1,"runs":[]}"#).is_err());
+    }
+
+    #[test]
+    fn validates_chrome_trace() {
+        let good = r#"[{"name":"p","ph":"M","pid":0,"tid":0,"args":{"name":"x"}},
+            {"name":"run","ph":"X","ts":0,"dur":5,"pid":0,"tid":0,"args":{}}]"#;
+        validate_chrome_trace_str(good).unwrap();
+        assert!(validate_chrome_trace_str(r#"[{"ph":"X"}]"#).is_err());
+        assert!(validate_chrome_trace_str("{}").is_err());
+    }
+}

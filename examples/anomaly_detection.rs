@@ -14,6 +14,8 @@
 //! cargo run --release --example anomaly_detection
 //! ```
 
+#![allow(deprecated)] // exercises the legacy entry points deliberately
+
 use gpu_fast_proclus::prelude::*;
 use proclus::ProclusRng;
 

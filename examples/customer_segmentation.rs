@@ -14,6 +14,8 @@
 //! cargo run --release --example customer_segmentation
 //! ```
 
+#![allow(deprecated)] // exercises the legacy entry points deliberately
+
 use gpu_fast_proclus::prelude::*;
 use proclus::ProclusRng;
 

@@ -7,6 +7,8 @@
 //! cargo run --release --example gpu_simulation_tour
 //! ```
 
+#![allow(deprecated)] // exercises the legacy entry points deliberately
+
 use gpu_fast_proclus::prelude::*;
 
 fn main() {

@@ -1,11 +1,13 @@
-//! Quickstart: cluster a small synthetic dataset with every variant and
-//! compare them.
+//! Quickstart: cluster a small synthetic dataset through the unified
+//! `run`/`run_on` entry points and read the telemetry counters that
+//! explain the FAST speedup.
 //!
 //! ```text
 //! cargo run --release --example quickstart
 //! ```
 
 use gpu_fast_proclus::prelude::*;
+use proclus::telemetry::counters;
 
 fn main() {
     // 2,000 points in 10 dimensions: 4 Gaussian clusters, each living in
@@ -24,19 +26,21 @@ fn main() {
     let params = Params::new(4, 4).with_seed(7);
 
     // --- CPU: baseline PROCLUS and FAST-PROCLUS -------------------------
-    let t0 = std::time::Instant::now();
-    let base = proclus(&data, &params).expect("valid configuration");
-    let t_base = t0.elapsed();
-    let t0 = std::time::Instant::now();
-    let fast = fast_proclus(&data, &params).expect("valid configuration");
-    let t_fast = t0.elapsed();
+    let base_cfg = Config::new(params.clone())
+        .with_algo(Algo::Baseline)
+        .with_telemetry(true);
+    let base = run(&data, &base_cfg).expect("valid configuration");
+    let fast_cfg = Config::new(params.clone()).with_telemetry(true);
+    let fast = run(&data, &fast_cfg).expect("valid configuration");
 
     // Same seed → same search path → same clustering.
-    assert_eq!(base.labels, fast.labels);
+    assert_eq!(base.clustering().labels, fast.clustering().labels);
 
-    // --- GPU (simulated device) -----------------------------------------
+    // --- GPU (simulated device): same Config, different backend ---------
     let mut dev = Device::new(DeviceConfig::gtx_1660_ti());
-    let gpu = gpu_fast_proclus(&mut dev, &data, &params).expect("fits on device");
+    let gpu_cfg = Config::new(params).with_backend(Backend::Gpu);
+    let gpu_out = run_on(&mut dev, &data, &gpu_cfg).expect("fits on device");
+    let gpu = gpu_out.clustering();
 
     println!("points                : {}", data.n());
     println!("clusters (k)          : {}", gpu.k());
@@ -48,19 +52,22 @@ fn main() {
         println!("subspace of cluster {i} : {s:?}");
     }
     println!();
-    println!(
-        "PROCLUS      (CPU wall) : {:.1} ms",
-        t_base.as_secs_f64() * 1e3
-    );
-    println!(
-        "FAST-PROCLUS (CPU wall) : {:.1} ms",
-        t_fast.as_secs_f64() * 1e3
-    );
+    println!("PROCLUS      (CPU wall) : {:.1} ms", base.wall_ms);
+    println!("FAST-PROCLUS (CPU wall) : {:.1} ms", fast.wall_ms);
     println!(
         "GPU-FAST     (simulated): {:.3} ms on {}",
         dev.elapsed_ms(),
         dev.config().name
     );
+
+    // The telemetry counters show *why* FAST is faster: the Dist cache
+    // (Theorem 3.1) avoids most of the baseline's distance computations.
+    let d_base = base.telemetry.unwrap().total(counters::DISTANCES_COMPUTED);
+    let d_fast = fast.telemetry.unwrap().total(counters::DISTANCES_COMPUTED);
+    println!();
+    println!("distances computed (baseline) : {d_base}");
+    println!("distances computed (FAST)     : {d_fast}");
+    assert!(d_fast < d_base);
 
     // How well did we recover the planted clusters?
     let ari = proclus::metrics::adjusted_rand_index(&gen.labels, &gpu.labels);

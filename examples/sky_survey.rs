@@ -8,6 +8,8 @@
 //! cargo run --release --example sky_survey -- 2       # sky 2x2 cut
 //! ```
 
+#![allow(deprecated)] // exercises the legacy entry points deliberately
+
 use gpu_fast_proclus::prelude::*;
 
 fn main() {

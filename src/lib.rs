@@ -5,6 +5,10 @@
 //! on the SIMT device simulator ([`proclus_gpu`] + [`gpu_sim`]), and the
 //! dataset generators ([`datagen`]).
 //!
+//! Every variant/backend combination is reached through the unified
+//! [`proclus::run`] / [`proclus_gpu::run_on`] entry points, driven by a
+//! single [`proclus::Config`]:
+//!
 //! ```
 //! use gpu_fast_proclus::prelude::*;
 //!
@@ -12,12 +16,19 @@
 //!     &datagen::SyntheticConfig::new(500, 8).with_clusters(3).with_seed(7),
 //! );
 //! let params = Params::new(3, 3).with_a(30).with_b(5);
-//! let cpu = fast_proclus(&gen.data, &params).unwrap();
+//!
+//! let cpu = run(&gen.data, &Config::new(params.clone())).unwrap();
 //!
 //! let mut dev = Device::new(DeviceConfig::gtx_1660_ti());
 //! dev.set_deterministic(true);
-//! let gpu = gpu_fast_proclus(&mut dev, &gen.data, &params).unwrap();
-//! assert_eq!(cpu.labels, gpu.labels);
+//! let config = Config::new(params)
+//!     .with_backend(Backend::Gpu)
+//!     .with_telemetry(true);
+//! let gpu = run_on(&mut dev, &gen.data, &config).unwrap();
+//!
+//! assert_eq!(cpu.clustering().labels, gpu.clustering().labels);
+//! let report = gpu.telemetry.unwrap();
+//! assert!(report.find_span("assign_points").is_some());
 //! ```
 
 #![warn(missing_docs)]
@@ -31,11 +42,13 @@ pub use proclus_gpu;
 pub mod prelude {
     pub use datagen::{self, SyntheticConfig};
     pub use gpu_sim::{Device, DeviceConfig};
+    #[allow(deprecated)]
+    pub use proclus::{fast_proclus, fast_star_proclus, proclus};
     pub use proclus::{
-        fast_proclus, fast_proclus_multi, fast_star_proclus, proclus, Clustering, DataMatrix,
-        Params, ReuseLevel, Setting, OUTLIER,
+        fast_proclus_multi, run, Algo, Backend, Clustering, Config, DataMatrix, Grid, Params,
+        ReuseLevel, RunOutput, Setting, OUTLIER,
     };
-    pub use proclus_gpu::{
-        gpu_fast_proclus, gpu_fast_proclus_multi, gpu_fast_star_proclus, gpu_proclus,
-    };
+    #[allow(deprecated)]
+    pub use proclus_gpu::{gpu_fast_proclus, gpu_fast_star_proclus, gpu_proclus};
+    pub use proclus_gpu::{gpu_fast_proclus_multi, run_on};
 }

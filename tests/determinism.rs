@@ -6,6 +6,8 @@
 //! change every benchmark. If a change is *intentional*, re-record the
 //! constants (instructions below).
 
+#![allow(deprecated)] // exercises the legacy entry points deliberately
+
 use datagen::synthetic::{generate, SyntheticConfig};
 use proclus::{fast_proclus, proclus, DataMatrix, Params};
 

@@ -5,6 +5,8 @@
 //! computed, so with the same seed every variant must visit the same
 //! medoid sequence and return the same result.
 
+#![allow(deprecated)] // exercises the legacy entry points deliberately
+
 use datagen::synthetic::{generate, SyntheticConfig};
 use proclus::{
     fast_proclus, fast_proclus_par, fast_star_proclus, fast_star_proclus_par, proclus, proclus_par,

@@ -3,6 +3,8 @@
 //! claim, §5.1: "GPU-PROCLUS and all the algorithmic strategies produce the
 //! same clustering as PROCLUS").
 
+#![allow(deprecated)] // exercises the legacy entry points deliberately
+
 use datagen::synthetic::{generate, SyntheticConfig};
 use gpu_sim::{Device, DeviceConfig};
 use proclus::{fast_proclus, fast_star_proclus, proclus, Clustering, DataMatrix, Params};

@@ -4,6 +4,8 @@
 //! `equivalence.rs` / `gpu_vs_cpu.rs` — its job is to catch divergence in
 //! corners nobody thought to write a targeted test for.
 
+#![allow(deprecated)] // exercises the legacy entry points deliberately
+
 use datagen::synthetic::{generate, SyntheticConfig};
 use gpu_sim::{Device, DeviceConfig};
 use proclus::{fast_proclus, fast_star_proclus, proclus, Clustering, DataMatrix, Params};

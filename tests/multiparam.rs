@@ -2,6 +2,8 @@
 //! for every setting, on CPU and GPU, and the GPU multi runner agrees with
 //! the CPU one seed-for-seed at each level.
 
+#![allow(deprecated)] // exercises the legacy entry points deliberately
+
 use datagen::synthetic::{generate, SyntheticConfig};
 use gpu_sim::{Device, DeviceConfig};
 use proclus::multi_param::{ReuseLevel, Setting};

@@ -2,6 +2,8 @@
 //! CSV roundtrip, plus the device-facing failure modes a user will hit
 //! (OOM, unsupported configurations) and simulator reporting guarantees.
 
+#![allow(deprecated)] // exercises the legacy entry points deliberately
+
 use std::path::PathBuf;
 
 use datagen::io::{load_csv, write_csv};

@@ -10,6 +10,8 @@
 //! * Full-algorithm invariant — any valid parameters produce a structurally
 //!   valid clustering on arbitrary data.
 
+#![allow(deprecated)] // exercises the legacy entry points deliberately
+
 use proptest::prelude::*;
 
 use proclus::distance::{euclidean, manhattan_segmental};

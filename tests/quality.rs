@@ -4,6 +4,8 @@
 //! clear projected structure — i.e. the implementation earns the "still
 //! competitive" claim PROCLUS carries (§1).
 
+#![allow(deprecated)] // exercises the legacy entry points deliberately
+
 use datagen::synthetic::{generate, SyntheticConfig};
 use gpu_sim::{Device, DeviceConfig};
 use proclus::metrics::{adjusted_rand_index, normalized_mutual_information, purity};

@@ -1,0 +1,136 @@
+//! Telemetry integration tests: the span tree is deterministic for a fixed
+//! seed (golden file), the counters tell the paper's story (FAST computes
+//! strictly fewer distances than the baseline), and both export formats
+//! validate.
+//!
+//! Regenerate the golden file after an intentional instrumentation change:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test --test telemetry
+//! ```
+
+use gpu_fast_proclus::prelude::*;
+use proclus::telemetry::{counters, schema};
+
+fn dataset() -> DataMatrix {
+    let gen = datagen::synthetic::generate(
+        &SyntheticConfig::new(400, 6)
+            .with_clusters(3)
+            .with_subspace_dims(3)
+            .with_std_dev(3.0)
+            .with_seed(11),
+    );
+    let mut data = gen.data;
+    data.minmax_normalize();
+    data
+}
+
+fn params() -> Params {
+    Params::new(3, 3).with_a(20).with_b(4).with_seed(7)
+}
+
+fn telemetry_for(algo: Algo, backend: Backend) -> proclus::telemetry::TelemetryReport {
+    let data = dataset();
+    let config = Config::new(params())
+        .with_algo(algo)
+        .with_backend(backend)
+        .with_telemetry(true);
+    let output = match backend {
+        Backend::Cpu => run(&data, &config).unwrap(),
+        Backend::Gpu => {
+            let mut dev = Device::new(DeviceConfig::gtx_1660_ti());
+            run_on(&mut dev, &data, &config).unwrap()
+        }
+    };
+    output.telemetry.unwrap()
+}
+
+#[test]
+fn span_tree_matches_the_golden_file() {
+    let tree = telemetry_for(Algo::Fast, Backend::Cpu).render_tree();
+    let path =
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden/telemetry_tree.txt");
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(&path, &tree).unwrap();
+        return;
+    }
+    let golden = std::fs::read_to_string(&path)
+        .expect("golden file missing; run with UPDATE_GOLDEN=1 to create it");
+    assert_eq!(
+        tree, golden,
+        "span tree drifted from tests/golden/telemetry_tree.txt; if the \
+         instrumentation change is intentional, regenerate with UPDATE_GOLDEN=1"
+    );
+}
+
+#[test]
+fn the_golden_tree_is_reproducible_within_a_process() {
+    let a = telemetry_for(Algo::Fast, Backend::Cpu).render_tree();
+    let b = telemetry_for(Algo::Fast, Backend::Cpu).render_tree();
+    assert_eq!(a, b);
+}
+
+#[test]
+fn fast_computes_strictly_fewer_distances_than_the_baseline() {
+    let base = telemetry_for(Algo::Baseline, Backend::Cpu);
+    let fast = telemetry_for(Algo::Fast, Backend::Cpu);
+    let d_base = base.total(counters::DISTANCES_COMPUTED);
+    let d_fast = fast.total(counters::DISTANCES_COMPUTED);
+    assert!(d_base > 0 && d_fast > 0);
+    assert!(
+        d_fast < d_base,
+        "FAST should reuse Dist rows: fast = {d_fast}, baseline = {d_base}"
+    );
+    // The cache is what saves the work (Theorem 3.1).
+    assert!(fast.total(counters::DIST_CACHE_HITS) > 0);
+    assert_eq!(base.total(counters::DIST_CACHE_HITS), 0);
+}
+
+#[test]
+fn gpu_counters_match_the_cpu_counters_for_equal_seeds() {
+    // The baseline's distance count differs by design (the CPU baseline
+    // recomputes medoid↔medoid distances per iteration, the GPU kernel
+    // does not), so it is excluded for `Algo::Baseline`.
+    for algo in [Algo::Baseline, Algo::Fast, Algo::FastStar] {
+        let cpu = telemetry_for(algo, Backend::Cpu);
+        let gpu = telemetry_for(algo, Backend::Gpu);
+        let mut shared = vec![
+            counters::DIST_CACHE_HITS,
+            counters::DIST_CACHE_MISSES,
+            counters::ITERATIONS,
+            counters::MEDOIDS_REPLACED,
+        ];
+        if algo != Algo::Baseline {
+            shared.push(counters::DISTANCES_COMPUTED);
+        }
+        for c in shared {
+            assert_eq!(
+                cpu.total(c),
+                gpu.total(c),
+                "{c} diverges on {} (cpu vs gpu)",
+                algo.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn both_export_formats_validate() {
+    let report = telemetry_for(Algo::Fast, Backend::Cpu);
+    schema::validate_report_str(&report.to_json()).unwrap();
+    schema::validate_chrome_trace_str(&report.to_chrome_trace()).unwrap();
+    // Every executed phase appears as a span.
+    for phase in [
+        "run",
+        "initialization",
+        "iteration",
+        "compute_l",
+        "find_dimensions",
+        "assign_points",
+        "evaluate_clusters",
+        "bad_medoids",
+        "refinement",
+    ] {
+        assert!(report.find_span(phase).is_some(), "missing span {phase}");
+    }
+}
