@@ -20,6 +20,7 @@ const HARNESSES: &[&str] = &[
     "table_utilization",
     "ablations",
     "telemetry",
+    "serve_bench",
 ];
 
 fn main() {

@@ -142,6 +142,19 @@ pub enum Command {
         /// Output CSV path (labels appended as last column).
         out: String,
     },
+    /// Run the LDJSON clustering service (stdin/stdout, or TCP with
+    /// `--listen`).
+    Serve {
+        /// TCP address to listen on (`host:port`); `None` serves one
+        /// session over stdin/stdout.
+        listen: Option<String>,
+        /// Worker threads.
+        workers: usize,
+        /// Bounded queue capacity (admission control).
+        queue_capacity: usize,
+        /// Maximum jobs coalesced into one grid run.
+        max_batch: usize,
+    },
     /// Print help.
     Help,
 }
@@ -153,6 +166,7 @@ proclus — projected clustering (GPU-FAST-PROCLUS reproduction)
 USAGE:
   proclus cluster <data.csv> --k <K | LO..HI> [--l L] [flags]
   proclus generate --out <file.csv> [--n N] [--d D] [--clusters C] [flags]
+  proclus serve [--listen HOST:PORT] [--workers N] [--queue N] [--max-batch N]
   proclus help
 
 cluster flags:
@@ -177,6 +191,13 @@ cluster flags:
 generate flags:
   --n N --d D --clusters C --subspace-dims S --std-dev V --noise F --seed S
   --out FILE         output path (required)
+
+serve flags (LDJSON: one JSON request per line; jobs on the same dataset
+differing only in k/l are coalesced into one shared grid run):
+  --listen ADDR      serve TCP sessions on ADDR instead of stdin/stdout
+  --workers N        worker threads                               [2]
+  --queue N          bounded queue capacity (backpressure)        [64]
+  --max-batch N      max jobs coalesced into one grid run         [16]
 ";
 
 fn take_value(
@@ -331,6 +352,35 @@ impl Cli {
                     out: out.ok_or("generate: --out is required")?,
                 }
             }
+            Some("serve") => {
+                let mut listen: Option<String> = None;
+                let mut workers = 2usize;
+                let mut queue_capacity = 64usize;
+                let mut max_batch = 16usize;
+                while let Some(arg) = args.next() {
+                    match arg.as_str() {
+                        "--listen" => listen = Some(take_value(&mut args, "--listen")?),
+                        "--workers" => {
+                            workers = parse_num(take_value(&mut args, "--workers")?, "--workers")?;
+                        }
+                        "--queue" => {
+                            queue_capacity =
+                                parse_num(take_value(&mut args, "--queue")?, "--queue")?;
+                        }
+                        "--max-batch" => {
+                            max_batch =
+                                parse_num(take_value(&mut args, "--max-batch")?, "--max-batch")?;
+                        }
+                        other => return Err(format!("unexpected argument `{other}`")),
+                    }
+                }
+                Command::Serve {
+                    listen,
+                    workers,
+                    queue_capacity,
+                    max_batch,
+                }
+            }
             Some(other) => return Err(format!("unknown command `{other}` (try `proclus help`)")),
         };
         Ok(Cli { command })
@@ -343,6 +393,51 @@ mod tests {
 
     fn parse(args: &[&str]) -> Result<Cli, String> {
         Cli::parse(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn serve_defaults() {
+        let cli = parse(&["serve"]).unwrap();
+        assert_eq!(
+            cli.command,
+            Command::Serve {
+                listen: None,
+                workers: 2,
+                queue_capacity: 64,
+                max_batch: 16,
+            }
+        );
+    }
+
+    #[test]
+    fn serve_full_flags() {
+        let cli = parse(&[
+            "serve",
+            "--listen",
+            "127.0.0.1:7878",
+            "--workers",
+            "4",
+            "--queue",
+            "128",
+            "--max-batch",
+            "8",
+        ])
+        .unwrap();
+        assert_eq!(
+            cli.command,
+            Command::Serve {
+                listen: Some("127.0.0.1:7878".to_string()),
+                workers: 4,
+                queue_capacity: 128,
+                max_batch: 8,
+            }
+        );
+    }
+
+    #[test]
+    fn serve_rejects_unknown_flag() {
+        assert!(parse(&["serve", "--bogus"]).is_err());
+        assert!(parse(&["serve", "--workers", "x"]).is_err());
     }
 
     #[test]

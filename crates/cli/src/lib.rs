@@ -34,4 +34,6 @@ pub mod exit {
     pub const INVALID: i32 = 3;
     /// Device error (e.g. out of memory on the simulated GPU).
     pub const DEVICE: i32 = 4;
+    /// The run was cancelled (caller cancellation or deadline exceeded).
+    pub const CANCELLED: i32 = 5;
 }

@@ -47,6 +47,7 @@ fn exit_for(e: &ProclusError) -> i32 {
             crate::exit::INVALID
         }
         ProclusError::Unsupported { .. } | ProclusError::Device { .. } => crate::exit::DEVICE,
+        ProclusError::Cancelled { .. } => crate::exit::CANCELLED,
     }
 }
 
@@ -219,6 +220,66 @@ pub fn execute(cli: &Cli) -> Result<String, (i32, String)> {
                 }
             }
             Ok(rendered)
+        }
+        Command::Serve {
+            listen,
+            workers,
+            queue_capacity,
+            max_batch,
+        } => serve(listen.as_deref(), *workers, *queue_capacity, *max_batch),
+    }
+}
+
+/// Runs the LDJSON clustering service: one session over stdin/stdout, or
+/// (with `--listen`) a thread per TCP connection sharing one [`Server`].
+fn serve(
+    listen: Option<&str>,
+    workers: usize,
+    queue_capacity: usize,
+    max_batch: usize,
+) -> Result<String, (i32, String)> {
+    let cfg = proclus_serve::ServeConfig::default()
+        .with_workers(workers)
+        .with_queue_capacity(queue_capacity)
+        .with_max_batch(max_batch);
+    let server = proclus_serve::Server::start(cfg);
+    match listen {
+        None => {
+            let stdin = std::io::stdin();
+            let mut stdout = std::io::stdout();
+            proclus_serve::protocol::serve_connection(&server, stdin.lock(), &mut stdout)
+                .map_err(|e| (crate::exit::DEVICE, format!("serve: {e}")))?;
+            server.shutdown();
+            Ok(String::new())
+        }
+        Some(addr) => {
+            let listener = std::net::TcpListener::bind(addr).map_err(|e| {
+                (
+                    crate::exit::DEVICE,
+                    format!("serve: cannot bind {addr}: {e}"),
+                )
+            })?;
+            eprintln!("proclus serve: listening on {addr} ({workers} workers)");
+            let server = std::sync::Arc::new(server);
+            std::thread::scope(|scope| {
+                for stream in listener.incoming() {
+                    let stream = match stream {
+                        Ok(s) => s,
+                        Err(_) => continue,
+                    };
+                    let server = std::sync::Arc::clone(&server);
+                    scope.spawn(move || {
+                        let reader = std::io::BufReader::new(match stream.try_clone() {
+                            Ok(s) => s,
+                            Err(_) => return,
+                        });
+                        let mut writer = stream;
+                        let _ =
+                            proclus_serve::protocol::serve_connection(&server, reader, &mut writer);
+                    });
+                }
+            });
+            Ok(String::new())
         }
     }
 }

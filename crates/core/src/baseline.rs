@@ -4,6 +4,7 @@
 
 use proclus_telemetry::{counters, Recorder};
 
+use crate::cancel::CancelToken;
 use crate::dataset::DataMatrix;
 use crate::driver::{run_full, XEngine};
 use crate::error::Result;
@@ -43,8 +44,9 @@ pub(crate) fn run_baseline(
     params: &Params,
     exec: &Executor,
     rec: &dyn Recorder,
+    cancel: &CancelToken,
 ) -> Result<Clustering> {
-    run_full(data, params, exec, &mut BaselineEngine, rec)
+    run_full(data, params, exec, &mut BaselineEngine, rec, cancel)
 }
 
 /// Runs sequential baseline PROCLUS.
@@ -72,6 +74,7 @@ pub fn proclus(data: &DataMatrix, params: &Params) -> Result<Clustering> {
         params,
         &Executor::Sequential,
         &proclus_telemetry::NullRecorder,
+        &CancelToken::new(),
     )
 }
 
@@ -87,6 +90,7 @@ pub fn proclus_par(data: &DataMatrix, params: &Params, threads: usize) -> Result
         params,
         &Executor::Parallel { threads },
         &proclus_telemetry::NullRecorder,
+        &CancelToken::new(),
     )
 }
 

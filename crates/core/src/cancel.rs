@@ -1,0 +1,117 @@
+//! Cooperative cancellation for long-running clustering work.
+//!
+//! A [`CancelToken`] is a cheap, cloneable flag (plus an optional deadline)
+//! that the phase driver checks at phase boundaries — the top of every
+//! medoid-search iteration and before refinement. Cancellation is therefore
+//! *cooperative*: a cancelled run finishes its current phase and returns
+//! [`ProclusError::Cancelled`] instead of a clustering, leaving no partial
+//! state behind. The serving layer hands one token per job to the driver so
+//! a client disconnect or an expired deadline stops paid work promptly
+//! without poisoning the worker thread.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use crate::error::{ProclusError, Result};
+
+/// Shared cancellation flag with an optional absolute deadline.
+///
+/// Clones share the same flag: cancelling any clone cancels them all.
+///
+/// ```
+/// use proclus::CancelToken;
+/// let token = CancelToken::new();
+/// let remote = token.clone();
+/// assert!(token.check().is_ok());
+/// remote.cancel();
+/// assert!(token.is_cancelled());
+/// assert!(token.check().is_err());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+    deadline: Option<Instant>,
+}
+
+impl CancelToken {
+    /// A token that is never cancelled unless [`CancelToken::cancel`] is
+    /// called.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A token that additionally trips once `deadline` has passed.
+    pub fn with_deadline(deadline: Instant) -> Self {
+        Self {
+            flag: Arc::new(AtomicBool::new(false)),
+            deadline: Some(deadline),
+        }
+    }
+
+    /// Requests cancellation; every clone observes it.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Release);
+    }
+
+    /// True once [`CancelToken::cancel`] was called on any clone or the
+    /// deadline (if any) has passed.
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Acquire) || self.deadline.is_some_and(|d| Instant::now() >= d)
+    }
+
+    /// True when this token carries a deadline that has passed (regardless
+    /// of the explicit flag).
+    pub fn deadline_exceeded(&self) -> bool {
+        self.deadline.is_some_and(|d| Instant::now() >= d)
+    }
+
+    /// `Ok(())` while live, [`ProclusError::Cancelled`] once cancelled —
+    /// the form the phase driver calls at phase boundaries.
+    pub fn check(&self) -> Result<()> {
+        if self.deadline_exceeded() {
+            Err(ProclusError::cancelled("deadline exceeded"))
+        } else if self.flag.load(Ordering::Acquire) {
+            Err(ProclusError::cancelled("cancelled by caller"))
+        } else {
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn fresh_token_is_live() {
+        let t = CancelToken::new();
+        assert!(!t.is_cancelled());
+        t.check().unwrap();
+    }
+
+    #[test]
+    fn clones_share_the_flag() {
+        let t = CancelToken::new();
+        let c = t.clone();
+        c.cancel();
+        assert!(t.is_cancelled());
+        assert!(matches!(t.check(), Err(ProclusError::Cancelled { .. })));
+    }
+
+    #[test]
+    fn deadline_trips_without_an_explicit_cancel() {
+        let t = CancelToken::with_deadline(Instant::now() - Duration::from_millis(1));
+        assert!(t.is_cancelled());
+        let err = t.check().unwrap_err();
+        assert!(err.to_string().contains("deadline"));
+    }
+
+    #[test]
+    fn future_deadline_stays_live() {
+        let t = CancelToken::with_deadline(Instant::now() + Duration::from_secs(3600));
+        assert!(!t.is_cancelled());
+        t.check().unwrap();
+    }
+}

@@ -8,6 +8,7 @@
 
 use proclus_telemetry::TelemetryReport;
 
+use crate::error::ProclusError;
 use crate::multi_param::{ReuseLevel, Setting};
 use crate::params::Params;
 use crate::result::Clustering;
@@ -174,8 +175,16 @@ impl Config {
 /// non-grid runs) plus the telemetry report when it was requested.
 #[derive(Debug, Clone)]
 pub struct RunOutput {
-    /// One clustering per executed setting, in setting order.
+    /// One clustering per *successful* setting, in setting order. For
+    /// non-grid runs this is exactly one entry (a failed single run is an
+    /// `Err` from `run`, never an empty output).
     pub clusterings: Vec<Clustering>,
+    /// Grid settings that were skipped instead of run: `(setting index,
+    /// error)` pairs, in setting order. Empty for non-grid runs and for
+    /// grids where every setting succeeded. A grid entry with invalid
+    /// parameters (or a cancelled per-setting token) lands here while the
+    /// remaining settings still execute.
+    pub setting_errors: Vec<(usize, ProclusError)>,
     /// The recorded span tree and counters, when
     /// [`Config::telemetry`] was on.
     pub telemetry: Option<TelemetryReport>,

@@ -19,6 +19,7 @@
 
 use proclus_telemetry::{counters, span, Recorder};
 
+use crate::cancel::CancelToken;
 use crate::dataset::DataMatrix;
 use crate::error::Result;
 use crate::par::Executor;
@@ -74,6 +75,10 @@ pub(crate) fn initialization_phase(
 /// set — used by multi-parameter level 3 to warm-start from the previous
 /// setting's best medoids (§3.1). Returns the clustering together with the
 /// best medoids as indices into `m_data`, which the warm start needs.
+///
+/// `cancel` is checked cooperatively at phase boundaries (top of every
+/// iteration and before refinement); a tripped token aborts with
+/// [`crate::ProclusError::Cancelled`] and no partial result.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn run_core<E: XEngine>(
     data: &DataMatrix,
@@ -84,6 +89,7 @@ pub(crate) fn run_core<E: XEngine>(
     m_data: &[usize],
     init_mcur: Option<Vec<usize>>,
     rec: &dyn Recorder,
+    cancel: &CancelToken,
 ) -> Result<(Clustering, Vec<usize>)> {
     let k = params.k;
     let (n, d) = (data.n(), data.d());
@@ -109,6 +115,7 @@ pub(crate) fn run_core<E: XEngine>(
 
     // Iterative phase (Alg. 1 lines 5–14).
     loop {
+        cancel.check()?;
         let _iter = span(rec, "iteration");
         let medoids: Vec<usize> = mcur.iter().map(|&mi| m_data[mi]).collect();
         let (x, _lsz) = {
@@ -169,6 +176,7 @@ pub(crate) fn run_core<E: XEngine>(
     }
 
     // Refinement phase (Alg. 1 lines 15–19): L ← CBest.
+    cancel.check()?;
     let _refine = span(rec, "refinement");
     let medoids: Vec<usize> = best_mcur.iter().map(|&mi| m_data[mi]).collect();
     let (x, _) = {
@@ -209,17 +217,25 @@ pub(crate) fn run_core<E: XEngine>(
 }
 
 /// Convenience: full run (init + iterate + refine) with a given engine,
-/// wrapped in one `run` span.
+/// wrapped in one `run` span. Every public entry point — `run`, the grid
+/// runners, and the deprecated free-function shims — funnels through here
+/// (or through [`run_core`] directly), so the cancellation discipline is
+/// uniform across one-shot and served paths.
 pub(crate) fn run_full<E: XEngine>(
     data: &DataMatrix,
     params: &Params,
     exec: &Executor,
     engine: &mut E,
     rec: &dyn Recorder,
+    cancel: &CancelToken,
 ) -> Result<Clustering> {
     params.validate(data)?;
+    cancel.check()?;
     let _run = span(rec, "run");
     let mut rng = ProclusRng::new(params.seed);
     let m_data = initialization_phase(data, params, &mut rng, exec, rec);
-    run_core(data, params, exec, &mut rng, engine, &m_data, None, rec).map(|(c, _)| c)
+    run_core(
+        data, params, exec, &mut rng, engine, &m_data, None, rec, cancel,
+    )
+    .map(|(c, _)| c)
 }

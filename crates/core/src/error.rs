@@ -31,6 +31,14 @@ pub enum ProclusError {
         /// The device error message.
         reason: String,
     },
+    /// The run was stopped cooperatively before completion — either the
+    /// caller's [`crate::CancelToken`] was cancelled or its deadline
+    /// passed. Checked at phase boundaries, so no partial state escapes.
+    Cancelled {
+        /// Why the run stopped (`cancelled by caller` / `deadline
+        /// exceeded`).
+        reason: String,
+    },
 }
 
 impl ProclusError {
@@ -51,6 +59,12 @@ impl ProclusError {
             reason: reason.into(),
         }
     }
+
+    pub(crate) fn cancelled(reason: impl Into<String>) -> Self {
+        ProclusError::Cancelled {
+            reason: reason.into(),
+        }
+    }
 }
 
 impl fmt::Display for ProclusError {
@@ -60,6 +74,7 @@ impl fmt::Display for ProclusError {
             ProclusError::InvalidData { reason } => write!(f, "invalid data: {reason}"),
             ProclusError::Unsupported { reason } => write!(f, "unsupported: {reason}"),
             ProclusError::Device { reason } => write!(f, "device error: {reason}"),
+            ProclusError::Cancelled { reason } => write!(f, "cancelled: {reason}"),
         }
     }
 }

@@ -6,6 +6,7 @@ use std::collections::HashMap;
 
 use proclus_telemetry::{counters, Recorder};
 
+use crate::cancel::CancelToken;
 use crate::dataset::DataMatrix;
 use crate::distance::euclidean;
 use crate::driver::{run_full, XEngine};
@@ -301,8 +302,9 @@ pub(crate) fn run_fast(
     params: &Params,
     exec: &Executor,
     rec: &dyn Recorder,
+    cancel: &CancelToken,
 ) -> Result<Clustering> {
-    run_full(data, params, exec, &mut FastEngine::new(data), rec)
+    run_full(data, params, exec, &mut FastEngine::new(data), rec, cancel)
 }
 
 /// Runs sequential FAST-PROCLUS (§3): identical output to the baseline
@@ -318,6 +320,7 @@ pub fn fast_proclus(data: &DataMatrix, params: &Params) -> Result<Clustering> {
         params,
         &Executor::Sequential,
         &proclus_telemetry::NullRecorder,
+        &CancelToken::new(),
     )
 }
 
@@ -332,6 +335,7 @@ pub fn fast_proclus_par(data: &DataMatrix, params: &Params, threads: usize) -> R
         params,
         &Executor::Parallel { threads },
         &proclus_telemetry::NullRecorder,
+        &CancelToken::new(),
     )
 }
 

@@ -8,6 +8,7 @@
 
 use proclus_telemetry::{counters, Recorder};
 
+use crate::cancel::CancelToken;
 use crate::dataset::DataMatrix;
 use crate::driver::{run_full, XEngine};
 use crate::error::Result;
@@ -129,6 +130,7 @@ pub(crate) fn run_fast_star(
     params: &Params,
     exec: &Executor,
     rec: &dyn Recorder,
+    cancel: &CancelToken,
 ) -> Result<Clustering> {
     run_full(
         data,
@@ -136,6 +138,7 @@ pub(crate) fn run_fast_star(
         exec,
         &mut FastStarEngine::new(data, params.k),
         rec,
+        cancel,
     )
 }
 
@@ -152,6 +155,7 @@ pub fn fast_star_proclus(data: &DataMatrix, params: &Params) -> Result<Clusterin
         params,
         &Executor::Sequential,
         &proclus_telemetry::NullRecorder,
+        &CancelToken::new(),
     )
 }
 
@@ -170,6 +174,7 @@ pub fn fast_star_proclus_par(
         params,
         &Executor::Parallel { threads },
         &proclus_telemetry::NullRecorder,
+        &CancelToken::new(),
     )
 }
 

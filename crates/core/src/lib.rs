@@ -57,6 +57,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod baseline;
+pub mod cancel;
 pub mod config;
 pub mod dataset;
 pub mod distance;
@@ -80,6 +81,7 @@ pub use proclus_telemetry as telemetry;
 
 #[allow(deprecated)]
 pub use baseline::{proclus, proclus_par};
+pub use cancel::CancelToken;
 pub use config::{Algo, Backend, Config, Grid, RunOutput};
 pub use dataset::DataMatrix;
 pub use error::{ProclusError, Result};
@@ -87,10 +89,13 @@ pub use error::{ProclusError, Result};
 pub use fast::{fast_proclus, fast_proclus_par};
 #[allow(deprecated)]
 pub use fast_star::{fast_star_proclus, fast_star_proclus_par};
-pub use multi_param::{default_grid, fast_proclus_multi, proclus_multi, ReuseLevel, Setting};
+pub use multi_param::{
+    default_grid, fast_proclus_multi, fast_proclus_multi_outcomes, proclus_multi,
+    proclus_multi_outcomes, ReuseLevel, Setting,
+};
 pub use params::{BadMedoidRule, Params, ParamsBuilder};
 pub use result::{Clustering, OUTLIER};
 pub use rng::ProclusRng;
-pub use run::run;
 #[doc(hidden)]
-pub use run::{executor_for, run_cpu_with, stamp_meta};
+pub use run::{executor_for, partition_outcomes, run_cpu_with, stamp_meta, PartitionedOutcomes};
+pub use run::{run, run_with_cancel};

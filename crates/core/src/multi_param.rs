@@ -22,6 +22,7 @@
 use proclus_telemetry::{span, NullRecorder, Recorder};
 
 use crate::baseline::BaselineEngine;
+use crate::cancel::CancelToken;
 use crate::dataset::DataMatrix;
 use crate::driver::{initialization_phase, run_core};
 use crate::error::Result;
@@ -69,8 +70,17 @@ fn derive_params(base: &Params, s: Setting) -> Params {
     p
 }
 
+/// Returns the cancel token for setting `i`: `cancels` is either empty (no
+/// per-setting cancellation) or one token per setting.
+fn cancel_for(cancels: &[CancelToken], i: usize) -> CancelToken {
+    cancels.get(i).cloned().unwrap_or_default()
+}
+
 /// Runs FAST-PROCLUS over a grid of settings with the chosen reuse level.
 /// Returns one clustering per setting, in input order.
+///
+/// Any invalid setting fails the whole call (the historical contract);
+/// use [`fast_proclus_multi_outcomes`] for per-setting skip-and-report.
 pub fn fast_proclus_multi(
     data: &DataMatrix,
     base: &Params,
@@ -78,52 +88,96 @@ pub fn fast_proclus_multi(
     level: ReuseLevel,
     exec: &Executor,
 ) -> Result<Vec<Clustering>> {
-    fast_proclus_multi_rec(data, base, settings, level, exec, &NullRecorder)
+    for &s in settings {
+        derive_params(base, s).validate(data)?;
+    }
+    fast_proclus_multi_outcomes(data, base, settings, level, exec, &NullRecorder, &[])
+        .into_iter()
+        .collect()
 }
 
-/// [`fast_proclus_multi`] with telemetry: each setting is recorded as its
-/// own `run` span (the shared greedy pass, when present, gets a
-/// free-standing `initialization` span before the first run).
-pub(crate) fn fast_proclus_multi_rec(
+/// [`fast_proclus_multi`] with per-setting **outcomes**: an invalid or
+/// cancelled setting yields `Err` in its slot instead of aborting the whole
+/// grid, and every other setting still runs. This is the entry point the
+/// serving layer batches through.
+///
+/// * Each setting is recorded as its own root `run` span — including failed
+///   settings, whose (empty) span keeps the span↔setting correspondence
+///   stable for per-job telemetry splitting. The shared greedy pass of
+///   level ≥ 2, when present, is a free-standing `initialization` span
+///   before the first run (batch overhead, attributable to no single job).
+/// * `cancels` is either empty or holds one [`CancelToken`] per setting;
+///   token `i` is checked before and during (at phase boundaries) the run
+///   of setting `i`.
+/// * Skipped settings consume no RNG draws, so the remaining settings
+///   produce the same clusterings as a grid submitted without the invalid
+///   entries.
+/// * Shared state (sample size, `|M| = B·k_max`) is derived from the
+///   *valid* settings only.
+pub fn fast_proclus_multi_outcomes(
     data: &DataMatrix,
     base: &Params,
     settings: &[Setting],
     level: ReuseLevel,
     exec: &Executor,
     rec: &dyn Recorder,
-) -> Result<Vec<Clustering>> {
-    for &s in settings {
-        derive_params(base, s).validate(data)?;
-    }
+    cancels: &[CancelToken],
+) -> Vec<Result<Clustering>> {
+    debug_assert!(cancels.is_empty() || cancels.len() == settings.len());
+    let validity: Vec<Result<()>> = settings
+        .iter()
+        .map(|&s| derive_params(base, s).validate(data))
+        .collect();
     let mut rng = ProclusRng::new(base.seed);
-    let mut results = Vec::with_capacity(settings.len());
+    let mut results: Vec<Result<Clustering>> = Vec::with_capacity(settings.len());
 
     if level == ReuseLevel::Independent {
-        for &s in settings {
+        for (i, &s) in settings.iter().enumerate() {
             let _run = span(rec, "run");
+            if let Err(e) = &validity[i] {
+                results.push(Err(e.clone()));
+                continue;
+            }
+            let cancel = cancel_for(cancels, i);
+            if let Err(e) = cancel.check() {
+                results.push(Err(e));
+                continue;
+            }
             let params = derive_params(base, s);
             let mut engine = FastEngine::new(data);
             let m_data = initialization_phase(data, &params, &mut rng, exec, rec);
-            let (c, _) = run_core(
-                data,
-                &params,
-                exec,
-                &mut rng,
-                &mut engine,
-                &m_data,
-                None,
-                rec,
-            )?;
-            results.push(c);
+            results.push(
+                run_core(
+                    data,
+                    &params,
+                    exec,
+                    &mut rng,
+                    &mut engine,
+                    &m_data,
+                    None,
+                    rec,
+                    &cancel,
+                )
+                .map(|(c, _)| c),
+            );
         }
-        return Ok(results);
+        return results;
     }
 
     let k_max = settings
         .iter()
-        .map(|s| s.k)
-        .max()
-        .expect("settings non-empty");
+        .zip(&validity)
+        .filter(|(_, v)| v.is_ok())
+        .map(|(s, _)| s.k)
+        .max();
+    let Some(k_max) = k_max else {
+        // Nothing runnable: report per-setting errors, touch no RNG.
+        for v in &validity {
+            let _run = span(rec, "run");
+            results.push(Err(v.as_ref().unwrap_err().clone()));
+        }
+        return results;
+    };
     let sample = sample_data_prime(&mut rng, data.n(), (base.a * k_max).min(data.n()));
     let mut engine = FastEngine::new(data);
 
@@ -141,8 +195,17 @@ pub(crate) fn fast_proclus_multi_rec(
     };
 
     let mut prev_best_mcur: Option<Vec<usize>> = None;
-    for &s in settings {
+    for (i, &s) in settings.iter().enumerate() {
         let _run = span(rec, "run");
+        if let Err(e) = &validity[i] {
+            results.push(Err(e.clone()));
+            continue;
+        }
+        let cancel = cancel_for(cancels, i);
+        if let Err(e) = cancel.check() {
+            results.push(Err(e));
+            continue;
+        }
         let params = derive_params(base, s);
         let m_data: Vec<usize> = match &shared_m {
             Some(m) => m.clone(),
@@ -166,7 +229,7 @@ pub(crate) fn fast_proclus_multi_rec(
             None
         };
 
-        let (c, best_mcur) = run_core(
+        match run_core(
             data,
             &params,
             exec,
@@ -175,11 +238,16 @@ pub(crate) fn fast_proclus_multi_rec(
             &m_data,
             init_mcur,
             rec,
-        )?;
-        prev_best_mcur = Some(best_mcur);
-        results.push(c);
+            &cancel,
+        ) {
+            Ok((c, best_mcur)) => {
+                prev_best_mcur = Some(best_mcur);
+                results.push(Ok(c));
+            }
+            Err(e) => results.push(Err(e)),
+        }
     }
-    Ok(results)
+    results
 }
 
 /// Builds an initial medoid set of size `k` from the previous best medoids
@@ -203,43 +271,67 @@ fn warm_start_mcur(prev: &[usize], k: usize, m_len: usize, rng: &mut ProclusRng)
 
 /// Runs baseline PROCLUS independently for every setting (the reference
 /// point of Fig. 3a–e; no reuse is possible in the baseline).
+///
+/// Any invalid setting fails the whole call (the historical contract);
+/// use [`proclus_multi_outcomes`] for per-setting skip-and-report.
 pub fn proclus_multi(
     data: &DataMatrix,
     base: &Params,
     settings: &[Setting],
     exec: &Executor,
 ) -> Result<Vec<Clustering>> {
-    proclus_multi_rec(data, base, settings, exec, &NullRecorder)
+    for &s in settings {
+        derive_params(base, s).validate(data)?;
+    }
+    proclus_multi_outcomes(data, base, settings, exec, &NullRecorder, &[])
+        .into_iter()
+        .collect()
 }
 
-/// [`proclus_multi`] with telemetry: one `run` span per setting.
-pub(crate) fn proclus_multi_rec(
+/// [`proclus_multi`] with per-setting outcomes: one root `run` span per
+/// setting (failed settings included), `Err` slots for invalid or cancelled
+/// settings, and no RNG consumption by skipped settings. See
+/// [`fast_proclus_multi_outcomes`] for the contract details.
+pub fn proclus_multi_outcomes(
     data: &DataMatrix,
     base: &Params,
     settings: &[Setting],
     exec: &Executor,
     rec: &dyn Recorder,
-) -> Result<Vec<Clustering>> {
+    cancels: &[CancelToken],
+) -> Vec<Result<Clustering>> {
+    debug_assert!(cancels.is_empty() || cancels.len() == settings.len());
     let mut rng = ProclusRng::new(base.seed);
-    let mut results = Vec::with_capacity(settings.len());
-    for &s in settings {
+    let mut results: Vec<Result<Clustering>> = Vec::with_capacity(settings.len());
+    for (i, &s) in settings.iter().enumerate() {
         let _run = span(rec, "run");
         let params = derive_params(base, s);
-        params.validate(data)?;
+        if let Err(e) = params.validate(data) {
+            results.push(Err(e));
+            continue;
+        }
+        let cancel = cancel_for(cancels, i);
+        if let Err(e) = cancel.check() {
+            results.push(Err(e));
+            continue;
+        }
         let m_data = initialization_phase(data, &params, &mut rng, exec, rec);
-        let (c, _) = run_core(
-            data,
-            &params,
-            exec,
-            &mut rng,
-            &mut BaselineEngine,
-            &m_data,
-            None,
-            rec,
-        )?;
-        results.push(c);
+        results.push(
+            run_core(
+                data,
+                &params,
+                exec,
+                &mut rng,
+                &mut BaselineEngine,
+                &m_data,
+                None,
+                rec,
+                &cancel,
+            )
+            .map(|(c, _)| c),
+        );
     }
-    Ok(results)
+    results
 }
 
 /// The 9-combination `(k, l)` grid used throughout §5.3 of the paper:
@@ -341,6 +433,117 @@ mod tests {
         assert_eq!(&mcur[..2], &[10, 20]);
         let set: std::collections::HashSet<_> = mcur.iter().collect();
         assert_eq!(set.len(), 4);
+    }
+
+    #[test]
+    fn outcomes_skip_and_report_invalid_settings() {
+        let data = blob_data(500);
+        let base = Params::new(5, 2).with_a(20).with_b(4).with_seed(31);
+        // l = 9 > d = 4 → invalid; the neighbours must still run.
+        let settings = vec![Setting::new(3, 2), Setting::new(3, 9), Setting::new(4, 3)];
+        let out = fast_proclus_multi_outcomes(
+            &data,
+            &base,
+            &settings,
+            ReuseLevel::SharedCache,
+            &Executor::Sequential,
+            &NullRecorder,
+            &[],
+        );
+        assert_eq!(out.len(), 3);
+        assert!(out[0].is_ok());
+        assert!(matches!(
+            out[1],
+            Err(crate::error::ProclusError::InvalidParams { .. })
+        ));
+        assert!(out[2].is_ok());
+        // The strict wrapper keeps the historical abort-on-invalid contract.
+        assert!(fast_proclus_multi(
+            &data,
+            &base,
+            &settings,
+            ReuseLevel::SharedCache,
+            &Executor::Sequential
+        )
+        .is_err());
+        // Skipped settings consume no RNG: the valid settings match a grid
+        // submitted without the invalid entry.
+        let clean = fast_proclus_multi(
+            &data,
+            &base,
+            &[settings[0], settings[2]],
+            ReuseLevel::SharedCache,
+            &Executor::Sequential,
+        )
+        .unwrap();
+        assert_eq!(out[0].as_ref().unwrap(), &clean[0]);
+        assert_eq!(out[2].as_ref().unwrap(), &clean[1]);
+    }
+
+    #[test]
+    fn outcomes_report_invalid_settings_for_the_baseline_grid() {
+        let data = blob_data(400);
+        let base = Params::new(4, 2).with_a(20).with_b(4).with_seed(5);
+        let settings = vec![Setting::new(1, 2), Setting::new(3, 2)];
+        let out = proclus_multi_outcomes(
+            &data,
+            &base,
+            &settings,
+            &Executor::Sequential,
+            &NullRecorder,
+            &[],
+        );
+        assert!(out[0].is_err());
+        assert!(out[1].is_ok());
+        assert!(proclus_multi(&data, &base, &settings, &Executor::Sequential).is_err());
+    }
+
+    #[test]
+    fn outcomes_honour_per_setting_cancellation() {
+        let data = blob_data(400);
+        let base = Params::new(4, 2).with_a(20).with_b(4).with_seed(9);
+        let settings = vec![Setting::new(3, 2), Setting::new(4, 2)];
+        let cancels = vec![CancelToken::new(), CancelToken::new()];
+        cancels[1].cancel();
+        let out = fast_proclus_multi_outcomes(
+            &data,
+            &base,
+            &settings,
+            ReuseLevel::SharedGreedy,
+            &Executor::Sequential,
+            &NullRecorder,
+            &cancels,
+        );
+        assert!(out[0].is_ok());
+        assert!(matches!(
+            out[1],
+            Err(crate::error::ProclusError::Cancelled { .. })
+        ));
+    }
+
+    #[test]
+    fn outcomes_open_a_run_span_for_every_setting() {
+        use proclus_telemetry::Telemetry;
+        let data = blob_data(400);
+        let base = Params::new(4, 2).with_a(20).with_b(4).with_seed(3);
+        let settings = vec![Setting::new(3, 2), Setting::new(3, 99), Setting::new(4, 2)];
+        let tel = Telemetry::new();
+        let out = fast_proclus_multi_outcomes(
+            &data,
+            &base,
+            &settings,
+            ReuseLevel::SharedGreedy,
+            &Executor::Sequential,
+            &tel,
+            &[],
+        );
+        assert_eq!(out.len(), 3);
+        let report = tel.finish();
+        // One root `run` span per setting — including the failed one — so
+        // span i always belongs to setting i (per-job telemetry splitting).
+        let runs: Vec<_> = report.spans.iter().filter(|s| s.name == "run").collect();
+        assert_eq!(runs.len(), 3);
+        assert!(runs[1].children.is_empty(), "failed setting has empty span");
     }
 
     #[test]

@@ -7,13 +7,15 @@ use std::time::Instant;
 use proclus_telemetry::{NullRecorder, Recorder, Telemetry};
 
 use crate::baseline::run_baseline;
+use crate::cancel::CancelToken;
 use crate::config::{Algo, Backend, Config, RunOutput};
 use crate::dataset::DataMatrix;
 use crate::error::{ProclusError, Result};
 use crate::fast::run_fast;
 use crate::fast_star::run_fast_star;
-use crate::multi_param::{fast_proclus_multi_rec, proclus_multi_rec, ReuseLevel};
+use crate::multi_param::{fast_proclus_multi_outcomes, proclus_multi_outcomes, ReuseLevel};
 use crate::par::Executor;
+use crate::result::Clustering;
 
 /// Builds the executor a [`Config`] asks for (`0`/`1` threads →
 /// sequential).
@@ -70,6 +72,19 @@ pub fn stamp_meta(tel: &Telemetry, data: &DataMatrix, config: &Config) {
 /// assert!(report.total(proclus::telemetry::counters::DISTANCES_COMPUTED) > 0);
 /// ```
 pub fn run(data: &DataMatrix, config: &Config) -> Result<RunOutput> {
+    run_with_cancel(data, config, &CancelToken::new())
+}
+
+/// [`run`] with cooperative cancellation: the token is checked at phase
+/// boundaries (iteration tops, before refinement). A cancelled single run
+/// returns [`ProclusError::Cancelled`]; in a grid run the token applies to
+/// every setting, and settings cancelled mid-grid land in
+/// [`RunOutput::setting_errors`] like any other per-setting failure.
+pub fn run_with_cancel(
+    data: &DataMatrix,
+    config: &Config,
+    cancel: &CancelToken,
+) -> Result<RunOutput> {
     if config.backend != Backend::Cpu {
         return Err(ProclusError::unsupported(
             "proclus::run executes on the CPU only; use proclus_gpu::run \
@@ -85,55 +100,98 @@ pub fn run(data: &DataMatrix, config: &Config) -> Result<RunOutput> {
     let null = NullRecorder;
     let rec: &dyn Recorder = tel.as_ref().map_or(&null as &dyn Recorder, |t| t);
 
-    let clusterings = run_cpu_with(data, config, rec)?;
+    let (clusterings, setting_errors) = run_cpu_with(data, config, rec, cancel)?;
 
     Ok(RunOutput {
         clusterings,
+        setting_errors,
         telemetry: tel.map(Telemetry::finish),
         wall_ms: t0.elapsed().as_secs_f64() * 1e3,
     })
 }
 
+/// The successful clusterings of a (possibly grid) run plus its
+/// per-setting errors.
+#[doc(hidden)]
+pub type PartitionedOutcomes = (Vec<Clustering>, Vec<(usize, ProclusError)>);
+
+/// Splits per-setting outcomes into (successes in setting order, indexed
+/// errors).
+#[doc(hidden)]
+pub fn partition_outcomes(outcomes: Vec<Result<Clustering>>) -> PartitionedOutcomes {
+    let mut clusterings = Vec::with_capacity(outcomes.len());
+    let mut errors = Vec::new();
+    for (i, o) in outcomes.into_iter().enumerate() {
+        match o {
+            Ok(c) => clusterings.push(c),
+            Err(e) => errors.push((i, e)),
+        }
+    }
+    (clusterings, errors)
+}
+
 /// CPU dispatch against an externally owned recorder — shared with the
 /// `proclus-gpu` crate, whose `run` delegates CPU configs here while
 /// keeping its own telemetry collector (so GPU and CPU runs land in one
-/// report format).
+/// report format). Returns the successful clusterings plus the per-setting
+/// errors of a grid run (always empty for single runs, whose failures are
+/// the outer `Err`).
 #[doc(hidden)]
 pub fn run_cpu_with(
     data: &DataMatrix,
     config: &Config,
     rec: &dyn Recorder,
-) -> Result<Vec<crate::result::Clustering>> {
+    cancel: &CancelToken,
+) -> Result<PartitionedOutcomes> {
     let exec = executor_for(config);
     match &config.grid {
         None => {
             let c = match config.algo {
-                Algo::Baseline => run_baseline(data, &config.params, &exec, rec)?,
-                Algo::Fast => run_fast(data, &config.params, &exec, rec)?,
-                Algo::FastStar => run_fast_star(data, &config.params, &exec, rec)?,
+                Algo::Baseline => run_baseline(data, &config.params, &exec, rec, cancel)?,
+                Algo::Fast => run_fast(data, &config.params, &exec, rec, cancel)?,
+                Algo::FastStar => run_fast_star(data, &config.params, &exec, rec, cancel)?,
             };
-            Ok(vec![c])
+            Ok((vec![c], Vec::new()))
         }
-        Some(grid) => match config.algo {
-            Algo::Baseline => {
-                if grid.reuse != ReuseLevel::Independent {
-                    return Err(ProclusError::unsupported(
-                        "the baseline cannot share computation across settings; \
-                         use ReuseLevel::Independent or Algo::Fast",
-                    ));
+        Some(grid) => {
+            let cancels = vec![cancel.clone(); grid.settings.len()];
+            let outcomes = match config.algo {
+                Algo::Baseline => {
+                    if grid.reuse != ReuseLevel::Independent {
+                        return Err(ProclusError::unsupported(
+                            "the baseline cannot share computation across settings; \
+                             use ReuseLevel::Independent or Algo::Fast",
+                        ));
+                    }
+                    proclus_multi_outcomes(
+                        data,
+                        &config.params,
+                        &grid.settings,
+                        &exec,
+                        rec,
+                        &cancels,
+                    )
                 }
-                proclus_multi_rec(data, &config.params, &grid.settings, &exec, rec)
-            }
-            Algo::Fast => {
-                fast_proclus_multi_rec(data, &config.params, &grid.settings, grid.reuse, &exec, rec)
-            }
-            Algo::FastStar => Err(ProclusError::unsupported(
-                "multi-parameter grids are defined for Algo::Fast (the \
-                 Dist/H cache is what settings share, §3.1) and \
-                 Algo::Baseline (independent runs); FAST* keeps no \
-                 cross-setting state",
-            )),
-        },
+                Algo::Fast => fast_proclus_multi_outcomes(
+                    data,
+                    &config.params,
+                    &grid.settings,
+                    grid.reuse,
+                    &exec,
+                    rec,
+                    &cancels,
+                ),
+                Algo::FastStar => {
+                    return Err(ProclusError::unsupported(
+                        "multi-parameter grids are defined for Algo::Fast (the \
+                         Dist/H cache is what settings share, §3.1) and \
+                         Algo::Baseline (independent runs); FAST* keeps no \
+                         cross-setting state",
+                    ))
+                }
+            };
+            Ok(partition_outcomes(outcomes))
+        }
     }
 }
 
@@ -257,6 +315,54 @@ mod tests {
         // One root run span per setting.
         let report = out.telemetry.unwrap();
         assert_eq!(report.spans.iter().filter(|s| s.name == "run").count(), 2);
+    }
+
+    #[test]
+    fn grid_skips_and_reports_invalid_settings() {
+        let data = blob_data(500);
+        // Middle setting asks for l > d and must be skipped, not abort.
+        let grid = Grid::new(
+            vec![Setting::new(3, 2), Setting::new(3, 9), Setting::new(4, 3)],
+            ReuseLevel::SharedCache,
+        );
+        let out = run(
+            &data,
+            &Config::new(Params::new(4, 2).with_a(20).with_b(4).with_seed(5)).with_grid(grid),
+        )
+        .unwrap();
+        assert_eq!(out.clusterings.len(), 2);
+        assert_eq!(out.setting_errors.len(), 1);
+        assert_eq!(out.setting_errors[0].0, 1);
+        assert!(matches!(
+            out.setting_errors[0].1,
+            ProclusError::InvalidParams { .. }
+        ));
+    }
+
+    #[test]
+    fn pre_cancelled_token_stops_single_and_grid_runs() {
+        use crate::cancel::CancelToken;
+        let data = blob_data(300);
+        let token = CancelToken::new();
+        token.cancel();
+        // Single run: outer error.
+        assert!(matches!(
+            run_with_cancel(&data, &Config::new(small_params()), &token),
+            Err(ProclusError::Cancelled { .. })
+        ));
+        // Grid run: per-setting errors, no clusterings, queue not poisoned.
+        let grid = Grid::new(
+            vec![Setting::new(2, 2), Setting::new(3, 2)],
+            ReuseLevel::SharedCache,
+        );
+        let out =
+            run_with_cancel(&data, &Config::new(small_params()).with_grid(grid), &token).unwrap();
+        assert!(out.clusterings.is_empty());
+        assert_eq!(out.setting_errors.len(), 2);
+        assert!(out
+            .setting_errors
+            .iter()
+            .all(|(_, e)| matches!(e, ProclusError::Cancelled { .. })));
     }
 
     #[test]

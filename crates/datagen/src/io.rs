@@ -55,10 +55,48 @@ pub fn load_csv(path: &Path, has_header: bool, label_col: Option<usize>) -> Resu
                 let v: f32 = tok.parse().map_err(|_| ProclusError::InvalidData {
                     reason: format!("line {}: value `{tok}` not a number", lineno + 1),
                 })?;
+                if !v.is_finite() {
+                    return Err(ProclusError::InvalidData {
+                        reason: format!(
+                            "line {}: non-finite value `{tok}` in column {col}",
+                            lineno + 1
+                        ),
+                    });
+                }
                 row.push(v);
             }
         }
+        // Ragged rows get a line-numbered error here rather than the
+        // shape-only error `from_rows` would produce.
+        if let Some(first) = rows.first() {
+            if row.len() != first.len() {
+                return Err(ProclusError::InvalidData {
+                    reason: format!(
+                        "line {}: {} feature column(s), expected {}",
+                        lineno + 1,
+                        row.len(),
+                        first.len()
+                    ),
+                });
+            }
+        }
+        if let Some(lc) = label_col {
+            if labels.len() != rows.len() + 1 {
+                return Err(ProclusError::InvalidData {
+                    reason: format!(
+                        "line {}: no label column {lc} (row has {} column(s))",
+                        lineno + 1,
+                        row.len()
+                    ),
+                });
+            }
+        }
         rows.push(row);
+    }
+    if rows.is_empty() {
+        return Err(ProclusError::InvalidData {
+            reason: format!("{path:?}: no data rows"),
+        });
     }
     let data = DataMatrix::from_rows(&rows)?;
     Ok(CsvData {
@@ -142,5 +180,59 @@ mod tests {
     #[test]
     fn missing_file_is_an_error() {
         assert!(load_csv(Path::new("/nonexistent/x.csv"), false, None).is_err());
+    }
+
+    #[test]
+    fn ragged_row_reports_line_and_widths() {
+        let path = tmp("ragged");
+        std::fs::write(&path, "1.0,2.0\n3.0,4.0,5.0\n").unwrap();
+        let err = load_csv(&path, false, None).unwrap_err();
+        assert!(matches!(err, ProclusError::InvalidData { .. }));
+        assert!(
+            err.to_string().contains("line 2") && err.to_string().contains("expected 2"),
+            "{err}"
+        );
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn non_finite_values_are_rejected() {
+        for bad in ["nan", "inf", "-inf", "NaN", "Infinity"] {
+            let path = tmp(&format!("nonfinite-{}", bad.to_lowercase()));
+            std::fs::write(&path, format!("1.0,{bad}\n")).unwrap();
+            let err = load_csv(&path, false, None).unwrap_err();
+            assert!(matches!(err, ProclusError::InvalidData { .. }));
+            assert!(err.to_string().contains("non-finite"), "{bad}: {err}");
+            std::fs::remove_file(path).ok();
+        }
+    }
+
+    #[test]
+    fn empty_file_is_a_typed_error() {
+        let path = tmp("empty");
+        std::fs::write(&path, "").unwrap();
+        let err = load_csv(&path, false, None).unwrap_err();
+        assert!(matches!(err, ProclusError::InvalidData { .. }));
+        assert!(err.to_string().contains("no data rows"), "{err}");
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn header_only_file_is_a_typed_error() {
+        let path = tmp("header-only");
+        std::fs::write(&path, "a,b,c\n").unwrap();
+        let err = load_csv(&path, true, None).unwrap_err();
+        assert!(err.to_string().contains("no data rows"), "{err}");
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn out_of_range_label_column_is_a_typed_error() {
+        let path = tmp("label-range");
+        std::fs::write(&path, "1.0,2.0\n").unwrap();
+        let err = load_csv(&path, false, Some(7)).unwrap_err();
+        assert!(matches!(err, ProclusError::InvalidData { .. }));
+        assert!(err.to_string().contains("no label column 7"), "{err}");
+        std::fs::remove_file(path).ok();
     }
 }

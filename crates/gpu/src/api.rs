@@ -9,14 +9,16 @@ use proclus::multi_param::ReuseLevel;
 use proclus::params::Params;
 use proclus::phases::initialization::sample_data_prime;
 use proclus::result::Clustering;
-use proclus::{Algo, Backend, Config, DataMatrix, ProclusError, ProclusRng, RunOutput};
+use proclus::{
+    Algo, Backend, CancelToken, Config, DataMatrix, ProclusError, ProclusRng, RunOutput,
+};
 use proclus_telemetry::{attrs, counters, span, NullRecorder, Recorder, Telemetry};
 
 use crate::driver::{run_core_gpu, GpuVariant};
 use crate::error::{GpuProclusError, Result};
 use crate::kernels::greedy::greedy_gpu;
 use crate::kernels::ASSIGN_BLOCK;
-use crate::multi_param::{gpu_fast_proclus_multi_rec, gpu_proclus_multi_rec};
+use crate::multi_param::{gpu_fast_proclus_multi_outcomes, gpu_proclus_multi_outcomes};
 use crate::rows::RowCache;
 use crate::workspace::Workspace;
 
@@ -50,8 +52,10 @@ pub(crate) fn run_variant(
     params: &Params,
     variant: GpuVariant,
     rec: &dyn Recorder,
+    cancel: &CancelToken,
 ) -> Result<Clustering> {
     validate_gpu(dev, data, params)?;
+    cancel.check()?;
     let run_span = span(rec, "run");
     let run_t = dev.elapsed_us();
     let n = data.n();
@@ -79,7 +83,7 @@ pub(crate) fn run_variant(
     drop(init_span);
 
     let result = run_core_gpu(
-        dev, &ws, &mut cache, variant, params, &mut rng, &m_data, None, rec,
+        dev, &ws, &mut cache, variant, params, &mut rng, &m_data, None, rec, cancel,
     );
     // Free device memory whether or not the run succeeded.
     cache.free(dev)?;
@@ -101,42 +105,61 @@ fn run_gpu_with(
     data: &DataMatrix,
     config: &Config,
     rec: &dyn Recorder,
-) -> Result<Vec<Clustering>> {
+    cancel: &CancelToken,
+) -> Result<proclus::PartitionedOutcomes> {
     match &config.grid {
-        None => Ok(vec![run_variant(
-            dev,
-            data,
-            &config.params,
-            variant_for(config.algo),
-            rec,
-        )?]),
-        Some(grid) => match config.algo {
-            Algo::Baseline => {
-                if grid.reuse != ReuseLevel::Independent {
-                    return Err(GpuProclusError::Unsupported {
-                        reason: "the baseline cannot share computation across settings; \
-                                 use ReuseLevel::Independent or Algo::Fast"
-                            .into(),
-                    });
-                }
-                gpu_proclus_multi_rec(dev, data, &config.params, &grid.settings, rec)
-            }
-            Algo::Fast => gpu_fast_proclus_multi_rec(
+        None => {
+            let c = run_variant(
                 dev,
                 data,
                 &config.params,
-                &grid.settings,
-                grid.reuse,
+                variant_for(config.algo),
                 rec,
-            ),
-            Algo::FastStar => Err(GpuProclusError::Unsupported {
-                reason: "multi-parameter grids are defined for Algo::Fast (the \
-                         Dist/H cache is what settings share, §3.1) and \
-                         Algo::Baseline (independent runs); FAST* keeps no \
-                         cross-setting state"
-                    .into(),
-            }),
-        },
+                cancel,
+            )?;
+            Ok((vec![c], Vec::new()))
+        }
+        Some(grid) => {
+            let cancels = vec![cancel.clone(); grid.settings.len()];
+            let outcomes = match config.algo {
+                Algo::Baseline => {
+                    if grid.reuse != ReuseLevel::Independent {
+                        return Err(GpuProclusError::Unsupported {
+                            reason: "the baseline cannot share computation across settings; \
+                                     use ReuseLevel::Independent or Algo::Fast"
+                                .into(),
+                        });
+                    }
+                    gpu_proclus_multi_outcomes(
+                        dev,
+                        data,
+                        &config.params,
+                        &grid.settings,
+                        rec,
+                        &cancels,
+                    )?
+                }
+                Algo::Fast => gpu_fast_proclus_multi_outcomes(
+                    dev,
+                    data,
+                    &config.params,
+                    &grid.settings,
+                    grid.reuse,
+                    rec,
+                    &cancels,
+                )?,
+                Algo::FastStar => {
+                    return Err(GpuProclusError::Unsupported {
+                        reason: "multi-parameter grids are defined for Algo::Fast (the \
+                                 Dist/H cache is what settings share, §3.1) and \
+                                 Algo::Baseline (independent runs); FAST* keeps no \
+                                 cross-setting state"
+                            .into(),
+                    })
+                }
+            };
+            Ok(proclus::partition_outcomes(outcomes))
+        }
     }
 }
 
@@ -174,8 +197,22 @@ fn bridge_kernels(rec: &dyn Recorder, before: &DeviceReport, after: &DeviceRepor
 /// `kernel:<name>` span per kernel family with its launch count and modeled
 /// kernel time.
 pub fn run_on(dev: &mut Device, data: &DataMatrix, config: &Config) -> proclus::Result<RunOutput> {
+    run_on_with_cancel(dev, data, config, &CancelToken::new())
+}
+
+/// [`run_on`] with cooperative cancellation: `cancel` is checked at phase
+/// boundaries inside the GPU driver, and grid runs treat it as a
+/// per-setting token (a cancelled token skips the remaining settings,
+/// reporting them in [`RunOutput::setting_errors`]). Device memory is
+/// released before returning, cancelled or not.
+pub fn run_on_with_cancel(
+    dev: &mut Device,
+    data: &DataMatrix,
+    config: &Config,
+    cancel: &CancelToken,
+) -> proclus::Result<RunOutput> {
     if config.backend == Backend::Cpu {
-        return proclus::run(data, config);
+        return proclus::run_with_cancel(data, config, cancel);
     }
     let t0 = Instant::now();
     let tel = config.telemetry.then(|| {
@@ -188,13 +225,15 @@ pub fn run_on(dev: &mut Device, data: &DataMatrix, config: &Config) -> proclus::
     let rec: &dyn Recorder = tel.as_ref().map_or(&null as &dyn Recorder, |t| t);
 
     let before = rec.enabled().then(|| dev.report());
-    let clusterings = run_gpu_with(dev, data, config, rec).map_err(ProclusError::from)?;
+    let (clusterings, setting_errors) =
+        run_gpu_with(dev, data, config, rec, cancel).map_err(ProclusError::from)?;
     if let Some(before) = &before {
         bridge_kernels(rec, before, &dev.report());
     }
 
     Ok(RunOutput {
         clusterings,
+        setting_errors,
         telemetry: tel.map(Telemetry::finish),
         wall_ms: t0.elapsed().as_secs_f64() * 1e3,
     })
@@ -220,7 +259,14 @@ pub fn run(data: &DataMatrix, config: &Config) -> proclus::Result<RunOutput> {
 /// [`Algo::Baseline`](proclus::Algo::Baseline) and [`Backend::Gpu`].
 #[deprecated(since = "0.1.0", note = "use proclus_gpu::run_on with Algo::Baseline")]
 pub fn gpu_proclus(dev: &mut Device, data: &DataMatrix, params: &Params) -> Result<Clustering> {
-    run_variant(dev, data, params, GpuVariant::Plain, &NullRecorder)
+    run_variant(
+        dev,
+        data,
+        params,
+        GpuVariant::Plain,
+        &NullRecorder,
+        &CancelToken::new(),
+    )
 }
 
 /// Runs GPU-FAST-PROCLUS (§4.2): cached distance rows + incremental `H`.
@@ -233,7 +279,14 @@ pub fn gpu_fast_proclus(
     data: &DataMatrix,
     params: &Params,
 ) -> Result<Clustering> {
-    run_variant(dev, data, params, GpuVariant::Fast, &NullRecorder)
+    run_variant(
+        dev,
+        data,
+        params,
+        GpuVariant::Fast,
+        &NullRecorder,
+        &CancelToken::new(),
+    )
 }
 
 /// Runs GPU-FAST*-PROCLUS (§3.2 + §4.2): the space-reduced variant.
@@ -246,7 +299,14 @@ pub fn gpu_fast_star_proclus(
     data: &DataMatrix,
     params: &Params,
 ) -> Result<Clustering> {
-    run_variant(dev, data, params, GpuVariant::FastStar, &NullRecorder)
+    run_variant(
+        dev,
+        data,
+        params,
+        GpuVariant::FastStar,
+        &NullRecorder,
+        &CancelToken::new(),
+    )
 }
 
 #[cfg(test)]

@@ -14,10 +14,11 @@ use proclus::params::Params;
 use proclus::phases::bad_medoids::{compute_bad_medoids, replace_bad_medoids};
 use proclus::phases::find_dimensions::pick_dimensions;
 use proclus::result::Clustering;
+use proclus::CancelToken;
 use proclus::ProclusRng;
 use proclus_telemetry::{attrs, counters, span, Recorder};
 
-use crate::error::Result;
+use crate::error::{GpuProclusError, Result};
 use crate::kernels::assign::assign_kernel;
 use crate::kernels::delta::deltas_kernel;
 use crate::kernels::evaluate::evaluate_kernel;
@@ -164,6 +165,11 @@ fn x_phase(
 /// `compute_l`, `find_dimensions`, `assign_points`, `evaluate_clusters`,
 /// `bad_medoids`, `refinement`, `remove_outliers`), each annotated with the
 /// simulated device microseconds it consumed.
+///
+/// `cancel` is checked at the same phase boundaries as the CPU driver (top
+/// of every iteration, before refinement); callers free the workspace and
+/// caches whether the run completed or was cancelled, so a cancelled job
+/// leaks no device memory.
 #[allow(clippy::too_many_arguments)]
 pub fn run_core_gpu(
     dev: &mut Device,
@@ -175,6 +181,7 @@ pub fn run_core_gpu(
     m_data: &[usize],
     init_mcur: Option<Vec<usize>>,
     rec: &dyn Recorder,
+    cancel: &CancelToken,
 ) -> Result<(Clustering, Vec<usize>)> {
     let k = params.k;
     let (n, d) = (ws.n, ws.d);
@@ -194,6 +201,7 @@ pub fn run_core_gpu(
     let mut prev_labels: Option<Vec<i32>> = None;
 
     loop {
+        cancel.check().map_err(GpuProclusError::from)?;
         let iter_span = span(rec, "iteration");
         let medoids: Vec<usize> = mcur.iter().map(|&mi| m_data[mi]).collect();
 
@@ -289,6 +297,7 @@ pub fn run_core_gpu(
     }
 
     // Refinement phase: L ← CBest (rebuilt on-device from the best labels).
+    cancel.check().map_err(GpuProclusError::from)?;
     let refine_span = span(rec, "refinement");
     let medoids: Vec<usize> = best_mcur.iter().map(|&mi| m_data[mi]).collect();
 

@@ -66,7 +66,10 @@ pub mod workspace;
 
 #[allow(deprecated)]
 pub use api::{gpu_fast_proclus, gpu_fast_star_proclus, gpu_proclus};
-pub use api::{run, run_on};
+pub use api::{run, run_on, run_on_with_cancel};
 pub use driver::GpuVariant;
 pub use error::{GpuProclusError, Result};
-pub use multi_param::{gpu_fast_proclus_multi, gpu_proclus_multi};
+pub use multi_param::{
+    gpu_fast_proclus_multi, gpu_fast_proclus_multi_outcomes, gpu_proclus_multi,
+    gpu_proclus_multi_outcomes,
+};

@@ -15,7 +15,7 @@ use proclus::multi_param::{ReuseLevel, Setting};
 use proclus::params::Params;
 use proclus::phases::initialization::sample_data_prime;
 use proclus::result::Clustering;
-use proclus::{DataMatrix, ProclusRng};
+use proclus::{CancelToken, DataMatrix, ProclusError, ProclusRng};
 use proclus_telemetry::{attrs, counters, span, NullRecorder, Recorder};
 
 use crate::api::validate_gpu;
@@ -71,32 +71,57 @@ fn greedy_with_rec(
     m
 }
 
-pub(crate) fn gpu_fast_proclus_multi_rec(
+/// Returns the cancel token for setting `i`: `cancels` is either empty (no
+/// per-setting cancellation) or one token per setting.
+fn cancel_for(cancels: &[CancelToken], i: usize) -> CancelToken {
+    cancels.get(i).cloned().unwrap_or_default()
+}
+
+/// GPU mirror of `proclus::fast_proclus_multi_outcomes`: per-setting
+/// skip-and-report outcomes with optional per-setting cancellation.
+///
+/// The outer `Err` is reserved for shared infrastructure failures (the
+/// batch workspace could not be allocated or freed); everything that
+/// concerns a single setting — invalid parameters, kernel-shape limits,
+/// cancellation, a device failure mid-run — lands as `Err` in that
+/// setting's slot while the remaining settings still run. Every setting
+/// gets a root `run` span (failed ones included) and skipped settings
+/// consume no RNG, matching the CPU contract.
+#[allow(clippy::too_many_arguments)]
+pub fn gpu_fast_proclus_multi_outcomes(
     dev: &mut Device,
     data: &DataMatrix,
     base: &Params,
     settings: &[Setting],
     level: ReuseLevel,
     rec: &dyn Recorder,
-) -> Result<Vec<Clustering>> {
-    for &s in settings {
-        validate_gpu(dev, data, &derive(base, s))?;
-    }
+    cancels: &[CancelToken],
+) -> Result<Vec<proclus::Result<Clustering>>> {
+    debug_assert!(cancels.is_empty() || cancels.len() == settings.len());
+    let validity: Vec<proclus::Result<()>> = settings
+        .iter()
+        .map(|&s| validate_gpu(dev, data, &derive(base, s)).map_err(ProclusError::from))
+        .collect();
     let n = data.n();
-    let k_max = settings.iter().map(|s| s.k).max().expect("non-empty");
-    let sample_size = (base.a * k_max).min(n);
-    let m_max = (base.b * k_max).min(sample_size);
-
     let mut rng = ProclusRng::new(base.seed);
-    let mut results = Vec::with_capacity(settings.len());
+    let mut results: Vec<proclus::Result<Clustering>> = Vec::with_capacity(settings.len());
 
     if level == ReuseLevel::Independent {
         // Truly independent executions, as in "GPU-FAST-PROCLUS executed
         // with one parameter setting at a time" (§5.3): every setting
         // allocates its own workspace and uploads the data itself.
-        for &s in settings {
-            let params = derive(base, s);
+        for (i, &s) in settings.iter().enumerate() {
             let run_span = span(rec, "run");
+            if let Err(e) = &validity[i] {
+                results.push(Err(e.clone()));
+                continue;
+            }
+            let cancel = cancel_for(cancels, i);
+            if let Err(e) = cancel.check() {
+                results.push(Err(e));
+                continue;
+            }
+            let params = derive(base, s);
             let run_t = dev.elapsed_us();
             let sample_size = params.sample_size(n);
             let m_count = params.num_potential_medoids(n);
@@ -104,7 +129,7 @@ pub(crate) fn gpu_fast_proclus_multi_rec(
             let sample = sample_data_prime(&mut rng, n, sample_size);
             let m_data = greedy_with_rec(dev, &ws_s, &sample, m_count, &mut rng, rec);
             let mut cache = RowCache::new_fast(n, data.d(), params.k);
-            let (c, _) = run_core_gpu(
+            let r = run_core_gpu(
                 dev,
                 &ws_s,
                 &mut cache,
@@ -114,14 +139,31 @@ pub(crate) fn gpu_fast_proclus_multi_rec(
                 &m_data,
                 None,
                 rec,
-            )?;
+                &cancel,
+            );
             cache.free(dev)?;
             ws_s.free(dev)?;
             rec.annotate(run_span.id(), attrs::SIM_US, dev.elapsed_us() - run_t);
-            results.push(c);
+            results.push(r.map(|(c, _)| c).map_err(ProclusError::from));
         }
         return Ok(results);
     }
+
+    let k_max = settings
+        .iter()
+        .zip(&validity)
+        .filter(|(_, v)| v.is_ok())
+        .map(|(s, _)| s.k)
+        .max();
+    let Some(k_max) = k_max else {
+        for v in &validity {
+            let _run = span(rec, "run");
+            results.push(Err(v.as_ref().unwrap_err().clone()));
+        }
+        return Ok(results);
+    };
+    let sample_size = (base.a * k_max).min(n);
+    let m_max = (base.b * k_max).min(sample_size);
 
     // Level ≥ 1: one workspace, one sample; persistent cache.
     let ws = Workspace::new(dev, data, k_max, sample_size, m_max)?;
@@ -136,9 +178,18 @@ pub(crate) fn gpu_fast_proclus_multi_rec(
     };
 
     let mut prev_best: Option<Vec<usize>> = None;
-    for &s in settings {
-        let params = derive(base, s);
+    for (i, &s) in settings.iter().enumerate() {
         let run_span = span(rec, "run");
+        if let Err(e) = &validity[i] {
+            results.push(Err(e.clone()));
+            continue;
+        }
+        let cancel = cancel_for(cancels, i);
+        if let Err(e) = cancel.check() {
+            results.push(Err(e));
+            continue;
+        }
+        let params = derive(base, s);
         let run_t = dev.elapsed_us();
         let m_data = match &shared_m {
             Some(m) => m.clone(),
@@ -157,7 +208,7 @@ pub(crate) fn gpu_fast_proclus_multi_rec(
         } else {
             None
         };
-        let (c, best_mcur) = run_core_gpu(
+        match run_core_gpu(
             dev,
             &ws,
             &mut cache,
@@ -167,10 +218,15 @@ pub(crate) fn gpu_fast_proclus_multi_rec(
             &m_data,
             init_mcur,
             rec,
-        )?;
-        prev_best = Some(best_mcur);
+            &cancel,
+        ) {
+            Ok((c, best_mcur)) => {
+                prev_best = Some(best_mcur);
+                results.push(Ok(c));
+            }
+            Err(e) => results.push(Err(e.into())),
+        }
         rec.annotate(run_span.id(), attrs::SIM_US, dev.elapsed_us() - run_t);
-        results.push(c);
     }
     cache.free(dev)?;
     ws.free(dev)?;
@@ -179,6 +235,9 @@ pub(crate) fn gpu_fast_proclus_multi_rec(
 
 /// Runs GPU-FAST-PROCLUS over a grid of `(k, l)` settings with the chosen
 /// reuse level, returning one clustering per setting.
+///
+/// Any invalid setting fails the whole call (the historical contract); use
+/// [`gpu_fast_proclus_multi_outcomes`] for per-setting skip-and-report.
 pub fn gpu_fast_proclus_multi(
     dev: &mut Device,
     data: &DataMatrix,
@@ -186,35 +245,68 @@ pub fn gpu_fast_proclus_multi(
     settings: &[Setting],
     level: ReuseLevel,
 ) -> Result<Vec<Clustering>> {
-    gpu_fast_proclus_multi_rec(dev, data, base, settings, level, &NullRecorder)
+    for &s in settings {
+        validate_gpu(dev, data, &derive(base, s))?;
+    }
+    gpu_fast_proclus_multi_outcomes(dev, data, base, settings, level, &NullRecorder, &[])?
+        .into_iter()
+        .map(|r| r.map_err(crate::error::GpuProclusError::from))
+        .collect()
 }
 
-pub(crate) fn gpu_proclus_multi_rec(
+/// GPU mirror of `proclus::proclus_multi_outcomes`: plain GPU-PROCLUS per
+/// setting, with per-setting skip-and-report outcomes and cancellation.
+/// See [`gpu_fast_proclus_multi_outcomes`] for the contract.
+pub fn gpu_proclus_multi_outcomes(
     dev: &mut Device,
     data: &DataMatrix,
     base: &Params,
     settings: &[Setting],
     rec: &dyn Recorder,
-) -> Result<Vec<Clustering>> {
-    for &s in settings {
-        validate_gpu(dev, data, &derive(base, s))?;
-    }
+    cancels: &[CancelToken],
+) -> Result<Vec<proclus::Result<Clustering>>> {
+    debug_assert!(cancels.is_empty() || cancels.len() == settings.len());
+    let validity: Vec<proclus::Result<()>> = settings
+        .iter()
+        .map(|&s| validate_gpu(dev, data, &derive(base, s)).map_err(ProclusError::from))
+        .collect();
     let n = data.n();
-    let k_max = settings.iter().map(|s| s.k).max().expect("non-empty");
+    let k_max = settings
+        .iter()
+        .zip(&validity)
+        .filter(|(_, v)| v.is_ok())
+        .map(|(s, _)| s.k)
+        .max();
+    let mut results: Vec<proclus::Result<Clustering>> = Vec::with_capacity(settings.len());
+    let Some(k_max) = k_max else {
+        for v in &validity {
+            let _run = span(rec, "run");
+            results.push(Err(v.as_ref().unwrap_err().clone()));
+        }
+        return Ok(results);
+    };
     let sample_size = (base.a * k_max).min(n);
     let m_max = (base.b * k_max).min(sample_size);
     let ws = Workspace::new(dev, data, k_max, sample_size, m_max)?;
     let mut rng = ProclusRng::new(base.seed);
-    let mut results = Vec::with_capacity(settings.len());
-    for &s in settings {
-        let params = derive(base, s);
+    for (i, &s) in settings.iter().enumerate() {
         let run_span = span(rec, "run");
+        if let Err(e) = &validity[i] {
+            results.push(Err(e.clone()));
+            continue;
+        }
+        let cancel = cancel_for(cancels, i);
+        if let Err(e) = cancel.check() {
+            results.push(Err(e));
+            continue;
+        }
+        let params = derive(base, s);
         let run_t = dev.elapsed_us();
         let sample = sample_data_prime(&mut rng, n, params.sample_size(n));
         let m_count = params.num_potential_medoids(n);
         let m_data = greedy_with_rec(dev, &ws, &sample, m_count, &mut rng, rec);
         let mut cache = RowCache::new_plain(dev, n, params.k)?;
-        let (c, _) = run_core_gpu(
+        let r = run_core_gpu(
             dev,
             &ws,
             &mut cache,
@@ -224,10 +316,11 @@ pub(crate) fn gpu_proclus_multi_rec(
             &m_data,
             None,
             rec,
-        )?;
+            &cancel,
+        );
         cache.free(dev)?;
         rec.annotate(run_span.id(), attrs::SIM_US, dev.elapsed_us() - run_t);
-        results.push(c);
+        results.push(r.map(|(c, _)| c).map_err(ProclusError::from));
     }
     ws.free(dev)?;
     Ok(results)
@@ -235,11 +328,20 @@ pub(crate) fn gpu_proclus_multi_rec(
 
 /// Runs plain GPU-PROCLUS independently for every setting (the comparison
 /// baseline of Fig. 3a–e).
+///
+/// Any invalid setting fails the whole call (the historical contract); use
+/// [`gpu_proclus_multi_outcomes`] for per-setting skip-and-report.
 pub fn gpu_proclus_multi(
     dev: &mut Device,
     data: &DataMatrix,
     base: &Params,
     settings: &[Setting],
 ) -> Result<Vec<Clustering>> {
-    gpu_proclus_multi_rec(dev, data, base, settings, &NullRecorder)
+    for &s in settings {
+        validate_gpu(dev, data, &derive(base, s))?;
+    }
+    gpu_proclus_multi_outcomes(dev, data, base, settings, &NullRecorder, &[])?
+        .into_iter()
+        .map(|r| r.map_err(crate::error::GpuProclusError::from))
+        .collect()
 }

@@ -1,0 +1,309 @@
+//! The typed job API: what a client submits ([`JobRequest`]), the handle it
+//! gets back ([`JobHandle`]), and what a finished job yields
+//! ([`JobOutput`] / [`ServeError`]).
+
+use std::fmt;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+use proclus::telemetry::TelemetryReport;
+use proclus::{Algo, Backend, CancelToken, Clustering, Params, ProclusError};
+
+use crate::registry::DatasetRef;
+
+/// Errors the service itself produces (admission control, dataset
+/// resolution, worker failures) plus algorithm errors forwarded from the
+/// clustering crates.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeError {
+    /// The bounded queue is at capacity; the client should back off and
+    /// retry (backpressure, not data loss).
+    QueueFull {
+        /// The configured queue capacity that was hit.
+        capacity: usize,
+    },
+    /// The server is shutting down and no longer admits jobs.
+    ShuttingDown,
+    /// The request failed cheap admission-time validation (e.g. `l < 2`).
+    InvalidRequest {
+        /// Human-readable rejection reason.
+        reason: String,
+    },
+    /// The referenced dataset could not be loaded.
+    Dataset {
+        /// Human-readable load failure.
+        reason: String,
+    },
+    /// The clustering run failed (invalid parameters against the data,
+    /// device error, cancellation / deadline — see
+    /// [`ProclusError::Cancelled`]).
+    Algorithm(ProclusError),
+    /// The worker executing the job panicked. The panic is isolated: the
+    /// worker recovers and the queue keeps draining.
+    WorkerPanicked {
+        /// The panic payload, when it was a string.
+        reason: String,
+    },
+}
+
+impl ServeError {
+    /// True when the job ended because its token was cancelled or its
+    /// deadline passed.
+    pub fn is_cancelled(&self) -> bool {
+        matches!(self, ServeError::Algorithm(ProclusError::Cancelled { .. }))
+    }
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::QueueFull { capacity } => {
+                write!(f, "queue full ({capacity} jobs); retry later")
+            }
+            ServeError::ShuttingDown => write!(f, "server is shutting down"),
+            ServeError::InvalidRequest { reason } => write!(f, "invalid request: {reason}"),
+            ServeError::Dataset { reason } => write!(f, "dataset error: {reason}"),
+            ServeError::Algorithm(e) => write!(f, "{e}"),
+            ServeError::WorkerPanicked { reason } => write!(f, "worker panicked: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<ProclusError> for ServeError {
+    fn from(e: ProclusError) -> Self {
+        ServeError::Algorithm(e)
+    }
+}
+
+/// One clustering request: which dataset, which parameters, which algorithm
+/// variant and backend, and an optional deadline.
+#[derive(Debug, Clone)]
+pub struct JobRequest {
+    /// The dataset to cluster (resolved through the server's registry).
+    pub dataset: DatasetRef,
+    /// Algorithm parameters. Jobs on the same dataset whose parameters
+    /// differ only in `(k, l)` are coalesced into one multi-parameter grid
+    /// run ([`Algo::Fast`] only).
+    pub params: Params,
+    /// Algorithm variant.
+    pub algo: Algo,
+    /// Execution backend.
+    pub backend: Backend,
+    /// Relative deadline from admission; when it passes, the job is
+    /// cancelled cooperatively at the next phase boundary (or skipped if
+    /// still queued).
+    pub deadline: Option<Duration>,
+    pub(crate) panic_for_test: bool,
+}
+
+impl JobRequest {
+    /// A FAST-PROCLUS CPU job with no deadline.
+    pub fn new(dataset: DatasetRef, params: Params) -> Self {
+        Self {
+            dataset,
+            params,
+            algo: Algo::Fast,
+            backend: Backend::Cpu,
+            deadline: None,
+            panic_for_test: false,
+        }
+    }
+
+    /// Sets the algorithm variant.
+    pub fn with_algo(mut self, algo: Algo) -> Self {
+        self.algo = algo;
+        self
+    }
+
+    /// Sets the backend.
+    pub fn with_backend(mut self, backend: Backend) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// Sets a relative deadline (measured from admission).
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Makes the executing worker panic instead of running the job — a test
+    /// hook for the panic-isolation path. Not part of the public contract.
+    #[doc(hidden)]
+    pub fn with_worker_panic_for_test(mut self) -> Self {
+        self.panic_for_test = true;
+        self
+    }
+}
+
+/// Opaque job identifier, unique per server instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct JobId(pub u64);
+
+impl fmt::Display for JobId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "job-{}", self.0)
+    }
+}
+
+/// What a successfully completed job yields.
+#[derive(Debug, Clone)]
+pub struct JobOutput {
+    /// The clustering for this job's `(k, l)`.
+    pub clustering: Clustering,
+    /// Per-job telemetry: this job's `run` span subtree (plus, for the
+    /// first job of a batch, the batch's shared initialization spans) with
+    /// recomputed totals. `None` when the server runs with telemetry off.
+    pub telemetry: Option<TelemetryReport>,
+    /// How many jobs shared this job's grid run (1 = solo).
+    pub batch_width: usize,
+    /// Time spent queued before a worker picked the job up, microseconds.
+    pub queue_wait_us: u64,
+    /// Time the executing batch spent computing, microseconds.
+    pub service_us: u64,
+}
+
+/// The terminal state of a job.
+pub type JobResult = Result<JobOutput, ServeError>;
+
+/// Shared state behind a [`JobHandle`]: the cancel token and the
+/// result slot workers fulfil.
+pub(crate) struct JobShared {
+    pub(crate) id: JobId,
+    pub(crate) cancel: CancelToken,
+    slot: Mutex<Option<JobResult>>,
+    cv: Condvar,
+}
+
+impl JobShared {
+    pub(crate) fn new(id: JobId, cancel: CancelToken) -> Self {
+        Self {
+            id,
+            cancel,
+            slot: Mutex::new(None),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Stores the result (first write wins) and wakes all waiters.
+    pub(crate) fn fulfil(&self, result: JobResult) {
+        let mut slot = self.slot.lock().unwrap();
+        if slot.is_none() {
+            *slot = Some(result);
+        }
+        self.cv.notify_all();
+    }
+}
+
+/// Client-side handle to a submitted job: await, poll, or cancel it.
+/// Cloneable; all clones observe the same result.
+#[derive(Clone)]
+pub struct JobHandle {
+    pub(crate) shared: Arc<JobShared>,
+}
+
+impl JobHandle {
+    /// The job's identifier.
+    pub fn id(&self) -> JobId {
+        self.shared.id
+    }
+
+    /// Requests cooperative cancellation: a queued job is skipped, a
+    /// running one stops at the next phase boundary. Idempotent.
+    pub fn cancel(&self) {
+        self.shared.cancel.cancel();
+    }
+
+    /// Non-blocking poll: `Some(result)` once the job reached a terminal
+    /// state.
+    pub fn try_result(&self) -> Option<JobResult> {
+        self.shared.slot.lock().unwrap().clone()
+    }
+
+    /// Blocks until the job finishes and returns its result.
+    pub fn wait(&self) -> JobResult {
+        let mut slot = self.shared.slot.lock().unwrap();
+        loop {
+            if let Some(r) = slot.as_ref() {
+                return r.clone();
+            }
+            slot = self.shared.cv.wait(slot).unwrap();
+        }
+    }
+
+    /// Blocks up to `timeout`; `None` if the job is still running then.
+    pub fn wait_timeout(&self, timeout: Duration) -> Option<JobResult> {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut slot = self.shared.slot.lock().unwrap();
+        loop {
+            if let Some(r) = slot.as_ref() {
+                return Some(r.clone());
+            }
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            let (guard, _) = self.shared.cv.wait_timeout(slot, deadline - now).unwrap();
+            slot = guard;
+        }
+    }
+
+    /// True once the job reached a terminal state.
+    pub fn is_finished(&self) -> bool {
+        self.shared.slot.lock().unwrap().is_some()
+    }
+}
+
+impl fmt::Debug for JobHandle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("JobHandle")
+            .field("id", &self.shared.id)
+            .field("finished", &self.is_finished())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn handle() -> JobHandle {
+        JobHandle {
+            shared: Arc::new(JobShared::new(JobId(7), CancelToken::new())),
+        }
+    }
+
+    #[test]
+    fn fulfil_is_first_write_wins() {
+        let h = handle();
+        assert!(h.try_result().is_none());
+        h.shared.fulfil(Err(ServeError::ShuttingDown));
+        h.shared.fulfil(Err(ServeError::QueueFull { capacity: 1 }));
+        assert!(matches!(h.wait(), Err(ServeError::ShuttingDown)));
+        assert!(h.is_finished());
+    }
+
+    #[test]
+    fn wait_timeout_returns_none_while_pending() {
+        let h = handle();
+        assert!(h.wait_timeout(Duration::from_millis(10)).is_none());
+    }
+
+    #[test]
+    fn cancel_trips_the_token() {
+        let h = handle();
+        h.cancel();
+        assert!(h.shared.cancel.is_cancelled());
+    }
+
+    #[test]
+    fn cancelled_classification() {
+        let token = CancelToken::new();
+        token.cancel();
+        let cancelled = ServeError::Algorithm(token.check().unwrap_err());
+        assert!(cancelled.is_cancelled());
+        assert!(!ServeError::ShuttingDown.is_cancelled());
+    }
+}

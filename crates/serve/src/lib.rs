@@ -1,0 +1,68 @@
+//! # proclus-serve — a long-running clustering service
+//!
+//! Turns the one-shot `proclus::run` / `proclus_gpu::run_on` entry points
+//! into an async service: clients submit typed jobs
+//! (dataset × parameters × algorithm × backend × deadline) and get back a
+//! [`JobHandle`] they can await, poll, or cancel.
+//!
+//! The service exists because of §3.1 of the paper: multi-parameter runs
+//! over the *same* dataset can share the sample, the greedy medoid
+//! candidates `M`, and the `Dist`/`H` caches. A request server is the
+//! natural place to exploit that — queued jobs on the same dataset that
+//! differ only in `(k, l)` are **coalesced into one grid run** by the
+//! batching scheduler, so a burst of exploratory requests computes strictly
+//! fewer distances than the same requests served one at a time.
+//!
+//! * [`Server`] — bounded queue, worker pool, batching scheduler,
+//!   admission control, graceful shutdown.
+//! * [`DatasetRegistry`] — datasets loaded/fingerprinted once, LRU-cached
+//!   under a byte budget.
+//! * [`ServiceMetrics`] — jobs admitted/rejected/batched, batch widths,
+//!   cache hits/misses, queue-wait and service-time histograms, exported
+//!   as the same schema-valid telemetry JSON the rest of the repo speaks.
+//! * [`protocol`] — an LDJSON session protocol (stdin/stdout or TCP via
+//!   the CLI's `proclus serve`).
+//!
+//! ## Example
+//!
+//! ```
+//! use proclus::{DataMatrix, Params};
+//! use proclus_serve::{DatasetRef, JobRequest, ServeConfig, Server};
+//!
+//! let rows: Vec<Vec<f32>> = (0..200)
+//!     .map(|i| {
+//!         let c = (i % 2) as f32 * 30.0;
+//!         vec![c + (i % 5) as f32 * 0.1, (i % 11) as f32, c]
+//!     })
+//!     .collect();
+//! let data = DataMatrix::from_rows(&rows).unwrap();
+//!
+//! let server = Server::start(ServeConfig::default().with_workers(1).with_start_paused(true));
+//! let dataset = DatasetRef::inline("demo", data);
+//! let handles: Vec<_> = (2..=4)
+//!     .map(|k| {
+//!         let params = Params::new(k, 2).with_a(10).with_b(3).with_seed(7);
+//!         server.submit(JobRequest::new(dataset.clone(), params)).unwrap()
+//!     })
+//!     .collect();
+//! server.resume(); // the three queued jobs coalesce into one grid run
+//! for h in &handles {
+//!     let out = h.wait().unwrap();
+//!     assert_eq!(out.batch_width, 3);
+//! }
+//! server.shutdown();
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod job;
+mod metrics;
+pub mod protocol;
+mod registry;
+mod server;
+
+pub use job::{JobHandle, JobId, JobOutput, JobRequest, JobResult, ServeError};
+pub use metrics::ServiceMetrics;
+pub use registry::{fingerprint, DatasetRef, DatasetRegistry};
+pub use server::{ServeConfig, Server};

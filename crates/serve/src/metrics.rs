@@ -1,0 +1,141 @@
+//! Service-level counters and latency histograms, exported as a
+//! schema-valid [`TelemetryReport`] so one toolchain (the JSON schema, the
+//! CI validator, the bench harness) reads both per-run and service
+//! telemetry.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use proclus_telemetry::{counters, Histogram, SpanNode, TelemetryReport};
+
+/// Atomic service counters plus queue-wait / service-time histograms.
+///
+/// Counters use the shared names in [`proclus_telemetry::counters`]; the
+/// histograms export their count/mean/p50/p99/max as derived totals
+/// (`queue_wait_us_p50`, `service_time_us_p99`, …).
+#[derive(Default)]
+pub struct ServiceMetrics {
+    jobs_admitted: AtomicU64,
+    jobs_rejected: AtomicU64,
+    jobs_batched: AtomicU64,
+    jobs_completed: AtomicU64,
+    jobs_failed: AtomicU64,
+    jobs_cancelled: AtomicU64,
+    batches_executed: AtomicU64,
+    batch_width: AtomicU64,
+    dataset_cache_hits: AtomicU64,
+    dataset_cache_misses: AtomicU64,
+    queue_wait_us: Mutex<Histogram>,
+    service_time_us: Mutex<Histogram>,
+}
+
+fn inc(c: &AtomicU64) {
+    c.fetch_add(1, Ordering::Relaxed);
+}
+
+impl ServiceMetrics {
+    pub(crate) fn inc_jobs_admitted(&self) {
+        inc(&self.jobs_admitted);
+    }
+    pub(crate) fn inc_jobs_rejected(&self) {
+        inc(&self.jobs_rejected);
+    }
+    pub(crate) fn add_jobs_batched(&self, n: u64) {
+        self.jobs_batched.fetch_add(n, Ordering::Relaxed);
+    }
+    pub(crate) fn inc_jobs_completed(&self) {
+        inc(&self.jobs_completed);
+    }
+    pub(crate) fn inc_jobs_failed(&self) {
+        inc(&self.jobs_failed);
+    }
+    pub(crate) fn inc_jobs_cancelled(&self) {
+        inc(&self.jobs_cancelled);
+    }
+    pub(crate) fn record_batch(&self, width: u64) {
+        inc(&self.batches_executed);
+        self.batch_width.fetch_add(width, Ordering::Relaxed);
+    }
+    pub(crate) fn inc_dataset_cache_hits(&self) {
+        inc(&self.dataset_cache_hits);
+    }
+    pub(crate) fn inc_dataset_cache_misses(&self) {
+        inc(&self.dataset_cache_misses);
+    }
+    pub(crate) fn record_queue_wait_us(&self, us: u64) {
+        self.queue_wait_us.lock().unwrap().record(us);
+    }
+    pub(crate) fn record_service_us(&self, us: u64) {
+        self.service_time_us.lock().unwrap().record(us);
+    }
+
+    /// A point-in-time snapshot as a schema-valid report. Counter totals
+    /// use the canonical names; histogram summaries are exported as
+    /// `<name>_{count,mean,p50,p99,max}` totals; the single `service` span
+    /// exists because the schema requires a non-empty span list.
+    pub fn snapshot(&self) -> TelemetryReport {
+        let mut totals = BTreeMap::new();
+        let mut put = |name: &str, c: &AtomicU64| {
+            totals.insert(name.to_string(), c.load(Ordering::Relaxed));
+        };
+        put(counters::JOBS_ADMITTED, &self.jobs_admitted);
+        put(counters::JOBS_REJECTED, &self.jobs_rejected);
+        put(counters::JOBS_BATCHED, &self.jobs_batched);
+        put(counters::JOBS_COMPLETED, &self.jobs_completed);
+        put(counters::JOBS_FAILED, &self.jobs_failed);
+        put(counters::JOBS_CANCELLED, &self.jobs_cancelled);
+        put(counters::BATCHES_EXECUTED, &self.batches_executed);
+        put(counters::BATCH_WIDTH, &self.batch_width);
+        put(counters::DATASET_CACHE_HITS, &self.dataset_cache_hits);
+        put(counters::DATASET_CACHE_MISSES, &self.dataset_cache_misses);
+        for (name, hist) in [
+            ("queue_wait_us", &self.queue_wait_us),
+            ("service_time_us", &self.service_time_us),
+        ] {
+            let h = hist.lock().unwrap();
+            totals.insert(format!("{name}_count"), h.count());
+            totals.insert(format!("{name}_mean"), h.mean());
+            totals.insert(format!("{name}_p50"), h.quantile(0.5));
+            totals.insert(format!("{name}_p99"), h.quantile(0.99));
+            totals.insert(format!("{name}_max"), h.max());
+        }
+        let mut meta = BTreeMap::new();
+        meta.insert("component".to_string(), "proclus-serve".to_string());
+        TelemetryReport {
+            meta,
+            totals,
+            spans: vec![SpanNode {
+                name: "service".to_string(),
+                start_us: 0.0,
+                dur_us: 0.0,
+                counters: BTreeMap::new(),
+                attrs: BTreeMap::new(),
+                children: Vec::new(),
+            }],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_is_schema_valid_and_counts() {
+        let m = ServiceMetrics::default();
+        m.inc_jobs_admitted();
+        m.inc_jobs_admitted();
+        m.record_batch(2);
+        m.add_jobs_batched(2);
+        m.inc_jobs_completed();
+        m.record_queue_wait_us(150);
+        m.record_service_us(9000);
+        let snap = m.snapshot();
+        assert_eq!(snap.total(counters::JOBS_ADMITTED), 2);
+        assert_eq!(snap.total(counters::BATCH_WIDTH), 2);
+        assert_eq!(snap.total("queue_wait_us_count"), 1);
+        assert!(snap.total("service_time_us_p99") >= 9000);
+        proclus_telemetry::schema::validate_report_str(&snap.to_json()).unwrap();
+    }
+}

@@ -1,0 +1,307 @@
+//! LDJSON wire protocol: one JSON object per line, over any
+//! `BufRead`/`Write` pair (the CLI wires stdin/stdout or a TCP socket).
+//!
+//! Requests (`op` selects the verb):
+//!
+//! ```text
+//! {"op":"submit","dataset":"data.csv","k":8,"l":4,"a":20,"b":4,"seed":7,
+//!  "algo":"fast","backend":"cpu","deadline_ms":5000,"labels":false}
+//! {"op":"wait","id":0}        waits for job 0 and emits its result
+//! {"op":"drain"}              waits for every pending job, one result line each
+//! {"op":"cancel","id":0}      requests cooperative cancellation
+//! {"op":"metrics"}            emits the service metrics report
+//! {"op":"shutdown"}           acknowledges and ends the session
+//! ```
+//!
+//! Every request gets exactly one response line (`drain` gets one per
+//! drained job plus a summary), so a client can pipeline submissions —
+//! submitting several jobs before the first `wait`/`drain` is what lets the
+//! scheduler coalesce them into one grid run.
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::io::{BufRead, Write};
+use std::time::Duration;
+
+use proclus::{Algo, Backend, Params, OUTLIER};
+use proclus_telemetry::json::{self, escape, Value};
+
+use crate::job::JobHandle;
+use crate::registry::DatasetRef;
+use crate::server::Server;
+use crate::JobRequest;
+
+struct Pending {
+    handle: JobHandle,
+    want_labels: bool,
+}
+
+fn err_line(id: Option<u64>, msg: &str) -> String {
+    match id {
+        Some(id) => format!(
+            "{{\"op\":\"error\",\"id\":{id},\"error\":\"{}\"}}",
+            escape(msg)
+        ),
+        None => format!("{{\"op\":\"error\",\"error\":\"{}\"}}", escape(msg)),
+    }
+}
+
+fn get_usize(v: &Value, key: &str) -> Option<usize> {
+    v.get(key).and_then(Value::as_f64).map(|f| f as usize)
+}
+
+fn parse_submit(v: &Value) -> Result<(JobRequest, bool), String> {
+    let dataset = v
+        .get("dataset")
+        .and_then(Value::as_str)
+        .ok_or("submit: missing string 'dataset'")?;
+    let k = get_usize(v, "k").ok_or("submit: missing numeric 'k'")?;
+    let l = get_usize(v, "l").ok_or("submit: missing numeric 'l'")?;
+    let mut params = Params::new(k, l);
+    if let Some(a) = get_usize(v, "a") {
+        params = params.with_a(a);
+    }
+    if let Some(b) = get_usize(v, "b") {
+        params = params.with_b(b);
+    }
+    if let Some(seed) = v.get("seed").and_then(Value::as_f64) {
+        params = params.with_seed(seed as u64);
+    }
+    let mut req = JobRequest::new(DatasetRef::path(dataset), params);
+    if let Some(algo) = v.get("algo").and_then(Value::as_str) {
+        req = req.with_algo(Algo::parse(algo).ok_or_else(|| format!("unknown algo `{algo}`"))?);
+    }
+    if let Some(backend) = v.get("backend").and_then(Value::as_str) {
+        req = req.with_backend(
+            Backend::parse(backend).ok_or_else(|| format!("unknown backend `{backend}`"))?,
+        );
+    }
+    if let Some(ms) = v.get("deadline_ms").and_then(Value::as_f64) {
+        req = req.with_deadline(Duration::from_millis(ms as u64));
+    }
+    let want_labels = matches!(v.get("labels"), Some(Value::Bool(true)));
+    Ok((req, want_labels))
+}
+
+fn result_line(id: u64, p: &Pending) -> String {
+    match p.handle.wait() {
+        Ok(out) => {
+            let c = &out.clustering;
+            let outliers = c.labels.iter().filter(|&&l| l == OUTLIER).count();
+            let mut line = format!(
+                "{{\"op\":\"result\",\"id\":{id},\"ok\":true,\"k\":{},\"cost\":{},\
+                 \"outliers\":{outliers},\"batch_width\":{},\"queue_wait_us\":{},\
+                 \"service_us\":{}",
+                c.k(),
+                json::fmt_f64(c.refined_cost),
+                out.batch_width,
+                out.queue_wait_us,
+                out.service_us,
+            );
+            if p.want_labels {
+                line.push_str(",\"labels\":[");
+                for (i, l) in c.labels.iter().enumerate() {
+                    if i > 0 {
+                        line.push(',');
+                    }
+                    let _ = write!(line, "{l}");
+                }
+                line.push(']');
+            }
+            if let Some(t) = &out.telemetry {
+                line.push_str(",\"telemetry\":");
+                line.push_str(&t.to_json());
+            }
+            line.push('}');
+            line
+        }
+        Err(e) => format!(
+            "{{\"op\":\"result\",\"id\":{id},\"ok\":false,\"cancelled\":{},\"error\":\"{}\"}}",
+            e.is_cancelled(),
+            escape(&e.to_string())
+        ),
+    }
+}
+
+/// Serves one LDJSON session until `shutdown`, EOF, or an I/O error.
+/// Jobs still pending at session end are drained (awaited, results
+/// discarded) so their worker slots are not abandoned mid-flight.
+pub fn serve_connection<R: BufRead, W: Write>(
+    server: &Server,
+    reader: R,
+    writer: &mut W,
+) -> std::io::Result<()> {
+    let mut pending: HashMap<u64, Pending> = HashMap::new();
+    let mut order: Vec<u64> = Vec::new();
+    for line in reader.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let v = match json::parse(&line) {
+            Ok(v) => v,
+            Err(e) => {
+                writeln!(writer, "{}", err_line(None, &format!("bad json: {e}")))?;
+                continue;
+            }
+        };
+        let op = v.get("op").and_then(Value::as_str).unwrap_or("");
+        match op {
+            "submit" => match parse_submit(&v) {
+                Ok((req, want_labels)) => match server.submit(req) {
+                    Ok(handle) => {
+                        let id = handle.id().0;
+                        writeln!(writer, "{{\"op\":\"submitted\",\"id\":{id}}}")?;
+                        pending.insert(
+                            id,
+                            Pending {
+                                handle,
+                                want_labels,
+                            },
+                        );
+                        order.push(id);
+                    }
+                    Err(e) => writeln!(writer, "{}", err_line(None, &e.to_string()))?,
+                },
+                Err(e) => writeln!(writer, "{}", err_line(None, &e))?,
+            },
+            "wait" => {
+                let id = v.get("id").and_then(Value::as_f64).map(|f| f as u64);
+                match id.and_then(|id| pending.remove(&id).map(|p| (id, p))) {
+                    Some((id, p)) => {
+                        order.retain(|&o| o != id);
+                        writeln!(writer, "{}", result_line(id, &p))?;
+                    }
+                    None => writeln!(writer, "{}", err_line(id, "unknown or finished id"))?,
+                }
+            }
+            "drain" => {
+                let drained = order.len();
+                for id in order.drain(..) {
+                    if let Some(p) = pending.remove(&id) {
+                        writeln!(writer, "{}", result_line(id, &p))?;
+                    }
+                }
+                writeln!(writer, "{{\"op\":\"drained\",\"jobs\":{drained}}}")?;
+            }
+            "cancel" => {
+                let id = v.get("id").and_then(Value::as_f64).map(|f| f as u64);
+                match id.and_then(|id| pending.get(&id).map(|p| (id, p))) {
+                    Some((id, p)) => {
+                        p.handle.cancel();
+                        writeln!(writer, "{{\"op\":\"cancelled\",\"id\":{id}}}")?;
+                    }
+                    None => writeln!(writer, "{}", err_line(id, "unknown or finished id"))?,
+                }
+            }
+            "metrics" => writeln!(writer, "{}", server.metrics().to_json())?,
+            "shutdown" => {
+                writeln!(writer, "{{\"op\":\"bye\"}}")?;
+                break;
+            }
+            other => writeln!(
+                writer,
+                "{}",
+                err_line(None, &format!("unknown op `{other}`"))
+            )?,
+        }
+        writer.flush()?;
+    }
+    for (_, p) in pending.drain() {
+        let _ = p.handle.wait();
+    }
+    writer.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ServeConfig;
+    use std::io::Cursor;
+    use std::path::PathBuf;
+
+    fn csv_fixture(name: &str) -> PathBuf {
+        let path = std::env::temp_dir().join(format!(
+            "proclus-serve-proto-{name}-{}.csv",
+            std::process::id()
+        ));
+        let mut body = String::new();
+        for i in 0..240 {
+            let c = (i % 2) as f32 * 25.0;
+            let _ = writeln!(body, "{},{},{}", c + (i % 5) as f32 * 0.1, i % 7, c);
+        }
+        std::fs::write(&path, body).unwrap();
+        path
+    }
+
+    fn session(server: &Server, input: &str) -> Vec<String> {
+        let mut out = Vec::new();
+        serve_connection(server, Cursor::new(input.to_string()), &mut out).unwrap();
+        String::from_utf8(out)
+            .unwrap()
+            .lines()
+            .map(str::to_string)
+            .collect()
+    }
+
+    #[test]
+    fn submit_drain_metrics_round_trip() {
+        let path = csv_fixture("round");
+        let server = Server::start(ServeConfig::default().with_workers(1));
+        let input = format!(
+            "{{\"op\":\"submit\",\"dataset\":\"{p}\",\"k\":2,\"l\":2,\"a\":10,\"b\":3,\"seed\":5}}\n\
+             {{\"op\":\"submit\",\"dataset\":\"{p}\",\"k\":3,\"l\":2,\"a\":10,\"b\":3,\"seed\":5}}\n\
+             {{\"op\":\"drain\"}}\n\
+             {{\"op\":\"metrics\"}}\n\
+             {{\"op\":\"shutdown\"}}\n",
+            p = path.display()
+        );
+        let lines = session(&server, &input);
+        assert!(lines[0].contains("\"op\":\"submitted\""), "{lines:?}");
+        assert!(lines[1].contains("\"op\":\"submitted\""), "{lines:?}");
+        assert!(lines[2].contains("\"ok\":true"), "{lines:?}");
+        assert!(lines[3].contains("\"ok\":true"), "{lines:?}");
+        assert!(lines[4].contains("\"op\":\"drained\""), "{lines:?}");
+        proclus_telemetry::schema::validate_report_str(&lines[5]).unwrap();
+        assert_eq!(lines[6], "{\"op\":\"bye\"}");
+        // Every result line is itself valid JSON.
+        for l in &lines[2..4] {
+            json::parse(l).unwrap();
+        }
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn bad_requests_get_error_lines_not_crashes() {
+        let server = Server::start(ServeConfig::default().with_workers(1));
+        let lines = session(
+            &server,
+            "not json\n\
+             {\"op\":\"submit\",\"k\":2}\n\
+             {\"op\":\"wait\",\"id\":99}\n\
+             {\"op\":\"frobnicate\"}\n\
+             {\"op\":\"submit\",\"dataset\":\"/no/file.csv\",\"k\":2,\"l\":1}\n",
+        );
+        assert!(lines[0].contains("bad json"), "{lines:?}");
+        assert!(lines[1].contains("missing string 'dataset'"), "{lines:?}");
+        assert!(lines[2].contains("unknown or finished id"), "{lines:?}");
+        assert!(lines[3].contains("unknown op"), "{lines:?}");
+        // l = 1 fails admission-time validation.
+        assert!(lines[4].contains("invalid request"), "{lines:?}");
+    }
+
+    #[test]
+    fn labels_are_included_on_request() {
+        let path = csv_fixture("labels");
+        let server = Server::start(ServeConfig::default().with_workers(1));
+        let input = format!(
+            "{{\"op\":\"submit\",\"dataset\":\"{p}\",\"k\":2,\"l\":2,\"a\":10,\"b\":3,\
+             \"labels\":true}}\n{{\"op\":\"wait\",\"id\":0}}\n",
+            p = path.display()
+        );
+        let lines = session(&server, &input);
+        let result = json::parse(&lines[1]).unwrap();
+        assert_eq!(result.get("labels").unwrap().as_array().unwrap().len(), 240);
+        std::fs::remove_file(path).ok();
+    }
+}

@@ -1,0 +1,314 @@
+//! End-to-end service tests: batching wins, cancellation, deadlines,
+//! admission control, panic isolation, and per-job telemetry.
+
+use std::time::Duration;
+
+use proclus::telemetry::counters;
+use proclus::{Algo, Backend, Config, DataMatrix, Grid, Params, ProclusError, ReuseLevel, Setting};
+use proclus_serve::{DatasetRef, JobRequest, ServeConfig, ServeError, Server};
+
+fn blob_data(n: usize) -> DataMatrix {
+    let rows: Vec<Vec<f32>> = (0..n)
+        .map(|i| {
+            let c = if i % 2 == 0 { 0.0f32 } else { 40.0 };
+            let noise = |s: usize| ((i * s) % 13) as f32 * 0.05;
+            vec![
+                c + noise(3),
+                c + noise(5),
+                ((i * 7) % 100) as f32,
+                ((i * 11) % 100) as f32,
+            ]
+        })
+        .collect();
+    DataMatrix::from_rows(&rows).unwrap()
+}
+
+fn params(k: usize, l: usize) -> Params {
+    Params::new(k, l).with_a(15).with_b(4).with_seed(11)
+}
+
+fn paused_single_worker() -> ServeConfig {
+    ServeConfig::default()
+        .with_workers(1)
+        .with_start_paused(true)
+}
+
+/// The acceptance criterion of the serving layer: a coalesced grid request
+/// computes strictly fewer distances than the same jobs served one at a
+/// time, and per-job telemetry accounts for the whole batch exactly once.
+#[test]
+fn batched_jobs_compute_strictly_fewer_distances_than_sequential() {
+    let data = blob_data(400);
+    let grid: Vec<(usize, usize)> = vec![(2, 2), (3, 3), (4, 2), (5, 3)];
+
+    // Sequential reference: each (k, l) as an independent solo run.
+    let mut sequential_distances = 0u64;
+    for &(k, l) in &grid {
+        let out = proclus::run(&data, &Config::new(params(k, l)).with_telemetry(true)).unwrap();
+        sequential_distances += out.telemetry.unwrap().total(counters::DISTANCES_COMPUTED);
+    }
+
+    // Service: same jobs, submitted while paused so they coalesce.
+    let server = Server::start(paused_single_worker());
+    let dataset = DatasetRef::inline("blobs", data);
+    let handles: Vec<_> = grid
+        .iter()
+        .map(|&(k, l)| {
+            server
+                .submit(JobRequest::new(dataset.clone(), params(k, l)))
+                .unwrap()
+        })
+        .collect();
+    server.resume();
+
+    let mut batched_distances = 0u64;
+    for h in &handles {
+        let out = h.wait().unwrap();
+        assert_eq!(out.batch_width, grid.len(), "all jobs share one grid run");
+        let tel = out.telemetry.expect("per-job telemetry");
+        assert_eq!(
+            tel.spans.iter().filter(|s| s.name == "run").count(),
+            1,
+            "each job sees exactly its own run span"
+        );
+        batched_distances += tel.total(counters::DISTANCES_COMPUTED);
+    }
+    assert!(
+        batched_distances < sequential_distances,
+        "batched {batched_distances} must be < sequential {sequential_distances}"
+    );
+
+    let snap = server.metrics();
+    assert_eq!(snap.total(counters::JOBS_ADMITTED), grid.len() as u64);
+    assert_eq!(snap.total(counters::JOBS_BATCHED), grid.len() as u64);
+    assert_eq!(snap.total(counters::JOBS_COMPLETED), grid.len() as u64);
+    assert_eq!(snap.total(counters::BATCHES_EXECUTED), 1);
+    assert_eq!(snap.total(counters::BATCH_WIDTH), grid.len() as u64);
+    assert_eq!(snap.total(counters::DATASET_CACHE_MISSES), 1);
+    assert_eq!(snap.total("service_time_us_count"), grid.len() as u64);
+    proclus_telemetry::schema::validate_report_str(&snap.to_json()).unwrap();
+    server.shutdown();
+}
+
+/// A batch of width w equals the equivalent grid run (largest-k first) job
+/// for job: the service is a scheduler, not a different algorithm.
+#[test]
+fn batched_results_match_the_equivalent_grid_run() {
+    let data = blob_data(400);
+    let server = Server::start(paused_single_worker().with_reuse(ReuseLevel::SharedGreedy));
+    let dataset = DatasetRef::inline("blobs", data.clone());
+    // Submit smallest-k first to prove the scheduler reorders largest-first.
+    let h2 = server
+        .submit(JobRequest::new(dataset.clone(), params(2, 2)))
+        .unwrap();
+    let h4 = server
+        .submit(JobRequest::new(dataset.clone(), params(4, 3)))
+        .unwrap();
+    server.resume();
+    let c2 = h2.wait().unwrap().clustering;
+    let c4 = h4.wait().unwrap().clustering;
+
+    let grid = Grid::new(
+        vec![Setting::new(4, 3), Setting::new(2, 2)],
+        ReuseLevel::SharedGreedy,
+    );
+    let reference = proclus::run(&data, &Config::new(params(4, 3)).with_grid(grid)).unwrap();
+    assert_eq!(reference.clusterings[0], c4);
+    assert_eq!(reference.clusterings[1], c2);
+    server.shutdown();
+}
+
+#[test]
+fn cancelled_queued_job_is_skipped_without_blocking_the_queue() {
+    let data = blob_data(300);
+    let server = Server::start(paused_single_worker());
+    let dataset = DatasetRef::inline("blobs", data);
+    let keep = server
+        .submit(JobRequest::new(dataset.clone(), params(2, 2)))
+        .unwrap();
+    let doomed = server
+        .submit(JobRequest::new(dataset.clone(), params(3, 2)))
+        .unwrap();
+    doomed.cancel();
+    server.resume();
+
+    let err = doomed.wait().unwrap_err();
+    assert!(err.is_cancelled(), "{err}");
+    assert!(matches!(
+        err,
+        ServeError::Algorithm(ProclusError::Cancelled { .. })
+    ));
+    assert!(keep.wait().is_ok(), "other jobs unaffected");
+    assert_eq!(server.metrics().total(counters::JOBS_CANCELLED), 1);
+    assert_eq!(server.metrics().total(counters::JOBS_COMPLETED), 1);
+    server.shutdown();
+}
+
+#[test]
+fn deadline_exceeded_cancels_instead_of_hanging() {
+    let data = blob_data(300);
+    let server = Server::start(paused_single_worker());
+    let dataset = DatasetRef::inline("blobs", data);
+    let h = server
+        .submit(JobRequest::new(dataset, params(3, 2)).with_deadline(Duration::from_nanos(1)))
+        .unwrap();
+    server.resume();
+    let err = h
+        .wait_timeout(Duration::from_secs(30))
+        .expect("deadline job must terminate")
+        .unwrap_err();
+    assert!(err.is_cancelled(), "{err}");
+    assert!(err.to_string().contains("deadline"), "{err}");
+    server.shutdown();
+}
+
+#[test]
+fn full_queue_rejects_with_backpressure() {
+    let data = blob_data(200);
+    let server = Server::start(paused_single_worker().with_queue_capacity(2));
+    let dataset = DatasetRef::inline("blobs", data);
+    server
+        .submit(JobRequest::new(dataset.clone(), params(2, 2)))
+        .unwrap();
+    server
+        .submit(JobRequest::new(dataset.clone(), params(3, 2)))
+        .unwrap();
+    let err = server
+        .submit(JobRequest::new(dataset.clone(), params(4, 2)))
+        .unwrap_err();
+    assert!(matches!(err, ServeError::QueueFull { capacity: 2 }));
+    assert_eq!(server.metrics().total(counters::JOBS_REJECTED), 1);
+    // Backpressure, not deadlock: draining the queue frees capacity.
+    server.resume();
+    while server.queue_len() > 0 {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    server
+        .submit(JobRequest::new(dataset, params(4, 2)))
+        .unwrap();
+    server.shutdown();
+}
+
+#[test]
+fn invalid_params_are_rejected_at_admission() {
+    let server = Server::start(ServeConfig::default().with_workers(1));
+    let err = server
+        .submit(JobRequest::new(
+            DatasetRef::inline("x", blob_data(50)),
+            Params::new(3, 1), // l < 2
+        ))
+        .unwrap_err();
+    assert!(matches!(err, ServeError::InvalidRequest { .. }), "{err}");
+    assert_eq!(server.metrics().total(counters::JOBS_REJECTED), 1);
+    server.shutdown();
+}
+
+#[test]
+fn worker_panic_is_isolated_and_the_worker_survives() {
+    let data = blob_data(200);
+    let server = Server::start(paused_single_worker());
+    let dataset = DatasetRef::inline("blobs", data);
+    let bomb = server
+        .submit(JobRequest::new(dataset.clone(), params(2, 2)).with_worker_panic_for_test())
+        .unwrap();
+    let after = server
+        .submit(JobRequest::new(dataset.clone(), params(3, 2)))
+        .unwrap();
+    server.resume();
+
+    let err = bomb.wait().unwrap_err();
+    assert!(
+        matches!(&err, ServeError::WorkerPanicked { reason } if reason.contains("injected")),
+        "{err}"
+    );
+    // The single worker survived the panic and served the next job.
+    assert!(after.wait().is_ok());
+    assert_eq!(server.metrics().total(counters::JOBS_FAILED), 1);
+    assert_eq!(server.metrics().total(counters::JOBS_COMPLETED), 1);
+    server.shutdown();
+}
+
+#[test]
+fn missing_dataset_fails_the_job_not_the_server() {
+    let server = Server::start(ServeConfig::default().with_workers(1));
+    let h = server
+        .submit(JobRequest::new(
+            DatasetRef::path("/no/such/data.csv"),
+            params(2, 2),
+        ))
+        .unwrap();
+    let err = h.wait().unwrap_err();
+    assert!(matches!(err, ServeError::Dataset { .. }), "{err}");
+    // The server still serves valid jobs afterwards.
+    let ok = server
+        .submit(JobRequest::new(
+            DatasetRef::inline("ok", blob_data(200)),
+            params(2, 2),
+        ))
+        .unwrap();
+    assert!(ok.wait().is_ok());
+    server.shutdown();
+}
+
+#[test]
+fn gpu_jobs_batch_and_report_device_telemetry() {
+    let data = blob_data(400);
+    let server = Server::start(paused_single_worker());
+    let dataset = DatasetRef::inline("blobs", data);
+    let handles: Vec<_> = [(2usize, 2usize), (3, 2)]
+        .iter()
+        .map(|&(k, l)| {
+            server
+                .submit(JobRequest::new(dataset.clone(), params(k, l)).with_backend(Backend::Gpu))
+                .unwrap()
+        })
+        .collect();
+    server.resume();
+    for h in &handles {
+        let out = h.wait().unwrap();
+        assert_eq!(out.batch_width, 2);
+        let tel = out.telemetry.unwrap();
+        assert_eq!(tel.meta.get("backend").map(String::as_str), Some("gpu"));
+        assert!(tel.find_span("assign_points").is_some());
+    }
+    server.shutdown();
+}
+
+#[test]
+fn incompatible_jobs_run_solo_not_batched() {
+    let data = blob_data(300);
+    let server = Server::start(paused_single_worker());
+    let dataset = DatasetRef::inline("blobs", data);
+    let fast = server
+        .submit(JobRequest::new(dataset.clone(), params(2, 2)))
+        .unwrap();
+    let baseline = server
+        .submit(JobRequest::new(dataset.clone(), params(3, 2)).with_algo(Algo::Baseline))
+        .unwrap();
+    let star = server
+        .submit(JobRequest::new(dataset.clone(), params(2, 2)).with_algo(Algo::FastStar))
+        .unwrap();
+    server.resume();
+    for h in [&fast, &baseline, &star] {
+        assert_eq!(h.wait().unwrap().batch_width, 1);
+    }
+    assert_eq!(server.metrics().total(counters::JOBS_BATCHED), 0);
+    assert_eq!(server.metrics().total(counters::BATCHES_EXECUTED), 3);
+    // One dataset load served all three runs.
+    assert_eq!(server.metrics().total(counters::DATASET_CACHE_MISSES), 1);
+    assert_eq!(server.metrics().total(counters::DATASET_CACHE_HITS), 2);
+    server.shutdown();
+}
+
+#[test]
+fn shutdown_drains_queued_jobs_before_exiting() {
+    let data = blob_data(200);
+    let server = Server::start(paused_single_worker());
+    let dataset = DatasetRef::inline("blobs", data);
+    let h = server
+        .submit(JobRequest::new(dataset, params(2, 2)))
+        .unwrap();
+    server.resume();
+    server.shutdown(); // blocks until workers drained the queue
+    assert!(h.try_result().expect("resolved at shutdown").is_ok());
+}

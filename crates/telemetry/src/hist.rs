@@ -1,0 +1,172 @@
+//! A small log-bucketed histogram for service latency distributions
+//! (queue-wait, service-time) with approximate quantiles.
+//!
+//! Buckets grow geometrically (factor 2 per bucket below the linear floor
+//! is unnecessary — we use power-of-two bucket boundaries on microsecond
+//! values), so the memory footprint is 64 counters regardless of range and
+//! a quantile is accurate to within one octave. That is plenty for p50/p99
+//! service reporting and keeps the crate dependency-free.
+
+/// Log₂-bucketed histogram over `u64` samples (typically microseconds).
+///
+/// ```
+/// use proclus_telemetry::Histogram;
+/// let mut h = Histogram::new();
+/// for v in [10u64, 20, 30, 1000] {
+///     h.record(v);
+/// }
+/// assert_eq!(h.count(), 4);
+/// assert!(h.quantile(0.5) >= 10);
+/// assert!(h.quantile(0.99) >= 512);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    /// `buckets[b]` counts samples with `floor(log2(v)) == b` (bucket 0
+    /// additionally holds `v == 0`).
+    buckets: [u64; 64],
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self {
+            buckets: [0; 64],
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+}
+
+fn bucket_of(v: u64) -> usize {
+    (63 - v.max(1).leading_zeros()) as usize
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, v: u64) {
+        self.buckets[bucket_of(v)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of recorded samples (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Largest recorded sample (`0` when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean of the recorded samples (`0` when empty).
+    pub fn mean(&self) -> u64 {
+        self.sum.checked_div(self.count).unwrap_or(0)
+    }
+
+    /// Approximate `q`-quantile (`0.0 ..= 1.0`): the upper bound of the
+    /// bucket holding the `ceil(q · count)`-th sample, clamped to the
+    /// recorded maximum. Returns `0` when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (b, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                // Upper bound of bucket b is 2^(b+1) − 1.
+                let upper = if b >= 63 {
+                    u64::MAX
+                } else {
+                    (1u64 << (b + 1)) - 1
+                };
+                return upper.min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Folds another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.max = self.max.max(other.max);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_is_all_zero() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.quantile(0.5), 0);
+        assert_eq!(h.mean(), 0);
+        assert_eq!(h.max(), 0);
+    }
+
+    #[test]
+    fn quantiles_are_within_one_octave() {
+        let mut h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let p50 = h.quantile(0.5);
+        assert!((256..=1023).contains(&p50), "p50 = {p50}");
+        let p99 = h.quantile(0.99);
+        assert!((512..=1000).contains(&p99), "p99 = {p99}");
+        assert_eq!(h.quantile(1.0), 1000); // clamped to the recorded max
+    }
+
+    #[test]
+    fn zero_and_max_samples_do_not_panic() {
+        let mut h = Histogram::new();
+        h.record(0);
+        h.record(u64::MAX);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.quantile(1.0), u64::MAX);
+    }
+
+    #[test]
+    fn merge_combines_counts_and_max() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        a.record(4);
+        b.record(4096);
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.max(), 4096);
+        assert!(a.quantile(0.99) >= 4096);
+    }
+
+    #[test]
+    fn mean_is_exact() {
+        let mut h = Histogram::new();
+        for v in [10u64, 20, 30] {
+            h.record(v);
+        }
+        assert_eq!(h.mean(), 20);
+    }
+}

@@ -45,12 +45,14 @@
 #![warn(rust_2018_idioms)]
 
 mod collect;
+pub mod hist;
 pub mod json;
 mod recorder;
 mod report;
 pub mod schema;
 
 pub use collect::Telemetry;
+pub use hist::Histogram;
 pub use recorder::{span, NullRecorder, Recorder, SpanGuard, SpanId};
 pub use report::{chrome_trace_combined, runs_json, PhaseRow, SpanNode, TelemetryReport};
 
@@ -84,6 +86,31 @@ pub mod counters {
     pub const ITERATIONS: &str = "iterations";
     /// Device kernel launches (GPU backends; bridged from gpu-sim).
     pub const KERNEL_LAUNCHES: &str = "kernel_launches";
+
+    // --- Service counters (the `proclus-serve` layer) ---
+
+    /// Jobs accepted into the service queue.
+    pub const JOBS_ADMITTED: &str = "jobs_admitted";
+    /// Jobs rejected at admission (queue full or invalid request).
+    pub const JOBS_REJECTED: &str = "jobs_rejected";
+    /// Jobs that executed inside a coalesced multi-parameter batch of
+    /// width ≥ 2 (shared sample / `Dist`/`H` / `M`, §3.1).
+    pub const JOBS_BATCHED: &str = "jobs_batched";
+    /// Jobs that finished with a clustering.
+    pub const JOBS_COMPLETED: &str = "jobs_completed";
+    /// Jobs that failed (invalid parameters, device error, worker panic).
+    pub const JOBS_FAILED: &str = "jobs_failed";
+    /// Jobs cancelled by the client or by their deadline.
+    pub const JOBS_CANCELLED: &str = "jobs_cancelled";
+    /// Batches executed (a solo job counts as a batch of width 1). Divide
+    /// [`BATCH_WIDTH`] by this for the mean coalescing width.
+    pub const BATCHES_EXECUTED: &str = "batches_executed";
+    /// Sum of executed batch widths (jobs per grid run).
+    pub const BATCH_WIDTH: &str = "batch_width";
+    /// Dataset registry hits (dataset served from the LRU cache).
+    pub const DATASET_CACHE_HITS: &str = "dataset_cache_hits";
+    /// Dataset registry misses (dataset loaded and hashed from its source).
+    pub const DATASET_CACHE_MISSES: &str = "dataset_cache_misses";
 }
 
 /// Names of span attributes (float-valued annotations).

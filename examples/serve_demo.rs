@@ -1,0 +1,182 @@
+//! Demo client for `proclus-serve`: ~50 concurrent mixed `(k, l)` requests
+//! against one server, printing the batching win over serving the same
+//! requests one at a time.
+//!
+//! The point of the serving layer is §3.1 of the paper: queued jobs on the
+//! same dataset that differ only in `(k, l)` are coalesced into one grid
+//! run sharing the sample, the greedy medoid candidates and the `Dist`/`H`
+//! caches — so a burst of exploratory requests computes strictly fewer
+//! distances than the same requests served sequentially. This demo
+//! measures exactly that, exercises a cancelled job and a deadline job,
+//! and writes every job's telemetry as one schema-valid runs document.
+//!
+//! ```text
+//! cargo run --release --example serve_demo [telemetry-out.json]
+//! ```
+//!
+//! Exits nonzero if the batched run does not strictly win.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use gpu_fast_proclus::prelude::*;
+use proclus::telemetry::{counters, TelemetryReport};
+use proclus_serve::{DatasetRef, JobRequest, ServeConfig, Server};
+
+fn dataset(seed: u64) -> DataMatrix {
+    let gen = datagen::synthetic::generate(
+        &SyntheticConfig::new(3_000, 10)
+            .with_clusters(4)
+            .with_subspace_dims(4)
+            .with_std_dev(4.0)
+            .with_seed(seed),
+    );
+    let mut data = gen.data;
+    data.minmax_normalize();
+    data
+}
+
+fn params(k: usize, l: usize) -> Params {
+    Params::new(k, l).with_a(20).with_b(5).with_seed(13)
+}
+
+fn main() {
+    let out_path = std::env::args().nth(1);
+
+    // Two datasets x a (k, l) grid = 48 clustering requests, all mixed
+    // together the way a burst of exploratory clients would submit them.
+    let datasets = [
+        DatasetRef::inline("blobs-a", dataset(101)),
+        DatasetRef::inline("blobs-b", dataset(202)),
+    ];
+    let grid: Vec<(usize, usize)> = (2..=9)
+        .flat_map(|k| [3usize, 4, 5].map(|l| (k, l)))
+        .collect();
+    let jobs: Vec<(DatasetRef, usize, usize)> = datasets
+        .iter()
+        .flat_map(|d| grid.iter().map(move |&(k, l)| (d.clone(), k, l)))
+        .collect();
+
+    // Sequential reference: every request as an independent solo run.
+    println!(
+        "sequential reference: {} solo runs over {} datasets ...",
+        jobs.len(),
+        datasets.len()
+    );
+    let t0 = Instant::now();
+    let mut sequential_distances = 0u64;
+    for (d, k, l) in &jobs {
+        let data = match d {
+            DatasetRef::Inline { data, .. } => Arc::clone(data),
+            DatasetRef::Path(_) => unreachable!("demo datasets are inline"),
+        };
+        let out = run(&data, &Config::new(params(*k, *l)).with_telemetry(true)).expect("solo run");
+        sequential_distances += out
+            .telemetry
+            .expect("telemetry on")
+            .total(counters::DISTANCES_COMPUTED);
+    }
+    let sequential_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    // Service: the same requests, submitted while the scheduler is paused
+    // so they pile up and coalesce (a live burst behaves the same way).
+    let server = Server::start(
+        ServeConfig::default()
+            .with_workers(2)
+            .with_max_batch(16)
+            .with_start_paused(true),
+    );
+    let handles: Vec<_> = jobs
+        .iter()
+        .map(|(d, k, l)| {
+            server
+                .submit(JobRequest::new(d.clone(), params(*k, *l)))
+                .expect("admitted")
+        })
+        .collect();
+
+    // Two more requests round the demo to ~50: one cancelled while queued,
+    // one with a deadline that has already passed when a worker gets to it.
+    let cancelled = server
+        .submit(JobRequest::new(datasets[0].clone(), params(6, 4)))
+        .expect("admitted");
+    cancelled.cancel();
+    let deadlined = server
+        .submit(
+            JobRequest::new(datasets[1].clone(), params(6, 4))
+                .with_deadline(Duration::from_nanos(1)),
+        )
+        .expect("admitted");
+
+    println!("service: {} requests queued, resuming ...", jobs.len() + 2);
+    let t1 = Instant::now();
+    server.resume();
+
+    let mut batched_distances = 0u64;
+    let mut widths = Vec::new();
+    let mut reports: Vec<TelemetryReport> = Vec::new();
+    for h in &handles {
+        let out = h.wait().expect("job succeeds");
+        widths.push(out.batch_width);
+        let tel = out.telemetry.expect("per-job telemetry");
+        batched_distances += tel.total(counters::DISTANCES_COMPUTED);
+        reports.push(tel);
+    }
+    let batched_ms = t1.elapsed().as_secs_f64() * 1e3;
+
+    let err = cancelled.wait().expect_err("cancelled job must fail");
+    assert!(err.is_cancelled(), "cancelled job: {err}");
+    let err = deadlined.wait().expect_err("deadline job must fail");
+    assert!(err.is_cancelled(), "deadline job: {err}");
+    println!("cancelled + deadline jobs terminated cleanly: ok");
+
+    let snap = server.metrics();
+    let batches = snap.total(counters::BATCHES_EXECUTED);
+    let mean_width = widths.iter().sum::<usize>() as f64 / widths.len() as f64;
+    println!("\n{:>34} {:>14} {:>10}", "", "distances", "wall ms");
+    println!(
+        "{:>34} {:>14} {:>10.1}",
+        "sequential (one job at a time)", sequential_distances, sequential_ms
+    );
+    println!(
+        "{:>34} {:>14} {:>10.1}",
+        "batched (coalesced grid runs)", batched_distances, batched_ms
+    );
+    println!(
+        "\n{} jobs ran in {} batches (mean width {:.1}); distances saved: {:.1}%",
+        handles.len(),
+        batches,
+        mean_width,
+        100.0 * (1.0 - batched_distances as f64 / sequential_distances as f64),
+    );
+    println!(
+        "queue-wait p50/p99: {}/{} us, service p50/p99: {}/{} us",
+        snap.total("queue_wait_us_p50"),
+        snap.total("queue_wait_us_p99"),
+        snap.total("service_time_us_p50"),
+        snap.total("service_time_us_p99"),
+    );
+    server.shutdown();
+
+    // Per-job telemetry as one runs document, schema-validated (CI relies
+    // on this).
+    let doc = proclus::telemetry::runs_json(&reports);
+    proclus_telemetry::schema::validate_any_str(&doc).expect("schema-valid runs document");
+    if let Some(path) = out_path {
+        std::fs::write(&path, &doc).expect("write telemetry");
+        println!(
+            "per-job telemetry ({} reports) written to {path}",
+            reports.len()
+        );
+    }
+
+    // The acceptance criterion, self-checked: strictly fewer distances.
+    if batched_distances >= sequential_distances {
+        eprintln!(
+            "FAIL: batched runs computed {batched_distances} distances, \
+             sequential computed {sequential_distances}"
+        );
+        std::process::exit(1);
+    }
+    println!("self-check passed: batched < sequential distances");
+}

@@ -37,6 +37,8 @@ pub use datagen;
 pub use gpu_sim;
 pub use proclus;
 pub use proclus_gpu;
+pub use proclus_serve;
+pub use proclus_telemetry;
 
 /// The most common imports in one place.
 pub mod prelude {

@@ -1,0 +1,142 @@
+//! Cancellation routing: every entry point — including the deprecated
+//! shims — goes through the one cancellation-aware driver per backend.
+//!
+//! * A pre-cancelled token makes `run_with_cancel` / `run_on_with_cancel`
+//!   return [`ProclusError::Cancelled`] for every algorithm × backend, so
+//!   there is no uncancellable path left.
+//! * The shims produce bit-identical output to the unified entry points
+//!   (same driver, fresh token) — they are aliases, not forks.
+//! * In a grid run, cancelling one setting fails that setting only.
+
+#![allow(deprecated)] // exercises the legacy entry points deliberately
+
+use gpu_sim::{Device, DeviceConfig};
+use proclus::{
+    fast_proclus, fast_star_proclus, proclus, Algo, CancelToken, Config, DataMatrix, Params,
+    ProclusError, ReuseLevel, Setting,
+};
+use proclus_gpu::{gpu_fast_proclus, gpu_fast_star_proclus, gpu_proclus};
+
+fn blob_data(n: usize) -> DataMatrix {
+    let rows: Vec<Vec<f32>> = (0..n)
+        .map(|i| {
+            let c = if i % 2 == 0 { 0.0f32 } else { 40.0 };
+            vec![
+                c + ((i * 3) % 13) as f32 * 0.05,
+                c + ((i * 5) % 13) as f32 * 0.05,
+                ((i * 7) % 100) as f32,
+            ]
+        })
+        .collect();
+    DataMatrix::from_rows(&rows).unwrap()
+}
+
+fn params() -> Params {
+    Params::new(3, 2).with_a(15).with_b(4).with_seed(9)
+}
+
+fn dev() -> Device {
+    let mut d = Device::new(DeviceConfig::gtx_1660_ti());
+    d.set_deterministic(true);
+    d
+}
+
+#[test]
+fn every_algo_and_backend_honours_a_precancelled_token() {
+    let data = blob_data(300);
+    let cancelled = CancelToken::new();
+    cancelled.cancel();
+    for algo in [Algo::Baseline, Algo::Fast, Algo::FastStar] {
+        let cpu = Config::new(params()).with_algo(algo);
+        let err = proclus::run_with_cancel(&data, &cpu, &cancelled).unwrap_err();
+        assert!(
+            matches!(err, ProclusError::Cancelled { .. }),
+            "{algo:?} cpu: {err}"
+        );
+
+        let gpu = cpu.clone().with_backend(proclus::Backend::Gpu);
+        let err = proclus_gpu::run_on_with_cancel(&mut dev(), &data, &gpu, &cancelled).unwrap_err();
+        assert!(
+            matches!(err, ProclusError::Cancelled { .. }),
+            "{algo:?} gpu: {err}"
+        );
+    }
+}
+
+#[test]
+fn expired_deadline_token_cancels_with_a_deadline_reason() {
+    let data = blob_data(300);
+    let token = CancelToken::with_deadline(std::time::Instant::now());
+    let err = proclus::run_with_cancel(&data, &Config::new(params()), &token).unwrap_err();
+    assert!(err.to_string().contains("deadline"), "{err}");
+}
+
+#[test]
+fn cpu_shims_are_aliases_of_the_unified_driver() {
+    let data = blob_data(400);
+    let p = params();
+    type CpuShim = fn(&DataMatrix, &Params) -> proclus::Result<proclus::Clustering>;
+    let cases: [(Algo, CpuShim); 3] = [
+        (Algo::Baseline, proclus),
+        (Algo::Fast, fast_proclus),
+        (Algo::FastStar, fast_star_proclus),
+    ];
+    for (algo, shim) in cases {
+        let unified = proclus::run_with_cancel(
+            &data,
+            &Config::new(p.clone()).with_algo(algo),
+            &CancelToken::new(),
+        )
+        .unwrap();
+        assert_eq!(unified.clustering(), &shim(&data, &p).unwrap(), "{algo:?}");
+    }
+}
+
+#[test]
+fn gpu_shims_are_aliases_of_the_unified_driver() {
+    let data = blob_data(400);
+    let p = params();
+    type GpuShim =
+        fn(&mut Device, &DataMatrix, &Params) -> proclus_gpu::Result<proclus::Clustering>;
+    let cases: [(Algo, GpuShim); 3] = [
+        (Algo::Baseline, gpu_proclus),
+        (Algo::Fast, gpu_fast_proclus),
+        (Algo::FastStar, gpu_fast_star_proclus),
+    ];
+    for (algo, shim) in cases {
+        let config = Config::new(p.clone())
+            .with_algo(algo)
+            .with_backend(proclus::Backend::Gpu);
+        let unified =
+            proclus_gpu::run_on_with_cancel(&mut dev(), &data, &config, &CancelToken::new())
+                .unwrap();
+        assert_eq!(
+            unified.clustering(),
+            &shim(&mut dev(), &data, &p).unwrap(),
+            "{algo:?}"
+        );
+    }
+}
+
+#[test]
+fn cancelling_one_grid_setting_spares_the_others() {
+    let data = blob_data(400);
+    let settings = vec![Setting::new(4, 2), Setting::new(3, 2), Setting::new(2, 2)];
+    let cancels = vec![CancelToken::new(), CancelToken::new(), CancelToken::new()];
+    cancels[1].cancel();
+    let outcomes = proclus::fast_proclus_multi_outcomes(
+        &data,
+        &params(),
+        &settings,
+        ReuseLevel::SharedGreedy,
+        &proclus::par::Executor::Sequential,
+        &proclus_telemetry::NullRecorder,
+        &cancels,
+    );
+    assert!(outcomes[0].is_ok());
+    assert!(matches!(
+        outcomes[1].as_ref().unwrap_err(),
+        ProclusError::Cancelled { .. }
+    ));
+    assert!(outcomes[2].is_ok());
+}

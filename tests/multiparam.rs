@@ -155,3 +155,21 @@ fn default_grid_runs_end_to_end() {
     .unwrap();
     assert_eq!(results.len(), 9);
 }
+
+/// The reuse guarantee the property tests rely on: a width-1 grid is a
+/// solo run, and the first setting of a largest-k-first grid is
+/// bit-identical to its solo run, at every reuse level (nothing the shared
+/// levels hoist out of the loop runs before the first setting differs).
+#[test]
+fn first_setting_of_largest_k_first_grid_matches_solo_run() {
+    let data = dataset();
+    let exec = proclus::par::Executor::Sequential;
+    let settings = vec![Setting::new(5, 3), Setting::new(4, 4), Setting::new(3, 2)];
+    let solo = proclus::run(&data, &proclus::Config::new(base())).unwrap();
+    for level in LEVELS {
+        let single = fast_proclus_multi(&data, &base(), &settings[..1], level, &exec).unwrap();
+        assert_eq!(&single[0], solo.clustering(), "{level:?}: width-1 grid");
+        let multi = fast_proclus_multi(&data, &base(), &settings, level, &exec).unwrap();
+        assert_eq!(&multi[0], solo.clustering(), "{level:?}: first setting");
+    }
+}

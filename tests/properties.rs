@@ -204,3 +204,93 @@ proptest! {
         prop_assert_eq!(&base.labels, &fast.labels);
     }
 }
+
+// ---------------------------------------------------------------------------
+// §3.1 multi-parameter reuse vs independent runs.
+//
+// The naive claim "every reuse level reproduces the independent per-(k, l)
+// runs bit-for-bit" is deliberately NOT what the design promises: the
+// shared levels draw the sample (and, at level >= 2, the greedy candidate
+// set) once, so later settings consume a different RNG stream than a fresh
+// run would. What IS guaranteed, and what these properties pin down:
+//
+// 1. a width-1 grid is a solo run at every reuse level;
+// 2. the first setting of a largest-k-first grid is bit-identical to the
+//    solo run of its parameters at every level (nothing before it differs);
+// 3. the GPU multi runner agrees with the CPU one seed-for-seed at every
+//    level and setting.
+
+use gpu_sim::{Device, DeviceConfig};
+use proclus::{fast_proclus_multi, Config, ReuseLevel, Setting};
+use proclus_gpu::gpu_fast_proclus_multi;
+
+/// Arbitrary data plus a largest-k-first grid with matching base params.
+fn reuse_case() -> impl Strategy<Value = (DataMatrix, Params, Vec<Setting>)> {
+    (40usize..90, 4usize..6, 0u64..1000).prop_flat_map(|(n, d, seed)| {
+        let values = proptest::collection::vec(-50.0f32..50.0, n * d);
+        let settings = proptest::collection::vec((2usize..6, 2usize..4), 1..4);
+        (values, settings).prop_map(move |(v, ks)| {
+            let data = DataMatrix::from_flat(v, n, d).unwrap();
+            let mut settings: Vec<Setting> = ks.iter().map(|&(k, l)| Setting::new(k, l)).collect();
+            settings.sort_by_key(|s| std::cmp::Reverse(s.k));
+            let base = Params::new(settings[0].k, settings[0].l)
+                .with_a(10)
+                .with_b(3)
+                .with_seed(seed);
+            (data, base, settings)
+        })
+    })
+}
+
+proptest! {
+    // Each case runs 4 reuse levels x (grid + solo + GPU grid).
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    #[test]
+    fn reuse_levels_agree_with_independent_runs_where_defined(
+        (data, base, settings) in reuse_case(),
+    ) {
+        let exec = Executor::Sequential;
+        let mut p0 = base.clone();
+        p0.k = settings[0].k;
+        p0.l = settings[0].l;
+        if p0.validate(&data).is_err() {
+            return Ok(()); // undersized corner: covered by params tests
+        }
+        let solo_out = proclus::run(&data, &Config::new(p0)).unwrap();
+        let solo = solo_out.clustering();
+
+        for level in [
+            ReuseLevel::Independent,
+            ReuseLevel::SharedCache,
+            ReuseLevel::SharedGreedy,
+            ReuseLevel::WarmStart,
+        ] {
+            // (1) width-1 grid == solo run, bit for bit.
+            let single =
+                fast_proclus_multi(&data, &base, &settings[..1], level, &exec).unwrap();
+            prop_assert_eq!(&single[0], solo);
+
+            // (2) first setting of the full grid == solo run.
+            let multi = match fast_proclus_multi(&data, &base, &settings, level, &exec) {
+                Ok(m) => m,
+                // A later setting may be invalid against this data
+                // (e.g. k*a exceeds n); the strict API then aborts, which
+                // is out of scope for this property.
+                Err(_) => continue,
+            };
+            prop_assert_eq!(&multi[0], solo);
+
+            // (3) the GPU runner agrees seed-for-seed, every setting.
+            let mut dev = Device::new(DeviceConfig::gtx_1660_ti());
+            dev.set_deterministic(true);
+            let gpu =
+                gpu_fast_proclus_multi(&mut dev, &data, &base, &settings, level).unwrap();
+            prop_assert_eq!(multi.len(), gpu.len());
+            for (c, g) in multi.iter().zip(&gpu) {
+                prop_assert_eq!(&c.medoids, &g.medoids);
+                prop_assert_eq!(&c.labels, &g.labels);
+            }
+        }
+    }
+}
