@@ -58,7 +58,8 @@ fn run_mode(
                 .with_workers(2)
                 .with_max_batch(max_batch)
                 .with_start_paused(true),
-        );
+        )
+        .expect("server starts");
         let dataset = DatasetRef::Inline {
             name: format!("bench-{rep}"),
             data: Arc::clone(data),

@@ -15,7 +15,13 @@ use proclus_bench::{workloads, Options};
 
 fn main() {
     let opts = Options::from_args();
-    let n = if opts.paper_scale { 64_000 } else { 8_000 };
+    let n = if opts.paper_scale {
+        64_000
+    } else if opts.quick {
+        2_000
+    } else {
+        8_000
+    };
     let cfg = workloads::default_synthetic(n, opts.seed);
     let data = workloads::synthetic_data(&cfg, 0);
     let params = workloads::default_params().with_seed(opts.seed);

@@ -242,7 +242,8 @@ fn serve(
         .with_workers(workers)
         .with_queue_capacity(queue_capacity)
         .with_max_batch(max_batch);
-    let server = proclus_serve::Server::start(cfg);
+    let server = proclus_serve::Server::start(cfg)
+        .map_err(|e| (crate::exit::DEVICE, format!("serve: {e}")))?;
     match listen {
         None => {
             let stdin = std::io::stdin();

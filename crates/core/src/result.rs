@@ -65,53 +65,53 @@ impl Clustering {
     /// each subspace has ≥ 2 sorted distinct dims, the subspace sizes sum
     /// to `k · l`, labels are in range, and each medoid belongs to its own
     /// cluster (medoids are never outliers).
-    pub fn validate_structure(&self, n: usize, d: usize, l: usize) -> Result<(), String> {
+    pub fn validate_structure(&self, n: usize, d: usize, l: usize) -> crate::Result<()> {
         let k = self.k();
         if self.subspaces.len() != k {
-            return Err(format!(
+            return Err(crate::ProclusError::data(format!(
                 "{} subspaces for {k} medoids",
                 self.subspaces.len()
-            ));
+            )));
         }
         if self.labels.len() != n {
-            return Err(format!("{} labels for {n} points", self.labels.len()));
+            return Err(crate::ProclusError::data(format!("{} labels for {n} points", self.labels.len())));
         }
         let total: usize = self.subspaces.iter().map(|s| s.len()).sum();
         if total != k * l {
-            return Err(format!("subspace sizes sum to {total}, expected {}", k * l));
+            return Err(crate::ProclusError::data(format!("subspace sizes sum to {total}, expected {}", k * l)));
         }
         for (i, s) in self.subspaces.iter().enumerate() {
             if s.len() < 2 {
-                return Err(format!("subspace {i} has fewer than 2 dims"));
+                return Err(crate::ProclusError::data(format!("subspace {i} has fewer than 2 dims")));
             }
             if s.windows(2).any(|w| w[0] >= w[1]) {
-                return Err(format!("subspace {i} not sorted/distinct: {s:?}"));
+                return Err(crate::ProclusError::data(format!("subspace {i} not sorted/distinct: {s:?}")));
             }
             if s.iter().any(|&j| j >= d) {
-                return Err(format!("subspace {i} has dim out of range: {s:?}"));
+                return Err(crate::ProclusError::data(format!("subspace {i} has dim out of range: {s:?}")));
             }
         }
         for &lab in &self.labels {
             if lab != OUTLIER && !(0..k as i32).contains(&lab) {
-                return Err(format!("label {lab} out of range"));
+                return Err(crate::ProclusError::data(format!("label {lab} out of range")));
             }
         }
         for (i, &m) in self.medoids.iter().enumerate() {
             if m >= n {
-                return Err(format!("medoid index {m} out of range"));
+                return Err(crate::ProclusError::data(format!("medoid index {m} out of range")));
             }
             if self.labels[m] != i as i32 {
-                return Err(format!(
+                return Err(crate::ProclusError::data(format!(
                     "medoid {i} (point {m}) has label {} instead of {i}",
                     self.labels[m]
-                ));
+                )));
             }
         }
         if !self.cost.is_finite() || self.cost < 0.0 {
-            return Err(format!(
+            return Err(crate::ProclusError::data(format!(
                 "cost {} not a finite non-negative value",
                 self.cost
-            ));
+            )));
         }
         Ok(())
     }

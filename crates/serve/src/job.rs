@@ -3,8 +3,10 @@
 //! ([`JobOutput`] / [`ServeError`]).
 
 use std::fmt;
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::Arc;
 use std::time::Duration;
+
+use proclus_verify::{TrackedCondvar, TrackedMutex};
 
 use proclus::telemetry::TelemetryReport;
 use proclus::{Algo, Backend, CancelToken, Clustering, Params, ProclusError};
@@ -44,6 +46,17 @@ pub enum ServeError {
         /// The panic payload, when it was a string.
         reason: String,
     },
+    /// The OS refused to spawn a worker thread at startup.
+    Spawn {
+        /// The spawn failure, as reported by the OS.
+        reason: String,
+    },
+    /// An internal invariant of the scheduler was violated — always a bug
+    /// in the serving layer, never a caller error.
+    Internal {
+        /// Which invariant broke.
+        reason: String,
+    },
 }
 
 impl ServeError {
@@ -65,6 +78,8 @@ impl fmt::Display for ServeError {
             ServeError::Dataset { reason } => write!(f, "dataset error: {reason}"),
             ServeError::Algorithm(e) => write!(f, "{e}"),
             ServeError::WorkerPanicked { reason } => write!(f, "worker panicked: {reason}"),
+            ServeError::Spawn { reason } => write!(f, "failed to spawn worker: {reason}"),
+            ServeError::Internal { reason } => write!(f, "internal error: {reason}"),
         }
     }
 }
@@ -173,8 +188,8 @@ pub type JobResult = Result<JobOutput, ServeError>;
 pub(crate) struct JobShared {
     pub(crate) id: JobId,
     pub(crate) cancel: CancelToken,
-    slot: Mutex<Option<JobResult>>,
-    cv: Condvar,
+    slot: TrackedMutex<Option<JobResult>>,
+    cv: TrackedCondvar,
 }
 
 impl JobShared {
@@ -182,14 +197,14 @@ impl JobShared {
         Self {
             id,
             cancel,
-            slot: Mutex::new(None),
-            cv: Condvar::new(),
+            slot: TrackedMutex::new("job.slot", None),
+            cv: TrackedCondvar::new("job.cv"),
         }
     }
 
     /// Stores the result (first write wins) and wakes all waiters.
     pub(crate) fn fulfil(&self, result: JobResult) {
-        let mut slot = self.slot.lock().unwrap();
+        let mut slot = self.slot.lock();
         if slot.is_none() {
             *slot = Some(result);
         }
@@ -219,24 +234,24 @@ impl JobHandle {
     /// Non-blocking poll: `Some(result)` once the job reached a terminal
     /// state.
     pub fn try_result(&self) -> Option<JobResult> {
-        self.shared.slot.lock().unwrap().clone()
+        self.shared.slot.lock().clone()
     }
 
     /// Blocks until the job finishes and returns its result.
     pub fn wait(&self) -> JobResult {
-        let mut slot = self.shared.slot.lock().unwrap();
+        let mut slot = self.shared.slot.lock();
         loop {
             if let Some(r) = slot.as_ref() {
                 return r.clone();
             }
-            slot = self.shared.cv.wait(slot).unwrap();
+            slot = self.shared.cv.wait(slot);
         }
     }
 
     /// Blocks up to `timeout`; `None` if the job is still running then.
     pub fn wait_timeout(&self, timeout: Duration) -> Option<JobResult> {
         let deadline = std::time::Instant::now() + timeout;
-        let mut slot = self.shared.slot.lock().unwrap();
+        let mut slot = self.shared.slot.lock();
         loop {
             if let Some(r) = slot.as_ref() {
                 return Some(r.clone());
@@ -245,14 +260,14 @@ impl JobHandle {
             if now >= deadline {
                 return None;
             }
-            let (guard, _) = self.shared.cv.wait_timeout(slot, deadline - now).unwrap();
+            let (guard, _) = self.shared.cv.wait_timeout(slot, deadline - now);
             slot = guard;
         }
     }
 
     /// True once the job reached a terminal state.
     pub fn is_finished(&self) -> bool {
-        self.shared.slot.lock().unwrap().is_some()
+        self.shared.slot.lock().is_some()
     }
 }
 

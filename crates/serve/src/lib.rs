@@ -37,7 +37,8 @@
 //!     .collect();
 //! let data = DataMatrix::from_rows(&rows).unwrap();
 //!
-//! let server = Server::start(ServeConfig::default().with_workers(1).with_start_paused(true));
+//! let cfg = ServeConfig::default().with_workers(1).with_start_paused(true);
+//! let server = Server::start(cfg).unwrap();
 //! let dataset = DatasetRef::inline("demo", data);
 //! let handles: Vec<_> = (2..=4)
 //!     .map(|k| {

@@ -5,16 +5,15 @@
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
 
 use proclus_telemetry::{counters, Histogram, SpanNode, TelemetryReport};
+use proclus_verify::TrackedMutex;
 
 /// Atomic service counters plus queue-wait / service-time histograms.
 ///
 /// Counters use the shared names in [`proclus_telemetry::counters`]; the
 /// histograms export their count/mean/p50/p99/max as derived totals
 /// (`queue_wait_us_p50`, `service_time_us_p99`, …).
-#[derive(Default)]
 pub struct ServiceMetrics {
     jobs_admitted: AtomicU64,
     jobs_rejected: AtomicU64,
@@ -26,8 +25,27 @@ pub struct ServiceMetrics {
     batch_width: AtomicU64,
     dataset_cache_hits: AtomicU64,
     dataset_cache_misses: AtomicU64,
-    queue_wait_us: Mutex<Histogram>,
-    service_time_us: Mutex<Histogram>,
+    queue_wait_us: TrackedMutex<Histogram>,
+    service_time_us: TrackedMutex<Histogram>,
+}
+
+impl Default for ServiceMetrics {
+    fn default() -> Self {
+        Self {
+            jobs_admitted: AtomicU64::new(0),
+            jobs_rejected: AtomicU64::new(0),
+            jobs_batched: AtomicU64::new(0),
+            jobs_completed: AtomicU64::new(0),
+            jobs_failed: AtomicU64::new(0),
+            jobs_cancelled: AtomicU64::new(0),
+            batches_executed: AtomicU64::new(0),
+            batch_width: AtomicU64::new(0),
+            dataset_cache_hits: AtomicU64::new(0),
+            dataset_cache_misses: AtomicU64::new(0),
+            queue_wait_us: TrackedMutex::new("metrics.queue_wait", Histogram::default()),
+            service_time_us: TrackedMutex::new("metrics.service_time", Histogram::default()),
+        }
+    }
 }
 
 fn inc(c: &AtomicU64) {
@@ -64,10 +82,10 @@ impl ServiceMetrics {
         inc(&self.dataset_cache_misses);
     }
     pub(crate) fn record_queue_wait_us(&self, us: u64) {
-        self.queue_wait_us.lock().unwrap().record(us);
+        self.queue_wait_us.lock().record(us);
     }
     pub(crate) fn record_service_us(&self, us: u64) {
-        self.service_time_us.lock().unwrap().record(us);
+        self.service_time_us.lock().record(us);
     }
 
     /// A point-in-time snapshot as a schema-valid report. Counter totals
@@ -93,7 +111,7 @@ impl ServiceMetrics {
             ("queue_wait_us", &self.queue_wait_us),
             ("service_time_us", &self.service_time_us),
         ] {
-            let h = hist.lock().unwrap();
+            let h = hist.lock();
             totals.insert(format!("{name}_count"), h.count());
             totals.insert(format!("{name}_mean"), h.mean());
             totals.insert(format!("{name}_p50"), h.quantile(0.5));

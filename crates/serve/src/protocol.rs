@@ -247,7 +247,7 @@ mod tests {
     #[test]
     fn submit_drain_metrics_round_trip() {
         let path = csv_fixture("round");
-        let server = Server::start(ServeConfig::default().with_workers(1));
+        let server = Server::start(ServeConfig::default().with_workers(1)).expect("server starts");
         let input = format!(
             "{{\"op\":\"submit\",\"dataset\":\"{p}\",\"k\":2,\"l\":2,\"a\":10,\"b\":3,\"seed\":5}}\n\
              {{\"op\":\"submit\",\"dataset\":\"{p}\",\"k\":3,\"l\":2,\"a\":10,\"b\":3,\"seed\":5}}\n\
@@ -273,7 +273,7 @@ mod tests {
 
     #[test]
     fn bad_requests_get_error_lines_not_crashes() {
-        let server = Server::start(ServeConfig::default().with_workers(1));
+        let server = Server::start(ServeConfig::default().with_workers(1)).expect("server starts");
         let lines = session(
             &server,
             "not json\n\
@@ -293,7 +293,7 @@ mod tests {
     #[test]
     fn labels_are_included_on_request() {
         let path = csv_fixture("labels");
-        let server = Server::start(ServeConfig::default().with_workers(1));
+        let server = Server::start(ServeConfig::default().with_workers(1)).expect("server starts");
         let input = format!(
             "{{\"op\":\"submit\",\"dataset\":\"{p}\",\"k\":2,\"l\":2,\"a\":10,\"b\":3,\
              \"labels\":true}}\n{{\"op\":\"wait\",\"id\":0}}\n",

@@ -5,11 +5,13 @@
 //! to the same [`DatasetRef`] resolve to the *same* `Arc<DataMatrix>`, so
 //! the scheduler can coalesce them into one multi-parameter grid run.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::path::PathBuf;
-use std::sync::{Arc, Mutex};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use proclus::DataMatrix;
+use proclus_verify::{TrackedCondvar, TrackedMutex};
 
 use crate::job::ServeError;
 use crate::metrics::ServiceMetrics;
@@ -68,9 +70,30 @@ struct Inner {
 }
 
 /// Byte-budgeted LRU cache of resolved datasets.
+///
+/// Loads are **single-flight**: concurrent `get`s of the same key elect one
+/// loader; the rest wait on `pending_cv` and then take the cache hit, so a
+/// dataset is read, normalized and fingerprinted exactly once no matter how
+/// many jobs referencing it arrive together.
 pub struct DatasetRegistry {
     budget_bytes: usize,
-    inner: Mutex<Inner>,
+    inner: TrackedMutex<Inner>,
+    pending: TrackedMutex<HashSet<String>>,
+    pending_cv: TrackedCondvar,
+    loads: AtomicU64,
+}
+
+/// Releases a single-flight claim even when the load errors out.
+struct PendingGuard<'a> {
+    reg: &'a DatasetRegistry,
+    key: &'a str,
+}
+
+impl Drop for PendingGuard<'_> {
+    fn drop(&mut self) {
+        self.reg.pending.lock().remove(self.key);
+        self.reg.pending_cv.notify_all();
+    }
 }
 
 /// FNV-1a over the matrix shape and raw `f32` bits: a stable content
@@ -103,11 +126,17 @@ impl DatasetRegistry {
     pub fn new(budget_bytes: usize) -> Self {
         Self {
             budget_bytes,
-            inner: Mutex::new(Inner {
-                map: HashMap::new(),
-                bytes: 0,
-                clock: 0,
-            }),
+            inner: TrackedMutex::new(
+                "registry.inner",
+                Inner {
+                    map: HashMap::new(),
+                    bytes: 0,
+                    clock: 0,
+                },
+            ),
+            pending: TrackedMutex::new("registry.pending", HashSet::new()),
+            pending_cv: TrackedCondvar::new("registry.pending_cv"),
+            loads: AtomicU64::new(0),
         }
     }
 
@@ -119,20 +148,34 @@ impl DatasetRegistry {
         metrics: &ServiceMetrics,
     ) -> Result<Arc<DataMatrix>, ServeError> {
         let key = r.key();
-        {
-            let mut inner = self.inner.lock().unwrap();
-            inner.clock += 1;
-            let clock = inner.clock;
-            if let Some(e) = inner.map.get_mut(&key) {
-                e.last_used = clock;
-                metrics.inc_dataset_cache_hits();
-                return Ok(Arc::clone(&e.data));
+        loop {
+            {
+                let mut inner = self.inner.lock();
+                inner.clock += 1;
+                let clock = inner.clock;
+                if let Some(e) = inner.map.get_mut(&key) {
+                    e.last_used = clock;
+                    metrics.inc_dataset_cache_hits();
+                    return Ok(Arc::clone(&e.data));
+                }
+            }
+            // Not cached. Claim the load, or wait for whoever already did —
+            // when the loader finishes (or fails) we re-check the cache.
+            let mut pending = self.pending.lock();
+            if pending.insert(key.clone()) {
+                break;
+            }
+            while pending.contains(&key) {
+                pending = self.pending_cv.wait(pending);
             }
         }
-        // Load outside the lock: a slow disk read must not block lookups of
-        // already-cached datasets. A racing duplicate load is benign (last
-        // insert wins; both return valid data).
+        // This thread owns the load for `key`; the guard releases the claim
+        // and wakes waiters on every exit path, including load errors.
+        let claim = PendingGuard { reg: self, key: &key };
         metrics.inc_dataset_cache_misses();
+        self.loads.fetch_add(1, Ordering::Relaxed);
+        // Load outside both locks: a slow disk read must not block lookups
+        // of already-cached datasets.
         let data = match r {
             DatasetRef::Path(p) => {
                 let loaded =
@@ -147,51 +190,57 @@ impl DatasetRegistry {
         };
         let bytes = bytes_of(&data);
         let fp = fingerprint(&data);
-        let mut inner = self.inner.lock().unwrap();
-        if bytes <= self.budget_bytes {
-            while inner.bytes + bytes > self.budget_bytes && !inner.map.is_empty() {
-                let victim = inner
-                    .map
-                    .iter()
-                    .min_by_key(|(_, e)| e.last_used)
-                    .map(|(k, _)| k.clone())
-                    .expect("non-empty map");
-                if let Some(e) = inner.map.remove(&victim) {
-                    inner.bytes -= e.bytes;
+        {
+            let mut inner = self.inner.lock();
+            if bytes <= self.budget_bytes {
+                while inner.bytes + bytes > self.budget_bytes {
+                    let victim = inner
+                        .map
+                        .iter()
+                        .min_by_key(|(_, e)| e.last_used)
+                        .map(|(k, _)| k.clone());
+                    let Some(victim) = victim else {
+                        break;
+                    };
+                    if let Some(e) = inner.map.remove(&victim) {
+                        inner.bytes -= e.bytes;
+                    }
+                }
+                inner.clock += 1;
+                let clock = inner.clock;
+                let prev = inner.map.insert(
+                    key.clone(),
+                    Entry {
+                        data: Arc::clone(&data),
+                        bytes,
+                        fingerprint: fp,
+                        last_used: clock,
+                    },
+                );
+                inner.bytes += bytes;
+                if let Some(prev) = prev {
+                    inner.bytes -= prev.bytes;
                 }
             }
-            inner.clock += 1;
-            let clock = inner.clock;
-            let prev = inner.map.insert(
-                key,
-                Entry {
-                    data: Arc::clone(&data),
-                    bytes,
-                    fingerprint: fp,
-                    last_used: clock,
-                },
-            );
-            inner.bytes += bytes;
-            if let Some(prev) = prev {
-                inner.bytes -= prev.bytes;
-            }
         }
+        drop(claim);
         Ok(data)
+    }
+
+    /// Dataset loads actually performed (cache misses that did the work;
+    /// single-flight waiters do not count). Diagnostic/test hook.
+    pub fn loads_performed(&self) -> u64 {
+        self.loads.load(Ordering::Relaxed)
     }
 
     /// Content fingerprint of a cached dataset (None when not cached).
     pub fn fingerprint_of(&self, r: &DatasetRef) -> Option<u64> {
-        self.inner
-            .lock()
-            .unwrap()
-            .map
-            .get(&r.key())
-            .map(|e| e.fingerprint)
+        self.inner.lock().map.get(&r.key()).map(|e| e.fingerprint)
     }
 
     /// Number of cached datasets.
     pub fn len(&self) -> usize {
-        self.inner.lock().unwrap().map.len()
+        self.inner.lock().map.len()
     }
 
     /// True when nothing is cached.
@@ -201,7 +250,7 @@ impl DatasetRegistry {
 
     /// Bytes currently held by cached datasets.
     pub fn cached_bytes(&self) -> usize {
-        self.inner.lock().unwrap().bytes
+        self.inner.lock().bytes
     }
 }
 

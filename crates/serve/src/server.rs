@@ -27,9 +27,11 @@
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Instant;
+
+use proclus_verify::{TrackedCondvar, TrackedMutex};
 
 use gpu_sim::{Device, DeviceConfig};
 use proclus::multi_param::{ReuseLevel, Setting};
@@ -140,8 +142,8 @@ struct ServerInner {
     cfg: ServeConfig,
     registry: DatasetRegistry,
     metrics: ServiceMetrics,
-    state: Mutex<State>,
-    cv: Condvar,
+    state: TrackedMutex<State>,
+    cv: TrackedCondvar,
     next_id: AtomicU64,
 }
 
@@ -149,37 +151,54 @@ struct ServerInner {
 /// gracefully (queued jobs finish first).
 pub struct Server {
     inner: Arc<ServerInner>,
-    workers: Mutex<Vec<JoinHandle<()>>>,
+    workers: TrackedMutex<Vec<JoinHandle<()>>>,
 }
 
 impl Server {
-    /// Starts the service with `cfg.workers` worker threads.
-    pub fn start(cfg: ServeConfig) -> Self {
+    /// Starts the service with `cfg.workers` worker threads. Fails with
+    /// [`ServeError::Spawn`] when the OS refuses a worker thread; workers
+    /// already started are shut down and joined before the error returns.
+    pub fn start(cfg: ServeConfig) -> Result<Self, ServeError> {
         let inner = Arc::new(ServerInner {
             registry: DatasetRegistry::new(cfg.dataset_cache_bytes),
             metrics: ServiceMetrics::default(),
-            state: Mutex::new(State {
-                queue: VecDeque::new(),
-                paused: cfg.start_paused,
-                shutdown: false,
-            }),
-            cv: Condvar::new(),
+            state: TrackedMutex::new(
+                "server.state",
+                State {
+                    queue: VecDeque::new(),
+                    paused: cfg.start_paused,
+                    shutdown: false,
+                },
+            ),
+            cv: TrackedCondvar::new("server.cv"),
             next_id: AtomicU64::new(0),
             cfg,
         });
-        let workers = (0..inner.cfg.workers.max(1))
-            .map(|i| {
-                let inner = Arc::clone(&inner);
-                std::thread::Builder::new()
-                    .name(format!("proclus-serve-{i}"))
-                    .spawn(move || worker_loop(&inner))
-                    .expect("spawn worker")
-            })
-            .collect();
-        Self {
-            inner,
-            workers: Mutex::new(workers),
+        let count = inner.cfg.workers.max(1);
+        let mut workers = Vec::with_capacity(count);
+        for i in 0..count {
+            let worker_inner = Arc::clone(&inner);
+            let spawned = std::thread::Builder::new()
+                .name(format!("proclus-serve-{i}"))
+                .spawn(move || worker_loop(&worker_inner));
+            match spawned {
+                Ok(handle) => workers.push(handle),
+                Err(e) => {
+                    inner.state.lock().shutdown = true;
+                    inner.cv.notify_all();
+                    for w in workers.drain(..) {
+                        let _ = w.join();
+                    }
+                    return Err(ServeError::Spawn {
+                        reason: e.to_string(),
+                    });
+                }
+            }
         }
+        Ok(Self {
+            inner,
+            workers: TrackedMutex::new("server.workers", workers),
+        })
     }
 
     /// Submits a job. Admission control happens here: requests failing
@@ -192,7 +211,7 @@ impl Server {
                 reason: e.to_string(),
             });
         }
-        let mut st = self.inner.state.lock().unwrap();
+        let mut st = self.inner.state.lock();
         if st.shutdown {
             self.inner.metrics.inc_jobs_rejected();
             return Err(ServeError::ShuttingDown);
@@ -222,18 +241,18 @@ impl Server {
 
     /// Pauses the workers: queued jobs wait until [`Self::resume`].
     pub fn pause(&self) {
-        self.inner.state.lock().unwrap().paused = true;
+        self.inner.state.lock().paused = true;
     }
 
     /// Resumes paused workers.
     pub fn resume(&self) {
-        self.inner.state.lock().unwrap().paused = false;
+        self.inner.state.lock().paused = false;
         self.inner.cv.notify_all();
     }
 
     /// Current number of queued (not yet executing) jobs.
     pub fn queue_len(&self) -> usize {
-        self.inner.state.lock().unwrap().queue.len()
+        self.inner.state.lock().queue.len()
     }
 
     /// Point-in-time service metrics as a schema-valid telemetry report.
@@ -250,12 +269,12 @@ impl Server {
     /// queue, and joins them. Idempotent.
     pub fn shutdown(&self) {
         {
-            let mut st = self.inner.state.lock().unwrap();
+            let mut st = self.inner.state.lock();
             st.shutdown = true;
             st.paused = false;
         }
         self.inner.cv.notify_all();
-        let mut ws = self.workers.lock().unwrap();
+        let mut ws = self.workers.lock();
         for w in ws.drain(..) {
             let _ = w.join();
         }
@@ -287,13 +306,18 @@ fn compatible(a: &JobRequest, b: &JobRequest) -> bool {
 }
 
 fn take_batch(queue: &mut VecDeque<Queued>, cfg: &ServeConfig) -> Vec<Queued> {
-    let first = queue.pop_front().expect("non-empty queue");
+    let Some(first) = queue.pop_front() else {
+        return Vec::new();
+    };
     let mut batch = vec![first];
     if cfg.max_batch > 1 && batch[0].spec.algo == Algo::Fast {
         let mut i = 0;
         while i < queue.len() && batch.len() < cfg.max_batch {
             if compatible(&batch[0].spec, &queue[i].spec) {
-                batch.push(queue.remove(i).expect("index in bounds"));
+                match queue.remove(i) {
+                    Some(q) => batch.push(q),
+                    None => break,
+                }
             } else {
                 i += 1;
             }
@@ -306,7 +330,7 @@ fn worker_loop(inner: &ServerInner) {
     let mut device: Option<Device> = None;
     loop {
         let batch = {
-            let mut st = inner.state.lock().unwrap();
+            let mut st = inner.state.lock();
             loop {
                 if !st.queue.is_empty() && !st.paused {
                     break;
@@ -314,7 +338,7 @@ fn worker_loop(inner: &ServerInner) {
                 if st.shutdown {
                     return;
                 }
-                st = inner.cv.wait(st).unwrap();
+                st = inner.cv.wait(st);
             }
             take_batch(&mut st.queue, &inner.cfg)
         };
@@ -424,6 +448,9 @@ fn run_solo(
     data: &DataMatrix,
 ) -> JobResult {
     if q.spec.panic_for_test {
+        // Deliberate fault injection: the panic-isolation tests need a
+        // panic that originates inside a worker.
+        // lint:allow(no_panic) -- test-only fault injection path
         panic!("injected test panic (JobRequest::with_worker_panic_for_test)");
     }
     let config = Config::new(q.spec.params.clone())
@@ -438,11 +465,11 @@ fn run_solo(
     };
     match out {
         Ok(o) => {
-            let clustering = o
-                .clusterings
-                .into_iter()
-                .next()
-                .expect("single run yields one clustering");
+            let Some(clustering) = o.clusterings.into_iter().next() else {
+                return Err(ServeError::Internal {
+                    reason: "solo run returned no clustering".to_string(),
+                });
+            };
             let telemetry = o.telemetry.map(|mut t| {
                 decorate_meta(&mut t, q, 1);
                 t
@@ -539,7 +566,13 @@ fn run_grid(
     }
     results
         .into_iter()
-        .map(|r| r.expect("every setting produced an outcome"))
+        .map(|r| {
+            r.unwrap_or_else(|| {
+                Err(ServeError::Internal {
+                    reason: "grid run dropped a setting outcome".to_string(),
+                })
+            })
+        })
         .collect()
 }
 

@@ -1,0 +1,189 @@
+//! Concurrency coverage for the dataset registry and the service locks:
+//! a property test that the LRU byte budget is never exceeded, real-thread
+//! races proving loads are single-flight, and (under `--features
+//! lockcheck`) an end-to-end workload asserting the lock-order graph stays
+//! clean. The exhaustive-interleaving models of the same protocols live in
+//! `crates/verify/tests/model_checks.rs`; these tests pin the *real*
+//! implementation to the modelled behaviour.
+
+use std::sync::{Arc, Barrier};
+
+use proclus::{DataMatrix, Params};
+use proclus_serve::{DatasetRef, DatasetRegistry, JobRequest, ServeConfig, Server, ServiceMetrics};
+use proptest::prelude::*;
+
+fn matrix(n: usize, seed: f32) -> DataMatrix {
+    let rows: Vec<Vec<f32>> = (0..n)
+        .map(|i| vec![i as f32 + seed, (i * 2) as f32, seed])
+        .collect();
+    DataMatrix::from_rows(&rows).unwrap()
+}
+
+proptest! {
+    /// For any budget and any access sequence, the registry's cached bytes
+    /// never exceed the budget — eviction keeps up, oversized datasets are
+    /// served uncached, and re-inserts of an existing key do not double
+    /// count.
+    #[test]
+    fn byte_budget_is_never_exceeded(
+        budget in 64usize..4096,
+        ops in prop::collection::vec((0usize..6, 1usize..40), 1..40),
+    ) {
+        let reg = DatasetRegistry::new(budget);
+        let metrics = ServiceMetrics::default();
+        for (idx, n) in ops {
+            // Name keyed by content so a repeated name always resolves to
+            // identical data (the registry trusts names).
+            let r = DatasetRef::inline(format!("d{idx}-{n}"), matrix(n, idx as f32));
+            let got = reg.get(&r, &metrics).unwrap();
+            prop_assert_eq!(got.n(), n);
+            prop_assert!(
+                reg.cached_bytes() <= budget,
+                "cached {} bytes with budget {}",
+                reg.cached_bytes(),
+                budget
+            );
+        }
+    }
+}
+
+/// Many threads resolving the same (file-backed) dataset through one
+/// barrier: single-flight election must perform exactly one load, and every
+/// thread must get the same cached `Arc`.
+#[test]
+fn concurrent_loads_of_the_same_dataset_load_exactly_once() {
+    let path = std::env::temp_dir().join(format!("proclus-singleflight-{}.csv", std::process::id()));
+    let mut csv = String::new();
+    for i in 0..50 {
+        csv.push_str(&format!("{},{},{}\n", i, i * 2, i % 7));
+    }
+    std::fs::write(&path, csv).unwrap();
+
+    let reg = Arc::new(DatasetRegistry::new(1 << 20));
+    let metrics = Arc::new(ServiceMetrics::default());
+    let threads = 8;
+    let barrier = Arc::new(Barrier::new(threads));
+    let handles: Vec<_> = (0..threads)
+        .map(|_| {
+            let reg = Arc::clone(&reg);
+            let metrics = Arc::clone(&metrics);
+            let barrier = Arc::clone(&barrier);
+            let r = DatasetRef::path(&path);
+            std::thread::spawn(move || {
+                barrier.wait();
+                reg.get(&r, &metrics).unwrap()
+            })
+        })
+        .collect();
+    let results: Vec<Arc<DataMatrix>> = handles
+        .into_iter()
+        .map(|h| h.join().expect("loader thread exits cleanly"))
+        .collect();
+    std::fs::remove_file(&path).ok();
+
+    assert_eq!(
+        reg.loads_performed(),
+        1,
+        "single-flight must elect exactly one loader"
+    );
+    for r in &results {
+        assert!(
+            Arc::ptr_eq(r, &results[0]),
+            "every waiter must receive the one cached Arc"
+        );
+        assert_eq!(r.n(), 50);
+    }
+    let snap = metrics.snapshot();
+    assert_eq!(snap.total("dataset_cache_misses"), 1);
+    assert_eq!(
+        snap.total("dataset_cache_hits"),
+        (threads - 1) as u64,
+        "the non-loading threads take cache hits"
+    );
+}
+
+/// A failed load must release the single-flight claim so the next caller
+/// can retry (and fail on its own terms) instead of deadlocking.
+#[test]
+fn failed_load_releases_the_single_flight_claim() {
+    let reg = DatasetRegistry::new(1 << 20);
+    let metrics = ServiceMetrics::default();
+    let r = DatasetRef::path("/no/such/proclus-dataset.csv");
+    assert!(reg.get(&r, &metrics).is_err());
+    // A second attempt must reach the loader again, not hang on `pending`.
+    assert!(reg.get(&r, &metrics).is_err());
+    assert_eq!(reg.loads_performed(), 2);
+}
+
+/// With `lockcheck` on, a real mixed workload (batching, cancellation,
+/// concurrent submitters, registry churn) must leave the global
+/// acquisition-order graph free of findings: no order inversions, no
+/// wait-while-holding, no long holds.
+#[cfg(feature = "lockcheck")]
+#[test]
+fn service_workload_leaves_a_clean_lock_report() {
+    proclus_verify::set_mode(proclus_verify::VerifyMode::Report);
+    let server = Server::start(
+        ServeConfig::default()
+            .with_workers(2)
+            .with_max_batch(4)
+            .with_start_paused(true),
+    )
+    .expect("server starts");
+    let dataset = DatasetRef::inline("lockcheck", matrix(200, 0.0));
+    let handles: Vec<_> = (2..=5)
+        .map(|k| {
+            let params = Params::new(k, 2).with_a(10).with_b(3).with_seed(3);
+            server
+                .submit(JobRequest::new(dataset.clone(), params))
+                .expect("admitted")
+        })
+        .collect();
+    handles[3].cancel();
+    server.resume();
+    for h in &handles[..3] {
+        h.wait().expect("job succeeds");
+    }
+    server.shutdown();
+
+    let report = proclus_verify::lock_report();
+    assert!(
+        report.is_clean(),
+        "lock-order findings in the serving layer:\n{}",
+        report.to_json()
+    );
+    // The graph saw the real locks, i.e. the report is not vacuous.
+    assert!(
+        report.locks.iter().any(|l| l.name == "server.state"),
+        "expected server.state in {:?}",
+        report.locks
+    );
+}
+
+// Keep the unused-import surface identical across feature flavors: the
+// plain build exercises the same Server workload without the report.
+#[cfg(not(feature = "lockcheck"))]
+#[test]
+fn service_workload_completes_without_lockcheck() {
+    let server = Server::start(
+        ServeConfig::default()
+            .with_workers(2)
+            .with_max_batch(4)
+            .with_start_paused(true),
+    )
+    .expect("server starts");
+    let dataset = DatasetRef::inline("plain", matrix(200, 0.0));
+    let handles: Vec<_> = (2..=5)
+        .map(|k| {
+            let params = Params::new(k, 2).with_a(10).with_b(3).with_seed(3);
+            server
+                .submit(JobRequest::new(dataset.clone(), params))
+                .expect("admitted")
+        })
+        .collect();
+    server.resume();
+    for h in &handles {
+        h.wait().expect("job succeeds");
+    }
+    server.shutdown();
+}

@@ -49,7 +49,7 @@ fn batched_jobs_compute_strictly_fewer_distances_than_sequential() {
     }
 
     // Service: same jobs, submitted while paused so they coalesce.
-    let server = Server::start(paused_single_worker());
+    let server = Server::start(paused_single_worker()).expect("server starts");
     let dataset = DatasetRef::inline("blobs", data);
     let handles: Vec<_> = grid
         .iter()
@@ -95,7 +95,7 @@ fn batched_jobs_compute_strictly_fewer_distances_than_sequential() {
 #[test]
 fn batched_results_match_the_equivalent_grid_run() {
     let data = blob_data(400);
-    let server = Server::start(paused_single_worker().with_reuse(ReuseLevel::SharedGreedy));
+    let server = Server::start(paused_single_worker().with_reuse(ReuseLevel::SharedGreedy)).expect("server starts");
     let dataset = DatasetRef::inline("blobs", data.clone());
     // Submit smallest-k first to prove the scheduler reorders largest-first.
     let h2 = server
@@ -121,7 +121,7 @@ fn batched_results_match_the_equivalent_grid_run() {
 #[test]
 fn cancelled_queued_job_is_skipped_without_blocking_the_queue() {
     let data = blob_data(300);
-    let server = Server::start(paused_single_worker());
+    let server = Server::start(paused_single_worker()).expect("server starts");
     let dataset = DatasetRef::inline("blobs", data);
     let keep = server
         .submit(JobRequest::new(dataset.clone(), params(2, 2)))
@@ -147,7 +147,7 @@ fn cancelled_queued_job_is_skipped_without_blocking_the_queue() {
 #[test]
 fn deadline_exceeded_cancels_instead_of_hanging() {
     let data = blob_data(300);
-    let server = Server::start(paused_single_worker());
+    let server = Server::start(paused_single_worker()).expect("server starts");
     let dataset = DatasetRef::inline("blobs", data);
     let h = server
         .submit(JobRequest::new(dataset, params(3, 2)).with_deadline(Duration::from_nanos(1)))
@@ -165,7 +165,7 @@ fn deadline_exceeded_cancels_instead_of_hanging() {
 #[test]
 fn full_queue_rejects_with_backpressure() {
     let data = blob_data(200);
-    let server = Server::start(paused_single_worker().with_queue_capacity(2));
+    let server = Server::start(paused_single_worker().with_queue_capacity(2)).expect("server starts");
     let dataset = DatasetRef::inline("blobs", data);
     server
         .submit(JobRequest::new(dataset.clone(), params(2, 2)))
@@ -191,7 +191,7 @@ fn full_queue_rejects_with_backpressure() {
 
 #[test]
 fn invalid_params_are_rejected_at_admission() {
-    let server = Server::start(ServeConfig::default().with_workers(1));
+    let server = Server::start(ServeConfig::default().with_workers(1)).expect("server starts");
     let err = server
         .submit(JobRequest::new(
             DatasetRef::inline("x", blob_data(50)),
@@ -206,7 +206,7 @@ fn invalid_params_are_rejected_at_admission() {
 #[test]
 fn worker_panic_is_isolated_and_the_worker_survives() {
     let data = blob_data(200);
-    let server = Server::start(paused_single_worker());
+    let server = Server::start(paused_single_worker()).expect("server starts");
     let dataset = DatasetRef::inline("blobs", data);
     let bomb = server
         .submit(JobRequest::new(dataset.clone(), params(2, 2)).with_worker_panic_for_test())
@@ -230,7 +230,7 @@ fn worker_panic_is_isolated_and_the_worker_survives() {
 
 #[test]
 fn missing_dataset_fails_the_job_not_the_server() {
-    let server = Server::start(ServeConfig::default().with_workers(1));
+    let server = Server::start(ServeConfig::default().with_workers(1)).expect("server starts");
     let h = server
         .submit(JobRequest::new(
             DatasetRef::path("/no/such/data.csv"),
@@ -253,7 +253,7 @@ fn missing_dataset_fails_the_job_not_the_server() {
 #[test]
 fn gpu_jobs_batch_and_report_device_telemetry() {
     let data = blob_data(400);
-    let server = Server::start(paused_single_worker());
+    let server = Server::start(paused_single_worker()).expect("server starts");
     let dataset = DatasetRef::inline("blobs", data);
     let handles: Vec<_> = [(2usize, 2usize), (3, 2)]
         .iter()
@@ -277,7 +277,7 @@ fn gpu_jobs_batch_and_report_device_telemetry() {
 #[test]
 fn incompatible_jobs_run_solo_not_batched() {
     let data = blob_data(300);
-    let server = Server::start(paused_single_worker());
+    let server = Server::start(paused_single_worker()).expect("server starts");
     let dataset = DatasetRef::inline("blobs", data);
     let fast = server
         .submit(JobRequest::new(dataset.clone(), params(2, 2)))
@@ -303,7 +303,7 @@ fn incompatible_jobs_run_solo_not_batched() {
 #[test]
 fn shutdown_drains_queued_jobs_before_exiting() {
     let data = blob_data(200);
-    let server = Server::start(paused_single_worker());
+    let server = Server::start(paused_single_worker()).expect("server starts");
     let dataset = DatasetRef::inline("blobs", data);
     let h = server
         .submit(JobRequest::new(dataset, params(2, 2)))

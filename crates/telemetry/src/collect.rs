@@ -1,8 +1,9 @@
 //! The collecting recorder: builds the span tree a run leaves behind.
 
 use std::collections::BTreeMap;
-use std::sync::Mutex;
 use std::time::Instant;
+
+use proclus_verify::TrackedMutex;
 
 use crate::recorder::{Recorder, SpanId};
 use crate::report::{SpanNode, TelemetryReport};
@@ -27,14 +28,15 @@ struct Inner {
     meta: BTreeMap<String, String>,
 }
 
-/// The collecting [`Recorder`]: thread-safe (a `Mutex` guards the tree —
-/// spans and counters are recorded from the orchestrating thread, so the
-/// lock is uncontended in practice) and cheap enough to leave on for every
-/// instrumented run.
+/// The collecting [`Recorder`]: thread-safe (a [`TrackedMutex`] guards the
+/// tree — spans and counters are recorded from the orchestrating thread, so
+/// the lock is uncontended in practice, and under the `lockcheck` feature
+/// every acquisition feeds the workspace lock-order graph) and cheap enough
+/// to leave on for every instrumented run.
 #[derive(Debug)]
 pub struct Telemetry {
     t0: Instant,
-    inner: Mutex<Inner>,
+    inner: TrackedMutex<Inner>,
 }
 
 impl Default for Telemetry {
@@ -48,7 +50,7 @@ impl Telemetry {
     pub fn new() -> Self {
         Self {
             t0: Instant::now(),
-            inner: Mutex::new(Inner::default()),
+            inner: TrackedMutex::new("telemetry.tree", Inner::default()),
         }
     }
 
@@ -59,7 +61,7 @@ impl Telemetry {
     /// Attaches a `key = value` metadata pair to the report (algorithm,
     /// backend, seed, dataset shape, …).
     pub fn set_meta(&self, key: &str, value: impl ToString) {
-        let mut inner = self.inner.lock().expect("telemetry lock");
+        let mut inner = self.inner.lock();
         inner.meta.insert(key.to_string(), value.to_string());
     }
 
@@ -67,7 +69,7 @@ impl Telemetry {
     /// [`TelemetryReport`].
     pub fn finish(self) -> TelemetryReport {
         let end = self.now_us();
-        let mut inner = self.inner.into_inner().expect("telemetry lock");
+        let mut inner = self.inner.into_inner();
         while let Some(idx) = inner.stack.pop() {
             inner.nodes[idx].end_us = Some(end);
         }
@@ -100,7 +102,7 @@ impl Recorder for Telemetry {
 
     fn span_start(&self, name: &str) -> SpanId {
         let now = self.now_us();
-        let mut inner = self.inner.lock().expect("telemetry lock");
+        let mut inner = self.inner.lock();
         let idx = inner.nodes.len();
         inner.nodes.push(Node {
             name: name.to_string(),
@@ -124,7 +126,7 @@ impl Recorder for Telemetry {
         }
         let now = self.now_us();
         let target = (id.0 - 1) as usize;
-        let mut inner = self.inner.lock().expect("telemetry lock");
+        let mut inner = self.inner.lock();
         // Close the target and anything opened after it that leaked (the
         // guard discipline makes this a single pop in practice).
         while let Some(idx) = inner.stack.pop() {
@@ -136,7 +138,7 @@ impl Recorder for Telemetry {
     }
 
     fn add(&self, name: &str, delta: u64) {
-        let mut inner = self.inner.lock().expect("telemetry lock");
+        let mut inner = self.inner.lock();
         *inner.totals.entry(name.to_string()).or_insert(0) += delta;
         if let Some(&top) = inner.stack.last() {
             *inner.nodes[top]
@@ -151,7 +153,7 @@ impl Recorder for Telemetry {
             return;
         }
         let idx = (id.0 - 1) as usize;
-        let mut inner = self.inner.lock().expect("telemetry lock");
+        let mut inner = self.inner.lock();
         if let Some(node) = inner.nodes.get_mut(idx) {
             *node.attrs.entry(key.to_string()).or_insert(0.0) += value;
         }
@@ -159,7 +161,7 @@ impl Recorder for Telemetry {
 
     fn emit(&self, name: &str, counters: &[(&str, u64)], attrs: &[(&str, f64)]) {
         let now = self.now_us();
-        let mut inner = self.inner.lock().expect("telemetry lock");
+        let mut inner = self.inner.lock();
         let idx = inner.nodes.len();
         inner.nodes.push(Node {
             name: name.to_string(),

@@ -1,0 +1,343 @@
+//! The global lock registry and acquisition-order graph.
+//!
+//! Every [`crate::TrackedMutex`] / [`crate::TrackedRwLock`] registers
+//! itself here on first acquisition (under the `lockcheck` feature). The
+//! registry maintains:
+//!
+//! * per-lock statistics (acquisitions, maximum observed hold time),
+//! * the **acquisition-order graph**: a directed edge `A → B` is inserted
+//!   the first time any thread acquires `B` while holding `A`,
+//! * the findings list (cycles, waits-while-holding, long holds).
+//!
+//! Cycle detection runs incrementally: inserting edge `A → B` searches for
+//! a path `B ⇝ A`; if one exists the closed cycle is reported as a
+//! potential deadlock. The check is cheap because the node set is the set
+//! of *distinct lock names* in the program (a handful), not the set of
+//! lock instances — `job.slot` is one node no matter how many jobs exist,
+//! which is exactly the granularity at which ordering discipline is
+//! defined.
+//!
+//! Holding the registry's own (std) mutex while running user code is never
+//! done: all bookkeeping happens in short critical sections around the
+//! tracked acquisition itself.
+
+#[cfg(not(feature = "lockcheck"))]
+use crate::report::LockReport;
+
+#[cfg(feature = "lockcheck")]
+pub(crate) use imp::{
+    on_acquire_attempt, on_acquired, on_contended, on_release, on_wait_begin, on_wait_end,
+    registry_report, registry_reset,
+};
+
+#[cfg(not(feature = "lockcheck"))]
+pub(crate) fn registry_report() -> LockReport {
+    LockReport::default()
+}
+
+#[cfg(not(feature = "lockcheck"))]
+pub(crate) fn registry_reset() {}
+
+#[cfg(feature = "lockcheck")]
+mod imp {
+    use std::cell::RefCell;
+    use std::collections::{BTreeMap, BTreeSet};
+    use std::sync::{Mutex, OnceLock, PoisonError};
+    use std::time::Instant;
+
+    use crate::report::{LockEdgeInfo, LockFinding, LockFindingKind, LockInfo, LockReport};
+    use crate::VerifyMode;
+
+    /// Hold times above this many microseconds are reported as
+    /// [`LockFindingKind::LongHold`] outliers. Overridable via
+    /// `PROCLUS_LOCKCHECK_HOLD_MS`.
+    const DEFAULT_LONG_HOLD_US: u64 = 500_000;
+
+    #[derive(Default)]
+    struct Registry {
+        /// Per lock-name statistics (the node set of the graph).
+        locks: BTreeMap<&'static str, LockStats>,
+        /// Acquisition-order edges `held → acquired` with observation info.
+        edges: BTreeMap<(&'static str, &'static str), EdgeStats>,
+        findings: Vec<LockFinding>,
+        /// Dedup keys so one discipline violation is reported once, not
+        /// once per occurrence.
+        seen: BTreeSet<String>,
+    }
+
+    #[derive(Default)]
+    struct LockStats {
+        kind: &'static str,
+        acquisitions: u64,
+        contended_estimate: u64,
+        max_hold_us: u64,
+    }
+
+    #[derive(Default)]
+    struct EdgeStats {
+        count: u64,
+        first_thread: String,
+    }
+
+    fn registry() -> &'static Mutex<Registry> {
+        static REGISTRY: OnceLock<Mutex<Registry>> = OnceLock::new();
+        REGISTRY.get_or_init(|| Mutex::new(Registry::default()))
+    }
+
+    fn long_hold_threshold_us() -> u64 {
+        static THRESHOLD: OnceLock<u64> = OnceLock::new();
+        *THRESHOLD.get_or_init(|| {
+            std::env::var("PROCLUS_LOCKCHECK_HOLD_MS")
+                .ok()
+                .and_then(|v| v.parse::<u64>().ok())
+                .map(|ms| ms.saturating_mul(1000))
+                .unwrap_or(DEFAULT_LONG_HOLD_US)
+        })
+    }
+
+    thread_local! {
+        /// Locks currently held by this thread, acquisition order, with
+        /// the instant each was acquired (for hold-time accounting).
+        static HELD: RefCell<Vec<(&'static str, Instant)>> = const { RefCell::new(Vec::new()) };
+    }
+
+    fn thread_name() -> String {
+        std::thread::current()
+            .name()
+            .unwrap_or("<unnamed>")
+            .to_string()
+    }
+
+    /// Searches the edge set for a path `from ⇝ to`, returning it as a
+    /// node list when found. Iterative DFS; the node set is tiny (distinct
+    /// lock names), so this is effectively free.
+    fn find_path(
+        edges: &BTreeMap<(&'static str, &'static str), EdgeStats>,
+        from: &'static str,
+        to: &'static str,
+    ) -> Option<Vec<&'static str>> {
+        let mut stack = vec![vec![from]];
+        let mut visited = BTreeSet::new();
+        visited.insert(from);
+        while let Some(path) = stack.pop() {
+            let last = *path.last()?;
+            if last == to {
+                return Some(path);
+            }
+            for &(a, b) in edges.keys() {
+                if a == last && visited.insert(b) {
+                    let mut next = path.clone();
+                    next.push(b);
+                    stack.push(next);
+                }
+            }
+        }
+        None
+    }
+
+    fn emit(reg: &mut Registry, key: String, finding: LockFinding) {
+        if !reg.seen.insert(key) {
+            return;
+        }
+        match crate::mode() {
+            VerifyMode::Off => {}
+            VerifyMode::Report => reg.findings.push(finding),
+            VerifyMode::Abort => panic!("lockcheck: {}", finding.message),
+        }
+    }
+
+    /// Called *before* blocking on `name`: records the order edge from the
+    /// innermost lock this thread already holds and runs the cycle check.
+    pub(crate) fn on_acquire_attempt(name: &'static str, kind: &'static str) {
+        let holder = HELD.with(|h| h.borrow().last().map(|&(n, _)| n));
+        let mut reg = registry()
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        reg.locks.entry(name).or_default().kind = kind;
+        let Some(held) = holder else { return };
+        if held == name {
+            // Re-acquiring the same *name* (not instance) is common for
+            // per-object locks like `job.slot`; it is not an order edge.
+            return;
+        }
+        let is_new = !reg.edges.contains_key(&(held, name));
+        let e = reg.edges.entry((held, name)).or_default();
+        e.count += 1;
+        if e.first_thread.is_empty() {
+            e.first_thread = thread_name();
+        }
+        if is_new {
+            // A new edge can close a cycle: look for the reverse path
+            // `name ⇝ held` among the previously known edges.
+            if let Some(mut path) = find_path(&reg.edges, name, held) {
+                path.push(name);
+                let cycle: Vec<String> = path.iter().map(|s| (*s).to_string()).collect();
+                let message = format!(
+                    "lock-order inversion (potential deadlock): cycle {} closed by thread `{}` \
+                     acquiring `{name}` while holding `{held}`",
+                    cycle.join(" -> "),
+                    thread_name(),
+                );
+                let key = format!("cycle:{}", cycle.join(","));
+                emit(
+                    &mut reg,
+                    key,
+                    LockFinding {
+                        kind: LockFindingKind::OrderInversion,
+                        lock: name.to_string(),
+                        thread: thread_name(),
+                        message,
+                        cycle,
+                        held_us: 0,
+                    },
+                );
+            }
+        }
+    }
+
+    /// Called when a fast-path `try_lock` failed and the thread is about
+    /// to block — a cheap contention estimate, not a precise count.
+    pub(crate) fn on_contended(name: &'static str) {
+        let mut reg = registry()
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        reg.locks.entry(name).or_default().contended_estimate += 1;
+    }
+
+    /// Called once the lock is actually held.
+    pub(crate) fn on_acquired(name: &'static str) {
+        {
+            let mut reg = registry()
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            reg.locks.entry(name).or_default().acquisitions += 1;
+        }
+        HELD.with(|h| h.borrow_mut().push((name, Instant::now())));
+    }
+
+    /// Called when the guard drops (or a condvar wait releases the lock).
+    pub(crate) fn on_release(name: &'static str) {
+        let since = HELD.with(|h| {
+            let mut held = h.borrow_mut();
+            match held.iter().rposition(|&(n, _)| n == name) {
+                Some(i) => Some(held.remove(i).1),
+                None => None,
+            }
+        });
+        let Some(since) = since else { return };
+        let held_us = since.elapsed().as_micros() as u64;
+        let mut reg = registry()
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        let stats = reg.locks.entry(name).or_default();
+        if held_us > stats.max_hold_us {
+            stats.max_hold_us = held_us;
+        }
+        if held_us > long_hold_threshold_us() {
+            let message = format!(
+                "long hold: `{name}` held {held_us} us by thread `{}` (threshold {} us)",
+                thread_name(),
+                long_hold_threshold_us(),
+            );
+            let key = format!("longhold:{name}:{}", thread_name());
+            emit(
+                &mut reg,
+                key,
+                LockFinding {
+                    kind: LockFindingKind::LongHold,
+                    lock: name.to_string(),
+                    thread: thread_name(),
+                    message,
+                    cycle: Vec::new(),
+                    held_us,
+                },
+            );
+        }
+    }
+
+    /// Called when a condvar wait is about to release `name`: flags waits
+    /// entered while other tracked locks are still held (those stay held
+    /// for the whole sleep — a classic lost-progress / deadlock shape),
+    /// then removes `name` from the held set for the duration of the wait.
+    pub(crate) fn on_wait_begin(name: &'static str) {
+        let others: Vec<&'static str> = HELD.with(|h| {
+            h.borrow()
+                .iter()
+                .map(|&(n, _)| n)
+                .filter(|&n| n != name)
+                .collect()
+        });
+        if !others.is_empty() {
+            let mut reg = registry()
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            let message = format!(
+                "condvar wait on `{name}` while holding [{}] in thread `{}`: the held locks \
+                 block every other thread for the full sleep",
+                others.join(", "),
+                thread_name(),
+            );
+            let key = format!("wait:{name}:{}", others.join(","));
+            emit(
+                &mut reg,
+                key,
+                LockFinding {
+                    kind: LockFindingKind::WaitWhileHolding,
+                    lock: name.to_string(),
+                    thread: thread_name(),
+                    message,
+                    cycle: others.iter().map(|s| (*s).to_string()).collect(),
+                    held_us: 0,
+                },
+            );
+        }
+        on_release(name);
+    }
+
+    /// Called when the condvar wait returns and the lock is held again.
+    pub(crate) fn on_wait_end(name: &'static str) {
+        on_acquired(name);
+    }
+
+    pub(crate) fn registry_report() -> LockReport {
+        let reg = registry()
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        LockReport {
+            mode: crate::mode().name().to_string(),
+            lockcheck: true,
+            locks: reg
+                .locks
+                .iter()
+                .map(|(name, s)| LockInfo {
+                    name: (*name).to_string(),
+                    kind: s.kind.to_string(),
+                    acquisitions: s.acquisitions,
+                    contended_estimate: s.contended_estimate,
+                    max_hold_us: s.max_hold_us,
+                })
+                .collect(),
+            edges: reg
+                .edges
+                .iter()
+                .map(|(&(a, b), e)| LockEdgeInfo {
+                    from: a.to_string(),
+                    to: b.to_string(),
+                    count: e.count,
+                    first_thread: e.first_thread.clone(),
+                })
+                .collect(),
+            findings: reg.findings.clone(),
+        }
+    }
+
+    pub(crate) fn registry_reset() {
+        let mut reg = registry()
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        reg.locks.clear();
+        reg.edges.clear();
+        reg.findings.clear();
+        reg.seen.clear();
+    }
+}

@@ -1,0 +1,161 @@
+//! # proclus-verify — host-side concurrency verification
+//!
+//! PR 1 gave the *device* side a racecheck/initcheck-style sanitizer; this
+//! crate is the host-side counterpart for the concurrency-heavy serving
+//! layer. It has three pillars:
+//!
+//! 1. **Tracked locks** ([`TrackedMutex`], [`TrackedRwLock`],
+//!    [`TrackedCondvar`]): drop-in wrappers over `std::sync` used by
+//!    `proclus-serve` and `proclus-telemetry`. Without the `lockcheck`
+//!    feature they are thin pass-throughs (no global state, no extra
+//!    allocation); with it, every acquisition feeds a global
+//!    **acquisition-order graph** keyed by the lock's static name.
+//! 2. **Lock-order analysis** ([`graph`]): an edge `A → B` is recorded
+//!    whenever a thread acquires `B` while holding `A`. A cycle in that
+//!    graph is a potential deadlock ([`LockFindingKind::OrderInversion`]);
+//!    further hazards are condvar waits entered while holding *another*
+//!    tracked lock ([`LockFindingKind::WaitWhileHolding`]) and long-hold
+//!    outliers ([`LockFindingKind::LongHold`]).
+//! 3. **Model checking** ([`model`]): a small exhaustive-interleaving
+//!    explorer (a loom-style checker, reimplemented on `std` only — see
+//!    DESIGN.md §11 for the substitution note) used to exercise the
+//!    scheduler's enqueue/coalesce/cancel/deadline interleavings and the
+//!    registry's concurrent load–evict path, including seeded-defect
+//!    fixtures (an intentional lock-order inversion, a lost wakeup) that
+//!    prove each checker detects what it claims to detect.
+//!
+//! ## Modes
+//!
+//! Findings are reported through the same three modes as the PR 1 kernel
+//! sanitizer ([`VerifyMode::Off`] / [`VerifyMode::Report`] /
+//! [`VerifyMode::Abort`]), selected programmatically ([`set_mode`]) or via
+//! the `PROCLUS_LOCKCHECK` environment variable (`off` / `report` /
+//! `abort`). In `Report` mode findings accumulate and are exported as
+//! DeviceReport-style JSON ([`lock_report`] / [`LockReport::to_json`]);
+//! in `Abort` mode the offending acquisition panics at the detection site.
+//!
+//! ```
+//! use proclus_verify::TrackedMutex;
+//!
+//! let m = TrackedMutex::new("example.counter", 0u64);
+//! *m.lock() += 1;
+//! assert_eq!(*m.lock(), 1);
+//! // With `--features lockcheck`, the acquisitions above are now visible:
+//! // proclus_verify::lock_report() lists `example.counter` with its
+//! // acquisition count and maximum hold time.
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod graph;
+pub mod model;
+pub mod report;
+pub mod sync;
+
+pub use report::{LockEdgeInfo, LockFinding, LockFindingKind, LockInfo, LockReport};
+pub use sync::{
+    TrackedCondvar, TrackedMutex, TrackedMutexGuard, TrackedRwLock, TrackedRwLockReadGuard,
+    TrackedRwLockWriteGuard,
+};
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// What to do when the lock checker detects a hazard — mirrors the kernel
+/// sanitizer's `SanitizerMode` (DESIGN.md §8).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum VerifyMode {
+    /// Record nothing beyond acquisition statistics.
+    Off,
+    /// Accumulate findings; read them back with [`lock_report`].
+    #[default]
+    Report,
+    /// Panic at the detection site with the finding's message — turns a
+    /// *potential* deadlock into a loud test failure.
+    Abort,
+}
+
+impl VerifyMode {
+    /// Parses `off` / `report` / `abort` (case-insensitive).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s.to_ascii_lowercase().as_str() {
+            "off" => Some(VerifyMode::Off),
+            "report" => Some(VerifyMode::Report),
+            "abort" => Some(VerifyMode::Abort),
+            _ => None,
+        }
+    }
+
+    /// The wire name used in JSON reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            VerifyMode::Off => "off",
+            VerifyMode::Report => "report",
+            VerifyMode::Abort => "abort",
+        }
+    }
+}
+
+const MODE_UNSET: u8 = 0xff;
+static MODE: AtomicU8 = AtomicU8::new(MODE_UNSET);
+
+/// Sets the global checking mode (overrides `PROCLUS_LOCKCHECK`).
+pub fn set_mode(mode: VerifyMode) {
+    MODE.store(mode as u8, Ordering::Relaxed);
+}
+
+/// The effective checking mode: the last [`set_mode`] call, else the
+/// `PROCLUS_LOCKCHECK` environment variable, else [`VerifyMode::Report`].
+pub fn mode() -> VerifyMode {
+    match MODE.load(Ordering::Relaxed) {
+        0 => VerifyMode::Off,
+        1 => VerifyMode::Report,
+        2 => VerifyMode::Abort,
+        _ => {
+            let m = std::env::var("PROCLUS_LOCKCHECK")
+                .ok()
+                .and_then(|v| VerifyMode::parse(&v))
+                .unwrap_or_default();
+            MODE.store(m as u8, Ordering::Relaxed);
+            m
+        }
+    }
+}
+
+/// Snapshot of everything the lock checker has seen: per-lock acquisition
+/// statistics, the acquisition-order edges, and any findings. Empty when
+/// the `lockcheck` feature is off.
+pub fn lock_report() -> LockReport {
+    graph::registry_report()
+}
+
+/// Clears the global lock registry (graph, statistics, findings). Intended
+/// for tests that need isolation from each other; locks created before the
+/// reset keep working and simply re-register on next use.
+pub fn reset() {
+    graph::registry_reset();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mode_parses_and_round_trips() {
+        assert_eq!(VerifyMode::parse("abort"), Some(VerifyMode::Abort));
+        assert_eq!(VerifyMode::parse("REPORT"), Some(VerifyMode::Report));
+        assert_eq!(VerifyMode::parse("off"), Some(VerifyMode::Off));
+        assert_eq!(VerifyMode::parse("loud"), None);
+        for m in [VerifyMode::Off, VerifyMode::Report, VerifyMode::Abort] {
+            assert_eq!(VerifyMode::parse(m.name()), Some(m));
+        }
+    }
+
+    #[test]
+    fn set_mode_wins_over_env() {
+        set_mode(VerifyMode::Abort);
+        assert_eq!(mode(), VerifyMode::Abort);
+        set_mode(VerifyMode::Report);
+        assert_eq!(mode(), VerifyMode::Report);
+    }
+}

@@ -1,0 +1,397 @@
+//! A small exhaustive-interleaving model checker (loom-style, `std`-only).
+//!
+//! Concurrency logic is modeled as a set of **threads**, each a finite
+//! sequence of **atomic steps** over a shared, clonable state `S`. The
+//! checker enumerates *every* interleaving of those steps (depth-first
+//! over "which thread moves next"), so a property verified here holds for
+//! all schedules of the modeled program — the guarantee loom gives real
+//! code, applied to an explicit state machine of it. (The real `loom`
+//! crate instruments actual `std::sync` types; it is not vendorable in
+//! this environment, so the serving layer's protocols are modeled
+//! explicitly instead — see DESIGN.md §11.)
+//!
+//! Steps either complete ([`StepOutcome::Done`]) or report themselves
+//! **blocked** ([`StepOutcome::Blocked`]) — e.g. a modeled condvar wait
+//! whose predicate is false, or a modeled mutex that is held. A blocked
+//! step MUST leave the state unchanged (the checker discards its state
+//! clone, so violations of that contract cannot corrupt exploration, but
+//! they can hide schedules). A schedule where some thread has steps left
+//! but *no* thread can move is a **deadlock** and is reported with its
+//! full trace — this is exactly how a lost wakeup manifests: the sleeper
+//! waits on a signal whose notification was consumed before it slept.
+//!
+//! Invariants come in two flavors:
+//! * [`ModelBuilder::invariant_always`] — checked after every step
+//!   (safety, e.g. "cached bytes never exceed the budget");
+//! * [`ModelBuilder::invariant_final`] — checked on complete schedules
+//!   (post-conditions, e.g. "every job was fulfilled exactly once").
+//!
+//! ```
+//! use proclus_verify::model::{ModelBuilder, StepOutcome};
+//!
+//! // Two producers increment; a consumer drains only after both ran.
+//! let result = ModelBuilder::new(0i32)
+//!     .thread("p1", |t| {
+//!         t.step("inc", |s| {
+//!             *s += 1;
+//!             StepOutcome::Done
+//!         });
+//!     })
+//!     .thread("p2", |t| {
+//!         t.step("inc", |s| {
+//!             *s += 1;
+//!             StepOutcome::Done
+//!         });
+//!     })
+//!     .thread("consumer", |t| {
+//!         t.step("drain", |s| {
+//!             if *s < 2 {
+//!                 return StepOutcome::Blocked;
+//!             }
+//!             *s = 0;
+//!             StepOutcome::Done
+//!         });
+//!     })
+//!     .invariant_final(|s| (*s == 0).then_some(()).ok_or("not drained".to_string()))
+//!     .check();
+//! assert!(result.passed(), "{result:?}");
+//! ```
+
+/// Result of attempting one atomic step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepOutcome {
+    /// The step ran; the thread advances.
+    Done,
+    /// The step cannot run in this state (and did not modify it); the
+    /// thread stays put and may be retried after others move.
+    Blocked,
+}
+
+type StepFn<S> = Box<dyn Fn(&mut S) -> StepOutcome>;
+type CheckFn<S> = Box<dyn Fn(&S) -> Result<(), String>>;
+
+struct Step<S> {
+    label: &'static str,
+    run: StepFn<S>,
+}
+
+/// One modeled thread: a named, finite sequence of atomic steps.
+pub struct ThreadBuilder<S> {
+    name: &'static str,
+    steps: Vec<Step<S>>,
+}
+
+impl<S> ThreadBuilder<S> {
+    /// Appends an atomic step.
+    pub fn step(
+        &mut self,
+        label: &'static str,
+        run: impl Fn(&mut S) -> StepOutcome + 'static,
+    ) -> &mut Self {
+        self.steps.push(Step {
+            label,
+            run: Box::new(run),
+        });
+        self
+    }
+}
+
+/// Builder for a model; see the module docs for the exploration rules.
+pub struct ModelBuilder<S> {
+    initial: S,
+    threads: Vec<ThreadBuilder<S>>,
+    always: Vec<CheckFn<S>>,
+    fin: Vec<CheckFn<S>>,
+    max_schedules: usize,
+}
+
+/// One schedule prefix, as `(thread name, step label)` pairs.
+pub type Trace = Vec<(&'static str, &'static str)>;
+
+/// What exploration found.
+#[derive(Debug, Default)]
+pub struct Exploration {
+    /// Complete schedules explored.
+    pub schedules: usize,
+    /// Schedules that ended with runnable-but-blocked threads.
+    pub deadlocks: Vec<Trace>,
+    /// `(trace, message)` for invariant failures.
+    pub violations: Vec<(Trace, String)>,
+    /// True when the `max_schedules` cap stopped exploration early (the
+    /// verdict then covers only the explored prefix).
+    pub truncated: bool,
+}
+
+impl Exploration {
+    /// True when every interleaving completed and satisfied every
+    /// invariant.
+    pub fn passed(&self) -> bool {
+        self.deadlocks.is_empty() && self.violations.is_empty() && !self.truncated
+    }
+
+    /// A compact human-readable rendering of the first failure, for
+    /// assertion messages.
+    pub fn first_failure(&self) -> Option<String> {
+        if let Some(t) = self.deadlocks.first() {
+            return Some(format!("deadlock after {}", render(t)));
+        }
+        if let Some((t, m)) = self.violations.first() {
+            return Some(format!("invariant `{m}` violated after {}", render(t)));
+        }
+        None
+    }
+}
+
+fn render(t: &Trace) -> String {
+    let steps: Vec<String> = t.iter().map(|(th, st)| format!("{th}.{st}")).collect();
+    format!("[{}]", steps.join(" "))
+}
+
+impl<S: Clone> ModelBuilder<S> {
+    /// A model starting from `initial`.
+    pub fn new(initial: S) -> Self {
+        Self {
+            initial,
+            threads: Vec::new(),
+            always: Vec::new(),
+            fin: Vec::new(),
+            max_schedules: 1_000_000,
+        }
+    }
+
+    /// Adds a thread; `build` receives a [`ThreadBuilder`] to append steps.
+    pub fn thread(mut self, name: &'static str, build: impl FnOnce(&mut ThreadBuilder<S>)) -> Self {
+        let mut t = ThreadBuilder {
+            name,
+            steps: Vec::new(),
+        };
+        build(&mut t);
+        self.threads.push(t);
+        self
+    }
+
+    /// A safety invariant checked after every step of every schedule.
+    pub fn invariant_always(
+        mut self,
+        check: impl Fn(&S) -> Result<(), String> + 'static,
+    ) -> Self {
+        self.always.push(Box::new(check));
+        self
+    }
+
+    /// A post-condition checked at the end of every complete schedule.
+    pub fn invariant_final(mut self, check: impl Fn(&S) -> Result<(), String> + 'static) -> Self {
+        self.fin.push(Box::new(check));
+        self
+    }
+
+    /// Caps the number of complete schedules explored (default 1e6);
+    /// hitting the cap sets [`Exploration::truncated`].
+    pub fn max_schedules(mut self, cap: usize) -> Self {
+        self.max_schedules = cap.max(1);
+        self
+    }
+
+    /// Exhaustively explores every interleaving.
+    pub fn check(self) -> Exploration {
+        let mut out = Exploration::default();
+        let pcs = vec![0usize; self.threads.len()];
+        let mut trace: Trace = Vec::new();
+        self.dfs(&self.initial, &pcs, &mut trace, &mut out);
+        out
+    }
+
+    fn dfs(&self, state: &S, pcs: &[usize], trace: &mut Trace, out: &mut Exploration) {
+        if out.schedules >= self.max_schedules {
+            out.truncated = true;
+            return;
+        }
+        let mut any_runnable = false;
+        let mut any_moved = false;
+        for (ti, thread) in self.threads.iter().enumerate() {
+            if pcs[ti] >= thread.steps.len() {
+                continue;
+            }
+            any_runnable = true;
+            let step = &thread.steps[pcs[ti]];
+            let mut next = state.clone();
+            match (step.run)(&mut next) {
+                StepOutcome::Blocked => continue,
+                StepOutcome::Done => {}
+            }
+            any_moved = true;
+            trace.push((thread.name, step.label));
+            let mut ok = true;
+            for check in &self.always {
+                if let Err(msg) = check(&next) {
+                    out.violations.push((trace.clone(), msg));
+                    ok = false;
+                    break;
+                }
+            }
+            if ok {
+                let mut next_pcs = pcs.to_vec();
+                next_pcs[ti] += 1;
+                self.dfs(&next, &next_pcs, trace, out);
+            }
+            trace.pop();
+        }
+        if !any_runnable {
+            // Every thread finished: a complete schedule.
+            out.schedules += 1;
+            for check in &self.fin {
+                if let Err(msg) = check(state) {
+                    out.violations.push((trace.clone(), msg));
+                }
+            }
+        } else if !any_moved {
+            // Steps remain but none can run: deadlock.
+            out.deadlocks.push(trace.clone());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Counter model: exhaustiveness means both orders of two increments
+    /// are seen — 2 schedules for 2 single-step threads.
+    #[test]
+    fn explores_every_interleaving() {
+        let r = ModelBuilder::new(())
+            .thread("a", |t| {
+                t.step("s", |_| StepOutcome::Done);
+            })
+            .thread("b", |t| {
+                t.step("s", |_| StepOutcome::Done);
+            })
+            .check();
+        assert_eq!(r.schedules, 2);
+        assert!(r.passed());
+    }
+
+    #[test]
+    fn three_threads_two_steps_each_is_ninety_schedules() {
+        // (6)! / (2!)^3 = 720 / 8 = 90 interleavings.
+        let mk = |t: &mut ThreadBuilder<u32>| {
+            t.step("x", |s| {
+                *s += 1;
+                StepOutcome::Done
+            });
+            t.step("y", |s| {
+                *s += 1;
+                StepOutcome::Done
+            });
+        };
+        let r = ModelBuilder::new(0u32)
+            .thread("a", mk)
+            .thread("b", mk)
+            .thread("c", mk)
+            .invariant_final(|s| {
+                if *s == 6 {
+                    Ok(())
+                } else {
+                    Err(format!("sum {s}"))
+                }
+            })
+            .check();
+        assert_eq!(r.schedules, 90);
+        assert!(r.passed());
+    }
+
+    #[test]
+    fn deadlock_is_detected_with_trace() {
+        // Two modeled mutexes taken in opposite orders: the interleaving
+        // where each thread holds one and wants the other deadlocks.
+        #[derive(Clone, Default)]
+        struct S {
+            a: bool,
+            b: bool,
+        }
+        let take = |field: fn(&mut S) -> &mut bool| {
+            move |s: &mut S| {
+                let f = field(s);
+                if *f {
+                    StepOutcome::Blocked
+                } else {
+                    *f = true;
+                    StepOutcome::Done
+                }
+            }
+        };
+        let unlock_both = |s: &mut S| {
+            s.a = false;
+            s.b = false;
+            StepOutcome::Done
+        };
+        let r = ModelBuilder::new(S::default())
+            .thread("t1", |t| {
+                t.step("lock_a", take(|s| &mut s.a));
+                t.step("lock_b", take(|s| &mut s.b));
+                t.step("unlock", unlock_both);
+            })
+            .thread("t2", |t| {
+                t.step("lock_b", take(|s| &mut s.b));
+                t.step("lock_a", take(|s| &mut s.a));
+                t.step("unlock", unlock_both);
+            })
+            .check();
+        assert!(!r.deadlocks.is_empty(), "opposite lock order must deadlock");
+        assert!(r.schedules > 0, "benign schedules still complete");
+        let deadlocked = r.deadlocks.iter().map(render).collect::<Vec<_>>();
+        assert!(
+            deadlocked
+                .iter()
+                .any(|t| t.contains("t1.lock_a") && t.contains("t2.lock_b")),
+            "{deadlocked:?}"
+        );
+        assert!(r.first_failure().is_some());
+    }
+
+    #[test]
+    fn always_invariant_catches_transient_states() {
+        // The *final* sum is always fine; only an always-invariant sees
+        // the intermediate overdraft.
+        let r = ModelBuilder::new(0i64)
+            .thread("debit", |t| {
+                t.step("take", |s| {
+                    *s -= 1;
+                    StepOutcome::Done
+                });
+            })
+            .thread("credit", |t| {
+                t.step("put", |s| {
+                    *s += 1;
+                    StepOutcome::Done
+                });
+            })
+            .invariant_always(|s| {
+                if *s >= 0 {
+                    Ok(())
+                } else {
+                    Err("overdraft".to_string())
+                }
+            })
+            .check();
+        assert!(!r.violations.is_empty());
+        assert!(r.violations.iter().any(|(_, m)| m == "overdraft"));
+    }
+
+    #[test]
+    fn schedule_cap_reports_truncation() {
+        let mk = |t: &mut ThreadBuilder<()>| {
+            for _ in 0..4 {
+                t.step("s", |_| StepOutcome::Done);
+            }
+        };
+        let r = ModelBuilder::new(())
+            .thread("a", mk)
+            .thread("b", mk)
+            .thread("c", mk)
+            .max_schedules(3)
+            .check();
+        assert!(r.truncated);
+        assert!(!r.passed());
+    }
+}

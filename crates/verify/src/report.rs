@@ -1,0 +1,242 @@
+//! Lock-checker findings and their JSON export — the host-side analogue of
+//! the kernel sanitizer's `DeviceReport` (`gpu-sim`): per-lock aggregates,
+//! the acquisition-order edge list, and a findings list, serialized as a
+//! single self-contained JSON object.
+
+use std::fmt::Write as _;
+
+/// What kind of hazard a finding describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LockFindingKind {
+    /// A cycle in the acquisition-order graph — two code paths acquire the
+    /// same locks in opposite orders, so the right interleaving deadlocks.
+    OrderInversion,
+    /// A condvar wait entered while other tracked locks were still held;
+    /// those locks stay held for the entire sleep.
+    WaitWhileHolding,
+    /// A lock held longer than the configured threshold
+    /// (`PROCLUS_LOCKCHECK_HOLD_MS`, default 500 ms).
+    LongHold,
+}
+
+impl LockFindingKind {
+    /// The wire name used in JSON reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            LockFindingKind::OrderInversion => "order_inversion",
+            LockFindingKind::WaitWhileHolding => "wait_while_holding",
+            LockFindingKind::LongHold => "long_hold",
+        }
+    }
+}
+
+/// One detected hazard.
+#[derive(Debug, Clone)]
+pub struct LockFinding {
+    /// Hazard class.
+    pub kind: LockFindingKind,
+    /// The lock whose acquisition (or wait/release) triggered detection.
+    pub lock: String,
+    /// Name of the thread that triggered detection.
+    pub thread: String,
+    /// Human-readable description.
+    pub message: String,
+    /// For [`LockFindingKind::OrderInversion`]: the cycle's lock names in
+    /// path order (first == last). For
+    /// [`LockFindingKind::WaitWhileHolding`]: the locks still held.
+    pub cycle: Vec<String>,
+    /// For [`LockFindingKind::LongHold`]: the observed hold time.
+    pub held_us: u64,
+}
+
+/// Per-lock aggregate statistics (one row per distinct lock *name*).
+#[derive(Debug, Clone)]
+pub struct LockInfo {
+    /// The static name given at construction (`"server.state"`, …).
+    pub name: String,
+    /// `"mutex"` / `"rwlock"`.
+    pub kind: String,
+    /// Total acquisitions (read + write for rwlocks).
+    pub acquisitions: u64,
+    /// Acquisitions whose fast-path `try_lock` failed — a cheap lower
+    /// bound on contention, not a precise count.
+    pub contended_estimate: u64,
+    /// Longest observed hold, microseconds.
+    pub max_hold_us: u64,
+}
+
+/// One acquisition-order edge: some thread acquired `to` while holding
+/// `from`.
+#[derive(Debug, Clone)]
+pub struct LockEdgeInfo {
+    /// The lock already held.
+    pub from: String,
+    /// The lock acquired while holding `from`.
+    pub to: String,
+    /// How many times the edge was observed.
+    pub count: u64,
+    /// The thread that first recorded the edge.
+    pub first_thread: String,
+}
+
+/// Snapshot of the global lock registry. With the `lockcheck` feature off
+/// this is always empty ([`LockReport::lockcheck`] = `false`), so callers
+/// can assert on it unconditionally.
+#[derive(Debug, Clone, Default)]
+pub struct LockReport {
+    /// The reporting mode at snapshot time (`off` / `report` / `abort`).
+    pub mode: String,
+    /// Whether the `lockcheck` feature was compiled in.
+    pub lockcheck: bool,
+    /// Per-lock aggregates, sorted by name.
+    pub locks: Vec<LockInfo>,
+    /// Acquisition-order edges, sorted by (from, to).
+    pub edges: Vec<LockEdgeInfo>,
+    /// Detected hazards, in detection order.
+    pub findings: Vec<LockFinding>,
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn string_list(items: &[String]) -> String {
+    let mut out = String::from("[");
+    for (i, s) in items.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "\"{}\"", escape(s));
+    }
+    out.push(']');
+    out
+}
+
+impl LockReport {
+    /// True when no hazards were detected.
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+
+    /// Renders the report as a single JSON object, in the same style as
+    /// the kernel sanitizer's device report: a `version` tag, the mode,
+    /// per-lock aggregates, the order-graph edges, and the findings.
+    pub fn to_json(&self) -> String {
+        let mut out = format!(
+            "{{\"version\":1,\"component\":\"proclus-verify\",\"mode\":\"{}\",\
+             \"lockcheck\":{},\"locks\":[",
+            escape(&self.mode),
+            self.lockcheck,
+        );
+        for (i, l) in self.locks.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"name\":\"{}\",\"kind\":\"{}\",\"acquisitions\":{},\
+                 \"contended_estimate\":{},\"max_hold_us\":{}}}",
+                escape(&l.name),
+                escape(&l.kind),
+                l.acquisitions,
+                l.contended_estimate,
+                l.max_hold_us,
+            );
+        }
+        out.push_str("],\"edges\":[");
+        for (i, e) in self.edges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"from\":\"{}\",\"to\":\"{}\",\"count\":{},\"first_thread\":\"{}\"}}",
+                escape(&e.from),
+                escape(&e.to),
+                e.count,
+                escape(&e.first_thread),
+            );
+        }
+        out.push_str("],\"findings\":[");
+        for (i, f) in self.findings.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"kind\":\"{}\",\"lock\":\"{}\",\"thread\":\"{}\",\"message\":\"{}\",\
+                 \"locks_involved\":{},\"held_us\":{}}}",
+                f.kind.name(),
+                escape(&f.lock),
+                escape(&f.thread),
+                escape(&f.message),
+                string_list(&f.cycle),
+                f.held_us,
+            );
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_report_serializes() {
+        let r = LockReport::default();
+        let json = r.to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'), "{json}");
+        assert!(json.contains("\"findings\":[]"));
+        assert!(r.is_clean());
+    }
+
+    #[test]
+    fn findings_and_escapes_render() {
+        let r = LockReport {
+            mode: "report".into(),
+            lockcheck: true,
+            locks: vec![LockInfo {
+                name: "a\"b".into(),
+                kind: "mutex".into(),
+                acquisitions: 3,
+                contended_estimate: 1,
+                max_hold_us: 42,
+            }],
+            edges: vec![LockEdgeInfo {
+                from: "a".into(),
+                to: "b".into(),
+                count: 2,
+                first_thread: "t".into(),
+            }],
+            findings: vec![LockFinding {
+                kind: LockFindingKind::OrderInversion,
+                lock: "b".into(),
+                thread: "t".into(),
+                message: "cycle a -> b -> a".into(),
+                cycle: vec!["a".into(), "b".into(), "a".into()],
+                held_us: 0,
+            }],
+        };
+        let json = r.to_json();
+        assert!(json.contains("\\\"b\""), "escaped quote: {json}");
+        assert!(json.contains("\"order_inversion\""));
+        assert!(json.contains("\"locks_involved\":[\"a\",\"b\",\"a\"]"));
+        assert!(!r.is_clean());
+    }
+}

@@ -1,0 +1,214 @@
+//! Lock-order analysis tests: seeded-defect fixtures proving the checker
+//! detects what it claims (an intentional lock-order inversion, a condvar
+//! wait entered while holding another lock, a long hold), plus the clean
+//! case and the Abort-mode contract.
+//!
+//! Everything here requires the `lockcheck` feature — run with
+//! `cargo test -p proclus-verify --features lockcheck`.
+#![cfg(feature = "lockcheck")]
+
+use std::panic::AssertUnwindSafe;
+use std::sync::{Mutex, MutexGuard, PoisonError};
+use std::time::Duration;
+
+use proclus_verify::{
+    lock_report, reset, set_mode, LockFindingKind, TrackedCondvar, TrackedMutex, VerifyMode,
+};
+
+/// The lock registry is process-global and Rust runs tests in parallel, so
+/// every test serializes on this and starts from a [`reset`] registry. The
+/// Abort-mode test panics on purpose; recover the poison.
+static SERIAL: Mutex<()> = Mutex::new(());
+
+fn isolated() -> MutexGuard<'static, ()> {
+    let guard = SERIAL.lock().unwrap_or_else(PoisonError::into_inner);
+    reset();
+    set_mode(VerifyMode::Report);
+    guard
+}
+
+/// Seeded defect #1: two lock roles acquired in opposite orders on two
+/// code paths. No schedule here actually deadlocks (one thread, sequential
+/// sections) — which is the point: the *order graph* convicts the
+/// discipline violation without needing the losing interleaving to occur.
+#[test]
+fn seeded_order_inversion_is_detected() {
+    let _s = isolated();
+    let a = TrackedMutex::new("fixture.inversion.a", ());
+    let b = TrackedMutex::new("fixture.inversion.b", ());
+
+    {
+        let _ga = a.lock();
+        let _gb = b.lock(); // edge a -> b
+    }
+    {
+        let _gb = b.lock();
+        let _ga = a.lock(); // edge b -> a: closes the cycle
+    }
+
+    let report = lock_report();
+    let inversions: Vec<_> = report
+        .findings
+        .iter()
+        .filter(|f| f.kind == LockFindingKind::OrderInversion)
+        .collect();
+    assert_eq!(inversions.len(), 1, "one deduped finding: {report:?}");
+    let f = inversions[0];
+    assert!(f.cycle.contains(&"fixture.inversion.a".to_string()));
+    assert!(f.cycle.contains(&"fixture.inversion.b".to_string()));
+    assert!(
+        f.cycle.first() == f.cycle.last(),
+        "cycle path is closed: {:?}",
+        f.cycle
+    );
+    assert!(!report.is_clean());
+}
+
+/// Seeded defect #2: a condvar wait entered while another tracked lock is
+/// held — the held lock blocks all other threads for the entire sleep.
+#[test]
+fn seeded_wait_while_holding_is_detected() {
+    let _s = isolated();
+    let outer = TrackedMutex::new("fixture.wait.outer", ());
+    let inner = TrackedMutex::new("fixture.wait.inner", ());
+    let cv = TrackedCondvar::new("fixture.wait.cv");
+
+    let _held = outer.lock();
+    let g = inner.lock();
+    let (_g, timed_out) = cv.wait_timeout(g, Duration::from_millis(1));
+    assert!(timed_out.timed_out());
+
+    let report = lock_report();
+    let waits: Vec<_> = report
+        .findings
+        .iter()
+        .filter(|f| f.kind == LockFindingKind::WaitWhileHolding)
+        .collect();
+    assert_eq!(waits.len(), 1, "{report:?}");
+    assert_eq!(waits[0].lock, "fixture.wait.inner");
+    assert_eq!(waits[0].cycle, vec!["fixture.wait.outer".to_string()]);
+}
+
+/// Seeded defect #3: a hold longer than the threshold (default 500 ms) is
+/// reported as an outlier with its measured duration.
+#[test]
+fn seeded_long_hold_is_detected() {
+    let _s = isolated();
+    let m = TrackedMutex::new("fixture.long_hold", ());
+    {
+        let _g = m.lock();
+        std::thread::sleep(Duration::from_millis(600));
+    }
+
+    let report = lock_report();
+    let holds: Vec<_> = report
+        .findings
+        .iter()
+        .filter(|f| f.kind == LockFindingKind::LongHold)
+        .collect();
+    assert_eq!(holds.len(), 1, "{report:?}");
+    assert_eq!(holds[0].lock, "fixture.long_hold");
+    assert!(holds[0].held_us >= 500_000, "{}", holds[0].held_us);
+}
+
+/// The clean case: consistent `a` -> `b` ordering across several real
+/// threads produces edges and statistics but no findings.
+#[test]
+fn consistent_ordering_across_threads_is_clean() {
+    let _s = isolated();
+    let locks = std::sync::Arc::new((
+        TrackedMutex::new("fixture.clean.a", 0u64),
+        TrackedMutex::new("fixture.clean.b", 0u64),
+    ));
+    let workers: Vec<_> = (0..4)
+        .map(|_| {
+            let locks = std::sync::Arc::clone(&locks);
+            std::thread::spawn(move || {
+                for _ in 0..50 {
+                    let mut ga = locks.0.lock();
+                    let mut gb = locks.1.lock();
+                    *ga += 1;
+                    *gb += 1;
+                }
+            })
+        })
+        .collect();
+    for w in workers {
+        w.join().expect("worker exits cleanly");
+    }
+
+    let report = lock_report();
+    assert!(report.is_clean(), "{report:?}");
+    assert!(report.lockcheck);
+    let a = report
+        .locks
+        .iter()
+        .find(|l| l.name == "fixture.clean.a")
+        .expect("lock registered");
+    assert_eq!(a.acquisitions, 200);
+    assert!(report
+        .edges
+        .iter()
+        .any(|e| e.from == "fixture.clean.a" && e.to == "fixture.clean.b" && e.count == 200));
+    assert!(!report
+        .edges
+        .iter()
+        .any(|e| e.from == "fixture.clean.b" && e.to == "fixture.clean.a"));
+}
+
+/// Abort mode turns the detection site into a panic, so CI fails loudly at
+/// the exact acquisition that closed the cycle.
+#[test]
+fn abort_mode_panics_at_the_inverting_acquisition() {
+    let _s = isolated();
+    set_mode(VerifyMode::Abort);
+    let a = TrackedMutex::new("fixture.abort.a", ());
+    let b = TrackedMutex::new("fixture.abort.b", ());
+
+    let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
+        {
+            let _ga = a.lock();
+            let _gb = b.lock();
+        }
+        {
+            let _gb = b.lock();
+            let _ga = a.lock(); // panics here
+        }
+    }));
+    set_mode(VerifyMode::Report);
+    let err = outcome.expect_err("inversion must panic in Abort mode");
+    let msg = err
+        .downcast_ref::<String>()
+        .cloned()
+        .unwrap_or_else(|| "<non-string panic>".to_string());
+    assert!(msg.contains("lockcheck"), "{msg}");
+    assert!(msg.contains("fixture.abort.a"), "{msg}");
+}
+
+/// JSON export carries the full picture — the DeviceReport-style contract
+/// the CI artifacts rely on.
+#[test]
+fn report_exports_device_report_style_json() {
+    let _s = isolated();
+    let a = TrackedMutex::new("fixture.json.a", ());
+    let b = TrackedMutex::new("fixture.json.b", ());
+    {
+        let _ga = a.lock();
+        let _gb = b.lock();
+    }
+    {
+        let _gb = b.lock();
+        let _ga = a.lock();
+    }
+
+    let json = lock_report().to_json();
+    assert!(json.contains("\"component\":\"proclus-verify\""), "{json}");
+    assert!(json.contains("\"mode\":\"report\""), "{json}");
+    assert!(json.contains("\"lockcheck\":true"), "{json}");
+    assert!(json.contains("\"name\":\"fixture.json.a\""), "{json}");
+    assert!(
+        json.contains("\"from\":\"fixture.json.a\",\"to\":\"fixture.json.b\""),
+        "{json}"
+    );
+    assert!(json.contains("\"kind\":\"order_inversion\""), "{json}");
+}

@@ -1,0 +1,466 @@
+//! Model checks of the serving layer's concurrency protocols, run on the
+//! exhaustive-interleaving explorer in [`proclus_verify::model`].
+//!
+//! Each test encodes one protocol as an explicit state machine and checks
+//! its invariants over **every** interleaving:
+//!
+//! * the scheduler's enqueue / coalesce / cancel / deadline path
+//!   (`proclus-serve::server`): every job reaches exactly one terminal
+//!   state, coalesced jobs share one execution;
+//! * the dataset registry's concurrent load–evict path
+//!   (`proclus-serve::registry`): the byte budget is never exceeded, and
+//!   with single-flight loading two concurrent loads of one fingerprint
+//!   hash exactly once;
+//! * a seeded lost-wakeup defect (predicate check separated from the
+//!   sleep) that the checker reports as a deadlock, next to the corrected
+//!   protocol that passes.
+//!
+//! These tests run with or without the `lockcheck` feature — the model
+//! checker has no global state.
+
+use proclus_verify::model::{ModelBuilder, StepOutcome};
+
+// ------------------------------------------------------------- scheduler
+
+/// Job terminal states, in the order they were reached.
+#[derive(Clone, Default, Debug)]
+struct Sched {
+    /// FIFO of `(coalesce_key, job_id)` awaiting a worker.
+    queue: Vec<(u32, u32)>,
+    /// Cancellation requested for job 2 (may land before or after it runs).
+    cancel_2: bool,
+    /// Deadline elapsed for job 3.
+    expired_3: bool,
+    /// `(job_id, outcome)` — each job must appear exactly once.
+    terminal: Vec<(u32, &'static str)>,
+    /// Batches executed (coalesced jobs share one).
+    executions: u32,
+}
+
+const JOBS: [u32; 3] = [1, 2, 3];
+
+fn enqueue(key: u32, job: u32) -> impl Fn(&mut Sched) -> StepOutcome {
+    move |s: &mut Sched| {
+        s.queue.push((key, job));
+        StepOutcome::Done
+    }
+}
+
+/// One worker iteration: take the front job plus everything sharing its
+/// coalesce key (one batch, one execution), then settle each job —
+/// cancelled and expired jobs still terminalize, exactly once. When the
+/// queue is empty but jobs remain outstanding the worker sleeps (Blocked);
+/// once every job is terminal it idles through remaining steps (Done).
+fn worker_take(s: &mut Sched) -> StepOutcome {
+    if s.queue.is_empty() {
+        let all_terminal = JOBS
+            .iter()
+            .all(|j| s.terminal.iter().any(|&(id, _)| id == *j));
+        return if all_terminal {
+            StepOutcome::Done
+        } else {
+            StepOutcome::Blocked
+        };
+    }
+    let key = s.queue[0].0;
+    let batch: Vec<(u32, u32)> = {
+        let (take, keep): (Vec<_>, Vec<_>) = s.queue.iter().partition(|&&(k, _)| k == key);
+        s.queue = keep;
+        take
+    };
+    s.executions += 1;
+    for (_, job) in batch {
+        let outcome = if job == 2 && s.cancel_2 {
+            "cancelled"
+        } else if job == 3 && s.expired_3 {
+            "deadline"
+        } else {
+            "fulfilled"
+        };
+        s.terminal.push((job, outcome));
+    }
+    StepOutcome::Done
+}
+
+/// Scheduler protocol: three clients (jobs 1 and 2 share a coalesce key),
+/// a canceller racing job 2, a deadline clock racing job 3, and a worker.
+/// Exhaustive exploration proves that in every interleaving each job
+/// reaches exactly one terminal state and coalescing never duplicates or
+/// drops an execution.
+#[test]
+fn scheduler_enqueue_coalesce_cancel_deadline_is_sound() {
+    let result = ModelBuilder::new(Sched::default())
+        .thread("client1", |t| {
+            t.step("enqueue_j1", enqueue(10, 1));
+        })
+        .thread("client2", |t| {
+            t.step("enqueue_j2", enqueue(10, 2)); // same key as j1: coalesces
+        })
+        .thread("client3", |t| {
+            t.step("enqueue_j3", enqueue(20, 3));
+        })
+        .thread("canceller", |t| {
+            t.step("cancel_j2", |s: &mut Sched| {
+                s.cancel_2 = true;
+                StepOutcome::Done
+            });
+        })
+        .thread("clock", |t| {
+            t.step("expire_j3", |s: &mut Sched| {
+                s.expired_3 = true;
+                StepOutcome::Done
+            });
+        })
+        .thread("worker", |t| {
+            for _ in 0..3 {
+                t.step("take_batch", worker_take);
+            }
+        })
+        .invariant_always(|s| {
+            for j in JOBS {
+                if s.terminal.iter().filter(|&&(id, _)| id == j).count() > 1 {
+                    return Err(format!("job {j} terminalized twice"));
+                }
+            }
+            Ok(())
+        })
+        .invariant_final(|s| {
+            for j in JOBS {
+                if !s.terminal.iter().any(|&(id, _)| id == j) {
+                    return Err(format!("job {j} never reached a terminal state"));
+                }
+            }
+            // Two coalesce keys exist, so 2 batches when j1/j2 coalesced,
+            // 3 when the worker took them separately — never more.
+            if !(2..=3).contains(&s.executions) {
+                return Err(format!("{} batch executions", s.executions));
+            }
+            Ok(())
+        })
+        .check();
+    assert!(
+        result.passed(),
+        "{}",
+        result.first_failure().unwrap_or_default()
+    );
+    assert!(result.schedules > 100, "exhaustive: {}", result.schedules);
+}
+
+// -------------------------------------------------------------- registry
+
+/// Dataset registry state: cache with a byte budget, single-flight pending
+/// set, and a hash counter.
+#[derive(Clone, Default, Debug)]
+struct Reg {
+    cached: Vec<(u32, u64)>, // (fingerprint, bytes), LRU order
+    bytes: u64,
+    budget: u64,
+    pending: Vec<u32>,
+    hashes: u32,
+    hits: u32,
+    /// Which loader threads claimed the miss for key 7.
+    claimed: [bool; 2],
+}
+
+impl Reg {
+    fn insert_and_evict(&mut self, key: u32, size: u64) {
+        self.cached.push((key, size));
+        self.bytes += size;
+        while self.bytes > self.budget && !self.cached.is_empty() {
+            let (_, sz) = self.cached.remove(0);
+            self.bytes -= sz;
+        }
+    }
+}
+
+/// Single-flight load of key 7 by loader `who`: the begin step either hits
+/// the cache, claims the pending slot, or blocks behind the other loader's
+/// in-flight load; the finish step hashes + inserts (with eviction) only
+/// for the claimant.
+fn sf_begin(who: usize) -> impl Fn(&mut Reg) -> StepOutcome {
+    move |s: &mut Reg| {
+        if s.cached.iter().any(|&(k, _)| k == 7) {
+            s.hits += 1;
+            return StepOutcome::Done;
+        }
+        if s.pending.contains(&7) {
+            return StepOutcome::Blocked; // waits on registry.pending's condvar
+        }
+        s.pending.push(7);
+        s.claimed[who] = true;
+        StepOutcome::Done
+    }
+}
+
+fn sf_finish(who: usize) -> impl Fn(&mut Reg) -> StepOutcome {
+    move |s: &mut Reg| {
+        if s.claimed[who] {
+            s.hashes += 1;
+            s.insert_and_evict(7, 60);
+            s.pending.retain(|&k| k != 7);
+        }
+        StepOutcome::Done
+    }
+}
+
+/// Registry protocol with single-flight: two loaders race the same
+/// fingerprint while a third loads an unrelated dataset. The budget is
+/// roomy here (no eviction — an evict-then-reload legitimately re-hashes,
+/// see the next test for eviction pressure), so in every interleaving the
+/// shared fingerprint is hashed exactly once and the pending set drains.
+#[test]
+fn registry_concurrent_loads_of_one_fingerprint_hash_once() {
+    let initial = Reg {
+        budget: 200,
+        ..Reg::default()
+    };
+    let result = ModelBuilder::new(initial)
+        .thread("loader_a", |t| {
+            t.step("begin_load_7", sf_begin(0));
+            t.step("finish_load_7", sf_finish(0));
+        })
+        .thread("loader_b", |t| {
+            t.step("begin_load_7", sf_begin(1));
+            t.step("finish_load_7", sf_finish(1));
+        })
+        .thread("loader_other", |t| {
+            t.step("load_9", |s: &mut Reg| {
+                s.hashes += 1;
+                s.insert_and_evict(9, 80);
+                StepOutcome::Done
+            });
+        })
+        .invariant_always(|s| {
+            if s.bytes > s.budget {
+                Err(format!("cache at {} bytes exceeds budget {}", s.bytes, s.budget))
+            } else {
+                Ok(())
+            }
+        })
+        .invariant_final(|s| {
+            let hashes_of_7 = s.hashes - 1; // one hash belongs to key 9
+            if hashes_of_7 != 1 {
+                return Err(format!("fingerprint 7 hashed {hashes_of_7} times"));
+            }
+            if !s.pending.is_empty() {
+                return Err("pending set not drained".to_string());
+            }
+            if s.hits != 1 {
+                return Err(format!("{} cache hits, expected the late loader's 1", s.hits));
+            }
+            Ok(())
+        })
+        .check();
+    assert!(
+        result.passed(),
+        "{}",
+        result.first_failure().unwrap_or_default()
+    );
+}
+
+/// Eviction pressure: three loaders with distinct fingerprints against a
+/// budget that can hold at most two of them. The byte budget is a safety
+/// invariant — it must hold after *every* step of *every* interleaving,
+/// not just at quiescence.
+#[test]
+fn registry_eviction_never_exceeds_budget_in_any_interleaving() {
+    let load = |key: u32, size: u64| {
+        move |s: &mut Reg| {
+            s.hashes += 1;
+            s.insert_and_evict(key, size);
+            StepOutcome::Done
+        }
+    };
+    let result = ModelBuilder::new(Reg {
+        budget: 100,
+        ..Reg::default()
+    })
+    .thread("loader_a", |t| {
+        t.step("load_1", load(1, 60));
+    })
+    .thread("loader_b", |t| {
+        t.step("load_2", load(2, 50));
+    })
+    .thread("loader_c", |t| {
+        t.step("load_3", load(3, 40));
+    })
+    .invariant_always(|s| {
+        if s.bytes > s.budget {
+            Err(format!("cache at {} bytes exceeds budget {}", s.bytes, s.budget))
+        } else {
+            Ok(())
+        }
+    })
+    .invariant_final(|s| {
+        if s.cached.is_empty() {
+            return Err("eviction emptied the cache entirely".to_string());
+        }
+        Ok(())
+    })
+    .check();
+    assert!(
+        result.passed(),
+        "{}",
+        result.first_failure().unwrap_or_default()
+    );
+    assert_eq!(result.schedules, 6, "3 single-step threads, 3! orders");
+}
+
+/// Seeded defect: the same two loaders *without* the pending set (the
+/// pre-single-flight code): both miss, both hash — the duplicated work the
+/// real registry's `loads_performed()` test pins down.
+#[test]
+fn seeded_registry_without_single_flight_double_hashes() {
+    // The defect: the cache check and the hash+insert are separate
+    // critical sections (the real pre-fix code dropped the registry lock
+    // while hashing), so two threads can both observe the miss.
+    let naive_check = |who: usize| {
+        move |s: &mut Reg| {
+            if s.cached.iter().any(|&(k, _)| k == 7) {
+                s.hits += 1;
+            } else {
+                s.claimed[who] = true; // remembers "I saw a miss"
+            }
+            StepOutcome::Done
+        }
+    };
+    let naive_load = |who: usize| {
+        move |s: &mut Reg| {
+            if s.claimed[who] {
+                s.hashes += 1;
+                s.insert_and_evict(7, 60);
+            }
+            StepOutcome::Done
+        }
+    };
+    let result = ModelBuilder::new(Reg {
+        budget: 200,
+        ..Reg::default()
+    })
+    .thread("loader_a", |t| {
+        t.step("check_7", naive_check(0));
+        t.step("load_7", naive_load(0));
+    })
+    .thread("loader_b", |t| {
+        t.step("check_7", naive_check(1));
+        t.step("load_7", naive_load(1));
+    })
+    .invariant_final(|s| {
+        if s.hashes == 1 {
+            Ok(())
+        } else {
+            Err(format!("hashed {} times", s.hashes))
+        }
+    })
+    .check();
+    assert!(
+        !result.passed(),
+        "the naive protocol must double-hash in some schedule"
+    );
+    assert!(result
+        .violations
+        .iter()
+        .any(|(_, m)| m.contains("hashed 2 times")));
+}
+
+// ----------------------------------------------------------- lost wakeup
+
+#[derive(Clone, Default)]
+struct Wakeup {
+    ready: bool,
+    sleeping: bool,
+    notified: bool,
+    consumed: bool,
+    skip_sleep: bool,
+}
+
+/// Seeded defect: the consumer checks the predicate and *then* goes to
+/// sleep as two separate atomic sections (i.e. the mutex is dropped
+/// between check and wait). The producer's notification only reaches a
+/// consumer that is already sleeping — exactly `Condvar::notify_one`
+/// semantics — so the schedule check → produce+notify → sleep loses the
+/// wakeup and the checker reports it as a deadlock.
+#[test]
+fn seeded_lost_wakeup_is_detected_as_deadlock() {
+    let result = ModelBuilder::new(Wakeup::default())
+        .thread("producer", |t| {
+            t.step("produce_and_notify", |s: &mut Wakeup| {
+                s.ready = true;
+                if s.sleeping {
+                    s.notified = true;
+                }
+                StepOutcome::Done
+            });
+        })
+        .thread("consumer", |t| {
+            t.step("check_outside_lock", |s: &mut Wakeup| {
+                if s.ready {
+                    s.consumed = true;
+                    s.skip_sleep = true;
+                }
+                StepOutcome::Done
+            });
+            t.step("enter_wait", |s: &mut Wakeup| {
+                if !s.skip_sleep {
+                    s.sleeping = true;
+                }
+                StepOutcome::Done
+            });
+            t.step("wake", |s: &mut Wakeup| {
+                if s.skip_sleep {
+                    return StepOutcome::Done;
+                }
+                if s.notified {
+                    s.consumed = true;
+                    StepOutcome::Done
+                } else {
+                    StepOutcome::Blocked
+                }
+            });
+        })
+        .check();
+    assert!(!result.deadlocks.is_empty(), "lost wakeup must deadlock");
+    let trace = &result.deadlocks[0];
+    assert!(
+        trace
+            .iter()
+            .any(|&(th, st)| th == "producer" && st == "produce_and_notify"),
+        "the losing schedule has the notify before the sleep: {trace:?}"
+    );
+}
+
+/// The corrected protocol: predicate check and wait form one atomic
+/// section (the mutex is held across both, as `TrackedCondvar::wait`
+/// enforces). Every interleaving completes and consumes.
+#[test]
+fn corrected_wait_with_predicate_under_lock_passes() {
+    let result = ModelBuilder::new(Wakeup::default())
+        .thread("producer", |t| {
+            t.step("produce_and_notify", |s: &mut Wakeup| {
+                s.ready = true;
+                StepOutcome::Done
+            });
+        })
+        .thread("consumer", |t| {
+            t.step("wait_while_not_ready", |s: &mut Wakeup| {
+                if !s.ready {
+                    return StepOutcome::Blocked;
+                }
+                s.consumed = true;
+                StepOutcome::Done
+            });
+        })
+        .invariant_final(|s| {
+            if s.consumed {
+                Ok(())
+            } else {
+                Err("value never consumed".to_string())
+            }
+        })
+        .check();
+    assert!(
+        result.passed(),
+        "{}",
+        result.first_failure().unwrap_or_default()
+    );
+}

@@ -1,0 +1,317 @@
+//! Benchmark baseline comparison (`cargo xtask bench-compare`).
+//!
+//! Compares a fresh bench run against the committed baseline in
+//! `results/`. Machines differ wildly, so **absolute times are never
+//! compared** — only machine-independent structure and *internal ratios*:
+//!
+//! * `serve` (`BENCH_serve.json`): the mode set matches; batching still
+//!   coalesces (fewer batches than jobs, while unbatched executes one
+//!   batch per job); and the batched/unbatched **distance-savings
+//!   fraction** is within an absolute tolerance of the baseline's
+//!   (default ±0.25 — the savings come from deterministic counter
+//!   arithmetic, not timing, but the scheduler's batch boundaries shift
+//!   a little between runs).
+//! * `telemetry` (`BENCH_telemetry.json`): every baseline run (keyed by
+//!   `algo`/`backend`) exists; baseline counter keys are present; the
+//!   paper's ordering holds (FAST and FAST* never compute more distances
+//!   than the baseline algorithm on the same backend).
+
+use std::path::Path;
+
+use proclus_telemetry::json::{parse, Value};
+
+use crate::lint::Finding;
+
+fn fail(rule: &'static str, file: &str, message: String) -> Finding {
+    Finding {
+        rule,
+        file: file.to_string(),
+        line: 0,
+        message,
+    }
+}
+
+fn load(path: &Path) -> Result<Value, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("read {}: {e}", path.display()))?;
+    parse(&text).map_err(|e| format!("parse {}: {e}", path.display()))
+}
+
+/// Dispatches on `kind` (`serve` / `telemetry`).
+pub fn run(
+    kind: &str,
+    baseline: &Path,
+    fresh: &Path,
+    tolerance: f64,
+) -> Result<Vec<Finding>, String> {
+    let base = load(baseline)?;
+    let new = load(fresh)?;
+    let file = fresh.to_string_lossy().replace('\\', "/");
+    match kind {
+        "serve" => Ok(compare_serve(&base, &new, &file, tolerance)),
+        "telemetry" => Ok(compare_telemetry(&base, &new, &file)),
+        other => Err(format!("unknown bench kind `{other}` (serve, telemetry)")),
+    }
+}
+
+fn mode_entry<'a>(doc: &'a Value, mode: &str) -> Option<&'a Value> {
+    doc.get("modes")?
+        .as_array()?
+        .iter()
+        .find(|m| m.get("mode").and_then(Value::as_str) == Some(mode))
+}
+
+fn num(v: &Value, key: &str) -> f64 {
+    v.get(key).and_then(Value::as_f64).unwrap_or(f64::NAN)
+}
+
+/// The batching win as a fraction of distances avoided.
+fn savings(doc: &Value) -> Option<f64> {
+    let batched = num(mode_entry(doc, "batched")?, "distances_computed");
+    let unbatched = num(mode_entry(doc, "unbatched")?, "distances_computed");
+    if !(batched.is_finite() && unbatched > 0.0) {
+        return None;
+    }
+    Some(1.0 - batched / unbatched)
+}
+
+/// Compares serve-bench documents; see the module docs for the contract.
+pub fn compare_serve(base: &Value, new: &Value, file: &str, tolerance: f64) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for mode in ["batched", "unbatched"] {
+        if mode_entry(new, mode).is_none() {
+            findings.push(fail(
+                "bench_structure",
+                file,
+                format!("mode `{mode}` missing from fresh run"),
+            ));
+        }
+    }
+    if !findings.is_empty() {
+        return findings;
+    }
+    let fresh_b = mode_entry(new, "batched").expect("checked above");
+    let fresh_u = mode_entry(new, "unbatched").expect("checked above");
+    for (name, m) in [("batched", fresh_b), ("unbatched", fresh_u)] {
+        for key in ["jobs", "distances_computed", "wall_ms", "batches_executed"] {
+            let v = num(m, key);
+            // NaN (absent/non-numeric key) must fail too, so the test is
+            // "not strictly positive" rather than `v <= 0.0`.
+            if v.is_nan() || v <= 0.0 {
+                findings.push(fail(
+                    "bench_structure",
+                    file,
+                    format!("{name}.{key} = {v} — expected positive"),
+                ));
+            }
+        }
+    }
+    // Coalescing evidence: the batched scheduler executes fewer batches
+    // than jobs; the unbatched one executes one batch per job.
+    let (b_jobs, b_batches) = (num(fresh_b, "jobs"), num(fresh_b, "batches_executed"));
+    let (u_jobs, u_batches) = (num(fresh_u, "jobs"), num(fresh_u, "batches_executed"));
+    if b_batches >= b_jobs {
+        findings.push(fail(
+            "bench_regression",
+            file,
+            format!("batched mode ran {b_batches} batches for {b_jobs} jobs — no coalescing"),
+        ));
+    }
+    if u_batches != u_jobs {
+        findings.push(fail(
+            "bench_structure",
+            file,
+            format!("unbatched mode ran {u_batches} batches for {u_jobs} jobs — expected 1:1"),
+        ));
+    }
+    match (savings(base), savings(new)) {
+        (Some(b), Some(n)) => {
+            if (n - b).abs() > tolerance {
+                findings.push(fail(
+                    "bench_regression",
+                    file,
+                    format!(
+                        "distance-savings fraction {n:.3} drifted from baseline {b:.3} \
+                         (tolerance ±{tolerance})"
+                    ),
+                ));
+            }
+        }
+        _ => findings.push(fail(
+            "bench_structure",
+            file,
+            "could not compute the distance-savings fraction".to_string(),
+        )),
+    }
+    findings
+}
+
+fn run_key(run: &Value) -> Option<(String, String)> {
+    let meta = run.get("meta")?;
+    Some((
+        meta.get("algo")?.as_str()?.to_string(),
+        meta.get("backend")?.as_str()?.to_string(),
+    ))
+}
+
+/// Compares telemetry multi-run documents.
+pub fn compare_telemetry(base: &Value, new: &Value, file: &str) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let empty: Vec<Value> = Vec::new();
+    let base_runs = base
+        .get("runs")
+        .and_then(Value::as_array)
+        .unwrap_or(&empty);
+    let new_runs = new.get("runs").and_then(Value::as_array).unwrap_or(&empty);
+    if base_runs.is_empty() || new_runs.is_empty() {
+        findings.push(fail(
+            "bench_structure",
+            file,
+            "baseline or fresh document has no runs".to_string(),
+        ));
+        return findings;
+    }
+    for b in base_runs {
+        let Some(key) = run_key(b) else {
+            findings.push(fail(
+                "bench_structure",
+                file,
+                "baseline run without algo/backend meta".to_string(),
+            ));
+            continue;
+        };
+        let Some(n) = new_runs.iter().find(|r| run_key(r).as_ref() == Some(&key)) else {
+            findings.push(fail(
+                "bench_structure",
+                file,
+                format!("run {}/{} missing from fresh document", key.0, key.1),
+            ));
+            continue;
+        };
+        // Baseline counter keys must all exist in the fresh run.
+        if let Some(totals) = b.get("totals").and_then(Value::as_object) {
+            let fresh_totals = n.get("totals").and_then(Value::as_object);
+            for counter in totals.keys() {
+                let present = fresh_totals.is_some_and(|t| t.contains_key(counter));
+                if !present {
+                    findings.push(fail(
+                        "bench_structure",
+                        file,
+                        format!("run {}/{}: counter `{counter}` disappeared", key.0, key.1),
+                    ));
+                }
+            }
+        }
+    }
+    // Paper ordering: FAST / FAST* never compute more distances than the
+    // baseline algorithm on the same backend.
+    for backend in ["cpu", "gpu"] {
+        let dist = |algo: &str| -> Option<f64> {
+            let run = new_runs
+                .iter()
+                .find(|r| run_key(r) == Some((algo.to_string(), backend.to_string())))?;
+            let v = num(
+                run.get("totals")?,
+                "distances_computed",
+            );
+            v.is_finite().then_some(v)
+        };
+        let (Some(base_d), fast_d, star_d) = (dist("baseline"), dist("fast"), dist("fast_star"))
+        else {
+            continue;
+        };
+        for (name, d) in [("fast", fast_d), ("fast_star", star_d)] {
+            if let Some(d) = d {
+                if d > base_d {
+                    findings.push(fail(
+                        "bench_regression",
+                        file,
+                        format!(
+                            "{name}/{backend} computed {d} distances, more than the \
+                             baseline algorithm's {base_d}"
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn serve_doc(batched_dist: u64, unbatched_dist: u64, batched_batches: u64) -> Value {
+        let json = format!(
+            "{{\"version\":1,\"workload\":{{\"n\":2000,\"d\":16,\"jobs_per_rep\":24,\"reps\":1}},\
+             \"modes\":[\
+             {{\"mode\":\"batched\",\"max_batch\":16,\"jobs\":24,\"wall_ms\":100.0,\
+               \"throughput_jobs_per_s\":240.0,\"distances_computed\":{batched_dist},\
+               \"batches_executed\":{batched_batches},\"latency_p50_us\":10,\"latency_p99_us\":20}},\
+             {{\"mode\":\"unbatched\",\"max_batch\":1,\"jobs\":24,\"wall_ms\":300.0,\
+               \"throughput_jobs_per_s\":80.0,\"distances_computed\":{unbatched_dist},\
+               \"batches_executed\":24,\"latency_p50_us\":30,\"latency_p99_us\":60}}]}}"
+        );
+        parse(&json).expect("valid fixture")
+    }
+
+    #[test]
+    fn matching_savings_pass() {
+        let base = serve_doc(18_000, 100_000, 6);
+        let new = serve_doc(20_000, 100_000, 7);
+        assert!(compare_serve(&base, &new, "f", 0.25).is_empty());
+    }
+
+    #[test]
+    fn savings_drift_beyond_tolerance_fails() {
+        let base = serve_doc(18_000, 100_000, 6); // 82% savings
+        let new = serve_doc(80_000, 100_000, 6); // 20% savings
+        let f = compare_serve(&base, &new, "f", 0.25);
+        assert!(f.iter().any(|f| f.rule == "bench_regression"), "{f:?}");
+    }
+
+    #[test]
+    fn lost_coalescing_fails() {
+        let base = serve_doc(18_000, 100_000, 6);
+        let new = serve_doc(99_000, 100_000, 24); // 24 batches for 24 jobs
+        let f = compare_serve(&base, &new, "f", 1.0);
+        assert!(
+            f.iter().any(|f| f.message.contains("no coalescing")),
+            "{f:?}"
+        );
+    }
+
+    fn telemetry_doc(fast_dist: u64) -> Value {
+        let json = format!(
+            "{{\"version\":1,\"runs\":[\
+             {{\"version\":1,\"meta\":{{\"algo\":\"baseline\",\"backend\":\"cpu\"}},\
+               \"totals\":{{\"distances_computed\":1000000}},\"spans\":[]}},\
+             {{\"version\":1,\"meta\":{{\"algo\":\"fast\",\"backend\":\"cpu\"}},\
+               \"totals\":{{\"distances_computed\":{fast_dist}}},\"spans\":[]}}]}}"
+        );
+        parse(&json).expect("valid fixture")
+    }
+
+    #[test]
+    fn telemetry_ordering_holds_and_fails_when_inverted() {
+        let base = telemetry_doc(200_000);
+        assert!(compare_telemetry(&base, &telemetry_doc(250_000), "f").is_empty());
+        let f = compare_telemetry(&base, &telemetry_doc(2_000_000), "f");
+        assert!(f.iter().any(|f| f.rule == "bench_regression"), "{f:?}");
+    }
+
+    #[test]
+    fn missing_run_or_counter_fails() {
+        let base = telemetry_doc(200_000);
+        let fresh = parse(
+            "{\"version\":1,\"runs\":[{\"version\":1,\
+             \"meta\":{\"algo\":\"baseline\",\"backend\":\"cpu\"},\
+             \"totals\":{},\"spans\":[]}]}",
+        )
+        .expect("valid fixture");
+        let f = compare_telemetry(&base, &fresh, "f");
+        assert!(f.iter().any(|f| f.message.contains("missing")), "{f:?}");
+        assert!(f.iter().any(|f| f.message.contains("disappeared")), "{f:?}");
+    }
+}

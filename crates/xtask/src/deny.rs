@@ -1,0 +1,193 @@
+//! Offline dependency policy (`cargo xtask deny`).
+//!
+//! The real `cargo-deny` needs a registry index; this container has no
+//! network, so the policy that matters day-to-day is enforced here from
+//! the committed manifests alone (CI additionally runs `cargo-deny`
+//! against `deny.toml` when the network is available — same policy, two
+//! enforcers):
+//!
+//! * every **external** dependency must be on the allowlist baked into the
+//!   container image — anything else cannot build here;
+//! * no git dependencies, no wildcard (`*`) versions;
+//! * the workspace license is `MIT OR Apache-2.0` and member crates
+//!   inherit it (`license.workspace = true`).
+
+use std::path::Path;
+
+use crate::lint::Finding;
+
+/// External crates the container image bakes in. Path/workspace deps are
+/// always allowed.
+const ALLOWED_EXTERNAL: [&str; 5] = ["rand", "crossbeam", "parking_lot", "proptest", "criterion"];
+
+const DEP_SECTIONS: [&str; 4] = [
+    "dependencies",
+    "dev-dependencies",
+    "build-dependencies",
+    "workspace.dependencies",
+];
+
+/// Checks the workspace rooted at `root`; findings reuse the lint shape so
+/// they serialize with [`crate::lint::findings_json`].
+pub fn run(root: &Path) -> Result<Vec<Finding>, String> {
+    let mut findings = Vec::new();
+    let mut manifests = vec![root.join("Cargo.toml")];
+    let crates_dir = root.join("crates");
+    if let Ok(entries) = std::fs::read_dir(&crates_dir) {
+        for e in entries.flatten() {
+            let m = e.path().join("Cargo.toml");
+            if m.is_file() {
+                manifests.push(m);
+            }
+        }
+    }
+    manifests.sort();
+    for manifest in manifests {
+        let rel = manifest
+            .strip_prefix(root)
+            .unwrap_or(&manifest)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let text = std::fs::read_to_string(&manifest)
+            .map_err(|e| format!("read {}: {e}", manifest.display()))?;
+        check_manifest(&rel, &text, &mut findings);
+    }
+    Ok(findings)
+}
+
+/// Line-oriented TOML walk — the workspace's manifests keep one
+/// dependency per line, which is all this needs (and a new multi-line
+/// table would simply be flagged as unparsable, which is a finding too).
+pub fn check_manifest(rel: &str, text: &str, findings: &mut Vec<Finding>) {
+    let mut section = String::new();
+    let is_root = rel == "Cargo.toml";
+    let mut saw_license_key = false;
+    for (idx, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        let lineno = (idx + 1) as u32;
+        if line.starts_with('[') && line.ends_with(']') {
+            section = line[1..line.len() - 1].to_string();
+            continue;
+        }
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if section == "workspace.package" && line.starts_with("license") {
+            saw_license_key = true;
+            if !line.contains("MIT OR Apache-2.0") {
+                findings.push(Finding {
+                    rule: "deny_license",
+                    file: rel.to_string(),
+                    line: lineno,
+                    message: format!("workspace license must be `MIT OR Apache-2.0`, got: {line}"),
+                });
+            }
+        }
+        if section == "package" && line.starts_with("license") && !line.contains("workspace") {
+            findings.push(Finding {
+                rule: "deny_license",
+                file: rel.to_string(),
+                line: lineno,
+                message: "member crates must inherit the license (`license.workspace = true`)"
+                    .to_string(),
+            });
+        }
+        if !DEP_SECTIONS.contains(&section.as_str()) {
+            continue;
+        }
+        let Some((name_part, value)) = line.split_once('=') else {
+            continue;
+        };
+        let name = name_part.trim().trim_matches('"');
+        let value = value.trim();
+        // `foo.workspace = true` — inherited, resolved at the root.
+        if name.ends_with(".workspace") {
+            continue;
+        }
+        if value.contains("git =") || value.contains("git=") {
+            findings.push(Finding {
+                rule: "deny_source",
+                file: rel.to_string(),
+                line: lineno,
+                message: format!("git dependency `{name}` — registry and path sources only"),
+            });
+            continue;
+        }
+        let is_path = value.contains("path =") || value.contains("path=");
+        let is_workspace_inherit = value.contains("workspace = true");
+        if is_path || is_workspace_inherit {
+            continue;
+        }
+        if value.contains('*') {
+            findings.push(Finding {
+                rule: "deny_version",
+                file: rel.to_string(),
+                line: lineno,
+                message: format!("wildcard version for `{name}`"),
+            });
+        }
+        if !ALLOWED_EXTERNAL.contains(&name) {
+            findings.push(Finding {
+                rule: "deny_external",
+                file: rel.to_string(),
+                line: lineno,
+                message: format!(
+                    "external dependency `{name}` is not in the offline allowlist \
+                     ({}) — the build container cannot fetch it",
+                    ALLOWED_EXTERNAL.join(", "),
+                ),
+            });
+        }
+    }
+    if is_root && !saw_license_key {
+        findings.push(Finding {
+            rule: "deny_license",
+            file: rel.to_string(),
+            line: 1,
+            message: "workspace manifest has no [workspace.package] license".to_string(),
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check(text: &str) -> Vec<&'static str> {
+        let mut f = Vec::new();
+        check_manifest("crates/x/Cargo.toml", text, &mut f);
+        f.iter().map(|f| f.rule).collect()
+    }
+
+    #[test]
+    fn allowed_and_path_deps_pass() {
+        let text = "\
+[package]\nname = \"x\"\nlicense.workspace = true\n\
+[dependencies]\nrand = \"0.8\"\nproclus = { path = \"../core\" }\n\
+proclus-telemetry.workspace = true\n\
+[dev-dependencies]\nproptest.workspace = true\n";
+        assert!(check(text).is_empty());
+    }
+
+    #[test]
+    fn unlisted_external_is_denied() {
+        let text = "[dependencies]\nserde = \"1\"\n";
+        assert_eq!(check(text), vec!["deny_external"]);
+    }
+
+    #[test]
+    fn git_and_wildcard_are_denied() {
+        let text = "[dependencies]\n\
+            left = { git = \"https://example.com/x\" }\n\
+            rand = \"*\"\n";
+        let rules = check(text);
+        assert!(rules.contains(&"deny_source"), "{rules:?}");
+        assert!(rules.contains(&"deny_version"), "{rules:?}");
+    }
+
+    #[test]
+    fn hardcoded_member_license_is_denied() {
+        let text = "[package]\nname = \"x\"\nlicense = \"GPL-3.0\"\n";
+        assert_eq!(check(text), vec!["deny_license"]);
+    }
+}

@@ -1,0 +1,461 @@
+//! A minimal Rust token scanner for the workspace lints.
+//!
+//! This is deliberately not a full parser (the container has no `syn`);
+//! the lint rules only need a faithful token stream — identifiers and
+//! punctuation with line numbers — with comments, strings, raw strings,
+//! char literals, and lifetimes handled correctly so that `panic!` inside
+//! a doc comment or a string never counts as a call. The scanner also
+//! records which `// lint:allow(...)` markers appear on which lines, and
+//! which token ranges sit under `#[cfg(test)]`, so rules can honor both.
+
+/// One lexical token the lint rules care about.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword.
+    Ident,
+    /// A single punctuation character (`.`, `(`, `{`, `!`, `#`, …).
+    Punct(char),
+    /// Any literal (string, raw string, char, number) — collapsed, since
+    /// rules never look inside literals.
+    Literal,
+}
+
+/// A token with its source position.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    /// Token kind.
+    pub kind: TokKind,
+    /// The identifier text (empty for punct/literal).
+    pub text: String,
+    /// 1-based source line.
+    pub line: u32,
+    /// True when this token is inside an item annotated `#[cfg(test)]`.
+    pub in_test: bool,
+}
+
+impl Tok {
+    /// True for an identifier with exactly this text.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    /// True for this punctuation character.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct(c)
+    }
+}
+
+/// The scan result: the token stream plus per-line `lint:allow` markers.
+#[derive(Debug, Default)]
+pub struct Scan {
+    /// Tokens in source order.
+    pub tokens: Vec<Tok>,
+    /// `(line, rule)` pairs for every `// lint:allow(<rule>) -- reason`
+    /// marker; a finding on line L is suppressed by a marker on L or L-1.
+    pub allows: Vec<(u32, String)>,
+}
+
+impl Scan {
+    /// True when `rule` is allowed on `line` (marker on the same or the
+    /// preceding line).
+    pub fn allowed(&self, line: u32, rule: &str) -> bool {
+        self.allows
+            .iter()
+            .any(|(l, r)| r == rule && (*l == line || *l + 1 == line))
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Scans `source` into tokens; never fails (unterminated constructs just
+/// consume to EOF, which is fine for linting — rustc rejects such files
+/// long before the lint runs).
+pub fn scan(source: &str) -> Scan {
+    let chars: Vec<char> = source.chars().collect();
+    let mut out = Scan::default();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+    let n = chars.len();
+
+    macro_rules! bump_line {
+        ($c:expr) => {
+            if $c == '\n' {
+                line += 1;
+            }
+        };
+    }
+
+    while i < n {
+        let c = chars[i];
+        // Whitespace
+        if c.is_whitespace() {
+            bump_line!(c);
+            i += 1;
+            continue;
+        }
+        // Line comment (may carry a lint:allow marker)
+        if c == '/' && i + 1 < n && chars[i + 1] == '/' {
+            let start = i;
+            while i < n && chars[i] != '\n' {
+                i += 1;
+            }
+            let text: String = chars[start..i].iter().collect();
+            if let Some(pos) = text.find("lint:allow(") {
+                let rest = &text[pos + "lint:allow(".len()..];
+                if let Some(end) = rest.find(')') {
+                    out.allows.push((line, rest[..end].trim().to_string()));
+                }
+            }
+            continue;
+        }
+        // Block comment (nested)
+        if c == '/' && i + 1 < n && chars[i + 1] == '*' {
+            let mut depth = 1;
+            i += 2;
+            while i < n && depth > 0 {
+                if chars[i] == '/' && i + 1 < n && chars[i + 1] == '*' {
+                    depth += 1;
+                    i += 2;
+                } else if chars[i] == '*' && i + 1 < n && chars[i + 1] == '/' {
+                    depth -= 1;
+                    i += 2;
+                } else {
+                    bump_line!(chars[i]);
+                    i += 1;
+                }
+            }
+            continue;
+        }
+        // Raw strings / raw byte strings: r"..", r#".."#, br".." …
+        if (c == 'r' || c == 'b') && i + 1 < n {
+            let (prefix_len, rest0) = if c == 'b' && chars[i + 1] == 'r' {
+                (2, i + 2)
+            } else if c == 'r' {
+                (1, i + 1)
+            } else {
+                (0, i)
+            };
+            if prefix_len > 0 && rest0 < n && (chars[rest0] == '#' || chars[rest0] == '"') {
+                let mut j = rest0;
+                let mut hashes = 0;
+                while j < n && chars[j] == '#' {
+                    hashes += 1;
+                    j += 1;
+                }
+                if j < n && chars[j] == '"' {
+                    // scan to `"` + hashes `#`s
+                    j += 1;
+                    'raw: while j < n {
+                        if chars[j] == '"' {
+                            let mut h = 0;
+                            while j + 1 + h < n && h < hashes && chars[j + 1 + h] == '#' {
+                                h += 1;
+                            }
+                            if h == hashes {
+                                j += 1 + hashes;
+                                break 'raw;
+                            }
+                        }
+                        bump_line!(chars[j]);
+                        j += 1;
+                    }
+                    out.tokens.push(Tok {
+                        kind: TokKind::Literal,
+                        text: String::new(),
+                        line,
+                        in_test: false,
+                    });
+                    i = j;
+                    continue;
+                }
+                // `r#ident` raw identifier: fall through to ident scan below
+            }
+        }
+        // String / byte-string literal
+        if c == '"' || (c == 'b' && i + 1 < n && chars[i + 1] == '"') {
+            i += if c == 'b' { 2 } else { 1 };
+            while i < n {
+                if chars[i] == '\\' {
+                    i += 2;
+                    continue;
+                }
+                if chars[i] == '"' {
+                    i += 1;
+                    break;
+                }
+                bump_line!(chars[i]);
+                i += 1;
+            }
+            out.tokens.push(Tok {
+                kind: TokKind::Literal,
+                text: String::new(),
+                line,
+                in_test: false,
+            });
+            continue;
+        }
+        // Char literal vs lifetime
+        if c == '\'' {
+            // Lifetime: 'ident not followed by a closing quote.
+            if i + 1 < n && is_ident_start(chars[i + 1]) {
+                let mut j = i + 1;
+                while j < n && is_ident_continue(chars[j]) {
+                    j += 1;
+                }
+                if j < n && chars[j] == '\'' && j == i + 2 {
+                    // 'x' — a char literal
+                    i = j + 1;
+                    out.tokens.push(Tok {
+                        kind: TokKind::Literal,
+                        text: String::new(),
+                        line,
+                        in_test: false,
+                    });
+                } else {
+                    // lifetime — emit nothing, rules don't need it
+                    i = j;
+                }
+                continue;
+            }
+            // Escaped or symbolic char literal: '\n', '\'', '(' …
+            let mut j = i + 1;
+            if j < n && chars[j] == '\\' {
+                j += 2;
+            } else if j < n {
+                j += 1;
+            }
+            if j < n && chars[j] == '\'' {
+                j += 1;
+            }
+            out.tokens.push(Tok {
+                kind: TokKind::Literal,
+                text: String::new(),
+                line,
+                in_test: false,
+            });
+            i = j;
+            continue;
+        }
+        // Identifier / keyword (incl. r#raw idents)
+        if is_ident_start(c) {
+            let start = i;
+            while i < n && is_ident_continue(chars[i]) {
+                i += 1;
+            }
+            out.tokens.push(Tok {
+                kind: TokKind::Ident,
+                text: chars[start..i].iter().collect(),
+                line,
+                in_test: false,
+            });
+            continue;
+        }
+        // Number literal (digits; suffixes get eaten by ident rule later,
+        // which is fine for our rules)
+        if c.is_ascii_digit() {
+            while i < n && (chars[i].is_ascii_alphanumeric() || chars[i] == '.' || chars[i] == '_')
+            {
+                // avoid swallowing `..` range or method call on literal
+                if chars[i] == '.' && i + 1 < n && !chars[i + 1].is_ascii_digit() {
+                    break;
+                }
+                i += 1;
+            }
+            out.tokens.push(Tok {
+                kind: TokKind::Literal,
+                text: String::new(),
+                line,
+                in_test: false,
+            });
+            continue;
+        }
+        // Punctuation, one char at a time
+        out.tokens.push(Tok {
+            kind: TokKind::Punct(c),
+            text: String::new(),
+            line,
+            in_test: false,
+        });
+        i += 1;
+    }
+
+    mark_test_items(&mut out.tokens);
+    out
+}
+
+/// Marks every token belonging to an item annotated `#[cfg(test)]` (the
+/// attribute's own tokens included). Handles the common item shapes: the
+/// annotated item ends at its matching close brace, or at a top-level `;`
+/// for brace-less items (`use`, type aliases).
+fn mark_test_items(tokens: &mut [Tok]) {
+    let mut i = 0;
+    while i < tokens.len() {
+        if is_cfg_test_at(tokens, i) {
+            // Find the end of the annotated item.
+            let mut j = i;
+            // skip over any further attributes
+            while j < tokens.len() && tokens[j].is_punct('#') {
+                // skip #[ ... ] balanced
+                let mut depth = 0;
+                j += 1; // at '['
+                while j < tokens.len() {
+                    if tokens[j].is_punct('[') {
+                        depth += 1;
+                    } else if tokens[j].is_punct(']') {
+                        depth -= 1;
+                        if depth == 0 {
+                            j += 1;
+                            break;
+                        }
+                    }
+                    j += 1;
+                }
+            }
+            // now scan to item end: first `{` balanced to `}` , or `;`
+            let mut brace_depth = 0;
+            let mut end = j;
+            while end < tokens.len() {
+                if tokens[end].is_punct('{') {
+                    brace_depth += 1;
+                } else if tokens[end].is_punct('}') {
+                    brace_depth -= 1;
+                    if brace_depth == 0 {
+                        end += 1;
+                        break;
+                    }
+                } else if tokens[end].is_punct(';') && brace_depth == 0 {
+                    end += 1;
+                    break;
+                }
+                end += 1;
+            }
+            for t in tokens[i..end].iter_mut() {
+                t.in_test = true;
+            }
+            i = end;
+        } else {
+            i += 1;
+        }
+    }
+}
+
+/// True when tokens at `i` start `#[cfg(test)]` or `#[cfg(all(test, …))]`
+/// (any cfg attribute that mentions the `test` predicate).
+fn is_cfg_test_at(tokens: &[Tok], i: usize) -> bool {
+    if !(tokens.get(i).is_some_and(|t| t.is_punct('#'))
+        && tokens.get(i + 1).is_some_and(|t| t.is_punct('['))
+        && tokens.get(i + 2).is_some_and(|t| t.is_ident("cfg")))
+    {
+        return false;
+    }
+    // scan the attribute body for the `test` ident
+    let mut depth = 0;
+    let mut j = i + 1;
+    while j < tokens.len() {
+        if tokens[j].is_punct('[') {
+            depth += 1;
+        } else if tokens[j].is_punct(']') {
+            depth -= 1;
+            if depth == 0 {
+                return false;
+            }
+        } else if tokens[j].is_ident("test") {
+            return true;
+        }
+        j += 1;
+    }
+    false
+}
+
+/// Returns the index of the `}` matching the `{` at `open` (which must be
+/// a `{` token), or `tokens.len()` when unbalanced.
+pub fn matching_brace(tokens: &[Tok], open: usize) -> usize {
+    let mut depth = 0;
+    let mut i = open;
+    while i < tokens.len() {
+        if tokens[i].is_punct('{') {
+            depth += 1;
+        } else if tokens[i].is_punct('}') {
+            depth -= 1;
+            if depth == 0 {
+                return i;
+            }
+        }
+        i += 1;
+    }
+    tokens.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strings_and_comments_hide_tokens() {
+        let s = scan(
+            r##"
+            // panic! in a comment
+            /* unwrap() in a block /* nested */ comment */
+            let x = "panic!(\"no\")"; // strings too
+            let c = 'p';
+            let r = r#"panic!"#;
+        "##,
+        );
+        assert!(!s.tokens.iter().any(|t| t.is_ident("panic")));
+        assert!(!s.tokens.iter().any(|t| t.is_ident("unwrap")));
+    }
+
+    #[test]
+    fn lifetimes_do_not_open_char_literals() {
+        let s = scan("fn f<'a>(x: &'a str) -> &'a str { x.trim() }");
+        assert!(s.tokens.iter().any(|t| t.is_ident("trim")));
+        assert!(s.tokens.iter().any(|t| t.is_ident("str")));
+    }
+
+    #[test]
+    fn cfg_test_items_are_marked() {
+        let s = scan(
+            "fn live() { a.unwrap(); }\n\
+             #[cfg(test)]\n\
+             mod tests {\n    fn t() { b.unwrap(); }\n}\n\
+             fn live2() {}",
+        );
+        let unwraps: Vec<bool> = s
+            .tokens
+            .iter()
+            .filter(|t| t.is_ident("unwrap"))
+            .map(|t| t.in_test)
+            .collect();
+        assert_eq!(unwraps, vec![false, true]);
+        let live2 = s.tokens.iter().find(|t| t.is_ident("live2")).unwrap();
+        assert!(!live2.in_test);
+    }
+
+    #[test]
+    fn allow_markers_are_collected() {
+        let s = scan(
+            "// lint:allow(no_panic) -- the injected-panic fixture\n\
+             x.unwrap();\n\
+             y.unwrap();",
+        );
+        assert_eq!(s.allows, vec![(1, "no_panic".to_string())]);
+        assert!(s.allowed(1, "no_panic"));
+        assert!(s.allowed(2, "no_panic"));
+        assert!(!s.allowed(3, "no_panic"));
+    }
+
+    #[test]
+    fn matching_brace_matches() {
+        let s = scan("loop { if x { y() } }");
+        let open = s.tokens.iter().position(|t| t.is_punct('{')).unwrap();
+        let close = matching_brace(&s.tokens, open);
+        assert!(s.tokens[close].is_punct('}'));
+        assert_eq!(close, s.tokens.len() - 1);
+    }
+}

@@ -1,0 +1,587 @@
+//! The workspace lint rules (`cargo xtask lint`).
+//!
+//! Four rules, each an AST-shaped walk over the token stream from
+//! [`crate::lexer`] (DESIGN.md §11 documents the catalogue and how to add
+//! a rule):
+//!
+//! | rule                  | scope                                   | enforces |
+//! |-----------------------|-----------------------------------------|----------|
+//! | `no_panic`            | `crates/serve/src`, both `driver.rs`    | no `.unwrap()` / `.expect()` / `panic!`-family in hot paths |
+//! | `cancel_polled`       | `crates/{core,gpu}/src/driver.rs`       | every `loop`/`while` polls the `CancelToken` |
+//! | `launch_entry`        | all crates except `gpu-sim` internals   | kernel launches only in `crates/gpu/src/kernels/` |
+//! | `public_result_error` | `crates/{core,gpu,serve}/src`           | public `Result` APIs use the typed error set |
+//!
+//! Findings are machine-readable ([`Finding`], [`findings_json`]) and any
+//! finding fails the build (non-zero exit from `main`). Intentional
+//! exceptions carry `// lint:allow(<rule>) -- <reason>` on the same or
+//! preceding line — the reason is mandatory by convention and reviewed,
+//! not parsed.
+
+use std::path::{Path, PathBuf};
+
+use crate::lexer::{matching_brace, scan, Scan, Tok};
+
+/// One lint finding.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Rule identifier (`no_panic`, `cancel_polled`, …).
+    pub rule: &'static str,
+    /// Repo-relative file path.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// What is wrong and how to fix it.
+    pub message: String,
+}
+
+/// Serializes findings in the workspace's report style.
+pub fn findings_json(findings: &[Finding]) -> String {
+    use proclus_telemetry::json::escape;
+    let mut out = String::from(
+        "{\"version\":1,\"component\":\"xtask-lint\",\"findings\":[",
+    );
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"rule\":\"{}\",\"file\":\"{}\",\"line\":{},\"message\":\"{}\"}}",
+            f.rule,
+            escape(&f.file),
+            f.line,
+            escape(&f.message),
+        ));
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Runs every rule over the workspace rooted at `root`.
+pub fn run(root: &Path) -> Result<Vec<Finding>, String> {
+    let mut findings = Vec::new();
+    for file in rust_sources(root)? {
+        let rel = file
+            .strip_prefix(root)
+            .unwrap_or(&file)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let source = std::fs::read_to_string(&file)
+            .map_err(|e| format!("read {}: {e}", file.display()))?;
+        findings.extend(lint_source(&rel, &source));
+    }
+    findings.sort_by(|a, b| (a.file.as_str(), a.line).cmp(&(b.file.as_str(), b.line)));
+    Ok(findings)
+}
+
+/// Lints one file's source text; `rel` selects which rules apply.
+pub fn lint_source(rel: &str, source: &str) -> Vec<Finding> {
+    let scan = scan(source);
+    let mut findings = Vec::new();
+    if no_panic_in_scope(rel) {
+        no_panic(rel, &scan, &mut findings);
+    }
+    if is_driver(rel) {
+        cancel_polled(rel, &scan, &mut findings);
+    }
+    if launch_entry_in_scope(rel) {
+        launch_entry(rel, &scan, &mut findings);
+    }
+    if public_result_in_scope(rel) {
+        public_result_error(rel, &scan, &mut findings);
+    }
+    findings
+}
+
+fn rust_sources(root: &Path) -> Result<Vec<PathBuf>, String> {
+    let mut out = Vec::new();
+    let crates = root.join("crates");
+    let mut stack = vec![crates];
+    while let Some(dir) = stack.pop() {
+        let entries = match std::fs::read_dir(&dir) {
+            Ok(e) => e,
+            Err(_) => continue,
+        };
+        for entry in entries.flatten() {
+            let path = entry.path();
+            if path.is_dir() {
+                if path.file_name().is_some_and(|n| n == "target") {
+                    continue;
+                }
+                stack.push(path);
+            } else if path.extension().is_some_and(|e| e == "rs") {
+                out.push(path);
+            }
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+// ---------------------------------------------------------------- scopes
+
+fn is_driver(rel: &str) -> bool {
+    rel == "crates/core/src/driver.rs" || rel == "crates/gpu/src/driver.rs"
+}
+
+fn no_panic_in_scope(rel: &str) -> bool {
+    (rel.starts_with("crates/serve/src/") || is_driver(rel)) && !rel.contains("/tests/")
+}
+
+fn launch_entry_in_scope(rel: &str) -> bool {
+    rel.starts_with("crates/")
+        && !rel.starts_with("crates/gpu-sim/")
+        && !rel.starts_with("crates/gpu/src/kernels/")
+        && !rel.contains("/tests/")
+        && !rel.contains("/benches/")
+}
+
+fn public_result_in_scope(rel: &str) -> bool {
+    (rel.starts_with("crates/core/src/")
+        || rel.starts_with("crates/gpu/src/")
+        || rel.starts_with("crates/serve/src/"))
+        && !rel.contains("/tests/")
+}
+
+// ----------------------------------------------------------------- rules
+
+/// `no_panic`: no `.unwrap()` / `.expect(…)` / `panic!`-family macros in
+/// the serving layer or the driver hot paths — these run inside worker
+/// threads and behind the public API, where a panic either poisons shared
+/// state or rides the panic-isolation path that exists for *bugs*, not
+/// for control flow. `unwrap_or_else`, `unwrap_or_default`, … are fine
+/// and not matched.
+fn no_panic(rel: &str, scan: &Scan, findings: &mut Vec<Finding>) {
+    const MACROS: [&str; 4] = ["panic", "todo", "unimplemented", "unreachable"];
+    let toks = &scan.tokens;
+    for (i, t) in toks.iter().enumerate() {
+        if t.in_test {
+            continue;
+        }
+        let method_call = |name: &str| {
+            t.is_ident(name)
+                && i > 0
+                && toks[i - 1].is_punct('.')
+                && toks.get(i + 1).is_some_and(|n| n.is_punct('('))
+        };
+        let bang_macro = MACROS.iter().any(|m| t.is_ident(m))
+            && toks.get(i + 1).is_some_and(|n| n.is_punct('!'));
+        let hit = if method_call("unwrap") || method_call("expect") {
+            Some(format!(
+                ".{}() in a no-panic path — return a typed error instead",
+                t.text
+            ))
+        } else if bang_macro {
+            Some(format!(
+                "{}! in a no-panic path — return a typed error instead",
+                t.text
+            ))
+        } else {
+            None
+        };
+        if let Some(message) = hit {
+            if !scan.allowed(t.line, "no_panic") {
+                findings.push(Finding {
+                    rule: "no_panic",
+                    file: rel.to_string(),
+                    line: t.line,
+                    message,
+                });
+            }
+        }
+    }
+}
+
+/// `cancel_polled`: every `loop { … }` / `while … { … }` in the two
+/// driver files must poll the `CancelToken` (a `cancel…check(…)` call
+/// somewhere in its body). The iterative refinement loops are the places
+/// a runaway parameter set spins for minutes; a loop that cannot be
+/// cancelled holds its job slot and its worker thread hostage.
+fn cancel_polled(rel: &str, scan: &Scan, findings: &mut Vec<Finding>) {
+    let toks = &scan.tokens;
+    for (i, t) in toks.iter().enumerate() {
+        if t.in_test || !(t.is_ident("loop") || t.is_ident("while")) {
+            continue;
+        }
+        // Find the body's `{` (immediately next for `loop`; after the
+        // condition for `while`).
+        let mut open = i + 1;
+        while open < toks.len() && !toks[open].is_punct('{') {
+            open += 1;
+        }
+        if open >= toks.len() {
+            continue;
+        }
+        let close = matching_brace(toks, open);
+        let body = &toks[open..close];
+        let polls = body.windows(3).any(|w| {
+            w[0].is_ident("cancel") && w[1].is_punct('.') && w[2].is_ident("check")
+        });
+        if !polls && !scan.allowed(t.line, "cancel_polled") {
+            findings.push(Finding {
+                rule: "cancel_polled",
+                file: rel.to_string(),
+                line: t.line,
+                message: format!(
+                    "`{}` body never polls the CancelToken (`cancel.check()?`) — \
+                     phase loops must stay cancellable",
+                    t.text
+                ),
+            });
+        }
+    }
+}
+
+/// `launch_entry`: `.launch(…)` / `.launch_on(…)` calls — the gpu-sim
+/// sanitizer-aware kernel entry points — may only appear in the audited
+/// wrappers under `crates/gpu/src/kernels/`. Everywhere else must call
+/// those wrappers, so the sanitizer, launch statistics, and hazard checks
+/// can never be bypassed.
+fn launch_entry(rel: &str, scan: &Scan, findings: &mut Vec<Finding>) {
+    let toks = &scan.tokens;
+    for (i, t) in toks.iter().enumerate() {
+        if t.in_test {
+            continue;
+        }
+        let is_launch = (t.is_ident("launch") || t.is_ident("launch_on"))
+            && i > 0
+            && toks[i - 1].is_punct('.')
+            && toks.get(i + 1).is_some_and(|n| n.is_punct('('));
+        if is_launch && !scan.allowed(t.line, "launch_entry") {
+            findings.push(Finding {
+                rule: "launch_entry",
+                file: rel.to_string(),
+                line: t.line,
+                message: format!(
+                    ".{}() outside crates/gpu/src/kernels/ — kernel launches must go \
+                     through the audited sanitizer-aware wrappers",
+                    t.text
+                ),
+            });
+        }
+    }
+}
+
+/// Error types a public `Result` may carry. `io::Error` / `fmt::Error`
+/// are approved at process boundaries (connection handling, Display
+/// impls); everything else must be one of the workspace's typed errors.
+const APPROVED_ERRORS: [&str; 5] = [
+    "ProclusError",
+    "GpuProclusError",
+    "ServeError",
+    "io::Error",
+    "fmt::Error",
+];
+
+/// `public_result_error`: every `pub fn` (not `pub(crate)`) in the
+/// algorithm and serving crates that returns a `Result` must use an
+/// approved error type. Single-parameter `Result<T>` is a crate alias
+/// over `ProclusError`-family errors and is approved; `std::io::Result`
+/// likewise.
+fn public_result_error(rel: &str, scan: &Scan, findings: &mut Vec<Finding>) {
+    let toks = &scan.tokens;
+    let mut i = 0;
+    while i < toks.len() {
+        let t = &toks[i];
+        if t.in_test || !t.is_ident("pub") {
+            i += 1;
+            continue;
+        }
+        // pub(crate) / pub(super): restricted, not public API.
+        if toks.get(i + 1).is_some_and(|n| n.is_punct('(')) {
+            i += 1;
+            continue;
+        }
+        // allow qualifiers between pub and fn: const/unsafe/async
+        let mut j = i + 1;
+        while j < toks.len()
+            && (toks[j].is_ident("const") || toks[j].is_ident("unsafe") || toks[j].is_ident("async"))
+        {
+            j += 1;
+        }
+        if !toks.get(j).is_some_and(|n| n.is_ident("fn")) {
+            i += 1;
+            continue;
+        }
+        let fn_line = toks[j].line;
+        let fn_name = toks
+            .get(j + 1)
+            .map(|n| n.text.clone())
+            .unwrap_or_default();
+        // Skip to the end of the parameter list: first `(` after the
+        // name/generics, balanced (generics may contain `(` in Fn traits,
+        // but those appear *inside* `<>`; tracking both is enough).
+        let mut k = j + 1;
+        let mut angle = 0i32;
+        while k < toks.len() {
+            if toks[k].is_punct('<') {
+                angle += 1;
+            } else if toks[k].is_punct('>') {
+                angle -= 1;
+            } else if toks[k].is_punct('(') && angle <= 0 {
+                break;
+            }
+            k += 1;
+        }
+        let mut paren = 0;
+        while k < toks.len() {
+            if toks[k].is_punct('(') {
+                paren += 1;
+            } else if toks[k].is_punct(')') {
+                paren -= 1;
+                if paren == 0 {
+                    k += 1;
+                    break;
+                }
+            }
+            k += 1;
+        }
+        // Return type: `-> …` up to `{`, `;`, or `where` at depth 0.
+        if !(toks.get(k).is_some_and(|n| n.is_punct('-'))
+            && toks.get(k + 1).is_some_and(|n| n.is_punct('>')))
+        {
+            i = k.max(i + 1);
+            continue;
+        }
+        let ret_start = k + 2;
+        let mut end = ret_start;
+        let mut depth = 0i32;
+        while end < toks.len() {
+            let t = &toks[end];
+            if t.is_punct('<') || t.is_punct('(') || t.is_punct('[') {
+                depth += 1;
+            } else if t.is_punct('>') || t.is_punct(')') || t.is_punct(']') {
+                // `->` inside Fn() return types never appears at depth 0
+                // here because we started after the outer `->`.
+                depth -= 1;
+            } else if depth <= 0 && (t.is_punct('{') || t.is_punct(';') || t.is_ident("where")) {
+                break;
+            }
+            end += 1;
+        }
+        let ret = &toks[ret_start..end];
+        if let Some(message) = check_return_type(ret, &fn_name) {
+            if !scan.allowed(fn_line, "public_result_error") {
+                findings.push(Finding {
+                    rule: "public_result_error",
+                    file: rel.to_string(),
+                    line: fn_line,
+                    message,
+                });
+            }
+        }
+        i = end.max(i + 1);
+    }
+}
+
+/// Checks one return-type token slice; `None` means approved.
+fn check_return_type(ret: &[Tok], fn_name: &str) -> Option<String> {
+    let pos = ret.iter().position(|t| t.is_ident("Result"))?;
+    // Find the `<` that opens Result's generics (if absent, it's a bare
+    // alias like `io::Result` used without parameters — approved).
+    let open = pos + 1;
+    if !ret.get(open).is_some_and(|t| t.is_punct('<')) {
+        return None;
+    }
+    // Split the generic arguments at top level.
+    let mut depth = 0i32;
+    let mut args: Vec<Vec<&Tok>> = vec![Vec::new()];
+    let mut k = open;
+    while k < ret.len() {
+        let t = &ret[k];
+        if t.is_punct('<') || t.is_punct('(') || t.is_punct('[') {
+            depth += 1;
+            if depth > 1 {
+                args.last_mut().expect("non-empty args").push(t);
+            }
+        } else if t.is_punct('>') || t.is_punct(')') || t.is_punct(']') {
+            depth -= 1;
+            if depth == 0 {
+                break;
+            }
+            args.last_mut().expect("non-empty args").push(t);
+        } else if t.is_punct(',') && depth == 1 {
+            args.push(Vec::new());
+        } else if depth >= 1 {
+            args.last_mut().expect("non-empty args").push(t);
+        }
+        k += 1;
+    }
+    if args.len() < 2 {
+        // `Result<T>`: a crate alias over a typed error — approved.
+        return None;
+    }
+    let err_ty: String = args[1]
+        .iter()
+        .map(|t| {
+            if t.text.is_empty() {
+                match t.kind {
+                    crate::lexer::TokKind::Punct(c) => c.to_string(),
+                    _ => String::new(),
+                }
+            } else {
+                t.text.clone()
+            }
+        })
+        .collect();
+    if APPROVED_ERRORS
+        .iter()
+        .any(|ok| err_ty == *ok || err_ty.ends_with(&format!("::{ok}")) || err_ty.contains(ok))
+    {
+        return None;
+    }
+    Some(format!(
+        "pub fn {fn_name} returns Result<_, {err_ty}> — public APIs must use a typed \
+         workspace error ({})",
+        APPROVED_ERRORS.join(", "),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rules(rel: &str, src: &str) -> Vec<&'static str> {
+        lint_source(rel, src).iter().map(|f| f.rule).collect()
+    }
+
+    // ---- no_panic --------------------------------------------------
+
+    /// Seeded defect: a hot-path unwrap in the serving layer is caught.
+    #[test]
+    fn seeded_hot_path_unwrap_is_caught() {
+        let src = "pub fn take(&self) -> Job { self.queue.lock().unwrap().pop().unwrap() }";
+        let f = lint_source("crates/serve/src/server.rs", src);
+        assert_eq!(f.len(), 2, "{f:?}");
+        assert!(f.iter().all(|f| f.rule == "no_panic"));
+        assert!(f[0].message.contains("unwrap"));
+    }
+
+    #[test]
+    fn panic_family_macros_are_caught_but_tests_and_allows_are_not() {
+        let src = "\
+fn a() { panic!(\"boom\"); }\n\
+// lint:allow(no_panic) -- injected-panic fixture for isolation tests\n\
+fn b() { panic!(\"fixture\"); }\n\
+#[cfg(test)]\nmod tests { fn t() { x.unwrap(); panic!(); } }\n";
+        let f = lint_source("crates/serve/src/job.rs", src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].line, 1);
+    }
+
+    #[test]
+    fn unwrap_or_else_is_not_flagged() {
+        let src = "fn a(m: &M) { m.lock().unwrap_or_else(p); v.unwrap_or_default(); }";
+        assert!(rules("crates/serve/src/metrics.rs", src).is_empty());
+    }
+
+    #[test]
+    fn out_of_scope_files_are_not_linted_for_panics() {
+        let src = "fn a() { x.unwrap(); }";
+        assert!(rules("crates/core/src/phases/assign.rs", src).is_empty());
+    }
+
+    // ---- cancel_polled ---------------------------------------------
+
+    /// Seeded defect: a phase loop with no cancel poll is caught.
+    #[test]
+    fn seeded_cancel_free_loop_is_caught() {
+        let src = "\
+pub fn run(cancel: &CancelToken) -> Result<()> {\n\
+    loop {\n        refine();\n        if done { break; }\n    }\n\
+    Ok(())\n}\n";
+        let f = lint_source("crates/core/src/driver.rs", src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, "cancel_polled");
+        assert_eq!(f[0].line, 2);
+    }
+
+    #[test]
+    fn loop_with_cancel_poll_passes() {
+        let src = "\
+pub fn run(cancel: &CancelToken) -> Result<()> {\n\
+    loop {\n        cancel.check()?;\n        refine();\n        if done { break; }\n    }\n\
+    while pending { cancel.check()?; step(); }\n\
+    Ok(())\n}\n";
+        assert!(rules("crates/gpu/src/driver.rs", src).is_empty());
+    }
+
+    #[test]
+    fn inner_for_loops_are_not_required_to_poll() {
+        let src = "pub fn f() { for x in xs { use_it(x); } }";
+        assert!(rules("crates/core/src/driver.rs", src).is_empty());
+    }
+
+    // ---- launch_entry ----------------------------------------------
+
+    /// Seeded defect: a stray kernel launch outside the audited wrappers.
+    #[test]
+    fn seeded_stray_launch_is_caught() {
+        let src = "fn f(dev: &mut Device) { dev.launch(\"k\", grid, || {}); }";
+        let f = lint_source("crates/gpu/src/driver.rs", src);
+        assert!(f.iter().any(|f| f.rule == "launch_entry"), "{f:?}");
+    }
+
+    #[test]
+    fn launches_in_kernel_wrappers_and_gpu_sim_pass() {
+        let src = "fn f(dev: &mut Device) { dev.launch_on(\"k\", grid, || {}); }";
+        assert!(rules("crates/gpu/src/kernels/assign.rs", src).is_empty());
+        assert!(rules("crates/gpu-sim/src/device.rs", src).is_empty());
+    }
+
+    // ---- public_result_error ---------------------------------------
+
+    /// Seeded defect: a public API returning a stringly error.
+    #[test]
+    fn seeded_string_error_public_api_is_caught() {
+        let src = "pub fn load(p: &Path) -> Result<Data, String> { body() }";
+        let f = lint_source("crates/core/src/dataset.rs", src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, "public_result_error");
+        assert!(f[0].message.contains("String"), "{}", f[0].message);
+    }
+
+    #[test]
+    fn typed_errors_aliases_and_restricted_visibility_pass() {
+        let src = "\
+pub fn a() -> Result<Clustering> { b() }\n\
+pub fn b() -> Result<u32, ProclusError> { Ok(1) }\n\
+pub fn c() -> std::io::Result<()> { Ok(()) }\n\
+pub fn d() -> Result<(), ServeError> { Ok(()) }\n\
+pub(crate) fn e() -> Result<(), String> { Ok(()) }\n\
+pub fn f() -> proclus::Result<RunOutput> { g() }\n\
+pub fn not_result() -> Vec<u8> { vec![] }\n";
+        assert!(rules("crates/serve/src/server.rs", src).is_empty());
+    }
+
+    #[test]
+    fn closure_params_returning_result_are_ignored() {
+        // The Result<(), String> here is in *parameter* position.
+        let src =
+            "pub fn on_check(f: impl Fn(&S) -> Result<(), String> + 'static) -> Self { self }";
+        assert!(rules("crates/core/src/run.rs", src).is_empty());
+    }
+
+    // ---- plumbing ---------------------------------------------------
+
+    #[test]
+    fn findings_serialize_to_json() {
+        let f = vec![Finding {
+            rule: "no_panic",
+            file: "crates/serve/src/server.rs".into(),
+            line: 7,
+            message: "x".into(),
+        }];
+        let json = findings_json(&f);
+        assert!(json.contains("\"component\":\"xtask-lint\""));
+        assert!(json.contains("\"rule\":\"no_panic\""));
+        assert!(json.contains("\"line\":7"));
+        let parsed = proclus_telemetry::json::parse(&json).expect("valid json");
+        assert_eq!(
+            parsed
+                .get("findings")
+                .and_then(|v| v.as_array())
+                .map(|a| a.len()),
+            Some(1)
+        );
+    }
+}

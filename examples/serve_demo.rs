@@ -85,7 +85,8 @@ fn main() {
             .with_workers(2)
             .with_max_batch(16)
             .with_start_paused(true),
-    );
+    )
+    .expect("server starts");
     let handles: Vec<_> = jobs
         .iter()
         .map(|(d, k, l)| {
