@@ -11,7 +11,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 use gpu_sim::{Device, DeviceConfig};
-use proclus::{fast_proclus, fast_star_proclus, proclus};
+use proclus_bench::runners::{fast_proclus, fast_star_proclus, proclus};
 use proclus_bench::workloads;
 use proclus_gpu::{gpu_fast_proclus, gpu_fast_star_proclus, gpu_proclus};
 

@@ -18,7 +18,8 @@
 #![allow(deprecated)] // exercises the legacy entry points deliberately
 
 use gpu_sim::{Device, DeviceConfig};
-use proclus::{fast_proclus, fast_star_proclus, proclus, BadMedoidRule};
+use proclus::BadMedoidRule;
+use proclus_bench::runners::{fast_proclus, fast_star_proclus, proclus};
 use proclus_bench::{time_cpu_ms, workloads, ExpTable, Options};
 use proclus_gpu::gpu_fast_proclus;
 

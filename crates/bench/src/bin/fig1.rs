@@ -9,7 +9,7 @@
 #![allow(deprecated)] // exercises the legacy entry points deliberately
 
 use gpu_sim::DeviceConfig;
-use proclus::{fast_proclus, fast_star_proclus, proclus};
+use proclus_bench::runners::{fast_proclus, fast_star_proclus, proclus};
 use proclus_bench::workloads;
 use proclus_bench::{time_cpu_ms, time_gpu_ms, ExpTable, Options};
 use proclus_gpu::{gpu_fast_proclus, gpu_fast_star_proclus, gpu_proclus};

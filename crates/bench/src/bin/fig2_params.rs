@@ -10,7 +10,8 @@
 #![allow(deprecated)] // exercises the legacy entry points deliberately
 
 use gpu_sim::DeviceConfig;
-use proclus::{fast_proclus, proclus, Params};
+use proclus::Params;
+use proclus_bench::runners::{fast_proclus, proclus};
 use proclus_bench::workloads::{self, names::*};
 use proclus_bench::{time_cpu_ms, time_gpu_ms, ExpTable, Options};
 use proclus_gpu::{gpu_fast_proclus, gpu_proclus};

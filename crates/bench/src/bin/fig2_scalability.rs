@@ -11,7 +11,7 @@
 #![allow(deprecated)] // exercises the legacy entry points deliberately
 
 use gpu_sim::DeviceConfig;
-use proclus::{
+use proclus_bench::runners::{
     fast_proclus, fast_proclus_par, fast_star_proclus, fast_star_proclus_par, proclus, proclus_par,
 };
 use proclus_bench::workloads::{self, names::*};

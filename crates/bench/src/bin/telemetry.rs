@@ -47,7 +47,7 @@ fn main() {
             .with_telemetry(true);
         let report = match backend {
             Backend::Cpu => proclus::run(&data, &config),
-            Backend::Gpu => {
+            Backend::Gpu | Backend::Sharded => {
                 let mut dev = Device::new(DeviceConfig::gtx_1660_ti());
                 proclus_gpu::run_on(&mut dev, &data, &config)
             }

@@ -19,6 +19,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod cli;
+pub mod runners;
 pub mod table;
 pub mod timing;
 pub mod workloads;

@@ -1,0 +1,49 @@
+//! Thin CPU-variant runners for the harnesses.
+//!
+//! The legacy per-variant free functions (`proclus`, `fast_proclus`, …)
+//! were removed from the `proclus` crate in favor of the unified
+//! [`proclus::run`] entry point over the `Backend` trait; the harnesses
+//! still want one-call-per-variant ergonomics, so the aliases live here.
+
+use proclus::{run, Algo, Clustering, Config, DataMatrix, Params, Result};
+
+fn cpu(data: &DataMatrix, params: &Params, algo: Algo, threads: usize) -> Result<Clustering> {
+    let config = Config::new(params.clone())
+        .with_algo(algo)
+        .with_threads(threads);
+    run(data, &config).map(|o| o.clusterings.into_iter().next().expect("one clustering"))
+}
+
+/// Sequential baseline PROCLUS via the unified entry point.
+pub fn proclus(data: &DataMatrix, params: &Params) -> Result<Clustering> {
+    cpu(data, params, Algo::Baseline, 0)
+}
+
+/// Sequential FAST-PROCLUS via the unified entry point.
+pub fn fast_proclus(data: &DataMatrix, params: &Params) -> Result<Clustering> {
+    cpu(data, params, Algo::Fast, 0)
+}
+
+/// Sequential FAST*-PROCLUS via the unified entry point.
+pub fn fast_star_proclus(data: &DataMatrix, params: &Params) -> Result<Clustering> {
+    cpu(data, params, Algo::FastStar, 0)
+}
+
+/// Multi-threaded baseline PROCLUS via the unified entry point.
+pub fn proclus_par(data: &DataMatrix, params: &Params, threads: usize) -> Result<Clustering> {
+    cpu(data, params, Algo::Baseline, threads)
+}
+
+/// Multi-threaded FAST-PROCLUS via the unified entry point.
+pub fn fast_proclus_par(data: &DataMatrix, params: &Params, threads: usize) -> Result<Clustering> {
+    cpu(data, params, Algo::Fast, threads)
+}
+
+/// Multi-threaded FAST*-PROCLUS via the unified entry point.
+pub fn fast_star_proclus_par(
+    data: &DataMatrix,
+    params: &Params,
+    threads: usize,
+) -> Result<Clustering> {
+    cpu(data, params, Algo::FastStar, threads)
+}

@@ -102,6 +102,8 @@ pub enum Command {
         threads: usize,
         /// Device preset (`gtx1660ti` | `rtx3090`) for the GPU backend.
         device: String,
+        /// Simulated device count for the sharded backend.
+        devices: usize,
         /// Seed.
         seed: u64,
         /// Skip min–max normalization.
@@ -173,11 +175,12 @@ cluster flags:
   --k K | LO..HI     number of clusters, or an inclusive sweep   (required)
   --l L              average subspace dims                        [5]
   --algo A           baseline|fast|fast-star                      [fast]
-  --backend B        cpu|gpu                                      [cpu]
+  --backend B        cpu|gpu|sharded                              [cpu]
   --threads T        CPU worker threads (0/1 = sequential)        [0]
   --engine E         alias expanding to --algo/--backend/--threads:
                      proclus|fast|fast-star|par-fast|gpu-proclus|gpu-fast|gpu-fast-star
   --device D         gtx1660ti|rtx3090 (GPU backend)              [gtx1660ti]
+  --devices N        simulated devices (sharded backend)          [1]
   --seed S           RNG seed                                     [42]
   --a A  --b B       PROCLUS sampling constants                   [100, 10]
   --header           input has a header row
@@ -229,6 +232,7 @@ impl Cli {
                 let mut backend = Backend::default();
                 let mut threads = 0usize;
                 let mut device = "gtx1660ti".to_string();
+                let mut devices = 1usize;
                 let mut seed = 42u64;
                 let mut no_normalize = false;
                 let mut header = false;
@@ -251,8 +255,9 @@ impl Cli {
                         }
                         "--backend" => {
                             let v = take_value(&mut args, "--backend")?;
-                            backend = Backend::parse(&v)
-                                .ok_or_else(|| format!("unknown backend `{v}` (cpu | gpu)"))?;
+                            backend = Backend::parse(&v).ok_or_else(|| {
+                                format!("unknown backend `{v}` (cpu | gpu | sharded)")
+                            })?;
                         }
                         "--threads" => {
                             threads = parse_num(take_value(&mut args, "--threads")?, "--threads")?;
@@ -266,6 +271,12 @@ impl Cli {
                             chrome_trace = Some(take_value(&mut args, "--chrome-trace")?);
                         }
                         "--device" => device = take_value(&mut args, "--device")?,
+                        "--devices" => {
+                            devices = parse_num(take_value(&mut args, "--devices")?, "--devices")?;
+                            if devices == 0 {
+                                return Err("--devices must be at least 1".to_string());
+                            }
+                        }
                         "--seed" => seed = parse_num(take_value(&mut args, "--seed")?, "--seed")?,
                         "--a" => a = parse_num(take_value(&mut args, "--a")?, "--a")?,
                         "--b" => b = parse_num(take_value(&mut args, "--b")?, "--b")?,
@@ -295,6 +306,7 @@ impl Cli {
                     backend,
                     threads,
                     device,
+                    devices,
                     seed,
                     no_normalize,
                     header,
@@ -465,6 +477,33 @@ mod tests {
             }
             _ => panic!("wrong command"),
         }
+    }
+
+    #[test]
+    fn cluster_sharded_backend_and_devices() {
+        let cli = parse(&[
+            "cluster",
+            "x.csv",
+            "--k",
+            "3",
+            "--backend",
+            "sharded",
+            "--devices",
+            "4",
+        ])
+        .unwrap();
+        match cli.command {
+            Command::Cluster {
+                backend, devices, ..
+            } => {
+                assert_eq!(backend, Backend::Sharded);
+                assert_eq!(devices, 4);
+            }
+            _ => panic!("wrong command"),
+        }
+        assert!(parse(&["cluster", "x.csv", "--k", "3", "--devices", "0"])
+            .unwrap_err()
+            .contains("--devices"));
     }
 
     #[test]

@@ -43,9 +43,9 @@ fn device_for(name: &str) -> Result<DeviceConfig, String> {
 /// `DEVICE`.
 fn exit_for(e: &ProclusError) -> i32 {
     match e {
-        ProclusError::InvalidParams { .. } | ProclusError::InvalidData { .. } => {
-            crate::exit::INVALID
-        }
+        ProclusError::InvalidParams { .. }
+        | ProclusError::InvalidData { .. }
+        | ProclusError::DimensionalityExceeded { .. } => crate::exit::INVALID,
         ProclusError::Unsupported { .. } | ProclusError::Device { .. } => crate::exit::DEVICE,
         ProclusError::Cancelled { .. } => crate::exit::CANCELLED,
     }
@@ -66,7 +66,7 @@ fn run_config(
         Backend::Cpu => proclus::run(data, config)
             .map(|o| (o, None, Vec::new()))
             .map_err(|e| (exit_for(&e), e.to_string())),
-        Backend::Gpu => {
+        Backend::Gpu | Backend::Sharded => {
             let cfg = device_for(device).map_err(|e| (crate::exit::DEVICE, e))?;
             let mut dev = Device::new(cfg);
             dev.set_sanitizer(sanitize);
@@ -120,6 +120,7 @@ pub fn execute(cli: &Cli) -> Result<String, (i32, String)> {
             backend,
             threads,
             device,
+            devices,
             seed,
             no_normalize,
             header,
@@ -142,7 +143,13 @@ pub fn execute(cli: &Cli) -> Result<String, (i32, String)> {
             let mut outcomes = Vec::new();
             let mut all_hazards = Vec::new();
             for k in k.values() {
-                let params = Params::new(k, *l).with_a(*a).with_b(*b).with_seed(*seed);
+                let n_devices =
+                    std::num::NonZeroUsize::new((*devices).max(1)).expect("max(1) is nonzero");
+                let params = Params::new(k, *l)
+                    .with_a(*a)
+                    .with_b(*b)
+                    .with_seed(*seed)
+                    .with_devices(n_devices);
                 let config = Config::new(params)
                     .with_algo(*algo)
                     .with_backend(*backend)

@@ -4,6 +4,7 @@
 
 use proclus_telemetry::{counters, Recorder};
 
+use crate::backend::CpuBackend;
 use crate::cancel::CancelToken;
 use crate::dataset::DataMatrix;
 use crate::driver::{run_full, XEngine};
@@ -46,59 +47,35 @@ pub(crate) fn run_baseline(
     rec: &dyn Recorder,
     cancel: &CancelToken,
 ) -> Result<Clustering> {
-    run_full(data, params, exec, &mut BaselineEngine, rec, cancel)
-}
-
-/// Runs sequential baseline PROCLUS.
-///
-/// Deprecated shim: use [`crate::run`] with
-/// [`Algo::Baseline`](crate::Algo::Baseline).
-///
-/// ```
-/// use proclus::{Algo, Config, DataMatrix, Params};
-/// let rows: Vec<Vec<f32>> = (0..200)
-///     .map(|i| {
-///         let c = (i % 2) as f32 * 10.0;
-///         vec![c + (i % 7) as f32 * 0.01, (i % 13) as f32, c + 0.5]
-///     })
-///     .collect();
-/// let data = DataMatrix::from_rows(&rows).unwrap();
-/// let config = Config::new(Params::new(2, 2).with_a(20).with_b(5)).with_algo(Algo::Baseline);
-/// let result = proclus::run(&data, &config).unwrap();
-/// assert_eq!(result.clustering().k(), 2);
-/// ```
-#[deprecated(since = "0.1.0", note = "use proclus::run with Algo::Baseline")]
-pub fn proclus(data: &DataMatrix, params: &Params) -> Result<Clustering> {
-    run_baseline(
-        data,
-        params,
-        &Executor::Sequential,
-        &proclus_telemetry::NullRecorder,
-        &CancelToken::new(),
-    )
-}
-
-/// Runs baseline PROCLUS with its hot loops forked across `threads` OS
-/// threads (the paper's multi-core OpenMP comparison, §5).
-///
-/// Deprecated shim: use [`crate::run`] with
-/// [`Config::with_threads`](crate::Config::with_threads).
-#[deprecated(since = "0.1.0", note = "use proclus::run with Config::with_threads")]
-pub fn proclus_par(data: &DataMatrix, params: &Params, threads: usize) -> Result<Clustering> {
-    run_baseline(
-        data,
-        params,
-        &Executor::Parallel { threads },
-        &proclus_telemetry::NullRecorder,
-        &CancelToken::new(),
-    )
+    params.validate(data)?;
+    let mut backend = CpuBackend::with_engine(data, *exec, Box::new(BaselineEngine));
+    run_full(&mut backend, params, rec, cancel)
 }
 
 #[cfg(test)]
-#[allow(deprecated)] // the shims must keep working until removed
 mod tests {
     use super::*;
     use crate::result::OUTLIER;
+
+    fn proclus(data: &DataMatrix, params: &Params) -> Result<Clustering> {
+        run_baseline(
+            data,
+            params,
+            &Executor::Sequential,
+            &proclus_telemetry::NullRecorder,
+            &CancelToken::new(),
+        )
+    }
+
+    fn proclus_par(data: &DataMatrix, params: &Params, threads: usize) -> Result<Clustering> {
+        run_baseline(
+            data,
+            params,
+            &Executor::Parallel { threads },
+            &proclus_telemetry::NullRecorder,
+            &CancelToken::new(),
+        )
+    }
 
     /// Two well-separated Gaussian-ish blobs in dims {0,1} of 4-D data.
     fn blob_data(n: usize) -> DataMatrix {

@@ -58,6 +58,11 @@ pub enum Backend {
     /// through `proclus_gpu::run` / `run_on`; [`crate::run`] reports
     /// [`crate::ProclusError::Unsupported`] for it.
     Gpu,
+    /// Points partitioned across [`crate::Params::devices`] simulated GPU
+    /// devices with medoid broadcast and phase-boundary reductions. Only
+    /// available through `proclus_gpu::run` / `run_on`;
+    /// [`crate::run`] reports [`crate::ProclusError::Unsupported`] for it.
+    Sharded,
 }
 
 impl Backend {
@@ -66,6 +71,7 @@ impl Backend {
         match self {
             Backend::Cpu => "cpu",
             Backend::Gpu => "gpu",
+            Backend::Sharded => "sharded",
         }
     }
 
@@ -74,6 +80,7 @@ impl Backend {
         match s {
             "cpu" => Some(Backend::Cpu),
             "gpu" => Some(Backend::Gpu),
+            "sharded" | "multi-gpu" | "multigpu" => Some(Backend::Sharded),
             _ => None,
         }
     }
@@ -220,9 +227,10 @@ mod tests {
         }
         assert_eq!(Algo::parse("fast-star"), Some(Algo::FastStar));
         assert_eq!(Algo::parse("nope"), None);
-        for b in [Backend::Cpu, Backend::Gpu] {
+        for b in [Backend::Cpu, Backend::Gpu, Backend::Sharded] {
             assert_eq!(Backend::parse(b.name()), Some(b));
         }
+        assert_eq!(Backend::parse("multi-gpu"), Some(Backend::Sharded));
         assert_eq!(Backend::parse("tpu"), None);
     }
 }

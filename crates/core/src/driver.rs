@@ -1,39 +1,43 @@
-//! The medoid-search driver shared by every CPU variant.
+//! The backend-generic medoid-search driver.
 //!
-//! All PROCLUS variants differ *only* in how the averaged per-dimension
-//! distance matrix `X` (and the sphere sizes `|L_i|`) are produced each
-//! iteration — recomputed from scratch (baseline), served from the
-//! `Dist`/`H` caches (FAST, §3), or from the slot-local caches (FAST*,
-//! §3.2). Everything else — dimension selection, assignment, evaluation,
-//! bad-medoid replacement, termination, refinement — is identical, so it
-//! lives here once. That is also what guarantees the seed-for-seed
-//! equivalence the paper asserts ("all our results are fully correct with
-//! respect to the PROCLUS definition", §4.1).
+//! All PROCLUS variants share the control flow of Alg. 1 and differ only in
+//! *where the per-phase numerics run* — on the host (every CPU variant,
+//! which additionally differ in how `X` is produced: recomputed from
+//! scratch for the baseline, served from the `Dist`/`H` caches for FAST
+//! §3, or from the slot-local caches for FAST* §3.2), on one simulated
+//! device, or partitioned across several. The decision logic — dimension
+//! picking, bad-medoid selection, replacement draws, cost comparison,
+//! termination — lives here once, on top of the [`Backend`] phase
+//! primitives, so for equal seeds every backend visits the same medoid
+//! sequence. That is what guarantees the seed-for-seed equivalence the
+//! paper asserts ("all our results are fully correct with respect to the
+//! PROCLUS definition", §4.1).
 //!
 //! The driver is also where the phase telemetry is recorded: every phase of
 //! Alg. 1 runs inside a span, and the algorithm counters (distances,
 //! cache hits, `ΔL` sizes, reassignments, replacements) are attributed to
 //! the innermost open span. Counters are computed from closed-form sizes at
 //! the orchestration level — never inside the parallel hot loops — so
-//! instrumentation cannot perturb the seeded search path.
+//! instrumentation cannot perturb the seeded search path. Backends with a
+//! simulated clock ([`Backend::clock_us`]) get every numeric phase span
+//! annotated with the simulated microseconds it consumed.
 
-use proclus_telemetry::{counters, span, Recorder};
+use proclus_telemetry::{attrs, counters, span, Recorder};
 
+use crate::backend::Backend;
 use crate::cancel::CancelToken;
 use crate::dataset::DataMatrix;
 use crate::error::Result;
+use crate::multi_param::{cancel_for, derive_params, warm_start_mcur, ReuseLevel, Setting};
 use crate::par::Executor;
 use crate::params::Params;
-use crate::phases::assign::{assign_points, cluster_sizes};
 use crate::phases::bad_medoids::{compute_bad_medoids, replace_bad_medoids};
-use crate::phases::evaluate::evaluate_clusters;
-use crate::phases::find_dimensions::find_dimensions;
-use crate::phases::initialization::{greedy_select, sample_data_prime};
-use crate::phases::refinement::{remove_outliers, x_from_clusters};
+use crate::phases::initialization::sample_data_prime;
 use crate::result::Clustering;
 use crate::rng::ProclusRng;
 
-/// Strategy object producing `X` and `|L|` for the current medoids.
+/// Strategy object producing `X` and `|L|` for the current medoids — how
+/// the CPU backend varies per algorithm.
 ///
 /// `m_data` holds the data indices of all potential medoids `M`; `mcur`
 /// holds the current medoids as indices into `m_data` (the paper's `MIdx`).
@@ -48,25 +52,59 @@ pub(crate) trait XEngine {
     ) -> (Vec<f64>, Vec<usize>);
 }
 
-/// Runs the initialization phase: sample `Data'` and greedily select `M`.
-/// Returns the data indices of the potential medoids.
-pub(crate) fn initialization_phase(
-    data: &DataMatrix,
-    params: &Params,
-    rng: &mut ProclusRng,
-    exec: &Executor,
+/// Opens a phase span, runs `f` against the backend, and annotates the
+/// span with the simulated device time the phase consumed (backends
+/// without a clock get no annotation).
+fn phase<T, B: Backend + ?Sized>(
+    backend: &mut B,
     rec: &dyn Recorder,
-) -> Vec<usize> {
-    let _init = span(rec, "initialization");
-    let sample = sample_data_prime(rng, data.n(), params.sample_size(data.n()));
-    let m_count = params.num_potential_medoids(data.n());
-    // Greedy farthest-point selection evaluates |S| distances per pick
-    // after the first (one fold pass over all candidates).
+    name: &'static str,
+    f: impl FnOnce(&mut B) -> Result<T>,
+) -> Result<T> {
+    let g = span(rec, name);
+    let t0 = backend.clock_us();
+    let out = f(backend)?;
+    if let (Some(a), Some(b)) = (t0, backend.clock_us()) {
+        rec.annotate(g.id(), attrs::SIM_US, b - a);
+    }
+    Ok(out)
+}
+
+/// Runs the greedy farthest-point pass inside an `initialization` span,
+/// recording the closed-form distance count (|M|−1 picks, each evaluating
+/// |S| candidate distances). Grid runners with a shared sample call this
+/// directly; single runs go through [`initialization_phase`].
+pub fn greedy_phase<B: Backend + ?Sized>(
+    backend: &mut B,
+    sample: &[usize],
+    count: usize,
+    rng: &mut ProclusRng,
+    rec: &dyn Recorder,
+) -> Result<Vec<usize>> {
+    let g = span(rec, "initialization");
+    let t0 = backend.clock_us();
     rec.add(
         counters::DISTANCES_COMPUTED,
-        (m_count.saturating_sub(1) * sample.len()) as u64,
+        (count.saturating_sub(1) * sample.len()) as u64,
     );
-    greedy_select(data, &sample, m_count, rng, exec)
+    let m = backend.greedy(sample, count, rng, rec)?;
+    if let (Some(a), Some(b)) = (t0, backend.clock_us()) {
+        rec.annotate(g.id(), attrs::SIM_US, b - a);
+    }
+    Ok(m)
+}
+
+/// Runs the initialization phase: sample `Data'` and greedily select `M`.
+/// Returns the data indices of the potential medoids.
+pub fn initialization_phase<B: Backend + ?Sized>(
+    backend: &mut B,
+    params: &Params,
+    rng: &mut ProclusRng,
+    rec: &dyn Recorder,
+) -> Result<Vec<usize>> {
+    let n = backend.n();
+    let sample = sample_data_prime(rng, n, params.sample_size(n));
+    greedy_phase(backend, &sample, params.num_potential_medoids(n), rng, rec)
 }
 
 /// Runs the iterative + refinement phases given an already-selected `M`.
@@ -78,21 +116,21 @@ pub(crate) fn initialization_phase(
 ///
 /// `cancel` is checked cooperatively at phase boundaries (top of every
 /// iteration and before refinement); a tripped token aborts with
-/// [`crate::ProclusError::Cancelled`] and no partial result.
+/// [`crate::ProclusError::Cancelled`] and no partial result. Backends
+/// whose phase primitives are internally long-running poll their own
+/// token clone as well (see the [`Backend`] contract).
 #[allow(clippy::too_many_arguments)]
-pub(crate) fn run_core<E: XEngine>(
-    data: &DataMatrix,
+pub fn run_core<B: Backend + ?Sized>(
+    backend: &mut B,
     params: &Params,
-    exec: &Executor,
     rng: &mut ProclusRng,
-    engine: &mut E,
     m_data: &[usize],
     init_mcur: Option<Vec<usize>>,
     rec: &dyn Recorder,
     cancel: &CancelToken,
 ) -> Result<(Clustering, Vec<usize>)> {
     let k = params.k;
-    let (n, d) = (data.n(), data.d());
+    let n = backend.n();
     let m_len = m_data.len();
 
     let mut mcur = match init_mcur {
@@ -105,56 +143,53 @@ pub(crate) fn run_core<E: XEngine>(
 
     let mut best_cost = f64::INFINITY;
     let mut best_mcur = mcur.clone();
-    let mut best_labels: Vec<i32> = Vec::new();
+    let mut best_sizes: Vec<usize> = Vec::new();
     let mut itr = 0usize;
     let mut total = 0usize;
     let mut converged = false;
     // Previous iteration's assignment, for the points_reassigned counter
-    // (only maintained when a real recorder is attached).
-    let mut prev_labels: Vec<i32> = Vec::new();
+    // (only materialized when a real recorder is attached).
+    let mut prev_labels: Option<Vec<i32>> = None;
 
     // Iterative phase (Alg. 1 lines 5–14).
     loop {
         cancel.check()?;
-        let _iter = span(rec, "iteration");
+        let iter_span = span(rec, "iteration");
         let medoids: Vec<usize> = mcur.iter().map(|&mi| m_data[mi]).collect();
-        let (x, _lsz) = {
-            let _ph = span(rec, "compute_l");
-            engine.x_matrix(data, m_data, &mcur, exec, rec)
-        };
-        let dims = {
-            let _ph = span(rec, "find_dimensions");
-            find_dimensions(&x, k, d, params.l)
-        };
-        let labels = {
-            let _ph = span(rec, "assign_points");
+
+        phase(backend, rec, "compute_l", |b| {
+            b.compute_x(m_data, &mcur, rec)
+        })?;
+        let dims = phase(backend, rec, "find_dimensions", |b| {
+            b.find_dims(k, params.l, rec)
+        })?;
+        let sizes = phase(backend, rec, "assign_points", |b| {
             rec.add(counters::SEGMENTAL_DISTANCES, (n * k) as u64);
-            assign_points(data, &medoids, &dims, exec)
-        };
-        if rec.enabled() {
-            let changed = if prev_labels.is_empty() {
-                n
-            } else {
-                labels
-                    .iter()
-                    .zip(&prev_labels)
-                    .filter(|(a, b)| a != b)
-                    .count()
-            };
-            rec.add(counters::POINTS_REASSIGNED, changed as u64);
-            prev_labels = labels.clone();
-        }
-        let cost = {
-            let _ph = span(rec, "evaluate_clusters");
-            evaluate_clusters(data, &labels, &dims, exec)
-        };
+            b.assign(&medoids, &dims, rec)
+        })?;
+        let cost = phase(backend, rec, "evaluate_clusters", |b| {
+            b.evaluate(&dims, &sizes, rec)
+        })?;
         total += 1;
         rec.add(counters::ITERATIONS, 1);
+
+        // Label churn: a backend readback only happens when telemetry is
+        // on (the first iteration assigns all n points).
+        if rec.enabled() {
+            let labels = backend.labels()?;
+            let changed = match &prev_labels {
+                None => n as u64,
+                Some(prev) => prev.iter().zip(&labels).filter(|(a, b)| a != b).count() as u64,
+            };
+            rec.add(counters::POINTS_REASSIGNED, changed);
+            prev_labels = Some(labels);
+        }
 
         if cost < best_cost {
             best_cost = cost;
             best_mcur = mcur.clone();
-            best_labels = labels;
+            best_sizes = sizes;
+            backend.save_best()?;
             itr = 0;
         } else {
             itr += 1;
@@ -168,39 +203,36 @@ pub(crate) fn run_core<E: XEngine>(
             break;
         }
 
-        let _ph = span(rec, "bad_medoids");
-        let best_sizes = cluster_sizes(&best_labels, k);
+        let g = span(rec, "bad_medoids");
         let bad = compute_bad_medoids(&best_sizes, n, params.min_dev, params.bad_medoid_rule);
         rec.add(counters::MEDOIDS_REPLACED, bad.len() as u64);
         mcur = replace_bad_medoids(&best_mcur, &bad, m_len, rng);
+        drop(g);
+        drop(iter_span);
     }
 
     // Refinement phase (Alg. 1 lines 15–19): L ← CBest.
     cancel.check()?;
-    let _refine = span(rec, "refinement");
+    let refine_span = span(rec, "refinement");
     let medoids: Vec<usize> = best_mcur.iter().map(|&mi| m_data[mi]).collect();
-    let (x, _) = {
-        let _ph = span(rec, "compute_l");
-        x_from_clusters(data, &medoids, &best_labels, exec)
-    };
-    let dims = {
-        let _ph = span(rec, "find_dimensions");
-        find_dimensions(&x, k, d, params.l)
-    };
-    let labels = {
-        let _ph = span(rec, "assign_points");
+
+    phase(backend, rec, "compute_l", |b| b.x_from_best(&medoids, rec))?;
+    let dims = phase(backend, rec, "find_dimensions", |b| {
+        b.find_dims(k, params.l, rec)
+    })?;
+    let sizes = phase(backend, rec, "assign_points", |b| {
         rec.add(counters::SEGMENTAL_DISTANCES, (n * k) as u64);
-        assign_points(data, &medoids, &dims, exec)
-    };
-    let refined_cost = {
-        let _ph = span(rec, "evaluate_clusters");
-        evaluate_clusters(data, &labels, &dims, exec)
-    };
-    let labels = {
-        let _ph = span(rec, "remove_outliers");
+        b.assign(&medoids, &dims, rec)
+    })?;
+    let refined_cost = phase(backend, rec, "evaluate_clusters", |b| {
+        b.evaluate(&dims, &sizes, rec)
+    })?;
+    phase(backend, rec, "remove_outliers", |b| {
         rec.add(counters::SEGMENTAL_DISTANCES, (n * k) as u64);
-        remove_outliers(data, &labels, &medoids, &dims, exec)
-    };
+        b.remove_outliers(&medoids, &dims, rec)
+    })?;
+    let labels = backend.labels()?;
+    drop(refine_span);
 
     Ok((
         Clustering {
@@ -216,26 +248,148 @@ pub(crate) fn run_core<E: XEngine>(
     ))
 }
 
-/// Convenience: full run (init + iterate + refine) with a given engine,
-/// wrapped in one `run` span. Every public entry point — `run`, the grid
-/// runners, and the deprecated free-function shims — funnels through here
-/// (or through [`run_core`] directly), so the cancellation discipline is
-/// uniform across one-shot and served paths.
-pub(crate) fn run_full<E: XEngine>(
-    data: &DataMatrix,
+/// Convenience: full run (init + iterate + refine) against a backend,
+/// wrapped in one `run` span. Every public entry point — `proclus::run`,
+/// `proclus_gpu::run_on`, the grid runners — funnels through here (or
+/// through [`run_core`] directly), so the cancellation discipline is
+/// uniform across one-shot and served paths. Parameter validation happens
+/// in the entry points, *before* a backend is built.
+pub fn run_full<B: Backend + ?Sized>(
+    backend: &mut B,
     params: &Params,
-    exec: &Executor,
-    engine: &mut E,
     rec: &dyn Recorder,
     cancel: &CancelToken,
 ) -> Result<Clustering> {
-    params.validate(data)?;
     cancel.check()?;
-    let _run = span(rec, "run");
+    let run_span = span(rec, "run");
+    let t0 = backend.clock_us();
     let mut rng = ProclusRng::new(params.seed);
-    let m_data = initialization_phase(data, params, &mut rng, exec, rec);
-    run_core(
-        data, params, exec, &mut rng, engine, &m_data, None, rec, cancel,
-    )
-    .map(|(c, _)| c)
+    let out = initialization_phase(backend, params, &mut rng, rec).and_then(|m_data| {
+        run_core(backend, params, &mut rng, &m_data, None, rec, cancel).map(|(c, _)| c)
+    });
+    if let (Some(a), Some(b)) = (t0, backend.clock_us()) {
+        rec.annotate(run_span.id(), attrs::SIM_US, b - a);
+    }
+    out
+}
+
+/// The shared-state grid loop for reuse levels ≥ 1 (§3.1): one sample `S`
+/// (sized for the largest valid `k`), one backend whose caches persist
+/// across settings, one greedy pass at level ≥ 2, warm starts at level 3.
+///
+/// `validity[i]` is setting `i`'s pre-computed validation outcome (CPU and
+/// GPU validate differently); invalid settings are skipped with their error
+/// in the result slot and consume no RNG draws. Every setting — failed
+/// ones included — is recorded as its own root `run` span so span `i`
+/// always belongs to setting `i`. The shared greedy pass, when present, is
+/// a free-standing `initialization` span before the first run (batch
+/// overhead attributable to no single setting). `cancels` is either empty
+/// or one token per setting.
+#[allow(clippy::too_many_arguments)]
+pub fn grid_core_shared<B: Backend + ?Sized>(
+    backend: &mut B,
+    base: &Params,
+    settings: &[Setting],
+    level: ReuseLevel,
+    validity: &[Result<()>],
+    rng: &mut ProclusRng,
+    rec: &dyn Recorder,
+    cancels: &[CancelToken],
+) -> Vec<Result<Clustering>> {
+    debug_assert!(level >= ReuseLevel::SharedCache);
+    debug_assert_eq!(validity.len(), settings.len());
+    let mut results: Vec<Result<Clustering>> = Vec::with_capacity(settings.len());
+
+    let k_max = settings
+        .iter()
+        .zip(validity)
+        .filter(|(_, v)| v.is_ok())
+        .map(|(s, _)| s.k)
+        .max();
+    let Some(k_max) = k_max else {
+        // Nothing runnable: report per-setting errors, touch no RNG.
+        for v in validity {
+            let _run = span(rec, "run");
+            results.push(match v {
+                Err(e) => Err(e.clone()),
+                Ok(()) => Err(crate::error::ProclusError::unsupported(
+                    "grid with no valid settings",
+                )),
+            });
+        }
+        return results;
+    };
+    let n = backend.n();
+    let sample = sample_data_prime(rng, n, (base.a * k_max).min(n));
+
+    // Level ≥ 2: one greedy pass for the largest k; constant |M| = B·k_max.
+    let shared_m: Option<Vec<usize>> = if level >= ReuseLevel::SharedGreedy {
+        let count = (base.b * k_max).min(sample.len());
+        match greedy_phase(backend, &sample, count, rng, rec) {
+            Ok(m) => Some(m),
+            Err(e) => {
+                // A failed shared pass fails every runnable setting.
+                for v in validity {
+                    let _run = span(rec, "run");
+                    results.push(match v {
+                        Err(ve) => Err(ve.clone()),
+                        Ok(()) => Err(e.clone()),
+                    });
+                }
+                return results;
+            }
+        }
+    } else {
+        None
+    };
+
+    let mut prev_best_mcur: Option<Vec<usize>> = None;
+    for (i, &s) in settings.iter().enumerate() {
+        let run_span = span(rec, "run");
+        if let Err(e) = &validity[i] {
+            results.push(Err(e.clone()));
+            continue;
+        }
+        let cancel = cancel_for(cancels, i);
+        if let Err(e) = cancel.check() {
+            results.push(Err(e));
+            continue;
+        }
+        let t0 = backend.clock_us();
+        let params = derive_params(base, s);
+        let m_data: Vec<usize> = match &shared_m {
+            Some(m) => m.clone(),
+            None => {
+                let count = (base.b * s.k).min(sample.len());
+                match greedy_phase(backend, &sample, count, rng, rec) {
+                    Ok(m) => m,
+                    Err(e) => {
+                        results.push(Err(e));
+                        continue;
+                    }
+                }
+            }
+        };
+
+        // Level 3: seed MCur from the previous setting's best medoids.
+        let init_mcur = if level >= ReuseLevel::WarmStart {
+            prev_best_mcur
+                .as_ref()
+                .map(|prev| warm_start_mcur(prev, s.k, m_data.len(), rng))
+        } else {
+            None
+        };
+
+        match run_core(backend, &params, rng, &m_data, init_mcur, rec, &cancel) {
+            Ok((c, best_mcur)) => {
+                prev_best_mcur = Some(best_mcur);
+                results.push(Ok(c));
+            }
+            Err(e) => results.push(Err(e)),
+        }
+        if let (Some(a), Some(b)) = (t0, backend.clock_us()) {
+            rec.annotate(run_span.id(), attrs::SIM_US, b - a);
+        }
+    }
+    results
 }

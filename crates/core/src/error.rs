@@ -13,6 +13,15 @@ pub enum ProclusError {
         /// Which constraint was violated and with what values.
         reason: String,
     },
+    /// `l` exceeds the dimensionality of the data the parameters target —
+    /// caught at build time by [`crate::ParamsBuilder`] (via its `dims`
+    /// hint or `build_for`) instead of deep inside the run.
+    DimensionalityExceeded {
+        /// Requested average number of dimensions per cluster.
+        l: usize,
+        /// Dimensionality of the dataset (or the builder's declared hint).
+        d: usize,
+    },
     /// The dataset is unusable (empty, zero-dimensional, or non-finite).
     InvalidData {
         /// What is wrong with the data.
@@ -71,6 +80,10 @@ impl fmt::Display for ProclusError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ProclusError::InvalidParams { reason } => write!(f, "invalid parameters: {reason}"),
+            ProclusError::DimensionalityExceeded { l, d } => write!(
+                f,
+                "invalid parameters: l = {l} exceeds the data dimensionality d = {d}"
+            ),
             ProclusError::InvalidData { reason } => write!(f, "invalid data: {reason}"),
             ProclusError::Unsupported { reason } => write!(f, "unsupported: {reason}"),
             ProclusError::Device { reason } => write!(f, "device error: {reason}"),

@@ -6,6 +6,7 @@ use std::collections::HashMap;
 
 use proclus_telemetry::{counters, Recorder};
 
+use crate::backend::CpuBackend;
 use crate::cancel::CancelToken;
 use crate::dataset::DataMatrix;
 use crate::distance::euclidean;
@@ -304,47 +305,46 @@ pub(crate) fn run_fast(
     rec: &dyn Recorder,
     cancel: &CancelToken,
 ) -> Result<Clustering> {
-    run_full(data, params, exec, &mut FastEngine::new(data), rec, cancel)
-}
-
-/// Runs sequential FAST-PROCLUS (§3): identical output to the baseline
-/// for the same seed, but with distances computed once per potential medoid
-/// and `H` maintained incrementally.
-///
-/// Deprecated shim: use [`crate::run`] with
-/// [`Algo::Fast`](crate::Algo::Fast) (the default).
-#[deprecated(since = "0.1.0", note = "use proclus::run with Algo::Fast")]
-pub fn fast_proclus(data: &DataMatrix, params: &Params) -> Result<Clustering> {
-    run_fast(
-        data,
-        params,
-        &Executor::Sequential,
-        &proclus_telemetry::NullRecorder,
-        &CancelToken::new(),
-    )
-}
-
-/// Multi-core FAST-PROCLUS.
-///
-/// Deprecated shim: use [`crate::run`] with
-/// [`Config::with_threads`](crate::Config::with_threads).
-#[deprecated(since = "0.1.0", note = "use proclus::run with Config::with_threads")]
-pub fn fast_proclus_par(data: &DataMatrix, params: &Params, threads: usize) -> Result<Clustering> {
-    run_fast(
-        data,
-        params,
-        &Executor::Parallel { threads },
-        &proclus_telemetry::NullRecorder,
-        &CancelToken::new(),
-    )
+    params.validate(data)?;
+    let mut backend = CpuBackend::with_engine(data, *exec, Box::new(FastEngine::new(data)));
+    run_full(&mut backend, params, rec, cancel)
 }
 
 #[cfg(test)]
-#[allow(deprecated)] // the shims must keep working until removed
 mod tests {
     use super::*;
-    use crate::baseline::proclus;
+    use crate::baseline::run_baseline;
     use crate::phases::compute_l::{compute_x_baseline, medoid_deltas};
+
+    fn proclus(data: &DataMatrix, params: &Params) -> Result<Clustering> {
+        run_baseline(
+            data,
+            params,
+            &Executor::Sequential,
+            &proclus_telemetry::NullRecorder,
+            &CancelToken::new(),
+        )
+    }
+
+    fn fast_proclus(data: &DataMatrix, params: &Params) -> Result<Clustering> {
+        run_fast(
+            data,
+            params,
+            &Executor::Sequential,
+            &proclus_telemetry::NullRecorder,
+            &CancelToken::new(),
+        )
+    }
+
+    fn fast_proclus_par(data: &DataMatrix, params: &Params, threads: usize) -> Result<Clustering> {
+        run_fast(
+            data,
+            params,
+            &Executor::Parallel { threads },
+            &proclus_telemetry::NullRecorder,
+            &CancelToken::new(),
+        )
+    }
 
     fn blob_data(n: usize) -> DataMatrix {
         let rows: Vec<Vec<f32>> = (0..n)

@@ -8,6 +8,7 @@
 
 use proclus_telemetry::{counters, Recorder};
 
+use crate::backend::CpuBackend;
 use crate::cancel::CancelToken;
 use crate::dataset::DataMatrix;
 use crate::driver::{run_full, XEngine};
@@ -132,58 +133,57 @@ pub(crate) fn run_fast_star(
     rec: &dyn Recorder,
     cancel: &CancelToken,
 ) -> Result<Clustering> {
-    run_full(
-        data,
-        params,
-        exec,
-        &mut FastStarEngine::new(data, params.k),
-        rec,
-        cancel,
-    )
-}
-
-/// Runs sequential FAST*-PROCLUS (§3.2): same output as the baseline and
-/// FAST for the same seed, with `O(k·n)` instead of `O(B·k·n)` cache space
-/// at the cost of recomputing distance rows for replaced medoids.
-///
-/// Deprecated shim: use [`crate::run`] with
-/// [`Algo::FastStar`](crate::Algo::FastStar).
-#[deprecated(since = "0.1.0", note = "use proclus::run with Algo::FastStar")]
-pub fn fast_star_proclus(data: &DataMatrix, params: &Params) -> Result<Clustering> {
-    run_fast_star(
-        data,
-        params,
-        &Executor::Sequential,
-        &proclus_telemetry::NullRecorder,
-        &CancelToken::new(),
-    )
-}
-
-/// Multi-core FAST*-PROCLUS.
-///
-/// Deprecated shim: use [`crate::run`] with
-/// [`Config::with_threads`](crate::Config::with_threads).
-#[deprecated(since = "0.1.0", note = "use proclus::run with Config::with_threads")]
-pub fn fast_star_proclus_par(
-    data: &DataMatrix,
-    params: &Params,
-    threads: usize,
-) -> Result<Clustering> {
-    run_fast_star(
-        data,
-        params,
-        &Executor::Parallel { threads },
-        &proclus_telemetry::NullRecorder,
-        &CancelToken::new(),
-    )
+    params.validate(data)?;
+    let mut backend =
+        CpuBackend::with_engine(data, *exec, Box::new(FastStarEngine::new(data, params.k)));
+    run_full(&mut backend, params, rec, cancel)
 }
 
 #[cfg(test)]
-#[allow(deprecated)] // the shims must keep working until removed
 mod tests {
     use super::*;
-    use crate::baseline::proclus;
-    use crate::fast::{fast_proclus, DistCache};
+    use crate::baseline::run_baseline;
+    use crate::fast::{run_fast, DistCache};
+
+    fn run_seq(
+        f: impl Fn(&DataMatrix, &Params, &Executor, &dyn Recorder, &CancelToken) -> Result<Clustering>,
+        data: &DataMatrix,
+        params: &Params,
+        threads: usize,
+    ) -> Result<Clustering> {
+        let exec = if threads > 1 {
+            Executor::Parallel { threads }
+        } else {
+            Executor::Sequential
+        };
+        f(
+            data,
+            params,
+            &exec,
+            &proclus_telemetry::NullRecorder,
+            &CancelToken::new(),
+        )
+    }
+
+    fn proclus(data: &DataMatrix, params: &Params) -> Result<Clustering> {
+        run_seq(run_baseline, data, params, 1)
+    }
+
+    fn fast_proclus(data: &DataMatrix, params: &Params) -> Result<Clustering> {
+        run_seq(run_fast, data, params, 1)
+    }
+
+    fn fast_star_proclus(data: &DataMatrix, params: &Params) -> Result<Clustering> {
+        run_seq(run_fast_star, data, params, 1)
+    }
+
+    fn fast_star_proclus_par(
+        data: &DataMatrix,
+        params: &Params,
+        threads: usize,
+    ) -> Result<Clustering> {
+        run_seq(run_fast_star, data, params, threads)
+    }
 
     fn blob_data(n: usize) -> DataMatrix {
         let rows: Vec<Vec<f32>> = (0..n)

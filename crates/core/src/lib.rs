@@ -56,6 +56,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod backend;
 pub mod baseline;
 pub mod cancel;
 pub mod config;
@@ -79,16 +80,10 @@ mod run;
 /// [`telemetry::Telemetry`], counter names, and the report exporters.
 pub use proclus_telemetry as telemetry;
 
-#[allow(deprecated)]
-pub use baseline::{proclus, proclus_par};
 pub use cancel::CancelToken;
 pub use config::{Algo, Backend, Config, Grid, RunOutput};
 pub use dataset::DataMatrix;
 pub use error::{ProclusError, Result};
-#[allow(deprecated)]
-pub use fast::{fast_proclus, fast_proclus_par};
-#[allow(deprecated)]
-pub use fast_star::{fast_star_proclus, fast_star_proclus_par};
 pub use multi_param::{
     default_grid, fast_proclus_multi, fast_proclus_multi_outcomes, proclus_multi,
     proclus_multi_outcomes, ReuseLevel, Setting,

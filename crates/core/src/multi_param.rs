@@ -21,15 +21,15 @@
 
 use proclus_telemetry::{span, NullRecorder, Recorder};
 
+use crate::backend::CpuBackend;
 use crate::baseline::BaselineEngine;
 use crate::cancel::CancelToken;
 use crate::dataset::DataMatrix;
-use crate::driver::{initialization_phase, run_core};
+use crate::driver::{grid_core_shared, initialization_phase, run_core};
 use crate::error::Result;
 use crate::fast::FastEngine;
 use crate::par::Executor;
 use crate::params::Params;
-use crate::phases::initialization::{greedy_select, sample_data_prime};
 use crate::result::Clustering;
 use crate::rng::ProclusRng;
 
@@ -63,7 +63,7 @@ pub enum ReuseLevel {
     WarmStart,
 }
 
-fn derive_params(base: &Params, s: Setting) -> Params {
+pub(crate) fn derive_params(base: &Params, s: Setting) -> Params {
     let mut p = base.clone();
     p.k = s.k;
     p.l = s.l;
@@ -72,7 +72,7 @@ fn derive_params(base: &Params, s: Setting) -> Params {
 
 /// Returns the cancel token for setting `i`: `cancels` is either empty (no
 /// per-setting cancellation) or one token per setting.
-fn cancel_for(cancels: &[CancelToken], i: usize) -> CancelToken {
+pub(crate) fn cancel_for(cancels: &[CancelToken], i: usize) -> CancelToken {
     cancels.get(i).cloned().unwrap_or_default()
 }
 
@@ -129,9 +129,9 @@ pub fn fast_proclus_multi_outcomes(
         .map(|&s| derive_params(base, s).validate(data))
         .collect();
     let mut rng = ProclusRng::new(base.seed);
-    let mut results: Vec<Result<Clustering>> = Vec::with_capacity(settings.len());
 
     if level == ReuseLevel::Independent {
+        let mut results: Vec<Result<Clustering>> = Vec::with_capacity(settings.len());
         for (i, &s) in settings.iter().enumerate() {
             let _run = span(rec, "run");
             if let Err(e) = &validity[i] {
@@ -144,116 +144,43 @@ pub fn fast_proclus_multi_outcomes(
                 continue;
             }
             let params = derive_params(base, s);
-            let mut engine = FastEngine::new(data);
-            let m_data = initialization_phase(data, &params, &mut rng, exec, rec);
+            let mut backend = CpuBackend::with_engine(data, *exec, Box::new(FastEngine::new(data)));
             results.push(
-                run_core(
-                    data,
-                    &params,
-                    exec,
-                    &mut rng,
-                    &mut engine,
-                    &m_data,
-                    None,
-                    rec,
-                    &cancel,
-                )
-                .map(|(c, _)| c),
+                initialization_phase(&mut backend, &params, &mut rng, rec)
+                    .and_then(|m_data| {
+                        run_core(&mut backend, &params, &mut rng, &m_data, None, rec, &cancel)
+                    })
+                    .map(|(c, _)| c),
             );
         }
         return results;
     }
 
-    let k_max = settings
-        .iter()
-        .zip(&validity)
-        .filter(|(_, v)| v.is_ok())
-        .map(|(s, _)| s.k)
-        .max();
-    let Some(k_max) = k_max else {
-        // Nothing runnable: report per-setting errors, touch no RNG.
-        for v in &validity {
-            let _run = span(rec, "run");
-            results.push(Err(v.as_ref().unwrap_err().clone()));
-        }
-        return results;
-    };
-    let sample = sample_data_prime(&mut rng, data.n(), (base.a * k_max).min(data.n()));
-    let mut engine = FastEngine::new(data);
-
-    // Level ≥ 2: one greedy pass for the largest k; constant |M| = B·k_max.
-    let shared_m: Option<Vec<usize>> = if level >= ReuseLevel::SharedGreedy {
-        let count = (base.b * k_max).min(sample.len());
-        let _init = span(rec, "initialization");
-        rec.add(
-            proclus_telemetry::counters::DISTANCES_COMPUTED,
-            (count.saturating_sub(1) * sample.len()) as u64,
-        );
-        Some(greedy_select(data, &sample, count, &mut rng, exec))
-    } else {
-        None
-    };
-
-    let mut prev_best_mcur: Option<Vec<usize>> = None;
-    for (i, &s) in settings.iter().enumerate() {
-        let _run = span(rec, "run");
-        if let Err(e) = &validity[i] {
-            results.push(Err(e.clone()));
-            continue;
-        }
-        let cancel = cancel_for(cancels, i);
-        if let Err(e) = cancel.check() {
-            results.push(Err(e));
-            continue;
-        }
-        let params = derive_params(base, s);
-        let m_data: Vec<usize> = match &shared_m {
-            Some(m) => m.clone(),
-            None => {
-                let count = (base.b * s.k).min(sample.len());
-                let _init = span(rec, "initialization");
-                rec.add(
-                    proclus_telemetry::counters::DISTANCES_COMPUTED,
-                    (count.saturating_sub(1) * sample.len()) as u64,
-                );
-                greedy_select(data, &sample, count, &mut rng, exec)
-            }
-        };
-
-        // Level 3: seed MCur from the previous setting's best medoids.
-        let init_mcur = if level >= ReuseLevel::WarmStart {
-            prev_best_mcur
-                .as_ref()
-                .map(|prev| warm_start_mcur(prev, s.k, m_data.len(), &mut rng))
-        } else {
-            None
-        };
-
-        match run_core(
-            data,
-            &params,
-            exec,
-            &mut rng,
-            &mut engine,
-            &m_data,
-            init_mcur,
-            rec,
-            &cancel,
-        ) {
-            Ok((c, best_mcur)) => {
-                prev_best_mcur = Some(best_mcur);
-                results.push(Ok(c));
-            }
-            Err(e) => results.push(Err(e)),
-        }
-    }
-    results
+    // Reuse levels ≥ 1 share the sample, the Dist/H caches (the backend
+    // persists across settings), and — at higher levels — the greedy pass
+    // and the warm-start medoids. The loop itself is backend-generic.
+    let mut backend = CpuBackend::with_engine(data, *exec, Box::new(FastEngine::new(data)));
+    grid_core_shared(
+        &mut backend,
+        base,
+        settings,
+        level,
+        &validity,
+        &mut rng,
+        rec,
+        cancels,
+    )
 }
 
 /// Builds an initial medoid set of size `k` from the previous best medoids
 /// (indices into the shared `M`): a random subset when shrinking, the full
 /// previous set plus random fresh medoids when growing.
-fn warm_start_mcur(prev: &[usize], k: usize, m_len: usize, rng: &mut ProclusRng) -> Vec<usize> {
+pub(crate) fn warm_start_mcur(
+    prev: &[usize],
+    k: usize,
+    m_len: usize,
+    rng: &mut ProclusRng,
+) -> Vec<usize> {
     if k <= prev.len() {
         rng.sample_distinct(prev.len(), k)
             .into_iter()
@@ -315,20 +242,13 @@ pub fn proclus_multi_outcomes(
             results.push(Err(e));
             continue;
         }
-        let m_data = initialization_phase(data, &params, &mut rng, exec, rec);
+        let mut backend = CpuBackend::with_engine(data, *exec, Box::new(BaselineEngine));
         results.push(
-            run_core(
-                data,
-                &params,
-                exec,
-                &mut rng,
-                &mut BaselineEngine,
-                &m_data,
-                None,
-                rec,
-                &cancel,
-            )
-            .map(|(c, _)| c),
+            initialization_phase(&mut backend, &params, &mut rng, rec)
+                .and_then(|m_data| {
+                    run_core(&mut backend, &params, &mut rng, &m_data, None, rec, &cancel)
+                })
+                .map(|(c, _)| c),
         );
     }
     results
@@ -454,7 +374,7 @@ mod tests {
         assert!(out[0].is_ok());
         assert!(matches!(
             out[1],
-            Err(crate::error::ProclusError::InvalidParams { .. })
+            Err(crate::error::ProclusError::DimensionalityExceeded { l: 9, d: 4 })
         ));
         assert!(out[2].is_ok());
         // The strict wrapper keeps the historical abort-on-invalid contract.

@@ -1,5 +1,7 @@
 //! Algorithm parameters and their validation.
 
+use std::num::NonZeroUsize;
+
 use crate::dataset::DataMatrix;
 use crate::error::{ProclusError, Result};
 
@@ -48,6 +50,10 @@ pub struct Params {
     pub seed: u64,
     /// Bad-medoid selection rule (see [`BadMedoidRule`]).
     pub bad_medoid_rule: BadMedoidRule,
+    /// Number of (simulated) devices the sharded backend partitions the
+    /// points across. `1` (the default) means a single device; the CPU and
+    /// plain GPU backends ignore it. Non-zero by construction.
+    pub devices: NonZeroUsize,
 }
 
 impl Params {
@@ -64,6 +70,7 @@ impl Params {
             max_total_iterations: 200,
             seed: 0xC0FFEE,
             bad_medoid_rule: BadMedoidRule::default(),
+            devices: NonZeroUsize::MIN,
         }
     }
 
@@ -106,6 +113,12 @@ impl Params {
     /// Sets the bad-medoid rule.
     pub fn with_bad_medoid_rule(mut self, rule: BadMedoidRule) -> Self {
         self.bad_medoid_rule = rule;
+        self
+    }
+
+    /// Sets the sharded-backend device count.
+    pub fn with_devices(mut self, devices: NonZeroUsize) -> Self {
+        self.devices = devices;
         self
     }
 
@@ -167,11 +180,10 @@ impl Params {
     pub fn validate(&self, data: &DataMatrix) -> Result<()> {
         self.validate_basic()?;
         if self.l > data.d() {
-            return Err(ProclusError::params(format!(
-                "l = {} exceeds the data dimensionality d = {}",
-                self.l,
-                data.d()
-            )));
+            return Err(ProclusError::DimensionalityExceeded {
+                l: self.l,
+                d: data.d(),
+            });
         }
         if self.num_potential_medoids(data.n()) < self.k {
             return Err(ProclusError::params(format!(
@@ -207,6 +219,8 @@ impl Params {
 #[derive(Debug, Clone)]
 pub struct ParamsBuilder {
     inner: Params,
+    devices: usize,
+    dims: Option<usize>,
 }
 
 impl ParamsBuilder {
@@ -214,6 +228,8 @@ impl ParamsBuilder {
     pub fn new(k: usize, l: usize) -> Self {
         Self {
             inner: Params::new(k, l),
+            devices: 1,
+            dims: None,
         }
     }
 
@@ -259,17 +275,47 @@ impl ParamsBuilder {
         self
     }
 
-    /// Validates the data-independent constraints and returns the params.
+    /// Sets the sharded-backend device count. `0` is rejected at build
+    /// time with a typed [`ProclusError::InvalidParams`].
+    pub fn devices(mut self, devices: usize) -> Self {
+        self.devices = devices;
+        self
+    }
+
+    /// Declares the dimensionality of the data these parameters will run
+    /// on, so `l > d` is caught by [`build`](Self::build) instead of deep
+    /// inside the run. [`build_for`](Self::build_for) uses the dataset's
+    /// actual dimensionality instead.
+    pub fn dims(mut self, d: usize) -> Self {
+        self.dims = Some(d);
+        self
+    }
+
+    fn finish(mut self) -> Result<Params> {
+        self.inner.devices = NonZeroUsize::new(self.devices).ok_or_else(|| {
+            ProclusError::params("devices must be >= 1 (got devices = 0)".to_string())
+        })?;
+        Ok(self.inner)
+    }
+
+    /// Validates the data-independent constraints (plus `l ≤ d` against
+    /// the [`dims`](Self::dims) hint, when one was declared) and returns
+    /// the params.
     pub fn build(self) -> Result<Params> {
         self.inner.validate_basic()?;
-        Ok(self.inner)
+        if let Some(d) = self.dims {
+            if self.inner.l > d {
+                return Err(ProclusError::DimensionalityExceeded { l: self.inner.l, d });
+            }
+        }
+        self.finish()
     }
 
     /// Validates against a dataset (adds `l ≤ d` and the `B·k ≤ A·k ≤ n`
     /// derived potential-medoid check) and returns the params.
     pub fn build_for(self, data: &DataMatrix) -> Result<Params> {
         self.inner.validate(data)?;
-        Ok(self.inner)
+        self.finish()
     }
 }
 
@@ -353,10 +399,37 @@ mod tests {
     fn builder_build_for_adds_data_checks() {
         let d = data(1000, 4);
         assert!(Params::builder(4, 3).build_for(&d).is_ok());
-        // l > d only fails with the dataset in hand.
+        // l > d only fails with the dataset (or a dims hint) in hand.
         assert!(Params::builder(4, 5).build().is_ok());
         assert!(Params::builder(4, 5).build_for(&d).is_err());
         // Too few points for k potential medoids.
         assert!(Params::builder(10, 2).build_for(&data(5, 4)).is_err());
+    }
+
+    #[test]
+    fn dims_hint_catches_oversized_l_at_build_time() {
+        let err = Params::builder(4, 9).dims(6).build().unwrap_err();
+        assert_eq!(err, ProclusError::DimensionalityExceeded { l: 9, d: 6 });
+        assert!(err.to_string().contains("l = 9"), "{err}");
+        assert!(err.to_string().contains("d = 6"), "{err}");
+        assert!(Params::builder(4, 6).dims(6).build().is_ok());
+        // build_for reports the same typed error from the dataset itself.
+        let err = Params::builder(4, 9).build_for(&data(500, 6)).unwrap_err();
+        assert_eq!(err, ProclusError::DimensionalityExceeded { l: 9, d: 6 });
+    }
+
+    #[test]
+    fn devices_knob_validates_at_build_time() {
+        let p = Params::builder(4, 3).devices(4).build().unwrap();
+        assert_eq!(p.devices.get(), 4);
+        assert_eq!(Params::new(4, 3).devices.get(), 1, "default is one device");
+        let err = Params::builder(4, 3).devices(0).build().unwrap_err();
+        assert!(matches!(err, ProclusError::InvalidParams { .. }));
+        assert!(err.to_string().contains("devices"), "{err}");
+        let err = Params::builder(4, 3)
+            .devices(0)
+            .build_for(&data(500, 4))
+            .unwrap_err();
+        assert!(matches!(err, ProclusError::InvalidParams { .. }));
     }
 }

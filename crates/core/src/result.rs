@@ -74,31 +74,47 @@ impl Clustering {
             )));
         }
         if self.labels.len() != n {
-            return Err(crate::ProclusError::data(format!("{} labels for {n} points", self.labels.len())));
+            return Err(crate::ProclusError::data(format!(
+                "{} labels for {n} points",
+                self.labels.len()
+            )));
         }
         let total: usize = self.subspaces.iter().map(|s| s.len()).sum();
         if total != k * l {
-            return Err(crate::ProclusError::data(format!("subspace sizes sum to {total}, expected {}", k * l)));
+            return Err(crate::ProclusError::data(format!(
+                "subspace sizes sum to {total}, expected {}",
+                k * l
+            )));
         }
         for (i, s) in self.subspaces.iter().enumerate() {
             if s.len() < 2 {
-                return Err(crate::ProclusError::data(format!("subspace {i} has fewer than 2 dims")));
+                return Err(crate::ProclusError::data(format!(
+                    "subspace {i} has fewer than 2 dims"
+                )));
             }
             if s.windows(2).any(|w| w[0] >= w[1]) {
-                return Err(crate::ProclusError::data(format!("subspace {i} not sorted/distinct: {s:?}")));
+                return Err(crate::ProclusError::data(format!(
+                    "subspace {i} not sorted/distinct: {s:?}"
+                )));
             }
             if s.iter().any(|&j| j >= d) {
-                return Err(crate::ProclusError::data(format!("subspace {i} has dim out of range: {s:?}")));
+                return Err(crate::ProclusError::data(format!(
+                    "subspace {i} has dim out of range: {s:?}"
+                )));
             }
         }
         for &lab in &self.labels {
             if lab != OUTLIER && !(0..k as i32).contains(&lab) {
-                return Err(crate::ProclusError::data(format!("label {lab} out of range")));
+                return Err(crate::ProclusError::data(format!(
+                    "label {lab} out of range"
+                )));
             }
         }
         for (i, &m) in self.medoids.iter().enumerate() {
             if m >= n {
-                return Err(crate::ProclusError::data(format!("medoid index {m} out of range")));
+                return Err(crate::ProclusError::data(format!(
+                    "medoid index {m} out of range"
+                )));
             }
             if self.labels[m] != i as i32 {
                 return Err(crate::ProclusError::data(format!(

@@ -224,21 +224,40 @@ mod tests {
     }
 
     #[test]
-    fn run_matches_the_deprecated_entry_points() {
-        #![allow(deprecated)]
+    fn run_matches_the_direct_variant_runners() {
         let data = blob_data(400);
         let p = small_params();
+        type VariantRunner = dyn Fn(
+            &DataMatrix,
+            &Params,
+            &Executor,
+            &dyn proclus_telemetry::Recorder,
+            &CancelToken,
+        ) -> Result<Clustering>;
+        let direct = |f: &VariantRunner| {
+            f(
+                &data,
+                &p,
+                &Executor::Sequential,
+                &NullRecorder,
+                &CancelToken::new(),
+            )
+            .unwrap()
+        };
         let via_run = run(&data, &Config::new(p.clone()).with_algo(Algo::Baseline)).unwrap();
-        let via_shim = crate::baseline::proclus(&data, &p).unwrap();
-        assert_eq!(via_run.clustering(), &via_shim);
+        assert_eq!(
+            via_run.clustering(),
+            &direct(&crate::baseline::run_baseline)
+        );
 
         let fast_run = run(&data, &Config::new(p.clone())).unwrap();
-        let fast_shim = crate::fast::fast_proclus(&data, &p).unwrap();
-        assert_eq!(fast_run.clustering(), &fast_shim);
+        assert_eq!(fast_run.clustering(), &direct(&crate::fast::run_fast));
 
         let star_run = run(&data, &Config::new(p.clone()).with_algo(Algo::FastStar)).unwrap();
-        let star_shim = crate::fast_star::fast_star_proclus(&data, &p).unwrap();
-        assert_eq!(star_run.clustering(), &star_shim);
+        assert_eq!(
+            star_run.clustering(),
+            &direct(&crate::fast_star::run_fast_star)
+        );
     }
 
     #[test]
@@ -335,7 +354,7 @@ mod tests {
         assert_eq!(out.setting_errors[0].0, 1);
         assert!(matches!(
             out.setting_errors[0].1,
-            ProclusError::InvalidParams { .. }
+            ProclusError::DimensionalityExceeded { l: 9, d: 4 }
         ));
     }
 

@@ -509,6 +509,14 @@ impl Device {
         self.transfer_us = 0.0;
     }
 
+    /// Advances the clock by `us` microseconds without executing work —
+    /// used by multi-device ensembles to credit their simulated time to
+    /// the device the caller handed in, so `elapsed_ms()` stays
+    /// meaningful whichever backend ran.
+    pub fn advance_clock_us(&mut self, us: f64) {
+        self.elapsed_us += us.max(0.0);
+    }
+
     /// Clears per-kernel statistics and the launch counter.
     pub fn reset_stats(&mut self) {
         self.kernels.clear();

@@ -5,18 +5,17 @@
 use std::time::Instant;
 
 use gpu_sim::{Device, DeviceConfig, DeviceReport};
+use proclus::backend::{initialization_phase, run_core};
 use proclus::multi_param::ReuseLevel;
 use proclus::params::Params;
-use proclus::phases::initialization::sample_data_prime;
 use proclus::result::Clustering;
 use proclus::{
     Algo, Backend, CancelToken, Config, DataMatrix, ProclusError, ProclusRng, RunOutput,
 };
 use proclus_telemetry::{attrs, counters, span, NullRecorder, Recorder, Telemetry};
 
-use crate::driver::{run_core_gpu, GpuVariant};
+use crate::backend::{GpuBackend, GpuVariant};
 use crate::error::{GpuProclusError, Result};
-use crate::kernels::greedy::greedy_gpu;
 use crate::kernels::ASSIGN_BLOCK;
 use crate::multi_param::{gpu_fast_proclus_multi_outcomes, gpu_proclus_multi_outcomes};
 use crate::rows::RowCache;
@@ -69,30 +68,19 @@ pub(crate) fn run_variant(
     };
 
     let mut rng = ProclusRng::new(params.seed);
-    let init_span = span(rec, "initialization");
-    let init_t = dev.elapsed_us();
-    let sample = sample_data_prime(&mut rng, n, sample_size);
-    let m_data = greedy_gpu(dev, &ws, &sample, m_size, &mut rng);
-    // Greedy evaluates every remaining candidate against each chosen medoid
-    // over the sample (Alg. 2), same closed form as the CPU driver.
-    rec.add(
-        counters::DISTANCES_COMPUTED,
-        ((m_size.saturating_sub(1)) * sample.len()) as u64,
-    );
-    rec.annotate(init_span.id(), attrs::SIM_US, dev.elapsed_us() - init_t);
-    drop(init_span);
-
-    let result = run_core_gpu(
-        dev, &ws, &mut cache, variant, params, &mut rng, &m_data, None, rec, cancel,
-    );
+    let result = {
+        let mut backend = GpuBackend::new(dev, &ws, &mut cache, variant);
+        initialization_phase(&mut backend, params, &mut rng, rec)
+            .and_then(|m_data| run_core(&mut backend, params, &mut rng, &m_data, None, rec, cancel))
+    };
     // Free device memory whether or not the run succeeded.
     cache.free(dev)?;
     ws.free(dev)?;
     rec.annotate(run_span.id(), attrs::SIM_US, dev.elapsed_us() - run_t);
-    result.map(|(c, _)| c)
+    result.map(|(c, _)| c).map_err(GpuProclusError::from)
 }
 
-fn variant_for(algo: Algo) -> GpuVariant {
+pub(crate) fn variant_for(algo: Algo) -> GpuVariant {
     match algo {
         Algo::Baseline => GpuVariant::Plain,
         Algo::Fast => GpuVariant::Fast,
@@ -188,10 +176,12 @@ fn bridge_kernels(rec: &dyn Recorder, before: &DeviceReport, after: &DeviceRepor
 
 /// Runs the configured algorithm on an existing device.
 ///
-/// The GPU half of the unified entry point: accepts the same
+/// The device half of the unified entry point: accepts the same
 /// [`Config`] as [`proclus::run`], executes [`Backend::Gpu`] configs on
-/// `dev`, and delegates [`Backend::Cpu`] configs to the CPU crate — so one
-/// call site serves both backends and produces one report format.
+/// `dev`, runs [`Backend::Sharded`] configs across
+/// [`proclus::Params::devices`] fresh shard devices cloned from `dev`'s
+/// configuration, and delegates [`Backend::Cpu`] configs to the CPU crate —
+/// so one call site serves every backend and produces one report format.
 /// Telemetry reports carry the same phase spans as the CPU backend, each
 /// annotated with simulated device microseconds, plus one bridged
 /// `kernel:<name>` span per kernel family with its launch count and modeled
@@ -219,14 +209,20 @@ pub fn run_on_with_cancel(
         let t = Telemetry::new();
         proclus::stamp_meta(&t, data, config);
         t.set_meta("device", &dev.config().name);
+        if config.backend == Backend::Sharded {
+            t.set_meta("devices", config.params.devices.to_string());
+        }
         t
     });
     let null = NullRecorder;
     let rec: &dyn Recorder = tel.as_ref().map_or(&null as &dyn Recorder, |t| t);
 
     let before = rec.enabled().then(|| dev.report());
-    let (clusterings, setting_errors) =
-        run_gpu_with(dev, data, config, rec, cancel).map_err(ProclusError::from)?;
+    let (clusterings, setting_errors) = match config.backend {
+        Backend::Cpu => unreachable!("delegated above"),
+        Backend::Gpu => run_gpu_with(dev, data, config, rec, cancel).map_err(ProclusError::from)?,
+        Backend::Sharded => crate::shard::run_sharded_with(dev, data, config, rec, cancel)?,
+    };
     if let Some(before) = &before {
         bridge_kernels(rec, before, &dev.report());
     }
@@ -240,7 +236,8 @@ pub fn run_on_with_cancel(
 }
 
 /// Runs the configured algorithm, creating a fresh simulated device
-/// (the paper's GTX 1660 Ti) for [`Backend::Gpu`] configs.
+/// (the paper's GTX 1660 Ti) for [`Backend::Gpu`] configs — and one per
+/// [`proclus::Params::devices`] shard for [`Backend::Sharded`] configs.
 ///
 /// Use [`run_on`] to keep the device (its clock, statistics and memory
 /// pool) across runs.

@@ -92,6 +92,148 @@ pub fn evaluate_kernel(
     dev.dtoh(cost)[0]
 }
 
+/// Shard phase 1 of Eq. 9: per-`(cluster, subspace-dim)` centroid partial
+/// sums over this shard's member lists, each pre-divided by the *global*
+/// cluster size, accumulated into the `k × d` buffer `mu` (zeroed here,
+/// indexed `i·d + jj` by subspace position). Host-summing the `mu`
+/// readbacks across shards yields the same centroid components `µ_{i,j}`
+/// the single-device [`evaluate_kernel`] forms in shared memory — the
+/// cross-device reduction happens at the phase barrier, on `k × d` scalars
+/// instead of `n` points.
+#[allow(clippy::too_many_arguments)]
+pub fn centroid_partial_kernel(
+    dev: &mut Device,
+    data: &DeviceBuffer<f32>,
+    d: usize,
+    n: usize,
+    dims_flat: &DeviceBuffer<u32>,
+    dims_offsets: &[usize],
+    c_list: &DeviceBuffer<u32>,
+    local_counts: &[usize],
+    global_counts: &[usize],
+    mu: &DeviceBuffer<f64>,
+) {
+    let k = local_counts.len();
+    let max_dims = (0..k)
+        .map(|i| dims_offsets[i + 1] - dims_offsets[i])
+        .max()
+        .unwrap_or(0);
+    dev.memset(mu, 0.0);
+
+    let data = data.clone();
+    let dims_flat = dims_flat.clone();
+    let c_list = c_list.clone();
+    let mu_buf = mu.clone();
+    let offsets = dims_offsets.to_vec();
+    let counts = local_counts.to_vec();
+    let totals = global_counts.to_vec();
+
+    let grid = Dim3::xy(max_dims as u32, k as u32);
+    dev.launch(
+        "evaluate.mu_partial",
+        grid,
+        Dim3::x(EVAL_BLOCK),
+        move |blk| {
+            let i = blk.block.y as usize;
+            let jj = blk.block.x as usize;
+            let (lo, hi) = (offsets[i], offsets[i + 1]);
+            let cnt = counts[i];
+            if jj >= hi - lo || cnt == 0 || totals[i] == 0 {
+                return; // guard block: fewer dims / empty on this shard
+            }
+            let j_sh = blk.shared::<u32>(1);
+            blk.thread0(|t| {
+                let j = dims_flat.ld(t, lo + jj);
+                j_sh.st(t, 0, j);
+            });
+            blk.threads(|t| {
+                let j = j_sh.ld(t, 0) as usize;
+                let mut tmp = 0.0f64;
+                let mut s = t.tid as usize;
+                while s < cnt {
+                    let p = c_list.ld(t, i * n + s) as usize;
+                    tmp += data.ld(t, p * d + j) as f64;
+                    s += t.block_dim.x as usize;
+                }
+                t.flops((cnt / t.block_dim.x as usize + 1) as u64);
+                mu_buf.atomic_add(t, i * d + jj, tmp / totals[i] as f64);
+            });
+        },
+    );
+}
+
+/// Shard phase 2 of Eq. 9: this shard's cost contribution given the
+/// already-reduced global centroids `mu` (uploaded `k × d`, indexed
+/// `i·d + jj` as written by [`centroid_partial_kernel`]). Every term is
+/// divided by `|D_i| · n_total` (the *global* point count), so the host sum
+/// of the per-shard scalars equals the single-device cost.
+#[allow(clippy::too_many_arguments)]
+pub fn cost_partial_kernel(
+    dev: &mut Device,
+    data: &DeviceBuffer<f32>,
+    d: usize,
+    n: usize,
+    dims_flat: &DeviceBuffer<u32>,
+    dims_offsets: &[usize],
+    c_list: &DeviceBuffer<u32>,
+    local_counts: &[usize],
+    mu: &DeviceBuffer<f64>,
+    n_total: usize,
+    cost: &DeviceBuffer<f64>,
+) -> f64 {
+    let k = local_counts.len();
+    let max_dims = (0..k)
+        .map(|i| dims_offsets[i + 1] - dims_offsets[i])
+        .max()
+        .unwrap_or(0);
+    dev.memset(cost, 0.0);
+
+    let data = data.clone();
+    let dims_flat = dims_flat.clone();
+    let c_list = c_list.clone();
+    let mu_buf = mu.clone();
+    let cost_buf = cost.clone();
+    let offsets = dims_offsets.to_vec();
+    let counts = local_counts.to_vec();
+
+    let grid = Dim3::xy(max_dims as u32, k as u32);
+    dev.launch(
+        "evaluate.cost_partial",
+        grid,
+        Dim3::x(EVAL_BLOCK),
+        move |blk| {
+            let i = blk.block.y as usize;
+            let jj = blk.block.x as usize;
+            let (lo, hi) = (offsets[i], offsets[i + 1]);
+            let cnt = counts[i];
+            if jj >= hi - lo || cnt == 0 {
+                return;
+            }
+            let num_dims = hi - lo;
+            let j_sh = blk.shared::<u32>(1);
+            blk.thread0(|t| {
+                let j = dims_flat.ld(t, lo + jj);
+                j_sh.st(t, 0, j);
+            });
+            blk.threads(|t| {
+                let j = j_sh.ld(t, 0) as usize;
+                let mu_v = mu_buf.ld(t, i * d + jj);
+                let mut tmp = 0.0f64;
+                let mut s = t.tid as usize;
+                while s < cnt {
+                    let p = c_list.ld(t, i * n + s) as usize;
+                    tmp += (data.ld(t, p * d + j) as f64 - mu_v).abs();
+                    s += t.block_dim.x as usize;
+                }
+                t.flops(2 * (cnt / t.block_dim.x as usize + 1) as u64);
+                cost_buf.atomic_add(t, 0, tmp / (num_dims as f64 * n_total as f64));
+            });
+        },
+    );
+
+    dev.dtoh(cost)[0]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -175,6 +317,58 @@ mod tests {
             &mut dev, &data, 2, 2, &dims_flat, &offsets, &c_list, &counts, &cost,
         );
         assert!((got - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn partial_kernels_reduce_to_the_single_device_cost() {
+        let n = 600;
+        let rows: Vec<Vec<f32>> = (0..n)
+            .map(|i| vec![(i % 17) as f32, (i % 5) as f32, (i % 2) as f32 * 7.0])
+            .collect();
+        let host = DataMatrix::from_rows(&rows).unwrap();
+        let labels: Vec<i32> = (0..n).map(|i| (i % 3) as i32).collect();
+        let subspaces = vec![vec![0, 1], vec![1], vec![0, 2]];
+        let (k, d) = (3usize, 3usize);
+
+        let mut dev = device();
+        let (data, dims_flat, offsets, c_list, counts, cost) =
+            upload(&mut dev, &host, &labels, &subspaces);
+        let want = evaluate_kernel(
+            &mut dev, &data, d, n, &dims_flat, &offsets, &c_list, &counts, &cost,
+        );
+
+        // Two shards over a contiguous split of the points; each shard sees
+        // only its own rows and member lists but the global sizes.
+        let cut = 250usize;
+        let mut mu_global = vec![0.0f64; k * d];
+        let mut shard_state = Vec::new();
+        for (lo, hi) in [(0usize, cut), (cut, n)] {
+            let mut sdev = device();
+            let n_s = hi - lo;
+            let srows: Vec<Vec<f32>> = (lo..hi).map(|i| rows[i].clone()).collect();
+            let shost = DataMatrix::from_rows(&srows).unwrap();
+            let slabels: Vec<i32> = labels[lo..hi].to_vec();
+            let (sdata, sdims, soffsets, sc_list, scounts, scost) =
+                upload(&mut sdev, &shost, &slabels, &subspaces);
+            let mu = sdev.alloc_zeroed::<f64>("mu", k * d).unwrap();
+            centroid_partial_kernel(
+                &mut sdev, &sdata, d, n_s, &sdims, &soffsets, &sc_list, &scounts, &counts, &mu,
+            );
+            for (g, v) in mu_global.iter_mut().zip(sdev.dtoh(&mu)) {
+                *g += v;
+            }
+            shard_state.push((
+                sdev, sdata, sdims, soffsets, sc_list, scounts, scost, n_s, mu,
+            ));
+        }
+        let mut got = 0.0f64;
+        for (sdev, sdata, sdims, soffsets, sc_list, scounts, scost, n_s, mu) in &mut shard_state {
+            sdev.upload(mu, &mu_global);
+            got += cost_partial_kernel(
+                sdev, sdata, d, *n_s, sdims, soffsets, sc_list, scounts, mu, n, scost,
+            );
+        }
+        assert!((got - want).abs() < 1e-9, "{got} vs {want}");
     }
 
     #[test]

@@ -69,6 +69,64 @@ pub fn x_from_lists_kernel(
     });
 }
 
+/// Shard variant of [`x_from_lists_kernel`]: iterates this device's
+/// `local_counts[i]` list entries but divides by the cross-device
+/// `global_counts[i]`, so summing the `k × d` partial `X` buffers over all
+/// shards at the phase barrier reproduces the single-device `X` exactly.
+#[allow(clippy::too_many_arguments)]
+pub fn x_from_lists_partial_kernel(
+    dev: &mut Device,
+    data: &DeviceBuffer<f32>,
+    d: usize,
+    n: usize,
+    medoid_data_idx: &[usize],
+    list: &DeviceBuffer<u32>,
+    local_counts: &[usize],
+    global_counts: &[usize],
+    x: &DeviceBuffer<f64>,
+) {
+    let k = medoid_data_idx.len();
+    dev.memset(x, 0.0);
+    let data = data.clone();
+    let list = list.clone();
+    let x = x.clone();
+    let medoids = medoid_data_idx.to_vec();
+    let counts = local_counts.to_vec();
+    let totals = global_counts.to_vec();
+    let grid = Dim3::xy(d as u32, k as u32);
+    dev.launch(
+        "find_dims.x_partial",
+        grid,
+        Dim3::x(SUM_BLOCK),
+        move |blk| {
+            let i = blk.block.y as usize;
+            let j = blk.block.x as usize;
+            let cnt = counts[i];
+            let total = totals[i];
+            if cnt == 0 || total == 0 {
+                return; // nothing on this shard, or an empty cluster overall
+            }
+            let m_j = blk.shared::<f32>(1);
+            blk.thread0(|t| {
+                let v = data.ld(t, medoids[i] * d + j);
+                m_j.st(t, 0, v);
+            });
+            blk.threads(|t| {
+                let m = m_j.ld(t, 0);
+                let mut sum = 0.0f64;
+                let mut s = t.tid as usize;
+                while s < cnt {
+                    let p = list.ld(t, i * n + s) as usize;
+                    sum += ((data.ld(t, p * d + j) - m) as f64).abs();
+                    s += t.block_dim.x as usize;
+                }
+                t.flops(2 * (cnt / t.block_dim.x as usize + 1) as u64);
+                x.atomic_add(t, i * d + j, sum / total as f64);
+            });
+        },
+    );
+}
+
 /// Folds the `ΔL_i` lists into the persistent `H` rows with sign `λ_i`
 /// (Theorem 3.2). `lambda[i]` is `+1.0` when the sphere grew, `−1.0` when
 /// it shrank.

@@ -5,75 +5,38 @@
 //! `Dist`/`H` row cache persists across settings, so a setting whose
 //! medoids were already seen performs no distance computations at all —
 //! the effect behind GPU-FAST-PROCLUS's ~7000× speedup in Fig. 3a–e.
+//! The per-setting loop itself is the backend-generic
+//! [`proclus::backend::grid_core_shared`] driven through a [`GpuBackend`];
+//! this module only owns device allocation and the independent-level loop.
 //!
 //! The preferred route here is `proclus_gpu::run` / `run_on` with
 //! [`proclus::Config::with_grid`]; the free functions below remain as the
 //! direct API.
 
 use gpu_sim::Device;
+use proclus::backend::{grid_core_shared, initialization_phase, run_core};
 use proclus::multi_param::{ReuseLevel, Setting};
 use proclus::params::Params;
-use proclus::phases::initialization::sample_data_prime;
 use proclus::result::Clustering;
 use proclus::{CancelToken, DataMatrix, ProclusError, ProclusRng};
-use proclus_telemetry::{attrs, counters, span, NullRecorder, Recorder};
+use proclus_telemetry::{attrs, span, NullRecorder, Recorder};
 
 use crate::api::validate_gpu;
-use crate::driver::{run_core_gpu, GpuVariant};
+use crate::backend::{GpuBackend, GpuVariant};
 use crate::error::Result;
-use crate::kernels::greedy::greedy_gpu;
 use crate::rows::RowCache;
 use crate::workspace::Workspace;
 
-fn derive(base: &Params, s: Setting) -> Params {
+pub(crate) fn derive(base: &Params, s: Setting) -> Params {
     let mut p = base.clone();
     p.k = s.k;
     p.l = s.l;
     p
 }
 
-/// Builds the warm-start medoid set (multi-param level 3) — same logic as
-/// the CPU runner.
-fn warm_start(prev: &[usize], k: usize, m_len: usize, rng: &mut ProclusRng) -> Vec<usize> {
-    if k <= prev.len() {
-        rng.sample_distinct(prev.len(), k)
-            .into_iter()
-            .map(|i| prev[i])
-            .collect()
-    } else {
-        let mut mcur = prev.to_vec();
-        while mcur.len() < k {
-            let next = rng.draw_until(m_len, |c| !mcur.contains(&c));
-            mcur.push(next);
-        }
-        mcur
-    }
-}
-
-/// Greedy selection wrapped in an `initialization` span with the same
-/// closed-form distance count as the CPU driver.
-fn greedy_with_rec(
-    dev: &mut Device,
-    ws: &Workspace,
-    sample: &[usize],
-    count: usize,
-    rng: &mut ProclusRng,
-    rec: &dyn Recorder,
-) -> Vec<usize> {
-    let g = span(rec, "initialization");
-    let t = dev.elapsed_us();
-    let m = greedy_gpu(dev, ws, sample, count, rng);
-    rec.add(
-        counters::DISTANCES_COMPUTED,
-        (count.saturating_sub(1) * sample.len()) as u64,
-    );
-    rec.annotate(g.id(), attrs::SIM_US, dev.elapsed_us() - t);
-    m
-}
-
 /// Returns the cancel token for setting `i`: `cancels` is either empty (no
 /// per-setting cancellation) or one token per setting.
-fn cancel_for(cancels: &[CancelToken], i: usize) -> CancelToken {
+pub(crate) fn cancel_for(cancels: &[CancelToken], i: usize) -> CancelToken {
     cancels.get(i).cloned().unwrap_or_default()
 }
 
@@ -126,29 +89,23 @@ pub fn gpu_fast_proclus_multi_outcomes(
             let sample_size = params.sample_size(n);
             let m_count = params.num_potential_medoids(n);
             let ws_s = Workspace::new(dev, data, params.k, sample_size, m_count)?;
-            let sample = sample_data_prime(&mut rng, n, sample_size);
-            let m_data = greedy_with_rec(dev, &ws_s, &sample, m_count, &mut rng, rec);
             let mut cache = RowCache::new_fast(n, data.d(), params.k);
-            let r = run_core_gpu(
-                dev,
-                &ws_s,
-                &mut cache,
-                GpuVariant::Fast,
-                &params,
-                &mut rng,
-                &m_data,
-                None,
-                rec,
-                &cancel,
-            );
+            let r = {
+                let mut backend = GpuBackend::new(dev, &ws_s, &mut cache, GpuVariant::Fast);
+                initialization_phase(&mut backend, &params, &mut rng, rec).and_then(|m_data| {
+                    run_core(&mut backend, &params, &mut rng, &m_data, None, rec, &cancel)
+                })
+            };
             cache.free(dev)?;
             ws_s.free(dev)?;
             rec.annotate(run_span.id(), attrs::SIM_US, dev.elapsed_us() - run_t);
-            results.push(r.map(|(c, _)| c).map_err(ProclusError::from));
+            results.push(r.map(|(c, _)| c));
         }
         return Ok(results);
     }
 
+    // The shared workspace needs the largest valid k before anything runs;
+    // an all-invalid grid reports per-setting errors and allocates nothing.
     let k_max = settings
         .iter()
         .zip(&validity)
@@ -165,69 +122,24 @@ pub fn gpu_fast_proclus_multi_outcomes(
     let sample_size = (base.a * k_max).min(n);
     let m_max = (base.b * k_max).min(sample_size);
 
-    // Level ≥ 1: one workspace, one sample; persistent cache.
+    // Level ≥ 1: one workspace, one sample; persistent cache. The shared
+    // per-setting loop (sample, optional shared greedy, warm starts) is the
+    // backend-generic grid driver.
     let ws = Workspace::new(dev, data, k_max, sample_size, m_max)?;
-    let sample = sample_data_prime(&mut rng, n, sample_size);
     let mut cache = RowCache::new_fast(n, data.d(), k_max);
-
-    // Level ≥ 2: one greedy pass for the largest k (constant |M|).
-    let shared_m: Option<Vec<usize>> = if level >= ReuseLevel::SharedGreedy {
-        Some(greedy_with_rec(dev, &ws, &sample, m_max, &mut rng, rec))
-    } else {
-        None
-    };
-
-    let mut prev_best: Option<Vec<usize>> = None;
-    for (i, &s) in settings.iter().enumerate() {
-        let run_span = span(rec, "run");
-        if let Err(e) = &validity[i] {
-            results.push(Err(e.clone()));
-            continue;
-        }
-        let cancel = cancel_for(cancels, i);
-        if let Err(e) = cancel.check() {
-            results.push(Err(e));
-            continue;
-        }
-        let params = derive(base, s);
-        let run_t = dev.elapsed_us();
-        let m_data = match &shared_m {
-            Some(m) => m.clone(),
-            None => {
-                // Level 1: greedy runs per setting (from the shared
-                // sample); the row cache is keyed by data index and keeps
-                // paying off across the overlapping selections.
-                let count = (base.b * s.k).min(sample.len());
-                greedy_with_rec(dev, &ws, &sample, count, &mut rng, rec)
-            }
-        };
-        let init_mcur = if level >= ReuseLevel::WarmStart {
-            prev_best
-                .as_ref()
-                .map(|prev| warm_start(prev, s.k, m_data.len(), &mut rng))
-        } else {
-            None
-        };
-        match run_core_gpu(
-            dev,
-            &ws,
-            &mut cache,
-            GpuVariant::Fast,
-            &params,
+    let results = {
+        let mut backend = GpuBackend::new(dev, &ws, &mut cache, GpuVariant::Fast);
+        grid_core_shared(
+            &mut backend,
+            base,
+            settings,
+            level,
+            &validity,
             &mut rng,
-            &m_data,
-            init_mcur,
             rec,
-            &cancel,
-        ) {
-            Ok((c, best_mcur)) => {
-                prev_best = Some(best_mcur);
-                results.push(Ok(c));
-            }
-            Err(e) => results.push(Err(e.into())),
-        }
-        rec.annotate(run_span.id(), attrs::SIM_US, dev.elapsed_us() - run_t);
-    }
+            cancels,
+        )
+    };
     cache.free(dev)?;
     ws.free(dev)?;
     Ok(results)
@@ -302,25 +214,16 @@ pub fn gpu_proclus_multi_outcomes(
         }
         let params = derive(base, s);
         let run_t = dev.elapsed_us();
-        let sample = sample_data_prime(&mut rng, n, params.sample_size(n));
-        let m_count = params.num_potential_medoids(n);
-        let m_data = greedy_with_rec(dev, &ws, &sample, m_count, &mut rng, rec);
         let mut cache = RowCache::new_plain(dev, n, params.k)?;
-        let r = run_core_gpu(
-            dev,
-            &ws,
-            &mut cache,
-            GpuVariant::Plain,
-            &params,
-            &mut rng,
-            &m_data,
-            None,
-            rec,
-            &cancel,
-        );
+        let r = {
+            let mut backend = GpuBackend::new(dev, &ws, &mut cache, GpuVariant::Plain);
+            initialization_phase(&mut backend, &params, &mut rng, rec).and_then(|m_data| {
+                run_core(&mut backend, &params, &mut rng, &m_data, None, rec, &cancel)
+            })
+        };
         cache.free(dev)?;
         rec.annotate(run_span.id(), attrs::SIM_US, dev.elapsed_us() - run_t);
-        results.push(r.map(|(c, _)| c).map_err(ProclusError::from));
+        results.push(r.map(|(c, _)| c));
     }
     ws.free(dev)?;
     Ok(results)

@@ -5,12 +5,20 @@
 //!
 //! ```text
 //! {"op":"submit","dataset":"data.csv","k":8,"l":4,"a":20,"b":4,"seed":7,
-//!  "algo":"fast","backend":"cpu","deadline_ms":5000,"labels":false}
+//!  "algo":"fast","backend":"cpu","devices":1,"deadline_ms":5000,"labels":false}
 //! {"op":"wait","id":0}        waits for job 0 and emits its result
 //! {"op":"drain"}              waits for every pending job, one result line each
 //! {"op":"cancel","id":0}      requests cooperative cancellation
 //! {"op":"metrics"}            emits the service metrics report
 //! {"op":"shutdown"}           acknowledges and ends the session
+//! ```
+//!
+//! Result lines echo the backend the job executed on (`cpu`, `gpu` or
+//! `sharded`), so clients mixing backends can attribute each response:
+//!
+//! ```text
+//! {"op":"result","id":0,"ok":true,"backend":"cpu","k":2,"cost":...,...}
+//! {"op":"result","id":1,"ok":false,"backend":"gpu","cancelled":true,...}
 //! ```
 //!
 //! Every request gets exactly one response line (`drain` gets one per
@@ -34,6 +42,7 @@ use crate::JobRequest;
 struct Pending {
     handle: JobHandle,
     want_labels: bool,
+    backend: Backend,
 }
 
 fn err_line(id: Option<u64>, msg: &str) -> String {
@@ -67,6 +76,11 @@ fn parse_submit(v: &Value) -> Result<(JobRequest, bool), String> {
     if let Some(seed) = v.get("seed").and_then(Value::as_f64) {
         params = params.with_seed(seed as u64);
     }
+    if let Some(devices) = get_usize(v, "devices") {
+        let devices =
+            std::num::NonZeroUsize::new(devices).ok_or("submit: 'devices' must be at least 1")?;
+        params = params.with_devices(devices);
+    }
     let mut req = JobRequest::new(DatasetRef::path(dataset), params);
     if let Some(algo) = v.get("algo").and_then(Value::as_str) {
         req = req.with_algo(Algo::parse(algo).ok_or_else(|| format!("unknown algo `{algo}`"))?);
@@ -89,9 +103,10 @@ fn result_line(id: u64, p: &Pending) -> String {
             let c = &out.clustering;
             let outliers = c.labels.iter().filter(|&&l| l == OUTLIER).count();
             let mut line = format!(
-                "{{\"op\":\"result\",\"id\":{id},\"ok\":true,\"k\":{},\"cost\":{},\
-                 \"outliers\":{outliers},\"batch_width\":{},\"queue_wait_us\":{},\
+                "{{\"op\":\"result\",\"id\":{id},\"ok\":true,\"backend\":\"{}\",\"k\":{},\
+                 \"cost\":{},\"outliers\":{outliers},\"batch_width\":{},\"queue_wait_us\":{},\
                  \"service_us\":{}",
+                p.backend.name(),
                 c.k(),
                 json::fmt_f64(c.refined_cost),
                 out.batch_width,
@@ -116,7 +131,9 @@ fn result_line(id: u64, p: &Pending) -> String {
             line
         }
         Err(e) => format!(
-            "{{\"op\":\"result\",\"id\":{id},\"ok\":false,\"cancelled\":{},\"error\":\"{}\"}}",
+            "{{\"op\":\"result\",\"id\":{id},\"ok\":false,\"backend\":\"{}\",\
+             \"cancelled\":{},\"error\":\"{}\"}}",
+            p.backend.name(),
             e.is_cancelled(),
             escape(&e.to_string())
         ),
@@ -148,21 +165,25 @@ pub fn serve_connection<R: BufRead, W: Write>(
         let op = v.get("op").and_then(Value::as_str).unwrap_or("");
         match op {
             "submit" => match parse_submit(&v) {
-                Ok((req, want_labels)) => match server.submit(req) {
-                    Ok(handle) => {
-                        let id = handle.id().0;
-                        writeln!(writer, "{{\"op\":\"submitted\",\"id\":{id}}}")?;
-                        pending.insert(
-                            id,
-                            Pending {
-                                handle,
-                                want_labels,
-                            },
-                        );
-                        order.push(id);
+                Ok((req, want_labels)) => {
+                    let backend = req.backend;
+                    match server.submit(req) {
+                        Ok(handle) => {
+                            let id = handle.id().0;
+                            writeln!(writer, "{{\"op\":\"submitted\",\"id\":{id}}}")?;
+                            pending.insert(
+                                id,
+                                Pending {
+                                    handle,
+                                    want_labels,
+                                    backend,
+                                },
+                            );
+                            order.push(id);
+                        }
+                        Err(e) => writeln!(writer, "{}", err_line(None, &e.to_string()))?,
                     }
-                    Err(e) => writeln!(writer, "{}", err_line(None, &e.to_string()))?,
-                },
+                }
                 Err(e) => writeln!(writer, "{}", err_line(None, &e))?,
             },
             "wait" => {
@@ -261,6 +282,8 @@ mod tests {
         assert!(lines[1].contains("\"op\":\"submitted\""), "{lines:?}");
         assert!(lines[2].contains("\"ok\":true"), "{lines:?}");
         assert!(lines[3].contains("\"ok\":true"), "{lines:?}");
+        assert!(lines[2].contains("\"backend\":\"cpu\""), "{lines:?}");
+        assert!(lines[3].contains("\"backend\":\"cpu\""), "{lines:?}");
         assert!(lines[4].contains("\"op\":\"drained\""), "{lines:?}");
         proclus_telemetry::schema::validate_report_str(&lines[5]).unwrap();
         assert_eq!(lines[6], "{\"op\":\"bye\"}");
@@ -302,6 +325,28 @@ mod tests {
         let lines = session(&server, &input);
         let result = json::parse(&lines[1]).unwrap();
         assert_eq!(result.get("labels").unwrap().as_array().unwrap().len(), 240);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn result_lines_echo_the_requested_backend() {
+        let path = csv_fixture("backend_echo");
+        let server = Server::start(ServeConfig::default().with_workers(1)).expect("server starts");
+        let input = format!(
+            "{{\"op\":\"submit\",\"dataset\":\"{p}\",\"k\":2,\"l\":2,\"a\":10,\"b\":3,\
+             \"backend\":\"sharded\",\"devices\":2}}\n\
+             {{\"op\":\"submit\",\"dataset\":\"{p}\",\"k\":2,\"l\":2,\"a\":10,\"b\":3,\
+             \"backend\":\"gpu\"}}\n\
+             {{\"op\":\"wait\",\"id\":0}}\n{{\"op\":\"wait\",\"id\":1}}\n",
+            p = path.display()
+        );
+        let lines = session(&server, &input);
+        assert!(lines[2].contains("\"backend\":\"sharded\""), "{lines:?}");
+        assert!(lines[3].contains("\"backend\":\"gpu\""), "{lines:?}");
+        for l in &lines[2..4] {
+            let v = json::parse(l).unwrap();
+            assert!(matches!(v.get("ok"), Some(Value::Bool(true))), "{l}");
+        }
         std::fs::remove_file(path).ok();
     }
 }

@@ -171,7 +171,10 @@ impl DatasetRegistry {
         }
         // This thread owns the load for `key`; the guard releases the claim
         // and wakes waiters on every exit path, including load errors.
-        let claim = PendingGuard { reg: self, key: &key };
+        let claim = PendingGuard {
+            reg: self,
+            key: &key,
+        };
         metrics.inc_dataset_cache_misses();
         self.loads.fetch_add(1, Ordering::Relaxed);
         // Load outside both locks: a slow disk read must not block lookups

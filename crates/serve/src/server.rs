@@ -459,7 +459,7 @@ fn run_solo(
         .with_telemetry(inner.cfg.telemetry);
     let out = match q.spec.backend {
         Backend::Cpu => proclus::run_with_cancel(data, &config, &q.shared.cancel),
-        Backend::Gpu => {
+        Backend::Gpu | Backend::Sharded => {
             proclus_gpu::run_on_with_cancel(gpu_device(device), data, &config, &q.shared.cancel)
         }
     };
@@ -525,6 +525,23 @@ fn run_grid(
         }
         Backend::Gpu => {
             match proclus_gpu::gpu_fast_proclus_multi_outcomes(
+                gpu_device(device),
+                data,
+                &base,
+                &settings,
+                inner.cfg.reuse,
+                rec,
+                &cancels,
+            ) {
+                Ok(o) => o,
+                Err(e) => {
+                    let e = ServeError::Algorithm(ProclusError::from(e));
+                    return live.iter().map(|_| Err(e.clone())).collect();
+                }
+            }
+        }
+        Backend::Sharded => {
+            match proclus_gpu::sharded_fast_proclus_multi_outcomes(
                 gpu_device(device),
                 data,
                 &base,

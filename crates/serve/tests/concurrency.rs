@@ -52,7 +52,8 @@ proptest! {
 /// thread must get the same cached `Arc`.
 #[test]
 fn concurrent_loads_of_the_same_dataset_load_exactly_once() {
-    let path = std::env::temp_dir().join(format!("proclus-singleflight-{}.csv", std::process::id()));
+    let path =
+        std::env::temp_dir().join(format!("proclus-singleflight-{}.csv", std::process::id()));
     let mut csv = String::new();
     for i in 0..50 {
         csv.push_str(&format!("{},{},{}\n", i, i * 2, i % 7));

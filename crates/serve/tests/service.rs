@@ -95,7 +95,8 @@ fn batched_jobs_compute_strictly_fewer_distances_than_sequential() {
 #[test]
 fn batched_results_match_the_equivalent_grid_run() {
     let data = blob_data(400);
-    let server = Server::start(paused_single_worker().with_reuse(ReuseLevel::SharedGreedy)).expect("server starts");
+    let server = Server::start(paused_single_worker().with_reuse(ReuseLevel::SharedGreedy))
+        .expect("server starts");
     let dataset = DatasetRef::inline("blobs", data.clone());
     // Submit smallest-k first to prove the scheduler reorders largest-first.
     let h2 = server
@@ -165,7 +166,8 @@ fn deadline_exceeded_cancels_instead_of_hanging() {
 #[test]
 fn full_queue_rejects_with_backpressure() {
     let data = blob_data(200);
-    let server = Server::start(paused_single_worker().with_queue_capacity(2)).expect("server starts");
+    let server =
+        Server::start(paused_single_worker().with_queue_capacity(2)).expect("server starts");
     let dataset = DatasetRef::inline("blobs", data);
     server
         .submit(JobRequest::new(dataset.clone(), params(2, 2)))

@@ -150,9 +150,7 @@ mod imp {
     /// innermost lock this thread already holds and runs the cycle check.
     pub(crate) fn on_acquire_attempt(name: &'static str, kind: &'static str) {
         let holder = HELD.with(|h| h.borrow().last().map(|&(n, _)| n));
-        let mut reg = registry()
-            .lock()
-            .unwrap_or_else(PoisonError::into_inner);
+        let mut reg = registry().lock().unwrap_or_else(PoisonError::into_inner);
         reg.locks.entry(name).or_default().kind = kind;
         let Some(held) = holder else { return };
         if held == name {
@@ -198,18 +196,14 @@ mod imp {
     /// Called when a fast-path `try_lock` failed and the thread is about
     /// to block — a cheap contention estimate, not a precise count.
     pub(crate) fn on_contended(name: &'static str) {
-        let mut reg = registry()
-            .lock()
-            .unwrap_or_else(PoisonError::into_inner);
+        let mut reg = registry().lock().unwrap_or_else(PoisonError::into_inner);
         reg.locks.entry(name).or_default().contended_estimate += 1;
     }
 
     /// Called once the lock is actually held.
     pub(crate) fn on_acquired(name: &'static str) {
         {
-            let mut reg = registry()
-                .lock()
-                .unwrap_or_else(PoisonError::into_inner);
+            let mut reg = registry().lock().unwrap_or_else(PoisonError::into_inner);
             reg.locks.entry(name).or_default().acquisitions += 1;
         }
         HELD.with(|h| h.borrow_mut().push((name, Instant::now())));
@@ -226,9 +220,7 @@ mod imp {
         });
         let Some(since) = since else { return };
         let held_us = since.elapsed().as_micros() as u64;
-        let mut reg = registry()
-            .lock()
-            .unwrap_or_else(PoisonError::into_inner);
+        let mut reg = registry().lock().unwrap_or_else(PoisonError::into_inner);
         let stats = reg.locks.entry(name).or_default();
         if held_us > stats.max_hold_us {
             stats.max_hold_us = held_us;
@@ -268,9 +260,7 @@ mod imp {
                 .collect()
         });
         if !others.is_empty() {
-            let mut reg = registry()
-                .lock()
-                .unwrap_or_else(PoisonError::into_inner);
+            let mut reg = registry().lock().unwrap_or_else(PoisonError::into_inner);
             let message = format!(
                 "condvar wait on `{name}` while holding [{}] in thread `{}`: the held locks \
                  block every other thread for the full sleep",
@@ -300,9 +290,7 @@ mod imp {
     }
 
     pub(crate) fn registry_report() -> LockReport {
-        let reg = registry()
-            .lock()
-            .unwrap_or_else(PoisonError::into_inner);
+        let reg = registry().lock().unwrap_or_else(PoisonError::into_inner);
         LockReport {
             mode: crate::mode().name().to_string(),
             lockcheck: true,
@@ -332,9 +320,7 @@ mod imp {
     }
 
     pub(crate) fn registry_reset() {
-        let mut reg = registry()
-            .lock()
-            .unwrap_or_else(PoisonError::into_inner);
+        let mut reg = registry().lock().unwrap_or_else(PoisonError::into_inner);
         reg.locks.clear();
         reg.edges.clear();
         reg.findings.clear();

@@ -171,10 +171,7 @@ impl<S: Clone> ModelBuilder<S> {
     }
 
     /// A safety invariant checked after every step of every schedule.
-    pub fn invariant_always(
-        mut self,
-        check: impl Fn(&S) -> Result<(), String> + 'static,
-    ) -> Self {
+    pub fn invariant_always(mut self, check: impl Fn(&S) -> Result<(), String> + 'static) -> Self {
         self.always.push(Box::new(check));
         self
     }

@@ -232,7 +232,10 @@ fn registry_concurrent_loads_of_one_fingerprint_hash_once() {
         })
         .invariant_always(|s| {
             if s.bytes > s.budget {
-                Err(format!("cache at {} bytes exceeds budget {}", s.bytes, s.budget))
+                Err(format!(
+                    "cache at {} bytes exceeds budget {}",
+                    s.bytes, s.budget
+                ))
             } else {
                 Ok(())
             }
@@ -246,7 +249,10 @@ fn registry_concurrent_loads_of_one_fingerprint_hash_once() {
                 return Err("pending set not drained".to_string());
             }
             if s.hits != 1 {
-                return Err(format!("{} cache hits, expected the late loader's 1", s.hits));
+                return Err(format!(
+                    "{} cache hits, expected the late loader's 1",
+                    s.hits
+                ));
             }
             Ok(())
         })
@@ -286,7 +292,10 @@ fn registry_eviction_never_exceeds_budget_in_any_interleaving() {
     })
     .invariant_always(|s| {
         if s.bytes > s.budget {
-            Err(format!("cache at {} bytes exceeds budget {}", s.bytes, s.budget))
+            Err(format!(
+                "cache at {} bytes exceeds budget {}",
+                s.bytes, s.budget
+            ))
         } else {
             Ok(())
         }

@@ -15,6 +15,11 @@
 //!   `algo`/`backend`) exists; baseline counter keys are present; the
 //!   paper's ordering holds (FAST and FAST* never compute more distances
 //!   than the baseline algorithm on the same backend).
+//! * `shard` (`BENCH_shard.json`): device counts 1, 2 and 4 are present
+//!   with positive simulated times; the multi-device speedups clear the
+//!   absolute floors (≥1.6× at D=2, ≥2.5× at D=4 — simulated clocks are
+//!   deterministic, so the floors are machine-independent); and each
+//!   speedup is within an absolute tolerance of the baseline's.
 
 use std::path::Path;
 
@@ -37,7 +42,7 @@ fn load(path: &Path) -> Result<Value, String> {
     parse(&text).map_err(|e| format!("parse {}: {e}", path.display()))
 }
 
-/// Dispatches on `kind` (`serve` / `telemetry`).
+/// Dispatches on `kind` (`serve` / `telemetry` / `shard`).
 pub fn run(
     kind: &str,
     baseline: &Path,
@@ -50,7 +55,10 @@ pub fn run(
     match kind {
         "serve" => Ok(compare_serve(&base, &new, &file, tolerance)),
         "telemetry" => Ok(compare_telemetry(&base, &new, &file)),
-        other => Err(format!("unknown bench kind `{other}` (serve, telemetry)")),
+        "shard" => Ok(compare_shard(&base, &new, &file, tolerance)),
+        other => Err(format!(
+            "unknown bench kind `{other}` (serve, telemetry, shard)"
+        )),
     }
 }
 
@@ -146,6 +154,68 @@ pub fn compare_serve(base: &Value, new: &Value, file: &str, tolerance: f64) -> V
     findings
 }
 
+/// The speedup floors the sharded backend must clear over its own D=1 run.
+const SHARD_FLOORS: [(f64, f64); 2] = [(2.0, 1.6), (4.0, 2.5)];
+
+fn device_entry(doc: &Value, devices: f64) -> Option<&Value> {
+    doc.get("devices")?
+        .as_array()?
+        .iter()
+        .find(|e| e.get("devices").and_then(Value::as_f64) == Some(devices))
+}
+
+/// Compares shard-bench documents; see the module docs for the contract.
+pub fn compare_shard(base: &Value, new: &Value, file: &str, tolerance: f64) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for devices in [1.0, 2.0, 4.0] {
+        let Some(entry) = device_entry(new, devices) else {
+            findings.push(fail(
+                "bench_structure",
+                file,
+                format!("device count {devices} missing from fresh run"),
+            ));
+            continue;
+        };
+        let sim_ms = num(entry, "sim_ms");
+        if sim_ms.is_nan() || sim_ms <= 0.0 {
+            findings.push(fail(
+                "bench_structure",
+                file,
+                format!("devices={devices}: sim_ms = {sim_ms} — expected positive"),
+            ));
+        }
+    }
+    if !findings.is_empty() {
+        return findings;
+    }
+    for (devices, floor) in SHARD_FLOORS {
+        let entry = device_entry(new, devices).expect("checked above");
+        let speedup = num(entry, "speedup");
+        if speedup.is_nan() || speedup < floor {
+            findings.push(fail(
+                "bench_regression",
+                file,
+                format!("devices={devices}: speedup {speedup:.2}x below the {floor}x floor"),
+            ));
+        }
+        // Simulated clocks are deterministic, so a drop versus the committed
+        // baseline means the sharding cost model regressed, not the machine.
+        if let Some(base_speedup) = device_entry(base, devices).map(|e| num(e, "speedup")) {
+            if base_speedup.is_finite() && speedup < base_speedup - tolerance {
+                findings.push(fail(
+                    "bench_regression",
+                    file,
+                    format!(
+                        "devices={devices}: speedup {speedup:.2}x drifted below baseline \
+                         {base_speedup:.2}x (tolerance -{tolerance})"
+                    ),
+                ));
+            }
+        }
+    }
+    findings
+}
+
 fn run_key(run: &Value) -> Option<(String, String)> {
     let meta = run.get("meta")?;
     Some((
@@ -158,10 +228,7 @@ fn run_key(run: &Value) -> Option<(String, String)> {
 pub fn compare_telemetry(base: &Value, new: &Value, file: &str) -> Vec<Finding> {
     let mut findings = Vec::new();
     let empty: Vec<Value> = Vec::new();
-    let base_runs = base
-        .get("runs")
-        .and_then(Value::as_array)
-        .unwrap_or(&empty);
+    let base_runs = base.get("runs").and_then(Value::as_array).unwrap_or(&empty);
     let new_runs = new.get("runs").and_then(Value::as_array).unwrap_or(&empty);
     if base_runs.is_empty() || new_runs.is_empty() {
         findings.push(fail(
@@ -210,10 +277,7 @@ pub fn compare_telemetry(base: &Value, new: &Value, file: &str) -> Vec<Finding> 
             let run = new_runs
                 .iter()
                 .find(|r| run_key(r) == Some((algo.to_string(), backend.to_string())))?;
-            let v = num(
-                run.get("totals")?,
-                "distances_computed",
-            );
+            let v = num(run.get("totals")?, "distances_computed");
             v.is_finite().then_some(v)
         };
         let (Some(base_d), fast_d, star_d) = (dist("baseline"), dist("fast"), dist("fast_star"))
@@ -299,6 +363,48 @@ mod tests {
         assert!(compare_telemetry(&base, &telemetry_doc(250_000), "f").is_empty());
         let f = compare_telemetry(&base, &telemetry_doc(2_000_000), "f");
         assert!(f.iter().any(|f| f.rule == "bench_regression"), "{f:?}");
+    }
+
+    fn shard_doc(speedup2: f64, speedup4: f64) -> Value {
+        let json = format!(
+            "{{\"version\":1,\"workload\":{{\"n\":512000,\"d\":16,\"k\":8,\"l\":6,\
+             \"seed\":1,\"reps\":1,\"quick\":false}},\"devices\":[\
+             {{\"devices\":1,\"sim_ms\":24.0,\"speedup\":1}},\
+             {{\"devices\":2,\"sim_ms\":{},\"speedup\":{speedup2}}},\
+             {{\"devices\":4,\"sim_ms\":{},\"speedup\":{speedup4}}}]}}",
+            24.0 / speedup2,
+            24.0 / speedup4
+        );
+        parse(&json).expect("valid fixture")
+    }
+
+    #[test]
+    fn shard_floors_pass_and_fail() {
+        let base = shard_doc(1.8, 2.9);
+        assert!(compare_shard(&base, &shard_doc(1.7, 2.8), "f", 0.25).is_empty());
+        let f = compare_shard(&base, &shard_doc(1.7, 2.3), "f", 1.0);
+        assert!(
+            f.iter().any(|f| f.message.contains("below the 2.5x floor")),
+            "{f:?}"
+        );
+    }
+
+    #[test]
+    fn shard_drift_below_baseline_fails() {
+        let base = shard_doc(2.0, 3.4);
+        let f = compare_shard(&base, &shard_doc(1.9, 2.9), "f", 0.25);
+        assert!(f.iter().any(|f| f.message.contains("drifted")), "{f:?}");
+    }
+
+    #[test]
+    fn shard_missing_device_count_fails() {
+        let base = shard_doc(1.8, 2.9);
+        let fresh =
+            parse("{\"version\":1,\"devices\":[{\"devices\":1,\"sim_ms\":24.0,\"speedup\":1}]}")
+                .expect("valid fixture");
+        let f = compare_shard(&base, &fresh, "f", 0.25);
+        assert_eq!(f.len(), 2, "{f:?}");
+        assert!(f.iter().all(|f| f.rule == "bench_structure"), "{f:?}");
     }
 
     #[test]

@@ -9,7 +9,7 @@
 //!   manifests ([`deny`]); writes `results/deny.json`.
 //! * `msrv` — checks the MSRV pin: the workspace sets `rust-version`
 //!   and every member inherits it.
-//! * `bench-compare --kind <serve|telemetry> <baseline> <fresh>` —
+//! * `bench-compare --kind <serve|telemetry|shard> <baseline> <fresh>` —
 //!   ratio/structure comparison of a fresh bench run against the
 //!   committed baseline ([`bench_compare`]).
 
@@ -53,10 +53,7 @@ fn dispatch(args: &[String]) -> Result<Vec<Finding>, String> {
                 .unwrap_or_else(|| format!("{root}/results/lint_findings.json"));
             let findings = lint::run(Path::new(&root))?;
             write_json(&out, &findings_json(&findings))?;
-            println!(
-                "lint: {} finding(s), report at {out}",
-                findings.len()
-            );
+            println!("lint: {} finding(s), report at {out}", findings.len());
             Ok(findings)
         }
         "deny" => {
@@ -98,7 +95,7 @@ fn dispatch(args: &[String]) -> Result<Vec<Finding>, String> {
 
 fn usage() -> String {
     "usage: cargo xtask <lint|deny|msrv|bench-compare> [--root DIR] [--json-out PATH]\n       \
-     cargo xtask bench-compare --kind <serve|telemetry> [--tolerance F] <baseline> <fresh>"
+     cargo xtask bench-compare --kind <serve|telemetry|shard> [--tolerance F] <baseline> <fresh>"
         .to_string()
 }
 
@@ -151,7 +148,10 @@ fn msrv(root: &Path) -> Result<Vec<Finding>, String> {
         if line.starts_with('[') && line.ends_with(']') {
             section = line[1..line.len() - 1].to_string();
         } else if section == "workspace.package" && line.starts_with("rust-version") {
-            pinned = line.split('=').nth(1).map(|v| v.trim().trim_matches('"').to_string());
+            pinned = line
+                .split('=')
+                .nth(1)
+                .map(|v| v.trim().trim_matches('"').to_string());
         }
     }
     match pinned {

@@ -14,8 +14,6 @@
 //! cargo run --release --example anomaly_detection
 //! ```
 
-#![allow(deprecated)] // exercises the legacy entry points deliberately
-
 use gpu_fast_proclus::prelude::*;
 use proclus::ProclusRng;
 
@@ -72,7 +70,8 @@ fn main() {
     data.minmax_normalize();
 
     let params = Params::new(3, 3).with_seed(17);
-    let result = fast_proclus(&data, &params).expect("valid configuration");
+    let output = run(&data, &Config::new(params)).expect("valid configuration");
+    let result = output.clustering();
 
     let mut true_pos = 0usize;
     let mut false_pos = 0usize;

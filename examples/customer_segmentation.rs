@@ -14,8 +14,6 @@
 //! cargo run --release --example customer_segmentation
 //! ```
 
-#![allow(deprecated)] // exercises the legacy entry points deliberately
-
 use gpu_fast_proclus::prelude::*;
 use proclus::ProclusRng;
 
@@ -67,7 +65,8 @@ fn main() {
 
     // k = 4 segments, l = 2.5 average defining attributes rounded up.
     let params = Params::new(4, 3).with_seed(5);
-    let result = fast_proclus(&data, &params).expect("valid configuration");
+    let output = run(&data, &Config::new(params)).expect("valid configuration");
+    let result = output.clustering();
 
     println!(
         "discovered {} segments over {} customers\n",

@@ -44,8 +44,6 @@ pub use proclus_telemetry;
 pub mod prelude {
     pub use datagen::{self, SyntheticConfig};
     pub use gpu_sim::{Device, DeviceConfig};
-    #[allow(deprecated)]
-    pub use proclus::{fast_proclus, fast_star_proclus, proclus};
     pub use proclus::{
         fast_proclus_multi, run, Algo, Backend, Clustering, Config, DataMatrix, Grid, Params,
         ReuseLevel, RunOutput, Setting, OUTLIER,

@@ -1,20 +1,18 @@
-//! Cancellation routing: every entry point — including the deprecated
-//! shims — goes through the one cancellation-aware driver per backend.
+//! Cancellation routing: every entry point goes through the one
+//! cancellation-aware driver per backend.
 //!
 //! * A pre-cancelled token makes `run_with_cancel` / `run_on_with_cancel`
 //!   return [`ProclusError::Cancelled`] for every algorithm × backend, so
 //!   there is no uncancellable path left.
-//! * The shims produce bit-identical output to the unified entry points
-//!   (same driver, fresh token) — they are aliases, not forks.
+//! * `run` produces bit-identical output to `run_with_cancel` with a fresh
+//!   token (same `Backend`-trait driver underneath), and the remaining GPU
+//!   shims stay aliases of the unified entry points — no forked drivers.
 //! * In a grid run, cancelling one setting fails that setting only.
 
-#![allow(deprecated)] // exercises the legacy entry points deliberately
+#![allow(deprecated)] // exercises the legacy GPU entry points deliberately
 
 use gpu_sim::{Device, DeviceConfig};
-use proclus::{
-    fast_proclus, fast_star_proclus, proclus, Algo, CancelToken, Config, DataMatrix, Params,
-    ProclusError, ReuseLevel, Setting,
-};
+use proclus::{Algo, CancelToken, Config, DataMatrix, Params, ProclusError, ReuseLevel, Setting};
 use proclus_gpu::{gpu_fast_proclus, gpu_fast_star_proclus, gpu_proclus};
 
 fn blob_data(n: usize) -> DataMatrix {
@@ -72,23 +70,17 @@ fn expired_deadline_token_cancels_with_a_deadline_reason() {
 }
 
 #[test]
-fn cpu_shims_are_aliases_of_the_unified_driver() {
+fn run_and_run_with_cancel_share_one_driver() {
+    // The six legacy CPU free functions are gone; `run` and
+    // `run_with_cancel` are the only CPU entry points left, and both must
+    // route through the same `Backend`-trait driver for every variant.
     let data = blob_data(400);
     let p = params();
-    type CpuShim = fn(&DataMatrix, &Params) -> proclus::Result<proclus::Clustering>;
-    let cases: [(Algo, CpuShim); 3] = [
-        (Algo::Baseline, proclus),
-        (Algo::Fast, fast_proclus),
-        (Algo::FastStar, fast_star_proclus),
-    ];
-    for (algo, shim) in cases {
-        let unified = proclus::run_with_cancel(
-            &data,
-            &Config::new(p.clone()).with_algo(algo),
-            &CancelToken::new(),
-        )
-        .unwrap();
-        assert_eq!(unified.clustering(), &shim(&data, &p).unwrap(), "{algo:?}");
+    for algo in [Algo::Baseline, Algo::Fast, Algo::FastStar] {
+        let config = Config::new(p.clone()).with_algo(algo);
+        let plain = proclus::run(&data, &config).unwrap();
+        let with_token = proclus::run_with_cancel(&data, &config, &CancelToken::new()).unwrap();
+        assert_eq!(plain.clustering(), with_token.clustering(), "{algo:?}");
     }
 }
 

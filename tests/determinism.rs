@@ -6,10 +6,18 @@
 //! change every benchmark. If a change is *intentional*, re-record the
 //! constants (instructions below).
 
-#![allow(deprecated)] // exercises the legacy entry points deliberately
-
 use datagen::synthetic::{generate, SyntheticConfig};
-use proclus::{fast_proclus, proclus, DataMatrix, Params};
+use proclus::{run, Algo, Clustering, Config, DataMatrix, Params};
+
+fn proclus(data: &DataMatrix, params: &Params) -> proclus::Result<Clustering> {
+    let config = Config::new(params.clone()).with_algo(Algo::Baseline);
+    run(data, &config).map(|o| o.clusterings.into_iter().next().expect("one clustering"))
+}
+
+fn fast_proclus(data: &DataMatrix, params: &Params) -> proclus::Result<Clustering> {
+    let config = Config::new(params.clone()).with_algo(Algo::Fast);
+    run(data, &config).map(|o| o.clusterings.into_iter().next().expect("one clustering"))
+}
 
 fn golden_data() -> DataMatrix {
     let mut g = generate(&SyntheticConfig {

@@ -5,13 +5,52 @@
 //! computed, so with the same seed every variant must visit the same
 //! medoid sequence and return the same result.
 
-#![allow(deprecated)] // exercises the legacy entry points deliberately
-
 use datagen::synthetic::{generate, SyntheticConfig};
-use proclus::{
-    fast_proclus, fast_proclus_par, fast_star_proclus, fast_star_proclus_par, proclus, proclus_par,
-    Clustering, DataMatrix, Params,
-};
+use proclus::{run, Algo, Clustering, Config, DataMatrix, Params};
+
+fn cpu(
+    data: &DataMatrix,
+    params: &Params,
+    algo: Algo,
+    threads: usize,
+) -> proclus::Result<Clustering> {
+    let config = Config::new(params.clone())
+        .with_algo(algo)
+        .with_threads(threads);
+    run(data, &config).map(|o| o.clusterings.into_iter().next().expect("one clustering"))
+}
+
+fn proclus(data: &DataMatrix, params: &Params) -> proclus::Result<Clustering> {
+    cpu(data, params, Algo::Baseline, 0)
+}
+
+fn fast_proclus(data: &DataMatrix, params: &Params) -> proclus::Result<Clustering> {
+    cpu(data, params, Algo::Fast, 0)
+}
+
+fn fast_star_proclus(data: &DataMatrix, params: &Params) -> proclus::Result<Clustering> {
+    cpu(data, params, Algo::FastStar, 0)
+}
+
+fn proclus_par(data: &DataMatrix, params: &Params, threads: usize) -> proclus::Result<Clustering> {
+    cpu(data, params, Algo::Baseline, threads)
+}
+
+fn fast_proclus_par(
+    data: &DataMatrix,
+    params: &Params,
+    threads: usize,
+) -> proclus::Result<Clustering> {
+    cpu(data, params, Algo::Fast, threads)
+}
+
+fn fast_star_proclus_par(
+    data: &DataMatrix,
+    params: &Params,
+    threads: usize,
+) -> proclus::Result<Clustering> {
+    cpu(data, params, Algo::FastStar, threads)
+}
 
 fn dataset(n: usize, d: usize, clusters: usize, seed: u64) -> DataMatrix {
     let cfg = SyntheticConfig {

@@ -4,12 +4,29 @@
 //! `equivalence.rs` / `gpu_vs_cpu.rs` — its job is to catch divergence in
 //! corners nobody thought to write a targeted test for.
 
-#![allow(deprecated)] // exercises the legacy entry points deliberately
+#![allow(deprecated)] // exercises the legacy GPU entry points deliberately
 
 use datagen::synthetic::{generate, SyntheticConfig};
 use gpu_sim::{Device, DeviceConfig};
-use proclus::{fast_proclus, fast_star_proclus, proclus, Clustering, DataMatrix, Params};
+use proclus::{run, Algo, Clustering, DataMatrix, Params};
 use proclus_gpu::{gpu_fast_proclus, gpu_fast_star_proclus, gpu_proclus};
+
+fn cpu(data: &DataMatrix, params: &Params, algo: Algo) -> proclus::Result<Clustering> {
+    let config = proclus::Config::new(params.clone()).with_algo(algo);
+    run(data, &config).map(|o| o.clusterings.into_iter().next().expect("one clustering"))
+}
+
+fn proclus(data: &DataMatrix, params: &Params) -> proclus::Result<Clustering> {
+    cpu(data, params, Algo::Baseline)
+}
+
+fn fast_proclus(data: &DataMatrix, params: &Params) -> proclus::Result<Clustering> {
+    cpu(data, params, Algo::Fast)
+}
+
+fn fast_star_proclus(data: &DataMatrix, params: &Params) -> proclus::Result<Clustering> {
+    cpu(data, params, Algo::FastStar)
+}
 
 struct Config {
     data: DataMatrix,

@@ -2,15 +2,20 @@
 //! CSV roundtrip, plus the device-facing failure modes a user will hit
 //! (OOM, unsupported configurations) and simulator reporting guarantees.
 
-#![allow(deprecated)] // exercises the legacy entry points deliberately
+#![allow(deprecated)] // exercises the legacy GPU entry points deliberately
 
 use std::path::PathBuf;
 
 use datagen::io::{load_csv, write_csv};
 use datagen::synthetic::{generate, SyntheticConfig};
 use gpu_sim::{Device, DeviceConfig};
-use proclus::{fast_proclus, Params};
+use proclus::{run, Clustering, Config, DataMatrix, Params};
 use proclus_gpu::{gpu_fast_proclus, GpuProclusError};
+
+fn fast_proclus(data: &DataMatrix, params: &Params) -> proclus::Result<Clustering> {
+    run(data, &Config::new(params.clone()))
+        .map(|o| o.clusterings.into_iter().next().expect("one clustering"))
+}
 
 fn tmp(name: &str) -> PathBuf {
     std::env::temp_dir().join(format!(

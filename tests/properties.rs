@@ -10,15 +10,26 @@
 //! * Full-algorithm invariant — any valid parameters produce a structurally
 //!   valid clustering on arbitrary data.
 
-#![allow(deprecated)] // exercises the legacy entry points deliberately
-
 use proptest::prelude::*;
 
 use proclus::distance::{euclidean, manhattan_segmental};
 use proclus::par::Executor;
 use proclus::phases::evaluate::evaluate_clusters;
 use proclus::phases::find_dimensions::{pick_dimensions, spread_stats};
-use proclus::{fast_proclus, proclus, DataMatrix, Params};
+use proclus::{Algo, Clustering, DataMatrix, Params};
+
+fn cpu(data: &DataMatrix, params: &Params, algo: Algo) -> proclus::Result<Clustering> {
+    let config = proclus::Config::new(params.clone()).with_algo(algo);
+    proclus::run(data, &config).map(|o| o.clusterings.into_iter().next().expect("one clustering"))
+}
+
+fn proclus(data: &DataMatrix, params: &Params) -> proclus::Result<Clustering> {
+    cpu(data, params, Algo::Baseline)
+}
+
+fn fast_proclus(data: &DataMatrix, params: &Params) -> proclus::Result<Clustering> {
+    cpu(data, params, Algo::Fast)
+}
 
 fn small_matrix() -> impl Strategy<Value = DataMatrix> {
     // n in 20..60, d in 2..6, values in a bounded range.

@@ -4,14 +4,19 @@
 //! clear projected structure — i.e. the implementation earns the "still
 //! competitive" claim PROCLUS carries (§1).
 
-#![allow(deprecated)] // exercises the legacy entry points deliberately
+#![allow(deprecated)] // exercises the legacy GPU entry points deliberately
 
 use datagen::synthetic::{generate, SyntheticConfig};
 use gpu_sim::{Device, DeviceConfig};
 use proclus::metrics::{adjusted_rand_index, normalized_mutual_information, purity};
 use proclus::metrics_subspace::{ce, clusters_from_labels, rnia, SubspaceCluster};
-use proclus::{fast_proclus, Params, OUTLIER};
+use proclus::{run, Clustering, Config, DataMatrix, Params, OUTLIER};
 use proclus_gpu::gpu_fast_proclus;
+
+fn fast_proclus(data: &DataMatrix, params: &Params) -> proclus::Result<Clustering> {
+    run(data, &Config::new(params.clone()))
+        .map(|o| o.clusterings.into_iter().next().expect("one clustering"))
+}
 
 fn well_separated(seed: u64) -> datagen::GeneratedData {
     let mut g = generate(&SyntheticConfig {

@@ -37,7 +37,7 @@ fn telemetry_for(algo: Algo, backend: Backend) -> proclus::telemetry::TelemetryR
         .with_telemetry(true);
     let output = match backend {
         Backend::Cpu => run(&data, &config).unwrap(),
-        Backend::Gpu => {
+        Backend::Gpu | Backend::Sharded => {
             let mut dev = Device::new(DeviceConfig::gtx_1660_ti());
             run_on(&mut dev, &data, &config).unwrap()
         }
