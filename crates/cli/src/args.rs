@@ -157,6 +157,38 @@ pub enum Command {
         /// Maximum jobs coalesced into one grid run.
         max_batch: usize,
     },
+    /// Drive a live streaming clusterer over a synthetic feed: seed it
+    /// with `n` points, then append `batch` points per epoch (optionally
+    /// under a sliding window) and re-cluster incrementally, printing the
+    /// per-epoch work ratios against a from-scratch run.
+    Stream {
+        /// Initial points.
+        n: usize,
+        /// Dimensions.
+        d: usize,
+        /// Planted clusters in the synthetic feed.
+        clusters: usize,
+        /// Number of clusters to find.
+        k: usize,
+        /// Average subspace dims.
+        l: usize,
+        /// Sample constant A.
+        a: usize,
+        /// Medoid constant B.
+        b: usize,
+        /// Points appended per epoch.
+        batch: usize,
+        /// Incremental epochs to run after the initial one.
+        epochs: usize,
+        /// Execution backend.
+        backend: Backend,
+        /// Simulated device count for the sharded backend.
+        devices: usize,
+        /// Seed.
+        seed: u64,
+        /// Sliding-window capacity, if any.
+        window: Option<usize>,
+    },
     /// Print help.
     Help,
 }
@@ -169,6 +201,7 @@ USAGE:
   proclus cluster <data.csv> --k <K | LO..HI> [--l L] [flags]
   proclus generate --out <file.csv> [--n N] [--d D] [--clusters C] [flags]
   proclus serve [--listen HOST:PORT] [--workers N] [--queue N] [--max-batch N]
+  proclus stream [--n N] [--batch B] [--epochs E] [--backend B] [flags]
   proclus help
 
 cluster flags:
@@ -201,6 +234,21 @@ differing only in k/l are coalesced into one shared grid run):
   --workers N        worker threads                               [2]
   --queue N          bounded queue capacity (backpressure)        [64]
   --max-batch N      max jobs coalesced into one grid run         [16]
+
+stream flags (synthetic incremental driver: seeds a live dataset, then
+appends --batch points per epoch and re-clusters incrementally,
+reporting the per-epoch work ratio vs a from-scratch run):
+  --n N              initial points                               [2000]
+  --d D              dimensions                                   [8]
+  --clusters C       planted clusters in the feed                 [6]
+  --k K  --l L       clusters to find / avg subspace dims         [6, 3]
+  --a A  --b B       PROCLUS sampling constants                   [20, 4]
+  --batch B          points appended per epoch                    [20]
+  --epochs E         incremental epochs after the initial one     [5]
+  --backend B        cpu|gpu|sharded                              [cpu]
+  --devices N        simulated devices (sharded backend)          [2]
+  --seed S           RNG seed                                     [42]
+  --window W         sliding-window capacity (oldest evicted)
 ";
 
 fn take_value(
@@ -391,6 +439,74 @@ impl Cli {
                     workers,
                     queue_capacity,
                     max_batch,
+                }
+            }
+            Some("stream") => {
+                let mut n = 2_000usize;
+                let mut d = 8usize;
+                let mut clusters = 6usize;
+                let mut k = 6usize;
+                let mut l = 3usize;
+                let mut a = 20usize;
+                let mut b = 4usize;
+                let mut batch = 20usize;
+                let mut epochs = 5usize;
+                let mut backend = Backend::default();
+                let mut devices = 2usize;
+                let mut seed = 42u64;
+                let mut window: Option<usize> = None;
+                while let Some(arg) = args.next() {
+                    match arg.as_str() {
+                        "--n" => n = parse_num(take_value(&mut args, "--n")?, "--n")?,
+                        "--d" => d = parse_num(take_value(&mut args, "--d")?, "--d")?,
+                        "--clusters" => {
+                            clusters =
+                                parse_num(take_value(&mut args, "--clusters")?, "--clusters")?;
+                        }
+                        "--k" => k = parse_num(take_value(&mut args, "--k")?, "--k")?,
+                        "--l" => l = parse_num(take_value(&mut args, "--l")?, "--l")?,
+                        "--a" => a = parse_num(take_value(&mut args, "--a")?, "--a")?,
+                        "--b" => b = parse_num(take_value(&mut args, "--b")?, "--b")?,
+                        "--batch" => {
+                            batch = parse_num(take_value(&mut args, "--batch")?, "--batch")?;
+                        }
+                        "--epochs" => {
+                            epochs = parse_num(take_value(&mut args, "--epochs")?, "--epochs")?;
+                        }
+                        "--backend" => {
+                            let v = take_value(&mut args, "--backend")?;
+                            backend = Backend::parse(&v).ok_or_else(|| {
+                                format!("unknown backend `{v}` (cpu | gpu | sharded)")
+                            })?;
+                        }
+                        "--devices" => {
+                            devices = parse_num(take_value(&mut args, "--devices")?, "--devices")?;
+                            if devices == 0 {
+                                return Err("--devices must be at least 1".to_string());
+                            }
+                        }
+                        "--seed" => seed = parse_num(take_value(&mut args, "--seed")?, "--seed")?,
+                        "--window" => {
+                            window =
+                                Some(parse_num(take_value(&mut args, "--window")?, "--window")?);
+                        }
+                        other => return Err(format!("unexpected argument `{other}`")),
+                    }
+                }
+                Command::Stream {
+                    n,
+                    d,
+                    clusters,
+                    k,
+                    l,
+                    a,
+                    b,
+                    batch,
+                    epochs,
+                    backend,
+                    devices,
+                    seed,
+                    window,
                 }
             }
             Some(other) => return Err(format!("unknown command `{other}` (try `proclus help`)")),
@@ -671,6 +787,92 @@ mod tests {
             }
             _ => panic!("wrong command"),
         }
+    }
+
+    #[test]
+    fn stream_defaults() {
+        let cli = parse(&["stream"]).unwrap();
+        assert_eq!(
+            cli.command,
+            Command::Stream {
+                n: 2000,
+                d: 8,
+                clusters: 6,
+                k: 6,
+                l: 3,
+                a: 20,
+                b: 4,
+                batch: 20,
+                epochs: 5,
+                backend: Backend::Cpu,
+                devices: 2,
+                seed: 42,
+                window: None,
+            }
+        );
+    }
+
+    #[test]
+    fn stream_full_flags() {
+        let cli = parse(&[
+            "stream",
+            "--n",
+            "500",
+            "--d",
+            "4",
+            "--clusters",
+            "3",
+            "--k",
+            "3",
+            "--l",
+            "2",
+            "--a",
+            "10",
+            "--b",
+            "3",
+            "--batch",
+            "5",
+            "--epochs",
+            "2",
+            "--backend",
+            "sharded",
+            "--devices",
+            "4",
+            "--seed",
+            "7",
+            "--window",
+            "400",
+        ])
+        .unwrap();
+        assert_eq!(
+            cli.command,
+            Command::Stream {
+                n: 500,
+                d: 4,
+                clusters: 3,
+                k: 3,
+                l: 2,
+                a: 10,
+                b: 3,
+                batch: 5,
+                epochs: 2,
+                backend: Backend::Sharded,
+                devices: 4,
+                seed: 7,
+                window: Some(400),
+            }
+        );
+    }
+
+    #[test]
+    fn stream_rejects_bad_flags() {
+        assert!(parse(&["stream", "--bogus"]).is_err());
+        assert!(parse(&["stream", "--backend", "tpu"])
+            .unwrap_err()
+            .contains("tpu"));
+        assert!(parse(&["stream", "--devices", "0"])
+            .unwrap_err()
+            .contains("--devices"));
     }
 
     #[test]

@@ -234,7 +234,158 @@ pub fn execute(cli: &Cli) -> Result<String, (i32, String)> {
             queue_capacity,
             max_batch,
         } => serve(listen.as_deref(), *workers, *queue_capacity, *max_batch),
+        Command::Stream {
+            n,
+            d,
+            clusters,
+            k,
+            l,
+            a,
+            b,
+            batch,
+            epochs,
+            backend,
+            devices,
+            seed,
+            window,
+        } => stream(StreamArgs {
+            n: *n,
+            d: *d,
+            clusters: *clusters,
+            k: *k,
+            l: *l,
+            a: *a,
+            b: *b,
+            batch: *batch,
+            epochs: *epochs,
+            backend: *backend,
+            devices: *devices,
+            seed: *seed,
+            window: *window,
+        }),
     }
+}
+
+/// The `proclus stream` knobs, bundled so the driver reads like the
+/// command line.
+struct StreamArgs {
+    n: usize,
+    d: usize,
+    clusters: usize,
+    k: usize,
+    l: usize,
+    a: usize,
+    b: usize,
+    batch: usize,
+    epochs: usize,
+    backend: Backend,
+    devices: usize,
+    seed: u64,
+    window: Option<usize>,
+}
+
+/// Drives a [`proclus_stream::StreamingClusterer`] over a synthetic feed:
+/// one cold epoch on the initial `n` points, then `epochs` incremental
+/// epochs of `batch` appended points each, printing per-epoch work ratios
+/// against the cold run.
+fn stream(args: StreamArgs) -> Result<String, (i32, String)> {
+    use proclus_stream::{StreamBackendSpec, StreamingClusterer};
+
+    let total = args.n + args.batch * args.epochs;
+    let cfg = datagen::SyntheticConfig {
+        n: total,
+        d: args.d,
+        num_clusters: args.clusters.max(1),
+        subspace_dims: args.l.min(args.d),
+        std_dev: 5.0,
+        value_range: (0.0, 100.0),
+        noise_fraction: 0.0,
+        seed: args.seed,
+    };
+    let feed = datagen::synthetic::generate(&cfg);
+
+    let params = Params::new(args.k, args.l)
+        .with_a(args.a)
+        .with_b(args.b)
+        .with_seed(args.seed);
+    let spec = match args.backend {
+        Backend::Cpu => StreamBackendSpec::Cpu {
+            exec: proclus::par::Executor::Sequential,
+        },
+        Backend::Gpu => StreamBackendSpec::gpu(DeviceConfig::gtx_1660_ti()),
+        Backend::Sharded => StreamBackendSpec::Sharded {
+            config: DeviceConfig::gtx_1660_ti(),
+            devices: args.devices.max(1),
+        },
+    };
+    let mut c =
+        StreamingClusterer::new(args.d, params, spec).map_err(|e| (exit_for(&e), e.to_string()))?;
+    if let Some(cap) = args.window {
+        c.set_window(Some(cap))
+            .map_err(|e| (exit_for(&e), e.to_string()))?;
+    }
+
+    let rec = &proclus::telemetry::NullRecorder;
+    let cancel = proclus::CancelToken::default();
+    let mut next_row = 0usize;
+    let mut push = |c: &mut StreamingClusterer, count: usize| -> Result<(), (i32, String)> {
+        for _ in 0..count {
+            if next_row >= feed.data.n() {
+                return Err((crate::exit::INVALID, "synthetic feed exhausted".to_string()));
+            }
+            c.append(feed.data.row(next_row))
+                .map_err(|e| (exit_for(&e), e.to_string()))?;
+            next_row += 1;
+        }
+        Ok(())
+    };
+
+    let mut out = format!(
+        "streaming {} + {} x {} points ({}-d, {} planted clusters) on {}\n\n\
+         {:>5}  {:>7}  {:>12}  {:>12}  {:>6}  {:>12}  {:>9}\n",
+        args.n,
+        args.epochs,
+        args.batch,
+        args.d,
+        args.clusters,
+        args.backend.name(),
+        "epoch",
+        "n",
+        "mode",
+        "distances",
+        "ratio",
+        "refined cost",
+        "sim ms"
+    );
+    let mut cold_distances = 0u64;
+    for epoch in 0..=args.epochs {
+        push(&mut c, if epoch == 0 { args.n } else { args.batch })?;
+        let r = c
+            .recluster(rec, &cancel)
+            .map_err(|e| (exit_for(&e), e.to_string()))?;
+        if epoch == 0 {
+            cold_distances = r.distances.max(1);
+        }
+        let sim = r
+            .sim_us
+            .map(|us| format!("{:.3}", us / 1e3))
+            .unwrap_or_else(|| "-".to_string());
+        out.push_str(&format!(
+            "{:>5}  {:>7}  {:>12}  {:>12}  {:>6.3}  {:>12.4}  {:>9}\n",
+            epoch,
+            r.n,
+            r.mode.as_str(),
+            r.distances,
+            r.distances as f64 / cold_distances as f64,
+            r.refined_cost,
+            sim
+        ));
+    }
+    out.push_str(
+        "\nratio = full distance computations this epoch / the cold epoch's; \
+         incremental epochs re-use cached rows and memoized assignments.\n",
+    );
+    Ok(out)
 }
 
 /// Runs the LDJSON clustering service: one session over stdin/stdout, or
@@ -568,6 +719,73 @@ mod tests {
         proclus::telemetry::schema::validate_any_str(&tel_json).unwrap();
         std::fs::remove_file(data_path).ok();
         std::fs::remove_file(tel_path).ok();
+    }
+
+    #[test]
+    fn stream_driver_reports_incremental_epochs() {
+        let out = execute(&cli(&[
+            "stream",
+            "--n",
+            "600",
+            "--d",
+            "5",
+            "--clusters",
+            "3",
+            "--k",
+            "3",
+            "--l",
+            "2",
+            "--a",
+            "10",
+            "--b",
+            "3",
+            "--batch",
+            "6",
+            "--epochs",
+            "2",
+            "--seed",
+            "11",
+        ]))
+        .unwrap();
+        assert!(out.contains("full"), "{out}");
+        assert!(out.contains("incremental"), "{out}");
+        // Epoch 0 is the cold baseline (ratio 1.000); later epochs shrink.
+        assert!(out.contains("1.000"), "{out}");
+    }
+
+    #[test]
+    fn stream_driver_runs_on_the_gpu_backend_with_a_window() {
+        let out = execute(&cli(&[
+            "stream",
+            "--n",
+            "400",
+            "--d",
+            "4",
+            "--clusters",
+            "3",
+            "--k",
+            "3",
+            "--l",
+            "2",
+            "--a",
+            "10",
+            "--b",
+            "3",
+            "--batch",
+            "4",
+            "--epochs",
+            "1",
+            "--backend",
+            "gpu",
+            "--window",
+            "400",
+            "--seed",
+            "5",
+        ]))
+        .unwrap();
+        // The GPU backend reports simulated time in the sim ms column.
+        assert!(out.contains("sim ms"), "{out}");
+        assert!(!out.contains("  -\n"), "expected sim times, got:\n{out}");
     }
 
     #[test]

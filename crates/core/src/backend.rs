@@ -43,9 +43,9 @@ use proclus_telemetry::Recorder;
 
 use crate::dataset::DataMatrix;
 use crate::driver::XEngine;
-use crate::error::Result;
+use crate::error::{ProclusError, Result};
 use crate::par::Executor;
-use crate::phases::assign::{assign_points, cluster_sizes};
+use crate::phases::assign::{assign_points, assign_subset, cluster_sizes};
 use crate::phases::evaluate::evaluate_clusters;
 use crate::phases::find_dimensions::find_dimensions;
 use crate::phases::initialization::greedy_select;
@@ -132,6 +132,50 @@ pub trait Backend {
         dims: &[Vec<usize>],
         rec: &dyn Recorder,
     ) -> Result<()>;
+
+    /// Euclidean distances from the point at data index `medoid` to each of
+    /// `points` (data indices), in order. The streaming driver uses this as
+    /// its scatter/gather primitive: filling whole `Dist` rows on a cache
+    /// miss, patching only the appended columns of a carried-over row, and
+    /// running the farthest-point search one pick at a time. Backends
+    /// without a streaming path keep the default
+    /// [`ProclusError::Unsupported`].
+    fn dist_subset(
+        &mut self,
+        medoid: usize,
+        points: &[usize],
+        rec: &dyn Recorder,
+    ) -> Result<Vec<f32>> {
+        let _ = (medoid, points, rec);
+        Err(ProclusError::unsupported(format!(
+            "backend `{}` does not implement dist_subset (streaming)",
+            self.name()
+        )))
+    }
+
+    /// Seeded AssignPoints for the streaming driver: install `seed_labels`
+    /// as the full label array (one entry per point; entries for `todo`
+    /// positions are ignored), then assign only the `todo` points against
+    /// `medoids` under `dims` (ties to the lower medoid index, exactly as
+    /// [`Backend::assign`]). Returns the cluster sizes over *all* points.
+    /// After this call the backend's label state must be complete — i.e.
+    /// [`Backend::evaluate`], [`Backend::save_best`],
+    /// [`Backend::remove_outliers`] and [`Backend::labels`] behave as if
+    /// [`Backend::assign`] had labelled every point.
+    fn assign_seeded(
+        &mut self,
+        medoids: &[usize],
+        dims: &[Vec<usize>],
+        seed_labels: &[i32],
+        todo: &[usize],
+        rec: &dyn Recorder,
+    ) -> Result<Vec<usize>> {
+        let _ = (medoids, dims, seed_labels, todo, rec);
+        Err(ProclusError::unsupported(format!(
+            "backend `{}` does not implement assign_seeded (streaming)",
+            self.name()
+        )))
+    }
 }
 
 /// The CPU backend: host execution through [`Executor`], with the variant
@@ -147,6 +191,14 @@ pub struct CpuBackend<'a> {
 }
 
 impl<'a> CpuBackend<'a> {
+    /// A CPU backend for drivers that compute `X` themselves (the
+    /// streaming driver): the internal `X` engine is the baseline
+    /// recompute and is only exercised if [`Backend::compute_x`] /
+    /// [`Backend::x_from_best`] are actually called.
+    pub fn new(data: &'a DataMatrix, exec: Executor) -> Self {
+        Self::with_engine(data, exec, Box::new(crate::baseline::BaselineEngine))
+    }
+
     /// Wraps an `X` engine; used by the variant constructors in
     /// `baseline` / `fast` / `fast_star`.
     pub(crate) fn with_engine(
@@ -238,5 +290,38 @@ impl Backend for CpuBackend<'_> {
     ) -> Result<()> {
         self.labels = remove_outliers(self.data, &self.labels, medoids, dims, &self.exec);
         Ok(())
+    }
+
+    fn dist_subset(
+        &mut self,
+        medoid: usize,
+        points: &[usize],
+        _rec: &dyn Recorder,
+    ) -> Result<Vec<f32>> {
+        let m_row = self.data.row(medoid);
+        Ok(points
+            .iter()
+            .map(|&p| crate::distance::euclidean(m_row, self.data.row(p)))
+            .collect())
+    }
+
+    fn assign_seeded(
+        &mut self,
+        medoids: &[usize],
+        dims: &[Vec<usize>],
+        seed_labels: &[i32],
+        todo: &[usize],
+        _rec: &dyn Recorder,
+    ) -> Result<Vec<usize>> {
+        if seed_labels.len() != self.data.n() {
+            return Err(ProclusError::data(format!(
+                "assign_seeded: {} seed labels for {} points",
+                seed_labels.len(),
+                self.data.n()
+            )));
+        }
+        self.labels = seed_labels.to_vec();
+        assign_subset(self.data, medoids, dims, todo, &mut self.labels, &self.exec);
+        Ok(cluster_sizes(&self.labels, medoids.len()))
     }
 }

@@ -36,6 +36,45 @@ pub fn assign_points(
     labels
 }
 
+/// Assigns only the points listed in `todo` (data indices), writing their
+/// labels into `labels` in place and leaving every other entry untouched.
+/// Per point this is exactly the [`assign_points`] rule — closest medoid by
+/// Manhattan segmental distance in the medoid's own subspace, ties to the
+/// lower medoid index — so seeding `labels` from a previous identical
+/// assignment and re-assigning only new points reproduces the full
+/// assignment bit for bit.
+pub fn assign_subset(
+    data: &DataMatrix,
+    medoids: &[usize],
+    subspaces: &[Vec<usize>],
+    todo: &[usize],
+    labels: &mut [i32],
+    exec: &Executor,
+) {
+    debug_assert_eq!(medoids.len(), subspaces.len());
+    debug_assert_eq!(labels.len(), data.n());
+    let k = medoids.len();
+    let mut out = vec![0i32; todo.len()];
+    exec.for_each_slice(&mut out, |off, sub| {
+        for (idx, lab) in sub.iter_mut().enumerate() {
+            let row = data.row(todo[off + idx]);
+            let mut best = f64::INFINITY;
+            let mut best_i = 0i32;
+            for i in 0..k {
+                let dist = manhattan_segmental(row, data.row(medoids[i]), &subspaces[i]);
+                if dist < best {
+                    best = dist;
+                    best_i = i as i32;
+                }
+            }
+            *lab = best_i;
+        }
+    });
+    for (&p, &lab) in todo.iter().zip(&out) {
+        labels[p] = lab;
+    }
+}
+
 /// Cluster sizes from a label array (ignores negative labels).
 pub fn cluster_sizes(labels: &[i32], k: usize) -> Vec<usize> {
     let mut sizes = vec![0usize; k];
@@ -112,5 +151,31 @@ mod tests {
     #[test]
     fn cluster_sizes_ignore_outliers() {
         assert_eq!(cluster_sizes(&[0, 1, -1, 1, 0, 0], 2), vec![3, 2]);
+    }
+
+    #[test]
+    fn seeded_subset_assignment_matches_full_assignment() {
+        let rows: Vec<Vec<f32>> = (0..200)
+            .map(|i| vec![(i % 17) as f32, (i % 5) as f32, (i % 9) as f32])
+            .collect();
+        let data = DataMatrix::from_rows(&rows).unwrap();
+        let medoids = [3usize, 90, 170];
+        let subs = [vec![0, 2], vec![1], vec![0, 1, 2]];
+        let full = assign_points(&data, &medoids, &subs, &Executor::Sequential);
+        // Seed half the labels from the full pass, recompute the rest.
+        let mut labels = full.clone();
+        let todo: Vec<usize> = (0..data.n()).filter(|p| p % 2 == 1).collect();
+        for &p in &todo {
+            labels[p] = -2; // poison; must be overwritten
+        }
+        assign_subset(
+            &data,
+            &medoids,
+            &subs,
+            &todo,
+            &mut labels,
+            &Executor::Parallel { threads: 3 },
+        );
+        assert_eq!(labels, full);
     }
 }

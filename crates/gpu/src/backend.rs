@@ -17,8 +17,9 @@ use proclus::phases::find_dimensions::pick_dimensions;
 use proclus::{ProclusError, ProclusRng, Result};
 use proclus_telemetry::{counters, Recorder};
 
-use crate::kernels::assign::assign_kernel;
+use crate::kernels::assign::{assign_kernel, assign_subset_kernel};
 use crate::kernels::delta::deltas_kernel;
+use crate::kernels::dist::dist_subset_kernel;
 use crate::kernels::evaluate::evaluate_kernel;
 use crate::kernels::find_dims::{h_update_kernel, x_from_h_kernel, x_from_lists_kernel, z_kernel};
 use crate::kernels::greedy::greedy_gpu;
@@ -328,6 +329,105 @@ impl Backend for GpuBackend<'_> {
             &self.ws.x,
         );
         Ok(())
+    }
+
+    fn dist_subset(
+        &mut self,
+        medoid: usize,
+        points: &[usize],
+        _rec: &dyn Recorder,
+    ) -> Result<Vec<f32>> {
+        if points.is_empty() {
+            return Ok(Vec::new());
+        }
+        let todo_host: Vec<u32> = points.iter().map(|&p| p as u32).collect();
+        let todo = self
+            .dev
+            .htod("stream.todo", &todo_host)
+            .map_err(|e| ProclusError::Device {
+                reason: e.to_string(),
+            })?;
+        let out = self
+            .dev
+            .alloc_zeroed::<f32>("stream.dist_out", points.len())
+            .map_err(|e| ProclusError::Device {
+                reason: e.to_string(),
+            })?;
+        dist_subset_kernel(
+            self.dev,
+            &self.ws.data,
+            self.ws.d,
+            medoid,
+            &todo,
+            points.len(),
+            &out,
+        );
+        let host = self.dev.dtoh(&out);
+        self.dev.free(&todo).map_err(|e| ProclusError::Device {
+            reason: e.to_string(),
+        })?;
+        self.dev.free(&out).map_err(|e| ProclusError::Device {
+            reason: e.to_string(),
+        })?;
+        Ok(host)
+    }
+
+    fn assign_seeded(
+        &mut self,
+        medoids: &[usize],
+        dims: &[Vec<usize>],
+        seed_labels: &[i32],
+        todo: &[usize],
+        _rec: &dyn Recorder,
+    ) -> Result<Vec<usize>> {
+        let n = self.ws.n;
+        if seed_labels.len() != n {
+            return Err(ProclusError::InvalidData {
+                reason: format!(
+                    "assign_seeded: {} seed labels for {} points",
+                    seed_labels.len(),
+                    n
+                ),
+            });
+        }
+        // The streaming driver picks subspaces on the host, so the flat
+        // dims reach the device here rather than through `find_dims`.
+        self.offsets = upload_dims(self.dev, self.ws, dims);
+        self.dev.upload(&self.ws.labels, seed_labels);
+        if !todo.is_empty() {
+            let todo_host: Vec<u32> = todo.iter().map(|&p| p as u32).collect();
+            let todo_buf =
+                self.dev
+                    .htod("stream.assign_todo", &todo_host)
+                    .map_err(|e| ProclusError::Device {
+                        reason: e.to_string(),
+                    })?;
+            assign_subset_kernel(
+                self.dev,
+                &self.ws.data,
+                self.ws.d,
+                medoids,
+                &self.ws.dims_flat,
+                &self.offsets,
+                &todo_buf,
+                todo.len(),
+                &self.ws.labels,
+            );
+            self.dev.free(&todo_buf).map_err(|e| ProclusError::Device {
+                reason: e.to_string(),
+            })?;
+        }
+        // Rebuild the member lists so evaluate/remove_outliers see a
+        // partition consistent with the seeded labels.
+        lists_from_labels_kernel(self.dev, &self.ws.labels, n, &self.ws.c_list, &self.ws.c_count);
+        let mut sizes: Vec<usize> = self
+            .dev
+            .dtoh(&self.ws.c_count)
+            .iter()
+            .map(|&c| c as usize)
+            .collect();
+        sizes.truncate(medoids.len());
+        Ok(sizes)
     }
 
     fn remove_outliers(

@@ -96,6 +96,56 @@ pub fn dist_row_kernel_on(
     );
 }
 
+/// Fills `out[i] = ‖data_{todo[i]} − data_m‖₂` for the `t_len` points
+/// listed in `todo` — the streaming partial-row patch: after an append
+/// only the new points need distances against a cached medoid row, so the
+/// kernel reads the target positions through an index buffer instead of
+/// sweeping all `n`. Per listed point the arithmetic (f64 accumulate over
+/// ascending dimensions, `sqrt` narrowed to f32) is exactly
+/// [`dist_row_kernel`]'s, so patched rows are bitwise-identical to fully
+/// recomputed ones.
+pub fn dist_subset_kernel(
+    dev: &mut Device,
+    data: &DeviceBuffer<f32>,
+    d: usize,
+    medoid: usize,
+    todo: &DeviceBuffer<u32>,
+    t_len: usize,
+    out: &DeviceBuffer<f32>,
+) {
+    if t_len == 0 {
+        return;
+    }
+    let grid = Dim3::blocks_for(t_len, WIDE_BLOCK);
+    let data = data.clone();
+    let todo = todo.clone();
+    let out = out.clone();
+    dev.launch("stream.dist_subset", grid, Dim3::x(WIDE_BLOCK), move |blk| {
+        let m_sh = blk.shared::<f32>(d);
+        blk.threads(|t| {
+            let mut j = t.tid as usize;
+            while j < d {
+                let v = data.ld(t, medoid * d + j);
+                m_sh.st(t, j, v);
+                j += t.block_dim.x as usize;
+            }
+        });
+        blk.threads(|t| {
+            let i = t.global_id_x();
+            if i < t_len {
+                let p = todo.ld(t, i) as usize;
+                let mut acc = 0.0f64;
+                for j in 0..d {
+                    let diff = (data.ld(t, p * d + j) - m_sh.ld(t, j)) as f64;
+                    acc += diff * diff;
+                }
+                t.flops(3 * d as u64 + 1);
+                out.st(t, i, acc.sqrt() as f32);
+            }
+        });
+    });
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -118,6 +168,29 @@ mod tests {
         for (p, g) in got.iter().enumerate() {
             let want = euclidean(host.row(p), host.row(42));
             assert_eq!(g.to_bits(), want.to_bits(), "point {p}");
+        }
+    }
+
+    #[test]
+    fn subset_rows_match_full_rows_bitwise() {
+        let rows: Vec<Vec<f32>> = (0..600)
+            .map(|i| vec![(i % 19) as f32 * 0.3, (i % 11) as f32, i as f32 * 0.02])
+            .collect();
+        let host = DataMatrix::from_rows(&rows).unwrap();
+        let mut dev = Device::new(DeviceConfig::gtx_1660_ti());
+        dev.set_deterministic(true);
+        let data = dev.htod("data", host.flat()).unwrap();
+        let full = dev.alloc_zeroed::<f32>("full", 600).unwrap();
+        dist_row_kernel(&mut dev, &data, 3, 600, 17, &full);
+        let todo_host: Vec<u32> = (0..600u32).filter(|p| p % 3 == 1).collect();
+        let todo = dev.htod("todo", &todo_host).unwrap();
+        let out = dev.alloc_zeroed::<f32>("out", todo_host.len()).unwrap();
+        dist_subset_kernel(&mut dev, &data, 3, 17, &todo, todo_host.len(), &out);
+        let full_host = full.peek_all();
+        for (i, g) in out.peek_all().iter().enumerate() {
+            let p = todo_host[i] as usize;
+            assert_eq!(g.to_bits(), full_host[p].to_bits(), "todo entry {i}");
+            assert_eq!(g.to_bits(), euclidean(host.row(p), host.row(17)).to_bits());
         }
     }
 

@@ -31,7 +31,7 @@
 
 use std::collections::HashMap;
 
-use gpu_sim::{Device, DeviceBuffer, DeviceConfig};
+use gpu_sim::{Device, DeviceBuffer, DeviceConfig, GpuError};
 use proclus::backend::{grid_core_shared, initialization_phase, run_core, run_full, Backend};
 use proclus::multi_param::{ReuseLevel, Setting};
 use proclus::params::Params;
@@ -45,7 +45,8 @@ use proclus_telemetry::{attrs, counters, span, Recorder};
 use crate::api::{validate_gpu, variant_for};
 use crate::backend::GpuVariant;
 use crate::error::{GpuProclusError, Result};
-use crate::kernels::assign::assign_kernel;
+use crate::kernels::assign::{assign_kernel, assign_subset_kernel};
+use crate::kernels::dist::dist_subset_kernel;
 use crate::kernels::evaluate::{centroid_partial_kernel, cost_partial_kernel};
 use crate::kernels::find_dims::{h_update_kernel, x_from_h_kernel, x_from_lists_partial_kernel};
 use crate::kernels::lsets::{build_lists_kernel, SphereCond};
@@ -58,6 +59,13 @@ use crate::rows::RowCache;
 const LINK_LATENCY_US: f64 = 8.0;
 /// Modeled interconnect bandwidth for reduced scalars, bytes per µs.
 const LINK_BYTES_PER_US: f64 = 12_000.0;
+
+/// Converts a device error into the core error type at a shard boundary.
+fn dev_err(e: GpuError) -> ProclusError {
+    ProclusError::Device {
+        reason: e.to_string(),
+    }
+}
 
 /// Cost of tree-reducing `elems` f64 scalars across `d_count` devices.
 fn reduce_cost_us(d_count: usize, elems: usize) -> f64 {
@@ -605,6 +613,158 @@ impl Backend for ShardedBackend<'_> {
             }
             shard.sizes = sizes;
         }
+        self.end_step(&starts, k);
+        Ok(global)
+    }
+
+    fn dist_subset(
+        &mut self,
+        medoid: usize,
+        points: &[usize],
+        _rec: &dyn Recorder,
+    ) -> proclus::Result<Vec<f32>> {
+        if points.is_empty() {
+            return Ok(Vec::new());
+        }
+        let d = self.data.d();
+        let cancel = self.cancel.clone();
+        // The medoid row reaches every annex on demand (idempotent), so the
+        // streaming driver may ask about any sample point, broadcast or not.
+        self.broadcast_medoids(&[medoid])?;
+        let slot = self.annex_slot(medoid)?;
+        let mut out = vec![0.0f32; points.len()];
+        let starts = self.begin_step();
+        let mut shard_lo = 0usize;
+        for shard in &mut self.shards {
+            cancel.check()?;
+            let lo = shard_lo;
+            let hi = lo + shard.n_local;
+            shard_lo = hi;
+            // This shard's slice of the request, in request order.
+            let local: Vec<(usize, u32)> = points
+                .iter()
+                .enumerate()
+                .filter(|&(_, &p)| p >= lo && p < hi)
+                .map(|(i, &p)| (i, (p - lo) as u32))
+                .collect();
+            if local.is_empty() {
+                continue;
+            }
+            let todo_host: Vec<u32> = local.iter().map(|&(_, l)| l).collect();
+            let todo = shard
+                .dev
+                .htod("stream.todo", &todo_host)
+                .map_err(dev_err)?;
+            let res = shard
+                .dev
+                .alloc_zeroed::<f32>("stream.dist_out", todo_host.len())
+                .map_err(dev_err)?;
+            dist_subset_kernel(
+                &mut shard.dev,
+                &shard.data,
+                d,
+                shard.n_local + slot,
+                &todo,
+                todo_host.len(),
+                &res,
+            );
+            let host = shard.dev.dtoh(&res);
+            shard.dev.free(&todo).map_err(dev_err)?;
+            shard.dev.free(&res).map_err(dev_err)?;
+            for (&(i, _), v) in local.iter().zip(host) {
+                out[i] = v;
+            }
+        }
+        self.end_step(&starts, points.len());
+        Ok(out)
+    }
+
+    fn assign_seeded(
+        &mut self,
+        medoids: &[usize],
+        dims: &[Vec<usize>],
+        seed_labels: &[i32],
+        todo: &[usize],
+        _rec: &dyn Recorder,
+    ) -> proclus::Result<Vec<usize>> {
+        let n = self.data.n();
+        if seed_labels.len() != n {
+            return Err(ProclusError::InvalidData {
+                reason: format!(
+                    "assign_seeded: {} seed labels for {n} points",
+                    seed_labels.len()
+                ),
+            });
+        }
+        let d = self.data.d();
+        let k = medoids.len();
+        let cancel = self.cancel.clone();
+        self.broadcast_medoids(medoids)?;
+        let slots = self.annex_slots(medoids)?;
+        // Host-picked subspaces are scattered here instead of `find_dims`.
+        let mut flat = Vec::new();
+        let mut offsets = vec![0usize];
+        for s in dims {
+            flat.extend(s.iter().map(|&j| j as u32));
+            offsets.push(flat.len());
+        }
+        let starts = self.begin_step();
+        let mut global = vec![0usize; k];
+        let mut shard_lo = 0usize;
+        for shard in &mut self.shards {
+            cancel.check()?;
+            let n_l = shard.n_local;
+            let lo = shard_lo;
+            let hi = lo + n_l;
+            shard_lo = hi;
+            shard.dev.upload(&shard.dims_flat, &flat);
+            shard.dev.upload(&shard.labels, &seed_labels[lo..hi]);
+            let local_todo: Vec<u32> = todo
+                .iter()
+                .filter(|&&p| p >= lo && p < hi)
+                .map(|&p| (p - lo) as u32)
+                .collect();
+            if !local_todo.is_empty() {
+                let m_dev: Vec<usize> = slots.iter().map(|&s| n_l + s).collect();
+                let todo_buf = shard
+                    .dev
+                    .htod("stream.assign_todo", &local_todo)
+                    .map_err(dev_err)?;
+                assign_subset_kernel(
+                    &mut shard.dev,
+                    &shard.data,
+                    d,
+                    &m_dev,
+                    &shard.dims_flat,
+                    &offsets,
+                    &todo_buf,
+                    local_todo.len(),
+                    &shard.labels,
+                );
+                shard.dev.free(&todo_buf).map_err(dev_err)?;
+            }
+            // Rebuild the member lists so evaluate sees a partition
+            // consistent with the seeded labels.
+            lists_from_labels_kernel(
+                &mut shard.dev,
+                &shard.labels,
+                n_l,
+                &shard.c_list,
+                &shard.c_count,
+            );
+            let mut sizes: Vec<usize> = shard
+                .dev
+                .dtoh(&shard.c_count)
+                .iter()
+                .map(|&c| c as usize)
+                .collect();
+            sizes.truncate(k);
+            for (g, &s) in global.iter_mut().zip(&sizes) {
+                *g += s;
+            }
+            shard.sizes = sizes;
+        }
+        self.offsets = offsets;
         self.end_step(&starts, k);
         Ok(global)
     }

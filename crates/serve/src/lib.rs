@@ -62,8 +62,10 @@ mod metrics;
 pub mod protocol;
 mod registry;
 mod server;
+pub mod stream;
 
 pub use job::{JobHandle, JobId, JobOutput, JobRequest, JobResult, ServeError};
 pub use metrics::ServiceMetrics;
 pub use registry::{fingerprint, DatasetRef, DatasetRegistry};
 pub use server::{ServeConfig, Server};
+pub use stream::StreamSessions;

@@ -13,6 +13,22 @@
 //! {"op":"shutdown"}           acknowledges and ends the session
 //! ```
 //!
+//! Streaming verbs (see [`crate::stream`]) drive per-connection live
+//! datasets; mutations are O(batch) and `stream.query` re-clusters only
+//! when the dataset is dirty:
+//!
+//! ```text
+//! {"op":"stream.open","name":"live","d":3,"k":2,"l":2,"a":10,"b":3,"seed":7,"backend":"cpu"}
+//! {"op":"stream.append","name":"live","rows":[[1,2,3],[4,5,6]]}
+//! {"op":"stream.retire","name":"live","pids":[0]}
+//! {"op":"stream.window","name":"live","cap":5000}
+//! {"op":"stream.query","name":"live","labels":true,"deadline_ms":5000}
+//! {"op":"stream.close","name":"live"}
+//! ```
+//!
+//! Error lines carry a `job_kind` field (`"batch"` or `"stream"`) so
+//! clients multiplexing both pipelines can route failures.
+//!
 //! Result lines echo the backend the job executed on (`cpu`, `gpu` or
 //! `sharded`), so clients mixing backends can attribute each response:
 //!
@@ -45,13 +61,19 @@ struct Pending {
     backend: Backend,
 }
 
-fn err_line(id: Option<u64>, msg: &str) -> String {
+/// Protocol error line. `job_kind` attributes the failure to the batch
+/// pipeline (`submit`/`wait`/...) or a streaming session (`stream.*`), so
+/// clients multiplexing both on one connection can route errors.
+fn err_line(id: Option<u64>, job_kind: &str, msg: &str) -> String {
     match id {
         Some(id) => format!(
-            "{{\"op\":\"error\",\"id\":{id},\"error\":\"{}\"}}",
+            "{{\"op\":\"error\",\"id\":{id},\"job_kind\":\"{job_kind}\",\"error\":\"{}\"}}",
             escape(msg)
         ),
-        None => format!("{{\"op\":\"error\",\"error\":\"{}\"}}", escape(msg)),
+        None => format!(
+            "{{\"op\":\"error\",\"job_kind\":\"{job_kind}\",\"error\":\"{}\"}}",
+            escape(msg)
+        ),
     }
 }
 
@@ -150,6 +172,7 @@ pub fn serve_connection<R: BufRead, W: Write>(
 ) -> std::io::Result<()> {
     let mut pending: HashMap<u64, Pending> = HashMap::new();
     let mut order: Vec<u64> = Vec::new();
+    let mut streams = crate::stream::StreamSessions::default();
     for line in reader.lines() {
         let line = line?;
         if line.trim().is_empty() {
@@ -158,7 +181,11 @@ pub fn serve_connection<R: BufRead, W: Write>(
         let v = match json::parse(&line) {
             Ok(v) => v,
             Err(e) => {
-                writeln!(writer, "{}", err_line(None, &format!("bad json: {e}")))?;
+                writeln!(
+                    writer,
+                    "{}",
+                    err_line(None, "batch", &format!("bad json: {e}"))
+                )?;
                 continue;
             }
         };
@@ -181,10 +208,10 @@ pub fn serve_connection<R: BufRead, W: Write>(
                             );
                             order.push(id);
                         }
-                        Err(e) => writeln!(writer, "{}", err_line(None, &e.to_string()))?,
+                        Err(e) => writeln!(writer, "{}", err_line(None, "batch", &e.to_string()))?,
                     }
                 }
-                Err(e) => writeln!(writer, "{}", err_line(None, &e))?,
+                Err(e) => writeln!(writer, "{}", err_line(None, "batch", &e))?,
             },
             "wait" => {
                 let id = v.get("id").and_then(Value::as_f64).map(|f| f as u64);
@@ -193,7 +220,11 @@ pub fn serve_connection<R: BufRead, W: Write>(
                         order.retain(|&o| o != id);
                         writeln!(writer, "{}", result_line(id, &p))?;
                     }
-                    None => writeln!(writer, "{}", err_line(id, "unknown or finished id"))?,
+                    None => writeln!(
+                        writer,
+                        "{}",
+                        err_line(id, "batch", "unknown or finished id")
+                    )?,
                 }
             }
             "drain" => {
@@ -212,7 +243,26 @@ pub fn serve_connection<R: BufRead, W: Write>(
                         p.handle.cancel();
                         writeln!(writer, "{{\"op\":\"cancelled\",\"id\":{id}}}")?;
                     }
-                    None => writeln!(writer, "{}", err_line(id, "unknown or finished id"))?,
+                    None => writeln!(
+                        writer,
+                        "{}",
+                        err_line(id, "batch", "unknown or finished id")
+                    )?,
+                }
+            }
+            "stream.open" | "stream.append" | "stream.retire" | "stream.window"
+            | "stream.query" | "stream.close" => {
+                let out = match op {
+                    "stream.open" => streams.open(server, &v),
+                    "stream.append" => streams.append(&v),
+                    "stream.retire" => streams.retire(&v),
+                    "stream.window" => streams.window(&v),
+                    "stream.query" => streams.query(server, &v),
+                    _ => streams.close(server, &v),
+                };
+                match out {
+                    Ok(line) => writeln!(writer, "{line}")?,
+                    Err(e) => writeln!(writer, "{}", err_line(None, "stream", &e))?,
                 }
             }
             "metrics" => writeln!(writer, "{}", server.metrics().to_json())?,
@@ -223,7 +273,7 @@ pub fn serve_connection<R: BufRead, W: Write>(
             other => writeln!(
                 writer,
                 "{}",
-                err_line(None, &format!("unknown op `{other}`"))
+                err_line(None, "batch", &format!("unknown op `{other}`"))
             )?,
         }
         writer.flush()?;
@@ -231,6 +281,7 @@ pub fn serve_connection<R: BufRead, W: Write>(
     for (_, p) in pending.drain() {
         let _ = p.handle.wait();
     }
+    streams.close_all(server);
     writer.flush()
 }
 
@@ -326,6 +377,105 @@ mod tests {
         let result = json::parse(&lines[1]).unwrap();
         assert_eq!(result.get("labels").unwrap().as_array().unwrap().len(), 240);
         std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn error_lines_carry_a_job_kind() {
+        let server = Server::start(ServeConfig::default().with_workers(1)).expect("server starts");
+        let lines = session(
+            &server,
+            "{\"op\":\"wait\",\"id\":99}\n\
+             {\"op\":\"stream.append\",\"name\":\"ghost\",\"rows\":[[1]]}\n",
+        );
+        assert!(lines[0].contains("\"job_kind\":\"batch\""), "{lines:?}");
+        assert!(lines[1].contains("\"job_kind\":\"stream\""), "{lines:?}");
+    }
+
+    #[test]
+    fn stream_session_round_trip() {
+        let server = Server::start(ServeConfig::default().with_workers(1)).expect("server starts");
+        // 120 rows in two planted clusters, appended in three batches with
+        // a query between each, then a window eviction and a final query.
+        let mut rows = String::new();
+        let batch = |lo: usize, hi: usize| {
+            let mut s = String::from("[");
+            for i in lo..hi {
+                if i > lo {
+                    s.push(',');
+                }
+                let c = (i % 2) as f32 * 25.0;
+                let _ = write!(s, "[{},{},{}]", c + (i % 5) as f32 * 0.1, i % 7, c);
+            }
+            s.push(']');
+            s
+        };
+        let _ = write!(
+            rows,
+            "{{\"op\":\"stream.open\",\"name\":\"live\",\"d\":3,\"k\":2,\"l\":2,\"a\":10,\
+             \"b\":3,\"seed\":5}}\n\
+             {{\"op\":\"stream.append\",\"name\":\"live\",\"rows\":{}}}\n\
+             {{\"op\":\"stream.query\",\"name\":\"live\",\"deadline_ms\":60000}}\n\
+             {{\"op\":\"stream.append\",\"name\":\"live\",\"rows\":{}}}\n\
+             {{\"op\":\"stream.query\",\"name\":\"live\",\"labels\":true,\"telemetry\":true}}\n\
+             {{\"op\":\"stream.query\",\"name\":\"live\"}}\n\
+             {{\"op\":\"stream.window\",\"name\":\"live\",\"cap\":100}}\n\
+             {{\"op\":\"stream.query\",\"name\":\"live\"}}\n\
+             {{\"op\":\"stream.close\",\"name\":\"live\"}}\n",
+            batch(0, 110),
+            batch(110, 120),
+        );
+        let lines = session(&server, &rows);
+        assert!(lines[0].contains("\"op\":\"stream.opened\""), "{lines:?}");
+        assert!(lines[1].contains("\"n\":110"), "{lines:?}");
+        assert!(lines[2].contains("\"mode\":\"full\""), "{lines:?}");
+        assert!(lines[3].contains("\"n\":120"), "{lines:?}");
+        // Second query after a small append runs incrementally and returns
+        // labels as [pid,label] pairs plus schema-valid telemetry.
+        assert!(lines[4].contains("\"mode\":\"incremental\""), "{lines:?}");
+        assert!(lines[4].contains("\"labels\":[[0,"), "{lines:?}");
+        let v = json::parse(&lines[4]).unwrap();
+        assert_eq!(v.get("labels").unwrap().as_array().unwrap().len(), 120);
+        // The telemetry report is the last field; slice it back out and
+        // check it against the schema (stream.* span names included).
+        let tel_at = lines[4]
+            .find("\"telemetry\":")
+            .expect("telemetry requested");
+        let tel = &lines[4][tel_at + "\"telemetry\":".len()..lines[4].len() - 1];
+        proclus_telemetry::schema::validate_report_str(tel).unwrap();
+        // Clean query: no re-clustering.
+        assert!(lines[5].contains("\"reclustered\":false"), "{lines:?}");
+        // Window eviction dirties the dataset; the next query re-clusters.
+        assert!(lines[6].contains("\"op\":\"stream.windowed\""), "{lines:?}");
+        assert!(lines[7].contains("\"reclustered\":true"), "{lines:?}");
+        assert!(lines[7].contains("\"n\":100"), "{lines:?}");
+        assert!(lines[8].contains("\"op\":\"stream.closed\""), "{lines:?}");
+        for l in &lines {
+            json::parse(l).unwrap();
+        }
+    }
+
+    #[test]
+    fn live_datasets_stay_pinned_until_close() {
+        let server = Server::start(ServeConfig::default().with_workers(1)).expect("server starts");
+        let mut input = String::from(
+            "{\"op\":\"stream.open\",\"name\":\"pinme\",\"d\":2,\"k\":2,\"l\":2,\"a\":6,\"b\":3}\n\
+             {\"op\":\"stream.append\",\"name\":\"pinme\",\"rows\":[",
+        );
+        for i in 0..80 {
+            if i > 0 {
+                input.push(',');
+            }
+            let _ = write!(input, "[{},{}]", (i % 2) * 20, i % 9);
+        }
+        input.push_str(
+            "]}\n{\"op\":\"stream.query\",\"name\":\"pinme\"}\n\
+             {\"op\":\"stream.close\",\"name\":\"pinme\"}\n",
+        );
+        let lines = session(&server, &input);
+        assert!(lines[2].contains("\"ok\":true"), "{lines:?}");
+        // After the query the snapshot is registered and pinned; close
+        // released the pin (count 0) but left the entry cached.
+        assert_eq!(server.registry().pin_count("stream:pinme"), Some(0));
     }
 
     #[test]

@@ -1,0 +1,310 @@
+//! Cross-epoch caches: per-medoid distance rows and memoized assignments.
+//!
+//! The only values this crate carries across re-clusterings are *per-point
+//! euclidean distances* (one f32 per (medoid, point) pair) and *labels* —
+//! both pure functions of individual points, never running sums. Sums
+//! (`H`, `X`, cost) are folded fresh each epoch from the cached rows in
+//! canonical position order, so an incremental re-clustering and a
+//! from-scratch one execute bit-identical arithmetic; the caches only
+//! change *which distances are recomputed*, not any float's value. That is
+//! the exactness argument of DESIGN.md §13.
+//!
+//! Rows are keyed by pid and re-anchored to positions at the start of each
+//! epoch by [`RowStore::reconcile`]: a pure permutation computed from the
+//! stored column pids versus the dataset's current pid-by-position map.
+//! Columns of appended points become NaN holes that are filled lazily —
+//! paying `O(batch)` distances per *used* row instead of `O(n)` per medoid.
+
+use std::collections::HashMap;
+
+/// One cached medoid row: euclidean distances to every point, in position
+/// order. `NaN` marks a hole (a point appended after the row was filled).
+struct RowEntry {
+    dist: Vec<f32>,
+    last_used_epoch: u64,
+}
+
+/// Per-medoid distance rows carried across re-clusterings.
+pub struct RowStore {
+    rows: HashMap<u64, RowEntry>,
+    /// pid of the point each column currently refers to.
+    cache_pids: Vec<u64>,
+    epoch: u64,
+    /// Rows untouched for this many epochs are dropped at reconcile.
+    max_idle_epochs: u64,
+}
+
+/// What [`RowStore::ensure_row`] had to do for a medoid row this epoch.
+pub struct RowFill {
+    /// Euclidean distances actually computed (0 on a clean hit).
+    pub computed: u64,
+    /// True if the row had to be built from scratch.
+    pub miss: bool,
+}
+
+impl RowStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        Self {
+            rows: HashMap::new(),
+            cache_pids: Vec::new(),
+            epoch: 0,
+            max_idle_epochs: 3,
+        }
+    }
+
+    /// Number of cached rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when no rows are cached.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Drops every cached row (escalation to a cold re-clustering).
+    pub fn clear(&mut self) {
+        self.rows.clear();
+        self.cache_pids.clear();
+    }
+
+    /// Starts an epoch: permutes every surviving row's columns from the
+    /// stored pid order to `pids_now`, drops rows of retired medoids and
+    /// rows idle past the retention horizon, and marks columns of appended
+    /// points as holes.
+    pub fn reconcile(&mut self, pids_now: &[u64]) {
+        self.epoch += 1;
+        let epoch = self.epoch;
+        let idle = self.max_idle_epochs;
+        let mut pos_now: HashMap<u64, usize> = HashMap::with_capacity(pids_now.len());
+        for (q, &pid) in pids_now.iter().enumerate() {
+            pos_now.insert(pid, q);
+        }
+        self.rows
+            .retain(|pid, row| pos_now.contains_key(pid) && epoch - row.last_used_epoch <= idle);
+        if self.cache_pids != pids_now {
+            let old_pids = std::mem::take(&mut self.cache_pids);
+            let mut old_pos: HashMap<u64, usize> = HashMap::with_capacity(old_pids.len());
+            for (q, &pid) in old_pids.iter().enumerate() {
+                old_pos.insert(pid, q);
+            }
+            for row in self.rows.values_mut() {
+                let old = std::mem::take(&mut row.dist);
+                row.dist = pids_now
+                    .iter()
+                    .map(|pid| match old_pos.get(pid) {
+                        Some(&q) => old[q],
+                        None => f32::NAN,
+                    })
+                    .collect();
+            }
+        }
+        self.cache_pids = pids_now.to_vec();
+    }
+
+    /// Returns the complete distance row for medoid `pid`, computing what
+    /// is missing through `compute(positions) -> distances`: the whole row
+    /// on a miss, only the hole positions on a partial hit. The closure
+    /// receives positions in ascending order and must return one euclidean
+    /// distance per position.
+    pub fn ensure_row<E>(
+        &mut self,
+        pid: u64,
+        n: usize,
+        mut compute: impl FnMut(&[usize]) -> Result<Vec<f32>, E>,
+    ) -> Result<(&[f32], RowFill), E> {
+        debug_assert_eq!(self.cache_pids.len(), n, "reconcile before ensure_row");
+        let epoch = self.epoch;
+        let (row, fill) = match self.rows.entry(pid) {
+            std::collections::hash_map::Entry::Vacant(slot) => {
+                let all: Vec<usize> = (0..n).collect();
+                let dist = compute(&all)?;
+                let row = slot.insert(RowEntry {
+                    dist,
+                    last_used_epoch: epoch,
+                });
+                (
+                    row,
+                    RowFill {
+                        computed: n as u64,
+                        miss: true,
+                    },
+                )
+            }
+            std::collections::hash_map::Entry::Occupied(slot) => {
+                let row = slot.into_mut();
+                let holes: Vec<usize> = row
+                    .dist
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, v)| v.is_nan())
+                    .map(|(q, _)| q)
+                    .collect();
+                let filled = if holes.is_empty() {
+                    Vec::new()
+                } else {
+                    compute(&holes)?
+                };
+                for (&q, &v) in holes.iter().zip(&filled) {
+                    row.dist[q] = v;
+                }
+                row.last_used_epoch = epoch;
+                (
+                    row,
+                    RowFill {
+                        computed: holes.len() as u64,
+                        miss: false,
+                    },
+                )
+            }
+        };
+        Ok((&row.dist, fill))
+    }
+}
+
+impl Default for RowStore {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Memoized assignments keyed by the exact decision inputs: the medoid
+/// pids in slot order plus the chosen subspaces. Labels are a pure
+/// per-point function of those inputs, so a hit seeds every surviving
+/// point's label and only new points rescan the medoids.
+pub struct AssignMemo {
+    entries: Vec<(MemoKey, HashMap<u64, i32>)>,
+    cap: usize,
+}
+
+type MemoKey = (Vec<u64>, Vec<Vec<usize>>);
+
+impl AssignMemo {
+    /// A memo holding at most `cap` label sets (LRU).
+    pub fn new(cap: usize) -> Self {
+        Self {
+            entries: Vec::new(),
+            cap: cap.max(1),
+        }
+    }
+
+    /// Drops every memoized assignment.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+
+    /// Number of memoized assignments.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing is memoized.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Looks up the labels for `(medoid pids, dims)`, refreshing recency.
+    pub fn lookup(
+        &mut self,
+        medoid_pids: &[u64],
+        dims: &[Vec<usize>],
+    ) -> Option<&HashMap<u64, i32>> {
+        let idx = self
+            .entries
+            .iter()
+            .position(|(key, _)| key.0 == medoid_pids && key.1 == dims)?;
+        let entry = self.entries.remove(idx);
+        self.entries.push(entry);
+        self.entries.last().map(|(_, labels)| labels)
+    }
+
+    /// Stores the labels for `(medoid pids, dims)`, evicting the least
+    /// recently used entry beyond capacity.
+    pub fn insert(
+        &mut self,
+        medoid_pids: Vec<u64>,
+        dims: Vec<Vec<usize>>,
+        labels: HashMap<u64, i32>,
+    ) {
+        self.entries
+            .retain(|(key, _)| !(key.0 == medoid_pids && key.1 == dims));
+        self.entries.push(((medoid_pids, dims), labels));
+        if self.entries.len() > self.cap {
+            self.entries.remove(0);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reconcile_permutes_and_punches_holes() {
+        let mut store = RowStore::new();
+        store.reconcile(&[10, 11, 12]);
+        let (row, fill) = store
+            .ensure_row::<()>(10, 3, |pos| Ok(pos.iter().map(|&q| q as f32).collect()))
+            .unwrap();
+        assert_eq!(row, &[0.0, 1.0, 2.0]);
+        assert!(fill.miss);
+        assert_eq!(fill.computed, 3);
+
+        // Point 11 retires (12 swaps into its slot), 13 appends.
+        store.reconcile(&[10, 12, 13]);
+        let (row, fill) = store
+            .ensure_row::<()>(10, 3, |pos| {
+                assert_eq!(pos, &[2], "only the appended column is computed");
+                Ok(vec![9.0])
+            })
+            .unwrap();
+        assert!(!fill.miss);
+        assert_eq!(fill.computed, 1);
+        assert_eq!(row, &[0.0, 2.0, 9.0]);
+    }
+
+    #[test]
+    fn retired_medoid_rows_are_dropped() {
+        let mut store = RowStore::new();
+        store.reconcile(&[1, 2]);
+        store
+            .ensure_row::<()>(1, 2, |pos| Ok(vec![0.5; pos.len()]))
+            .unwrap();
+        assert_eq!(store.len(), 1);
+        store.reconcile(&[2]);
+        assert!(store.is_empty(), "row of retired pid 1 survives");
+    }
+
+    #[test]
+    fn idle_rows_expire_after_the_retention_horizon() {
+        let mut store = RowStore::new();
+        store.reconcile(&[1, 2]);
+        store
+            .ensure_row::<()>(1, 2, |pos| Ok(vec![0.5; pos.len()]))
+            .unwrap();
+        for _ in 0..3 {
+            store.reconcile(&[1, 2]);
+            assert_eq!(store.len(), 1);
+        }
+        store.reconcile(&[1, 2]);
+        assert!(store.is_empty(), "idle row outlived the horizon");
+    }
+
+    #[test]
+    fn memo_is_keyed_by_medoids_and_dims_with_lru_eviction() {
+        let mut memo = AssignMemo::new(2);
+        let labels = |v: i32| HashMap::from([(0u64, v)]);
+        memo.insert(vec![1], vec![vec![0]], labels(1));
+        memo.insert(vec![2], vec![vec![0]], labels(2));
+        assert!(
+            memo.lookup(&[1], &[vec![1]]).is_none(),
+            "dims are part of the key"
+        );
+        assert_eq!(memo.lookup(&[1], &[vec![0]]).unwrap()[&0], 1);
+        // 1 is now most recent; inserting a third evicts 2.
+        memo.insert(vec![3], vec![vec![0]], labels(3));
+        assert!(memo.lookup(&[2], &[vec![0]]).is_none());
+        assert_eq!(memo.lookup(&[1], &[vec![0]]).unwrap()[&0], 1);
+    }
+}

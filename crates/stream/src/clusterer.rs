@@ -1,0 +1,458 @@
+//! [`StreamingClusterer`]: the live-dataset front door of this crate.
+//!
+//! Owns a [`StreamDataset`], the cross-epoch caches, and the last
+//! converged state. Mutations (`append` / `retire` / `set_window`) are
+//! O(batch); [`StreamingClusterer::recluster`] replays the full PROCLUS
+//! decision loop against the caches and returns a result bitwise equal to
+//! a from-scratch run over the same live points — the caches only shrink
+//! the number of distances recomputed. When accumulated churn exceeds the
+//! staleness threshold (or no converged state exists yet) the epoch
+//! escalates to a cold pass: caches are dropped and rebuilt, costing full
+//! price but changing nothing about the result.
+//!
+//! [`StreamingClusterer::recluster_warm`] is the documented *approximate*
+//! fast path: medoids and subspaces stay frozen and only assignment runs.
+
+use std::collections::HashMap;
+
+use gpu_sim::{Device, DeviceConfig};
+use proclus::backend::{Backend, CpuBackend};
+use proclus::par::Executor;
+use proclus::{CancelToken, Clustering, DataMatrix, Params, ProclusError, Result};
+use proclus_gpu::rows::RowCache;
+use proclus_gpu::workspace::Workspace;
+use proclus_gpu::{GpuBackend, GpuVariant, ShardedBackend};
+use proclus_telemetry::{span, Recorder};
+
+use crate::cache::{AssignMemo, RowStore};
+use crate::dataset::StreamDataset;
+use crate::driver::{assign_stream, run_stream_core, Costs};
+
+/// How re-clusterings execute. GPU specs own their simulated device so the
+/// device clock and allocator pool persist across epochs.
+pub enum StreamBackendSpec {
+    /// Host reference backend.
+    Cpu {
+        /// Thread pool for the host phases.
+        exec: Executor,
+    },
+    /// Single simulated GPU; one workspace is allocated per epoch (n
+    /// changes between epochs) and freed before the epoch returns.
+    Gpu {
+        /// The persistent simulated device.
+        dev: Box<Device>,
+    },
+    /// Data-parallel shards over fresh deterministic devices built per
+    /// epoch from `config`.
+    Sharded {
+        /// Device model for every shard.
+        config: DeviceConfig,
+        /// Number of shard devices.
+        devices: usize,
+    },
+}
+
+impl StreamBackendSpec {
+    /// A single-GPU spec over a fresh deterministic device.
+    pub fn gpu(config: DeviceConfig) -> Self {
+        let mut dev = Device::new(config);
+        dev.set_deterministic(true);
+        Self::Gpu { dev: Box::new(dev) }
+    }
+
+    /// Backend name for telemetry and reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Self::Cpu { .. } => "cpu",
+            Self::Gpu { .. } => "gpu",
+            Self::Sharded { .. } => "sharded",
+        }
+    }
+}
+
+/// Which path a re-clustering took.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReclusterMode {
+    /// Caches were live: rows patched, assignments seeded.
+    Incremental,
+    /// Cold or escalated: caches dropped and rebuilt at full price.
+    Full,
+    /// Approximate refresh: frozen medoids/subspaces, assignment only.
+    Warm,
+}
+
+impl ReclusterMode {
+    /// Stable lowercase name (serve protocol, bench JSON).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Self::Incremental => "incremental",
+            Self::Full => "full",
+            Self::Warm => "warm",
+        }
+    }
+}
+
+/// Work and outcome accounting for one re-clustering.
+#[derive(Debug, Clone)]
+pub struct ReclusterReport {
+    /// Which path the epoch took.
+    pub mode: ReclusterMode,
+    /// Live points at epoch start.
+    pub n: usize,
+    /// Full-dimensional euclidean distances computed.
+    pub distances: u64,
+    /// Manhattan segmental distances computed.
+    pub segmental: u64,
+    /// Medoid distance rows served from cache.
+    pub dist_cache_hits: u64,
+    /// Medoid distance rows built from scratch.
+    pub dist_cache_misses: u64,
+    /// Points folded through `ΔL` updates.
+    pub delta_l_points: u64,
+    /// Iterative-phase iterations.
+    pub iterations: u64,
+    /// Bad medoids replaced during the search.
+    pub medoids_replaced: u64,
+    /// Best pre-refinement cost.
+    pub cost: f64,
+    /// Cost after refinement.
+    pub refined_cost: f64,
+    /// Simulated device time consumed, when the backend has a clock.
+    pub sim_us: Option<f64>,
+}
+
+/// The last converged clustering, addressed by pid so it stays meaningful
+/// as positions shift under later mutations.
+#[derive(Debug, Clone)]
+pub struct StreamState {
+    /// Medoid pids in slot order.
+    pub medoid_pids: Vec<u64>,
+    /// Chosen subspace per cluster.
+    pub subspaces: Vec<Vec<usize>>,
+    /// Label per live pid (`OUTLIER` for outliers).
+    pub labels: HashMap<u64, i32>,
+    /// Best pre-refinement cost.
+    pub cost: f64,
+    /// Cost after refinement.
+    pub refined_cost: f64,
+}
+
+/// Builds the epoch's backend from the spec and hands it to `f`, freeing
+/// device memory before returning. The second return value is the
+/// simulated device time the epoch consumed.
+fn with_backend<R>(
+    spec: &mut StreamBackendSpec,
+    snap: &DataMatrix,
+    params: &Params,
+    cancel: &CancelToken,
+    f: impl FnOnce(&mut dyn Backend) -> Result<R>,
+) -> Result<(R, Option<f64>)> {
+    match spec {
+        StreamBackendSpec::Cpu { exec } => {
+            let mut b = CpuBackend::new(snap, *exec);
+            Ok((f(&mut b)?, None))
+        }
+        StreamBackendSpec::Gpu { dev } => {
+            let n = snap.n();
+            let ws = Workspace::new(
+                dev,
+                snap,
+                params.k,
+                params.sample_size(n),
+                params.num_potential_medoids(n),
+            )?;
+            let mut cache = RowCache::new_fast(n, snap.d(), params.k);
+            let t0 = dev.elapsed_us();
+            let out = {
+                let mut b = GpuBackend::new(dev, &ws, &mut cache, GpuVariant::Fast);
+                f(&mut b)
+            };
+            let sim = dev.elapsed_us() - t0;
+            let freed = cache.free(dev).and_then(|()| ws.free(dev));
+            let out = out?;
+            freed?;
+            Ok((out, Some(sim)))
+        }
+        StreamBackendSpec::Sharded { config, devices } => {
+            let mut b = ShardedBackend::new(
+                config,
+                snap,
+                *devices,
+                params.k,
+                params.sample_size(snap.n()),
+                GpuVariant::Fast,
+                cancel.clone(),
+            )?;
+            let out = f(&mut b);
+            let sim = b.clock_us();
+            let freed = b.free();
+            let out = out?;
+            freed?;
+            Ok((out, sim))
+        }
+    }
+}
+
+/// A clustering that lives alongside its dataset. See the module docs.
+pub struct StreamingClusterer {
+    ds: StreamDataset,
+    params: Params,
+    spec: StreamBackendSpec,
+    store: RowStore,
+    memo: AssignMemo,
+    state: Option<StreamState>,
+    dirty: bool,
+    /// Mutations (appends + retires + evictions) since the last epoch.
+    churn: u64,
+    /// Escalate to a cold epoch when `churn / n` exceeds this.
+    staleness_threshold: f64,
+}
+
+impl StreamingClusterer {
+    /// An empty clusterer of dimensionality `d`.
+    pub fn new(d: usize, params: Params, spec: StreamBackendSpec) -> Result<Self> {
+        params.validate_basic()?;
+        let ds = StreamDataset::new(d, params.seed)?;
+        Ok(Self {
+            ds,
+            params,
+            spec,
+            store: RowStore::new(),
+            memo: AssignMemo::new(8),
+            state: None,
+            dirty: false,
+            churn: 0,
+            staleness_threshold: 0.5,
+        })
+    }
+
+    /// A clusterer seeded from an initial batch of rows.
+    pub fn from_rows(rows: &[Vec<f32>], params: Params, spec: StreamBackendSpec) -> Result<Self> {
+        params.validate_basic()?;
+        let seed = params.seed;
+        Ok(Self {
+            ds: StreamDataset::from_rows(rows, seed)?,
+            params,
+            spec,
+            store: RowStore::new(),
+            memo: AssignMemo::new(8),
+            state: None,
+            dirty: true,
+            churn: 0,
+            staleness_threshold: 0.5,
+        })
+    }
+
+    /// Live point count.
+    pub fn n(&self) -> usize {
+        self.ds.n()
+    }
+
+    /// Dimensionality.
+    pub fn d(&self) -> usize {
+        self.ds.d()
+    }
+
+    /// The live dataset (read-only; mutate through the clusterer so churn
+    /// is tracked).
+    pub fn dataset(&self) -> &StreamDataset {
+        &self.ds
+    }
+
+    /// The clustering parameters.
+    pub fn params(&self) -> &Params {
+        &self.params
+    }
+
+    /// True when the dataset changed since the last re-clustering.
+    pub fn is_dirty(&self) -> bool {
+        self.dirty
+    }
+
+    /// The last converged state, if any epoch has run.
+    pub fn state(&self) -> Option<&StreamState> {
+        self.state.as_ref()
+    }
+
+    /// Sets the churn fraction beyond which epochs escalate to cold.
+    pub fn set_staleness_threshold(&mut self, t: f64) {
+        self.staleness_threshold = t.max(0.0);
+    }
+
+    /// Appends a point; returns its pid and any window-evicted pids.
+    pub fn append(&mut self, row: &[f32]) -> Result<(u64, Vec<u64>)> {
+        let (pid, evicted) = self.ds.append(row)?;
+        self.dirty = true;
+        self.churn += 1 + evicted.len() as u64;
+        Ok((pid, evicted))
+    }
+
+    /// Retires a live point by pid.
+    pub fn retire(&mut self, pid: u64) -> Result<()> {
+        self.ds.retire(pid)?;
+        self.dirty = true;
+        self.churn += 1;
+        Ok(())
+    }
+
+    /// Sets or clears the sliding window; returns evicted pids.
+    pub fn set_window(&mut self, cap: Option<usize>) -> Result<Vec<u64>> {
+        let evicted = self.ds.set_window(cap)?;
+        if !evicted.is_empty() {
+            self.dirty = true;
+            self.churn += evicted.len() as u64;
+        }
+        Ok(evicted)
+    }
+
+    /// Re-runs the full decision loop over the live points, incrementally
+    /// where the caches allow. The result is exactly the clustering a
+    /// from-scratch run with the same params and seed would produce.
+    pub fn recluster(
+        &mut self,
+        rec: &dyn Recorder,
+        cancel: &CancelToken,
+    ) -> Result<ReclusterReport> {
+        let g = span(rec, "stream.recluster");
+        let n = self.ds.n();
+        let snap = self.ds.snapshot()?;
+        self.params.validate(&snap)?;
+
+        let stale = self.churn as f64 / n.max(1) as f64 > self.staleness_threshold;
+        let mode = if self.state.is_none() || stale {
+            self.store.clear();
+            self.memo.clear();
+            ReclusterMode::Full
+        } else {
+            ReclusterMode::Incremental
+        };
+
+        let ds = &self.ds;
+        let store = &mut self.store;
+        let memo = &mut self.memo;
+        let params = &self.params;
+        let ((clustering, medoid_pids, costs), sim_us) =
+            with_backend(&mut self.spec, &snap, params, cancel, |b| {
+                run_stream_core(ds, store, memo, b, params, rec, cancel)
+            })?;
+
+        self.install_state(&clustering, medoid_pids);
+        self.dirty = false;
+        self.churn = 0;
+        drop(g);
+        Ok(report(mode, n, &costs, &clustering, sim_us))
+    }
+
+    /// Approximate refresh: keeps the converged medoids and subspaces
+    /// frozen and re-assigns the live points to them. Errors if no state
+    /// exists or a medoid was retired — escalate to [`Self::recluster`].
+    /// Unlike `recluster`, the result is *not* equal to a from-scratch
+    /// run; churn keeps accumulating toward the staleness threshold.
+    pub fn recluster_warm(
+        &mut self,
+        rec: &dyn Recorder,
+        cancel: &CancelToken,
+    ) -> Result<ReclusterReport> {
+        let g = span(rec, "stream.recluster");
+        let state = self.state.as_ref().ok_or(ProclusError::InvalidData {
+            reason: "warm recluster needs a converged state".into(),
+        })?;
+        let medoid_pids = state.medoid_pids.clone();
+        let dims = state.subspaces.clone();
+        if let Some(&gone) = medoid_pids.iter().find(|&&p| self.ds.pos_of(p).is_none()) {
+            return Err(ProclusError::InvalidData {
+                reason: format!("medoid pid {gone} was retired; run a full recluster"),
+            });
+        }
+        let n = self.ds.n();
+        let snap = self.ds.snapshot()?;
+        self.params.validate(&snap)?;
+
+        let ds = &self.ds;
+        let memo = &mut self.memo;
+        let params = &self.params;
+        let mut costs = Costs::default();
+        let ((cost, labels), sim_us) = with_backend(&mut self.spec, &snap, params, cancel, |b| {
+            cancel.check()?;
+            let (sizes, labels) = assign_stream(ds, memo, b, &medoid_pids, &dims, &mut costs, rec)?;
+            let cost = b.evaluate(&dims, &sizes, rec)?;
+            Ok((cost, labels))
+        })?;
+
+        let labels_by_pid: HashMap<u64, i32> = labels
+            .iter()
+            .enumerate()
+            .map(|(q, &l)| (self.ds.pid_at(q), l))
+            .collect();
+        let refined_cost = cost;
+        self.state = Some(StreamState {
+            medoid_pids,
+            subspaces: dims,
+            labels: labels_by_pid,
+            cost,
+            refined_cost,
+        });
+        self.dirty = false;
+        drop(g);
+        Ok(ReclusterReport {
+            mode: ReclusterMode::Warm,
+            n,
+            distances: costs.distances,
+            segmental: costs.segmental,
+            dist_cache_hits: costs.dist_cache_hits,
+            dist_cache_misses: costs.dist_cache_misses,
+            delta_l_points: costs.delta_l_points,
+            iterations: 0,
+            medoids_replaced: 0,
+            cost,
+            refined_cost,
+            sim_us,
+        })
+    }
+
+    /// Label of a live pid from the last epoch, if both exist.
+    pub fn label_of(&self, pid: u64) -> Option<i32> {
+        self.state
+            .as_ref()
+            .and_then(|s| s.labels.get(&pid).copied())
+    }
+
+    fn install_state(&mut self, clustering: &Clustering, medoid_pids: Vec<u64>) {
+        let labels = clustering
+            .labels
+            .iter()
+            .enumerate()
+            .map(|(q, &l)| (self.ds.pid_at(q), l))
+            .collect();
+        self.state = Some(StreamState {
+            medoid_pids,
+            subspaces: clustering.subspaces.clone(),
+            labels,
+            cost: clustering.cost,
+            refined_cost: clustering.refined_cost,
+        });
+    }
+}
+
+fn report(
+    mode: ReclusterMode,
+    n: usize,
+    costs: &Costs,
+    clustering: &Clustering,
+    sim_us: Option<f64>,
+) -> ReclusterReport {
+    ReclusterReport {
+        mode,
+        n,
+        distances: costs.distances,
+        segmental: costs.segmental,
+        dist_cache_hits: costs.dist_cache_hits,
+        dist_cache_misses: costs.dist_cache_misses,
+        delta_l_points: costs.delta_l_points,
+        iterations: costs.iterations,
+        medoids_replaced: costs.medoids_replaced,
+        cost: clustering.cost,
+        refined_cost: clustering.refined_cost,
+        sim_us,
+    }
+}

@@ -1,0 +1,284 @@
+//! The mutable dataset behind a [`crate::StreamingClusterer`]: append,
+//! retire, and sliding-window eviction over points addressed by stable
+//! point ids (pids).
+//!
+//! Positions (row indices into the flat matrix) shift as points come and
+//! go — retirement swap-removes, so the last row moves into the hole —
+//! but pids never do, so every cross-epoch cache in this crate is keyed by
+//! pid and re-anchored to positions through [`StreamDataset::pos_of`].
+//!
+//! The medoid sample `Data'` is *append-stable priority sampling*: each
+//! point carries a priority drawn from a seeded hash of its pid, and the
+//! sample is the `|S|` smallest `(priority, pid)` pairs. An append only
+//! enters the sample if its priority beats the current threshold, and a
+//! retire only removes one member — so a small batch of deltas perturbs
+//! the sample by at most the batch size, which is what keeps the greedy
+//! medoid candidates (and with them every downstream cache) stable across
+//! re-clusterings. The sample consumes no RNG draws, so the seeded
+//! replacement sequence of the decision loop is identical whether a
+//! re-clustering starts warm or cold.
+
+use std::collections::{BTreeSet, HashMap};
+
+use proclus::{DataMatrix, ProclusError, Result};
+
+/// SplitMix64 finalizer: the stateless hash behind the sampling priorities.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Sampling priority of a pid: the sample is the `|S|` smallest.
+pub(crate) fn sample_priority(seed: u64, pid: u64) -> u64 {
+    splitmix64(pid ^ splitmix64(seed ^ 0xA076_1D64_78BD_642F))
+}
+
+/// Independent second priority deciding the greedy pass's first pick
+/// (lowest wins). Indexing into the priority-ordered sample with an RNG
+/// draw would shift under insertions; an argmin over per-pid hashes only
+/// changes when the winning point itself enters or leaves the sample.
+pub(crate) fn first_pick_priority(seed: u64, pid: u64) -> u64 {
+    splitmix64(pid ^ splitmix64(seed ^ 0xE703_7ED1_A0B4_28DB))
+}
+
+/// A mutable row store with stable pids, priority sampling, and an
+/// optional sliding window.
+pub struct StreamDataset {
+    d: usize,
+    seed: u64,
+    flat: Vec<f32>,
+    /// pid of the point at each position.
+    pids: Vec<u64>,
+    pos_of: HashMap<u64, usize>,
+    /// Live points ordered by `(sample_priority, pid)`.
+    order: BTreeSet<(u64, u64)>,
+    /// Live pids in age order (pids are assigned monotonically).
+    live: BTreeSet<u64>,
+    next_pid: u64,
+    window: Option<usize>,
+}
+
+impl StreamDataset {
+    /// An empty dataset of dimensionality `d`; `seed` fixes the sampling
+    /// priorities (use the clustering seed so runs are reproducible).
+    pub fn new(d: usize, seed: u64) -> Result<Self> {
+        if d == 0 {
+            return Err(ProclusError::InvalidData {
+                reason: "zero-dimensional stream dataset".into(),
+            });
+        }
+        Ok(Self {
+            d,
+            seed,
+            flat: Vec::new(),
+            pids: Vec::new(),
+            pos_of: HashMap::new(),
+            order: BTreeSet::new(),
+            live: BTreeSet::new(),
+            next_pid: 0,
+            window: None,
+        })
+    }
+
+    /// A dataset seeded from an initial batch of rows.
+    pub fn from_rows(rows: &[Vec<f32>], seed: u64) -> Result<Self> {
+        let d = rows.first().map(|r| r.len()).unwrap_or(0);
+        let mut ds = Self::new(d, seed)?;
+        for row in rows {
+            ds.append(row)?;
+        }
+        Ok(ds)
+    }
+
+    /// Number of live points.
+    pub fn n(&self) -> usize {
+        self.pids.len()
+    }
+
+    /// Dimensionality.
+    pub fn d(&self) -> usize {
+        self.d
+    }
+
+    /// pid of the point at `pos`.
+    pub fn pid_at(&self, pos: usize) -> u64 {
+        self.pids[pos]
+    }
+
+    /// pids by position (the column key of every cross-epoch row cache).
+    pub fn pids(&self) -> &[u64] {
+        &self.pids
+    }
+
+    /// Current position of a live pid.
+    pub fn pos_of(&self, pid: u64) -> Option<usize> {
+        self.pos_of.get(&pid).copied()
+    }
+
+    /// Coordinates of the point at `pos`.
+    pub fn row(&self, pos: usize) -> &[f32] {
+        &self.flat[pos * self.d..(pos + 1) * self.d]
+    }
+
+    /// The sliding-window capacity, if set.
+    pub fn window(&self) -> Option<usize> {
+        self.window
+    }
+
+    /// Appends a point, returning its pid. If a window is set, the oldest
+    /// points are evicted to fit and their pids are returned.
+    pub fn append(&mut self, row: &[f32]) -> Result<(u64, Vec<u64>)> {
+        if row.len() != self.d {
+            return Err(ProclusError::InvalidData {
+                reason: format!("appended row has {} values, expected {}", row.len(), self.d),
+            });
+        }
+        if row.iter().any(|v| !v.is_finite()) {
+            return Err(ProclusError::InvalidData {
+                reason: "appended row contains a non-finite value".into(),
+            });
+        }
+        let pid = self.next_pid;
+        self.next_pid += 1;
+        let pos = self.pids.len();
+        self.flat.extend_from_slice(row);
+        self.pids.push(pid);
+        self.pos_of.insert(pid, pos);
+        self.order.insert((sample_priority(self.seed, pid), pid));
+        self.live.insert(pid);
+        let evicted = self.enforce_window();
+        Ok((pid, evicted))
+    }
+
+    /// Removes a live point by pid. The last row swaps into the hole, so
+    /// only one position changes.
+    pub fn retire(&mut self, pid: u64) -> Result<()> {
+        let pos = self.pos_of.remove(&pid).ok_or(ProclusError::InvalidData {
+            reason: format!("pid {pid} is not live"),
+        })?;
+        self.order.remove(&(sample_priority(self.seed, pid), pid));
+        self.live.remove(&pid);
+        let last = self.pids.len() - 1;
+        if pos != last {
+            let moved = self.pids[last];
+            let (head, tail) = self.flat.split_at_mut(last * self.d);
+            head[pos * self.d..(pos + 1) * self.d].copy_from_slice(&tail[..self.d]);
+            self.pids[pos] = moved;
+            self.pos_of.insert(moved, pos);
+        }
+        self.pids.pop();
+        self.flat.truncate(last * self.d);
+        Ok(())
+    }
+
+    /// Sets (or clears) the sliding-window capacity and evicts the oldest
+    /// points down to it. Returns the evicted pids.
+    pub fn set_window(&mut self, cap: Option<usize>) -> Result<Vec<u64>> {
+        if cap == Some(0) {
+            return Err(ProclusError::InvalidData {
+                reason: "window capacity must be at least 1".into(),
+            });
+        }
+        self.window = cap;
+        Ok(self.enforce_window())
+    }
+
+    fn enforce_window(&mut self) -> Vec<u64> {
+        let mut evicted = Vec::new();
+        if let Some(cap) = self.window {
+            while self.pids.len() > cap {
+                let Some(&oldest) = self.live.iter().next() else {
+                    break;
+                };
+                match self.retire(oldest) {
+                    Ok(()) => evicted.push(oldest),
+                    Err(_) => break,
+                }
+            }
+        }
+        evicted
+    }
+
+    /// The `size` sample members in priority order (smallest first).
+    pub fn sample(&self, size: usize) -> Vec<u64> {
+        self.order.iter().take(size).map(|&(_, pid)| pid).collect()
+    }
+
+    /// An immutable snapshot for one re-clustering epoch.
+    pub fn snapshot(&self) -> Result<DataMatrix> {
+        DataMatrix::from_flat(self.flat.clone(), self.pids.len(), self.d)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid(n: usize) -> Vec<Vec<f32>> {
+        (0..n)
+            .map(|i| vec![(i % 13) as f32, (i % 7) as f32 * 0.5])
+            .collect()
+    }
+
+    #[test]
+    fn retire_swaps_last_row_into_hole() {
+        let mut ds = StreamDataset::from_rows(&grid(5), 7).unwrap();
+        let last_row = ds.row(4).to_vec();
+        ds.retire(1).unwrap();
+        assert_eq!(ds.n(), 4);
+        assert_eq!(ds.pid_at(1), 4);
+        assert_eq!(ds.row(1), &last_row[..]);
+        assert_eq!(ds.pos_of(4), Some(1));
+        assert_eq!(ds.pos_of(1), None);
+        assert!(ds.retire(1).is_err(), "double retire is rejected");
+    }
+
+    #[test]
+    fn sample_is_append_stable() {
+        let mut ds = StreamDataset::from_rows(&grid(200), 42).unwrap();
+        let before = ds.sample(20);
+        for row in grid(2) {
+            ds.append(&row).unwrap();
+        }
+        let after = ds.sample(20);
+        let before_set: BTreeSet<u64> = before.iter().copied().collect();
+        let after_set: BTreeSet<u64> = after.iter().copied().collect();
+        let changed = before_set.symmetric_difference(&after_set).count();
+        assert!(
+            changed <= 4,
+            "2 appends shifted {changed} of 20 sample slots"
+        );
+    }
+
+    #[test]
+    fn window_evicts_oldest_pids() {
+        let mut ds = StreamDataset::from_rows(&grid(10), 3).unwrap();
+        let evicted = ds.set_window(Some(8)).unwrap();
+        assert_eq!(evicted, vec![0, 1]);
+        let (pid, evicted) = ds.append(&[1.0, 2.0]).unwrap();
+        assert_eq!(pid, 10);
+        assert_eq!(evicted, vec![2]);
+        assert_eq!(ds.n(), 8);
+    }
+
+    #[test]
+    fn rejects_ragged_and_non_finite_rows() {
+        let mut ds = StreamDataset::new(2, 0).unwrap();
+        assert!(ds.append(&[1.0]).is_err());
+        assert!(ds.append(&[1.0, f32::NAN]).is_err());
+        assert!(ds.append(&[1.0, 2.0]).is_ok());
+    }
+
+    #[test]
+    fn snapshot_matches_rows() {
+        let rows = grid(6);
+        let ds = StreamDataset::from_rows(&rows, 1).unwrap();
+        let snap = ds.snapshot().unwrap();
+        assert_eq!(snap.n(), 6);
+        for (i, row) in rows.iter().enumerate() {
+            assert_eq!(snap.row(i), &row[..]);
+        }
+    }
+}

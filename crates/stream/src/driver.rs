@@ -1,0 +1,463 @@
+//! The streaming re-clustering driver: the medoid-search loop of Alg. 1
+//! executed against the cross-epoch caches of [`crate::cache`].
+//!
+//! Structure mirrors `proclus::backend::run_core` phase for phase —
+//! iterate (ComputeL → FindDimensions → AssignPoints → EvaluateClusters →
+//! bad-medoid replacement) then refine — with three substitutions that
+//! exploit the live dataset:
+//!
+//! 1. **ComputeL** folds the epoch-local `H` sums forward from cached
+//!    per-medoid distance rows (the point-delta generalization of
+//!    Theorems 3.1/3.2: `ΔL_i` between consecutive radii is found by
+//!    scanning the cached row, and appended points are patched into the
+//!    row first). A cached row costs only its holes; only genuinely new
+//!    medoids pay a full `n`-distance row.
+//! 2. **AssignPoints** seeds labels from the assignment memo — labels are
+//!    a pure per-point function of (medoid pids, subspaces), so on a hit
+//!    only new points rescan the medoids ([`Backend::assign_seeded`]).
+//! 3. **Initialization** replaces the seeded random sample and RNG-driven
+//!    first pick with append-stable hashes (see [`crate::dataset`]), so
+//!    the greedy candidates barely move under small delta batches. The
+//!    RNG is consumed only by the medoid draws (`MCur`, replacements),
+//!    whose sequence is therefore identical between an incremental and a
+//!    from-scratch run.
+//!
+//! Every value that feeds a decision — distance rows, `H`, `X`, `Z`,
+//! cost — is either a cached pure per-point value or folded fresh this
+//! epoch in canonical position order, so the driver's output is a pure
+//! function of (live points, params, seed): an incremental re-clustering
+//! is *bitwise equal* to a from-scratch one, and the caches only decide
+//! how many distances are recomputed.
+
+use std::collections::HashMap;
+
+use proclus::backend::Backend;
+use proclus::params::Params;
+use proclus::phases::bad_medoids::{compute_bad_medoids, replace_bad_medoids};
+use proclus::phases::find_dimensions::find_dimensions;
+use proclus::result::Clustering;
+use proclus::{CancelToken, ProclusError, ProclusRng, Result};
+use proclus_telemetry::{attrs, counters, span, Recorder};
+
+use crate::cache::{AssignMemo, RowStore};
+use crate::dataset::{first_pick_priority, StreamDataset};
+
+/// Work accounted by one re-clustering, mirrored into the telemetry
+/// counters and reported back for the bench-gate ratio.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct Costs {
+    /// Full-dimensional euclidean distances computed (greedy + row fills).
+    pub distances: u64,
+    /// Manhattan segmental distances computed (assignment + outliers).
+    pub segmental: u64,
+    /// Medoid rows served from the cross-epoch cache.
+    pub dist_cache_hits: u64,
+    /// Medoid rows built from scratch.
+    pub dist_cache_misses: u64,
+    /// Points folded through `ΔL` updates.
+    pub delta_l_points: u64,
+    /// Iterative-phase iterations executed.
+    pub iterations: u64,
+    /// Bad medoids replaced.
+    pub medoids_replaced: u64,
+}
+
+/// Epoch-local `H` state for one medoid: per-dimension Manhattan sums over
+/// the sphere, advanced between radii by `ΔL` folds over the cached row.
+struct EpochH {
+    h: Vec<f64>,
+    lsize: usize,
+    /// Radius at the last fold (−1 sentinel: nothing accumulated yet).
+    prev_delta: f32,
+}
+
+/// Advances `eh` from its previous radius to `cur` by folding the points
+/// whose cached distance falls in the delta shell — the same membership
+/// rule and `λ = ±1` signing as the FAST engines' `update_h_row`, executed
+/// in ascending position order so every run folds identically.
+fn advance_h(ds: &StreamDataset, row: &[f32], m_pos: usize, eh: &mut EpochH, cur: f32) -> u64 {
+    if cur == eh.prev_delta {
+        return 0;
+    }
+    let (lo, hi, lambda) = if cur > eh.prev_delta {
+        (eh.prev_delta, cur, 1.0f64)
+    } else {
+        (cur, eh.prev_delta, -1.0f64)
+    };
+    let d = ds.d();
+    let m_row = ds.row(m_pos).to_vec();
+    let mut dh = vec![0.0f64; d];
+    let mut cnt = 0u64;
+    for (q, &dist) in row.iter().enumerate() {
+        if dist > lo && dist <= hi {
+            cnt += 1;
+            let prow = ds.row(q);
+            for j in 0..d {
+                dh[j] += ((prow[j] - m_row[j]) as f64).abs();
+            }
+        }
+    }
+    for (acc, v) in eh.h.iter_mut().zip(&dh) {
+        *acc += lambda * v;
+    }
+    if lambda > 0.0 {
+        eh.lsize += cnt as usize;
+    } else {
+        eh.lsize = eh.lsize.saturating_sub(cnt as usize);
+    }
+    eh.prev_delta = cur;
+    cnt
+}
+
+/// Position of a live pid, as a driver-level invariant.
+fn pos_of(ds: &StreamDataset, pid: u64) -> Result<usize> {
+    ds.pos_of(pid).ok_or(ProclusError::InvalidData {
+        reason: format!("pid {pid} vanished mid-epoch"),
+    })
+}
+
+/// Opens a phase span and annotates it with the simulated device time the
+/// phase consumed (backends without a clock get no annotation).
+fn phase<T, B: Backend + ?Sized>(
+    backend: &mut B,
+    rec: &dyn Recorder,
+    name: &'static str,
+    f: impl FnOnce(&mut B) -> Result<T>,
+) -> Result<T> {
+    let g = span(rec, name);
+    let t0 = backend.clock_us();
+    let out = f(backend)?;
+    if let (Some(a), Some(b)) = (t0, backend.clock_us()) {
+        rec.annotate(g.id(), attrs::SIM_US, b - a);
+    }
+    Ok(out)
+}
+
+/// The greedy farthest-point pass over the priority sample, driven through
+/// [`Backend::dist_subset`] so each step costs exactly `|S|` distances.
+/// The first pick is the sample member with the smallest
+/// [`first_pick_priority`]; every later pick maximizes the min-distance to
+/// the picked set, ties to the lowest pid — both rules are stable under
+/// small delta batches, unlike index-based draws.
+fn greedy_stream<B: Backend + ?Sized>(
+    ds: &StreamDataset,
+    backend: &mut B,
+    sample: &[u64],
+    count: usize,
+    seed: u64,
+    costs: &mut Costs,
+    rec: &dyn Recorder,
+) -> Result<Vec<u64>> {
+    let g = span(rec, "stream.greedy");
+    let t0 = backend.clock_us();
+    let sample_pos: Vec<usize> = sample
+        .iter()
+        .map(|&pid| pos_of(ds, pid))
+        .collect::<Result<_>>()?;
+
+    let mut first = 0usize;
+    for (c, &pid) in sample.iter().enumerate() {
+        let key = (first_pick_priority(seed, pid), pid);
+        if c == 0 || key < (first_pick_priority(seed, sample[first]), sample[first]) {
+            first = c;
+        }
+    }
+    let mut picked: Vec<u64> = Vec::with_capacity(count);
+    let mut mind = vec![f32::INFINITY; sample.len()];
+    picked.push(sample[first]);
+    mind[first] = f32::NEG_INFINITY;
+
+    for _ in 1..count {
+        let last = picked[picked.len() - 1];
+        let dists = backend.dist_subset(pos_of(ds, last)?, &sample_pos, rec)?;
+        costs.distances += sample.len() as u64;
+        rec.add(counters::DISTANCES_COMPUTED, sample.len() as u64);
+        let mut best = 0usize;
+        let mut have = false;
+        for (c, &pid) in sample.iter().enumerate() {
+            if dists[c] < mind[c] {
+                mind[c] = dists[c];
+            }
+            if mind[c] == f32::NEG_INFINITY {
+                continue;
+            }
+            if !have || mind[c] > mind[best] || (mind[c] == mind[best] && pid < sample[best]) {
+                best = c;
+                have = true;
+            }
+        }
+        if !have {
+            break; // sample exhausted: |S| < count
+        }
+        picked.push(sample[best]);
+        mind[best] = f32::NEG_INFINITY;
+    }
+    if let (Some(a), Some(b)) = (t0, backend.clock_us()) {
+        rec.annotate(g.id(), attrs::SIM_US, b - a);
+    }
+    Ok(picked)
+}
+
+/// ComputeL over the row store: ensures each current medoid's distance row
+/// (cache hit + hole patch, or full build), derives the sphere radii from
+/// the rows themselves, folds the epoch-local `H` forward, and assembles
+/// the `k × d` decision matrix `X`.
+#[allow(clippy::too_many_arguments)]
+fn compute_x_stream<B: Backend + ?Sized>(
+    ds: &StreamDataset,
+    store: &mut RowStore,
+    epoch_h: &mut HashMap<u64, EpochH>,
+    backend: &mut B,
+    medoid_pids: &[u64],
+    costs: &mut Costs,
+    rec: &dyn Recorder,
+) -> Result<Vec<f64>> {
+    let (n, d, k) = (ds.n(), ds.d(), medoid_pids.len());
+    let med_pos: Vec<usize> = medoid_pids
+        .iter()
+        .map(|&pid| pos_of(ds, pid))
+        .collect::<Result<_>>()?;
+    let mut x = vec![0.0f64; k * d];
+    for i in 0..k {
+        let pid = medoid_pids[i];
+        let m_pos = med_pos[i];
+        let (row, fill) = store.ensure_row(pid, n, |positions| {
+            backend.dist_subset(m_pos, positions, rec)
+        })?;
+        costs.distances += fill.computed;
+        rec.add(counters::DISTANCES_COMPUTED, fill.computed);
+        if fill.miss {
+            costs.dist_cache_misses += 1;
+            rec.add(counters::DIST_CACHE_MISSES, 1);
+        } else {
+            costs.dist_cache_hits += 1;
+            rec.add(counters::DIST_CACHE_HITS, 1);
+        }
+        // δ_i: nearest other medoid, read straight off this medoid's row.
+        let mut delta = f32::INFINITY;
+        for (j, &p) in med_pos.iter().enumerate() {
+            if j != i && row[p] < delta {
+                delta = row[p];
+            }
+        }
+        let eh = epoch_h.entry(pid).or_insert_with(|| EpochH {
+            h: vec![0.0f64; d],
+            lsize: 0,
+            prev_delta: -1.0,
+        });
+        let cnt = advance_h(ds, row, m_pos, eh, delta);
+        costs.delta_l_points += cnt;
+        rec.add(counters::DELTA_L_POINTS, cnt);
+        if eh.lsize > 0 {
+            for j in 0..d {
+                x[i * d + j] = eh.h[j] / eh.lsize as f64;
+            }
+        }
+    }
+    Ok(x)
+}
+
+/// AssignPoints through the memo: seed surviving labels, rescan only the
+/// rest, then refresh the memo from the complete assignment.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn assign_stream<B: Backend + ?Sized>(
+    ds: &StreamDataset,
+    memo: &mut AssignMemo,
+    backend: &mut B,
+    medoid_pids: &[u64],
+    dims: &[Vec<usize>],
+    costs: &mut Costs,
+    rec: &dyn Recorder,
+) -> Result<(Vec<usize>, Vec<i32>)> {
+    let n = ds.n();
+    let k = medoid_pids.len();
+    let med_pos: Vec<usize> = medoid_pids
+        .iter()
+        .map(|&pid| pos_of(ds, pid))
+        .collect::<Result<_>>()?;
+    let mut seed_labels = vec![0i32; n];
+    let mut todo: Vec<usize> = Vec::new();
+    match memo.lookup(medoid_pids, dims) {
+        Some(known) => {
+            for (q, lab) in seed_labels.iter_mut().enumerate() {
+                match known.get(&ds.pid_at(q)) {
+                    Some(&l) => *lab = l,
+                    None => todo.push(q),
+                }
+            }
+        }
+        None => todo = (0..n).collect(),
+    }
+    costs.segmental += (todo.len() * k) as u64;
+    rec.add(counters::SEGMENTAL_DISTANCES, (todo.len() * k) as u64);
+    let sizes = backend.assign_seeded(&med_pos, dims, &seed_labels, &todo, rec)?;
+    let labels = backend.labels()?;
+    let by_pid: HashMap<u64, i32> = labels
+        .iter()
+        .enumerate()
+        .map(|(q, &l)| (ds.pid_at(q), l))
+        .collect();
+    memo.insert(medoid_pids.to_vec(), dims.to_vec(), by_pid);
+    Ok((sizes, labels))
+}
+
+/// One full streaming re-clustering epoch: greedy candidates over the
+/// priority sample, the iterative medoid search, then refinement. Returns
+/// the clustering (addressed by current positions), the medoid pids, and
+/// the work accounting. The result is a pure function of (live points,
+/// `params`, seed) — see the module docs.
+pub(crate) fn run_stream_core<B: Backend + ?Sized>(
+    ds: &StreamDataset,
+    store: &mut RowStore,
+    memo: &mut AssignMemo,
+    backend: &mut B,
+    params: &Params,
+    rec: &dyn Recorder,
+    cancel: &CancelToken,
+) -> Result<(Clustering, Vec<u64>, Costs)> {
+    let mut costs = Costs::default();
+    let n = ds.n();
+    let d = ds.d();
+    let k = params.k;
+
+    {
+        let _g = span(rec, "stream.reconcile");
+        store.reconcile(ds.pids());
+    }
+
+    let mut rng = ProclusRng::new(params.seed);
+    let sample = ds.sample(params.sample_size(n));
+    let m_pids = greedy_stream(
+        ds,
+        backend,
+        &sample,
+        params.num_potential_medoids(n),
+        params.seed,
+        &mut costs,
+        rec,
+    )?;
+    let m_len = m_pids.len();
+
+    let mut epoch_h: HashMap<u64, EpochH> = HashMap::new();
+    let mut mcur = rng.sample_distinct(m_len, k);
+    let mut best_cost = f64::INFINITY;
+    let mut best_mcur = mcur.clone();
+    let mut best_sizes: Vec<usize> = Vec::new();
+    let mut itr = 0usize;
+    let mut total = 0usize;
+    let mut converged = false;
+    let mut prev_labels: Option<Vec<i32>> = None;
+
+    loop {
+        cancel.check()?;
+        let iter_span = span(rec, "stream.iteration");
+        let medoid_pids: Vec<u64> = mcur.iter().map(|&mi| m_pids[mi]).collect();
+
+        let x = {
+            let _g = span(rec, "stream.compute_l");
+            compute_x_stream(
+                ds,
+                store,
+                &mut epoch_h,
+                backend,
+                &medoid_pids,
+                &mut costs,
+                rec,
+            )?
+        };
+        let dims = {
+            let _g = span(rec, "stream.find_dimensions");
+            find_dimensions(&x[..k * d], k, d, params.l)
+        };
+        let (sizes, labels) = {
+            let _g = span(rec, "stream.assign");
+            assign_stream(ds, memo, backend, &medoid_pids, &dims, &mut costs, rec)?
+        };
+        let cost = phase(backend, rec, "stream.evaluate", |b| {
+            b.evaluate(&dims, &sizes, rec)
+        })?;
+        total += 1;
+        costs.iterations += 1;
+        rec.add(counters::ITERATIONS, 1);
+
+        if rec.enabled() {
+            let changed = match &prev_labels {
+                None => n as u64,
+                Some(prev) => prev.iter().zip(&labels).filter(|(a, b)| a != b).count() as u64,
+            };
+            rec.add(counters::POINTS_REASSIGNED, changed);
+        }
+        prev_labels = Some(labels);
+
+        if cost < best_cost {
+            best_cost = cost;
+            best_mcur = mcur.clone();
+            best_sizes = sizes;
+            backend.save_best()?;
+            itr = 0;
+        } else {
+            itr += 1;
+        }
+
+        if itr >= params.itr_pat {
+            converged = true;
+            break;
+        }
+        if total >= params.max_total_iterations {
+            break;
+        }
+
+        let g = span(rec, "stream.bad_medoids");
+        let bad = compute_bad_medoids(&best_sizes, n, params.min_dev, params.bad_medoid_rule);
+        costs.medoids_replaced += bad.len() as u64;
+        rec.add(counters::MEDOIDS_REPLACED, bad.len() as u64);
+        mcur = replace_bad_medoids(&best_mcur, &bad, m_len, &mut rng);
+        drop(g);
+        drop(iter_span);
+    }
+
+    // Refinement (Alg. 1 lines 15–19): L ← CBest, through the backend's
+    // own best-label path exactly as the batch driver does.
+    cancel.check()?;
+    let refine_span = span(rec, "stream.refinement");
+    let best_pids: Vec<u64> = best_mcur.iter().map(|&mi| m_pids[mi]).collect();
+    let med_pos: Vec<usize> = best_pids
+        .iter()
+        .map(|&pid| pos_of(ds, pid))
+        .collect::<Result<_>>()?;
+
+    phase(backend, rec, "stream.compute_l", |b| {
+        b.x_from_best(&med_pos, rec)
+    })?;
+    let dims = phase(backend, rec, "stream.find_dimensions", |b| {
+        b.find_dims(k, params.l, rec)
+    })?;
+    let (sizes, _labels) = {
+        let _g = span(rec, "stream.assign");
+        assign_stream(ds, memo, backend, &best_pids, &dims, &mut costs, rec)?
+    };
+    let refined_cost = phase(backend, rec, "stream.evaluate", |b| {
+        b.evaluate(&dims, &sizes, rec)
+    })?;
+    phase(backend, rec, "stream.remove_outliers", |b| {
+        costs.segmental += (n * k) as u64;
+        rec.add(counters::SEGMENTAL_DISTANCES, (n * k) as u64);
+        b.remove_outliers(&med_pos, &dims, rec)
+    })?;
+    let labels = backend.labels()?;
+    drop(refine_span);
+
+    Ok((
+        Clustering {
+            medoids: med_pos,
+            subspaces: dims,
+            labels,
+            cost: best_cost,
+            refined_cost,
+            iterations: total,
+            converged,
+        },
+        best_pids,
+        costs,
+    ))
+}

@@ -5,15 +5,28 @@
 
 use crate::json::{self, Value};
 
+/// Schema versions this validator understands. Version 2 added the
+/// streaming span names (`stream.*`) and the span-name charset rule;
+/// version-1 documents remain valid version-2 documents, so writers may
+/// stay at 1 until they emit something only 2 describes.
+pub const SUPPORTED_VERSIONS: [f64; 2] = [1.0, 2.0];
+
+fn check_version(
+    obj: &std::collections::BTreeMap<String, Value>,
+    what: &str,
+) -> Result<(), String> {
+    match obj.get("version").and_then(Value::as_f64) {
+        Some(v) if SUPPORTED_VERSIONS.contains(&v) => Ok(()),
+        Some(other) => Err(format!("{what}: unsupported version {other}")),
+        None => Err(format!("{what}: missing numeric 'version'")),
+    }
+}
+
 /// Validates a single-run report document
-/// (`{"version":1,"meta":{..},"totals":{..},"spans":[..]}`).
+/// (`{"version":1|2,"meta":{..},"totals":{..},"spans":[..]}`).
 pub fn validate_report(v: &Value) -> Result<(), String> {
     let obj = v.as_object().ok_or("report: expected object")?;
-    match obj.get("version").and_then(Value::as_f64) {
-        Some(1.0) => {}
-        Some(other) => return Err(format!("report: unsupported version {other}")),
-        None => return Err("report: missing numeric 'version'".to_string()),
-    }
+    check_version(obj, "report")?;
     let meta = obj
         .get("meta")
         .and_then(Value::as_object)
@@ -43,14 +56,11 @@ pub fn validate_report(v: &Value) -> Result<(), String> {
     Ok(())
 }
 
-/// Validates a multi-run document (`{"version":1,"runs":[<report>..]}`),
+/// Validates a multi-run document (`{"version":1|2,"runs":[<report>..]}`),
 /// the shape the CLI and bench harness write.
 pub fn validate_runs(v: &Value) -> Result<(), String> {
     let obj = v.as_object().ok_or("runs: expected object")?;
-    match obj.get("version").and_then(Value::as_f64) {
-        Some(1.0) => {}
-        _ => return Err("runs: missing 'version': 1".to_string()),
-    }
+    check_version(obj, "runs")?;
     let runs = obj
         .get("runs")
         .and_then(Value::as_array)
@@ -127,6 +137,15 @@ fn validate_span(v: &Value) -> Result<(), String> {
     if name.is_empty() {
         return Err("span: 'name' must not be empty".to_string());
     }
+    // Span names are dotted identifiers (e.g. `iteration`, `stream.assign`).
+    if !name
+        .chars()
+        .all(|c| c.is_ascii_alphanumeric() || matches!(c, '_' | '.' | ':' | '-'))
+    {
+        return Err(format!(
+            "span: name '{name}' has characters outside [a-zA-Z0-9_.:-]"
+        ));
+    }
     for key in ["start_us", "dur_us"] {
         match obj.get(key).and_then(Value::as_f64) {
             Some(n) if n >= 0.0 => {}
@@ -186,11 +205,29 @@ mod tests {
     }
 
     #[test]
+    fn accepts_version_2_and_stream_span_names() {
+        let v2 = GOOD.replace("\"version\":1", "\"version\":2");
+        validate_report_str(&v2).unwrap();
+        let streamy = v2
+            .replace("\"name\":\"run\"", "\"name\":\"stream.recluster\"")
+            .replace("\"name\":\"iteration\"", "\"name\":\"stream.iteration\"");
+        validate_report_str(&streamy).unwrap();
+        let doc = format!(r#"{{"version":2,"runs":[{streamy}]}}"#);
+        validate_any_str(&doc).unwrap();
+    }
+
+    #[test]
+    fn rejects_span_names_outside_the_charset() {
+        let bad = GOOD.replace("\"name\":\"iteration\"", "\"name\":\"iter ation!\"");
+        assert!(validate_report_str(&bad).is_err());
+    }
+
+    #[test]
     fn rejects_bad_documents() {
         // Not JSON at all.
         assert!(validate_any_str("nope").is_err());
-        // Wrong version.
-        assert!(validate_report_str(r#"{"version":2,"meta":{},"totals":{},"spans":[]}"#).is_err());
+        // Unsupported version (2 is valid since the streaming schema).
+        assert!(validate_report_str(r#"{"version":3,"meta":{},"totals":{},"spans":[]}"#).is_err());
         // Empty spans.
         assert!(validate_report_str(r#"{"version":1,"meta":{},"totals":{},"spans":[]}"#).is_err());
         // Negative counter.

@@ -20,6 +20,13 @@
 //!   absolute floors (≥1.6× at D=2, ≥2.5× at D=4 — simulated clocks are
 //!   deterministic, so the floors are machine-independent); and each
 //!   speedup is within an absolute tolerance of the baseline's.
+//! * `stream` (`BENCH_stream.json`): every fraction row carries positive
+//!   counters and `exact_match: true` (the harness self-checks that the
+//!   incremental epoch reproduces the from-scratch clustering bit for
+//!   bit); every append of ≤1% of `n` re-clusters with an incremental/full
+//!   distance ratio under the 0.25 floor; and each fraction's ratio stays
+//!   within an absolute tolerance of the baseline's (distance counters
+//!   are deterministic, so drift means the caching model regressed).
 
 use std::path::Path;
 
@@ -42,7 +49,7 @@ fn load(path: &Path) -> Result<Value, String> {
     parse(&text).map_err(|e| format!("parse {}: {e}", path.display()))
 }
 
-/// Dispatches on `kind` (`serve` / `telemetry` / `shard`).
+/// Dispatches on `kind` (`serve` / `telemetry` / `shard` / `stream`).
 pub fn run(
     kind: &str,
     baseline: &Path,
@@ -56,8 +63,9 @@ pub fn run(
         "serve" => Ok(compare_serve(&base, &new, &file, tolerance)),
         "telemetry" => Ok(compare_telemetry(&base, &new, &file)),
         "shard" => Ok(compare_shard(&base, &new, &file, tolerance)),
+        "stream" => Ok(compare_stream(&base, &new, &file, tolerance)),
         other => Err(format!(
-            "unknown bench kind `{other}` (serve, telemetry, shard)"
+            "unknown bench kind `{other}` (serve, telemetry, shard, stream)"
         )),
     }
 }
@@ -212,6 +220,97 @@ pub fn compare_shard(base: &Value, new: &Value, file: &str, tolerance: f64) -> V
                 ));
             }
         }
+    }
+    findings
+}
+
+/// The incremental/full distance ratio ceiling for appends of ≤1% of `n`
+/// (the acceptance criterion: a small append must cost under a quarter of
+/// a from-scratch run).
+const STREAM_RATIO_FLOOR_AT: f64 = 0.01;
+const STREAM_RATIO_CEILING: f64 = 0.25;
+
+/// Compares stream-bench documents; see the module docs for the contract.
+pub fn compare_stream(base: &Value, new: &Value, file: &str, tolerance: f64) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let empty: Vec<Value> = Vec::new();
+    let rows = new
+        .get("fractions")
+        .and_then(Value::as_array)
+        .unwrap_or(&empty);
+    if rows.is_empty() {
+        findings.push(fail(
+            "bench_structure",
+            file,
+            "fresh run has no fractions".to_string(),
+        ));
+        return findings;
+    }
+    let base_rows = base
+        .get("fractions")
+        .and_then(Value::as_array)
+        .unwrap_or(&empty);
+    let mut gated = false;
+    for row in rows {
+        let fraction = num(row, "fraction");
+        for key in ["fraction", "batch", "distances_full", "distances_inc"] {
+            let v = num(row, key);
+            if v.is_nan() || v <= 0.0 {
+                findings.push(fail(
+                    "bench_structure",
+                    file,
+                    format!("fraction {fraction}: {key} = {v} — expected positive"),
+                ));
+            }
+        }
+        // The harness re-runs from scratch and diffs medoids, subspaces and
+        // labels; anything but `true` means incrementality broke exactness.
+        if row.get("exact_match") != Some(&Value::Bool(true)) {
+            findings.push(fail(
+                "bench_regression",
+                file,
+                format!("fraction {fraction}: incremental result is not exact"),
+            ));
+        }
+        let ratio = num(row, "ratio");
+        if fraction <= STREAM_RATIO_FLOOR_AT {
+            gated = true;
+            if ratio.is_nan() || ratio >= STREAM_RATIO_CEILING {
+                findings.push(fail(
+                    "bench_regression",
+                    file,
+                    format!(
+                        "fraction {fraction}: incremental/full distance ratio {ratio:.3} \
+                         breaches the {STREAM_RATIO_CEILING} ceiling"
+                    ),
+                ));
+            }
+        }
+        let base_ratio = base_rows
+            .iter()
+            .find(|b| num(b, "fraction") == fraction)
+            .map(|b| num(b, "ratio"));
+        if let Some(b) = base_ratio {
+            if b.is_finite() && ratio > b + tolerance {
+                findings.push(fail(
+                    "bench_regression",
+                    file,
+                    format!(
+                        "fraction {fraction}: ratio {ratio:.3} drifted above baseline \
+                         {b:.3} (tolerance +{tolerance})"
+                    ),
+                ));
+            }
+        }
+    }
+    if !gated {
+        findings.push(fail(
+            "bench_structure",
+            file,
+            format!(
+                "no fraction ≤ {STREAM_RATIO_FLOOR_AT} in fresh run — the floor was not exercised"
+            ),
+        ));
     }
     findings
 }
@@ -405,6 +504,64 @@ mod tests {
         let f = compare_shard(&base, &fresh, "f", 0.25);
         assert_eq!(f.len(), 2, "{f:?}");
         assert!(f.iter().all(|f| f.rule == "bench_structure"), "{f:?}");
+    }
+
+    fn stream_doc(ratio_small: f64, ratio_big: f64, exact: bool) -> Value {
+        let mk = |fraction: f64, ratio: f64| {
+            let full = 1_000_000u64;
+            let inc = (ratio * full as f64) as u64;
+            format!(
+                "{{\"fraction\":{fraction},\"batch\":100,\"distances_full\":{full},\
+                 \"distances_inc\":{inc},\"segmental_inc\":5000,\"dist_cache_hits\":900,\
+                 \"ratio\":{ratio},\"exact_match\":{exact},\"sim_ms_full\":8.0,\
+                 \"sim_ms_inc\":1.0}}"
+            )
+        };
+        let json = format!(
+            "{{\"version\":1,\"workload\":{{\"n\":32000,\"d\":15,\"k\":8,\"l\":5,\
+             \"seed\":1,\"quick\":false}},\"fractions\":[{},{}]}}",
+            mk(0.01, ratio_small),
+            mk(0.05, ratio_big)
+        );
+        parse(&json).expect("valid fixture")
+    }
+
+    #[test]
+    fn stream_floor_passes_and_fails() {
+        let base = stream_doc(0.05, 0.4, true);
+        assert!(compare_stream(&base, &stream_doc(0.06, 0.42, true), "f", 0.25).is_empty());
+        let f = compare_stream(&base, &stream_doc(0.30, 0.4, true), "f", 1.0);
+        assert!(f.iter().any(|f| f.message.contains("ceiling")), "{f:?}");
+    }
+
+    #[test]
+    fn stream_inexact_result_fails() {
+        let base = stream_doc(0.05, 0.4, true);
+        let f = compare_stream(&base, &stream_doc(0.05, 0.4, false), "f", 1.0);
+        assert!(f.iter().any(|f| f.message.contains("not exact")), "{f:?}");
+    }
+
+    #[test]
+    fn stream_ratio_drift_above_baseline_fails() {
+        let base = stream_doc(0.05, 0.30, true);
+        let f = compare_stream(&base, &stream_doc(0.06, 0.60, true), "f", 0.1);
+        assert!(f.iter().any(|f| f.message.contains("drifted")), "{f:?}");
+    }
+
+    #[test]
+    fn stream_missing_gated_fraction_fails() {
+        let base = stream_doc(0.05, 0.4, true);
+        let fresh = parse(
+            "{\"version\":1,\"fractions\":[{\"fraction\":0.05,\"batch\":100,\
+             \"distances_full\":1000,\"distances_inc\":400,\"ratio\":0.4,\
+             \"exact_match\":true}]}",
+        )
+        .expect("valid fixture");
+        let f = compare_stream(&base, &fresh, "f", 0.25);
+        assert!(
+            f.iter().any(|f| f.message.contains("not exercised")),
+            "{f:?}"
+        );
     }
 
     #[test]

@@ -6,8 +6,8 @@
 //!
 //! | rule                  | scope                                   | enforces |
 //! |-----------------------|-----------------------------------------|----------|
-//! | `no_panic`            | `crates/serve/src`, driver + backends   | no `.unwrap()` / `.expect()` / `panic!`-family in hot paths |
-//! | `cancel_polled`       | `core/src/{driver,backend}.rs`, `gpu/src/{backend,shard}.rs` | every `loop`/`while` polls the `CancelToken` |
+//! | `no_panic`            | `crates/{serve,stream}/src`, driver + backends | no `.unwrap()` / `.expect()` / `panic!`-family in hot paths |
+//! | `cancel_polled`       | `core/src/{driver,backend}.rs`, `gpu/src/{backend,shard}.rs`, `stream/src/driver.rs` | every `loop`/`while` polls the `CancelToken` |
 //! | `launch_entry`        | all crates except `gpu-sim` internals   | kernel launches only in `crates/gpu/src/kernels/` |
 //! | `public_result_error` | `crates/{core,gpu,serve}/src`           | public `Result` APIs use the typed error set |
 //!
@@ -122,10 +122,14 @@ fn is_driver(rel: &str) -> bool {
         || rel == "crates/core/src/backend.rs"
         || rel == "crates/gpu/src/backend.rs"
         || rel == "crates/gpu/src/shard.rs"
+        || rel == "crates/stream/src/driver.rs"
 }
 
 fn no_panic_in_scope(rel: &str) -> bool {
-    (rel.starts_with("crates/serve/src/") || is_driver(rel)) && !rel.contains("/tests/")
+    (rel.starts_with("crates/serve/src/")
+        || rel.starts_with("crates/stream/src/")
+        || is_driver(rel))
+        && !rel.contains("/tests/")
 }
 
 fn launch_entry_in_scope(rel: &str) -> bool {

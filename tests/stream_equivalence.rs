@@ -1,0 +1,327 @@
+//! The streaming exactness contract: re-clustering after a batch of
+//! deltas produces the **same clustering a from-scratch run would** —
+//! identical labels, medoid pids, subspaces, and (to float noise) costs —
+//! on every backend. The caches only change how many distances are
+//! recomputed, never any decision.
+
+use gpu_sim::DeviceConfig;
+use proclus::par::Executor;
+use proclus::{CancelToken, Params};
+use proclus_stream::{ReclusterMode, StreamBackendSpec, StreamState, StreamingClusterer};
+use proclus_telemetry::NullRecorder;
+use proptest::prelude::*;
+
+/// Deterministic synthetic rows: a few axis-aligned blobs plus noise, all
+/// from a splitmix-style hash so the test needs no RNG plumbing.
+fn rows(n: usize, d: usize, clusters: usize) -> Vec<Vec<f32>> {
+    fn h(mut z: u64) -> u64 {
+        z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+    (0..n)
+        .map(|i| {
+            let c = i % clusters;
+            (0..d)
+                .map(|j| {
+                    let noise = (h((i as u64) << 20 | j as u64) % 1000) as f32 / 1000.0;
+                    if j % clusters == c {
+                        (c * 10) as f32 + noise
+                    } else {
+                        50.0 + noise * 8.0
+                    }
+                })
+                .collect()
+        })
+        .collect()
+}
+
+fn params(k: usize, seed: u64) -> Params {
+    Params::builder(k, 3)
+        .a(10)
+        .b(3)
+        .seed(seed)
+        .max_total_iterations(12)
+        .build()
+        .expect("valid test params")
+}
+
+fn spec(name: &str, devices: usize) -> StreamBackendSpec {
+    match name {
+        "cpu" => StreamBackendSpec::Cpu {
+            exec: Executor::Parallel { threads: 2 },
+        },
+        "gpu" => StreamBackendSpec::gpu(DeviceConfig::gtx_1660_ti()),
+        "sharded" => StreamBackendSpec::Sharded {
+            config: DeviceConfig::gtx_1660_ti(),
+            devices,
+        },
+        other => panic!("unknown backend {other}"),
+    }
+}
+
+/// From-scratch reference: one clusterer fed the final point set directly.
+/// Pids match the incremental run because both start from an empty dataset
+/// and append in the same order (retired pids stay consumed).
+fn state_of(clusterer: &StreamingClusterer) -> StreamState {
+    clusterer.state().expect("converged state").clone()
+}
+
+fn assert_same(incremental: &StreamState, fresh: &StreamState, what: &str) {
+    assert_eq!(
+        incremental.medoid_pids, fresh.medoid_pids,
+        "{what}: medoid pids diverged"
+    );
+    assert_eq!(
+        incremental.subspaces, fresh.subspaces,
+        "{what}: subspaces diverged"
+    );
+    assert_eq!(incremental.labels, fresh.labels, "{what}: labels diverged");
+    assert!(
+        (incremental.cost - fresh.cost).abs() <= 1e-9 * fresh.cost.abs().max(1.0),
+        "{what}: cost diverged ({} vs {})",
+        incremental.cost,
+        fresh.cost
+    );
+    assert!(
+        (incremental.refined_cost - fresh.refined_cost).abs()
+            <= 1e-9 * fresh.refined_cost.abs().max(1.0),
+        "{what}: refined cost diverged ({} vs {})",
+        incremental.refined_cost,
+        fresh.refined_cost
+    );
+}
+
+/// Replays `script` (append batches / retires / window) on one clusterer
+/// with a recluster after every step, then checks the final state against
+/// a from-scratch clusterer that saw only the surviving points' history.
+fn check_script(backend: &str, devices: usize, base: &[Vec<f32>], script: &[Step]) {
+    let rec = NullRecorder;
+    let cancel = CancelToken::default();
+    let k = 4;
+
+    let mut live =
+        StreamingClusterer::from_rows(base, params(k, 7), spec(backend, devices)).expect("seed");
+    live.recluster(&rec, &cancel).expect("initial recluster");
+
+    for step in script {
+        match step {
+            Step::Append(batch) => {
+                for row in batch {
+                    live.append(row).expect("append");
+                }
+            }
+            Step::Retire(pids) => {
+                for &pid in pids {
+                    live.retire(pid).expect("retire");
+                }
+            }
+            Step::Window(cap) => {
+                live.set_window(Some(*cap)).expect("window");
+            }
+        }
+        let report = live.recluster(&rec, &cancel).expect("recluster");
+        assert!(report.n > 0);
+    }
+
+    // Reference: rebuild the identical pid→point mapping from scratch by
+    // replaying the same mutations on a cache-less, state-less clusterer.
+    let mut fresh =
+        StreamingClusterer::from_rows(base, params(k, 7), spec(backend, devices)).expect("seed");
+    for step in script {
+        match step {
+            Step::Append(batch) => {
+                for row in batch {
+                    fresh.append(row).expect("append");
+                }
+            }
+            Step::Retire(pids) => {
+                for &pid in pids {
+                    fresh.retire(pid).expect("retire");
+                }
+            }
+            Step::Window(cap) => {
+                fresh.set_window(Some(*cap)).expect("window");
+            }
+        }
+    }
+    let report = fresh.recluster(&rec, &cancel).expect("fresh recluster");
+    assert_eq!(
+        report.mode,
+        ReclusterMode::Full,
+        "first epoch of the reference run must be cold"
+    );
+
+    assert_same(
+        &state_of(&live),
+        &state_of(&fresh),
+        &format!("{backend}/D{devices} {script:?}"),
+    );
+}
+
+#[derive(Debug)]
+enum Step {
+    Append(Vec<Vec<f32>>),
+    Retire(Vec<u64>),
+    Window(usize),
+}
+
+fn append_script(n: usize, d: usize) -> (Vec<Vec<f32>>, Vec<Step>) {
+    let all = rows(n + 8, d, 4);
+    let base = all[..n].to_vec();
+    let batch = all[n..].to_vec();
+    (base, vec![Step::Append(batch)])
+}
+
+fn mixed_script(n: usize, d: usize) -> (Vec<Vec<f32>>, Vec<Step>) {
+    let all = rows(n + 12, d, 4);
+    let base = all[..n].to_vec();
+    (
+        base,
+        vec![
+            Step::Append(all[n..n + 6].to_vec()),
+            Step::Retire(vec![3, 17, (n + 2) as u64]),
+            Step::Append(all[n + 6..].to_vec()),
+            Step::Window(n + 6),
+        ],
+    )
+}
+
+#[test]
+fn append_then_recluster_equals_from_scratch_cpu() {
+    let (base, script) = append_script(300, 8);
+    check_script("cpu", 1, &base, &script);
+}
+
+#[test]
+fn append_then_recluster_equals_from_scratch_gpu() {
+    let (base, script) = append_script(300, 8);
+    check_script("gpu", 1, &base, &script);
+}
+
+#[test]
+fn append_then_recluster_equals_from_scratch_sharded() {
+    for devices in [1, 2, 4] {
+        let (base, script) = append_script(300, 8);
+        check_script("sharded", devices, &base, &script);
+    }
+}
+
+#[test]
+fn mixed_deltas_equal_from_scratch_cpu() {
+    let (base, script) = mixed_script(280, 6);
+    check_script("cpu", 1, &base, &script);
+}
+
+#[test]
+fn mixed_deltas_equal_from_scratch_gpu() {
+    let (base, script) = mixed_script(280, 6);
+    check_script("gpu", 1, &base, &script);
+}
+
+#[test]
+fn mixed_deltas_equal_from_scratch_sharded() {
+    for devices in [1, 2, 4] {
+        let (base, script) = mixed_script(280, 6);
+        check_script("sharded", devices, &base, &script);
+    }
+}
+
+#[test]
+fn incremental_epoch_touches_fewer_distances() {
+    let rec = NullRecorder;
+    let cancel = CancelToken::default();
+    let base = rows(1200, 8, 4);
+    let mut c = StreamingClusterer::from_rows(&base, params(4, 7), spec("cpu", 1)).expect("seed");
+    let cold = c.recluster(&rec, &cancel).expect("cold");
+    assert_eq!(cold.mode, ReclusterMode::Full);
+    for row in rows(12, 8, 4) {
+        c.append(&row).expect("append");
+    }
+    let warm = c.recluster(&rec, &cancel).expect("warm");
+    assert_eq!(warm.mode, ReclusterMode::Incremental);
+    assert!(
+        warm.dist_cache_hits > 0,
+        "no row cache hits on a warm epoch"
+    );
+    assert!(
+        warm.distances * 4 < cold.distances,
+        "1% append cost {} of {} cold distances",
+        warm.distances,
+        cold.distances
+    );
+}
+
+#[test]
+fn staleness_escalates_to_a_cold_epoch() {
+    let rec = NullRecorder;
+    let cancel = CancelToken::default();
+    let base = rows(200, 6, 4);
+    let mut c = StreamingClusterer::from_rows(&base, params(4, 7), spec("cpu", 1)).expect("seed");
+    c.recluster(&rec, &cancel).expect("cold");
+    for row in rows(250, 6, 4) {
+        c.append(&row).expect("append");
+    }
+    let report = c.recluster(&rec, &cancel).expect("escalated");
+    assert_eq!(
+        report.mode,
+        ReclusterMode::Full,
+        "churn over the threshold must escalate"
+    );
+}
+
+#[test]
+fn warm_recluster_freezes_medoids_and_flags_retired_ones() {
+    let rec = NullRecorder;
+    let cancel = CancelToken::default();
+    let base = rows(240, 6, 4);
+    let mut c = StreamingClusterer::from_rows(&base, params(4, 7), spec("cpu", 1)).expect("seed");
+    c.recluster(&rec, &cancel).expect("cold");
+    let medoids = c.state().expect("state").medoid_pids.clone();
+    for row in rows(4, 6, 4) {
+        c.append(&row).expect("append");
+    }
+    let report = c.recluster_warm(&rec, &cancel).expect("warm");
+    assert_eq!(report.mode, ReclusterMode::Warm);
+    assert_eq!(c.state().expect("state").medoid_pids, medoids);
+    c.retire(medoids[0]).expect("retire a medoid");
+    assert!(
+        c.recluster_warm(&rec, &cancel).is_err(),
+        "warm recluster over a retired medoid must escalate"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Random small append batches on random backends stay exact.
+    #[test]
+    fn random_appends_stay_exact(
+        n in 120usize..220,
+        batch in 1usize..10,
+        backend in 0usize..3,
+        seed in 0u64..1000,
+    ) {
+        let d = 6;
+        let all = rows(n + batch, d, 4);
+        let base = all[..n].to_vec();
+        let name = ["cpu", "gpu", "sharded"][backend];
+        let rec = NullRecorder;
+        let cancel = CancelToken::default();
+
+        let mut live = StreamingClusterer::from_rows(&base, params(4, seed), spec(name, 2))
+            .expect("seed");
+        live.recluster(&rec, &cancel).expect("cold");
+        for row in &all[n..] {
+            live.append(row).expect("append");
+        }
+        live.recluster(&rec, &cancel).expect("incremental");
+
+        let mut fresh = StreamingClusterer::from_rows(&all, params(4, seed), spec(name, 2))
+            .expect("seed");
+        fresh.recluster(&rec, &cancel).expect("fresh");
+
+        assert_same(&state_of(&live), &state_of(&fresh), &format!("{name} n={n}+{batch}"));
+    }
+}
