@@ -1,0 +1,205 @@
+//! Scalar vs vectorized distance-kernel harness, written as
+//! `results/BENCH_distance.json`.
+//!
+//! Measures the two row kernels the hot path actually runs — one `Dist`
+//! row against all `n` points (`proclus::distance_simd::euclidean_strip`
+//! vs the scalar `euclidean` loop) and a `Bk`-row batch against
+//! cache-block column strips (`dist_rows_strip` vs `Bk` scalar sweeps) —
+//! across the grid n ∈ {64k, 512k} × d ∈ {8, 32, 128} (`--quick`: 64k ×
+//! {8, 32}). Every repetition cross-checks the vectorized outputs
+//! bitwise against the scalar kernel (the tentpole contract: lanes are
+//! independent accumulator chains, so vectorization must not move a
+//! single bit), and the JSON records the per-combo timing ratios that
+//! `cargo xtask bench-compare --kind distance` gates (row-kernel floor
+//! ≥ 2.0x at the best combo; no combo materially slower than scalar).
+//!
+//! Timing ratios are wall-clock and therefore machine-*dependent* in
+//! absolute terms; what is machine-independent is their structure: the
+//! 8 independent f64 chains per lane group beat one chain per point on
+//! any hardware with more than one FP pipe.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use proclus::distance::euclidean;
+use proclus::distance_simd::{dist_rows_strip, euclidean_strip};
+use proclus_bench::Options;
+use proclus_telemetry::json::fmt_f64;
+
+/// Medoid rows in the batched kernel — the paper's `Bk` replacement pool.
+const BATCH_ROWS: usize = 10;
+
+struct Combo {
+    n: usize,
+    d: usize,
+}
+
+struct Measured {
+    n: usize,
+    d: usize,
+    scalar_ms: f64,
+    simd_ms: f64,
+    batch_scalar_ms: f64,
+    batch_simd_ms: f64,
+    bitwise_equal: bool,
+}
+
+fn combos(quick: bool) -> Vec<Combo> {
+    let (ns, ds): (&[usize], &[usize]) = if quick {
+        (&[64_000], &[8, 32])
+    } else {
+        (&[64_000, 512_000], &[8, 32, 128])
+    };
+    let mut out = Vec::new();
+    for &n in ns {
+        for &d in ds {
+            out.push(Combo { n, d });
+        }
+    }
+    out
+}
+
+/// Deterministic dataset fill — a Weyl sequence, cheap enough that data
+/// generation never dominates the harness at n = 512k × d = 128.
+fn fill(n: usize, d: usize, seed: u64) -> Vec<f32> {
+    let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+    (0..n * d)
+        .map(|_| {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            ((state >> 40) as f32) / 65_536.0
+        })
+        .collect()
+}
+
+/// Minimum wall-clock milliseconds of `f` over `reps` runs (minimum, not
+/// mean: the ratio gate wants the kernels' speed, not the scheduler's
+/// noise).
+fn best_ms(reps: usize, mut f: impl FnMut()) -> f64 {
+    (0..reps.max(1))
+        .map(|_| {
+            let t0 = Instant::now();
+            f();
+            t0.elapsed().as_secs_f64() * 1e3
+        })
+        .fold(f64::INFINITY, f64::min)
+}
+
+fn measure(c: &Combo, reps: usize, seed: u64) -> Measured {
+    let (n, d) = (c.n, c.d);
+    let flat = fill(n, d, seed ^ (n as u64) ^ ((d as u64) << 32));
+    let medoids: Vec<usize> = (0..BATCH_ROWS).map(|i| (i * n) / BATCH_ROWS).collect();
+    let m_row: Vec<f32> = flat[medoids[0] * d..(medoids[0] + 1) * d].to_vec();
+
+    // Single-row kernel: scalar baseline, then the 8-lane strip.
+    let mut scalar_out = vec![0.0f32; n];
+    let scalar_ms = best_ms(reps, || {
+        for p in 0..n {
+            scalar_out[p] = euclidean(&flat[p * d..(p + 1) * d], &m_row);
+        }
+    });
+    let mut simd_out = vec![0.0f32; n];
+    let simd_ms = best_ms(reps, || {
+        euclidean_strip(&flat, d, &m_row, &mut simd_out);
+    });
+    let mut bitwise_equal = scalar_out
+        .iter()
+        .zip(&simd_out)
+        .all(|(a, b)| a.to_bits() == b.to_bits());
+
+    // Batched kernel: Bk rows, scalar sweeps vs cache-blocked strips.
+    let m_rows: Vec<&[f32]> = medoids.iter().map(|&m| &flat[m * d..(m + 1) * d]).collect();
+    let mut batch_scalar = vec![0.0f32; BATCH_ROWS * n];
+    let batch_scalar_ms = best_ms(reps, || {
+        for (i, m_row) in m_rows.iter().enumerate() {
+            for p in 0..n {
+                batch_scalar[i * n + p] = euclidean(&flat[p * d..(p + 1) * d], m_row);
+            }
+        }
+    });
+    let mut batch_simd = vec![0.0f32; BATCH_ROWS * n];
+    let batch_simd_ms = best_ms(reps, || {
+        let mut outs: Vec<&mut [f32]> = batch_simd.chunks_mut(n).collect();
+        dist_rows_strip(&flat, d, &m_rows, &mut outs);
+    });
+    bitwise_equal &= batch_scalar
+        .iter()
+        .zip(&batch_simd)
+        .all(|(a, b)| a.to_bits() == b.to_bits());
+
+    Measured {
+        n,
+        d,
+        scalar_ms,
+        simd_ms,
+        batch_scalar_ms,
+        batch_simd_ms,
+        bitwise_equal,
+    }
+}
+
+fn main() {
+    let opts = Options::from_args();
+    let grid = combos(opts.quick);
+    println!(
+        "distance_bench: {} combos, reps={}{}",
+        grid.len(),
+        opts.reps,
+        if opts.quick { " (quick)" } else { "" }
+    );
+    println!(
+        "{:<9} {:>5} {:>11} {:>9} {:>7} {:>11} {:>9} {:>7}  bitwise",
+        "n", "d", "scalar_ms", "simd_ms", "ratio", "batch_sc", "batch_v", "ratio"
+    );
+
+    let mut rows = Vec::new();
+    for c in &grid {
+        let m = measure(c, opts.reps, opts.seed);
+        println!(
+            "{:<9} {:>5} {:>11.2} {:>9.2} {:>6.2}x {:>11.2} {:>9.2} {:>6.2}x  {}",
+            m.n,
+            m.d,
+            m.scalar_ms,
+            m.simd_ms,
+            m.scalar_ms / m.simd_ms,
+            m.batch_scalar_ms,
+            m.batch_simd_ms,
+            m.batch_scalar_ms / m.batch_simd_ms,
+            if m.bitwise_equal { "ok" } else { "DIVERGED" }
+        );
+        rows.push(m);
+    }
+
+    let mut json = String::from("{\"version\":1,");
+    let _ = write!(
+        json,
+        "\"workload\":{{\"batch_rows\":{BATCH_ROWS},\"seed\":{},\"reps\":{},\"quick\":{}}},\
+         \"combos\":[",
+        opts.seed, opts.reps, opts.quick
+    );
+    for (i, m) in rows.iter().enumerate() {
+        if i > 0 {
+            json.push(',');
+        }
+        let _ = write!(
+            json,
+            "{{\"n\":{},\"d\":{},\"scalar_ms\":{},\"simd_ms\":{},\"ratio\":{},\
+             \"batch_scalar_ms\":{},\"batch_simd_ms\":{},\"batch_ratio\":{},\
+             \"bitwise_equal\":{}}}",
+            m.n,
+            m.d,
+            fmt_f64(m.scalar_ms),
+            fmt_f64(m.simd_ms),
+            fmt_f64(m.scalar_ms / m.simd_ms),
+            fmt_f64(m.batch_scalar_ms),
+            fmt_f64(m.batch_simd_ms),
+            fmt_f64(m.batch_scalar_ms / m.batch_simd_ms),
+            m.bitwise_equal
+        );
+    }
+    json.push_str("]}");
+
+    std::fs::create_dir_all(&opts.out_dir).expect("create results dir");
+    let path = format!("{}/BENCH_distance.json", opts.out_dir);
+    std::fs::write(&path, &json).expect("write distance json");
+    println!("\nwrote {path}");
+}

@@ -298,11 +298,27 @@ impl Backend for CpuBackend<'_> {
         points: &[usize],
         _rec: &dyn Recorder,
     ) -> Result<Vec<f32>> {
+        use crate::distance_simd::{euclidean8, LANES};
         let m_row = self.data.row(medoid);
-        Ok(points
-            .iter()
-            .map(|&p| crate::distance::euclidean(m_row, self.data.row(p)))
-            .collect())
+        let mut out = vec![0.0f32; points.len()];
+        // Gathered lane groups: `points` are arbitrary data indices (the
+        // RowStore's hole positions), so lanes gather rows by index. Lane l
+        // is bitwise-equal to euclidean(m_row, row_l): the operands are
+        // swapped, but IEEE negation is exact, so the squared f32
+        // difference — and with it the whole chain — is bit-identical.
+        let mut i = 0;
+        // lint:allow(cancel_polled) -- bounded lane sweep, not a phase loop
+        while i + LANES <= points.len() {
+            let rows: [&[f32]; LANES] = std::array::from_fn(|l| self.data.row(points[i + l]));
+            out[i..i + LANES].copy_from_slice(&euclidean8(rows, m_row));
+            i += LANES;
+        }
+        // lint:allow(cancel_polled) -- bounded remainder sweep (< 8 points)
+        while i < points.len() {
+            out[i] = crate::distance::euclidean(m_row, self.data.row(points[i]));
+            i += 1;
+        }
+        Ok(out)
     }
 
     fn assign_seeded(

@@ -9,6 +9,23 @@
 //! Point values are `f32` (matching the GPU); distances accumulate in `f64`
 //! and are returned as `f32` where the GPU stores them (`Dist`, `δ`) and as
 //! `f64` where they feed cost decisions.
+//!
+//! # The precision contract (pinned)
+//!
+//! Per-dimension terms are computed as `(a - b) as f64`: the **subtraction
+//! happens in `f32`**, and only the difference is widened before the `f64`
+//! accumulation. This is deliberate, not an accident of the cast: the
+//! simulated-GPU kernels (`proclus_gpu::kernels::dist`) and the vectorized
+//! CPU path ([`crate::distance_simd`]) compute the same `f32` difference,
+//! and the cross-backend equivalence suites require `Dist`/`H`/`X` to match
+//! **bitwise** between CPU, GPU and sharded runs. Since `a` and `b` are
+//! both exact `f32` data values, the `f32` difference is within 1/2 ulp of
+//! the `f64` one; what matters for reproducibility is that every backend
+//! performs the *same* operation. Accumulation order is ascending dimension
+//! index, one chain per distance — also pinned, because `f64` addition is
+//! not associative. Tests here and in `distance_simd` lock both choices in;
+//! do not "fix" the cast to `a as f64 - b as f64` without migrating every
+//! backend and every committed golden artifact at once.
 
 /// Full-dimensional Euclidean distance `‖a − b‖₂`.
 #[inline]
@@ -30,10 +47,17 @@ pub fn manhattan(a: &[f32], b: &[f32]) -> f64 {
 }
 
 /// Manhattan segmental distance in subspace `dims`:
-/// `‖a − b‖₁^D / |D|` (§2). `dims` must be non-empty.
+/// `‖a − b‖₁^D / |D|` (§2).
+///
+/// `dims` must be non-empty — an empty subspace would yield `0.0 / 0.0 =
+/// NaN`, which compares false against everything and silently poisons
+/// assignment and outlier decisions. The phase entry points
+/// ([`crate::phases::assign`], [`crate::phases::refinement`]) enforce the
+/// invariant with release-mode asserts once per call, so this per-call
+/// check can stay debug-only in the innermost loop.
 #[inline]
 pub fn manhattan_segmental(a: &[f32], b: &[f32], dims: &[usize]) -> f64 {
-    debug_assert!(!dims.is_empty());
+    debug_assert!(!dims.is_empty(), "manhattan_segmental: empty subspace");
     let mut acc = 0.0f64;
     for &j in dims {
         acc += ((a[j] - b[j]) as f64).abs();
@@ -78,6 +102,51 @@ mod tests {
             manhattan_segmental(&a, &b, &[0, 2]),
             manhattan_segmental(&b, &a, &[0, 2])
         );
+    }
+
+    #[test]
+    fn subtraction_happens_in_f32_before_widening() {
+        // Pin the precision contract: the per-dimension difference is an
+        // f32 subtraction. 1e8 and 1e8 + 1 round to the same f32, so the
+        // f32 difference is exactly 0 — an f64 subtraction of the widened
+        // operands would also give 0 here, so build a case that separates
+        // them: values whose f32 difference rounds differently than the
+        // f64 difference of their widened forms.
+        let a = [16_777_217.0f32]; // rounds to 16_777_216 as f32
+        let b = [1.0f32];
+        // f32 path: (16_777_216 - 1) = 16_777_215 exactly representable.
+        let expected = (16_777_215.0f64 * 16_777_215.0f64).sqrt() as f32;
+        assert_eq!(euclidean(&a, &b).to_bits(), expected.to_bits());
+
+        // And a case where f32 subtraction itself rounds: the contract is
+        // "same op on every backend", pinned as the f32 difference.
+        let a = [33_554_433.0f32]; // f32 value 33_554_432
+        let b = [0.5f32];
+        let diff = (a[0] - b[0]) as f64; // rounds in f32
+        assert_eq!(
+            euclidean(&a, &b).to_bits(),
+            ((diff * diff).sqrt() as f32).to_bits()
+        );
+        assert_eq!(manhattan(&a, &b).to_bits(), diff.abs().to_bits());
+        assert_eq!(
+            manhattan_segmental(&a, &b, &[0]).to_bits(),
+            diff.abs().to_bits()
+        );
+    }
+
+    #[test]
+    fn accumulation_is_ascending_dimension_order() {
+        // Pin the reduction order: summing a large term first then tiny
+        // terms gives a different f64 than the reverse. The kernel must
+        // walk dimensions ascending.
+        let a = [1.0e16f32, 1.0, 1.0, 1.0];
+        let b = [0.0f32; 4];
+        let mut acc = 0.0f64;
+        for j in 0..4 {
+            let diff = (a[j] - b[j]) as f64;
+            acc += diff * diff;
+        }
+        assert_eq!(euclidean(&a, &b).to_bits(), (acc.sqrt() as f32).to_bits());
     }
 
     #[test]

@@ -1,0 +1,600 @@
+//! Explicitly vectorized, cache-blocked forms of the [`crate::distance`]
+//! kernels. MSRV-safe and dependency-free: eight-lane manual unrolling over
+//! *independent* accumulators, which the auto-vectorizer lowers to packed
+//! f32/f64 arithmetic (and which buys 8-way ILP even where it does not).
+//!
+//! # The bitwise-identity contract
+//!
+//! Every kernel here must return **bit-for-bit** the values of its scalar
+//! counterpart in [`crate::distance`] — the sharded-equivalence and stream
+//! exactness suites pin clusterings across backends, and any ulp of drift
+//! would change medoid decisions. Floating-point addition is not
+//! associative, so the one legal vectorization is *across independent
+//! accumulator chains, never within one*:
+//!
+//! * **Distance rows** ([`euclidean8`], [`segmental8`]): lanes are eight
+//!   *points*; each lane owns one `f64` accumulator and walks dimensions in
+//!   the same ascending order as the scalar loop. No chain is reassociated.
+//! * **`H` folds** ([`fold_abs_diff`]): lanes are eight *dimensions*; each
+//!   `h[j]` is its own chain, and callers fold points in the same order as
+//!   the scalar code.
+//! * **Remainders**: the `len % 8` tail goes through the scalar kernel
+//!   itself, so there is no second arithmetic to keep in sync.
+//!
+//! One carve-out: **NaN payload bits are out of contract.** When two NaNs
+//! meet in an add, x86 propagates the first source operand — but IEEE
+//! leaves the choice unspecified and LLVM freely commutes `fadd`, so even
+//! two compilations of the *scalar* kernel can disagree on which payload
+//! survives. What is pinned instead: every non-NaN result is
+//! bitwise-identical, and NaN-ness itself propagates identically (a NaN
+//! result on one path is a NaN result on every path — which is all the
+//! debug sentinel and the `dist < delta` guards depend on).
+//!
+//! Subtraction happens in `f32` before widening — see the header of
+//! [`crate::distance`] for the pinned precision contract shared with the
+//! simulated-GPU kernels.
+//!
+//! # Cache blocking
+//!
+//! [`dist_rows_strip`] computes a *batch* of `Dist` rows over one
+//! contiguous point strip, tiling points so each tile (~[`TILE_BYTES`] of
+//! the data matrix) is read from memory once and reused for every medoid
+//! row — instead of streaming the full matrix once per row. The parallel
+//! driver splits columns across workers with
+//! [`crate::par::Executor::for_each_strips`]. DESIGN.md §14 documents the
+//! layout.
+//!
+//! # The x86-64 AVX fast path
+//!
+//! On x86-64 the strip kernels dispatch at runtime
+//! (`is_x86_feature_detected!`) to explicit AVX intrinsics in [`x86`]:
+//! each lane group of eight rows is transposed once into an L1-resident
+//! j-major scratch (8×8 register transposes), after which every medoid
+//! row streams over *contiguous* lanes — packed subtract in f32, widen to
+//! f64, square and accumulate with **separate** `mul`/`add` instructions.
+//! FMA is deliberately never used: contracting `acc + diff·diff` into one
+//! rounding would break bitwise identity with the scalar kernel. The
+//! portable eight-accumulator forms below stay the reference (and the
+//! only path on other architectures); the dispatch is invisible to
+//! callers and to results.
+
+use crate::distance::{euclidean, manhattan_segmental};
+
+/// Lane width of the unrolled kernels: eight independent accumulators
+/// (2 × AVX2 `f64x4`, or 4 × SSE2 `f64x2`).
+pub const LANES: usize = 8;
+
+/// Target size of one cache-blocked tile of the point strip, in bytes.
+/// 32 KiB keeps a tile resident in a typical L1d while the medoid rows
+/// stream over it.
+pub const TILE_BYTES: usize = 32 * 1024;
+
+/// Points per cache tile for dimensionality `d`: the largest multiple of
+/// [`LANES`] whose `f32` rows fit [`TILE_BYTES`], and at least one lane
+/// group.
+#[inline]
+pub fn tile_points(d: usize) -> usize {
+    let per_point = 4 * d.max(1);
+    ((TILE_BYTES / per_point) / LANES * LANES).max(LANES)
+}
+
+/// Euclidean distances from eight point rows to one medoid row — the
+/// vectorized body of a `Dist` row (GPU Alg. 3 lines 1–3). Lane `l` is
+/// bitwise-identical to `distance::euclidean(rows[l], m)`: one `f64`
+/// accumulator per lane, dimensions in ascending order.
+#[inline]
+pub fn euclidean8(rows: [&[f32]; LANES], m: &[f32]) -> [f32; LANES] {
+    let d = m.len();
+    // Pin every lane to length `d` so the inner indexing is bounds-free.
+    let rows = rows.map(|r| &r[..d]);
+    let mut acc = [0.0f64; LANES];
+    for j in 0..d {
+        let mj = m[j];
+        for l in 0..LANES {
+            let diff = (rows[l][j] - mj) as f64;
+            acc[l] += diff * diff;
+        }
+    }
+    acc.map(|a| a.sqrt() as f32)
+}
+
+/// Manhattan segmental distances from eight point rows to one medoid row
+/// in subspace `dims`. Lane `l` is bitwise-identical to
+/// `distance::manhattan_segmental(rows[l], m, dims)` (same ascending `dims`
+/// walk, same final division). `dims` must be non-empty.
+#[inline]
+pub fn segmental8(rows: [&[f32]; LANES], m: &[f32], dims: &[usize]) -> [f64; LANES] {
+    debug_assert!(!dims.is_empty());
+    let mut acc = [0.0f64; LANES];
+    for &j in dims {
+        let mj = m[j];
+        for l in 0..LANES {
+            acc[l] += ((rows[l][j] - mj) as f64).abs();
+        }
+    }
+    acc.map(|a| a / dims.len() as f64)
+}
+
+/// Folds one point into per-dimension Manhattan sums:
+/// `h[j] += |row[j] − m[j]|`, unrolled [`LANES`] dimensions at a time.
+/// Each `h[j]` is an independent chain, so the unroll preserves the scalar
+/// reduction order exactly; callers must fold points in scalar order.
+#[inline]
+pub fn fold_abs_diff(h: &mut [f64], row: &[f32], m: &[f32]) {
+    let d = h.len();
+    let row = &row[..d];
+    let m = &m[..d];
+    let mut j = 0;
+    while j + LANES <= d {
+        for l in 0..LANES {
+            h[j + l] += ((row[j + l] - m[j + l]) as f64).abs();
+        }
+        j += LANES;
+    }
+    while j < d {
+        h[j] += ((row[j] - m[j]) as f64).abs();
+        j += 1;
+    }
+}
+
+/// Folds one point into per-dimension sums `s[j] += row[j]` (centroid
+/// pass 1 of EvaluateClusters), unrolled like [`fold_abs_diff`].
+#[inline]
+pub fn fold_sum(s: &mut [f64], row: &[f32]) {
+    let d = s.len();
+    let row = &row[..d];
+    let mut j = 0;
+    while j + LANES <= d {
+        for l in 0..LANES {
+            s[j + l] += row[j + l] as f64;
+        }
+        j += LANES;
+    }
+    while j < d {
+        s[j] += row[j] as f64;
+        j += 1;
+    }
+}
+
+/// Borrows eight consecutive rows (starting at row `i`) of a contiguous
+/// row-major strip.
+#[inline]
+fn lanes_at(points: &[f32], d: usize, i: usize) -> [&[f32]; LANES] {
+    std::array::from_fn(|l| &points[(i + l) * d..(i + l + 1) * d])
+}
+
+/// Fills `out[i] = ‖pointᵢ − m‖₂` over a contiguous row-major strip of
+/// `out.len()` points: the AVX transpose kernel where available (see the
+/// module docs), otherwise [`euclidean8`] on full lane groups with the
+/// scalar kernel on the `% 8` tail. Bitwise-identical either way.
+pub fn euclidean_strip(points: &[f32], d: usize, m: &[f32], out: &mut [f32]) {
+    #[cfg(target_arch = "x86_64")]
+    if x86::avx_available() {
+        // Safety: the AVX feature was just detected at runtime.
+        unsafe { x86::euclidean_strip(points, d, m, out) };
+        return;
+    }
+    euclidean_strip_portable(points, d, m, out);
+}
+
+/// The dependency-free reference form of [`euclidean_strip`] — also the
+/// only path off x86-64.
+pub fn euclidean_strip_portable(points: &[f32], d: usize, m: &[f32], out: &mut [f32]) {
+    let n = out.len();
+    debug_assert_eq!(points.len(), n * d);
+    let mut i = 0;
+    while i + LANES <= n {
+        let dist = euclidean8(lanes_at(points, d, i), m);
+        out[i..i + LANES].copy_from_slice(&dist);
+        i += LANES;
+    }
+    while i < n {
+        out[i] = euclidean(&points[i * d..(i + 1) * d], m);
+        i += 1;
+    }
+}
+
+/// Cache-blocked batch of `Dist` rows: `outs[r][i] = ‖pointᵢ − m_rows[r]‖₂`
+/// over one contiguous point strip. On the AVX path each lane group is
+/// transposed once and reused for every medoid row; the portable path
+/// processes points in [`tile_points`]-sized tiles with the medoid loop
+/// *inside* the tile loop, so each data tile is read from memory once and
+/// reused for every row. Bitwise-identical either way.
+pub fn dist_rows_strip(points: &[f32], d: usize, m_rows: &[&[f32]], outs: &mut [&mut [f32]]) {
+    debug_assert_eq!(m_rows.len(), outs.len());
+    let n = outs.first().map(|o| o.len()).unwrap_or(0);
+    debug_assert!(outs.iter().all(|o| o.len() == n));
+    debug_assert_eq!(points.len(), n * d);
+    #[cfg(target_arch = "x86_64")]
+    if x86::avx_available() {
+        // Safety: the AVX feature was just detected at runtime.
+        unsafe { x86::dist_rows_strip(points, d, m_rows, outs) };
+        return;
+    }
+    let tile = tile_points(d);
+    let mut t0 = 0;
+    while t0 < n {
+        let t1 = (t0 + tile).min(n);
+        for (m, out) in m_rows.iter().zip(outs.iter_mut()) {
+            euclidean_strip_portable(&points[t0 * d..t1 * d], d, m, &mut out[t0..t1]);
+        }
+        t0 = t1;
+    }
+}
+
+/// Explicit AVX forms of the strip kernels. Runtime-dispatched — the
+/// crate still builds for plain x86-64 and every other architecture.
+///
+/// Bitwise identity with the scalar kernel is load-bearing (see the
+/// module docs): subtraction stays packed *f32* (`vsubps`), widening is
+/// `vcvtps2pd`, and the square-accumulate is a separate `vmulpd` +
+/// `vaddpd` pair — never an FMA, which would fuse the two roundings the
+/// scalar code performs. `vsqrtpd`/`vcvtpd2ps` are IEEE
+/// correctly-rounded, matching `f64::sqrt` and `as f32` lane for lane
+/// (NaNs from non-finite inputs propagate identically).
+#[cfg(target_arch = "x86_64")]
+mod x86 {
+    use super::{euclidean, LANES};
+    use std::arch::x86_64::*;
+
+    /// One runtime check per strip call — `is_x86_feature_detected!`
+    /// caches in an atomic, so this is a relaxed load after the first.
+    #[inline]
+    pub fn avx_available() -> bool {
+        is_x86_feature_detected!("avx")
+    }
+
+    /// Transposes a contiguous 8×`d` row-major block into j-major order:
+    /// `scratch[j*8 + l] = block[l*d + j]`. Full 8-dim chunks go through
+    /// an in-register 8×8 transpose (unpack / shuffle / permute2f128);
+    /// the `d % 8` tail is copied scalar.
+    ///
+    /// Safety: caller detected AVX; `block` must be valid for `8*d`
+    /// reads and `scratch` at least `8*d` long.
+    #[target_feature(enable = "avx")]
+    unsafe fn transpose8(block: *const f32, d: usize, scratch: &mut [f32]) {
+        debug_assert!(scratch.len() >= LANES * d);
+        let mut j = 0;
+        while j + 8 <= d {
+            let r = |l: usize| _mm256_loadu_ps(block.add(l * d + j));
+            let (r0, r1, r2, r3) = (r(0), r(1), r(2), r(3));
+            let (r4, r5, r6, r7) = (r(4), r(5), r(6), r(7));
+            let t0 = _mm256_unpacklo_ps(r0, r1);
+            let t1 = _mm256_unpackhi_ps(r0, r1);
+            let t2 = _mm256_unpacklo_ps(r2, r3);
+            let t3 = _mm256_unpackhi_ps(r2, r3);
+            let t4 = _mm256_unpacklo_ps(r4, r5);
+            let t5 = _mm256_unpackhi_ps(r4, r5);
+            let t6 = _mm256_unpacklo_ps(r6, r7);
+            let t7 = _mm256_unpackhi_ps(r6, r7);
+            let s0 = _mm256_shuffle_ps(t0, t2, 0b01_00_01_00);
+            let s1 = _mm256_shuffle_ps(t0, t2, 0b11_10_11_10);
+            let s2 = _mm256_shuffle_ps(t1, t3, 0b01_00_01_00);
+            let s3 = _mm256_shuffle_ps(t1, t3, 0b11_10_11_10);
+            let s4 = _mm256_shuffle_ps(t4, t6, 0b01_00_01_00);
+            let s5 = _mm256_shuffle_ps(t4, t6, 0b11_10_11_10);
+            let s6 = _mm256_shuffle_ps(t5, t7, 0b01_00_01_00);
+            let s7 = _mm256_shuffle_ps(t5, t7, 0b11_10_11_10);
+            let outp = scratch.as_mut_ptr().add(j * LANES);
+            _mm256_storeu_ps(outp, _mm256_permute2f128_ps(s0, s4, 0x20));
+            _mm256_storeu_ps(outp.add(8), _mm256_permute2f128_ps(s1, s5, 0x20));
+            _mm256_storeu_ps(outp.add(16), _mm256_permute2f128_ps(s2, s6, 0x20));
+            _mm256_storeu_ps(outp.add(24), _mm256_permute2f128_ps(s3, s7, 0x20));
+            _mm256_storeu_ps(outp.add(32), _mm256_permute2f128_ps(s0, s4, 0x31));
+            _mm256_storeu_ps(outp.add(40), _mm256_permute2f128_ps(s1, s5, 0x31));
+            _mm256_storeu_ps(outp.add(48), _mm256_permute2f128_ps(s2, s6, 0x31));
+            _mm256_storeu_ps(outp.add(56), _mm256_permute2f128_ps(s3, s7, 0x31));
+            j += 8;
+        }
+        while j < d {
+            for l in 0..LANES {
+                *scratch.get_unchecked_mut(j * LANES + l) = *block.add(l * d + j);
+            }
+            j += 1;
+        }
+    }
+
+    /// Eight euclidean distances from a j-major lane scratch to one
+    /// medoid row. Per lane, operation for operation the scalar kernel:
+    /// f32 subtract, widen, separate multiply and add in f64, IEEE sqrt.
+    ///
+    /// Safety: caller detected AVX; `scratch` holds `8*d` lanes.
+    #[target_feature(enable = "avx")]
+    unsafe fn accumulate8(scratch: &[f32], d: usize, m: &[f32]) -> [f32; LANES] {
+        debug_assert!(scratch.len() >= LANES * d && m.len() >= d);
+        let mut acc_lo = _mm256_setzero_pd();
+        let mut acc_hi = _mm256_setzero_pd();
+        for j in 0..d {
+            let mj = _mm256_set1_ps(*m.get_unchecked(j));
+            let v = _mm256_loadu_ps(scratch.as_ptr().add(j * LANES));
+            let diff = _mm256_sub_ps(v, mj);
+            let lo = _mm256_cvtps_pd(_mm256_castps256_ps128(diff));
+            let hi = _mm256_cvtps_pd(_mm256_extractf128_ps(diff, 1));
+            acc_lo = _mm256_add_pd(acc_lo, _mm256_mul_pd(lo, lo));
+            acc_hi = _mm256_add_pd(acc_hi, _mm256_mul_pd(hi, hi));
+        }
+        let r_lo = _mm256_cvtpd_ps(_mm256_sqrt_pd(acc_lo));
+        let r_hi = _mm256_cvtpd_ps(_mm256_sqrt_pd(acc_hi));
+        let mut out = [0.0f32; LANES];
+        _mm_storeu_ps(out.as_mut_ptr(), r_lo);
+        _mm_storeu_ps(out.as_mut_ptr().add(4), r_hi);
+        out
+    }
+
+    /// AVX [`super::euclidean_strip`]. Safety: caller detected AVX.
+    pub(super) unsafe fn euclidean_strip(points: &[f32], d: usize, m: &[f32], out: &mut [f32]) {
+        let n = out.len();
+        debug_assert_eq!(points.len(), n * d);
+        let mut scratch = vec![0.0f32; LANES * d];
+        let mut i = 0;
+        while i + LANES <= n {
+            transpose8(points.as_ptr().add(i * d), d, &mut scratch);
+            let dist = accumulate8(&scratch, d, m);
+            out[i..i + LANES].copy_from_slice(&dist);
+            i += LANES;
+        }
+        while i < n {
+            out[i] = euclidean(&points[i * d..(i + 1) * d], m);
+            i += 1;
+        }
+    }
+
+    /// AVX [`super::dist_rows_strip`]: the transpose is hoisted out of
+    /// the medoid loop, so each lane group's ~`32·d`-byte scratch (L1
+    /// resident) is built once and read back for every row of the batch.
+    /// Safety: caller detected AVX.
+    pub(super) unsafe fn dist_rows_strip(
+        points: &[f32],
+        d: usize,
+        m_rows: &[&[f32]],
+        outs: &mut [&mut [f32]],
+    ) {
+        let n = outs.first().map(|o| o.len()).unwrap_or(0);
+        let mut scratch = vec![0.0f32; LANES * d];
+        let mut i = 0;
+        while i + LANES <= n {
+            transpose8(points.as_ptr().add(i * d), d, &mut scratch);
+            for (m, out) in m_rows.iter().zip(outs.iter_mut()) {
+                let dist = accumulate8(&scratch, d, m);
+                out[i..i + LANES].copy_from_slice(&dist);
+            }
+            i += LANES;
+        }
+        while i < n {
+            for (m, out) in m_rows.iter().zip(outs.iter_mut()) {
+                out[i] = euclidean(&points[i * d..(i + 1) * d], m);
+            }
+            i += 1;
+        }
+    }
+}
+
+/// The AssignPoints decision rule for one point: index of the medoid with
+/// the smallest Manhattan segmental distance in its own subspace, ties to
+/// the lower index. The single source of truth shared by the scalar tail
+/// and [`nearest_medoid8`].
+#[inline]
+pub fn nearest_medoid(row: &[f32], medoid_rows: &[&[f32]], subspaces: &[Vec<usize>]) -> i32 {
+    let mut best = f64::INFINITY;
+    let mut best_i = 0i32;
+    for (i, (m, dims)) in medoid_rows.iter().zip(subspaces).enumerate() {
+        let dist = manhattan_segmental(row, m, dims);
+        if dist < best {
+            best = dist;
+            best_i = i as i32;
+        }
+    }
+    best_i
+}
+
+/// [`nearest_medoid`] for eight points at once: per-lane scan order and
+/// tie-breaking are identical to the scalar rule, so labels match bit for
+/// bit.
+#[inline]
+pub fn nearest_medoid8(
+    rows: [&[f32]; LANES],
+    medoid_rows: &[&[f32]],
+    subspaces: &[Vec<usize>],
+) -> [i32; LANES] {
+    let mut best = [f64::INFINITY; LANES];
+    let mut best_i = [0i32; LANES];
+    for (i, (m, dims)) in medoid_rows.iter().zip(subspaces).enumerate() {
+        let dist = segmental8(rows, m, dims);
+        for l in 0..LANES {
+            if dist[l] < best[l] {
+                best[l] = dist[l];
+                best_i[l] = i as i32;
+            }
+        }
+    }
+    best_i
+}
+
+/// Debug-only NaN sentinel for hot-path distance buffers. `dist < delta`
+/// style comparisons are silently false on NaN, which would corrupt sphere
+/// membership or assignment without any signal — this catches a NaN at the
+/// boundary (e.g. an unfilled `RowStore` hole) before it reaches a
+/// comparison. Compiles to nothing in release builds.
+#[inline]
+pub fn debug_assert_finite(values: &[f32], what: &str) {
+    if cfg!(debug_assertions) {
+        if let Some(i) = values.iter().position(|v| v.is_nan()) {
+            panic!("{what}: NaN at index {i} of a hot-path distance buffer");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distance::manhattan_segmental;
+
+    fn rowset(n: usize, d: usize, salt: u32) -> Vec<Vec<f32>> {
+        (0..n)
+            .map(|i| {
+                (0..d)
+                    .map(|j| {
+                        let h = (i as u32)
+                            .wrapping_mul(2654435761)
+                            .wrapping_add((j as u32).wrapping_mul(40503))
+                            .wrapping_add(salt);
+                        (h % 2000) as f32 * 0.25 - 250.0
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn euclidean8_is_bitwise_equal_to_scalar() {
+        for d in [1usize, 3, 8, 17, 64] {
+            let rows = rowset(8, d, 7);
+            let m = rowset(1, d, 99).remove(0);
+            let lanes: [&[f32]; LANES] = std::array::from_fn(|l| rows[l].as_slice());
+            let got = euclidean8(lanes, &m);
+            for l in 0..LANES {
+                assert_eq!(
+                    got[l].to_bits(),
+                    euclidean(&rows[l], &m).to_bits(),
+                    "lane {l}, d {d}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn segmental8_is_bitwise_equal_to_scalar() {
+        let d = 24;
+        let rows = rowset(8, d, 1);
+        let m = rowset(1, d, 2).remove(0);
+        for dims in [vec![0], vec![3, 7, 11], (0..d).collect::<Vec<_>>()] {
+            let lanes: [&[f32]; LANES] = std::array::from_fn(|l| rows[l].as_slice());
+            let got = segmental8(lanes, &m, &dims);
+            for l in 0..LANES {
+                assert_eq!(
+                    got[l].to_bits(),
+                    manhattan_segmental(&rows[l], &m, &dims).to_bits(),
+                    "lane {l}, dims {dims:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn strip_handles_every_remainder() {
+        let d = 5;
+        let m = rowset(1, d, 3).remove(0);
+        for n in 0..=20usize {
+            let rows = rowset(n, d, 4);
+            let flat: Vec<f32> = rows.iter().flatten().copied().collect();
+            let mut out = vec![0.0f32; n];
+            euclidean_strip(&flat, d, &m, &mut out);
+            for (i, row) in rows.iter().enumerate() {
+                assert_eq!(
+                    out[i].to_bits(),
+                    euclidean(row, &m).to_bits(),
+                    "n {n} i {i}"
+                );
+            }
+        }
+    }
+
+    /// On AVX hardware this pins the intrinsics path against the portable
+    /// reference bit for bit (including the transpose tail and non-8
+    /// remainders); elsewhere both sides run the portable code and the
+    /// test degenerates to a self-check.
+    #[test]
+    fn dispatched_strip_is_bitwise_equal_to_portable() {
+        for (n, d) in [(40, 1), (37, 5), (64, 8), (50, 13), (24, 40)] {
+            let rows = rowset(n, d, 21);
+            let flat: Vec<f32> = rows.iter().flatten().copied().collect();
+            let m = rowset(1, d, 22).remove(0);
+            let mut fast = vec![0.0f32; n];
+            let mut reference = vec![0.0f32; n];
+            euclidean_strip(&flat, d, &m, &mut fast);
+            euclidean_strip_portable(&flat, d, &m, &mut reference);
+            for i in 0..n {
+                assert_eq!(
+                    fast[i].to_bits(),
+                    reference[i].to_bits(),
+                    "n {n} d {d} i {i}"
+                );
+            }
+        }
+    }
+
+    /// NaNs must propagate identically through both paths — the AVX
+    /// kernel's packed ops are IEEE, so a poisoned coordinate yields the
+    /// same NaN rows as the scalar kernel, never a masked value.
+    #[test]
+    fn dispatched_strip_propagates_non_finite_like_scalar() {
+        let (n, d) = (19, 6);
+        let rows = rowset(n, d, 31);
+        let mut flat: Vec<f32> = rows.iter().flatten().copied().collect();
+        flat[3 * d + 2] = f32::NAN;
+        flat[10 * d] = f32::INFINITY;
+        let m = rowset(1, d, 32).remove(0);
+        let mut fast = vec![0.0f32; n];
+        euclidean_strip(&flat, d, &m, &mut fast);
+        for i in 0..n {
+            let want = euclidean(&flat[i * d..(i + 1) * d], &m);
+            assert_eq!(fast[i].to_bits(), want.to_bits(), "i {i}");
+        }
+    }
+
+    #[test]
+    fn blocked_rows_match_per_row_strips() {
+        let (n, d) = (300, 7);
+        let flat: Vec<f32> = rowset(n, d, 5).into_iter().flatten().collect();
+        let medoids = rowset(3, d, 6);
+        let m_rows: Vec<&[f32]> = medoids.iter().map(|m| m.as_slice()).collect();
+        let mut blocked = vec![vec![0.0f32; n]; 3];
+        {
+            let mut outs: Vec<&mut [f32]> = blocked.iter_mut().map(|r| r.as_mut_slice()).collect();
+            dist_rows_strip(&flat, d, &m_rows, &mut outs);
+        }
+        for (r, m) in m_rows.iter().enumerate() {
+            let mut single = vec![0.0f32; n];
+            euclidean_strip(&flat, d, m, &mut single);
+            assert_eq!(blocked[r], single, "row {r}");
+        }
+    }
+
+    #[test]
+    fn nearest_medoid8_matches_scalar_rule_with_ties() {
+        let d = 4;
+        let rows = rowset(8, d, 8);
+        // Two identical medoids force ties; rule must pick the lower index.
+        let m0 = rowset(1, d, 9).remove(0);
+        let medoids = [m0.clone(), m0.clone(), rowset(1, d, 10).remove(0)];
+        let m_rows: Vec<&[f32]> = medoids.iter().map(|m| m.as_slice()).collect();
+        let subs = vec![vec![0, 2], vec![0, 2], vec![1, 3]];
+        let lanes: [&[f32]; LANES] = std::array::from_fn(|l| rows[l].as_slice());
+        let got = nearest_medoid8(lanes, &m_rows, &subs);
+        for l in 0..LANES {
+            assert_eq!(got[l], nearest_medoid(&rows[l], &m_rows, &subs), "lane {l}");
+        }
+    }
+
+    #[test]
+    fn tile_points_is_a_lane_multiple_and_fits_the_budget() {
+        for d in [1usize, 8, 32, 128, 100_000] {
+            let t = tile_points(d);
+            assert_eq!(t % LANES, 0);
+            assert!(t >= LANES);
+            if t > LANES {
+                assert!(t * d * 4 <= TILE_BYTES, "d {d}: tile {t}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN at index 2")]
+    fn debug_sentinel_catches_nan() {
+        if !cfg!(debug_assertions) {
+            // Release builds compile the check out; satisfy should_panic.
+            panic!("NaN at index 2");
+        }
+        debug_assert_finite(&[0.0, 1.0, f32::NAN], "test row");
+    }
+}

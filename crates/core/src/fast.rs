@@ -9,7 +9,7 @@ use proclus_telemetry::{counters, Recorder};
 use crate::backend::CpuBackend;
 use crate::cancel::CancelToken;
 use crate::dataset::DataMatrix;
-use crate::distance::euclidean;
+use crate::distance_simd::{debug_assert_finite, dist_rows_strip, euclidean_strip, fold_abs_diff};
 use crate::driver::{run_full, XEngine};
 use crate::error::Result;
 use crate::par::Executor;
@@ -17,12 +17,32 @@ use crate::params::Params;
 use crate::result::Clustering;
 
 /// Fills `out[p] = ‖data_p − m‖₂` for all points (one `Dist` row),
-/// in parallel — GPU Alg. 3 lines 1–3.
+/// in parallel — GPU Alg. 3 lines 1–3. Uses the 8-lane vectorized strip
+/// kernel; results are bitwise-identical to the scalar `euclidean`.
 pub(crate) fn compute_dist_row(data: &DataMatrix, m_row: &[f32], out: &mut [f32], exec: &Executor) {
+    let d = data.d();
+    let flat = data.flat();
     exec.for_each_slice(out, |off, sub| {
-        for (i, v) in sub.iter_mut().enumerate() {
-            *v = euclidean(data.row(off + i), m_row);
-        }
+        euclidean_strip(&flat[off * d..(off + sub.len()) * d], d, m_row, sub);
+    });
+}
+
+/// Fills a *batch* of `Dist` rows in one cache-blocked pass: workers own
+/// column strips ([`Executor::for_each_strips`]), and within each strip the
+/// point tile is read once and reused for every medoid row
+/// ([`dist_rows_strip`]). Bitwise-identical to per-row [`compute_dist_row`].
+pub(crate) fn compute_dist_rows(
+    data: &DataMatrix,
+    m_rows: &[&[f32]],
+    outs: &mut [&mut [f32]],
+    exec: &Executor,
+) {
+    debug_assert_eq!(m_rows.len(), outs.len());
+    let d = data.d();
+    let flat = data.flat();
+    exec.for_each_strips(outs, |off, strips| {
+        let len = strips.first().map(|s| s.len()).unwrap_or(0);
+        dist_rows_strip(&flat[off * d..(off + len) * d], d, m_rows, strips);
     });
 }
 
@@ -48,6 +68,9 @@ pub(crate) fn update_h_row(
     if delta_cur == delta_prev {
         return;
     }
+    // A NaN in the cached row would fail both `>` and `<=` and silently
+    // drop the point from every ΔL shell forever.
+    debug_assert_finite(dist_row, "update_h_row: cached Dist row");
     let d = data.d();
     let (lo, hi, lambda) = if delta_cur > delta_prev {
         (delta_prev, delta_cur, 1.0f64)
@@ -62,10 +85,7 @@ pub(crate) fn update_h_row(
                 let dist = dist_row[p];
                 if dist > lo && dist <= hi {
                     *cnt += 1;
-                    let row = data.row(p);
-                    for j in 0..d {
-                        dh[j] += ((row[j] - m_row[j]) as f64).abs();
-                    }
+                    fold_abs_diff(dh, data.row(p), m_row);
                 }
             }
         },
@@ -127,7 +147,10 @@ impl DistCache {
     }
 
     /// Returns the row for medoid `m_point`, computing the distance row on
-    /// first use. The `bool` reports a cache miss (fresh row).
+    /// first use. The `bool` reports a cache miss (fresh row). The engine
+    /// hot path goes through the batched [`DistCache::ensure_rows`]; this
+    /// single-row form remains for the Theorem 3.1/3.2 unit proofs.
+    #[cfg_attr(not(test), allow(dead_code))]
     pub(crate) fn ensure_row(
         &mut self,
         data: &DataMatrix,
@@ -156,8 +179,51 @@ impl DistCache {
         (row, true)
     }
 
+    /// Batched [`DistCache::ensure_row`]: resolves every medoid's row in
+    /// one pass, computing *all* missing rows with one cache-blocked sweep
+    /// of the data ([`compute_dist_rows`]) instead of one full-matrix
+    /// stream per miss. Returns `(row, fresh)` per medoid, in order.
+    pub(crate) fn ensure_rows(
+        &mut self,
+        data: &DataMatrix,
+        m_points: &[usize],
+        exec: &Executor,
+    ) -> Vec<(usize, bool)> {
+        let first_new = self.rows();
+        let mut fresh_points: Vec<usize> = Vec::new();
+        let out: Vec<(usize, bool)> = m_points
+            .iter()
+            .map(|&m| {
+                if let Some(&row) = self.slot_of.get(&m) {
+                    (row, false)
+                } else {
+                    let row = first_new + fresh_points.len();
+                    self.slot_of.insert(m, row);
+                    fresh_points.push(m);
+                    (row, true)
+                }
+            })
+            .collect();
+        if fresh_points.is_empty() {
+            return out;
+        }
+        let rows_after = first_new + fresh_points.len();
+        self.dist.resize(rows_after * self.n, 0.0);
+        self.h.resize(rows_after * self.d, 0.0);
+        // Same fresh-row sentinel as ensure_row: δ' < 0 admits distance 0.
+        self.prev_delta.resize(rows_after, -1.0);
+        self.lsize.resize(rows_after, 0);
+        let m_rows: Vec<&[f32]> = fresh_points.iter().map(|&m| data.row(m)).collect();
+        let mut outs: Vec<&mut [f32]> =
+            self.dist[first_new * self.n..].chunks_mut(self.n).collect();
+        compute_dist_rows(data, &m_rows, &mut outs, exec);
+        out
+    }
+
     pub(crate) fn dist_row(&self, row: usize) -> &[f32] {
-        &self.dist[row * self.n..(row + 1) * self.n]
+        let dist = &self.dist[row * self.n..(row + 1) * self.n];
+        debug_assert_finite(dist, "DistCache::dist_row");
+        dist
     }
 
     /// Current sphere size `|L|` of a row (telemetry: ΔL sizes are the
@@ -182,6 +248,7 @@ impl DistCache {
         // Split borrows: the dist row is read-only while h is updated.
         let (dist, h) = (&self.dist, &mut self.h);
         let dist_row = &dist[row * self.n..(row + 1) * self.n];
+        debug_assert_finite(dist_row, "DistCache::advance_row");
         let h_row = &mut h[row * d..(row + 1) * d];
         let mut lsize = self.lsize[row];
         update_h_row(
@@ -225,11 +292,13 @@ impl XEngine for FastEngine {
         let medoids: Vec<usize> = mcur.iter().map(|&mi| m_data[mi]).collect();
 
         // Ensure all rows exist (DistFound check, §3). A miss costs one full
-        // Dist row (n distances); a hit costs nothing — Theorem 3.1.
-        let rows: Vec<usize> = medoids
-            .iter()
-            .map(|&m| {
-                let (row, fresh) = self.cache.ensure_row(data, m, exec);
+        // Dist row (n distances); a hit costs nothing — Theorem 3.1. All
+        // misses of the iteration are computed in one cache-blocked batch.
+        let rows: Vec<usize> = self
+            .cache
+            .ensure_rows(data, &medoids, exec)
+            .into_iter()
+            .map(|(row, fresh)| {
                 if fresh {
                     rec.add(counters::DIST_CACHE_MISSES, 1);
                     rec.add(counters::DISTANCES_COMPUTED, data.n() as u64);
@@ -245,6 +314,7 @@ impl XEngine for FastEngine {
         let mut x = vec![0.0f64; k * d];
         let mut lsz = vec![0usize; k];
         for i in 0..k {
+            debug_assert_finite(self.cache.dist_row(rows[i]), "FastEngine δ-scan");
             let mut delta = f32::INFINITY;
             #[allow(clippy::needless_range_loop)]
             for j in 0..k {
@@ -314,6 +384,7 @@ pub(crate) fn run_fast(
 mod tests {
     use super::*;
     use crate::baseline::run_baseline;
+    use crate::distance::euclidean;
     use crate::phases::compute_l::{compute_x_baseline, medoid_deltas};
 
     fn proclus(data: &DataMatrix, params: &Params) -> Result<Clustering> {
@@ -462,6 +533,34 @@ mod tests {
         let par = fast_proclus_par(&data, &params, 4).unwrap();
         assert_eq!(seq.medoids, par.medoids);
         assert_eq!(seq.labels, par.labels);
+    }
+
+    #[test]
+    fn batched_ensure_rows_matches_per_row_bitwise() {
+        let data = blob_data(237); // odd n exercises the remainder lanes
+        for threads in [1usize, 4] {
+            let exec = if threads > 1 {
+                Executor::Parallel { threads }
+            } else {
+                Executor::Sequential
+            };
+            let medoids = [3usize, 50, 111, 200, 50]; // one duplicate: a hit
+            let mut per_row = DistCache::new(data.n(), data.d());
+            let singles: Vec<(usize, bool)> = medoids
+                .iter()
+                .map(|&m| per_row.ensure_row(&data, m, &exec))
+                .collect();
+            let mut batched = DistCache::new(data.n(), data.d());
+            let batch = batched.ensure_rows(&data, &medoids, &exec);
+            assert_eq!(batch, singles);
+            for &(row, _) in &batch {
+                let (a, b) = (per_row.dist_row(row), batched.dist_row(row));
+                assert!(
+                    a.iter().zip(b).all(|(x, y)| x.to_bits() == y.to_bits()),
+                    "row {row} diverged (threads {threads})"
+                );
+            }
+        }
     }
 
     #[test]

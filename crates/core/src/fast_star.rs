@@ -11,9 +11,10 @@ use proclus_telemetry::{counters, Recorder};
 use crate::backend::CpuBackend;
 use crate::cancel::CancelToken;
 use crate::dataset::DataMatrix;
+use crate::distance_simd::debug_assert_finite;
 use crate::driver::{run_full, XEngine};
 use crate::error::Result;
-use crate::fast::{compute_dist_row, update_h_row};
+use crate::fast::{compute_dist_rows, update_h_row};
 use crate::par::Executor;
 use crate::params::Params;
 use crate::result::Clustering;
@@ -66,26 +67,42 @@ impl XEngine for FastStarEngine {
 
         // Reset the slots whose medoid changed (the i ∈ MBad of §3.2):
         // recompute the distance row and clear δ', |L|, H. A surviving slot
-        // is a cache hit; a reset slot costs n fresh distances.
+        // is a cache hit; a reset slot costs n fresh distances. All reset
+        // rows are recomputed in one cache-blocked batch.
+        let mut reset = vec![false; k];
         for i in 0..k {
             if self.prev_mcur[i] != Some(mcur[i]) {
                 self.prev_mcur[i] = Some(mcur[i]);
                 self.prev_delta[i] = -1.0;
                 self.lsize[i] = 0;
                 self.h[i * d..(i + 1) * d].fill(0.0);
-                let m_row: Vec<f32> = data.row(medoids[i]).to_vec();
-                compute_dist_row(data, &m_row, &mut self.dist[i * n..(i + 1) * n], exec);
+                reset[i] = true;
                 rec.add(counters::DIST_CACHE_MISSES, 1);
                 rec.add(counters::DISTANCES_COMPUTED, n as u64);
             } else {
                 rec.add(counters::DIST_CACHE_HITS, 1);
             }
         }
+        if reset.iter().any(|&r| r) {
+            let m_rows: Vec<&[f32]> = (0..k)
+                .filter(|&i| reset[i])
+                .map(|i| data.row(medoids[i]))
+                .collect();
+            let mut outs: Vec<&mut [f32]> = self
+                .dist
+                .chunks_mut(n)
+                .enumerate()
+                .filter(|(i, _)| reset[*i])
+                .map(|(_, row)| row)
+                .collect();
+            compute_dist_rows(data, &m_rows, &mut outs, exec);
+        }
 
         // δ_i from the slot rows, then the ΔL update per slot.
         let mut x = vec![0.0f64; k * d];
         let mut lsz = vec![0usize; k];
         for i in 0..k {
+            debug_assert_finite(&self.dist[i * n..(i + 1) * n], "FastStarEngine δ-scan");
             let mut delta = f32::INFINITY;
             #[allow(clippy::needless_range_loop)]
             for j in 0..k {

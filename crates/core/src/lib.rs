@@ -62,6 +62,7 @@ pub mod cancel;
 pub mod config;
 pub mod dataset;
 pub mod distance;
+pub mod distance_simd;
 mod driver;
 pub mod error;
 pub mod fast;

@@ -101,6 +101,46 @@ impl Executor {
         })
         .expect("parallel worker panicked");
     }
+
+    /// Splits *several* equal-length output slices at the same chunk
+    /// boundaries and runs `body(global_offset, strips)` on each worker,
+    /// where `strips[r]` is slice `r`'s sub-range for that worker. This is
+    /// the batched form of [`Executor::for_each_slice`]: the cache-blocked
+    /// `Dist` computation writes one column strip of *every* fresh medoid
+    /// row per worker, so each data tile is read once and reused across all
+    /// rows instead of once per row.
+    pub fn for_each_strips<T, BF>(&self, outs: &mut [&mut [T]], body: BF)
+    where
+        T: Send,
+        BF: Fn(usize, &mut [&mut [T]]) + Sync,
+    {
+        let Some(len) = outs.first().map(|o| o.len()) else {
+            return;
+        };
+        debug_assert!(outs.iter().all(|o| o.len() == len), "ragged strips");
+        let workers = self.threads().min(len.max(1));
+        if workers <= 1 || len == 0 {
+            body(0, outs);
+            return;
+        }
+        let chunk = len.div_ceil(workers);
+        let mut parts: Vec<Vec<&mut [T]>> = (0..workers).map(|_| Vec::new()).collect();
+        for out in outs.iter_mut() {
+            for (w, sub) in out.chunks_mut(chunk).enumerate() {
+                parts[w].push(sub);
+            }
+        }
+        crossbeam::thread::scope(|scope| {
+            for (w, mut strips) in parts.into_iter().enumerate() {
+                if strips.is_empty() {
+                    continue;
+                }
+                let body = &body;
+                scope.spawn(move |_| body(w * chunk, &mut strips));
+            }
+        })
+        .expect("parallel worker panicked");
+    }
 }
 
 #[cfg(test)]
@@ -149,6 +189,39 @@ mod tests {
             }
         });
         assert!(out.iter().enumerate().all(|(i, &v)| v == i));
+    }
+
+    #[test]
+    fn for_each_strips_writes_every_slice_disjointly() {
+        for exec in [Executor::Sequential, Executor::Parallel { threads: 3 }] {
+            let mut a = vec![0usize; 100];
+            let mut b = vec![0usize; 100];
+            {
+                let mut outs: Vec<&mut [usize]> = vec![&mut a, &mut b];
+                exec.for_each_strips(&mut outs, |off, strips| {
+                    for (r, strip) in strips.iter_mut().enumerate() {
+                        for (i, v) in strip.iter_mut().enumerate() {
+                            *v = (r + 1) * (off + i);
+                        }
+                    }
+                });
+            }
+            assert!(a.iter().enumerate().all(|(i, &v)| v == i));
+            assert!(b.iter().enumerate().all(|(i, &v)| v == 2 * i));
+        }
+    }
+
+    #[test]
+    fn for_each_strips_handles_len_smaller_than_workers() {
+        let exec = Executor::Parallel { threads: 16 };
+        let mut a = vec![0u8; 3];
+        let mut outs: Vec<&mut [u8]> = vec![&mut a];
+        exec.for_each_strips(&mut outs, |_, strips| {
+            for strip in strips.iter_mut() {
+                strip.iter_mut().for_each(|v| *v += 1);
+            }
+        });
+        assert_eq!(a, vec![1, 1, 1]);
     }
 
     #[test]

@@ -3,8 +3,45 @@
 //! subspace.
 
 use crate::dataset::DataMatrix;
-use crate::distance::manhattan_segmental;
+use crate::distance_simd::{nearest_medoid, nearest_medoid8, LANES};
 use crate::par::Executor;
+
+/// Release-mode guard for the [`crate::distance::manhattan_segmental`]
+/// invariant: an empty subspace would make every segmental distance
+/// `0.0 / 0.0 = NaN`, which compares false against everything and silently
+/// assigns every point to medoid 0 (or marks none as outliers). Checked
+/// once per phase call — O(k), hoisted out of the per-point loop.
+pub(crate) fn assert_subspaces_non_empty(subspaces: &[Vec<usize>], phase: &str) {
+    for (i, dims) in subspaces.iter().enumerate() {
+        assert!(
+            !dims.is_empty(),
+            "{phase}: empty subspace for medoid {i} — segmental distance undefined"
+        );
+    }
+}
+
+/// Labels a strip of gathered point rows with the nearest-medoid rule,
+/// eight points per lane group, scalar on the `% 8` tail. `point_of` maps
+/// a strip index to a data index.
+fn assign_strip(
+    data: &DataMatrix,
+    medoid_rows: &[&[f32]],
+    subspaces: &[Vec<usize>],
+    point_of: impl Fn(usize) -> usize,
+    out: &mut [i32],
+) {
+    let len = out.len();
+    let mut i = 0;
+    while i + LANES <= len {
+        let rows: [&[f32]; LANES] = std::array::from_fn(|l| data.row(point_of(i + l)));
+        out[i..i + LANES].copy_from_slice(&nearest_medoid8(rows, medoid_rows, subspaces));
+        i += LANES;
+    }
+    while i < len {
+        out[i] = nearest_medoid(data.row(point_of(i)), medoid_rows, subspaces);
+        i += 1;
+    }
+}
 
 /// Assigns every point to its closest medoid under the Manhattan segmental
 /// distance in the medoid's own subspace `D_i`. Ties break toward the lower
@@ -16,22 +53,11 @@ pub fn assign_points(
     exec: &Executor,
 ) -> Vec<i32> {
     debug_assert_eq!(medoids.len(), subspaces.len());
-    let k = medoids.len();
+    assert_subspaces_non_empty(subspaces, "assign_points");
+    let medoid_rows: Vec<&[f32]> = medoids.iter().map(|&m| data.row(m)).collect();
     let mut labels = vec![0i32; data.n()];
     exec.for_each_slice(&mut labels, |off, sub| {
-        for (idx, lab) in sub.iter_mut().enumerate() {
-            let row = data.row(off + idx);
-            let mut best = f64::INFINITY;
-            let mut best_i = 0i32;
-            for i in 0..k {
-                let dist = manhattan_segmental(row, data.row(medoids[i]), &subspaces[i]);
-                if dist < best {
-                    best = dist;
-                    best_i = i as i32;
-                }
-            }
-            *lab = best_i;
-        }
+        assign_strip(data, &medoid_rows, subspaces, |i| off + i, sub);
     });
     labels
 }
@@ -53,22 +79,11 @@ pub fn assign_subset(
 ) {
     debug_assert_eq!(medoids.len(), subspaces.len());
     debug_assert_eq!(labels.len(), data.n());
-    let k = medoids.len();
+    assert_subspaces_non_empty(subspaces, "assign_subset");
+    let medoid_rows: Vec<&[f32]> = medoids.iter().map(|&m| data.row(m)).collect();
     let mut out = vec![0i32; todo.len()];
     exec.for_each_slice(&mut out, |off, sub| {
-        for (idx, lab) in sub.iter_mut().enumerate() {
-            let row = data.row(todo[off + idx]);
-            let mut best = f64::INFINITY;
-            let mut best_i = 0i32;
-            for i in 0..k {
-                let dist = manhattan_segmental(row, data.row(medoids[i]), &subspaces[i]);
-                if dist < best {
-                    best = dist;
-                    best_i = i as i32;
-                }
-            }
-            *lab = best_i;
-        }
+        assign_strip(data, &medoid_rows, subspaces, |i| todo[off + i], sub);
     });
     for (&p, &lab) in todo.iter().zip(&out) {
         labels[p] = lab;
@@ -146,6 +161,33 @@ mod tests {
         let seq = assign_points(&data, &medoids, &subs, &Executor::Sequential);
         let par = assign_points(&data, &medoids, &subs, &Executor::Parallel { threads: 5 });
         assert_eq!(seq, par);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty subspace")]
+    fn empty_subspace_panics_in_every_profile() {
+        // Regression: this used to be a debug_assert! inside
+        // manhattan_segmental, so release builds silently produced NaN
+        // distances and assigned everything to medoid 0. The guard is a
+        // release-active assert!, so this test is meaningful under
+        // `cargo test --release` too.
+        let data = DataMatrix::from_rows(&[vec![0.0], vec![1.0]]).unwrap();
+        let _ = assign_points(&data, &[0, 1], &[vec![0], vec![]], &Executor::Sequential);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty subspace")]
+    fn empty_subspace_panics_in_subset_assignment_too() {
+        let data = DataMatrix::from_rows(&[vec![0.0], vec![1.0]]).unwrap();
+        let mut labels = vec![0, 0];
+        assign_subset(
+            &data,
+            &[0],
+            &[vec![]],
+            &[1],
+            &mut labels,
+            &Executor::Sequential,
+        );
     }
 
     #[test]

@@ -7,6 +7,7 @@
 
 use crate::dataset::DataMatrix;
 use crate::distance::euclidean;
+use crate::distance_simd::{euclidean8, fold_abs_diff, LANES};
 use crate::par::Executor;
 
 /// Sphere radii: `δ_i = min_{j≠i} ‖m_i − m_j‖₂` (ComputeL, first step).
@@ -39,22 +40,40 @@ pub fn compute_x_baseline(
     exec: &Executor,
 ) -> (Vec<f64>, Vec<usize>) {
     let (n, d, k) = (data.n(), data.d(), medoids.len());
+    let medoid_rows: Vec<&[f32]> = medoids.iter().map(|&m| data.row(m)).collect();
     let parts = exec.map_chunks(
         n,
         || (vec![0.0f64; k * d], vec![0usize; k]),
         |(h, lsz), range| {
-            for p in range {
-                let row = data.row(p);
+            // Lane groups of eight points per medoid: each lane's distance
+            // is its own chain, and for a fixed medoid the H folds still
+            // happen in ascending point order, so `H`/`X` stay bitwise
+            // equal to the scalar sweep.
+            let (mut p, hi) = (range.start, range.end);
+            while p + LANES <= hi {
+                let rows: [&[f32]; LANES] = std::array::from_fn(|l| data.row(p + l));
                 for i in 0..k {
-                    let m_row = data.row(medoids[i]);
-                    if euclidean(row, m_row) <= deltas[i] {
-                        lsz[i] += 1;
-                        let h_row = &mut h[i * d..(i + 1) * d];
-                        for j in 0..d {
-                            h_row[j] += ((row[j] - m_row[j]) as f64).abs();
+                    let m_row = medoid_rows[i];
+                    let dist = euclidean8(rows, m_row);
+                    for l in 0..LANES {
+                        if dist[l] <= deltas[i] {
+                            lsz[i] += 1;
+                            fold_abs_diff(&mut h[i * d..(i + 1) * d], rows[l], m_row);
                         }
                     }
                 }
+                p += LANES;
+            }
+            while p < hi {
+                let row = data.row(p);
+                for i in 0..k {
+                    let m_row = medoid_rows[i];
+                    if euclidean(row, m_row) <= deltas[i] {
+                        lsz[i] += 1;
+                        fold_abs_diff(&mut h[i * d..(i + 1) * d], row, m_row);
+                    }
+                }
+                p += 1;
             }
         },
     );

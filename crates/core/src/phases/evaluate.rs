@@ -3,6 +3,7 @@
 //! *centroid* within the cluster's subspace.
 
 use crate::dataset::DataMatrix;
+use crate::distance_simd::fold_sum;
 use crate::par::Executor;
 
 /// Computes the clustering cost (Eq. 2):
@@ -39,11 +40,9 @@ pub fn evaluate_clusters(
                 }
                 let c = c as usize;
                 counts[c] += 1;
-                let row = data.row(p);
-                let s = &mut sums[c * d..(c + 1) * d];
-                for j in 0..d {
-                    s[j] += row[j] as f64;
-                }
+                // Unrolled over dimensions; each sum[j] is an independent
+                // chain folded in point order, exactly like the scalar loop.
+                fold_sum(&mut sums[c * d..(c + 1) * d], data.row(p));
             }
         },
     );
@@ -66,7 +65,12 @@ pub fn evaluate_clusters(
         }
     }
 
-    // Pass 2: accumulate Eq. 9.
+    // Pass 2: accumulate Eq. 9. This pass stays point-at-a-time on
+    // purpose: the worker's `acc` is ONE f64 chain folded in ascending
+    // point order, so any cross-point reassociation (lane partials, grouped
+    // clusters) would change the cost at ulp level and with it best-cost
+    // decisions. Per-point chains are already independent, which is where
+    // the ILP comes from; see DESIGN.md §14.
     let parts = exec.map_chunks(
         n,
         || 0.0f64,

@@ -3,6 +3,7 @@
 
 use crate::dataset::DataMatrix;
 use crate::distance::euclidean;
+use crate::distance_simd::{euclidean8, LANES};
 use crate::par::Executor;
 use crate::rng::ProclusRng;
 
@@ -40,11 +41,25 @@ pub fn greedy_select(
         // then take the argmax — the two kernels of GPU Alg. 2.
         let latest_row = data.row(latest);
         exec.for_each_slice(&mut min_dist, |off, sub| {
-            for (i, v) in sub.iter_mut().enumerate() {
-                let dist = euclidean(data.row(candidates[off + i]), latest_row);
-                if dist < *v {
-                    *v = dist;
+            let len = sub.len();
+            let mut i = 0;
+            while i + LANES <= len {
+                let rows: [&[f32]; LANES] =
+                    std::array::from_fn(|l| data.row(candidates[off + i + l]));
+                let dist = euclidean8(rows, latest_row);
+                for l in 0..LANES {
+                    if dist[l] < sub[i + l] {
+                        sub[i + l] = dist[l];
+                    }
                 }
+                i += LANES;
+            }
+            while i < len {
+                let dist = euclidean(data.row(candidates[off + i]), latest_row);
+                if dist < sub[i] {
+                    sub[i] = dist;
+                }
+                i += 1;
             }
         });
         let parts = exec.map_chunks(

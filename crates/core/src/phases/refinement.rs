@@ -4,7 +4,9 @@
 
 use crate::dataset::DataMatrix;
 use crate::distance::manhattan_segmental;
+use crate::distance_simd::{fold_abs_diff, segmental8, LANES};
 use crate::par::Executor;
+use crate::phases::assign::assert_subspaces_non_empty;
 use crate::phases::compute_l::reduce_h_to_x;
 use crate::result::OUTLIER;
 
@@ -30,12 +32,13 @@ pub fn x_from_clusters(
                 }
                 let i = c as usize;
                 lsz[i] += 1;
-                let row = data.row(p);
-                let m_row = data.row(medoids[i]);
-                let h_row = &mut h[i * d..(i + 1) * d];
-                for j in 0..d {
-                    h_row[j] += ((row[j] - m_row[j]) as f64).abs();
-                }
+                // Unrolled over dimensions; per-j reduction order across
+                // points is unchanged (each h[j] is its own chain).
+                fold_abs_diff(
+                    &mut h[i * d..(i + 1) * d],
+                    data.row(p),
+                    data.row(medoids[i]),
+                );
             }
         },
     );
@@ -46,6 +49,7 @@ pub fn x_from_clusters(
 /// segmental distance from each medoid to its nearest other medoid within
 /// its own subspace (§2.1, refinement).
 pub fn outlier_deltas(data: &DataMatrix, medoids: &[usize], subspaces: &[Vec<usize>]) -> Vec<f64> {
+    assert_subspaces_non_empty(subspaces, "outlier_deltas");
     let k = medoids.len();
     let mut deltas = vec![f64::INFINITY; k];
     for i in 0..k {
@@ -74,16 +78,42 @@ pub fn remove_outliers(
 ) -> Vec<i32> {
     let k = medoids.len();
     let deltas = outlier_deltas(data, medoids, subspaces);
+    let medoid_rows: Vec<&[f32]> = medoids.iter().map(|&m| data.row(m)).collect();
     let mut out = labels.to_vec();
     exec.for_each_slice(&mut out, |off, sub| {
-        for (idx, lab) in sub.iter_mut().enumerate() {
-            let row = data.row(off + idx);
-            let inside_any = (0..k).any(|i| {
-                manhattan_segmental(row, data.row(medoids[i]), &subspaces[i]) <= deltas[i]
-            });
-            if !inside_any {
-                *lab = OUTLIER;
+        let len = sub.len();
+        let mut idx = 0;
+        // Lane groups: the `any` predicate is pure, so evaluating a
+        // medoid's sphere for all eight lanes (instead of short-circuiting
+        // per point) cannot change the outcome; the medoid loop still exits
+        // as soon as every lane is inside some sphere.
+        while idx + LANES <= len {
+            let rows: [&[f32]; LANES] = std::array::from_fn(|l| data.row(off + idx + l));
+            let mut inside = [false; LANES];
+            for i in 0..k {
+                let dist = segmental8(rows, medoid_rows[i], &subspaces[i]);
+                for l in 0..LANES {
+                    inside[l] |= dist[l] <= deltas[i];
+                }
+                if inside.iter().all(|&v| v) {
+                    break;
+                }
             }
+            for l in 0..LANES {
+                if !inside[l] {
+                    sub[idx + l] = OUTLIER;
+                }
+            }
+            idx += LANES;
+        }
+        while idx < len {
+            let row = data.row(off + idx);
+            let inside_any = (0..k)
+                .any(|i| manhattan_segmental(row, medoid_rows[i], &subspaces[i]) <= deltas[i]);
+            if !inside_any {
+                sub[idx] = OUTLIER;
+            }
+            idx += 1;
         }
     });
     out
@@ -154,6 +184,40 @@ mod tests {
         );
         assert_eq!(refined[0], 0);
         assert_eq!(refined[2], 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty subspace")]
+    fn empty_subspace_panics_in_outlier_removal() {
+        // Release-active guard: previously NaN deltas would mark every
+        // point an outlier without any signal in release builds.
+        let d = data();
+        let _ = remove_outliers(
+            &d,
+            &[0, 0, 1, 1, 1],
+            &[0, 2],
+            &[vec![0], vec![]],
+            &Executor::Sequential,
+        );
+    }
+
+    #[test]
+    fn vectorized_outlier_scan_matches_scalar_rule_across_remainders() {
+        // n = 13 exercises one full lane group + a 5-point tail.
+        let rows: Vec<Vec<f32>> = (0..13)
+            .map(|i| vec![(i % 7) as f32 * 3.0, (i % 5) as f32 * 2.0])
+            .collect();
+        let d = DataMatrix::from_rows(&rows).unwrap();
+        let labels: Vec<i32> = (0..13).map(|i| i % 2).collect();
+        let subs = [vec![0], vec![1]];
+        let medoids = [0usize, 1];
+        let got = remove_outliers(&d, &labels, &medoids, &subs, &Executor::Sequential);
+        let deltas = outlier_deltas(&d, &medoids, &subs);
+        for (p, &lab) in got.iter().enumerate() {
+            let inside = (0..2)
+                .any(|i| manhattan_segmental(d.row(p), d.row(medoids[i]), &subs[i]) <= deltas[i]);
+            assert_eq!(lab, if inside { labels[p] } else { OUTLIER }, "point {p}");
+        }
     }
 
     #[test]

@@ -170,6 +170,21 @@ impl<T: Scalar> DeviceBuffer<T> {
         word_load(self.word(i))
     }
 
+    /// Device-side load of element `i` through a *strided* access pattern:
+    /// same value as [`Self::ld`], but the performance model additionally
+    /// books the bytes as [`crate::WorkCounters::strided_bytes`], which the
+    /// memory roofline amplifies by the device's
+    /// [`crate::DeviceConfig::strided_mem_penalty`]. Use this in kernels
+    /// whose warps touch addresses a row apart (untiled row-major sweeps);
+    /// keep plain `ld` for coalesced or shared-memory-staged (tiled)
+    /// access. Results are identical either way — only modeled time moves.
+    #[inline(always)]
+    pub fn ld_strided(&self, t: &mut ThreadCtx<'_>, i: usize) -> T {
+        t.count_global_load_strided(T::BYTES);
+        t.san_global(&self.inner, self.offset + i, AccessKind::Read);
+        word_load(self.word(i))
+    }
+
     /// Device-side store to element `i` (counts one global store).
     #[inline(always)]
     pub fn st(&self, t: &mut ThreadCtx<'_>, i: usize, v: T) {

@@ -32,6 +32,13 @@ pub struct DeviceConfig {
     /// Below this the model scales bandwidth down linearly — the standard
     /// "little's law" approximation for latency-bound kernels.
     pub warps_to_saturate_mem: u32,
+    /// DRAM traffic amplification for *strided* loads (see
+    /// [`crate::WorkCounters::strided_bytes`]): each element of a strided
+    /// access pulls a whole memory sector of which only `1/penalty` is
+    /// useful. GDDR6 moves 32-byte sectors, so an uncoalesced 4-byte load
+    /// wastes 8× — the factor the presets use. Must be ≥ 1; `1.0` turns the
+    /// tiling term off.
+    pub strided_mem_penalty: f64,
     /// Effective cost of one global atomic in nanoseconds (device-wide
     /// serialization budget; same-address contention is *not* modeled).
     pub global_atomic_ns: f64,
@@ -65,6 +72,7 @@ impl DeviceConfig {
             clock_ghz: 1.77,
             mem_bandwidth_gbps: 288.0,
             warps_to_saturate_mem: 8,
+            strided_mem_penalty: 8.0,
             global_atomic_ns: 0.4,
             shared_atomic_ns: 0.06,
             kernel_launch_us: 4.0,
@@ -88,6 +96,7 @@ impl DeviceConfig {
             clock_ghz: 1.70,
             mem_bandwidth_gbps: 936.0,
             warps_to_saturate_mem: 10,
+            strided_mem_penalty: 8.0,
             global_atomic_ns: 0.25,
             shared_atomic_ns: 0.05,
             kernel_launch_us: 3.5,
@@ -112,6 +121,7 @@ impl DeviceConfig {
             clock_ghz: 1.0,
             mem_bandwidth_gbps: 10.0,
             warps_to_saturate_mem: 4,
+            strided_mem_penalty: 4.0,
             global_atomic_ns: 1.0,
             shared_atomic_ns: 0.2,
             kernel_launch_us: 2.0,
@@ -156,6 +166,7 @@ mod tests {
             assert!(cfg.max_threads_per_block <= cfg.max_threads_per_sm);
             assert!(cfg.max_warps_per_sm() >= 1);
             assert!(cfg.clock_ghz > 0.0 && cfg.mem_bandwidth_gbps > 0.0);
+            assert!(cfg.strided_mem_penalty >= 1.0);
         }
     }
 

@@ -203,6 +203,13 @@ impl ThreadCtx<'_> {
     }
 
     #[inline(always)]
+    pub(crate) fn count_global_load_strided(&mut self, bytes: usize) {
+        self.counters.global_loads += 1;
+        self.counters.bytes_loaded += bytes as u64;
+        self.counters.strided_bytes += bytes as u64;
+    }
+
+    #[inline(always)]
     pub(crate) fn count_global_store(&mut self, bytes: usize) {
         self.counters.global_stores += 1;
         self.counters.bytes_stored += bytes as u64;

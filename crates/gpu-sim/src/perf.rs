@@ -24,11 +24,22 @@
 //! 5. The kernel takes `launch_overhead + max(compute, memory, atomic)`;
 //!    the max expresses overlap of computation with memory traffic.
 //!
-//! Known simplifications: memory accesses are priced as perfectly
-//! coalesced (the real row-major `data[p*d + j]` reads would amplify DRAM
-//! traffic on hardware, for the paper's CUDA code and for ours alike), and
-//! warp divergence is not modeled. Both affect absolute times, not the
-//! comparative shapes the harnesses report.
+//! The memory term carries a *tiling* refinement: loads a kernel marks as
+//! strided ([`WorkCounters::strided_bytes`], charged via
+//! `DeviceBuffer::ld_strided`) are amplified by the device's
+//! [`DeviceConfig::strided_mem_penalty`], pricing each element as pulling a
+//! mostly-wasted DRAM sector. Plain `ld` traffic stays priced as perfectly
+//! coalesced — the production PROCLUS kernels stage their reused row
+//! through shared memory (the GPU analogue of the CPU path's cache-block
+//! tiles, `proclus::distance_simd`), so their sectors are consumed before
+//! eviction and the coalesced price is the honest one. Untiled reference
+//! kernels charge the strided price, which is how the model reflects what
+//! blocking buys.
+//!
+//! Known simplifications: warp divergence is not modeled, and coalescing is
+//! binary (an access is either perfectly coalesced or sector-wasting
+//! strided). Both affect absolute times, not the comparative shapes the
+//! harnesses report.
 //!
 //! Absolute times are estimates; what the model is designed to preserve is
 //! the *shape* the paper reports: time grows with useful parallel work,
@@ -146,7 +157,10 @@ pub fn model_kernel(
     let warps_needed = (cfg.num_sms * cfg.warps_to_saturate_mem) as f64;
     let bw_frac = (resident_warps_device / warps_needed).min(1.0);
     let bw_eff = cfg.mem_bandwidth_gbps * 1e3 * bw_frac; // bytes/us
-    let mem_bytes = w.global_bytes() as f64;
+                                                         // Strided bytes are already counted once inside `global_bytes`; the
+                                                         // tiling term adds the wasted remainder of each sector on top.
+    let mem_bytes =
+        w.global_bytes() as f64 + w.strided_bytes as f64 * (cfg.strided_mem_penalty - 1.0);
     let mem_us = if mem_bytes > 0.0 {
         mem_bytes / bw_eff.max(1e-9)
     } else {
@@ -260,6 +274,47 @@ mod tests {
         let t = model_kernel(&c, Dim3::x(100_000), Dim3::x(1024), 0, &w);
         assert_eq!(t.bound, Bound::Memory);
         assert!(t.mem_throughput_frac > 0.8, "{}", t.mem_throughput_frac);
+    }
+
+    #[test]
+    fn strided_loads_amplify_memory_time_by_the_penalty() {
+        let c = cfg();
+        let coalesced = WorkCounters {
+            bytes_loaded: 1 << 30,
+            global_loads: (1 << 30) / 4,
+            ..Default::default()
+        };
+        let strided = WorkCounters {
+            strided_bytes: 1 << 30,
+            ..coalesced
+        };
+        let grid = Dim3::x(100_000);
+        let t_co = model_kernel(&c, grid, Dim3::x(1024), 0, &coalesced);
+        let t_st = model_kernel(&c, grid, Dim3::x(1024), 0, &strided);
+        assert_eq!(t_st.bound, Bound::Memory);
+        // Both launches are memory-bound with negligible launch overhead, so
+        // the times must sit in the penalty ratio.
+        let ratio = t_st.time_us / t_co.time_us;
+        assert!(
+            (ratio - c.strided_mem_penalty).abs() / c.strided_mem_penalty < 0.05,
+            "ratio {ratio}, penalty {}",
+            c.strided_mem_penalty
+        );
+    }
+
+    #[test]
+    fn zero_strided_bytes_leave_timings_untouched() {
+        // The tiling term is strictly additive: kernels that never call
+        // `ld_strided` (every production kernel, hence every committed
+        // bench baseline) model exactly as before the term existed.
+        let c = cfg();
+        let w = big_work(1 << 24);
+        assert_eq!(w.strided_bytes, 0);
+        let t = model_kernel(&c, Dim3::x(100), Dim3::x(1024), 0, &w);
+        let mut flat = c.clone();
+        flat.strided_mem_penalty = 1.0;
+        let t_flat = model_kernel(&flat, Dim3::x(100), Dim3::x(1024), 0, &w);
+        assert_eq!(t.time_us.to_bits(), t_flat.time_us.to_bits());
     }
 
     #[test]

@@ -24,6 +24,14 @@ pub struct WorkCounters {
     pub global_atomics: u64,
     /// Bytes read from global memory.
     pub bytes_loaded: u64,
+    /// Subset of `bytes_loaded` fetched through a *strided* (untiled)
+    /// access pattern — adjacent threads touching addresses a row apart, so
+    /// each element pulls a mostly-wasted DRAM sector. The perf model
+    /// amplifies these by [`crate::DeviceConfig::strided_mem_penalty`];
+    /// kernels opt in per access via [`crate::DeviceBuffer::ld_strided`].
+    /// Tiled kernels (shared-memory staging, the production PROCLUS path)
+    /// leave this at zero and are priced as perfectly coalesced.
+    pub strided_bytes: u64,
     /// Bytes written to global memory.
     pub bytes_stored: u64,
     /// Shared-memory accesses (loads + stores).
@@ -41,6 +49,7 @@ impl WorkCounters {
         self.global_stores += other.global_stores;
         self.global_atomics += other.global_atomics;
         self.bytes_loaded += other.bytes_loaded;
+        self.strided_bytes += other.strided_bytes;
         self.bytes_stored += other.bytes_stored;
         self.shared_accesses += other.shared_accesses;
         self.shared_atomics += other.shared_atomics;
@@ -163,10 +172,12 @@ mod tests {
             bytes_stored: 7,
             shared_accesses: 8,
             shared_atomics: 9,
+            strided_bytes: 10,
         };
         a.merge(&a.clone());
         assert_eq!(a.flops, 2);
         assert_eq!(a.shared_atomics, 18);
+        assert_eq!(a.strided_bytes, 20);
         assert_eq!(a.global_bytes(), 26);
     }
 

@@ -396,12 +396,12 @@ impl Backend for GpuBackend<'_> {
         self.dev.upload(&self.ws.labels, seed_labels);
         if !todo.is_empty() {
             let todo_host: Vec<u32> = todo.iter().map(|&p| p as u32).collect();
-            let todo_buf =
-                self.dev
-                    .htod("stream.assign_todo", &todo_host)
-                    .map_err(|e| ProclusError::Device {
-                        reason: e.to_string(),
-                    })?;
+            let todo_buf = self
+                .dev
+                .htod("stream.assign_todo", &todo_host)
+                .map_err(|e| ProclusError::Device {
+                    reason: e.to_string(),
+                })?;
             assign_subset_kernel(
                 self.dev,
                 &self.ws.data,
@@ -419,7 +419,13 @@ impl Backend for GpuBackend<'_> {
         }
         // Rebuild the member lists so evaluate/remove_outliers see a
         // partition consistent with the seeded labels.
-        lists_from_labels_kernel(self.dev, &self.ws.labels, n, &self.ws.c_list, &self.ws.c_count);
+        lists_from_labels_kernel(
+            self.dev,
+            &self.ws.labels,
+            n,
+            &self.ws.c_list,
+            &self.ws.c_count,
+        );
         let mut sizes: Vec<usize> = self
             .dev
             .dtoh(&self.ws.c_count)

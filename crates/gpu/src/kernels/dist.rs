@@ -47,6 +47,53 @@ pub fn dist_row_kernel(
     });
 }
 
+/// Untiled *reference* variant of [`dist_row_kernel`], kept for the model's
+/// tiling-term demonstration and the distance bench — production code paths
+/// never call it.
+///
+/// Two deliberate pessimizations relative to the tiled kernel: the medoid
+/// row is re-read from global memory by every thread (no shared-memory
+/// staging, so `n × d` medoid loads instead of `blocks × d`), and the
+/// point sweep is charged at the strided price
+/// ([`DeviceBuffer::ld_strided`]) — without a tile there is no reuse to
+/// amortize the mostly-wasted sectors of the row-major stride-`d` warp
+/// pattern. The arithmetic itself (f32 subtract, f64 accumulate over
+/// ascending dimensions, `sqrt` narrowed to f32) is exactly
+/// [`dist_row_kernel`]'s, so outputs stay bitwise-identical; only counted
+/// work and modeled time differ.
+pub fn dist_row_kernel_untiled(
+    dev: &mut Device,
+    data: &DeviceBuffer<f32>,
+    d: usize,
+    n: usize,
+    medoid: usize,
+    out: &DeviceBuffer<f32>,
+) {
+    let grid = Dim3::blocks_for(n, WIDE_BLOCK);
+    let data = data.clone();
+    let out = out.clone();
+    dev.launch(
+        "compute_l.dist_untiled",
+        grid,
+        Dim3::x(WIDE_BLOCK),
+        move |blk| {
+            blk.threads(|t| {
+                let p = t.global_id_x();
+                if p < n {
+                    let mut acc = 0.0f64;
+                    for j in 0..d {
+                        let diff =
+                            (data.ld_strided(t, p * d + j) - data.ld(t, medoid * d + j)) as f64;
+                        acc += diff * diff;
+                    }
+                    t.flops(3 * d as u64 + 1);
+                    out.st(t, p, acc.sqrt() as f32);
+                }
+            });
+        },
+    );
+}
+
 /// [`dist_row_kernel`] launched asynchronously on `stream` — the §5.4
 /// future-work idea: independent per-medoid distance rows can overlap, so
 /// small datasets (whose individual launches underutilize the device)
@@ -120,30 +167,35 @@ pub fn dist_subset_kernel(
     let data = data.clone();
     let todo = todo.clone();
     let out = out.clone();
-    dev.launch("stream.dist_subset", grid, Dim3::x(WIDE_BLOCK), move |blk| {
-        let m_sh = blk.shared::<f32>(d);
-        blk.threads(|t| {
-            let mut j = t.tid as usize;
-            while j < d {
-                let v = data.ld(t, medoid * d + j);
-                m_sh.st(t, j, v);
-                j += t.block_dim.x as usize;
-            }
-        });
-        blk.threads(|t| {
-            let i = t.global_id_x();
-            if i < t_len {
-                let p = todo.ld(t, i) as usize;
-                let mut acc = 0.0f64;
-                for j in 0..d {
-                    let diff = (data.ld(t, p * d + j) - m_sh.ld(t, j)) as f64;
-                    acc += diff * diff;
+    dev.launch(
+        "stream.dist_subset",
+        grid,
+        Dim3::x(WIDE_BLOCK),
+        move |blk| {
+            let m_sh = blk.shared::<f32>(d);
+            blk.threads(|t| {
+                let mut j = t.tid as usize;
+                while j < d {
+                    let v = data.ld(t, medoid * d + j);
+                    m_sh.st(t, j, v);
+                    j += t.block_dim.x as usize;
                 }
-                t.flops(3 * d as u64 + 1);
-                out.st(t, i, acc.sqrt() as f32);
-            }
-        });
-    });
+            });
+            blk.threads(|t| {
+                let i = t.global_id_x();
+                if i < t_len {
+                    let p = todo.ld(t, i) as usize;
+                    let mut acc = 0.0f64;
+                    for j in 0..d {
+                        let diff = (data.ld(t, p * d + j) - m_sh.ld(t, j)) as f64;
+                        acc += diff * diff;
+                    }
+                    t.flops(3 * d as u64 + 1);
+                    out.st(t, i, acc.sqrt() as f32);
+                }
+            });
+        },
+    );
 }
 
 #[cfg(test)]
@@ -237,6 +289,47 @@ mod tests {
         assert!(
             overlapped < sequential,
             "streamed rows should be no slower: {overlapped} vs {sequential}"
+        );
+    }
+
+    #[test]
+    fn untiled_reference_matches_tiled_bitwise_but_models_slower() {
+        let n = 8192;
+        let d = 16;
+        let flat: Vec<f32> = (0..n * d)
+            .map(|i| ((i * 37) % 1009) as f32 * 0.13)
+            .collect();
+
+        let mut tiled = Device::new(DeviceConfig::gtx_1660_ti());
+        let data_t = tiled.htod("data", &flat).unwrap();
+        let out_t = tiled.alloc_zeroed::<f32>("row", n).unwrap();
+        let t0 = tiled.elapsed_us();
+        dist_row_kernel(&mut tiled, &data_t, d, n, 5, &out_t);
+        let tiled_us = tiled.elapsed_us() - t0;
+
+        let mut untiled = Device::new(DeviceConfig::gtx_1660_ti());
+        let data_u = untiled.htod("data", &flat).unwrap();
+        let out_u = untiled.alloc_zeroed::<f32>("row", n).unwrap();
+        let t0 = untiled.elapsed_us();
+        dist_row_kernel_untiled(&mut untiled, &data_u, d, n, 5, &out_u);
+        let untiled_us = untiled.elapsed_us() - t0;
+
+        // Identical results: blocking is a pure access-pattern change.
+        let a = out_t.peek_all();
+        let b = out_u.peek_all();
+        for p in 0..n {
+            assert_eq!(a[p].to_bits(), b[p].to_bits(), "point {p}");
+        }
+
+        // The tiled kernel charges nothing strided; the untiled one charges
+        // every point-sweep byte, which the model amplifies.
+        let w_t = &tiled.report().kernels["compute_l.dist"].work;
+        let w_u = &untiled.report().kernels["compute_l.dist_untiled"].work;
+        assert_eq!(w_t.strided_bytes, 0);
+        assert_eq!(w_u.strided_bytes, 4 * (n * d) as u64);
+        assert!(
+            untiled_us > 2.0 * tiled_us,
+            "untiled {untiled_us} us should model well slower than tiled {tiled_us} us"
         );
     }
 

@@ -651,10 +651,7 @@ impl Backend for ShardedBackend<'_> {
                 continue;
             }
             let todo_host: Vec<u32> = local.iter().map(|&(_, l)| l).collect();
-            let todo = shard
-                .dev
-                .htod("stream.todo", &todo_host)
-                .map_err(dev_err)?;
+            let todo = shard.dev.htod("stream.todo", &todo_host).map_err(dev_err)?;
             let res = shard
                 .dev
                 .alloc_zeroed::<f32>("stream.dist_out", todo_host.len())

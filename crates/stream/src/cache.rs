@@ -120,6 +120,7 @@ impl RowStore {
             std::collections::hash_map::Entry::Vacant(slot) => {
                 let all: Vec<usize> = (0..n).collect();
                 let dist = compute(&all)?;
+                proclus::distance_simd::debug_assert_finite(&dist, "RowStore::ensure_row (miss)");
                 let row = slot.insert(RowEntry {
                     dist,
                     last_used_epoch: epoch,
@@ -149,6 +150,11 @@ impl RowStore {
                 for (&q, &v) in holes.iter().zip(&filled) {
                     row.dist[q] = v;
                 }
+                // NaN doubles as the hole sentinel: a NaN *returned by the
+                // fill* would survive as a permanent hole whose `dist <
+                // delta` comparisons are silently false. Catch it at the
+                // fill boundary (debug builds only).
+                proclus::distance_simd::debug_assert_finite(&row.dist, "RowStore::ensure_row");
                 row.last_used_epoch = epoch;
                 (
                     row,

@@ -84,6 +84,9 @@ fn advance_h(ds: &StreamDataset, row: &[f32], m_pos: usize, eh: &mut EpochH, cur
     } else {
         (cur, eh.prev_delta, -1.0f64)
     };
+    // A leftover NaN hole would fail both shell comparisons and silently
+    // drop its point from the sphere forever.
+    proclus::distance_simd::debug_assert_finite(row, "advance_h: cached row");
     let d = ds.d();
     let m_row = ds.row(m_pos).to_vec();
     let mut dh = vec![0.0f64; d];
@@ -91,10 +94,9 @@ fn advance_h(ds: &StreamDataset, row: &[f32], m_pos: usize, eh: &mut EpochH, cur
     for (q, &dist) in row.iter().enumerate() {
         if dist > lo && dist <= hi {
             cnt += 1;
-            let prow = ds.row(q);
-            for j in 0..d {
-                dh[j] += ((prow[j] - m_row[j]) as f64).abs();
-            }
+            // Unrolled per-dimension fold; each dh[j] chain keeps ascending
+            // position order, bitwise-equal to the scalar loop.
+            proclus::distance_simd::fold_abs_diff(&mut dh, ds.row(q), &m_row);
         }
     }
     for (acc, v) in eh.h.iter_mut().zip(&dh) {
@@ -170,6 +172,8 @@ fn greedy_stream<B: Backend + ?Sized>(
     for _ in 1..count {
         let last = picked[picked.len() - 1];
         let dists = backend.dist_subset(pos_of(ds, last)?, &sample_pos, rec)?;
+        // A NaN from the backend would fail `<` below and freeze `mind`.
+        proclus::distance_simd::debug_assert_finite(&dists, "stream greedy: dist_subset");
         costs.distances += sample.len() as u64;
         rec.add(counters::DISTANCES_COMPUTED, sample.len() as u64);
         let mut best = 0usize;
@@ -234,6 +238,7 @@ fn compute_x_stream<B: Backend + ?Sized>(
             rec.add(counters::DIST_CACHE_HITS, 1);
         }
         // δ_i: nearest other medoid, read straight off this medoid's row.
+        proclus::distance_simd::debug_assert_finite(row, "compute_x_stream δ-scan");
         let mut delta = f32::INFINITY;
         for (j, &p) in med_pos.iter().enumerate() {
             if j != i && row[p] < delta {

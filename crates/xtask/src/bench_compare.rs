@@ -27,6 +27,15 @@
 //!   distance ratio under the 0.25 floor; and each fraction's ratio stays
 //!   within an absolute tolerance of the baseline's (distance counters
 //!   are deterministic, so drift means the caching model regressed).
+//! * `distance` (`BENCH_distance.json`): every (n, d) combo carries
+//!   positive timings and `bitwise_equal: true` (the harness cross-checks
+//!   the vectorized strips against the scalar kernel bit for bit — a
+//!   `false` here means the lane decomposition changed a reduction
+//!   order); no combo runs materially slower than scalar (ratio ≥ 0.8,
+//!   tolerating cache-size edge combos); and the best row-kernel ratio
+//!   clears the 2.0× vectorization floor. Wall-clock ratios are noisy
+//!   across machines, so baseline drift is only flagged when the fresh
+//!   best ratio collapses below half the baseline's.
 
 use std::path::Path;
 
@@ -49,7 +58,8 @@ fn load(path: &Path) -> Result<Value, String> {
     parse(&text).map_err(|e| format!("parse {}: {e}", path.display()))
 }
 
-/// Dispatches on `kind` (`serve` / `telemetry` / `shard` / `stream`).
+/// Dispatches on `kind` (`serve` / `telemetry` / `shard` / `stream` /
+/// `distance`).
 pub fn run(
     kind: &str,
     baseline: &Path,
@@ -64,8 +74,9 @@ pub fn run(
         "telemetry" => Ok(compare_telemetry(&base, &new, &file)),
         "shard" => Ok(compare_shard(&base, &new, &file, tolerance)),
         "stream" => Ok(compare_stream(&base, &new, &file, tolerance)),
+        "distance" => Ok(compare_distance(&base, &new, &file)),
         other => Err(format!(
-            "unknown bench kind `{other}` (serve, telemetry, shard, stream)"
+            "unknown bench kind `{other}` (serve, telemetry, shard, stream, distance)"
         )),
     }
 }
@@ -315,6 +326,109 @@ pub fn compare_stream(base: &Value, new: &Value, file: &str, tolerance: f64) -> 
     findings
 }
 
+/// The vectorization floor: the *best* (n, d) combo's row-kernel ratio
+/// must reach 2.0× over scalar. Per-combo, no ratio may fall under 0.8
+/// (the strip must never be materially slower than the loop it replaced).
+const DISTANCE_MAX_RATIO_FLOOR: f64 = 2.0;
+const DISTANCE_COMBO_RATIO_FLOOR: f64 = 0.8;
+
+/// The best row-kernel speedup in a distance document — the larger of the
+/// single-row and batched ratios, maximized over all combos.
+fn distance_best_ratio(doc: &Value) -> Option<f64> {
+    let best = doc
+        .get("combos")?
+        .as_array()?
+        .iter()
+        .map(|c| num(c, "ratio").max(num(c, "batch_ratio")))
+        .fold(f64::NAN, f64::max);
+    best.is_finite().then_some(best)
+}
+
+/// Compares distance-bench documents; see the module docs for the contract.
+pub fn compare_distance(base: &Value, new: &Value, file: &str) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let empty: Vec<Value> = Vec::new();
+    let combos = new
+        .get("combos")
+        .and_then(Value::as_array)
+        .unwrap_or(&empty);
+    if combos.is_empty() {
+        findings.push(fail(
+            "bench_structure",
+            file,
+            "fresh run has no combos".to_string(),
+        ));
+        return findings;
+    }
+    for combo in combos {
+        let (n, d) = (num(combo, "n"), num(combo, "d"));
+        for key in ["scalar_ms", "simd_ms", "batch_scalar_ms", "batch_simd_ms"] {
+            let v = num(combo, key);
+            if v.is_nan() || v <= 0.0 {
+                findings.push(fail(
+                    "bench_structure",
+                    file,
+                    format!("n={n} d={d}: {key} = {v} — expected positive"),
+                ));
+            }
+        }
+        // The harness diffs every output bit against the scalar kernel;
+        // anything but `true` means vectorization moved a reduction.
+        if combo.get("bitwise_equal") != Some(&Value::Bool(true)) {
+            findings.push(fail(
+                "bench_regression",
+                file,
+                format!("n={n} d={d}: vectorized output is not bitwise-equal to scalar"),
+            ));
+        }
+        for key in ["ratio", "batch_ratio"] {
+            let ratio = num(combo, key);
+            if ratio.is_nan() || ratio < DISTANCE_COMBO_RATIO_FLOOR {
+                findings.push(fail(
+                    "bench_regression",
+                    file,
+                    format!(
+                        "n={n} d={d}: {key} {ratio:.2}x below the per-combo \
+                         {DISTANCE_COMBO_RATIO_FLOOR}x floor"
+                    ),
+                ));
+            }
+        }
+    }
+    match distance_best_ratio(new) {
+        Some(best) if best >= DISTANCE_MAX_RATIO_FLOOR => {
+            // Wall-clock ratios are machine-dependent; only a collapse to
+            // under half the committed baseline's best counts as drift.
+            if let Some(base_best) = distance_best_ratio(base) {
+                if best < base_best * 0.5 {
+                    findings.push(fail(
+                        "bench_regression",
+                        file,
+                        format!(
+                            "best row-kernel ratio {best:.2}x collapsed below half the \
+                             baseline's {base_best:.2}x"
+                        ),
+                    ));
+                }
+            }
+        }
+        Some(best) => findings.push(fail(
+            "bench_regression",
+            file,
+            format!(
+                "best row-kernel ratio {best:.2}x below the {DISTANCE_MAX_RATIO_FLOOR}x \
+                 vectorization floor"
+            ),
+        )),
+        None => findings.push(fail(
+            "bench_structure",
+            file,
+            "could not compute a row-kernel ratio from the fresh run".to_string(),
+        )),
+    }
+    findings
+}
+
 fn run_key(run: &Value) -> Option<(String, String)> {
     let meta = run.get("meta")?;
     Some((
@@ -560,6 +674,79 @@ mod tests {
         let f = compare_stream(&base, &fresh, "f", 0.25);
         assert!(
             f.iter().any(|f| f.message.contains("not exercised")),
+            "{f:?}"
+        );
+    }
+
+    fn distance_doc(ratio: f64, batch_ratio: f64, bitwise: bool) -> Value {
+        let mk = |n: u64, d: u64| {
+            format!(
+                "{{\"n\":{n},\"d\":{d},\"scalar_ms\":10.0,\"simd_ms\":{},\"ratio\":{ratio},\
+                 \"batch_scalar_ms\":100.0,\"batch_simd_ms\":{},\"batch_ratio\":{batch_ratio},\
+                 \"bitwise_equal\":{bitwise}}}",
+                10.0 / ratio,
+                100.0 / batch_ratio
+            )
+        };
+        let json = format!(
+            "{{\"version\":1,\"workload\":{{\"batch_rows\":10,\"seed\":1,\"reps\":3,\
+             \"quick\":false}},\"combos\":[{},{}]}}",
+            mk(64_000, 8),
+            mk(64_000, 32)
+        );
+        parse(&json).expect("valid fixture")
+    }
+
+    #[test]
+    fn distance_floor_passes_and_fails() {
+        let base = distance_doc(2.5, 3.0, true);
+        assert!(compare_distance(&base, &distance_doc(2.1, 2.8, true), "f").is_empty());
+        let f = compare_distance(&base, &distance_doc(1.4, 1.8, true), "f");
+        assert!(
+            f.iter().any(|f| f.message.contains("vectorization floor")),
+            "{f:?}"
+        );
+    }
+
+    #[test]
+    fn distance_bitwise_divergence_fails() {
+        let base = distance_doc(2.5, 3.0, true);
+        let f = compare_distance(&base, &distance_doc(2.5, 3.0, false), "f");
+        assert!(
+            f.iter().any(|f| f.message.contains("not bitwise-equal")),
+            "{f:?}"
+        );
+    }
+
+    #[test]
+    fn distance_slower_than_scalar_combo_fails() {
+        let base = distance_doc(2.5, 3.0, true);
+        let f = compare_distance(&base, &distance_doc(0.6, 3.0, true), "f");
+        assert!(f.iter().any(|f| f.message.contains("per-combo")), "{f:?}");
+    }
+
+    #[test]
+    fn distance_collapse_below_half_of_baseline_fails() {
+        // 2.1x clears the absolute floor but is under half the baseline's 5x.
+        let base = distance_doc(5.0, 5.0, true);
+        let f = compare_distance(&base, &distance_doc(2.1, 2.1, true), "f");
+        assert!(f.iter().any(|f| f.message.contains("collapsed")), "{f:?}");
+        // The same fresh run against a modest baseline passes.
+        let base = distance_doc(2.5, 3.0, true);
+        assert!(compare_distance(&base, &distance_doc(2.1, 2.1, true), "f").is_empty());
+    }
+
+    #[test]
+    fn distance_empty_or_malformed_combos_fail() {
+        let base = distance_doc(2.5, 3.0, true);
+        let fresh = parse("{\"version\":1,\"combos\":[]}").expect("valid fixture");
+        let f = compare_distance(&base, &fresh, "f");
+        assert!(f.iter().any(|f| f.message.contains("no combos")), "{f:?}");
+        let fresh =
+            parse("{\"version\":1,\"combos\":[{\"n\":64000,\"d\":8}]}").expect("valid fixture");
+        let f = compare_distance(&base, &fresh, "f");
+        assert!(
+            f.iter().any(|f| f.message.contains("expected positive")),
             "{f:?}"
         );
     }

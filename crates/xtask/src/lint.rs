@@ -1,6 +1,6 @@
 //! The workspace lint rules (`cargo xtask lint`).
 //!
-//! Four rules, each an AST-shaped walk over the token stream from
+//! Five rules, each an AST-shaped walk over the token stream from
 //! [`crate::lexer`] (DESIGN.md §11 documents the catalogue and how to add
 //! a rule):
 //!
@@ -10,6 +10,7 @@
 //! | `cancel_polled`       | `core/src/{driver,backend}.rs`, `gpu/src/{backend,shard}.rs`, `stream/src/driver.rs` | every `loop`/`while` polls the `CancelToken` |
 //! | `launch_entry`        | all crates except `gpu-sim` internals   | kernel launches only in `crates/gpu/src/kernels/` |
 //! | `public_result_error` | `crates/{core,gpu,serve}/src`           | public `Result` APIs use the typed error set |
+//! | `float_cmp_guarded`   | `core/src/{fast,fast_star}.rs`, `stream/src/driver.rs` | `dist`/`delta` comparisons sit in a function with a NaN sentinel |
 //!
 //! Findings are machine-readable ([`Finding`], [`findings_json`]) and any
 //! finding fails the build (non-zero exit from `main`). Intentional
@@ -19,7 +20,7 @@
 
 use std::path::{Path, PathBuf};
 
-use crate::lexer::{matching_brace, scan, Scan, Tok};
+use crate::lexer::{matching_brace, scan, Scan, Tok, TokKind};
 
 /// One lint finding.
 #[derive(Debug, Clone)]
@@ -87,6 +88,9 @@ pub fn lint_source(rel: &str, source: &str) -> Vec<Finding> {
     if public_result_in_scope(rel) {
         public_result_error(rel, &scan, &mut findings);
     }
+    if float_cmp_in_scope(rel) {
+        float_cmp_guarded(rel, &scan, &mut findings);
+    }
     findings
 }
 
@@ -138,6 +142,14 @@ fn launch_entry_in_scope(rel: &str) -> bool {
         && !rel.starts_with("crates/gpu/src/kernels/")
         && !rel.contains("/tests/")
         && !rel.contains("/benches/")
+}
+
+/// The δ-scan hot paths: the files whose `dist < δ` comparisons drive
+/// medoid decisions and ΔL shell membership.
+fn float_cmp_in_scope(rel: &str) -> bool {
+    rel == "crates/core/src/fast.rs"
+        || rel == "crates/core/src/fast_star.rs"
+        || rel == "crates/stream/src/driver.rs"
 }
 
 fn public_result_in_scope(rel: &str) -> bool {
@@ -264,6 +276,155 @@ fn launch_entry(rel: &str, scan: &Scan, findings: &mut Vec<Finding>) {
             });
         }
     }
+}
+
+/// `float_cmp_guarded`: in the δ-scan hot paths, any ordered comparison
+/// whose operand names a distance (`…dist…` / `…delta…`) must sit in a
+/// function that also calls a NaN sentinel (`debug_assert_finite`,
+/// `is_nan` or `is_finite`). Every such comparison is silently *false* on
+/// NaN — a poisoned cached row would not crash but would quietly drop
+/// points from ΔL shells or misassign medoids, which is exactly the class
+/// of bug a debug-mode sentinel catches at the source.
+fn float_cmp_guarded(rel: &str, scan: &Scan, findings: &mut Vec<Finding>) {
+    const GUARDS: [&str; 3] = ["debug_assert_finite", "is_nan", "is_finite"];
+    let toks = &scan.tokens;
+    let mut i = 0;
+    while i < toks.len() {
+        let t = &toks[i];
+        if t.in_test || !t.is_ident("fn") {
+            i += 1;
+            continue;
+        }
+        let mut open = i + 1;
+        while open < toks.len() && !toks[open].is_punct('{') {
+            open += 1;
+        }
+        if open >= toks.len() {
+            break;
+        }
+        let close = matching_brace(toks, open);
+        let body = &toks[open..close];
+        let guarded = body.iter().any(|t| GUARDS.iter().any(|g| t.is_ident(g)));
+        if !guarded {
+            for k in 0..body.len() {
+                if let Some(line) = distance_comparison_at(body, k) {
+                    if !scan.allowed(line, "float_cmp_guarded") {
+                        findings.push(Finding {
+                            rule: "float_cmp_guarded",
+                            file: rel.to_string(),
+                            line,
+                            message: "dist/delta comparison in a function with no NaN \
+                                      sentinel — a NaN compares false against everything \
+                                      and silently corrupts the δ-scan; call \
+                                      debug_assert_finite on the buffer first"
+                                .to_string(),
+                        });
+                    }
+                }
+            }
+        }
+        i = close.max(i + 1);
+    }
+}
+
+/// If `toks[k]` is an ordered comparison (`<`, `>`, `<=`, `>=`) with an
+/// operand whose identifier path mentions `dist` or `delta`, returns the
+/// comparison's line. Arrows (`->`, `=>`), shifts and generics fall out
+/// naturally: they either aren't ordered comparisons or have no matching
+/// operand name.
+fn distance_comparison_at(toks: &[Tok], k: usize) -> Option<u32> {
+    let t = toks.get(k)?;
+    if !(t.is_punct('<') || t.is_punct('>')) {
+        return None;
+    }
+    // `->`, `=>`, `<<`, `>>` are not ordered comparisons.
+    if k > 0 && (toks[k - 1].is_punct('-') || toks[k - 1].is_punct('=')) {
+        return None;
+    }
+    let same = |o: Option<&Tok>| o.is_some_and(|n| n.kind == t.kind);
+    if same(k.checked_sub(1).and_then(|p| toks.get(p))) || same(toks.get(k + 1)) {
+        return None;
+    }
+    let named = |s: &str| {
+        let s = s.to_ascii_lowercase();
+        s.contains("dist") || s.contains("delta")
+    };
+    // Idents that mark a *type* position — `Vec<&mut [f32]> = self.dist…`
+    // is a generic close followed by `=`, not a `>=` comparison.
+    const TYPE_MARKERS: [&str; 13] = [
+        "mut", "dyn", "impl", "f32", "f64", "u8", "u16", "u32", "u64", "usize", "i32", "i64",
+        "bool",
+    ];
+    // Left operand: walk back over balanced `[…]` / `(…)` groups and a
+    // trailing `a.b.c` path, testing every segment name.
+    let mut j = k as isize - 1;
+    while let Some(tok) = usize::try_from(j).ok().and_then(|j| toks.get(j)) {
+        if TYPE_MARKERS.iter().any(|m| tok.is_ident(m)) || tok.is_punct('&') {
+            return None;
+        }
+        if tok.is_punct(']') || tok.is_punct(')') {
+            let close = if tok.is_punct(']') { ']' } else { ')' };
+            let open = if close == ']' { '[' } else { '(' };
+            let mut depth = 0;
+            while j >= 0 {
+                if toks[j as usize].is_punct(close) {
+                    depth += 1;
+                } else if toks[j as usize].is_punct(open) {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                j -= 1;
+            }
+            j -= 1;
+        } else if tok.kind == TokKind::Ident {
+            if named(&tok.text) {
+                return Some(t.line);
+            }
+            // continue through an `a.b` path
+            if j >= 1 && toks[j as usize - 1].is_punct('.') {
+                j -= 2;
+            } else {
+                break;
+            }
+        } else {
+            break;
+        }
+    }
+    // Right operand: skip the `=` of `<=`/`>=`, then walk an `a.b[i].c`
+    // path forward.
+    let mut j = k + 1;
+    if toks.get(j).is_some_and(|n| n.is_punct('=')) {
+        j += 1;
+    }
+    while let Some(tok) = toks.get(j) {
+        if tok.kind == TokKind::Ident {
+            if named(&tok.text) {
+                return Some(t.line);
+            }
+            j += 1;
+        } else if tok.is_punct('.') {
+            j += 1;
+        } else if tok.is_punct('[') {
+            let mut depth = 0;
+            while j < toks.len() {
+                if toks[j].is_punct('[') {
+                    depth += 1;
+                } else if toks[j].is_punct(']') {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                j += 1;
+            }
+            j += 1;
+        } else {
+            break;
+        }
+    }
+    None
 }
 
 /// Error types a public `Result` may carry. `io::Error` / `fmt::Error`
@@ -567,6 +728,71 @@ pub fn not_result() -> Vec<u8> { vec![] }\n";
         let src =
             "pub fn on_check(f: impl Fn(&S) -> Result<(), String> + 'static) -> Self { self }";
         assert!(rules("crates/core/src/run.rs", src).is_empty());
+    }
+
+    // ---- float_cmp_guarded -----------------------------------------
+
+    /// Seeded defect: an unguarded δ-scan comparison in a hot-path file.
+    #[test]
+    fn seeded_unguarded_distance_comparison_is_caught() {
+        let src = "\
+fn scan(dist: &[f32], delta: f32) -> usize {\n\
+    dist.iter().filter(|&&v| v < delta).count()\n\
+}\n";
+        let f = lint_source("crates/core/src/fast.rs", src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, "float_cmp_guarded");
+        assert_eq!(f[0].line, 2);
+    }
+
+    #[test]
+    fn sentinel_in_the_same_function_passes() {
+        let src = "\
+fn scan(dist: &[f32], delta: f32) -> usize {\n\
+    debug_assert_finite(dist, \"scan\");\n\
+    dist.iter().filter(|&&v| v < delta).count()\n\
+}\n";
+        assert!(rules("crates/core/src/fast.rs", src).is_empty());
+    }
+
+    #[test]
+    fn indexed_and_field_path_operands_are_recognized() {
+        // `self.dists[c] < mind[c]` — the dist name is behind indexing.
+        let src = "fn f(&self) { if self.dists[c] < mind[c] { go(); } }";
+        let f = lint_source("crates/stream/src/driver.rs", src);
+        assert!(f.iter().any(|f| f.rule == "float_cmp_guarded"), "{f:?}");
+        // `cur > eh.prev_delta` — the delta name is a field segment.
+        let src = "fn f(cur: f32, eh: &E) { if cur > eh.prev_delta { go(); } }";
+        let f = lint_source("crates/core/src/fast.rs", src);
+        assert!(f.iter().any(|f| f.rule == "float_cmp_guarded"), "{f:?}");
+    }
+
+    #[test]
+    fn integer_comparisons_arrows_and_generics_are_not_flagged() {
+        let src = "\
+fn f(n: usize) -> Vec<f32> {\n\
+    let mut out: Vec<f32> = Vec::new();\n\
+    let mut i = 0;\n\
+    while i < n { i += 1; }\n\
+    let x = n << 2;\n\
+    let g = |a: usize| -> usize { a };\n\
+    match i { 0 => g(0), _ => g(1) };\n\
+    out\n\
+}\n";
+        assert!(rules("crates/core/src/fast.rs", src).is_empty());
+    }
+
+    #[test]
+    fn float_cmp_allow_escape_and_scope_are_honored() {
+        let src = "\
+fn scan(dist: &[f32], delta: f32) -> usize {\n\
+    // lint:allow(float_cmp_guarded) -- caller asserts finiteness\n\
+    dist.iter().filter(|&&v| v < delta).count()\n\
+}\n";
+        assert!(rules("crates/core/src/fast_star.rs", src).is_empty());
+        // Same unguarded code outside the hot-path scope is not linted.
+        let src = "fn f(dist: &[f32], delta: f32) -> bool { dist[0] < delta }";
+        assert!(rules("crates/core/src/distance.rs", src).is_empty());
     }
 
     // ---- plumbing ---------------------------------------------------
