@@ -1,0 +1,244 @@
+//! Work-stealing executor harness, written as `results/BENCH_par.json`.
+//!
+//! Compares the persistent work-stealing pool (`Executor::Parallel`)
+//! against the legacy static splitter (`Executor::StaticSplit`) and the
+//! sequential baseline over two item-cost shapes at 1 / 2 / 4 / all
+//! threads:
+//!
+//! * **balanced** — every item costs the same (uniform rows), the shape
+//!   the static splitter was tuned for; stealing must not regress it;
+//! * **skewed** — items belong to zipf-sized clusters and an item's cost
+//!   scales with its cluster's population (per-point work during
+//!   refinement grows with cluster size), concentrating most of the work
+//!   in the first grains. A static split strands that head on one worker;
+//!   the deques let idle workers steal it.
+//!
+//! Like `shard_bench`, the gated times are **simulated** clocks, not
+//! wall-clock: per-grain work is summed over the *real* grain
+//! decomposition (`proclus::par::grains_for`), the static time is the
+//! heaviest contiguous grain block (exactly the splitter's partition),
+//! and the stealing time is the greedy list-scheduling makespan over the
+//! same grains (an idle worker always takes the next unclaimed grain —
+//! what the deque protocol converges to). Simulated clocks are
+//! deterministic, so the gated ratios are machine-independent and hold on
+//! single-core CI runners where wall-clock parallelism is unmeasurable.
+//!
+//! What *is* executed for real is the determinism contract: every combo
+//! runs the actual executors and cross-checks the grain-ordered f64
+//! reduction **bitwise** against `Executor::Sequential`. The JSON feeds
+//! `cargo xtask bench-compare --kind par`, which gates the bitwise flag,
+//! a ≥1.2x skewed floor at 4 threads, and a balanced no-regression floor.
+
+use std::fmt::Write as _;
+
+use proclus::par::{grains_for, Executor};
+use proclus_bench::Options;
+use proclus_telemetry::json::fmt_f64;
+
+/// Zipf-sized clusters in the skewed shape.
+const CLUSTERS: usize = 64;
+/// Per-item cost units in the balanced shape (and the skewed mean).
+const BASE_COST: u32 = 600;
+/// Simulated cost units per millisecond (a nominal ~1 unit = 1 ns FP
+/// chain step; only ratios are gated, so the scale is cosmetic).
+const UNITS_PER_MS: f64 = 1.0e6;
+
+struct Measured {
+    workload: &'static str,
+    requested: usize,
+    threads: usize,
+    seq_ms: f64,
+    static_ms: f64,
+    steal_ms: f64,
+    bitwise_equal: bool,
+}
+
+/// Deterministic per-item kernel for the real bitwise runs: `cost`
+/// dependent fused multiply-adds.
+fn item_work(i: usize, cost: u32) -> f64 {
+    let mut acc = (i as f64) + 1.0;
+    for k in 0..cost {
+        acc = acc.mul_add(1.000_000_011_920_929, ((k & 7) as f64) * 1e-9);
+    }
+    acc
+}
+
+/// Item costs for zipf-sized clusters: cluster `c` holds `~n/(c+1)H`
+/// items, and each of its items costs `BASE_COST · size/mean` — the head
+/// cluster is both large and per-item expensive, like refinement over a
+/// dominant cluster.
+fn zipf_costs(n: usize) -> Vec<u32> {
+    let h: f64 = (1..=CLUSTERS).map(|c| 1.0 / c as f64).sum();
+    let mut sizes: Vec<usize> = (1..=CLUSTERS)
+        .map(|c| (((n as f64) / (c as f64 * h)) as usize).max(1))
+        .collect();
+    let short = n.saturating_sub(sizes.iter().sum());
+    sizes[0] += short;
+    let mean = n as f64 / CLUSTERS as f64;
+    let mut costs = Vec::with_capacity(n);
+    for &s in &sizes {
+        let cost = ((BASE_COST as f64) * (s as f64) / mean).max(1.0) as u32;
+        costs.extend(std::iter::repeat_n(cost, s));
+    }
+    costs.truncate(n);
+    costs
+}
+
+/// Per-grain work over the real decomposition the executors run.
+fn grain_work(costs: &[u32]) -> Vec<u64> {
+    let (grain, grains) = grains_for(costs.len());
+    (0..grains)
+        .map(|g| {
+            costs[g * grain..((g + 1) * grain).min(costs.len())]
+                .iter()
+                .map(|&c| u64::from(c))
+                .sum()
+        })
+        .collect()
+}
+
+/// Static splitter's simulated time: the heaviest of `threads` contiguous
+/// grain blocks (the exact partition `Executor::StaticSplit` hands its
+/// scoped workers).
+fn static_sim_ms(work: &[u64], threads: usize) -> f64 {
+    let t = threads.max(1);
+    let per = work.len().div_ceil(t);
+    let heaviest = work
+        .chunks(per.max(1))
+        .map(|b| b.iter().sum::<u64>())
+        .max()
+        .unwrap_or(0);
+    heaviest as f64 / UNITS_PER_MS
+}
+
+/// Work-stealing simulated time: greedy list scheduling in grain order —
+/// each grain goes to the earliest-free worker, which is what the deque
+/// protocol converges to (an idle worker immediately steals the next
+/// unclaimed grain). Lower-bounded by the heaviest single grain.
+fn steal_sim_ms(work: &[u64], threads: usize) -> f64 {
+    let mut busy = vec![0u64; threads.max(1)];
+    for &w in work {
+        let min = busy
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, &b)| b)
+            .map_or(0, |(i, _)| i);
+        busy[min] += w;
+    }
+    busy.into_iter().max().unwrap_or(0) as f64 / UNITS_PER_MS
+}
+
+/// One full real pass: per-grain partials reduced in grain order. The
+/// fold order is the determinism contract — identical for every executor.
+fn run_workload(exec: &Executor, costs: &[u32]) -> f64 {
+    exec.map_chunks(
+        costs.len(),
+        || 0.0f64,
+        |acc, range| {
+            for i in range {
+                *acc += item_work(i, costs[i]);
+            }
+        },
+    )
+    .into_iter()
+    .fold(0.0f64, |a, b| a + b)
+}
+
+fn measure(workload: &'static str, costs: &[u32], requested: usize) -> Measured {
+    let threads = if requested == 0 {
+        Executor::all_cores().threads()
+    } else {
+        requested
+    };
+    let work = grain_work(costs);
+    let seq_ms = work.iter().sum::<u64>() as f64 / UNITS_PER_MS;
+    let static_ms = static_sim_ms(&work, threads);
+    let steal_ms = steal_sim_ms(&work, threads);
+
+    // The real executors, cross-checked bit for bit: scheduling must not
+    // move the reduction by even an ulp.
+    let expected = run_workload(&Executor::Sequential, costs).to_bits();
+    let bitwise_equal = run_workload(&Executor::StaticSplit { threads }, costs).to_bits()
+        == expected
+        && run_workload(&Executor::Parallel { threads }, costs).to_bits() == expected;
+
+    Measured {
+        workload,
+        requested,
+        threads,
+        seq_ms,
+        static_ms,
+        steal_ms,
+        bitwise_equal,
+    }
+}
+
+fn main() {
+    let opts = Options::from_args();
+    let n = if opts.quick { 12_288 } else { 24_576 };
+    let thread_grid: &[usize] = if opts.quick { &[1, 4] } else { &[1, 2, 4, 0] };
+    let shapes: [(&'static str, Vec<u32>); 2] =
+        [("balanced", vec![BASE_COST; n]), ("skewed", zipf_costs(n))];
+    println!(
+        "par_bench: n={n}, threads {:?}{} (simulated clocks, real bitwise runs)",
+        thread_grid,
+        if opts.quick { " (quick)" } else { "" }
+    );
+    println!(
+        "{:<9} {:>7} {:>9} {:>10} {:>9} {:>13} {:>13}  bitwise",
+        "workload", "threads", "seq_ms", "static_ms", "steal_ms", "static/steal", "seq/steal"
+    );
+
+    let mut rows = Vec::new();
+    for (name, costs) in &shapes {
+        for &requested in thread_grid {
+            let m = measure(name, costs, requested);
+            println!(
+                "{:<9} {:>7} {:>9.2} {:>10.2} {:>9.2} {:>12.2}x {:>12.2}x  {}",
+                m.workload,
+                m.threads,
+                m.seq_ms,
+                m.static_ms,
+                m.steal_ms,
+                m.static_ms / m.steal_ms,
+                m.seq_ms / m.steal_ms,
+                if m.bitwise_equal { "ok" } else { "DIVERGED" }
+            );
+            rows.push(m);
+        }
+    }
+
+    let mut json = String::from("{\"version\":1,");
+    let _ = write!(
+        json,
+        "\"workload\":{{\"n\":{n},\"clusters\":{CLUSTERS},\"base_cost\":{BASE_COST},\
+         \"simulated\":true,\"quick\":{}}},\"combos\":[",
+        opts.quick
+    );
+    for (i, m) in rows.iter().enumerate() {
+        if i > 0 {
+            json.push(',');
+        }
+        let _ = write!(
+            json,
+            "{{\"workload\":\"{}\",\"requested_threads\":{},\"threads\":{},\
+             \"seq_ms\":{},\"static_ms\":{},\"steal_ms\":{},\
+             \"steal_vs_static\":{},\"steal_vs_seq\":{},\"bitwise_equal\":{}}}",
+            m.workload,
+            m.requested,
+            m.threads,
+            fmt_f64(m.seq_ms),
+            fmt_f64(m.static_ms),
+            fmt_f64(m.steal_ms),
+            fmt_f64(m.static_ms / m.steal_ms),
+            fmt_f64(m.seq_ms / m.steal_ms),
+            m.bitwise_equal
+        );
+    }
+    json.push_str("]}");
+
+    std::fs::create_dir_all(&opts.out_dir).expect("create results dir");
+    let path = format!("{}/BENCH_par.json", opts.out_dir);
+    std::fs::write(&path, &json).expect("write par json");
+    println!("\nwrote {path}");
+}

@@ -309,8 +309,10 @@ fn stream(args: StreamArgs) -> Result<String, (i32, String)> {
         .with_b(args.b)
         .with_seed(args.seed);
     let spec = match args.backend {
+        // all_cores() honors the PROCLUS_THREADS override, so stream runs
+        // can be pinned from the environment without a CLI flag.
         Backend::Cpu => StreamBackendSpec::Cpu {
-            exec: proclus::par::Executor::Sequential,
+            exec: proclus::par::Executor::all_cores(),
         },
         Backend::Gpu => StreamBackendSpec::gpu(DeviceConfig::gtx_1660_ti()),
         Backend::Sharded => StreamBackendSpec::Sharded {
@@ -420,6 +422,9 @@ fn serve(
             })?;
             eprintln!("proclus serve: listening on {addr} ({workers} workers)");
             let server = std::sync::Arc::new(server);
+            // Connection-handler threads blocked on accept/IO; the compute
+            // inside each job still runs on the shared Executor pool.
+            // lint:allow(no_raw_scope) -- IO threads, not data-parallel fan-out
             std::thread::scope(|scope| {
                 for stream in listener.incoming() {
                     let stream = match stream {

@@ -300,24 +300,31 @@ impl Backend for CpuBackend<'_> {
     ) -> Result<Vec<f32>> {
         use crate::distance_simd::{euclidean8, LANES};
         let m_row = self.data.row(medoid);
+        let data = self.data;
         let mut out = vec![0.0f32; points.len()];
         // Gathered lane groups: `points` are arbitrary data indices (the
         // RowStore's hole positions), so lanes gather rows by index. Lane l
         // is bitwise-equal to euclidean(m_row, row_l): the operands are
         // swapped, but IEEE negation is exact, so the squared f32
         // difference — and with it the whole chain — is bit-identical.
-        let mut i = 0;
-        // lint:allow(cancel_polled) -- bounded lane sweep, not a phase loop
-        while i + LANES <= points.len() {
-            let rows: [&[f32]; LANES] = std::array::from_fn(|l| self.data.row(points[i + l]));
-            out[i..i + LANES].copy_from_slice(&euclidean8(rows, m_row));
-            i += LANES;
-        }
-        // lint:allow(cancel_polled) -- bounded remainder sweep (< 8 points)
-        while i < points.len() {
-            out[i] = crate::distance::euclidean(m_row, self.data.row(points[i]));
-            i += 1;
-        }
+        // Grain boundaries are LANES-aligned (par::GRAIN_ALIGN), so the
+        // lane groups tile identically whether the loop runs as one range
+        // or split across workers: each point's distance chain is
+        // independent and lands in its own output slot.
+        self.exec.for_each_slice(&mut out, |off, sub| {
+            let mut i = 0;
+            // lint:allow(cancel_polled) -- bounded lane sweep, not a phase loop
+            while i + LANES <= sub.len() {
+                let rows: [&[f32]; LANES] = std::array::from_fn(|l| data.row(points[off + i + l]));
+                sub[i..i + LANES].copy_from_slice(&euclidean8(rows, m_row));
+                i += LANES;
+            }
+            // lint:allow(cancel_polled) -- bounded remainder sweep (< 8 points)
+            while i < sub.len() {
+                sub[i] = crate::distance::euclidean(m_row, data.row(points[off + i]));
+                i += 1;
+            }
+        });
         Ok(out)
     }
 

@@ -93,5 +93,7 @@ pub use params::{BadMedoidRule, Params, ParamsBuilder};
 pub use result::{Clustering, OUTLIER};
 pub use rng::ProclusRng;
 #[doc(hidden)]
-pub use run::{executor_for, partition_outcomes, run_cpu_with, stamp_meta, PartitionedOutcomes};
+pub use run::{
+    executor_for, partition_outcomes, run_cpu_with, run_single_on, stamp_meta, PartitionedOutcomes,
+};
 pub use run::{run, run_with_cancel};

@@ -100,7 +100,9 @@ pub fn run_with_cancel(
     let null = NullRecorder;
     let rec: &dyn Recorder = tel.as_ref().map_or(&null as &dyn Recorder, |t| t);
 
+    let pool_before = crate::par::pool_stats();
     let (clusterings, setting_errors) = run_cpu_with(data, config, rec, cancel)?;
+    record_pool_stats(rec, pool_before);
 
     Ok(RunOutput {
         clusterings,
@@ -108,6 +110,34 @@ pub fn run_with_cancel(
         telemetry: tel.map(Telemetry::finish),
         wall_ms: t0.elapsed().as_secs_f64() * 1e3,
     })
+}
+
+/// Records the work-stealing pool's activity during a run as counter
+/// deltas against a snapshot taken before it. Deltas are only emitted when
+/// non-zero, so sequential / single-grain runs produce no pool counters
+/// (and the pinned golden telemetry trees stay byte-stable). The pool is
+/// process-wide: with concurrent runs, each run's delta is a superset of
+/// its own activity.
+fn record_pool_stats(rec: &dyn Recorder, before: crate::par::PoolStats) {
+    if !rec.enabled() {
+        return;
+    }
+    let after = crate::par::pool_stats();
+    use proclus_telemetry::counters as c;
+    for (name, delta) in [
+        (c::POOL_TASKS, after.tasks_executed - before.tasks_executed),
+        (c::POOL_STEALS, after.steals - before.steals),
+        (
+            c::POOL_STEAL_FAILURES,
+            after.steal_failures - before.steal_failures,
+        ),
+        (c::POOL_PARKS, after.parks - before.parks),
+        (c::POOL_UNPARKS, after.unparks - before.unparks),
+    ] {
+        if delta > 0 {
+            rec.add(name, delta);
+        }
+    }
 }
 
 /// The successful clusterings of a (possibly grid) run plus its
@@ -192,6 +222,22 @@ pub fn run_cpu_with(
             };
             Ok(partition_outcomes(outcomes))
         }
+    }
+}
+
+/// Runs one (non-grid) configuration on an explicit [`Executor`] — the hook
+/// the cross-executor equivalence suite and `par_bench` use to pin
+/// [`Executor::StaticSplit`] and [`Executor::Parallel`] bit-for-bit against
+/// [`Executor::Sequential`]. Normal callers go through [`run`], which picks
+/// the executor from `Config::threads`.
+#[doc(hidden)]
+pub fn run_single_on(data: &DataMatrix, config: &Config, exec: &Executor) -> Result<Clustering> {
+    let rec = NullRecorder;
+    let cancel = CancelToken::new();
+    match config.algo {
+        Algo::Baseline => run_baseline(data, &config.params, exec, &rec, &cancel),
+        Algo::Fast => run_fast(data, &config.params, exec, &rec, &cancel),
+        Algo::FastStar => run_fast_star(data, &config.params, exec, &rec, &cancel),
     }
 }
 

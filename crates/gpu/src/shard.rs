@@ -349,12 +349,15 @@ impl Backend for ShardedBackend<'_> {
         // kernel — asserted by the greedy kernel tests), then one broadcast
         // of the chosen rows into every shard's annex. The shard caches key
         // rows by annex slot, which `broadcast_medoids` keeps stable.
+        // The host-side scan shares the process-wide work-stealing pool;
+        // grain decomposition is a pure function of the sample size, so
+        // the selection stays bitwise-identical to a sequential scan.
         let picks = greedy_select(
             self.data,
             sample,
             count,
             rng,
-            &proclus::par::Executor::Sequential,
+            &proclus::par::Executor::all_cores(),
         );
         let starts = self.begin_step();
         self.broadcast_medoids(&picks)?;

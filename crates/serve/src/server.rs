@@ -35,6 +35,7 @@ use proclus_verify::{TrackedCondvar, TrackedMutex};
 
 use gpu_sim::{Device, DeviceConfig};
 use proclus::multi_param::{ReuseLevel, Setting};
+use proclus::par::Executor;
 use proclus::telemetry::{NullRecorder, Recorder, SpanNode, Telemetry, TelemetryReport};
 use proclus::{Algo, Backend, CancelToken, Config, DataMatrix, ProclusError};
 
@@ -66,6 +67,12 @@ pub struct ServeConfig {
     pub start_paused: bool,
     /// Record per-job telemetry (span trees + counters). Default true.
     pub telemetry: bool,
+    /// CPU threads a job may use, enforced by the shared work-stealing
+    /// pool's grain scheduler (`0` = all cores). Jobs never build private
+    /// executors: every job and the batching scheduler submit phases to
+    /// the one process-wide pool, which interleaves them at phase
+    /// granularity — concurrent jobs cannot oversubscribe cores. Default 0.
+    pub threads: usize,
 }
 
 impl Default for ServeConfig {
@@ -78,6 +85,7 @@ impl Default for ServeConfig {
             reuse: ReuseLevel::SharedGreedy,
             start_paused: false,
             telemetry: true,
+            threads: 0,
         }
     }
 }
@@ -86,6 +94,12 @@ impl ServeConfig {
     /// Sets the worker count.
     pub fn with_workers(mut self, workers: usize) -> Self {
         self.workers = workers.max(1);
+        self
+    }
+
+    /// Sets the per-job CPU thread cap (`0` = all cores).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
         self
     }
 
@@ -178,6 +192,10 @@ impl Server {
         let mut workers = Vec::with_capacity(count);
         for i in 0..count {
             let worker_inner = Arc::clone(&inner);
+            // Long-lived service workers that sleep on the job queue; their
+            // per-job compute shares the Executor pool, whose submit lock keeps
+            // concurrent jobs from oversubscribing cores.
+            // lint:allow(no_raw_scope) -- service worker, not data-parallel fan-out
             let spawned = std::thread::Builder::new()
                 .name(format!("proclus-serve-{i}"))
                 .spawn(move || worker_loop(&worker_inner));
@@ -441,6 +459,20 @@ fn gpu_device(device: &mut Option<Device>) -> &mut Device {
     device.get_or_insert_with(|| Device::new(DeviceConfig::gtx_1660_ti()))
 }
 
+/// The executor serve jobs run on: the process-wide work-stealing pool,
+/// capped at `cfg.threads` participants per phase (`0` = all cores). Jobs
+/// never construct private thread pools — every job and the batching
+/// scheduler submit phases to the one shared pool, which serializes them
+/// at phase granularity, so concurrent jobs cannot oversubscribe cores no
+/// matter how many service workers execute at once.
+fn job_executor(cfg: &ServeConfig) -> Executor {
+    match cfg.threads {
+        0 => Executor::all_cores(),
+        1 => Executor::Sequential,
+        t => Executor::Parallel { threads: t },
+    }
+}
+
 fn run_solo(
     inner: &ServerInner,
     device: &mut Option<Device>,
@@ -456,7 +488,8 @@ fn run_solo(
     let config = Config::new(q.spec.params.clone())
         .with_algo(q.spec.algo)
         .with_backend(q.spec.backend)
-        .with_telemetry(inner.cfg.telemetry);
+        .with_telemetry(inner.cfg.telemetry)
+        .with_threads(job_executor(&inner.cfg).threads());
     let out = match q.spec.backend {
         Backend::Cpu => proclus::run_with_cancel(data, &config, &q.shared.cancel),
         Backend::Gpu | Backend::Sharded => {
@@ -512,7 +545,7 @@ fn run_grid(
 
     let outcomes: Vec<Result<proclus::Clustering, ProclusError>> = match live[0].spec.backend {
         Backend::Cpu => {
-            let exec = proclus::executor_for(&Config::new(base.clone()));
+            let exec = job_executor(&inner.cfg);
             proclus::fast_proclus_multi_outcomes(
                 data,
                 &base,

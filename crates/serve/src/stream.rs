@@ -50,8 +50,14 @@ fn registry_key(name: &str) -> String {
 fn spec_for(v: &Value) -> Result<StreamBackendSpec, String> {
     let devices = get_usize(v, "devices").unwrap_or(2).max(1);
     match v.get("backend").and_then(Value::as_str).unwrap_or("cpu") {
+        // The shared work-stealing pool fills RowStore batches; an optional
+        // `threads` key caps a stream's parallelism (0/absent = all cores).
         "cpu" => Ok(StreamBackendSpec::Cpu {
-            exec: Executor::Sequential,
+            exec: match get_usize(v, "threads").unwrap_or(0) {
+                0 => Executor::all_cores(),
+                1 => Executor::Sequential,
+                t => Executor::Parallel { threads: t },
+            },
         }),
         "gpu" => Ok(StreamBackendSpec::gpu(DeviceConfig::gtx_1660_ti())),
         "sharded" => Ok(StreamBackendSpec::Sharded {
@@ -226,6 +232,8 @@ impl StreamSessions {
             let (done_tx, done_rx) = mpsc::channel::<()>();
             let watchdog = deadline.map(|dl| {
                 let cancel = cancel.clone();
+                // Deadline watchdog parked on a channel timeout, not compute.
+                // lint:allow(no_raw_scope) -- watchdog thread, not data-parallel fan-out
                 std::thread::spawn(move || {
                     if done_rx.recv_timeout(dl).is_err() {
                         cancel.cancel();

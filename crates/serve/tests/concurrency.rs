@@ -188,3 +188,48 @@ fn service_workload_completes_without_lockcheck() {
     }
     server.shutdown();
 }
+
+/// Concurrent jobs share the one process-wide work-stealing pool, so the
+/// total number of pool threads never scales with the number of in-flight
+/// jobs. Four simultaneous jobs on a dataset large enough to engage the
+/// pool (n > the sequential crossover) must leave the pool at most
+/// `cores - 1` workers — a per-job pool would show up as a multiple of
+/// that, i.e. oversubscribed cores.
+#[test]
+fn concurrent_jobs_share_one_pool_and_do_not_oversubscribe_cores() {
+    let server = Server::start(
+        ServeConfig::default()
+            .with_workers(4)
+            .with_threads(0)
+            .with_start_paused(true),
+    )
+    .expect("server starts");
+    let dataset = DatasetRef::inline("pool-cap", matrix(2304, 0.0));
+    let handles: Vec<_> = (2..=5)
+        .map(|k| {
+            let params = Params::new(k, 2).with_a(10).with_b(3).with_seed(7);
+            server
+                .submit(JobRequest::new(dataset.clone(), params))
+                .expect("admitted")
+        })
+        .collect();
+    server.resume();
+    for h in &handles {
+        h.wait().expect("job succeeds");
+    }
+    server.shutdown();
+
+    let cores = std::thread::available_parallelism().map_or(1, |c| c.get());
+    let pool_threads = proclus::par::pool_thread_count();
+    assert!(
+        pool_threads < cores.max(2),
+        "pool spawned {pool_threads} workers for 4 concurrent jobs on a \
+         {cores}-core host — jobs are not sharing the global pool"
+    );
+    if cores >= 2 {
+        assert!(
+            pool_threads > 0,
+            "the n > crossover dataset should have engaged the shared pool"
+        );
+    }
+}

@@ -111,6 +111,24 @@ pub mod counters {
     pub const DATASET_CACHE_HITS: &str = "dataset_cache_hits";
     /// Dataset registry misses (dataset loaded and hashed from its source).
     pub const DATASET_CACHE_MISSES: &str = "dataset_cache_misses";
+
+    // --- Work-stealing pool counters (the `par` substrate) ---
+    //
+    // Recorded as before/after deltas of the process-wide pool totals, so
+    // concurrent runs sharing the pool each see a superset of their own
+    // activity. Counter keys are free-form in the schema (any non-negative
+    // integer value), so readers of older reports stay compatible.
+
+    /// Grains executed by work-stealing pool phases during the run.
+    pub const POOL_TASKS: &str = "pool_tasks";
+    /// Grains successfully stolen from another participant's deque.
+    pub const POOL_STEALS: &str = "pool_steals";
+    /// Steal attempts that lost a race or found the victim's deque empty.
+    pub const POOL_STEAL_FAILURES: &str = "pool_steal_failures";
+    /// Times a pool worker parked waiting for a phase.
+    pub const POOL_PARKS: &str = "pool_parks";
+    /// Times a parked pool worker was woken by a new phase.
+    pub const POOL_UNPARKS: &str = "pool_unparks";
 }
 
 /// Names of span attributes (float-valued annotations).

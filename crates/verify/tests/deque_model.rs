@@ -1,0 +1,313 @@
+//! Exhaustive-interleaving model of the work-stealing deque protocol in
+//! `proclus::par` (a Chase–Lev deque specialised to grain indices).
+//!
+//! The model breaks each operation into its real atomic shared-memory
+//! steps — every load, store, and CAS of `top` / `bottom` is one model
+//! step — and explores **every** interleaving of an owner (push + take)
+//! against stealing threads:
+//!
+//! * push: write the slot, *then* publish it by incrementing `bottom`;
+//! * take: decrement `bottom`, read `top`; plain take when more than one
+//!   item remains, a CAS on `top` to win the race for the last item;
+//! * steal: read `top`, read `bottom`, then CAS `top` forward to claim.
+//!
+//! The safety property is the one the executor's determinism rests on:
+//! **every pushed grain is claimed exactly once, and only after its slot
+//! was written**. Two seeded defects pin the checker's teeth: dropping
+//! the last-item CAS from take (double pop) and publishing `bottom`
+//! before the slot write (a thief steals an unwritten slot, losing the
+//! real item).
+
+use proclus_verify::model::{ModelBuilder, StepOutcome};
+
+/// Sentinel read from a slot the owner has not written yet.
+const UNWRITTEN: u32 = 999;
+
+/// Shared deque state plus the per-thread registers of the in-flight
+/// operations (each model step is one atomic access, so values loaded by
+/// earlier steps live in named registers, as they would in CPU registers).
+#[derive(Clone, Debug)]
+struct Deque {
+    top: isize,
+    bottom: isize,
+    buf: Vec<u32>,
+    /// Every value claimed by any thread, in claim order.
+    claimed: Vec<u32>,
+    /// Owner registers: decremented bottom and loaded top.
+    o_b: isize,
+    o_t: isize,
+    /// Thief registers, one pair per thief.
+    t_top: [isize; 2],
+    t_bot: [isize; 2],
+}
+
+impl Deque {
+    /// An empty deque with `cap` unwritten slots.
+    fn empty(cap: usize) -> Self {
+        Deque {
+            top: 0,
+            bottom: 0,
+            buf: vec![UNWRITTEN; cap],
+            claimed: Vec::new(),
+            o_b: 0,
+            o_t: 0,
+            t_top: [0; 2],
+            t_bot: [0; 2],
+        }
+    }
+
+    /// A deque pre-filled with `items` (the executor's `new_desc` path:
+    /// the buffer is written before any thread can observe it).
+    fn prefilled(items: &[u32]) -> Self {
+        let mut d = Deque::empty(items.len());
+        d.buf.copy_from_slice(items);
+        d.bottom = items.len() as isize;
+        d
+    }
+}
+
+// ------------------------------------------------------- atomic steps
+
+fn push_write(val: u32) -> impl Fn(&mut Deque) -> StepOutcome {
+    move |s: &mut Deque| {
+        s.buf[s.bottom as usize] = val;
+        StepOutcome::Done
+    }
+}
+
+fn push_publish(s: &mut Deque) -> StepOutcome {
+    s.bottom += 1;
+    StepOutcome::Done
+}
+
+/// The slot write of a push whose publish already ran (the seeded
+/// publish-before-write defect): same slot, wrong order.
+fn push_write_late(val: u32) -> impl Fn(&mut Deque) -> StepOutcome {
+    move |s: &mut Deque| {
+        s.buf[(s.bottom - 1) as usize] = val;
+        StepOutcome::Done
+    }
+}
+
+fn take_dec_bottom(s: &mut Deque) -> StepOutcome {
+    s.o_b = s.bottom - 1;
+    s.bottom = s.o_b;
+    StepOutcome::Done
+}
+
+fn take_read_top(s: &mut Deque) -> StepOutcome {
+    s.o_t = s.top;
+    StepOutcome::Done
+}
+
+/// The take resolution with the last-item CAS (correct protocol).
+fn take_resolve(s: &mut Deque) -> StepOutcome {
+    if s.o_t < s.o_b {
+        // More than one item: the slot at o_b is the owner's, no race.
+        s.claimed.push(s.buf[s.o_b as usize]);
+    } else if s.o_t == s.o_b {
+        // Last item: win it with a CAS on `top` against any thief.
+        if s.top == s.o_t {
+            s.top += 1;
+            s.claimed.push(s.buf[s.o_b as usize]);
+        }
+        s.bottom = s.o_b + 1;
+    } else {
+        // Empty: restore bottom.
+        s.bottom = s.o_b + 1;
+    }
+    StepOutcome::Done
+}
+
+/// SEEDED DEFECT: the last-item case takes the slot *without* the CAS, so
+/// a thief whose CAS lands in the same window claims the same grain.
+fn take_resolve_no_cas(s: &mut Deque) -> StepOutcome {
+    if s.o_t <= s.o_b {
+        s.claimed.push(s.buf[s.o_b as usize]);
+        if s.o_t == s.o_b {
+            s.top += 1;
+            s.bottom = s.o_b + 1;
+        }
+    } else {
+        s.bottom = s.o_b + 1;
+    }
+    StepOutcome::Done
+}
+
+fn steal_read_top(i: usize) -> impl Fn(&mut Deque) -> StepOutcome {
+    move |s: &mut Deque| {
+        s.t_top[i] = s.top;
+        StepOutcome::Done
+    }
+}
+
+fn steal_read_bottom(i: usize) -> impl Fn(&mut Deque) -> StepOutcome {
+    move |s: &mut Deque| {
+        s.t_bot[i] = s.bottom;
+        StepOutcome::Done
+    }
+}
+
+fn steal_cas_claim(i: usize) -> impl Fn(&mut Deque) -> StepOutcome {
+    move |s: &mut Deque| {
+        if s.t_top[i] < s.t_bot[i] && s.top == s.t_top[i] {
+            s.top += 1;
+            s.claimed.push(s.buf[s.t_top[i] as usize]);
+        }
+        StepOutcome::Done
+    }
+}
+
+// -------------------------------------------------------- invariants
+
+fn exactly_once_so_far(s: &Deque) -> Result<(), String> {
+    for (i, v) in s.claimed.iter().enumerate() {
+        if *v == UNWRITTEN {
+            return Err("claimed an unwritten slot".to_string());
+        }
+        if s.claimed[..i].contains(v) {
+            return Err(format!("grain {v} claimed twice"));
+        }
+    }
+    Ok(())
+}
+
+fn all_claimed(expected: &'static [u32]) -> impl Fn(&Deque) -> Result<(), String> {
+    move |s: &Deque| {
+        let mut got = s.claimed.clone();
+        got.sort_unstable();
+        if got == expected {
+            Ok(())
+        } else {
+            Err(format!("claimed {got:?}, expected {expected:?}"))
+        }
+    }
+}
+
+// ------------------------------------------------------------- tests
+
+/// The real protocol, exhaustively: an owner pushes two grains then
+/// drains, while two thieves race it. Every interleaving must claim each
+/// grain exactly once, never from an unwritten slot.
+#[test]
+fn correct_deque_protocol_claims_each_grain_exactly_once() {
+    let result = ModelBuilder::new(Deque::empty(2))
+        .thread("owner", |t| {
+            t.step("push10.write", push_write(10))
+                .step("push10.publish", push_publish)
+                .step("push20.write", push_write(20))
+                .step("push20.publish", push_publish)
+                .step("take.dec_bottom", take_dec_bottom)
+                .step("take.read_top", take_read_top)
+                .step("take.resolve", take_resolve)
+                .step("take.dec_bottom", take_dec_bottom)
+                .step("take.read_top", take_read_top)
+                .step("take.resolve", take_resolve);
+        })
+        .thread("thief_a", |t| {
+            t.step("steal.read_top", steal_read_top(0))
+                .step("steal.read_bottom", steal_read_bottom(0))
+                .step("steal.cas_claim", steal_cas_claim(0));
+        })
+        .thread("thief_b", |t| {
+            t.step("steal.read_top", steal_read_top(1))
+                .step("steal.read_bottom", steal_read_bottom(1))
+                .step("steal.cas_claim", steal_cas_claim(1));
+        })
+        .invariant_always(exactly_once_so_far)
+        .invariant_final(all_claimed(&[10, 20]))
+        .check();
+    assert!(
+        result.passed(),
+        "deque protocol failed: {}",
+        result.first_failure().unwrap_or_default()
+    );
+    assert!(result.schedules > 1000, "exploration was vacuous");
+}
+
+/// Pre-filled deques (the executor's actual construction) under the same
+/// owner/thief race over the last item.
+#[test]
+fn prefilled_deque_last_item_race_is_safe() {
+    let result = ModelBuilder::new(Deque::prefilled(&[7]))
+        .thread("owner", |t| {
+            t.step("take.dec_bottom", take_dec_bottom)
+                .step("take.read_top", take_read_top)
+                .step("take.resolve", take_resolve);
+        })
+        .thread("thief", |t| {
+            t.step("steal.read_top", steal_read_top(0))
+                .step("steal.read_bottom", steal_read_bottom(0))
+                .step("steal.cas_claim", steal_cas_claim(0));
+        })
+        .invariant_always(exactly_once_so_far)
+        .invariant_final(all_claimed(&[7]))
+        .check();
+    assert!(
+        result.passed(),
+        "last-item race failed: {}",
+        result.first_failure().unwrap_or_default()
+    );
+}
+
+/// SEEDED DOUBLE-POP: without the last-item CAS, some interleaving lets
+/// the owner and a thief both claim the final grain — the checker must
+/// find it (a grain executed twice would corrupt `map_chunks` partials).
+#[test]
+fn double_pop_defect_is_caught() {
+    let result = ModelBuilder::new(Deque::prefilled(&[7]))
+        .thread("owner", |t| {
+            t.step("take.dec_bottom", take_dec_bottom)
+                .step("take.read_top", take_read_top)
+                .step("take.resolve_no_cas", take_resolve_no_cas);
+        })
+        .thread("thief", |t| {
+            t.step("steal.read_top", steal_read_top(0))
+                .step("steal.read_bottom", steal_read_bottom(0))
+                .step("steal.cas_claim", steal_cas_claim(0));
+        })
+        .invariant_always(exactly_once_so_far)
+        .invariant_final(all_claimed(&[7]))
+        .check();
+    assert!(
+        !result.violations.is_empty(),
+        "the CAS-less take should admit a double claim, got {result:?}"
+    );
+    let msg = &result.violations[0].1;
+    assert!(msg.contains("claimed twice"), "unexpected failure: {msg}");
+}
+
+/// SEEDED LOST ITEM: publishing `bottom` before the slot write lets a
+/// thief claim the slot before the grain lands in it — the real grain is
+/// lost (never executed) and garbage is claimed in its place.
+#[test]
+fn lost_item_defect_is_caught() {
+    let result = ModelBuilder::new(Deque::empty(1))
+        .thread("owner", |t| {
+            // Defect: publish first, write second.
+            t.step("push7.publish", push_publish)
+                .step("push7.write", push_write_late(7))
+                .step("take.dec_bottom", take_dec_bottom)
+                .step("take.read_top", take_read_top)
+                .step("take.resolve", take_resolve);
+        })
+        .thread("thief", |t| {
+            t.step("steal.read_top", steal_read_top(0))
+                .step("steal.read_bottom", steal_read_bottom(0))
+                .step("steal.cas_claim", steal_cas_claim(0));
+        })
+        .invariant_always(exactly_once_so_far)
+        .invariant_final(all_claimed(&[7]))
+        .check();
+    assert!(
+        !result.violations.is_empty(),
+        "publish-before-write should lose the item, got {result:?}"
+    );
+    let messages: Vec<&str> = result.violations.iter().map(|(_, m)| m.as_str()).collect();
+    assert!(
+        messages
+            .iter()
+            .any(|m| m.contains("unwritten") || m.contains("expected")),
+        "unexpected failures: {messages:?}"
+    );
+}

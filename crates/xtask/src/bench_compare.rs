@@ -36,6 +36,16 @@
 //!   clears the 2.0× vectorization floor. Wall-clock ratios are noisy
 //!   across machines, so baseline drift is only flagged when the fresh
 //!   best ratio collapses below half the baseline's.
+//! * `par` (`BENCH_par.json`): both workload shapes are present at every
+//!   thread count with positive simulated times and `bitwise_equal: true`
+//!   (the harness runs the *real* executors and diffs the grain-ordered
+//!   f64 reduction bit for bit — scheduling must never move an ulp); at
+//!   4 threads the work-stealing pool clears the ≥1.2× skewed-workload
+//!   floor over the static splitter and stays within the no-regression
+//!   floor (≥0.9×) on the balanced shape. Times are simulated over the
+//!   real grain decomposition (like `shard`), so the floors are
+//!   machine-independent; drift is flagged if the fresh skewed ratio
+//!   falls below half the baseline's.
 
 use std::path::Path;
 
@@ -59,7 +69,7 @@ fn load(path: &Path) -> Result<Value, String> {
 }
 
 /// Dispatches on `kind` (`serve` / `telemetry` / `shard` / `stream` /
-/// `distance`).
+/// `distance` / `par`).
 pub fn run(
     kind: &str,
     baseline: &Path,
@@ -75,8 +85,9 @@ pub fn run(
         "shard" => Ok(compare_shard(&base, &new, &file, tolerance)),
         "stream" => Ok(compare_stream(&base, &new, &file, tolerance)),
         "distance" => Ok(compare_distance(&base, &new, &file)),
+        "par" => Ok(compare_par(&base, &new, &file)),
         other => Err(format!(
-            "unknown bench kind `{other}` (serve, telemetry, shard, stream, distance)"
+            "unknown bench kind `{other}` (serve, telemetry, shard, stream, distance, par)"
         )),
     }
 }
@@ -429,6 +440,107 @@ pub fn compare_distance(base: &Value, new: &Value, file: &str) -> Vec<Finding> {
     findings
 }
 
+/// Work-stealing floor at 4 threads on the zipf-skewed shape: a static
+/// split strands the head cluster's grains on one worker, so stealing
+/// must be at least this much faster (the simulated schedules put the
+/// true gap near 2.7×; 1.2× leaves slack for grain-size retuning).
+const PAR_SKEWED_FLOOR: f64 = 1.2;
+/// Stealing must not cost anything on the balanced shape the static
+/// splitter was tuned for.
+const PAR_BALANCED_FLOOR: f64 = 0.9;
+
+fn par_combo<'a>(doc: &'a Value, workload: &str, requested: f64) -> Option<&'a Value> {
+    doc.get("combos")?.as_array()?.iter().find(|c| {
+        c.get("workload").and_then(Value::as_str) == Some(workload)
+            && num(c, "requested_threads") == requested
+    })
+}
+
+/// Compares par-bench documents; see the module docs for the contract.
+pub fn compare_par(base: &Value, new: &Value, file: &str) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let empty: Vec<Value> = Vec::new();
+    let combos = new
+        .get("combos")
+        .and_then(Value::as_array)
+        .unwrap_or(&empty);
+    if combos.is_empty() {
+        findings.push(fail(
+            "bench_structure",
+            file,
+            "fresh run has no combos".to_string(),
+        ));
+        return findings;
+    }
+    for combo in combos {
+        let workload = combo.get("workload").and_then(Value::as_str).unwrap_or("?");
+        let threads = num(combo, "threads");
+        for key in ["seq_ms", "static_ms", "steal_ms"] {
+            let v = num(combo, key);
+            if v.is_nan() || v <= 0.0 {
+                findings.push(fail(
+                    "bench_structure",
+                    file,
+                    format!("{workload} t={threads}: {key} = {v} — expected positive"),
+                ));
+            }
+        }
+        // The harness runs the real executors and diffs the grain-ordered
+        // reduction; anything but `true` means scheduling moved a bit.
+        if combo.get("bitwise_equal") != Some(&Value::Bool(true)) {
+            findings.push(fail(
+                "bench_regression",
+                file,
+                format!("{workload} t={threads}: executor output is not bitwise-equal"),
+            ));
+        }
+    }
+    for (workload, floor) in [
+        ("skewed", PAR_SKEWED_FLOOR),
+        ("balanced", PAR_BALANCED_FLOOR),
+    ] {
+        match par_combo(new, workload, 4.0) {
+            Some(combo) => {
+                let ratio = num(combo, "steal_vs_static");
+                if ratio.is_nan() || ratio < floor {
+                    findings.push(fail(
+                        "bench_regression",
+                        file,
+                        format!(
+                            "{workload} at 4 threads: work-stealing is {ratio:.2}x the \
+                             static split, below the {floor}x floor"
+                        ),
+                    ));
+                }
+            }
+            None => findings.push(fail(
+                "bench_structure",
+                file,
+                format!("no {workload} combo at 4 threads in the fresh run"),
+            )),
+        }
+    }
+    // Simulated clocks are deterministic; a skewed-ratio collapse below
+    // half the committed baseline means the scheduling model regressed.
+    if let (Some(b), Some(n)) = (
+        par_combo(base, "skewed", 4.0),
+        par_combo(new, "skewed", 4.0),
+    ) {
+        let (base_ratio, new_ratio) = (num(b, "steal_vs_static"), num(n, "steal_vs_static"));
+        if base_ratio.is_finite() && new_ratio < base_ratio * 0.5 {
+            findings.push(fail(
+                "bench_regression",
+                file,
+                format!(
+                    "skewed 4-thread stealing ratio {new_ratio:.2}x collapsed below half \
+                     the baseline's {base_ratio:.2}x"
+                ),
+            ));
+        }
+    }
+    findings
+}
+
 fn run_key(run: &Value) -> Option<(String, String)> {
     let meta = run.get("meta")?;
     Some((
@@ -763,5 +875,70 @@ mod tests {
         let f = compare_telemetry(&base, &fresh, "f");
         assert!(f.iter().any(|f| f.message.contains("missing")), "{f:?}");
         assert!(f.iter().any(|f| f.message.contains("disappeared")), "{f:?}");
+    }
+
+    fn par_doc(skewed_ratio: f64, balanced_ratio: f64, bitwise: bool) -> Value {
+        let mk = |workload: &str, ratio: f64| {
+            format!(
+                "{{\"workload\":\"{workload}\",\"requested_threads\":4,\"threads\":4,\
+                 \"seq_ms\":40.0,\"static_ms\":20.0,\"steal_ms\":{},\
+                 \"steal_vs_static\":{ratio},\"steal_vs_seq\":2.0,\
+                 \"bitwise_equal\":{bitwise}}}",
+                20.0 / ratio
+            )
+        };
+        let json = format!(
+            "{{\"version\":1,\"workload\":{{\"n\":24576,\"clusters\":64,\"base_cost\":600,\
+             \"simulated\":true,\"quick\":false}},\"combos\":[{},{}]}}",
+            mk("balanced", balanced_ratio),
+            mk("skewed", skewed_ratio)
+        );
+        parse(&json).expect("valid fixture")
+    }
+
+    #[test]
+    fn par_floors_pass_and_fail() {
+        let base = par_doc(2.6, 1.0, true);
+        assert!(compare_par(&base, &par_doc(2.4, 0.98, true), "f").is_empty());
+        let f = compare_par(&base, &par_doc(1.1, 1.0, true), "f");
+        assert!(f.iter().any(|f| f.message.contains("1.2x floor")), "{f:?}");
+        let f = compare_par(&base, &par_doc(2.6, 0.7, true), "f");
+        assert!(f.iter().any(|f| f.message.contains("0.9x floor")), "{f:?}");
+    }
+
+    #[test]
+    fn par_bitwise_divergence_fails() {
+        let base = par_doc(2.6, 1.0, true);
+        let f = compare_par(&base, &par_doc(2.6, 1.0, false), "f");
+        assert!(
+            f.iter().any(|f| f.message.contains("not bitwise-equal")),
+            "{f:?}"
+        );
+    }
+
+    #[test]
+    fn par_skewed_collapse_below_baseline_fails() {
+        // 1.25x clears the absolute floor but is under half the baseline's.
+        let base = par_doc(2.8, 1.0, true);
+        let f = compare_par(&base, &par_doc(1.25, 1.0, true), "f");
+        assert!(f.iter().any(|f| f.message.contains("collapsed")), "{f:?}");
+    }
+
+    #[test]
+    fn par_missing_gated_combo_fails() {
+        let base = par_doc(2.6, 1.0, true);
+        let fresh = parse(
+            "{\"version\":1,\"combos\":[{\"workload\":\"balanced\",\
+             \"requested_threads\":4,\"threads\":4,\"seq_ms\":40.0,\"static_ms\":20.0,\
+             \"steal_ms\":20.0,\"steal_vs_static\":1.0,\"steal_vs_seq\":2.0,\
+             \"bitwise_equal\":true}]}",
+        )
+        .expect("valid fixture");
+        let f = compare_par(&base, &fresh, "f");
+        assert!(
+            f.iter()
+                .any(|f| f.message.contains("no skewed combo at 4 threads")),
+            "{f:?}"
+        );
     }
 }

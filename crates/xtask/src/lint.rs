@@ -1,6 +1,6 @@
 //! The workspace lint rules (`cargo xtask lint`).
 //!
-//! Five rules, each an AST-shaped walk over the token stream from
+//! Six rules, each an AST-shaped walk over the token stream from
 //! [`crate::lexer`] (DESIGN.md §11 documents the catalogue and how to add
 //! a rule):
 //!
@@ -11,6 +11,7 @@
 //! | `launch_entry`        | all crates except `gpu-sim` internals   | kernel launches only in `crates/gpu/src/kernels/` |
 //! | `public_result_error` | `crates/{core,gpu,serve}/src`           | public `Result` APIs use the typed error set |
 //! | `float_cmp_guarded`   | `core/src/{fast,fast_star}.rs`, `stream/src/driver.rs` | `dist`/`delta` comparisons sit in a function with a NaN sentinel |
+//! | `no_raw_scope`        | all crates except `par.rs`, `gpu-sim`, `verify` | data-parallel fan-out goes through the `Executor` pool, not raw `thread::spawn` / `thread::scope` |
 //!
 //! Findings are machine-readable ([`Finding`], [`findings_json`]) and any
 //! finding fails the build (non-zero exit from `main`). Intentional
@@ -91,6 +92,9 @@ pub fn lint_source(rel: &str, source: &str) -> Vec<Finding> {
     if float_cmp_in_scope(rel) {
         float_cmp_guarded(rel, &scan, &mut findings);
     }
+    if no_raw_scope_in_scope(rel) {
+        no_raw_scope(rel, &scan, &mut findings);
+    }
     findings
 }
 
@@ -150,6 +154,18 @@ fn float_cmp_in_scope(rel: &str) -> bool {
     rel == "crates/core/src/fast.rs"
         || rel == "crates/core/src/fast_star.rs"
         || rel == "crates/stream/src/driver.rs"
+}
+
+/// Everywhere except the executor itself (`par.rs` is the one sanctioned
+/// home of raw threads), the simulator, the verification harness, and
+/// test/bench code.
+fn no_raw_scope_in_scope(rel: &str) -> bool {
+    rel.starts_with("crates/")
+        && rel != "crates/core/src/par.rs"
+        && !rel.starts_with("crates/gpu-sim/")
+        && !rel.starts_with("crates/verify/")
+        && !rel.contains("/tests/")
+        && !rel.contains("/benches/")
 }
 
 fn public_result_in_scope(rel: &str) -> bool {
@@ -272,6 +288,43 @@ fn launch_entry(rel: &str, scan: &Scan, findings: &mut Vec<Finding>) {
                     ".{}() outside crates/gpu/src/kernels/ — kernel launches must go \
                      through the audited sanitizer-aware wrappers",
                     t.text
+                ),
+            });
+        }
+    }
+}
+
+/// `no_raw_scope`: no `thread::spawn` / `thread::scope` /
+/// `thread::Builder` (std or crossbeam) outside `core/src/par.rs` — ad-hoc
+/// threads bypass the shared work-stealing pool, so concurrent callers
+/// would oversubscribe cores and their scheduling would sit outside the
+/// pool's determinism and telemetry story. Long-lived *service* threads
+/// (the serve worker loop, stream feeders) are legitimate and carry a
+/// reviewed `lint:allow(no_raw_scope)`.
+fn no_raw_scope(rel: &str, scan: &Scan, findings: &mut Vec<Finding>) {
+    const ENTRIES: [&str; 3] = ["spawn", "scope", "Builder"];
+    let toks = &scan.tokens;
+    for (i, t) in toks.iter().enumerate() {
+        if t.in_test || !t.is_ident("thread") {
+            continue;
+        }
+        let entry = match (toks.get(i + 1), toks.get(i + 2), toks.get(i + 3)) {
+            (Some(a), Some(b), Some(e))
+                if a.is_punct(':') && b.is_punct(':') && ENTRIES.iter().any(|n| e.is_ident(n)) =>
+            {
+                e
+            }
+            _ => continue,
+        };
+        if !scan.allowed(entry.line, "no_raw_scope") {
+            findings.push(Finding {
+                rule: "no_raw_scope",
+                file: rel.to_string(),
+                line: entry.line,
+                message: format!(
+                    "thread::{} outside core/src/par.rs — data-parallel work must go \
+                     through the Executor's shared work-stealing pool",
+                    entry.text
                 ),
             });
         }
@@ -793,6 +846,56 @@ fn scan(dist: &[f32], delta: f32) -> usize {\n\
         // Same unguarded code outside the hot-path scope is not linted.
         let src = "fn f(dist: &[f32], delta: f32) -> bool { dist[0] < delta }";
         assert!(rules("crates/core/src/distance.rs", src).is_empty());
+    }
+
+    // ---- no_raw_scope ----------------------------------------------
+
+    /// Seeded defect: a raw spawn in a hot path bypassing the pool.
+    #[test]
+    fn seeded_raw_spawn_is_caught() {
+        let src = "fn fan_out() { let h = std::thread::spawn(|| work()); h.join().unwrap(); }";
+        let f = lint_source("crates/stream/src/store.rs", src);
+        assert!(
+            f.iter().any(|f| f.rule == "no_raw_scope"),
+            "expected no_raw_scope in {f:?}"
+        );
+        assert!(f
+            .iter()
+            .any(|f| f.message.contains("thread::spawn") && f.message.contains("Executor")));
+    }
+
+    /// Seeded defect: both scope flavors and `Builder` are caught.
+    #[test]
+    fn seeded_raw_scope_variants_are_caught() {
+        let src = "\
+fn a() { crossbeam::thread::scope(|s| {}).unwrap(); }\n\
+fn b() { std::thread::scope(|s| {}); }\n\
+fn c() { std::thread::Builder::new(); }\n";
+        let f = lint_source("crates/core/src/multi_param.rs", src);
+        let raw: Vec<_> = f.iter().filter(|f| f.rule == "no_raw_scope").collect();
+        assert_eq!(raw.len(), 3, "{f:?}");
+        assert_eq!(
+            raw.iter().map(|f| f.line).collect::<Vec<_>>(),
+            vec![1, 2, 3]
+        );
+    }
+
+    /// par.rs is the sanctioned home of raw threads; tests and allows
+    /// are exempt everywhere.
+    #[test]
+    fn par_rs_tests_and_allows_may_use_raw_threads() {
+        let src = "fn w() { std::thread::spawn(|| {}); }";
+        assert!(rules("crates/core/src/par.rs", src).is_empty());
+        assert!(rules("crates/verify/src/model.rs", src).is_empty());
+        assert!(rules("crates/serve/tests/concurrency.rs", src).is_empty());
+
+        let in_test = "#[cfg(test)]\nmod tests { fn t() { std::thread::spawn(|| {}); } }";
+        assert!(rules("crates/core/src/run.rs", in_test).is_empty());
+
+        let allowed = "\
+// lint:allow(no_raw_scope) -- long-lived service worker, not data-parallel fan-out\n\
+fn w() { std::thread::Builder::new().spawn(|| {}); }\n";
+        assert!(rules("crates/serve/src/server.rs", allowed).is_empty());
     }
 
     // ---- plumbing ---------------------------------------------------

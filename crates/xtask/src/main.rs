@@ -9,7 +9,7 @@
 //!   manifests ([`deny`]); writes `results/deny.json`.
 //! * `msrv` — checks the MSRV pin: the workspace sets `rust-version`
 //!   and every member inherits it.
-//! * `bench-compare --kind <serve|telemetry|shard|stream|distance> <baseline> <fresh>` —
+//! * `bench-compare --kind <serve|telemetry|shard|stream|distance|par> <baseline> <fresh>` —
 //!   ratio/structure comparison of a fresh bench run against the
 //!   committed baseline ([`bench_compare`]).
 
@@ -95,7 +95,7 @@ fn dispatch(args: &[String]) -> Result<Vec<Finding>, String> {
 
 fn usage() -> String {
     "usage: cargo xtask <lint|deny|msrv|bench-compare> [--root DIR] [--json-out PATH]\n       \
-     cargo xtask bench-compare --kind <serve|telemetry|shard|stream|distance> [--tolerance F] <baseline> <fresh>"
+     cargo xtask bench-compare --kind <serve|telemetry|shard|stream|distance|par> [--tolerance F] <baseline> <fresh>"
         .to_string()
 }
 

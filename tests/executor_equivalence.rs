@@ -1,0 +1,154 @@
+//! Cross-executor bitwise equivalence above the sequential crossover.
+//!
+//! The work-stealing pool must be a pure scheduling change: for any dataset
+//! and any thread count, `run(&data, &Config)` returns the same bits as the
+//! single-threaded run, and the persistent pool returns the same bits as the
+//! legacy static splitter it replaced. The existing `equivalence.rs` suite
+//! pins this below the crossover (where every executor degenerates to one
+//! grain); this suite uses n > 2048 so the grain decomposition, the deque
+//! scheduling, and the chunk-ordered reduction all actually engage.
+//!
+//! Equality is checked on every field of [`Clustering`], with the f64
+//! objective compared via `to_bits` — "close" is not accepted, only
+//! identical.
+
+use datagen::synthetic::{generate, SyntheticConfig};
+use proclus::par::Executor;
+use proclus::{run, run_single_on, Algo, Clustering, Config, DataMatrix, Params};
+use proptest::prelude::*;
+
+fn dataset(n: usize, d: usize, clusters: usize, seed: u64) -> DataMatrix {
+    let cfg = SyntheticConfig {
+        n,
+        d,
+        num_clusters: clusters,
+        subspace_dims: (d / 2).max(2),
+        std_dev: 4.0,
+        value_range: (0.0, 100.0),
+        noise_fraction: 0.01,
+        seed,
+    };
+    let mut g = generate(&cfg);
+    g.data.minmax_normalize();
+    g.data
+}
+
+fn cpu(data: &DataMatrix, params: &Params, algo: Algo, threads: usize) -> Clustering {
+    let config = Config::new(params.clone())
+        .with_algo(algo)
+        .with_threads(threads);
+    run(data, &config)
+        .expect("run succeeds")
+        .clusterings
+        .into_iter()
+        .next()
+        .expect("one clustering")
+}
+
+fn on_executor(data: &DataMatrix, params: &Params, algo: Algo, exec: &Executor) -> Clustering {
+    let config = Config::new(params.clone()).with_algo(algo);
+    run_single_on(data, &config, exec).expect("run succeeds")
+}
+
+fn assert_bitwise_same(a: &Clustering, b: &Clustering, what: &str) {
+    assert_eq!(a.medoids, b.medoids, "{what}: medoids");
+    assert_eq!(a.subspaces, b.subspaces, "{what}: subspaces");
+    assert_eq!(a.labels, b.labels, "{what}: labels");
+    assert_eq!(a.iterations, b.iterations, "{what}: iterations");
+    assert_eq!(
+        a.cost.to_bits(),
+        b.cost.to_bits(),
+        "{what}: cost bits ({} vs {})",
+        a.cost,
+        b.cost
+    );
+    assert_eq!(
+        a.refined_cost.to_bits(),
+        b.refined_cost.to_bits(),
+        "{what}: refined cost bits ({} vs {})",
+        a.refined_cost,
+        b.refined_cost
+    );
+}
+
+const ALGOS: [Algo; 3] = [Algo::Baseline, Algo::Fast, Algo::FastStar];
+
+/// `Config::threads` sweep: 1 (Sequential), 2, 7 (deliberately not a power of
+/// two and likely above the physical core count), and 0 (all cores) must all
+/// produce the identical clustering on a multi-grain dataset.
+#[test]
+fn thread_counts_are_bitwise_equivalent_above_crossover() {
+    let data = dataset(2304, 8, 4, 11);
+    let params = Params::new(4, 3).with_a(20).with_b(4).with_seed(13);
+    for algo in ALGOS {
+        let base = cpu(&data, &params, algo, 1);
+        for threads in [2usize, 7, 0] {
+            assert_bitwise_same(
+                &base,
+                &cpu(&data, &params, algo, threads),
+                &format!("{algo:?} threads={threads}"),
+            );
+        }
+    }
+}
+
+/// The persistent work-stealing pool against the legacy static splitter it
+/// replaced, and against the sequential path, at full-run granularity.
+#[test]
+fn work_stealing_matches_static_split_above_crossover() {
+    let data = dataset(2304, 8, 4, 29);
+    let params = Params::new(4, 3).with_a(20).with_b(4).with_seed(5);
+    for algo in ALGOS {
+        let base = on_executor(&data, &params, algo, &Executor::Sequential);
+        for threads in [2usize, 3, 7] {
+            assert_bitwise_same(
+                &base,
+                &on_executor(&data, &params, algo, &Executor::StaticSplit { threads }),
+                &format!("{algo:?} static split({threads})"),
+            );
+            assert_bitwise_same(
+                &base,
+                &on_executor(&data, &params, algo, &Executor::Parallel { threads }),
+                &format!("{algo:?} work stealing({threads})"),
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Randomized pinning: for generated datasets above the crossover and a
+    /// random algorithm/seed, every executor family member agrees bit for
+    /// bit with the sequential run.
+    #[test]
+    fn any_executor_matches_sequential(
+        n in 2100usize..2560,
+        data_seed in 0u64..1000,
+        algo_seed in 0u64..1000,
+        algo_idx in 0usize..3,
+    ) {
+        let data = dataset(n, 6, 3, data_seed);
+        let params = Params::new(3, 3).with_a(15).with_b(3).with_seed(algo_seed);
+        let algo = ALGOS[algo_idx];
+        let base = on_executor(&data, &params, algo, &Executor::Sequential);
+        for exec in [
+            Executor::Parallel { threads: 2 },
+            Executor::Parallel { threads: 7 },
+            Executor::all_cores(),
+            Executor::StaticSplit { threads: 3 },
+        ] {
+            let got = on_executor(&data, &params, algo, &exec);
+            prop_assert_eq!(&base.medoids, &got.medoids, "{:?} {:?}: medoids", algo, exec);
+            prop_assert_eq!(&base.subspaces, &got.subspaces, "{:?} {:?}: subspaces", algo, exec);
+            prop_assert_eq!(&base.labels, &got.labels, "{:?} {:?}: labels", algo, exec);
+            prop_assert_eq!(
+                base.cost.to_bits(),
+                got.cost.to_bits(),
+                "{:?} {:?}: cost bits",
+                algo,
+                exec
+            );
+        }
+    }
+}
